@@ -1,0 +1,232 @@
+//! The Analyze activity: from runtime model to ranked issues.
+//!
+//! Analysis evaluates the requirement set against the knowledge base and
+//! (optionally) steps LTL runtime monitors over a propositional abstraction
+//! of the model — the "different analyzable models automatically generated
+//! to support different kinds of analyses" of §VII-A. Its output is a list
+//! of [`Issue`]s ranked by severity, which the planner consumes.
+
+use crate::knowledge::KnowledgeBase;
+use riot_formal::{AtomId, Ltl, Monitor, Valuation, Verdict3};
+use riot_model::{Requirement, RequirementId, RequirementSet, Verdict};
+use serde::Serialize;
+
+/// One detected (or suspected) requirement problem.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Issue {
+    /// The requirement concerned.
+    pub requirement: RequirementId,
+    /// Its current verdict (`Violated` or `Unknown`; satisfied requirements
+    /// produce no issue).
+    pub verdict: Verdict,
+    /// How badly the predicate fails (more negative = worse); `None` when
+    /// the metric was unobservable.
+    pub margin: Option<f64>,
+    /// The metric the requirement reads.
+    pub metric: String,
+}
+
+impl Issue {
+    /// Severity for ranking: observed violations outrank unknowns, and
+    /// larger shortfalls outrank smaller ones.
+    fn severity(&self) -> (u8, f64) {
+        match (self.verdict, self.margin) {
+            (Verdict::Violated, Some(m)) => (2, -m),
+            (Verdict::Violated, None) => (2, 0.0),
+            (Verdict::Unknown, _) => (1, 0.0),
+            (Verdict::Satisfied, _) => (0, 0.0),
+        }
+    }
+}
+
+/// Binds a formal atom to a predicate over the knowledge base, so LTL
+/// monitors can watch the runtime model.
+pub struct AtomBinding {
+    /// The atom being bound.
+    pub atom: AtomId,
+    /// The predicate: `true` when the atom holds in the current model.
+    pub predicate: Box<dyn Fn(&KnowledgeBase) -> bool>,
+}
+
+impl std::fmt::Debug for AtomBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomBinding").field("atom", &self.atom).finish()
+    }
+}
+
+/// A named LTL monitor with its verdict history.
+#[derive(Debug)]
+pub struct NamedMonitor {
+    /// Human-readable property name.
+    pub name: String,
+    /// The monitor.
+    pub monitor: Monitor,
+}
+
+/// The Analyze stage: requirement evaluation plus runtime verification.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    bindings: Vec<AtomBinding>,
+    monitors: Vec<NamedMonitor>,
+}
+
+impl Analyzer {
+    /// An analyzer with no formal monitors (requirement evaluation only).
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Binds an atom to a knowledge-base predicate.
+    pub fn bind_atom(&mut self, atom: AtomId, predicate: impl Fn(&KnowledgeBase) -> bool + 'static) {
+        self.bindings.push(AtomBinding { atom, predicate: Box::new(predicate) });
+    }
+
+    /// Installs an LTL property to monitor at every cycle.
+    pub fn add_monitor(&mut self, name: impl Into<String>, property: Ltl) {
+        self.monitors.push(NamedMonitor { name: name.into(), monitor: Monitor::new(property) });
+    }
+
+    /// The installed monitors.
+    pub fn monitors(&self) -> &[NamedMonitor] {
+        &self.monitors
+    }
+
+    /// The current propositional abstraction of the knowledge base.
+    pub fn snapshot(&self, kb: &KnowledgeBase) -> Valuation {
+        let mut v = Valuation::EMPTY;
+        for b in &self.bindings {
+            v.set(b.atom, (b.predicate)(kb));
+        }
+        v
+    }
+
+    /// Runs one analysis cycle: evaluates all requirements and steps every
+    /// monitor once. Returns issues ranked most-severe first.
+    pub fn analyze(&mut self, requirements: &RequirementSet, kb: &KnowledgeBase) -> Vec<Issue> {
+        let mut issues: Vec<Issue> = requirements
+            .iter()
+            .filter_map(|r| self.issue_for(r, kb))
+            .collect();
+        issues.sort_by(|a, b| {
+            b.severity()
+                .partial_cmp(&a.severity())
+                .expect("severity is finite")
+                .then(a.requirement.cmp(&b.requirement))
+        });
+        if !self.bindings.is_empty() {
+            let v = self.snapshot(kb);
+            for m in &mut self.monitors {
+                m.monitor.step(v);
+            }
+        }
+        issues
+    }
+
+    fn issue_for(&self, r: &Requirement, kb: &KnowledgeBase) -> Option<Issue> {
+        match r.evaluate(kb) {
+            Verdict::Satisfied => None,
+            verdict => Some(Issue {
+                requirement: r.id,
+                verdict,
+                margin: r.margin(kb),
+                metric: r.metric.clone(),
+            }),
+        }
+    }
+
+    /// Names of monitors whose property is definitively violated.
+    pub fn violated_properties(&self) -> Vec<&str> {
+        self.monitors
+            .iter()
+            .filter(|m| m.monitor.verdict() == Verdict3::Violated)
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_formal::Atoms;
+    use riot_model::{Predicate, RequirementKind, Telemetry};
+    use riot_sim::{SimDuration, SimTime};
+
+    fn reqs() -> RequirementSet {
+        vec![
+            Requirement::new(RequirementId(0), "latency", RequirementKind::Latency, "lat_ms", Predicate::AtMost(100.0)),
+            Requirement::new(RequirementId(1), "coverage", RequirementKind::Coverage, "coverage", Predicate::AtLeast(0.8)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn satisfied_requirements_produce_no_issues() {
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
+        kb.record("lat_ms", 20.0, SimTime::ZERO);
+        kb.record("coverage", 0.9, SimTime::ZERO);
+        let mut a = Analyzer::new();
+        assert!(a.analyze(&reqs(), &kb).is_empty());
+    }
+
+    #[test]
+    fn issues_ranked_by_severity() {
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
+        kb.record("lat_ms", 150.0, SimTime::ZERO); // violated by 50
+        kb.record("coverage", 0.1, SimTime::ZERO); // violated by 0.7
+        let mut a = Analyzer::new();
+        let issues = a.analyze(&reqs(), &kb);
+        assert_eq!(issues.len(), 2);
+        // Latency misses by 50, coverage by 0.7: latency is worse in
+        // absolute margin.
+        assert_eq!(issues[0].requirement, RequirementId(0));
+        assert_eq!(issues[0].margin, Some(-50.0));
+        assert_eq!(issues[1].margin.map(|m| (m * 10.0).round() / 10.0), Some(-0.7));
+    }
+
+    #[test]
+    fn unknown_ranks_below_violated() {
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
+        kb.record("coverage", 0.1, SimTime::ZERO); // violated
+                                                   // lat_ms never observed → unknown
+        let mut a = Analyzer::new();
+        let issues = a.analyze(&reqs(), &kb);
+        assert_eq!(issues[0].verdict, Verdict::Violated);
+        assert_eq!(issues[0].requirement, RequirementId(1));
+        assert_eq!(issues[1].verdict, Verdict::Unknown);
+        assert_eq!(issues[1].margin, None);
+    }
+
+    #[test]
+    fn monitors_step_on_bound_atoms() {
+        let mut atoms = Atoms::new();
+        let healthy = atoms.intern("healthy");
+        let mut a = Analyzer::new();
+        a.bind_atom(healthy, |kb| kb.value("err_rate").map(|v| v < 0.1).unwrap_or(false));
+        a.add_monitor("always-healthy", Ltl::atom(healthy).globally());
+
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
+        kb.record("err_rate", 0.01, SimTime::ZERO);
+        a.analyze(&RequirementSet::new(), &kb);
+        assert!(a.violated_properties().is_empty());
+
+        kb.record("err_rate", 0.5, SimTime::from_secs(1));
+        a.analyze(&RequirementSet::new(), &kb);
+        assert_eq!(a.violated_properties(), vec!["always-healthy"]);
+        assert_eq!(a.monitors()[0].monitor.steps(), 2);
+    }
+
+    #[test]
+    fn snapshot_reflects_bindings() {
+        let mut atoms = Atoms::new();
+        let p = atoms.intern("p");
+        let q = atoms.intern("q");
+        let mut a = Analyzer::new();
+        a.bind_atom(p, |_| true);
+        a.bind_atom(q, |kb| kb.value("x").is_some());
+        let kb = KnowledgeBase::new(SimDuration::from_secs(1));
+        let v = a.snapshot(&kb);
+        assert!(v.contains(p));
+        assert!(!v.contains(q));
+    }
+}

@@ -1,0 +1,39 @@
+//! # riot-adapt — runtime self-adaptation (MAPE-K) for IoT
+//!
+//! §VII of the paper brings the self-adaptive-systems playbook to IoT: a
+//! MAPE loop — "(M)onitoring the environment for changes which are
+//! reflected in a model, (A)nalyzing the model for possible requirements
+//! violations, (P)lanning required countermeasures and then (E)xecuting the
+//! appropriate actions" — with the twist that analysis and planning should
+//! sit on *edge components*, close to the devices they manage.
+//!
+//! * [`KnowledgeBase`] — the models@runtime store: timestamped metrics,
+//!   component lifecycle states and node liveness, with a freshness horizon
+//!   that turns stale knowledge into `Unknown` verdicts (uncertainty as a
+//!   first-class outcome).
+//! * [`Analyzer`] — requirement evaluation plus LTL runtime monitors over a
+//!   propositional abstraction of the model (atoms bound to knowledge-base
+//!   predicates).
+//! * Planners — [`RulePlanner`] (cheap condition→action rules) and
+//!   [`SearchPlanner`] (greedy model-based search against a predictive
+//!   [`ActionModel`], gain-per-cost ranked).
+//! * [`MapeLoop`] — the assembled loop with [`Placement`] (cloud vs edge),
+//!   period, and cycle statistics. Monitoring and execution are the
+//!   caller's boundary, matching Figure 5's placement of sensing and
+//!   actuation at the devices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod knowledge;
+mod mape;
+mod plan;
+
+pub use analyze::{Analyzer, AtomBinding, Issue, NamedMonitor};
+pub use knowledge::{KnowledgeBase, Observation};
+pub use mape::{CycleRecord, MapeLoop, MapeStats, Placement};
+pub use plan::{
+    ActionModel, AdaptationAction, ControlMode, Plan, Planner, PlanningRule, RulePlanner,
+    SearchPlanner,
+};

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the MAPE-K stack, including ablation A3: plan
+//! quality/cost of the rule-based vs search-based planner.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_adapt::{
+    ActionModel, AdaptationAction, Analyzer, Issue, KnowledgeBase, Planner, RulePlanner,
+    SearchPlanner,
+};
+use riot_model::{
+    ComponentId, ComponentState, Predicate, Requirement, RequirementId, RequirementKind,
+    RequirementSet,
+};
+use riot_sim::{ProcessId, SimDuration, SimTime};
+
+fn requirements(n: u32) -> RequirementSet {
+    (0..n)
+        .map(|i| {
+            Requirement::new(
+                RequirementId(i),
+                format!("metric {i} in range"),
+                RequirementKind::Custom,
+                format!("m{i}"),
+                Predicate::AtMost(100.0),
+            )
+        })
+        .collect()
+}
+
+fn knowledge(n: u32, violated_every: u32) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
+    for i in 0..n {
+        let v = if violated_every > 0 && i % violated_every == 0 { 500.0 } else { 50.0 };
+        kb.record(format!("m{i}"), v, SimTime::from_secs(1));
+    }
+    for i in 0..8u32 {
+        let state = if i % 2 == 0 { ComponentState::Failed } else { ComponentState::Running };
+        kb.set_component(ComponentId(i), state, ProcessId(i as usize), SimTime::from_secs(1));
+    }
+    kb
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    c.bench_function("adapt/analyze_100_requirements", |b| {
+        let reqs = requirements(100);
+        let kb = knowledge(100, 10);
+        let mut analyzer = Analyzer::new();
+        b.iter(|| analyzer.analyze(&reqs, &kb));
+    });
+}
+
+/// The predictive model used by the A3 planner comparison: restarting a
+/// failed component clears one violated metric.
+#[derive(Debug)]
+struct RepairModel;
+
+impl ActionModel for RepairModel {
+    fn candidates(&self, _issues: &[Issue], kb: &KnowledgeBase) -> Vec<AdaptationAction> {
+        kb.components_in_state(ComponentState::Failed)
+            .into_iter()
+            .map(|(component, host)| AdaptationAction::RestartComponent { component, host })
+            .collect()
+    }
+    fn predict(&self, action: &AdaptationAction, kb: &KnowledgeBase) -> KnowledgeBase {
+        let mut next = kb.clone();
+        if let AdaptationAction::RestartComponent { component, host } = action {
+            next.set_component(*component, ComponentState::Running, *host, kb.now());
+            next.record(format!("m{}", component.0 * 10), 50.0, kb.now());
+        }
+        next
+    }
+    fn cost(&self, _action: &AdaptationAction) -> f64 {
+        1.0
+    }
+}
+
+fn bench_planners_a3(c: &mut Criterion) {
+    let reqs = requirements(100);
+    let kb = knowledge(100, 10);
+    let issues: Vec<Issue> = {
+        let mut analyzer = Analyzer::new();
+        analyzer.analyze(&reqs, &kb)
+    };
+    c.bench_function("adapt/a3_rule_planner", |b| {
+        b.iter_batched(
+            RulePlanner::standard,
+            |mut p| p.plan(&issues, &kb),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("adapt/a3_search_planner_depth4", |b| {
+        b.iter_batched(
+            || SearchPlanner::new(RepairModel, requirements(100)),
+            |mut p| p.plan(&issues, &kb),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_analyzer, bench_planners_a3);
+criterion_main!(benches);

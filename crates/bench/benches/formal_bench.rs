@@ -1,0 +1,88 @@
+//! Microbenchmarks of the formal toolbox (experiment E3's hot paths):
+//! CTL fixpoint checking, LTL monitor stepping and bounded search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_formal::{
+    bounded_search, Atoms, Ctl, CtlChecker, Kripke, Ltl, Monitor, TransitionSystem, Valuation,
+};
+use riot_sim::SimRng;
+
+fn bench_ctl(c: &mut Criterion) {
+    let mut atoms = Atoms::new();
+    let p = atoms.intern("p0");
+    let q = atoms.intern("p1");
+    let mut group = c.benchmark_group("formal/ctl");
+    for states in [1_000usize, 10_000] {
+        let mut rng = SimRng::seed_from(7);
+        let k = Kripke::random(states, 4, 2, &mut rng);
+        let checker = CtlChecker::new(&k);
+        group.bench_with_input(BenchmarkId::new("AG_EF", states), &states, |b, _| {
+            b.iter(|| checker.check(&Ctl::atom(p).ef().ag()));
+        });
+        group.bench_with_input(BenchmarkId::new("AG_responds", states), &states, |b, _| {
+            b.iter(|| checker.check(&Ctl::atom(p).implies(Ctl::atom(q).af()).ag()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut atoms = Atoms::new();
+    let fail = atoms.intern("fail");
+    let rec = atoms.intern("rec");
+    // A 10k-state trace alternating failure bursts and recoveries.
+    let mut rng = SimRng::seed_from(9);
+    let trace: Vec<Valuation> = (0..10_000)
+        .map(|_| {
+            let mut v = Valuation::EMPTY;
+            v.set(fail, rng.chance(0.1));
+            v.set(rec, rng.chance(0.5));
+            v
+        })
+        .collect();
+    c.bench_function("formal/monitor_responds_10k_steps", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(Ltl::responds(Ltl::atom(fail), Ltl::atom(rec)));
+            for s in &trace {
+                m.step(*s);
+            }
+            m.finish()
+        });
+    });
+    c.bench_function("formal/ltl_evaluate_10k_trace", |b| {
+        let phi = Ltl::responds(Ltl::atom(fail), Ltl::atom(rec));
+        b.iter(|| phi.evaluate(&trace, 0));
+    });
+}
+
+/// A grid system for bounded-search benchmarking.
+struct Grid {
+    size: i32,
+}
+
+impl TransitionSystem for Grid {
+    type State = (i32, i32);
+    fn initial(&self) -> Vec<(i32, i32)> {
+        vec![(0, 0)]
+    }
+    fn successors(&self, s: &(i32, i32)) -> Vec<(i32, i32)> {
+        let mut next = Vec::new();
+        if s.0 < self.size {
+            next.push((s.0 + 1, s.1));
+        }
+        if s.1 < self.size {
+            next.push((s.0, s.1 + 1));
+        }
+        next
+    }
+}
+
+fn bench_reach(c: &mut Criterion) {
+    c.bench_function("formal/bounded_search_100x100_grid", |b| {
+        let grid = Grid { size: 100 };
+        b.iter(|| bounded_search(&grid, 250, |s| *s == (100, 100)));
+    });
+}
+
+criterion_group!(benches, bench_ctl, bench_monitor, bench_reach);
+criterion_main!(benches);

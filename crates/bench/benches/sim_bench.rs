@@ -1,0 +1,113 @@
+//! Microbenchmarks of the simulation kernel: event throughput, timer churn
+//! and medium routing — the floor everything else stands on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_net::{presets, Hierarchy, HierarchySpec};
+use riot_sim::{
+    Ctx, Delivery, Medium, Process, ProcessId, Sim, SimBuilder, SimDuration, SimRng, SimTime,
+};
+
+#[derive(Debug)]
+struct Ping;
+
+struct Pinger {
+    peer: ProcessId,
+    remaining: u32,
+}
+
+impl Process<Ping> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        ctx.send(self.peer, Ping);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: ProcessId, _msg: Ping) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, Ping);
+        }
+    }
+}
+
+struct TimerChurn;
+
+impl Process<Ping> for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        for tag in 0..8 {
+            ctx.schedule(SimDuration::from_micros(10 + tag), tag);
+        }
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: ProcessId, _: Ping) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping>, tag: u64) {
+        ctx.schedule(SimDuration::from_micros(10 + tag), tag);
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    c.bench_function("sim/ping_pong_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<Ping> = SimBuilder::new(1).build();
+                let a = sim.add_process(Pinger { peer: ProcessId(1), remaining: 50_000 });
+                sim.add_process(Pinger { peer: a, remaining: 50_000 });
+                sim
+            },
+            |mut sim| sim.run_to_completion(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    c.bench_function("sim/timer_churn_8x_1s", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<Ping> = SimBuilder::new(1).build();
+                sim.add_process(TimerChurn);
+                sim
+            },
+            |mut sim| sim.run_until(SimTime::from_secs(1)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_network_routing(c: &mut Criterion) {
+    let spec = HierarchySpec {
+        edges: 8,
+        devices_per_edge: 16,
+        device_edge: presets::device_edge(),
+        edge_cloud: presets::edge_cloud(),
+        edge_mesh: Some(presets::edge_edge()),
+    };
+    let (mut net, h) = Hierarchy::build(&spec);
+    let mut rng = SimRng::seed_from(3);
+    let devices = h.all_devices();
+    c.bench_function("net/route_device_to_cloud_137_nodes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let from = devices[i % devices.len()];
+            i += 1;
+            let d: Delivery =
+                Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.cloud, &0, &mut rng);
+            d
+        });
+    });
+    c.bench_function("net/route_after_partition_churn", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            // Flip a partition every 64 routes: exercises cache invalidation.
+            if i % 64 == 0 {
+                if (i / 64) % 2 == 0 {
+                    net.isolate(h.cloud);
+                } else {
+                    net.rejoin(h.cloud);
+                }
+            }
+            let from = devices[i % devices.len()];
+            i += 1;
+            Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.edges[0], &0, &mut rng)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_throughput, bench_timer_churn, bench_network_routing);
+criterion_main!(benches);

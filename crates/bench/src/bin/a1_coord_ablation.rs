@@ -1,0 +1,185 @@
+//! A1 — coordination-parameter ablation.
+//!
+//! Two design choices in the decentralized stack get sensitivity curves:
+//!
+//! * **gossip fanout** — rounds until a rumor reaches every node, for
+//!   cluster sizes 8–128 (theory: `O(log_f n)`);
+//! * **SWIM timing** — wall-clock (virtual) time from a crash until every
+//!   surviving member believes the crashed node dead, as a function of the
+//!   probe period and suspicion timeout.
+
+use riot_bench::{banner, write_json};
+use riot_core::Table;
+use riot_coord::{Gossip, GossipConfig, MemberState, Swim, SwimConfig, SwimMsg, SwimOutput};
+use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GossipRow {
+    nodes: usize,
+    fanout: usize,
+    rounds_to_full: u32,
+    messages: u64,
+}
+
+#[derive(Serialize)]
+struct SwimRow {
+    nodes: usize,
+    probe_period_ms: u64,
+    suspicion_timeout_ms: u64,
+    detection_time_s: f64,
+    messages: u64,
+}
+
+fn main() {
+    banner(
+        "A1",
+        "design-choice ablation (coordination)",
+        "gossip spreads in O(log_fanout n) rounds; SWIM detection time ≈ probe interval + suspicion timeout",
+    );
+
+    // ---- Gossip fanout.
+    println!("Gossip: rounds until full dissemination:\n");
+    let mut table = Table::new(&["nodes", "fanout 1", "fanout 2", "fanout 3", "fanout 5"]);
+    let mut gossip_rows = Vec::new();
+    for n in [8usize, 16, 32, 64, 128] {
+        let mut cells = vec![n.to_string()];
+        for fanout in [1usize, 2, 3, 5] {
+            let (rounds, msgs) = gossip_trial(n, fanout, 17);
+            cells.push(format!("{rounds}r / {msgs}m"));
+            gossip_rows.push(GossipRow { nodes: n, fanout, rounds_to_full: rounds, messages: msgs });
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+
+    // ---- SWIM timing.
+    println!("SWIM: crash-to-global-detection time:\n");
+    let mut table = Table::new(&["nodes", "probe period", "suspicion timeout", "detection", "msgs"]);
+    let mut swim_rows = Vec::new();
+    for n in [8usize, 32] {
+        for (probe_ms, susp_ms) in [(500u64, 1_500u64), (1_000, 3_000), (2_000, 6_000), (1_000, 1_000)] {
+            let (detect_s, msgs) = swim_trial(n, probe_ms, susp_ms, 23);
+            table.row(vec![
+                n.to_string(),
+                format!("{probe_ms}ms"),
+                format!("{susp_ms}ms"),
+                format!("{detect_s:.2}s"),
+                msgs.to_string(),
+            ]);
+            swim_rows.push(SwimRow {
+                nodes: n,
+                probe_period_ms: probe_ms,
+                suspicion_timeout_ms: susp_ms,
+                detection_time_s: detect_s,
+                messages: msgs,
+            });
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: fanout-1 gossip needs many rounds and fanout≥3 converges in a handful,\n\
+         growing logarithmically with n. SWIM detection scales with probe period +\n\
+         suspicion timeout and is largely independent of cluster size (probing is\n\
+         round-robin per node)."
+    );
+
+    #[derive(Serialize)]
+    struct Output {
+        gossip: Vec<GossipRow>,
+        swim: Vec<SwimRow>,
+    }
+    write_json("a1_coord_ablation", &Output { gossip: gossip_rows, swim: swim_rows });
+}
+
+/// Runs rumor dissemination; returns (rounds until everyone has it, total
+/// messages sent).
+fn gossip_trial(n: usize, fanout: usize, seed: u64) -> (u32, u64) {
+    let cfg = GossipConfig { fanout, rounds_hot: 4, batch_limit: 16 };
+    let mut nodes: Vec<Gossip<u64>> = (0..n).map(|_| Gossip::new(cfg)).collect();
+    let ids: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    let mut rng = SimRng::seed_from(seed);
+    nodes[0].publish(1, 42);
+    let mut rounds = 0u32;
+    let mut messages = 0u64;
+    while nodes.iter().any(|g| g.get(1).is_none()) {
+        rounds += 1;
+        if rounds > 200 {
+            return (rounds, messages); // did not converge (fanout too small)
+        }
+        for i in 0..n {
+            let peers: Vec<ProcessId> = ids.iter().copied().filter(|p| p.0 != i).collect();
+            let sends = nodes[i].tick(&peers, &mut rng);
+            messages += sends.len() as u64;
+            for (to, msg) in sends {
+                nodes[to.0].on_message(msg);
+            }
+        }
+    }
+    (rounds, messages)
+}
+
+/// Crashes node 0 in an `n`-node SWIM cluster; returns (virtual seconds
+/// until every survivor believes it dead, messages sent).
+fn swim_trial(n: usize, probe_ms: u64, susp_ms: u64, seed: u64) -> (f64, u64) {
+    let cfg = SwimConfig {
+        probe_period: SimDuration::from_millis(probe_ms),
+        suspicion_timeout: SimDuration::from_millis(susp_ms),
+        probe_timeout: SimDuration::from_millis(probe_ms / 3),
+        ..SwimConfig::default()
+    };
+    let ids: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    let mut nodes: Vec<Swim> = ids
+        .iter()
+        .map(|&me| Swim::new(me, ids.iter().copied(), cfg, SimTime::ZERO))
+        .collect();
+    let mut rng = SimRng::seed_from(seed);
+    let mut now = SimTime::ZERO;
+    let mut messages = 0u64;
+    // Warm up 5 seconds, then crash node 0.
+    let crash_at = SimTime::from_secs(5);
+    let mut crashed = false;
+    loop {
+        now += cfg.tick_every;
+        if !crashed && now >= crash_at {
+            crashed = true;
+        }
+        let mut pending: Vec<(ProcessId, ProcessId, SwimMsg)> = Vec::new();
+        for i in 0..n {
+            if crashed && i == 0 {
+                continue;
+            }
+            for o in nodes[i].tick(now, &mut rng) {
+                if let SwimOutput::Send { to, msg } = o {
+                    pending.push((ProcessId(i), to, msg));
+                }
+            }
+        }
+        while let Some((from, to, msg)) = pending.pop() {
+            messages += 1;
+            if crashed && (from.0 == 0 || to.0 == 0) {
+                continue;
+            }
+            for o in nodes[to.0].on_message(now, from, msg) {
+                if let SwimOutput::Send { to: t2, msg } = o {
+                    pending.push((to, t2, msg));
+                }
+            }
+        }
+        if crashed {
+            let all_detected = (1..n).all(|i| {
+                nodes[i]
+                    .view()
+                    .get(ProcessId(0))
+                    .map(|info| info.state == MemberState::Dead)
+                    .unwrap_or(false)
+            });
+            if all_detected {
+                return ((now - crash_at).as_secs_f64(), messages);
+            }
+        }
+        if now > SimTime::from_secs(300) {
+            return (f64::INFINITY, messages);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! E1 — Tables 1 & 2: the maturity ladder, measured.
+//!
+//! Runs every maturity level ML1–ML4 against five disruption suites (one
+//! per disruption vector of the paper's tables) and reports resilience —
+//! time-weighted requirement satisfaction during the disruption window.
+//! The paper's claim under test: resilience increases along the ladder.
+
+use riot_bench::{banner, f3, suites, write_json};
+use riot_core::{resilience_table, Scenario, ScenarioSpec, Table};
+use riot_model::{cell, DisruptionVector, MaturityLevel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    suite: String,
+    level: MaturityLevel,
+    overall_resilience: f64,
+    overall_baseline: f64,
+    latency: f64,
+    availability: f64,
+    coverage: f64,
+    freshness: f64,
+    privacy: f64,
+}
+
+fn main() {
+    banner(
+        "E1",
+        "Tables 1 & 2 (maturity ladder × disruption vectors)",
+        "resilience increases monotonically ML1→ML4 on every disruption vector",
+    );
+
+    // The qualitative tables, as the paper states them.
+    println!("Paper's qualitative ladder (Tables 1 & 2):\n");
+    let mut qual = Table::new(&["vector", "ML1", "ML2", "ML3", "ML4"]);
+    for v in DisruptionVector::ALL {
+        qual.row(vec![
+            v.title().to_owned(),
+            truncate(cell(MaturityLevel::Ml1, v)),
+            truncate(cell(MaturityLevel::Ml2, v)),
+            truncate(cell(MaturityLevel::Ml3, v)),
+            truncate(cell(MaturityLevel::Ml4, v)),
+        ]);
+    }
+    println!("{}", qual.render());
+
+    // Every cell is run with three independent seeds; the printed tables
+    // show the first seed's run in full detail, and the ladder averages
+    // over all seeds.
+    const SEEDS: [u64; 3] = [1234, 20_26, 777];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut all_results = Vec::new();
+    let template = ScenarioSpec::new("e1", MaturityLevel::Ml1, 0);
+    for (suite_name, _) in suites::all(&template) {
+        println!("--- suite: {suite_name} (seed {})", SEEDS[0]);
+        let mut results = Vec::new();
+        for level in MaturityLevel::ALL {
+            for (si, seed) in SEEDS.into_iter().enumerate() {
+                let mut spec = ScenarioSpec::new(format!("{suite_name}/{level}"), level, seed);
+                spec.edges = 4;
+                spec.devices_per_edge = 8;
+                spec.disruptions = suites::all(&spec)
+                    .into_iter()
+                    .find(|(n, _)| *n == suite_name)
+                    .map(|(_, s)| s)
+                    .expect("suite exists");
+                let result = Scenario::build(spec).run();
+                let req = |name: &str| result.requirement_resilience(name).unwrap_or(1.0);
+                rows.push(Row {
+                    suite: suite_name.to_owned(),
+                    level,
+                    overall_resilience: result.report.overall_resilience,
+                    overall_baseline: result.report.overall_baseline,
+                    latency: req("latency"),
+                    availability: req("availability"),
+                    coverage: req("coverage"),
+                    freshness: req("freshness"),
+                    privacy: req("privacy"),
+                });
+                if si == 0 {
+                    results.push(result);
+                } else {
+                    all_results.push(result);
+                }
+            }
+        }
+        println!("{}", resilience_table(&results).render());
+        all_results.extend(results);
+    }
+
+    // Mean resilience per level across suites and seeds — the ladder.
+    println!(
+        "--- the measured ladder (mean over {} suites x {} seeds)",
+        suites::all(&template).len(),
+        SEEDS.len()
+    );
+    let mut ladder = Table::new(&[
+        "level",
+        "mean overall R",
+        "mean acceptable R (goal model)",
+        "mean satisfied fraction",
+        "min..max satfrac",
+    ]);
+    for level in MaturityLevel::ALL {
+        let rs: Vec<&Row> = rows.iter().filter(|r| r.level == level).collect();
+        let mean_r = rs.iter().map(|r| r.overall_resilience).sum::<f64>() / rs.len() as f64;
+        let sats: Vec<f64> = all_results
+            .iter()
+            .filter(|x| x.level == level)
+            .map(|x| x.report.mean_satisfaction)
+            .collect();
+        let mean_sat = sats.iter().sum::<f64>() / sats.len() as f64;
+        let min = sats.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sats.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let acceptable: Vec<f64> = all_results
+            .iter()
+            .filter(|x| x.level == level)
+            .filter_map(|x| x.requirement_resilience(riot_core::GOAL_NAME))
+            .collect();
+        let mean_acceptable = acceptable.iter().sum::<f64>() / acceptable.len().max(1) as f64;
+        ladder.row(vec![
+            level.to_string(),
+            f3(mean_r),
+            f3(mean_acceptable),
+            f3(mean_sat),
+            format!("{}..{}", f3(min), f3(max)),
+        ]);
+    }
+    println!("{}", ladder.render());
+    write_json("e1_maturity", &rows);
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() > 34 {
+        format!("{}…", &s[..33])
+    } else {
+        s.to_owned()
+    }
+}

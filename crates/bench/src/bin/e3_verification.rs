@@ -1,0 +1,224 @@
+//! E3 — Figure 2: verification of system models against resilience
+//! properties.
+//!
+//! Figure 2 of the paper is the classical verification square: a facet of
+//! the IoT system model is checked against a resilience property. This
+//! experiment exercises all three verification modes the paper calls for
+//! (§IV-B):
+//!
+//! 1. **Design-time CTL model checking** of recoverability (`AG EF up`) on
+//!    explicit-state models from 10² to 10⁵ states (throughput reported);
+//! 2. **Runtime LTL monitoring** of a live scenario's satisfaction trace;
+//! 3. **Statistical model checking**: the probability that an ML4 system
+//!    recovers coverage within 15 s of a component fault, with a Wilson
+//!    interval, plus an SPRT threshold test.
+
+use riot_bench::{banner, f3, write_json};
+use riot_core::{Scenario, ScenarioSpec, Table};
+use riot_formal::{
+    estimate_probability, parse_ctl, parse_ltl, Atoms, CtlChecker, Dtmc, Kripke, Monitor, Sprt,
+    SprtDecision, StateId, Valuation, Verdict3,
+};
+use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimRng, SimTime};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CtlRow {
+    states: usize,
+    transitions: usize,
+    recoverable_holds: bool,
+    response_holds: bool,
+    check_ms: f64,
+    states_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    ctl: Vec<CtlRow>,
+    monitor_verdict: String,
+    monitor_steps: usize,
+    recovery_probability: f64,
+    recovery_lo: f64,
+    recovery_hi: f64,
+    sprt_decision: String,
+    sprt_observations: usize,
+    dtmc_availability: f64,
+    dtmc_recover_10s: f64,
+}
+
+fn main() {
+    banner(
+        "E3",
+        "Figure 2 (system model ⊨ resilience property)",
+        "design-time checking scales to 10^5-state facets; runtime monitors verdict live traces; statistical MC bounds recovery probability",
+    );
+
+    // ---- 1. Design-time CTL checking at increasing scale.
+    println!("CTL model checking of resilience patterns on random model facets:\n");
+    let mut rng = SimRng::seed_from(99);
+    let mut table = Table::new(&[
+        "states",
+        "transitions",
+        "AG EF p0 (recoverable)",
+        "AG(p1 -> AF p2) (responds)",
+        "time",
+        "states/s",
+    ]);
+    let mut ctl_rows = Vec::new();
+    // Properties are written in their textual syntax, as a requirements
+    // document would hold them; atoms p0..p2 match the labeling of
+    // `Kripke::random(_, _, 3, _)`.
+    let mut ctl_atoms = Atoms::new();
+    let recoverable = parse_ctl("AG EF p0", &mut ctl_atoms).expect("well-formed");
+    let responds = parse_ctl("AG (p1 -> AF p2)", &mut ctl_atoms).expect("well-formed");
+    for states in [100usize, 1_000, 10_000, 100_000] {
+        let k = Kripke::random(states, 4, 3, &mut rng);
+        let start = Instant::now();
+        let checker = CtlChecker::new(&k);
+        let recoverable_holds = checker.holds_initially(&recoverable);
+        let responds_holds = checker.holds_initially(&responds);
+        let elapsed = start.elapsed().as_secs_f64();
+        let row = CtlRow {
+            states,
+            transitions: k.transition_count(),
+            recoverable_holds,
+            response_holds: responds_holds,
+            check_ms: elapsed * 1e3,
+            states_per_sec: states as f64 / elapsed,
+        };
+        table.row(vec![
+            row.states.to_string(),
+            row.transitions.to_string(),
+            row.recoverable_holds.to_string(),
+            row.response_holds.to_string(),
+            format!("{:.1}ms", row.check_ms),
+            format!("{:.0}", row.states_per_sec),
+        ]);
+        ctl_rows.push(row);
+    }
+    println!("{}", table.render());
+
+    // ---- 2. Runtime monitoring of a live scenario trace.
+    println!("Runtime LTL monitor over a live ML4 scenario:\n");
+    let mut atoms = Atoms::new();
+    // The resilience property, in the textual syntax a requirements
+    // document would carry: the system is never *permanently* broken.
+    let phi = parse_ltl("G (!healthy -> F healthy)", &mut atoms).expect("well-formed");
+    let healthy = atoms.lookup("healthy").expect("interned by the parser");
+    let mut monitor = Monitor::new(phi);
+
+    let mut spec = ScenarioSpec::new("monitored", MaturityLevel::Ml4, 5);
+    spec.duration = SimDuration::from_secs(90);
+    let fault_dev = spec.device_id(1, 2);
+    spec.disruptions = DisruptionSchedule::new().at(
+        SimTime::from_secs(40),
+        Disruption::ComponentFault { node: fault_dev, component: ComponentId(fault_dev.0 as u32) },
+    );
+    let scenario = Scenario::build(spec);
+    let result = scenario.run();
+    // Feed the recorded sat.all series into the monitor as a trace.
+    // (In-system deployment would step the monitor inside the MAPE
+    // analyzer; riot-adapt supports exactly that via atom bindings.)
+    let trace: Vec<Valuation> = result
+        .sat_all_series
+        .iter()
+        .map(|(_, v)| {
+            let mut val = Valuation::EMPTY;
+            val.set(healthy, *v >= 0.5);
+            val
+        })
+        .collect();
+    for s in &trace {
+        monitor.step(*s);
+    }
+    let verdict = monitor.verdict();
+    println!(
+        "  property: G(!healthy -> F healthy)   verdict after {} samples: {:?} (finish: {})",
+        monitor.steps(),
+        verdict,
+        monitor.finish()
+    );
+    assert_ne!(verdict, Verdict3::Violated, "the ML4 run recovered");
+
+    // ---- 2b. Probabilistic model checking: the quantitative side of
+    // Figure 2 without sampling — a DTMC of the component under the E6
+    // fault/repair rates.
+    let mut chain = Dtmc::new(2);
+    let (up, down) = (StateId(0), StateId(1));
+    chain.set_transition(up, down, 0.01);
+    chain.set_transition(up, up, 0.99);
+    chain.set_transition(down, up, 0.2);
+    chain.set_transition(down, down, 0.8);
+    chain.validate().expect("stochastic");
+    let pi = chain.stationary(50_000);
+    let p_recover_10 = chain.reach_within(&[up], 10)[down.index()];
+    println!(
+        "\nDTMC (fail 0.01/s, repair 0.2/s): long-run availability = {:.4}, \
+         P(recover <= 10s) = {:.4}",
+        pi[up.index()],
+        p_recover_10
+    );
+
+    // ---- 3. Statistical model checking of recovery probability.
+    println!("\nStatistical MC: P(coverage recovers within 15s of a component fault) at ML4:\n");
+    let est = estimate_probability(60, 0.95, |i| recovery_trial(i as u64 * 7 + 1));
+    println!(
+        "  n={}  p̂={}  95% Wilson interval [{}, {}]",
+        est.n,
+        f3(est.mean),
+        f3(est.lo),
+        f3(est.hi)
+    );
+    // SPRT: is P(recovery) >= 0.9 (vs <= 0.6)?
+    let mut sprt = Sprt::new(0.6, 0.9, 0.05, 0.05);
+    let mut decision = SprtDecision::Undecided;
+    let mut i = 0u64;
+    while decision == SprtDecision::Undecided && i < 200 {
+        decision = sprt.observe(recovery_trial(i * 13 + 5));
+        i += 1;
+    }
+    println!(
+        "  SPRT (H1: p>=0.9 vs H0: p<=0.6, α=β=0.05): {:?} after {} trials",
+        decision,
+        sprt.observations()
+    );
+
+    write_json(
+        "e3_verification",
+        &Output {
+            ctl: ctl_rows,
+            monitor_verdict: format!("{verdict:?}"),
+            monitor_steps: monitor.steps(),
+            recovery_probability: est.mean,
+            recovery_lo: est.lo,
+            recovery_hi: est.hi,
+            sprt_decision: format!("{decision:?}"),
+            sprt_observations: sprt.observations(),
+            dtmc_availability: pi[up.index()],
+            dtmc_recover_10s: p_recover_10,
+        },
+    );
+}
+
+/// One Bernoulli trial: a short ML4 run with a component fault; success if
+/// coverage recovered within 15 s (MTTR below bound and not censored).
+fn recovery_trial(seed: u64) -> bool {
+    let mut spec = ScenarioSpec::new("smc", MaturityLevel::Ml4, seed);
+    spec.edges = 2;
+    spec.devices_per_edge = 4;
+    spec.duration = SimDuration::from_secs(45);
+    spec.warmup = SimDuration::from_secs(10);
+    let dev = spec.device_id(0, 1);
+    spec.disruptions = DisruptionSchedule::new().at(
+        SimTime::from_secs(15),
+        Disruption::ComponentFault { node: dev, component: ComponentId(dev.0 as u32) },
+    );
+    let result = Scenario::build(spec).run();
+    let cov = &result.report.requirements["coverage"];
+    match cov.mttr_s {
+        Some(mttr) => mttr <= 15.0,
+        None => true, // never even dipped below threshold
+    }
+}

@@ -1,0 +1,144 @@
+//! E5 — Figure 4: inter-IoT data flows under privacy, timeliness and
+//! availability requirements.
+//!
+//! Figure 4 shows data-handling components synchronizing across privacy
+//! scopes. This experiment measures, for four governance postures, the
+//! three concerns the figure names:
+//!
+//! * **privacy** — resting privacy violations (personal data outside its
+//!   scope) across all stores;
+//! * **timeliness** — consumer-side staleness of shared operational data;
+//! * **availability** — fraction of device keys visible at the consumer.
+//!
+//! Postures: ML3 as-is (ungoverned), ML3 with governance bolted on, ML4
+//! as-is (governed natively), and ML4 with governance stripped — the
+//! ablation showing governance, not the architecture, stops the leak.
+
+use riot_bench::{banner, f3, write_json};
+use riot_core::{ArchitectureConfig, Scenario, ScenarioSpec, Table};
+use riot_model::{Disruption, DisruptionSchedule, DomainId, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    posture: String,
+    privacy_resilience: f64,
+    freshness_resilience: f64,
+    ingest_denied: u64,
+    availability_resilience: f64,
+    messages_sent: u64,
+}
+
+fn main() {
+    banner(
+        "E5",
+        "Figure 4 (inter-IoT data flows: privacy, timeliness, availability)",
+        "governance policies at components eliminate privacy violations at bounded timeliness/availability cost",
+    );
+
+    let postures: Vec<(&str, MaturityLevel, Option<bool>)> = vec![
+        ("ML3 (ungoverned)", MaturityLevel::Ml3, None),
+        ("ML3 + governance", MaturityLevel::Ml3, Some(true)),
+        ("ML4 (governed)", MaturityLevel::Ml4, None),
+        ("ML4 - governance", MaturityLevel::Ml4, Some(false)),
+    ];
+
+    let mut table = Table::new(&[
+        "posture",
+        "privacy R",
+        "freshness R",
+        "avail R",
+        "ingest denied",
+        "msgs",
+    ]);
+    let mut rows = Vec::new();
+    for (name, level, governance_override) in postures {
+        let mut spec = ScenarioSpec::new(name, level, 77);
+        spec.edges = 4;
+        spec.devices_per_edge = 8;
+        spec.personal_every = 2; // half the city wears sensors
+        spec.vendor_edge = true;
+        // Mid-run domain transfer: an edge changes hands (§II).
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(60),
+            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+        );
+        if let Some(governed) = governance_override {
+            let mut arch = ArchitectureConfig::for_level(level);
+            arch.governed_data = governed;
+            spec.arch = Some(arch);
+        }
+        let r = Scenario::build(spec).run();
+        let row = Row {
+            posture: name.to_owned(),
+            privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
+            freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
+            ingest_denied: r.ingest_denied,
+            availability_resilience: r.requirement_resilience("availability").unwrap_or(0.0),
+            messages_sent: r.messages_sent,
+        };
+        table.row(vec![
+            row.posture.clone(),
+            f3(row.privacy_resilience),
+            f3(row.freshness_resilience),
+            f3(row.availability_resilience),
+            row.ingest_denied.to_string(),
+            row.messages_sent.to_string(),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    // Anti-entropy cost/benefit: staleness vs sync period at ML4.
+    println!("Timeliness vs sync period (ML4, governed):\n");
+    let mut table =
+        Table::new(&["sync period", "mean staleness", "freshness R", "msgs", "privacy R"]);
+    #[derive(Serialize)]
+    struct SyncRow {
+        sync_period_ms: u64,
+        staleness_mean_s: f64,
+        freshness_resilience: f64,
+        messages_sent: u64,
+        privacy_resilience: f64,
+    }
+    let mut sync_rows = Vec::new();
+    for period_ms in [500u64, 1_000, 2_000, 5_000, 10_000] {
+        let mut spec = ScenarioSpec::new(format!("sync-{period_ms}"), MaturityLevel::Ml4, 78);
+        spec.edges = 4;
+        spec.devices_per_edge = 8;
+        let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+        arch.sync_period = SimDuration::from_millis(period_ms);
+        spec.arch = Some(arch);
+        let r = Scenario::build(spec).run();
+        let row = SyncRow {
+            sync_period_ms: period_ms,
+            staleness_mean_s: r.telemetry_means.get("freshness_s").copied().unwrap_or(f64::NAN),
+            freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
+            messages_sent: r.messages_sent,
+            privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
+        };
+        table.row(vec![
+            format!("{period_ms}ms"),
+            format!("{:.2}s", row.staleness_mean_s),
+            f3(row.freshness_resilience),
+            row.messages_sent.to_string(),
+            f3(row.privacy_resilience),
+        ]);
+        sync_rows.push(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: ungoverned postures leak personal data into the vendor scope (privacy R\n\
+         near 0 — violations persist at rest); governed postures keep privacy R at 1.0 with\n\
+         freshness unaffected (the denied records were never the shared operational ones).\n\
+         The sync-period sweep shows the timeliness/traffic trade-off of anti-entropy."
+    );
+
+    #[derive(Serialize)]
+    struct Output {
+        postures: Vec<Row>,
+        sync_sweep: Vec<SyncRow>,
+    }
+    write_json("e5_dataflows", &Output { postures: rows, sync_sweep: sync_rows });
+}

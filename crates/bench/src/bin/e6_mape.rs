@@ -1,0 +1,161 @@
+//! E6 — Figure 5: MAPE placement — none vs cloud vs edge.
+//!
+//! Figure 5 places monitoring/execution at the devices and argues analysis
+//! and planning belong "on edge components — close to end-devices". This
+//! experiment isolates the placement variable: the same edge-served control
+//! workload runs with (a) no self-adaptation, (b) a cloud-hosted MAPE loop
+//! and (c) edge-hosted MAPE loops, under a component-fault storm, first
+//! with a healthy cloud link and then with recurring cloud outages that
+//! overlap the faults.
+
+use riot_bench::{banner, f3, write_json};
+use riot_core::{ArchitectureConfig, MapePlacement, Scenario, ScenarioSpec, Table};
+use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    placement: String,
+    cloud_outages: bool,
+    coverage_resilience: f64,
+    mean_coverage: f64,
+    coverage_mttr_s: Option<f64>,
+    max_outage_s: f64,
+    restarts: u64,
+    restart_commands: u64,
+}
+
+/// Component-fault storm: three devices per edge fail within a 12-second
+/// burst starting at t=62 s — 37% of the fleet, dropping coverage well
+/// below the 80% threshold until repaired. The burst deliberately sits
+/// inside the second cloud outage of the flapping condition, so a
+/// cloud-placed MAPE loop is blind exactly when it is needed.
+fn faults(spec: &ScenarioSpec) -> DisruptionSchedule {
+    let mut s = DisruptionSchedule::new();
+    let mut t = 62u64;
+    for e in 0..spec.edges {
+        for d in [1usize, 3, 5] {
+            let node = spec.device_id(e, d);
+            s.push(
+                SimTime::from_secs(t),
+                Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+            );
+            t += 1;
+        }
+    }
+    s
+}
+
+/// Recurring cloud outages overlapping the fault window.
+fn outages(schedule: &mut DisruptionSchedule) {
+    for t in [30u64, 60, 90] {
+        schedule.push(
+            SimTime::from_secs(t),
+            Disruption::CloudOutage {
+                cloud: riot_sim::ProcessId(0),
+                heal_after: Some(SimDuration::from_secs(20)),
+            },
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "E6",
+        "Figure 5 (MAPE loop placement)",
+        "edge-placed analysis+planning recovers faster than cloud-placed, and keeps recovering when the cloud link is down",
+    );
+
+    let placements: Vec<(&str, MapePlacement)> = vec![
+        ("none", MapePlacement::None),
+        ("cloud", MapePlacement::Cloud),
+        ("edge", MapePlacement::Edge),
+    ];
+
+    // The static answer the pattern catalogue gives before any run.
+    println!("Static prediction from the control-pattern catalogue (§V):
+");
+    for (name, placement) in &placements {
+        let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+        arch.mape = *placement;
+        match arch.control_pattern() {
+            Some(p) => println!(
+                "  {name:<5} → pattern '{p}': tolerates coordinator loss = {}",
+                p.tolerates_coordinator_loss()
+            ),
+            None => println!("  {name:<5} → no self-adaptation at all"),
+        }
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for with_outages in [false, true] {
+        println!(
+            "--- component-fault storm, cloud link {}:\n",
+            if with_outages { "flapping (3×20s outages)" } else { "healthy" }
+        );
+        let mut table = Table::new(&[
+            "MAPE placement",
+            "coverage R",
+            "mean coverage",
+            "MTTR(coverage)",
+            "max outage",
+            "restarts",
+            "commands",
+        ]);
+        for (name, placement) in &placements {
+            // Same connectivity/control substrate for all three: the ML4
+            // architecture with only the MAPE placement varied, so the
+            // comparison isolates where analysis and planning run.
+            let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+            arch.mape = *placement;
+            let mut spec = ScenarioSpec::new(
+                format!("mape-{name}{}", if with_outages { "-outage" } else { "" }),
+                MaturityLevel::Ml4,
+                55,
+            );
+            spec.edges = 4;
+            spec.devices_per_edge = 8;
+            spec.vendor_edge = false;
+            spec.personal_every = 0;
+            spec.arch = Some(arch);
+            let mut schedule = faults(&spec);
+            if with_outages {
+                outages(&mut schedule);
+            }
+            spec.disruptions = schedule;
+            let r = Scenario::build(spec).run();
+            let cov = &r.report.requirements["coverage"];
+            let row = Row {
+                placement: name.to_string(),
+                cloud_outages: with_outages,
+                coverage_resilience: cov.resilience,
+                mean_coverage: r.telemetry_means.get("coverage").copied().unwrap_or(f64::NAN),
+                coverage_mttr_s: cov.mttr_s,
+                max_outage_s: cov.max_outage_s,
+                restarts: r.restarts,
+                restart_commands: r.restart_commands,
+            };
+            table.row(vec![
+                row.placement.clone(),
+                f3(row.coverage_resilience),
+                f3(row.mean_coverage),
+                row.coverage_mttr_s.map(|m| format!("{m:.1}s")).unwrap_or_else(|| "∞ (never)".into()),
+                format!("{:.1}s", row.max_outage_s),
+                row.restarts.to_string(),
+                row.restart_commands.to_string(),
+            ]);
+            rows.push(row);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Reading: without adaptation, coverage never recovers (censored MTTR = rest of run).\n\
+         Cloud MAPE repairs quickly while its link is up, but during outages its knowledge\n\
+         goes stale and repairs stall — faults wait for the link to return. Edge MAPE\n\
+         recovers at the same speed in both conditions: analysis and planning sit next to\n\
+         the devices, exactly Figure 5's argument."
+    );
+    write_json("e6_mape", &rows);
+}

@@ -1,0 +1,234 @@
+//! `riot` — scenario runner CLI.
+//!
+//! Runs a configurable scenario (or all four maturity levels of it) and
+//! prints the resilience report. Argument parsing is hand-rolled to keep
+//! the dependency set to the offline allowlist.
+//!
+//! ```text
+//! USAGE:
+//!   riot [--level ml1|ml2|ml3|ml4 | --all-levels]
+//!        [--edges N] [--devices N]            # devices = per edge
+//!        [--duration SECS] [--warmup SECS] [--seed N]
+//!        [--suite infrastructure|service|connectivity|governance|mobility|none]
+//!        [--roaming N]                        # N roaming devices (geometry walks)
+//!        [--json FILE]                        # write results as JSON
+//! EXAMPLE:
+//!   cargo run -p riot-bench --bin riot -- --all-levels --suite connectivity
+//! ```
+
+use riot_bench::suites;
+use riot_core::{
+    resilience_table, roaming_schedule, MobilitySpec, Scenario, ScenarioResult, ScenarioSpec,
+};
+use riot_model::MaturityLevel;
+use riot_sim::{SimDuration, SimRng};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    levels: Vec<MaturityLevel>,
+    edges: usize,
+    devices_per_edge: usize,
+    duration_s: u64,
+    warmup_s: u64,
+    seed: u64,
+    suite: Option<String>,
+    roaming: usize,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            levels: vec![MaturityLevel::Ml4],
+            edges: 4,
+            devices_per_edge: 8,
+            duration_s: 120,
+            warmup_s: 30,
+            seed: 1,
+            suite: None,
+            roaming: 0,
+            json: None,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: riot [--level ml1|ml2|ml3|ml4 | --all-levels] [--edges N] [--devices N]\n\
+     \x20           [--duration SECS] [--warmup SECS] [--seed N]\n\
+     \x20           [--suite infrastructure|service|connectivity|governance|mobility|none]\n\
+     \x20           [--roaming N] [--json FILE]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--level" => {
+                let v = value(&mut i, "--level")?;
+                args.levels = vec![match v.to_ascii_lowercase().as_str() {
+                    "ml1" => MaturityLevel::Ml1,
+                    "ml2" => MaturityLevel::Ml2,
+                    "ml3" => MaturityLevel::Ml3,
+                    "ml4" => MaturityLevel::Ml4,
+                    other => return Err(format!("unknown level '{other}'")),
+                }];
+            }
+            "--all-levels" => args.levels = MaturityLevel::ALL.to_vec(),
+            "--edges" => args.edges = num(&value(&mut i, "--edges")?)?,
+            "--devices" => args.devices_per_edge = num(&value(&mut i, "--devices")?)?,
+            "--duration" => args.duration_s = num(&value(&mut i, "--duration")?)? as u64,
+            "--warmup" => args.warmup_s = num(&value(&mut i, "--warmup")?)? as u64,
+            "--seed" => args.seed = num(&value(&mut i, "--seed")?)? as u64,
+            "--roaming" => args.roaming = num(&value(&mut i, "--roaming")?)?,
+            "--suite" => {
+                let v = value(&mut i, "--suite")?;
+                args.suite = if v == "none" { None } else { Some(v) };
+            }
+            "--json" => args.json = Some(value(&mut i, "--json")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.edges == 0 || args.devices_per_edge == 0 {
+        return Err("need at least one edge and one device".into());
+    }
+    if args.warmup_s >= args.duration_s {
+        return Err("--warmup must be shorter than --duration".into());
+    }
+    Ok(args)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|_| format!("'{s}' is not a number"))
+}
+
+fn build_spec(args: &Args, level: MaturityLevel) -> Result<ScenarioSpec, String> {
+    let mut spec = ScenarioSpec::new(format!("cli/{level}"), level, args.seed);
+    spec.edges = args.edges;
+    spec.devices_per_edge = args.devices_per_edge;
+    spec.duration = SimDuration::from_secs(args.duration_s);
+    spec.warmup = SimDuration::from_secs(args.warmup_s);
+    if let Some(name) = &args.suite {
+        spec.disruptions = suites::all(&spec)
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("unknown suite '{name}'"))?;
+    }
+    if args.roaming > 0 {
+        let mobility = MobilitySpec { roamers: args.roaming, ..MobilitySpec::default() };
+        let mut rng = SimRng::seed_from(args.seed);
+        let (roam, _) = roaming_schedule(&spec, &mobility, &mut rng);
+        spec.disruptions.merge(roam);
+    }
+    Ok(spec)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    for level in &args.levels {
+        let spec = match build_spec(&args, *level) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "running {level}: {} edges x {} devices, {}s ({}s warmup), seed {}{}",
+            args.edges,
+            args.devices_per_edge,
+            args.duration_s,
+            args.warmup_s,
+            args.seed,
+            args.suite
+                .as_deref()
+                .map(|s| format!(", suite '{s}'"))
+                .unwrap_or_default(),
+        );
+        results.push(Scenario::build(spec).run());
+    }
+    println!();
+    println!("{}", resilience_table(&results).render());
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(&results) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                println!("[wrote {path}]");
+            }
+            Err(e) => {
+                eprintln!("error: serialization failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse_args(&argv("")).unwrap();
+        assert_eq!(a.levels, vec![MaturityLevel::Ml4]);
+        assert_eq!(a.edges, 4);
+        let a = parse_args(&argv("--level ml2 --edges 3 --devices 5 --seed 9")).unwrap();
+        assert_eq!(a.levels, vec![MaturityLevel::Ml2]);
+        assert_eq!(a.edges, 3);
+        assert_eq!(a.devices_per_edge, 5);
+        assert_eq!(a.seed, 9);
+        let a = parse_args(&argv("--all-levels --suite service")).unwrap();
+        assert_eq!(a.levels.len(), 4);
+        assert_eq!(a.suite.as_deref(), Some("service"));
+        let a = parse_args(&argv("--suite none")).unwrap();
+        assert!(a.suite.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("--level ml9")).is_err());
+        assert!(parse_args(&argv("--edges zero")).is_err());
+        assert!(parse_args(&argv("--edges")).is_err());
+        assert!(parse_args(&argv("--bogus")).is_err());
+        assert!(parse_args(&argv("--warmup 200 --duration 100")).is_err());
+        assert!(parse_args(&argv("--edges 0")).is_err());
+    }
+
+    #[test]
+    fn spec_builds_with_suite_and_roaming() {
+        let a = parse_args(&argv("--suite connectivity --roaming 3 --edges 4 --devices 4")).unwrap();
+        let spec = build_spec(&a, MaturityLevel::Ml4).unwrap();
+        assert!(!spec.disruptions.is_empty());
+        let a = parse_args(&argv("--suite nosuch")).unwrap();
+        assert!(build_spec(&a, MaturityLevel::Ml4).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! # riot-bench — the experiment harness
+//!
+//! One binary per table/figure of the reproduction (see `DESIGN.md` §3):
+//!
+//! | binary | artifact | claim under test |
+//! |---|---|---|
+//! | `e1_maturity` | Tables 1 & 2 | the maturity ladder is ordered w.r.t. measured resilience |
+//! | `e2_landscape` | Figure 1 | the composed landscape model is expressible and operable |
+//! | `e3_verification` | Figure 2 | design-time checking + runtime monitoring at IoT scale |
+//! | `e4_control` | Figure 3 | decentralized edge control beats centralized cloud control under stress |
+//! | `e5_dataflows` | Figure 4 | governance eliminates privacy violations at bounded freshness cost |
+//! | `e6_mape` | Figure 5 | edge-placed MAPE recovers faster than cloud-placed under cloud disruption |
+//! | `a1_coord_ablation` | design choice | gossip/SWIM parameter sensitivity |
+//! | `a2_data_ablation` | design choice | sync-period vs staleness trade-off |
+//!
+//! Criterion micro-benchmarks live in `benches/`. Every binary prints
+//! plain-text tables and writes machine-readable JSON under `results/`.
+//! The `riot` binary is a general-purpose scenario CLI (`--help` for
+//! usage): pick a maturity level (or all), a disruption suite, sizes,
+//! roaming, and get the resilience table plus optional JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, artifact: &str, claim: &str) {
+    println!("=== {id} — reproducing {artifact}");
+    println!("    claim: {claim}");
+    println!();
+}
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
+/// workspace root when run via `cargo run`), creating the directory as
+/// needed. Failures are reported but non-fatal: the printed tables are the
+/// primary artifact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Disruption suites shared by the experiment binaries: one per disruption
+/// vector of Tables 1 & 2, each expressed against the deterministic node-id
+/// layout of a [`riot_core::ScenarioSpec`].
+pub mod suites {
+    use riot_core::ScenarioSpec;
+    use riot_model::{ComponentId, Disruption, DisruptionSchedule, DomainId};
+    use riot_sim::{SimDuration, SimTime};
+
+    /// Infrastructure loss: edge crashes with staggered recovery.
+    pub fn infrastructure(spec: &ScenarioSpec) -> DisruptionSchedule {
+        let mut s = DisruptionSchedule::new();
+        s.push(
+            SimTime::from_secs(40),
+            Disruption::NodeCrash {
+                node: spec.edge_id(0),
+                recover_after: Some(SimDuration::from_secs(25)),
+            },
+        );
+        if spec.edges > 2 {
+            s.push(
+                SimTime::from_secs(70),
+                Disruption::NodeCrash {
+                    node: spec.edge_id(1),
+                    recover_after: Some(SimDuration::from_secs(15)),
+                },
+            );
+        }
+        s
+    }
+
+    /// Service failure: a quarter of the devices lose their component.
+    pub fn service(spec: &ScenarioSpec) -> DisruptionSchedule {
+        let mut s = DisruptionSchedule::new();
+        let mut t = 35u64;
+        for e in 0..spec.edges {
+            for d in 0..spec.devices_per_edge {
+                if (e * spec.devices_per_edge + d) % 4 == 1 {
+                    let node = spec.device_id(e, d);
+                    s.push(
+                        SimTime::from_secs(t),
+                        Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+                    );
+                    t += 7;
+                }
+            }
+        }
+        s
+    }
+
+    /// Connectivity loss: a cloud outage, then an edge partition.
+    pub fn connectivity(spec: &ScenarioSpec) -> DisruptionSchedule {
+        let mut s = DisruptionSchedule::new();
+        s.push(
+            SimTime::from_secs(40),
+            Disruption::CloudOutage {
+                cloud: spec.cloud_id(),
+                heal_after: Some(SimDuration::from_secs(25)),
+            },
+        );
+        if spec.edges >= 4 {
+            let left: Vec<_> = (0..spec.edges / 2).map(|i| spec.edge_id(i)).collect();
+            let right: Vec<_> = (spec.edges / 2..spec.edges).map(|i| spec.edge_id(i)).collect();
+            s.push(
+                SimTime::from_secs(80),
+                Disruption::Partition {
+                    groups: vec![left, right],
+                    heal_after: Some(SimDuration::from_secs(15)),
+                },
+            );
+        }
+        s
+    }
+
+    /// Governance change: an edge transfers to the vendor domain mid-run.
+    pub fn governance(spec: &ScenarioSpec) -> DisruptionSchedule {
+        DisruptionSchedule::new().at(
+            SimTime::from_secs(45),
+            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+        )
+    }
+
+    /// Mobility: devices roam to neighbouring edges.
+    pub fn mobility(spec: &ScenarioSpec) -> DisruptionSchedule {
+        let mut s = DisruptionSchedule::new();
+        let mut t = 40u64;
+        for e in 0..spec.edges {
+            let device = spec.device_id(e, 0);
+            let new_parent = spec.edge_id((e + 1) % spec.edges);
+            if spec.edges > 1 {
+                s.push(SimTime::from_secs(t), Disruption::Mobility { device, new_parent });
+                t += 10;
+            }
+        }
+        s
+    }
+
+    /// All suites with their display names, in table order.
+    pub fn all(spec: &ScenarioSpec) -> Vec<(&'static str, DisruptionSchedule)> {
+        vec![
+            ("infrastructure", infrastructure(spec)),
+            ("service", service(spec)),
+            ("connectivity", connectivity(spec)),
+            ("governance", governance(spec)),
+            ("mobility", mobility(spec)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f3_formats() {
+        assert_eq!(super::f3(1.23456), "1.235");
+    }
+}

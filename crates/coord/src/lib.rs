@@ -1,0 +1,45 @@
+//! # riot-coord — decentralized coordination for resilient IoT
+//!
+//! §V of the paper argues that "for resilient IoT, coordination presupposes
+//! a general absence of centralized control, instead leveraging cooperation
+//! between software components, in a peer-to-peer fashion". This crate
+//! provides both sides of that comparison as **sans-I/O state machines** —
+//! pure `(now, event) → actions` cores that the simulator glue (or any
+//! transport) drives:
+//!
+//! * [`Swim`] — SWIM-style failure detection and membership: round-robin
+//!   probing, indirect probes through intermediaries, suspicion with
+//!   incarnation-numbered refutation, piggybacked dissemination.
+//! * [`Gossip`] — epidemic dissemination of versioned entries with
+//!   configurable fanout (the `O(log n)` spread measured by ablation A1).
+//! * [`Election`] — term-based bully-flavored leader election for an edge
+//!   scope, with heartbeats, vetoes and stale-term immunity.
+//! * [`ControlPattern`] — the catalogue of decentralized MAPE-control
+//!   patterns (centralized, master/slave, regional planning, information
+//!   sharing, hierarchical) with placement profiles and the static
+//!   "survives coordinator loss?" query.
+//! * [`CloudRegistry`] — the centralized device-cloud baseline the paper
+//!   says today's systems use: heartbeats to the cloud, coordinator
+//!   appointment by the registry. Experiment E4 runs this against the
+//!   decentralized stack under partitions.
+//!
+//! Because the machines are sans-I/O, their unit tests drive whole clusters
+//! synchronously with zero-latency harnesses — see the module tests — while
+//! `riot-core` wires the same machines into the simulated network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod election;
+mod gossip;
+mod member;
+mod pattern;
+mod registry;
+mod swim;
+
+pub use election::{Election, ElectionConfig, ElectionMsg, ElectionOutput};
+pub use gossip::{Entry, Gossip, GossipConfig, GossipMsg};
+pub use member::{MemberInfo, MemberState, MembershipView, Update};
+pub use pattern::{ActivityPlacement, ControlPattern, PatternProfile};
+pub use registry::{CloudRegistry, RegistryConfig, RegistryMsg};
+pub use swim::{Swim, SwimConfig, SwimMsg, SwimOutput};

@@ -1,0 +1,182 @@
+//! The centralized coordination baseline: a cloud registry.
+//!
+//! The paper observes that "the state of the art in IoT systems usually
+//! adopts centralized coordination techniques, adhering to the device-cloud
+//! archetype" (§V-A) — and that this makes the cloud a single point of
+//! failure. To *measure* that claim (experiment E4), this module implements
+//! the archetype faithfully: nodes heartbeat a [`CloudRegistry`]; the
+//! registry tracks liveness by timeout and answers "who coordinates scope
+//! S?" queries. When the cloud is partitioned away, the answer simply stops
+//! coming — which is exactly the failure mode the decentralized stack
+//! (SWIM + election) avoids.
+
+use riot_sim::{ProcessId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Messages between registry clients and the cloud registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegistryMsg {
+    /// Client liveness report (also serves as registration).
+    Heartbeat {
+        /// The scope the client belongs to (e.g. an edge neighbourhood).
+        scope: u32,
+    },
+    /// "Who coordinates my scope?"
+    WhoCoordinates {
+        /// The scope queried.
+        scope: u32,
+    },
+    /// Registry's answer.
+    Coordinator {
+        /// The scope.
+        scope: u32,
+        /// The appointed coordinator, or `None` when the scope has no live
+        /// member.
+        node: Option<ProcessId>,
+    },
+}
+
+/// Registry tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryConfig {
+    /// A client silent for this long is deregistered.
+    pub client_timeout: SimDuration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig { client_timeout: SimDuration::from_millis(3_000) }
+    }
+}
+
+/// The cloud-side registry state machine.
+///
+/// # Examples
+///
+/// ```
+/// use riot_coord::{CloudRegistry, RegistryConfig, RegistryMsg};
+/// use riot_sim::{ProcessId, SimTime};
+///
+/// let mut reg = CloudRegistry::new(RegistryConfig::default());
+/// reg.on_message(SimTime::ZERO, ProcessId(4), RegistryMsg::Heartbeat { scope: 1 });
+/// let reply = reg.on_message(
+///     SimTime::from_millis(10),
+///     ProcessId(5),
+///     RegistryMsg::WhoCoordinates { scope: 1 },
+/// );
+/// assert_eq!(
+///     reply,
+///     Some(RegistryMsg::Coordinator { scope: 1, node: Some(ProcessId(4)) })
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CloudRegistry {
+    cfg: RegistryConfig,
+    /// client → (scope, last heartbeat).
+    clients: BTreeMap<ProcessId, (u32, SimTime)>,
+}
+
+impl CloudRegistry {
+    /// Creates an empty registry.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        CloudRegistry { cfg, clients: BTreeMap::new() }
+    }
+
+    /// Handles one message; returns the reply to send back to `from`, if
+    /// any.
+    pub fn on_message(&mut self, now: SimTime, from: ProcessId, msg: RegistryMsg) -> Option<RegistryMsg> {
+        match msg {
+            RegistryMsg::Heartbeat { scope } => {
+                self.clients.insert(from, (scope, now));
+                None
+            }
+            RegistryMsg::WhoCoordinates { scope } => {
+                self.expire(now);
+                // Deterministic appointment: lowest-id live client of the scope.
+                let node = self
+                    .clients
+                    .iter()
+                    .find(|(_, (s, _))| *s == scope)
+                    .map(|(p, _)| *p);
+                Some(RegistryMsg::Coordinator { scope, node })
+            }
+            RegistryMsg::Coordinator { .. } => None, // registry never receives answers
+        }
+    }
+
+    /// Drops clients whose heartbeats timed out.
+    pub fn expire(&mut self, now: SimTime) {
+        let timeout = self.cfg.client_timeout;
+        self.clients.retain(|_, (_, last)| now.saturating_since(*last) < timeout);
+    }
+
+    /// Live clients of a scope, in id order.
+    pub fn members_of(&self, scope: u32) -> Vec<ProcessId> {
+        self.clients
+            .iter()
+            .filter(|(_, (s, _))| *s == scope)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Number of live clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_registers_and_query_answers() {
+        let mut reg = CloudRegistry::new(RegistryConfig::default());
+        assert_eq!(reg.client_count(), 0);
+        reg.on_message(SimTime::ZERO, ProcessId(2), RegistryMsg::Heartbeat { scope: 7 });
+        reg.on_message(SimTime::ZERO, ProcessId(9), RegistryMsg::Heartbeat { scope: 7 });
+        let r = reg.on_message(SimTime::from_millis(1), ProcessId(9), RegistryMsg::WhoCoordinates { scope: 7 });
+        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 7, node: Some(ProcessId(2)) }));
+        assert_eq!(reg.members_of(7), vec![ProcessId(2), ProcessId(9)]);
+    }
+
+    #[test]
+    fn silent_clients_expire() {
+        let mut reg = CloudRegistry::new(RegistryConfig { client_timeout: SimDuration::from_secs(3) });
+        reg.on_message(SimTime::ZERO, ProcessId(2), RegistryMsg::Heartbeat { scope: 1 });
+        reg.on_message(SimTime::from_secs(2), ProcessId(5), RegistryMsg::Heartbeat { scope: 1 });
+        // At t=4s node 2 is stale (4s > 3s), node 5 is fresh (2s ago).
+        let r = reg.on_message(SimTime::from_secs(4), ProcessId(5), RegistryMsg::WhoCoordinates { scope: 1 });
+        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 1, node: Some(ProcessId(5)) }));
+        assert_eq!(reg.client_count(), 1);
+    }
+
+    #[test]
+    fn empty_scope_has_no_coordinator() {
+        let mut reg = CloudRegistry::new(RegistryConfig::default());
+        let r = reg.on_message(SimTime::ZERO, ProcessId(1), RegistryMsg::WhoCoordinates { scope: 3 });
+        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 3, node: None }));
+    }
+
+    #[test]
+    fn heartbeat_refresh_prevents_expiry() {
+        let mut reg = CloudRegistry::new(RegistryConfig { client_timeout: SimDuration::from_secs(3) });
+        for s in 0..10u64 {
+            reg.on_message(SimTime::from_secs(s), ProcessId(2), RegistryMsg::Heartbeat { scope: 1 });
+        }
+        reg.expire(SimTime::from_secs(10));
+        assert_eq!(reg.client_count(), 1);
+    }
+
+    #[test]
+    fn scopes_are_independent() {
+        let mut reg = CloudRegistry::new(RegistryConfig::default());
+        reg.on_message(SimTime::ZERO, ProcessId(3), RegistryMsg::Heartbeat { scope: 1 });
+        reg.on_message(SimTime::ZERO, ProcessId(4), RegistryMsg::Heartbeat { scope: 2 });
+        let r1 = reg.on_message(SimTime::ZERO, ProcessId(0), RegistryMsg::WhoCoordinates { scope: 1 });
+        let r2 = reg.on_message(SimTime::ZERO, ProcessId(0), RegistryMsg::WhoCoordinates { scope: 2 });
+        assert_eq!(r1, Some(RegistryMsg::Coordinator { scope: 1, node: Some(ProcessId(3)) }));
+        assert_eq!(r2, Some(RegistryMsg::Coordinator { scope: 2, node: Some(ProcessId(4)) }));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the SWIM membership update rules: the invariants the
+//! failure detector's safety rests on.
+
+use proptest::prelude::*;
+use riot_coord::{MemberInfo, MemberState, Update};
+use riot_sim::{ProcessId, SimTime};
+
+fn states() -> impl Strategy<Value = MemberState> {
+    prop_oneof![
+        Just(MemberState::Alive),
+        Just(MemberState::Suspect),
+        Just(MemberState::Dead),
+    ]
+}
+
+fn updates(max: usize) -> impl Strategy<Value = Vec<Update>> {
+    prop::collection::vec(
+        (states(), 0u64..8).prop_map(|(state, incarnation)| Update {
+            node: ProcessId(1),
+            state,
+            incarnation,
+        }),
+        0..max,
+    )
+}
+
+fn apply_all(init: MemberInfo, ups: &[Update]) -> MemberInfo {
+    let mut info = init;
+    for (i, u) in ups.iter().enumerate() {
+        info.apply(*u, SimTime::from_secs(i as u64));
+    }
+    info
+}
+
+proptest! {
+    /// Applying the same update twice is the same as applying it once.
+    #[test]
+    fn apply_is_idempotent(ups in updates(10), extra in (states(), 0u64..8)) {
+        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+        let u = Update { node: ProcessId(1), state: extra.0, incarnation: extra.1 };
+        let mut once = apply_all(init, &ups);
+        once.apply(u, SimTime::from_secs(100));
+        let mut twice = once;
+        let changed = twice.apply(u, SimTime::from_secs(101));
+        prop_assert!(!changed, "second identical update must be absorbed");
+        prop_assert_eq!(twice.state, once.state);
+        prop_assert_eq!(twice.incarnation, once.incarnation);
+    }
+
+    /// Incarnation numbers never decrease.
+    #[test]
+    fn incarnation_is_monotone(ups in updates(20)) {
+        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+        let mut info = init;
+        let mut last = info.incarnation;
+        for (i, u) in ups.iter().enumerate() {
+            info.apply(*u, SimTime::from_secs(i as u64));
+            prop_assert!(info.incarnation >= last, "incarnation regressed");
+            last = info.incarnation;
+        }
+    }
+
+    /// Once dead, only a strictly-higher-incarnation Alive resurrects.
+    #[test]
+    fn death_is_sticky_below_fresh_incarnations(ups in updates(20)) {
+        let mut info = MemberInfo { state: MemberState::Dead, incarnation: 5, since: SimTime::ZERO };
+        for (i, u) in ups.iter().enumerate() {
+            let before_inc = info.incarnation;
+            info.apply(*u, SimTime::from_secs(i as u64));
+            if info.state != MemberState::Dead {
+                prop_assert_eq!(info.state, MemberState::Alive, "only Alive resurrects");
+                prop_assert!(
+                    info.incarnation > before_inc || u.incarnation > 5,
+                    "resurrection requires a fresh incarnation"
+                );
+                break;
+            }
+        }
+    }
+
+    /// A refutation (Alive with incarnation strictly above a suspicion)
+    /// always clears the suspicion, regardless of history order.
+    #[test]
+    fn refutation_always_wins(ups in updates(15)) {
+        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+        let mut info = apply_all(init, &ups);
+        if info.state == MemberState::Suspect {
+            let refute = Update {
+                node: ProcessId(1),
+                state: MemberState::Alive,
+                incarnation: info.incarnation + 1,
+            };
+            info.apply(refute, SimTime::from_secs(999));
+            prop_assert_eq!(info.state, MemberState::Alive);
+        }
+    }
+
+    /// Two views that receive the same updates in the same order agree —
+    /// determinism of the merge function (full commutativity does not hold
+    /// for SWIM by design: Dead dominates same-incarnation Alive).
+    #[test]
+    fn same_history_same_state(ups in updates(20)) {
+        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+        let a = apply_all(init, &ups);
+        let b = apply_all(init, &ups);
+        prop_assert_eq!(a.state, b.state);
+        prop_assert_eq!(a.incarnation, b.incarnation);
+    }
+}

@@ -1,0 +1,349 @@
+//! The cloud node process: the centralized side of every archetype.
+//!
+//! The cloud hosts the global replicated store, serves control requests
+//! (ML2, where "centralizing control … requires cloud control structures to
+//! be always available", §V-A), and — at ML2/ML3 — hosts the MAPE loop.
+//! Its knowledge is only as fresh as the cloud link: when a partition or
+//! outage cuts it off, telemetry stops arriving, its knowledge base goes
+//! stale, and recovery stalls — the failure mode experiments E4 and E6
+//! quantify.
+
+use crate::config::{ArchitectureConfig, MapePlacement};
+use crate::msg::{AppMsg, Msg};
+use crate::recovery::{scope_requirements, RecoveryPlanner};
+use riot_adapt::{AdaptationAction, MapeLoop, Placement};
+use riot_coord::{CloudRegistry, RegistryConfig};
+use riot_data::{PolicyEngine, ReplicatedStore};
+use riot_model::{ComponentId, ComponentState, DomainId, DomainRegistry};
+use riot_sim::{Ctx, Process, ProcessId, SimTime};
+use std::collections::BTreeMap;
+
+const TAG_MAPE: u64 = 1;
+const TAG_SYNC: u64 = 2;
+
+/// Static configuration of the cloud node.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// The architecture being realized.
+    pub arch: ArchitectureConfig,
+    /// The cloud's own process id.
+    pub me: ProcessId,
+    /// The cloud's administrative domain.
+    pub domain: DomainId,
+    /// The shared domain registry.
+    pub registry: DomainRegistry,
+    /// Third-party analytics subscribers the cloud brokers data to (the
+    /// ML2 "cloud-based platforms for brokering IoT data" of Table 1).
+    pub subscribers: Vec<ProcessId>,
+    /// Domains of every node, for policy decisions at sync time.
+    pub domain_of: BTreeMap<ProcessId, DomainId>,
+}
+
+/// The cloud process.
+pub struct CloudProcess {
+    cfg: CloudConfig,
+    store: ReplicatedStore,
+    registry_service: CloudRegistry,
+    mape: Option<MapeLoop<RecoveryPlanner>>,
+    /// Component telemetry: component → (hosting device, last heard).
+    last_seen: BTreeMap<ComponentId, (ProcessId, SimTime)>,
+    /// Execute-stage dedup: component → when we last commanded a restart.
+    restart_sent_at: BTreeMap<ComponentId, SimTime>,
+    control_served: u64,
+}
+
+impl std::fmt::Debug for CloudProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudProcess")
+            .field("me", &self.cfg.me)
+            .field("control_served", &self.control_served)
+            .finish()
+    }
+}
+
+impl CloudProcess {
+    /// Creates the cloud node.
+    pub fn new(cfg: CloudConfig) -> Self {
+        let policy = if cfg.arch.governed_data {
+            PolicyEngine::governed()
+        } else {
+            PolicyEngine::permissive()
+        };
+        let store = ReplicatedStore::new(cfg.me.0 as u32, cfg.domain, policy);
+        let mape = if cfg.arch.mape == MapePlacement::Cloud {
+            Some(MapeLoop::new(
+                scope_requirements(),
+                RecoveryPlanner,
+                Placement::Cloud,
+                cfg.arch.mape_period,
+                cfg.arch.knowledge_freshness,
+            ))
+        } else {
+            None
+        };
+        CloudProcess {
+            cfg,
+            store,
+            registry_service: CloudRegistry::new(RegistryConfig::default()),
+            mape,
+            last_seen: BTreeMap::new(),
+            restart_sent_at: BTreeMap::new(),
+            control_served: 0,
+        }
+    }
+
+    /// The cloud's replicated store.
+    pub fn store(&self) -> &ReplicatedStore {
+        &self.store
+    }
+
+    /// Control requests served so far.
+    pub fn control_served(&self) -> u64 {
+        self.control_served
+    }
+
+    /// MAPE statistics, when the cloud hosts the loop.
+    pub fn mape_stats(&self) -> Option<riot_adapt::MapeStats> {
+        self.mape.as_ref().map(|m| m.stats())
+    }
+
+    fn ingest_telemetry(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        key: String,
+        value: f64,
+        meta: riot_data::DataMeta,
+        component: ComponentId,
+        state: ComponentState,
+        device: ProcessId,
+    ) {
+        let now = ctx.now();
+        self.last_seen.insert(component, (device, now));
+        let action = self.store.ingest(key, value, meta, &self.cfg.registry, now);
+        if action == riot_data::PolicyAction::Deny {
+            ctx.metrics().incr("cloud.ingest.denied");
+        }
+        if let Some(mape) = self.mape.as_mut() {
+            mape.observe_component(component, state, device, now);
+        }
+    }
+
+    fn run_mape(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let silence = self.cfg.arch.silence_threshold;
+        let observations: Vec<(ComponentId, ProcessId, bool)> = self
+            .last_seen
+            .iter()
+            .map(|(c, (dev, seen))| (*c, *dev, now.saturating_since(*seen) < silence))
+            .collect();
+        let Some(mape) = self.mape.as_mut() else {
+            return;
+        };
+        let mut fresh = 0usize;
+        for (component, device, is_fresh) in &observations {
+            let state = if *is_fresh {
+                fresh += 1;
+                ComponentState::Running
+            } else {
+                ComponentState::Failed
+            };
+            mape.observe_component(*component, state, *device, now);
+        }
+        let coverage = if observations.is_empty() {
+            1.0
+        } else {
+            fresh as f64 / observations.len() as f64
+        };
+        mape.observe_metric("scope.coverage", coverage, now);
+        let (_, plan) = mape.cycle(now);
+        // Execute with a per-component cooldown: a restart command is given
+        // time to act (and to traverse a possibly degraded network) before
+        // being repeated.
+        let cooldown = self.cfg.arch.silence_threshold;
+        for action in plan.actions {
+            if let AdaptationAction::RestartComponent { component, host } = action {
+                let recently = self
+                    .restart_sent_at
+                    .get(&component)
+                    .is_some_and(|at| now.saturating_since(*at) < cooldown);
+                if recently {
+                    continue;
+                }
+                self.restart_sent_at.insert(component, now);
+                ctx.metrics().incr("mape.restart_sent");
+                ctx.send(host, Msg::App(AppMsg::Restart { component }));
+            }
+        }
+    }
+}
+
+impl Process<Msg> for CloudProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.mape.is_some() {
+            ctx.schedule(self.cfg.arch.mape_period, TAG_MAPE);
+        }
+        if !self.cfg.subscribers.is_empty()
+            && self.cfg.arch.replication != crate::config::ReplicationMode::None
+        {
+            ctx.schedule(self.cfg.arch.sync_period, TAG_SYNC);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+        match msg {
+            Msg::App(AppMsg::Reading { key, value, meta, component, state, device })
+            | Msg::App(AppMsg::RelayedReading { key, value, meta, component, state, device }) => {
+                self.ingest_telemetry(ctx, key, value, meta, component, state, device);
+            }
+            Msg::App(AppMsg::ControlRequest { req_id, issued_at }) => {
+                self.control_served += 1;
+                ctx.send(from, Msg::App(AppMsg::ControlReply { req_id, issued_at }));
+            }
+            Msg::Sync(m) => {
+                let changed = self.store.on_sync(m, &self.cfg.registry, ctx.now());
+                ctx.metrics().incr_by("cloud.sync.applied", changed as u64);
+            }
+            Msg::Registry(m) => {
+                if let Some(reply) = self.registry_service.on_message(ctx.now(), from, m) {
+                    ctx.send(from, Msg::Registry(reply));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_MAPE => {
+                self.run_mape(ctx);
+                ctx.schedule(self.cfg.arch.mape_period, TAG_MAPE);
+            }
+            TAG_SYNC => {
+                for target in self.cfg.subscribers.clone() {
+                    let peer_domain = self
+                        .cfg
+                        .domain_of
+                        .get(&target)
+                        .copied()
+                        .unwrap_or(self.cfg.domain);
+                    let msg = self.store.sync_out(peer_domain, &self.cfg.registry, SimTime::ZERO);
+                    if !msg.entries.is_empty() {
+                        ctx.send(target, Msg::Sync(msg));
+                    }
+                }
+                ctx.schedule(self.cfg.arch.sync_period, TAG_SYNC);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cloud"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_coord::RegistryMsg;
+    use riot_model::{Domain, Jurisdiction, MaturityLevel};
+    use riot_sim::{Sim, SimBuilder};
+
+    fn cloud_cfg(level: MaturityLevel, me: ProcessId) -> CloudConfig {
+        let mut registry = DomainRegistry::new();
+        registry.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+        CloudConfig {
+            arch: ArchitectureConfig::for_level(level),
+            me,
+            domain: DomainId(0),
+            registry,
+            subscribers: Vec::new(),
+            domain_of: BTreeMap::new(),
+        }
+    }
+
+    fn reading(device: ProcessId, state: ComponentState) -> Msg {
+        Msg::App(AppMsg::Reading {
+            key: format!("dev{}/reading", device.0),
+            value: 1.0,
+            meta: riot_data::DataMeta::operational(DomainId(0), SimTime::ZERO),
+            component: ComponentId(device.0 as u32),
+            state,
+            device,
+        })
+    }
+
+    #[derive(Default)]
+    struct Dev {
+        restarts: u32,
+    }
+    impl Process<Msg> for Dev {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
+            if matches!(msg, Msg::App(AppMsg::Restart { .. })) {
+                self.restarts += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn cloud_serves_control_and_stores_data() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        let dev = sim.add_process(Dev::default());
+        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        sim.send_external(cloud, Msg::App(AppMsg::ControlRequest { req_id: 1, issued_at: SimTime::ZERO }));
+        sim.run_until(SimTime::from_secs(1));
+        let c = sim.process::<CloudProcess>(cloud).unwrap();
+        assert_eq!(c.control_served(), 1);
+        assert_eq!(c.store().len(), 1);
+    }
+
+    #[test]
+    fn cloud_mape_restarts_silent_components_at_ml2() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        let dev = sim.add_process(Dev::default());
+        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(sim.process::<Dev>(dev).unwrap().restarts >= 1, "silence detected, restart sent");
+        assert!(sim.process::<CloudProcess>(cloud).unwrap().mape_stats().unwrap().cycles >= 5);
+    }
+
+    #[test]
+    fn ml4_cloud_hosts_no_mape() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml4, ProcessId(0))));
+        let dev = sim.add_process(Dev::default());
+        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.process::<Dev>(dev).unwrap().restarts, 0);
+        assert!(sim.process::<CloudProcess>(cloud).unwrap().mape_stats().is_none());
+    }
+
+    #[test]
+    fn registry_round_trip_via_cloud() {
+        #[derive(Default)]
+        struct Client {
+            answer: Option<RegistryMsg>,
+        }
+        impl Process<Msg> for Client {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.send(ProcessId(0), Msg::Registry(RegistryMsg::Heartbeat { scope: 2 }));
+                ctx.send(ProcessId(0), Msg::Registry(RegistryMsg::WhoCoordinates { scope: 2 }));
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
+                if let Msg::Registry(r) = msg {
+                    self.answer = Some(r);
+                }
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        let client = sim.add_process(Client::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sim.process::<Client>(client).unwrap().answer,
+            Some(RegistryMsg::Coordinator { scope: 2, node: Some(client) })
+        );
+    }
+}

@@ -1,0 +1,509 @@
+//! The device node process: sensing, actuation and the control loop.
+//!
+//! A device hosts one software component (its sensing/actuation logic).
+//! While the component runs, the device periodically pushes readings to its
+//! data host and exercises a control round-trip against its controller —
+//! the workload whose latency and availability the scenario requirements
+//! bound. A component fault silences the device (readings stop) until a
+//! `Restart` command arrives from whichever MAPE loop notices.
+//!
+//! Under [`ControlPlacement::EdgeWithFailover`] (ML4) the device also
+//! implements the paper's decentralization at the *device boundary*:
+//! consecutive control timeouts make it re-home to a backup edge.
+
+use crate::config::{ArchitectureConfig, ControlPlacement};
+use crate::msg::{AppMsg, Msg};
+use riot_data::{DataMeta, Sensitivity};
+use riot_model::{ComponentId, ComponentState, DomainId};
+use riot_sim::{Ctx, Process, ProcessId, SimTime};
+use std::collections::BTreeMap;
+
+const TAG_SENSE: u64 = 1;
+const TAG_CONTROL: u64 = 2;
+const TAG_RESTART_DONE: u64 = 3;
+const TAG_TIMEOUT_BASE: u64 = 1 << 32;
+
+/// Static configuration of one device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// The architecture being realized.
+    pub arch: ArchitectureConfig,
+    /// The device's primary edge.
+    pub primary_edge: ProcessId,
+    /// Backup edges, in failover order (used at ML4).
+    pub backup_edges: Vec<ProcessId>,
+    /// The cloud node.
+    pub cloud: ProcessId,
+    /// The device's component.
+    pub component: ComponentId,
+    /// Data key this device writes.
+    pub data_key: String,
+    /// Sensitivity of the produced data.
+    pub sensitivity: Sensitivity,
+    /// The device's administrative domain (data origin).
+    pub domain: DomainId,
+}
+
+/// Control-loop statistics accumulated since the last sample; the scenario
+/// runner drains this window every sampling period.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceWindow {
+    /// Successful control round-trips.
+    pub control_ok: u32,
+    /// Timed-out control requests.
+    pub control_timeout: u32,
+    /// Sum of observed round-trip latencies (ms).
+    pub latency_sum_ms: f64,
+    /// Number of latency observations.
+    pub latency_count: u32,
+}
+
+impl DeviceWindow {
+    /// Success fraction, or `None` when no request completed or timed out.
+    pub fn availability(&self) -> Option<f64> {
+        let total = self.control_ok + self.control_timeout;
+        if total == 0 {
+            None
+        } else {
+            Some(self.control_ok as f64 / total as f64)
+        }
+    }
+
+    /// Mean latency over the window, or `None` without observations.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.latency_count == 0 {
+            None
+        } else {
+            Some(self.latency_sum_ms / self.latency_count as f64)
+        }
+    }
+}
+
+/// The device process.
+#[derive(Debug)]
+pub struct DeviceProcess {
+    cfg: DeviceConfig,
+    state: ComponentState,
+    /// 0 = primary edge; `i > 0` = `backup_edges[i - 1]`.
+    controller_idx: usize,
+    next_req: u64,
+    pending: BTreeMap<u64, SimTime>,
+    consecutive_timeouts: u32,
+    reading_seq: u64,
+    window: DeviceWindow,
+    last_reading_at: Option<SimTime>,
+    failovers: u64,
+    on_backup_since: Option<SimTime>,
+}
+
+impl DeviceProcess {
+    /// Creates a device with its component running.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        DeviceProcess {
+            cfg,
+            state: ComponentState::Running,
+            controller_idx: 0,
+            next_req: 0,
+            pending: BTreeMap::new(),
+            consecutive_timeouts: 0,
+            reading_seq: 0,
+            window: DeviceWindow::default(),
+            last_reading_at: None,
+            failovers: 0,
+            on_backup_since: None,
+        }
+    }
+
+    /// The component's current lifecycle state.
+    pub fn component_state(&self) -> ComponentState {
+        self.state
+    }
+
+    /// Injects a component fault (used by disruption schedules).
+    pub fn fail_component(&mut self) {
+        self.state = ComponentState::Failed;
+    }
+
+    /// Drains and resets the sampling window.
+    pub fn take_window(&mut self) -> DeviceWindow {
+        std::mem::take(&mut self.window)
+    }
+
+    /// When the device last produced a reading.
+    pub fn last_reading_at(&self) -> Option<SimTime> {
+        self.last_reading_at
+    }
+
+    /// How many times the device failed over to a backup edge.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Re-homes the device to a new primary edge (the mobility disruption:
+    /// the device roamed and re-associated).
+    pub fn rehome(&mut self, new_primary: ProcessId) {
+        self.cfg.primary_edge = new_primary;
+        self.controller_idx = 0;
+        self.consecutive_timeouts = 0;
+        self.on_backup_since = None;
+    }
+
+    /// The edge currently serving this device.
+    pub fn current_edge(&self) -> ProcessId {
+        if self.controller_idx == 0 {
+            self.cfg.primary_edge
+        } else {
+            self.cfg.backup_edges[self.controller_idx - 1]
+        }
+    }
+
+    fn controller(&self) -> Option<ProcessId> {
+        match self.cfg.arch.control {
+            ControlPlacement::LocalOnly => None,
+            ControlPlacement::Cloud => Some(self.cfg.cloud),
+            ControlPlacement::Edge => Some(if self.controller_idx == 0 {
+                self.cfg.primary_edge
+            } else {
+                // ML3's slow remote redirection parks the device on the cloud.
+                self.cfg.cloud
+            }),
+            ControlPlacement::EdgeWithFailover => Some(self.current_edge()),
+        }
+    }
+
+    fn data_host(&self) -> Option<ProcessId> {
+        self.controller()
+    }
+
+    fn meta(&self, now: SimTime) -> DataMeta {
+        DataMeta {
+            sensitivity: self.cfg.sensitivity,
+            purposes: vec![riot_data::Purpose::Operations],
+            origin: self.cfg.domain,
+            produced_at: now,
+        }
+    }
+
+    fn sense(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.state.provides_service() {
+            return;
+        }
+        self.reading_seq += 1;
+        let now = ctx.now();
+        self.last_reading_at = Some(now);
+        let value = 20.0 + (self.reading_seq % 10) as f64 + ctx.rng().unit();
+        if let Some(host) = self.data_host() {
+            let meta = self.meta(now);
+            ctx.send(
+                host,
+                Msg::App(AppMsg::Reading {
+                    key: self.cfg.data_key.clone(),
+                    value,
+                    meta,
+                    component: self.cfg.component,
+                    state: self.state,
+                    device: ctx.id(),
+                }),
+            );
+        }
+    }
+
+    fn run_control(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // A device parked on a backup edge re-probes its primary after a
+        // while: backup residency is a refuge, not a new home.
+        if let Some(since) = self.on_backup_since {
+            if ctx.now().saturating_since(since) >= self.cfg.arch.rehome_after {
+                self.controller_idx = 0;
+                self.on_backup_since = None;
+                self.consecutive_timeouts = 0;
+                ctx.metrics().incr("device.rehome");
+            }
+        }
+        match self.controller() {
+            None => {
+                // ML1: the bundled local controller decides. It works iff
+                // the component is alive — and there is nobody to fix it.
+                if self.state.provides_service() {
+                    self.window.control_ok += 1;
+                    self.window.latency_sum_ms += 1.0;
+                    self.window.latency_count += 1;
+                } else {
+                    self.window.control_timeout += 1;
+                }
+            }
+            Some(controller) => {
+                let req_id = self.next_req;
+                self.next_req += 1;
+                let issued_at = ctx.now();
+                self.pending.insert(req_id, issued_at);
+                ctx.send(controller, Msg::App(AppMsg::ControlRequest { req_id, issued_at }));
+                ctx.schedule(self.cfg.arch.control_deadline, TAG_TIMEOUT_BASE + req_id);
+            }
+        }
+    }
+
+    fn on_control_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64) {
+        if self.pending.remove(&req_id).is_none() {
+            return; // reply beat the deadline
+        }
+        self.window.control_timeout += 1;
+        ctx.metrics().incr("device.control.timeout");
+        self.consecutive_timeouts += 1;
+        match self.cfg.arch.control {
+            ControlPlacement::EdgeWithFailover
+                if self.consecutive_timeouts >= self.cfg.arch.failover_after_timeouts
+                    && !self.cfg.backup_edges.is_empty() =>
+            {
+                self.controller_idx =
+                    (self.controller_idx + 1) % (self.cfg.backup_edges.len() + 1);
+                self.on_backup_since =
+                    if self.controller_idx == 0 { None } else { Some(ctx.now()) };
+                self.consecutive_timeouts = 0;
+                self.failovers += 1;
+                ctx.metrics().incr("device.failover");
+                ctx.annotate(format!("failover to {}", self.current_edge()));
+            }
+            ControlPlacement::Edge
+                if self.consecutive_timeouts >= self.cfg.arch.ml3_fallback_timeouts =>
+            {
+                self.controller_idx = 1 - self.controller_idx.min(1);
+                self.on_backup_since =
+                    if self.controller_idx == 0 { None } else { Some(ctx.now()) };
+                self.consecutive_timeouts = 0;
+                self.failovers += 1;
+                ctx.metrics().incr("device.ml3_fallback");
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process<Msg> for DeviceProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Stagger periodic activity so devices do not phase-lock.
+        let sense_jitter = ctx.rng().range_u64(0, self.cfg.arch.sense_period.as_micros().max(1));
+        let control_jitter = ctx.rng().range_u64(0, self.cfg.arch.control_period.as_micros().max(1));
+        ctx.schedule(riot_sim::SimDuration::from_micros(sense_jitter), TAG_SENSE);
+        ctx.schedule(riot_sim::SimDuration::from_micros(control_jitter), TAG_CONTROL);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
+        match msg {
+            Msg::App(AppMsg::ControlReply { req_id, issued_at }) => {
+                if self.pending.remove(&req_id).is_some() {
+                    let latency_ms = (ctx.now() - issued_at).as_millis_f64();
+                    self.window.control_ok += 1;
+                    self.window.latency_sum_ms += latency_ms;
+                    self.window.latency_count += 1;
+                    self.consecutive_timeouts = 0;
+                    ctx.metrics().observe("device.control.latency_ms", latency_ms);
+                }
+            }
+            Msg::App(AppMsg::Restart { component }) if component == self.cfg.component => {
+                if self.state == ComponentState::Failed {
+                    ctx.schedule(self.cfg.arch.restart_delay, TAG_RESTART_DONE);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_SENSE => {
+                self.sense(ctx);
+                ctx.schedule(self.cfg.arch.sense_period, TAG_SENSE);
+            }
+            TAG_CONTROL => {
+                self.run_control(ctx);
+                ctx.schedule(self.cfg.arch.control_period, TAG_CONTROL);
+            }
+            TAG_RESTART_DONE => {
+                if self.state == ComponentState::Failed {
+                    self.state = ComponentState::Running;
+                    ctx.metrics().incr("device.component.restarted");
+                }
+            }
+            t if t >= TAG_TIMEOUT_BASE => {
+                self.on_control_timeout(ctx, t - TAG_TIMEOUT_BASE);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "device"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_model::MaturityLevel;
+    use riot_sim::{Sim, SimBuilder};
+
+    fn device_cfg(level: MaturityLevel) -> DeviceConfig {
+        DeviceConfig {
+            arch: ArchitectureConfig::for_level(level),
+            primary_edge: ProcessId(0),
+            backup_edges: vec![ProcessId(1)],
+            cloud: ProcessId(2),
+            component: ComponentId(0),
+            data_key: "dev/reading".into(),
+            sensitivity: Sensitivity::Internal,
+            domain: DomainId(0),
+        }
+    }
+
+    /// A controller stub that answers every request instantly.
+    struct EchoController {
+        requests: u32,
+        readings: u32,
+    }
+
+    impl Process<Msg> for EchoController {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+            match msg {
+                Msg::App(AppMsg::ControlRequest { req_id, issued_at }) => {
+                    self.requests += 1;
+                    ctx.send(from, Msg::App(AppMsg::ControlReply { req_id, issued_at }));
+                }
+                Msg::App(AppMsg::Reading { .. }) => self.readings += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn world(level: MaturityLevel) -> (Sim<Msg>, ProcessId, ProcessId, ProcessId) {
+        let mut sim: Sim<Msg> = SimBuilder::new(7).build();
+        let primary = sim.add_process(EchoController { requests: 0, readings: 0 });
+        let _backup = sim.add_process(EchoController { requests: 0, readings: 0 });
+        let cloud = sim.add_process(EchoController { requests: 0, readings: 0 });
+        let dev = sim.add_process(DeviceProcess::new(device_cfg(level)));
+        (sim, primary, cloud, dev)
+    }
+
+    #[test]
+    fn ml3_device_talks_to_its_edge() {
+        let (mut sim, primary, cloud, dev) = world(MaturityLevel::Ml3);
+        sim.run_until(SimTime::from_secs(10));
+        let edge = sim.process::<EchoController>(primary).unwrap();
+        assert!(edge.requests >= 15, "control loop exercised: {}", edge.requests);
+        assert!(edge.readings >= 8, "readings pushed: {}", edge.readings);
+        assert_eq!(sim.process::<EchoController>(cloud).unwrap().requests, 0);
+        let d = sim.process::<DeviceProcess>(dev).unwrap();
+        assert!(d.window.control_ok >= 15);
+        assert_eq!(d.window.control_timeout, 0);
+        assert!(d.window.availability().unwrap() == 1.0);
+        assert!(d.window.mean_latency_ms().unwrap() < 1.0, "ideal medium: ~0ms");
+    }
+
+    #[test]
+    fn ml2_device_talks_to_cloud() {
+        let (mut sim, primary, cloud, _dev) = world(MaturityLevel::Ml2);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.process::<EchoController>(primary).unwrap().requests, 0);
+        assert!(sim.process::<EchoController>(cloud).unwrap().requests > 0);
+    }
+
+    #[test]
+    fn ml1_device_is_self_contained() {
+        let (mut sim, primary, cloud, dev) = world(MaturityLevel::Ml1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.process::<EchoController>(primary).unwrap().requests, 0);
+        assert_eq!(sim.process::<EchoController>(cloud).unwrap().requests, 0);
+        let d = sim.process::<DeviceProcess>(dev).unwrap();
+        assert!(d.window.control_ok > 0, "local control succeeds");
+        assert_eq!(sim.metrics().counter("sim.msg.sent"), 0, "no traffic at ML1");
+    }
+
+    #[test]
+    fn failed_component_times_out_locally_and_restarts_on_command() {
+        let (mut sim, _, _, dev) = world(MaturityLevel::Ml1);
+        sim.run_until(SimTime::from_secs(2));
+        sim.process_mut::<DeviceProcess>(dev).unwrap().fail_component();
+        sim.run_until(SimTime::from_secs(6));
+        {
+            let d = sim.process_mut::<DeviceProcess>(dev).unwrap();
+            assert_eq!(d.component_state(), ComponentState::Failed);
+            let w = d.take_window();
+            assert!(w.control_timeout > 0, "local control fails while down");
+        }
+        sim.send_external(dev, Msg::App(AppMsg::Restart { component: ComponentId(0) }));
+        sim.run_until(SimTime::from_secs(8));
+        assert_eq!(
+            sim.process::<DeviceProcess>(dev).unwrap().component_state(),
+            ComponentState::Running
+        );
+        assert_eq!(sim.metrics().counter("device.component.restarted"), 1);
+    }
+
+    #[test]
+    fn ml4_device_fails_over_when_edge_dies() {
+        let (mut sim, primary, _, dev) = world(MaturityLevel::Ml4);
+        sim.run_until(SimTime::from_secs(3));
+        sim.set_down(primary);
+        sim.run_until(SimTime::from_secs(10));
+        let d = sim.process::<DeviceProcess>(dev).unwrap();
+        assert!(d.failovers() >= 1, "device re-homed");
+        assert_eq!(d.current_edge(), ProcessId(1));
+        assert!(sim.metrics().counter("device.failover") >= 1);
+        // Control is succeeding again on the backup edge.
+        assert!(sim.metrics().counter("device.control.timeout") > 0);
+    }
+
+    #[test]
+    fn ml3_device_falls_back_to_cloud_slowly() {
+        let (mut sim, primary, cloud, dev) = world(MaturityLevel::Ml3);
+        sim.run_until(SimTime::from_secs(3));
+        sim.set_down(primary);
+        // ML4 would have failed over within ~1s (2 timeouts); ML3 needs 12.
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.process::<DeviceProcess>(dev).unwrap().failovers(), 0, "still waiting");
+        sim.run_until(SimTime::from_secs(20));
+        let d = sim.process::<DeviceProcess>(dev).unwrap();
+        assert!(d.failovers() >= 1, "remote redirection eventually happened");
+        assert!(sim.metrics().counter("device.ml3_fallback") >= 1);
+        // Requests now reach the cloud, not a backup edge.
+        assert!(sim.process::<EchoController>(cloud).unwrap().requests > 0);
+    }
+
+    #[test]
+    fn reading_metadata_carries_origin_and_sensitivity() {
+        struct Inspect {
+            seen: Option<DataMeta>,
+        }
+        impl Process<Msg> for Inspect {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
+                if let Msg::App(AppMsg::Reading { meta, .. }) = msg {
+                    self.seen = Some(meta);
+                }
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(7).build();
+        let host = sim.add_process(Inspect { seen: None });
+        let _b = sim.add_process(Inspect { seen: None });
+        let _c = sim.add_process(Inspect { seen: None });
+        let mut cfg = device_cfg(MaturityLevel::Ml3);
+        cfg.primary_edge = host;
+        cfg.sensitivity = Sensitivity::Personal;
+        cfg.domain = DomainId(9);
+        sim.add_process(DeviceProcess::new(cfg));
+        sim.run_until(SimTime::from_secs(3));
+        let meta = sim.process::<Inspect>(host).unwrap().seen.clone().unwrap();
+        assert_eq!(meta.sensitivity, Sensitivity::Personal);
+        assert_eq!(meta.origin, DomainId(9));
+    }
+
+    #[test]
+    fn window_drain_resets() {
+        let (mut sim, _, _, dev) = world(MaturityLevel::Ml3);
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.process_mut::<DeviceProcess>(dev).unwrap().take_window();
+        assert!(w.control_ok > 0);
+        let w2 = sim.process_mut::<DeviceProcess>(dev).unwrap().take_window();
+        assert_eq!(w2, DeviceWindow::default());
+        assert_eq!(w2.availability(), None);
+        assert_eq!(w2.mean_latency_ms(), None);
+    }
+}

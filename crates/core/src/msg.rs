@@ -1,0 +1,145 @@
+//! The closed-world message type of a riot simulation.
+//!
+//! Every protocol crate defines its own message enum; [`Msg`] composes them
+//! (plus the application-level IoT traffic) into the single type the
+//! simulator routes. [`riot_sim::Embed`] instances let generic glue address
+//! each sub-protocol.
+
+use riot_coord::{ElectionMsg, GossipMsg, RegistryMsg, SwimMsg};
+use riot_data::{DataMeta, SyncMsg};
+use riot_model::{ComponentId, ComponentState};
+use riot_sim::{Embed, ProcessId, SimTime};
+
+/// A governance posture disseminated between edges by gossip — the
+/// decentralized path for "governance among administrative domains"
+/// (Table 2, data-flows column): no broker pushes policy; edges converge
+/// on the freshest version epidemically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyUpdate {
+    /// Everything flows (the legacy posture).
+    Permissive,
+    /// The ML4 governed posture (personal data denied egress, special
+    /// categories redacted).
+    Governed,
+}
+
+/// Application-level IoT traffic: sensing, control and actuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppMsg {
+    /// A sensor reading pushed from a device to its data/control host,
+    /// carrying the device's component telemetry (the paper's Figure 5:
+    /// monitoring *is* sensing at the devices).
+    Reading {
+        /// Data key (`"dev<id>/reading"`).
+        key: String,
+        /// Observed value.
+        value: f64,
+        /// Governance label.
+        meta: DataMeta,
+        /// The reporting device's component.
+        component: ComponentId,
+        /// Its lifecycle state.
+        state: ComponentState,
+        /// The device that produced it.
+        device: ProcessId,
+    },
+    /// A relayed copy of a reading (edge → cloud telemetry forwarding).
+    RelayedReading {
+        /// The original reading fields.
+        key: String,
+        /// Observed value.
+        value: f64,
+        /// Governance label.
+        meta: DataMeta,
+        /// The reporting device's component.
+        component: ComponentId,
+        /// Its lifecycle state.
+        state: ComponentState,
+        /// The device that produced it.
+        device: ProcessId,
+    },
+    /// A device asking its controller for a decision (the control loop).
+    ControlRequest {
+        /// Correlation id.
+        req_id: u64,
+        /// When the device issued it.
+        issued_at: SimTime,
+    },
+    /// The controller's decision back to the device.
+    ControlReply {
+        /// Correlation id.
+        req_id: u64,
+        /// Original issue time (latency is computed at the device).
+        issued_at: SimTime,
+    },
+    /// An Execute-stage command: restart a component on the receiving node.
+    Restart {
+        /// The component to restart.
+        component: ComponentId,
+    },
+}
+
+/// The closed world of messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// SWIM membership traffic (edges, ML4).
+    Swim(SwimMsg),
+    /// Epidemic dissemination of governance posture (edges, ML4).
+    Gossip(GossipMsg<PolicyUpdate>),
+    /// Leader election traffic (edges, ML4).
+    Election(ElectionMsg),
+    /// Centralized registry traffic (cloud baseline).
+    Registry(RegistryMsg),
+    /// Data-plane anti-entropy.
+    Sync(SyncMsg),
+    /// Application traffic.
+    App(AppMsg),
+}
+
+macro_rules! embed {
+    ($sub:ty, $variant:ident) => {
+        impl Embed<$sub> for Msg {
+            fn embed(sub: $sub) -> Msg {
+                Msg::$variant(sub)
+            }
+            fn extract(self) -> Result<$sub, Msg> {
+                match self {
+                    Msg::$variant(s) => Ok(s),
+                    other => Err(other),
+                }
+            }
+        }
+    };
+}
+
+embed!(SwimMsg, Swim);
+embed!(GossipMsg<PolicyUpdate>, Gossip);
+embed!(ElectionMsg, Election);
+embed!(RegistryMsg, Registry);
+embed!(SyncMsg, Sync);
+embed!(AppMsg, App);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeds_round_trip() {
+        let m = Msg::embed(SwimMsg::Ping { seq: 1, updates: vec![] });
+        let back: Result<SwimMsg, Msg> = m.extract();
+        assert!(matches!(back, Ok(SwimMsg::Ping { seq: 1, .. })));
+
+        let m = Msg::embed(ElectionMsg::Heartbeat { term: 3 });
+        let wrong: Result<SwimMsg, Msg> = m.extract();
+        assert!(wrong.is_err());
+    }
+
+    #[test]
+    fn app_messages_embed() {
+        let m = Msg::embed(AppMsg::ControlRequest { req_id: 9, issued_at: SimTime::ZERO });
+        match m {
+            Msg::App(AppMsg::ControlRequest { req_id, .. }) => assert_eq!(req_id, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The recovery planner used by the archetype MAPE loops.
+//!
+//! The scenarios' self-healing need is concrete: every component the
+//! knowledge base believes failed should be restarted on its host.
+//! [`RecoveryPlanner`] plans exactly that — one `RestartComponent` per
+//! failed component per cycle — which keeps experiment results easy to
+//! reason about (recovery time = detection time + one cycle + restart
+//! delay + transport).
+
+use riot_adapt::{AdaptationAction, Issue, KnowledgeBase, Plan, Planner};
+use riot_model::{
+    ComponentState, Predicate, Requirement, RequirementId, RequirementKind, RequirementSet,
+};
+
+/// The requirement the archetype MAPE loops maintain: full component
+/// coverage in their scope. A silent/failed component drops the
+/// `scope.coverage` metric below 1, raising the issue that triggers
+/// planning.
+pub fn scope_requirements() -> RequirementSet {
+    vec![Requirement::new(
+        RequirementId(0),
+        "all scope components alive",
+        RequirementKind::Coverage,
+        "scope.coverage",
+        Predicate::AtLeast(1.0),
+    )]
+    .into_iter()
+    .collect()
+}
+
+/// Plans a restart for every failed component in the knowledge base.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryPlanner;
+
+impl Planner for RecoveryPlanner {
+    fn plan(&mut self, _issues: &[Issue], kb: &KnowledgeBase) -> Plan {
+        let mut plan = Plan::empty();
+        for (component, host) in kb.components_in_state(ComponentState::Failed) {
+            plan.actions.push(AdaptationAction::RestartComponent { component, host });
+            plan.rationale.push(format!("component {component} on {host} believed failed"));
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_model::ComponentId;
+    use riot_sim::{ProcessId, SimDuration, SimTime};
+
+    #[test]
+    fn restarts_every_failed_component() {
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(10));
+        kb.set_component(ComponentId(1), ComponentState::Failed, ProcessId(5), SimTime::ZERO);
+        kb.set_component(ComponentId(2), ComponentState::Running, ProcessId(6), SimTime::ZERO);
+        kb.set_component(ComponentId(3), ComponentState::Failed, ProcessId(7), SimTime::ZERO);
+        let plan = RecoveryPlanner.plan(&[], &kb);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.actions.contains(&AdaptationAction::RestartComponent {
+            component: ComponentId(1),
+            host: ProcessId(5)
+        }));
+        assert!(plan.actions.contains(&AdaptationAction::RestartComponent {
+            component: ComponentId(3),
+            host: ProcessId(7)
+        }));
+    }
+
+    #[test]
+    fn healthy_model_plans_nothing() {
+        let mut kb = KnowledgeBase::new(SimDuration::from_secs(10));
+        kb.set_component(ComponentId(1), ComponentState::Running, ProcessId(5), SimTime::ZERO);
+        assert!(RecoveryPlanner.plan(&[], &kb).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Table rendering for experiment output.
+//!
+//! Every experiment binary prints plain-text tables (and optionally writes
+//! JSON) so `EXPERIMENTS.md` can be assembled by copy-paste. The renderer
+//! is deliberately dependency-free: fixed-width columns, markdown-ish
+//! separators.
+
+use crate::scenario::ScenarioResult;
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats an optional seconds value.
+pub fn secs(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.1}s"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Builds the standard per-scenario comparison table (one row per result):
+/// overall resilience, per-requirement resilience, MTTR and counters.
+pub fn resilience_table(results: &[ScenarioResult]) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "level",
+        "overall R",
+        "latency R",
+        "avail R",
+        "coverage R",
+        "freshness R",
+        "privacy R",
+        "MTTR(avail)",
+        "failovers",
+        "restarts",
+    ]);
+    for r in results {
+        let req = |name: &str| {
+            r.report
+                .requirements
+                .get(name)
+                .map(|o| pct(o.resilience))
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        let mttr = r.report.requirements.get("availability").and_then(|o| o.mttr_s);
+        t.row(vec![
+            r.name.clone(),
+            r.level.to_string(),
+            pct(r.report.overall_resilience),
+            req("latency"),
+            req("availability"),
+            req("coverage"),
+            req("freshness"),
+            req("privacy"),
+            secs(mttr),
+            r.failovers.to_string(),
+            r.restarts.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width: {widths:?}");
+        assert!(lines[0].contains("long-header"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(secs(Some(12.34)), "12.3s");
+        assert_eq!(secs(None), "-");
+    }
+}

@@ -1,0 +1,371 @@
+//! Resilience metrics: quantifying "persistence of requirement
+//! satisfaction when facing change".
+//!
+//! The scenario runner samples each requirement's verdict into a 0/1 time
+//! series. This module turns those series into the numbers the experiments
+//! report:
+//!
+//! * **baseline satisfaction** — time-weighted satisfaction before the
+//!   first disruption (does the architecture even work in calm weather?);
+//! * **resilience R** — time-weighted satisfaction over the disruption
+//!   window (the paper's definition, made measurable);
+//! * **MTTR** — mean time from a violation onset to re-satisfaction, with
+//!   never-recovered outages censored at the window end;
+//! * **outage statistics** — count and longest outage.
+
+use riot_model::{
+    GoalModel, Predicate, Requirement, RequirementId, RequirementKind, RequirementSet,
+};
+use riot_sim::{Metrics, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Thresholds for the standard scenario requirement set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Thresholds {
+    /// Mean control round-trip must stay below this (ms).
+    pub latency_ms: f64,
+    /// Control success fraction must stay above this.
+    pub availability: f64,
+    /// Fraction of devices actively reporting must stay above this.
+    pub coverage: f64,
+    /// Mean consumer-side staleness must stay below this (s).
+    pub freshness_s: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { latency_ms: 250.0, availability: 0.85, coverage: 0.8, freshness_s: 15.0 }
+    }
+}
+
+/// The five standard scenario requirements (the paper's recurring concerns:
+/// latency, availability, coverage, timeliness/freshness, privacy), wired
+/// to the telemetry keys the runner publishes.
+pub fn standard_requirements(t: Thresholds) -> RequirementSet {
+    vec![
+        Requirement::new(
+            RequirementId(0),
+            "control loop reacts in time",
+            RequirementKind::Latency,
+            "ctl.latency_ms",
+            Predicate::AtMost(t.latency_ms),
+        ),
+        Requirement::new(
+            RequirementId(1),
+            "control plane available",
+            RequirementKind::Availability,
+            "ctl.availability",
+            Predicate::AtLeast(t.availability),
+        ),
+        Requirement::new(
+            RequirementId(2),
+            "sensing coverage maintained",
+            RequirementKind::Coverage,
+            "coverage",
+            Predicate::AtLeast(t.coverage),
+        ),
+        Requirement::new(
+            RequirementId(3),
+            "shared data stays fresh",
+            RequirementKind::Freshness,
+            "freshness_s",
+            Predicate::AtMost(t.freshness_s),
+        ),
+        Requirement::new(
+            RequirementId(4),
+            "no privacy violations at rest",
+            RequirementKind::Privacy,
+            "privacy.violations",
+            Predicate::Zero,
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Short reporting names for the standard requirements, in id order.
+pub const REQUIREMENT_NAMES: [&str; 5] =
+    ["latency", "availability", "coverage", "freshness", "privacy"];
+
+/// The reporting key of the goal-model series (see
+/// [`standard_goal_model`]).
+pub const GOAL_NAME: &str = "acceptable";
+
+/// The standard goal model (§IV-B: "goal modeling and validation"): a
+/// *degraded-mode acceptability* criterion, deliberately weaker than the
+/// all-requirements conjunction —
+///
+/// ```text
+/// acceptable service  =  core ∧ quality ∧ compliance
+///   core       = availability ∧ coverage         (the system does its job)
+///   quality    = latency ∨ freshness             (at least one QoS facet holds)
+///   compliance = privacy                         (non-negotiable)
+/// ```
+///
+/// The OR makes the tree informative: an architecture may fail one QoS
+/// facet (e.g. ML1's freshness — silos share nothing) yet still deliver
+/// acceptable degraded service, which the strict conjunction cannot
+/// express. Leaves reference the ids of [`standard_requirements`].
+pub fn standard_goal_model() -> GoalModel {
+    let mut goals = GoalModel::new();
+    let latency = goals.leaf("control reacts in time", RequirementId(0));
+    let availability = goals.leaf("control plane answers", RequirementId(1));
+    let coverage = goals.leaf("sensing keeps coverage", RequirementId(2));
+    let freshness = goals.leaf("shared data is fresh", RequirementId(3));
+    let privacy = goals.leaf("no privacy violations", RequirementId(4));
+    let core = goals.and("core service", vec![availability, coverage]);
+    let quality = goals.or("quality (either QoS facet)", vec![latency, freshness]);
+    let root = goals.and("acceptable service", vec![core, quality, privacy]);
+    goals.set_root(root);
+    goals
+}
+
+/// Per-requirement outcome over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RequirementOutcome {
+    /// Time-weighted satisfaction before the disruption window.
+    pub baseline: f64,
+    /// Time-weighted satisfaction during the disruption window — the
+    /// resilience R of this requirement.
+    pub resilience: f64,
+    /// Number of distinct outages in the disruption window.
+    pub outages: u32,
+    /// Mean time to recovery in seconds (never-recovered outages censored
+    /// at the window end); `None` when there was no outage.
+    pub mttr_s: Option<f64>,
+    /// The longest single outage in seconds.
+    pub max_outage_s: f64,
+}
+
+/// Extracts an outcome from a 0/1 satisfaction series.
+///
+/// `split` separates the baseline window `[start, split)` from the
+/// disruption window `[split, end]`.
+pub fn outcome_from_series(
+    points: &[(SimTime, f64)],
+    start: SimTime,
+    split: SimTime,
+    end: SimTime,
+) -> RequirementOutcome {
+    let weighted = |from: SimTime, to: SimTime| -> f64 {
+        if to <= from || points.is_empty() {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        let mut cur_t = from;
+        let mut cur_v = points
+            .iter()
+            .take_while(|(t, _)| *t <= from)
+            .last()
+            .map(|(_, v)| *v)
+            .unwrap_or(points[0].1);
+        for (t, v) in points.iter().filter(|(t, _)| *t > from && *t <= to) {
+            acc += (*t - cur_t).as_secs_f64() * cur_v.clamp(0.0, 1.0);
+            cur_t = *t;
+            cur_v = *v;
+        }
+        acc += (to - cur_t).as_secs_f64() * cur_v.clamp(0.0, 1.0);
+        acc / (to - from).as_secs_f64()
+    };
+
+    // Outage extraction over the disruption window.
+    let mut outages: Vec<f64> = Vec::new();
+    let mut down_since: Option<SimTime> = None;
+    for (t, v) in points.iter().filter(|(t, _)| *t >= split && *t <= end) {
+        let sat = *v >= 0.5;
+        match (sat, down_since) {
+            (false, None) => down_since = Some(*t),
+            (true, Some(since)) => {
+                outages.push((*t - since).as_secs_f64());
+                down_since = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(since) = down_since {
+        outages.push((end - since).as_secs_f64()); // censored at window end
+    }
+
+    let mttr_s = if outages.is_empty() {
+        None
+    } else {
+        Some(outages.iter().sum::<f64>() / outages.len() as f64)
+    };
+    RequirementOutcome {
+        baseline: weighted(start, split),
+        resilience: weighted(split, end),
+        outages: outages.len() as u32,
+        mttr_s,
+        max_outage_s: outages.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// The full resilience report of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceReport {
+    /// Outcome per requirement (keyed by short name), plus the goal-model
+    /// root under [`GOAL_NAME`] when the runner sampled it.
+    pub requirements: BTreeMap<String, RequirementOutcome>,
+    /// Baseline of the all-requirements-satisfied indicator.
+    pub overall_baseline: f64,
+    /// Resilience of the all-requirements-satisfied indicator.
+    pub overall_resilience: f64,
+    /// Mean satisfied fraction during the disruption window.
+    pub mean_satisfaction: f64,
+}
+
+impl ResilienceReport {
+    /// Builds the report from the runner's recorded series.
+    ///
+    /// Expects series `sat.<name>` for each name plus `sat.all` (the 0/1
+    /// all-satisfied indicator) and `satfrac` (the satisfied fraction).
+    pub fn from_metrics(
+        metrics: &Metrics,
+        names: &[&str],
+        start: SimTime,
+        split: SimTime,
+        end: SimTime,
+    ) -> ResilienceReport {
+        let mut requirements = BTreeMap::new();
+        for name in names {
+            let series = metrics.series(&format!("sat.{name}")).unwrap_or(&[]);
+            requirements.insert(name.to_string(), outcome_from_series(series, start, split, end));
+        }
+        let all = metrics.series("sat.all").unwrap_or(&[]);
+        let all_outcome = outcome_from_series(all, start, split, end);
+        let mean_satisfaction = metrics
+            .time_weighted_mean("satfrac", split, end)
+            .unwrap_or(1.0);
+        ResilienceReport {
+            requirements,
+            overall_baseline: all_outcome.baseline,
+            overall_resilience: all_outcome.resilience,
+            mean_satisfaction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn goal_model_tolerates_one_qos_facet_failing() {
+        use riot_model::Verdict;
+        use std::collections::BTreeMap;
+        let reqs = standard_requirements(Thresholds::default());
+        let goals = standard_goal_model();
+        let telemetry = |lat: f64, fresh: f64| -> BTreeMap<String, f64> {
+            [
+                ("ctl.latency_ms".to_owned(), lat),
+                ("ctl.availability".to_owned(), 1.0),
+                ("coverage".to_owned(), 1.0),
+                ("freshness_s".to_owned(), fresh),
+                ("privacy.violations".to_owned(), 0.0),
+            ]
+            .into_iter()
+            .collect()
+        };
+        // Freshness fails, latency holds: still acceptable (the ML1 shape).
+        assert_eq!(goals.evaluate(&reqs, &telemetry(10.0, 1e6)).root, Verdict::Satisfied);
+        // Latency fails, freshness holds: still acceptable.
+        assert_eq!(goals.evaluate(&reqs, &telemetry(1e6, 1.0)).root, Verdict::Satisfied);
+        // Both QoS facets fail: not acceptable.
+        assert_eq!(goals.evaluate(&reqs, &telemetry(1e6, 1e6)).root, Verdict::Violated);
+        // Privacy failing is never acceptable.
+        let mut t = telemetry(10.0, 1.0);
+        t.insert("privacy.violations".into(), 3.0);
+        assert_eq!(goals.evaluate(&reqs, &t).root, Verdict::Violated);
+    }
+
+    #[test]
+    fn standard_requirements_cover_the_five_concerns() {
+        let reqs = standard_requirements(Thresholds::default());
+        assert_eq!(reqs.len(), 5);
+        let kinds: Vec<RequirementKind> = reqs.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RequirementKind::Latency));
+        assert!(kinds.contains(&RequirementKind::Privacy));
+        assert_eq!(REQUIREMENT_NAMES.len(), 5);
+    }
+
+    #[test]
+    fn outcome_full_satisfaction() {
+        let pts = vec![(t(0), 1.0), (t(10), 1.0), (t(20), 1.0)];
+        let o = outcome_from_series(&pts, t(0), t(10), t(20));
+        assert_eq!(o.baseline, 1.0);
+        assert_eq!(o.resilience, 1.0);
+        assert_eq!(o.outages, 0);
+        assert_eq!(o.mttr_s, None);
+        assert_eq!(o.max_outage_s, 0.0);
+    }
+
+    #[test]
+    fn outcome_single_recovered_outage() {
+        // Satisfied until 12, violated [12, 16), satisfied after.
+        let mut pts = vec![(t(0), 1.0)];
+        for s in 1..30 {
+            let v = if (12..16).contains(&s) { 0.0 } else { 1.0 };
+            pts.push((t(s), v));
+        }
+        let o = outcome_from_series(&pts, t(0), t(10), t(30));
+        assert_eq!(o.baseline, 1.0);
+        assert!((o.resilience - 0.8).abs() < 1e-9, "4s of 20s violated: {}", o.resilience);
+        assert_eq!(o.outages, 1);
+        assert_eq!(o.mttr_s, Some(4.0));
+        assert_eq!(o.max_outage_s, 4.0);
+    }
+
+    #[test]
+    fn outcome_unrecovered_outage_is_censored() {
+        let mut pts = vec![(t(0), 1.0)];
+        for s in 1..=20 {
+            pts.push((t(s), if s >= 15 { 0.0 } else { 1.0 }));
+        }
+        let o = outcome_from_series(&pts, t(0), t(10), t(20));
+        assert_eq!(o.outages, 1);
+        assert_eq!(o.mttr_s, Some(5.0), "censored at the window end");
+        assert!((o.resilience - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_multiple_outages() {
+        let mut pts = Vec::new();
+        for s in 0..=30 {
+            let v = if (10..12).contains(&s) || (20..23).contains(&s) { 0.0 } else { 1.0 };
+            pts.push((t(s), v));
+        }
+        let o = outcome_from_series(&pts, t(0), t(5), t(30));
+        assert_eq!(o.outages, 2);
+        assert_eq!(o.mttr_s, Some(2.5));
+        assert_eq!(o.max_outage_s, 3.0);
+    }
+
+    #[test]
+    fn empty_series_is_vacuously_satisfied() {
+        let o = outcome_from_series(&[], t(0), t(10), t(20));
+        assert_eq!(o.baseline, 1.0);
+        assert_eq!(o.resilience, 1.0);
+        assert_eq!(o.outages, 0);
+    }
+
+    #[test]
+    fn report_from_metrics_collects_all_series() {
+        let mut m = Metrics::new();
+        for s in 0..=20 {
+            let ok = s < 10 || s >= 15;
+            m.series_push("sat.latency", t(s), if ok { 1.0 } else { 0.0 });
+            m.series_push("sat.all", t(s), if ok { 1.0 } else { 0.0 });
+            m.series_push("satfrac", t(s), if ok { 1.0 } else { 0.5 });
+        }
+        let r = ResilienceReport::from_metrics(&m, &["latency"], t(0), t(5), t(20));
+        assert_eq!(r.requirements["latency"].outages, 1);
+        assert!(r.overall_resilience < 1.0);
+        assert_eq!(r.overall_baseline, 1.0);
+        assert!(r.mean_satisfaction < 1.0);
+    }
+}

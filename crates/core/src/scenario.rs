@@ -1,0 +1,764 @@
+//! Scenario assembly and execution: the experiment engine.
+//!
+//! A [`ScenarioSpec`] describes a deployment (size, maturity level,
+//! domains, disruption schedule); [`Scenario::build`] assembles the
+//! network, domain registry and node processes; [`Scenario::run`] executes
+//! it, sampling the five standard requirements every
+//! [`ScenarioSpec::sample_every`] and producing a [`ScenarioResult`] with
+//! the resilience report and run counters.
+//!
+//! ## Node-id layout
+//!
+//! Deterministic and derivable from the spec alone (so disruption
+//! schedules can be written before the system exists): the cloud is
+//! process 0, edges are `1..=edges`, devices follow grouped by edge.
+//! [`ScenarioSpec::cloud_id`], [`ScenarioSpec::edge_id`] and
+//! [`ScenarioSpec::device_id`] encode this.
+
+use crate::cloud::{CloudConfig, CloudProcess};
+use crate::config::{ArchitectureConfig, ReplicationMode};
+use crate::device::{DeviceConfig, DeviceProcess, DeviceWindow};
+use crate::edge::{EdgeConfig, EdgeProcess};
+use crate::msg::Msg;
+use crate::resilience::{
+    standard_goal_model, standard_requirements, ResilienceReport, Thresholds, GOAL_NAME,
+    REQUIREMENT_NAMES,
+};
+use riot_data::Sensitivity;
+use riot_model::{
+    Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, Jurisdiction,
+    MaturityLevel, RequirementSet, TrustLevel, Verdict,
+};
+use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
+use riot_sim::{HistogramSummary, ProcessId, Sim, SimBuilder, SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Staleness value reported when a consumer has never seen a key (treated
+/// as "infinitely stale").
+const NEVER_SEEN_STALENESS_S: f64 = 1.0e6;
+
+/// Describes one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports and JSON output).
+    pub name: String,
+    /// Maturity level realized by the architecture.
+    pub level: MaturityLevel,
+    /// RNG seed; same spec + same seed ⇒ identical result.
+    pub seed: u64,
+    /// Number of edge components.
+    pub edges: usize,
+    /// Devices attached to each edge.
+    pub devices_per_edge: usize,
+    /// Total virtual run time.
+    pub duration: SimDuration,
+    /// Calm window before disruptions; baseline satisfaction is measured
+    /// here.
+    pub warmup: SimDuration,
+    /// Requirement sampling period.
+    pub sample_every: SimDuration,
+    /// Requirement thresholds.
+    pub thresholds: Thresholds,
+    /// Every `k`-th device produces personal (GDPR) data; `0` disables.
+    pub personal_every: usize,
+    /// When `true`, the last edge belongs to an untrusted analytics-vendor
+    /// domain and subscribes to the cloud's data (the E5 setting).
+    pub vendor_edge: bool,
+    /// The disruption schedule (times are absolute; use `warmup` +offsets).
+    pub disruptions: DisruptionSchedule,
+    /// Architecture override; defaults to
+    /// [`ArchitectureConfig::for_level`].
+    pub arch: Option<ArchitectureConfig>,
+    /// Edge↔cloud link override (for RTT sweeps).
+    pub edge_cloud_link: Option<Link>,
+}
+
+impl ScenarioSpec {
+    /// A scenario with sensible defaults: 4 edges × 8 devices, 120 s run
+    /// with a 30 s warmup, sampled every second.
+    pub fn new(name: impl Into<String>, level: MaturityLevel, seed: u64) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            level,
+            seed,
+            edges: 4,
+            devices_per_edge: 8,
+            duration: SimDuration::from_secs(120),
+            warmup: SimDuration::from_secs(30),
+            sample_every: SimDuration::from_secs(1),
+            thresholds: Thresholds::default(),
+            personal_every: 4,
+            vendor_edge: true,
+            disruptions: DisruptionSchedule::new(),
+            arch: None,
+            edge_cloud_link: None,
+        }
+    }
+
+    /// The cloud's process id.
+    pub fn cloud_id(&self) -> ProcessId {
+        ProcessId(0)
+    }
+
+    /// The `i`-th edge's process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= edges`.
+    pub fn edge_id(&self, i: usize) -> ProcessId {
+        assert!(i < self.edges, "edge index {i} out of range");
+        ProcessId(1 + i)
+    }
+
+    /// The process id of device `d` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn device_id(&self, e: usize, d: usize) -> ProcessId {
+        assert!(e < self.edges && d < self.devices_per_edge, "device ({e},{d}) out of range");
+        ProcessId(1 + self.edges + e * self.devices_per_edge + d)
+    }
+
+    /// Total device count.
+    pub fn device_count(&self) -> usize {
+        self.edges * self.devices_per_edge
+    }
+
+    /// The effective architecture configuration.
+    pub fn architecture(&self) -> ArchitectureConfig {
+        self.arch.clone().unwrap_or_else(|| ArchitectureConfig::for_level(self.level))
+    }
+
+    /// The vendor edge's index (the last edge), when enabled.
+    pub fn vendor_edge_index(&self) -> Option<usize> {
+        if self.vendor_edge && self.edges > 1 {
+            Some(self.edges - 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Static facts about one device of a built scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceInfo {
+    /// Process id.
+    pub id: ProcessId,
+    /// Index of its primary edge.
+    pub edge_index: usize,
+    /// Its data key.
+    pub key: String,
+    /// `true` when it produces personal data.
+    pub personal: bool,
+}
+
+/// A built, ready-to-run scenario.
+pub struct Scenario {
+    spec: ScenarioSpec,
+    sim: Sim<Msg>,
+    hierarchy: Hierarchy,
+    devices: Vec<DeviceInfo>,
+    registry: DomainRegistry,
+    requirements: RequirementSet,
+    goals: riot_model::GoalModel,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.spec.name)
+            .field("level", &self.spec.level)
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+/// Builds the shared domain world: city (EU/GDPR) and analytics vendor
+/// (US/CCPA), partners in trust.
+pub fn standard_domains() -> DomainRegistry {
+    let mut reg = DomainRegistry::new();
+    reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+    reg.register(Domain {
+        id: DomainId(1),
+        name: "analytics-vendor".into(),
+        jurisdiction: Jurisdiction::UsCcpa,
+    });
+    reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Partner);
+    reg
+}
+
+impl Scenario {
+    /// Assembles the network, domains and processes for a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate specs (zero edges or devices).
+    pub fn build(spec: ScenarioSpec) -> Scenario {
+        assert!(spec.edges >= 1 && spec.devices_per_edge >= 1, "degenerate scenario");
+        let arch = spec.architecture();
+
+        // -- Network. The physical topology is identical at every maturity
+        // level (radios do not change with software); only the software
+        // stack differs. Each device gets a physical backup link to the
+        // next edge so ML4's failover has a medium to run on.
+        let hspec = HierarchySpec {
+            edges: spec.edges,
+            devices_per_edge: spec.devices_per_edge,
+            device_edge: presets::device_edge(),
+            edge_cloud: spec.edge_cloud_link.unwrap_or_else(presets::edge_cloud),
+            edge_mesh: Some(presets::edge_edge()),
+        };
+        let (mut net, hierarchy) = Hierarchy::build(&hspec);
+        if spec.edges > 1 {
+            let backup = Link { latency: LatencyModel::uniform_ms(4, 12), loss: 0.005 };
+            for (e, devs) in hierarchy.devices.iter().enumerate() {
+                let next_edge = hierarchy.edges[(e + 1) % spec.edges];
+                for &d in devs {
+                    net.add_link(d, next_edge, backup);
+                }
+            }
+        }
+
+        // -- Domains.
+        let registry = standard_domains();
+        let vendor_idx = spec.vendor_edge_index();
+        let mut domain_of: BTreeMap<ProcessId, DomainId> = BTreeMap::new();
+        domain_of.insert(hierarchy.cloud, DomainId(0));
+        for (i, &e) in hierarchy.edges.iter().enumerate() {
+            let dom = if Some(i) == vendor_idx { DomainId(1) } else { DomainId(0) };
+            domain_of.insert(e, dom);
+        }
+        for &d in &hierarchy.all_devices() {
+            domain_of.insert(d, DomainId(0));
+        }
+
+        // -- Simulation and processes (spawn order must match node ids).
+        let mut sim: Sim<Msg> = SimBuilder::new(spec.seed)
+            .max_events(2_000_000_000)
+            .build_with_medium(Box::new(net));
+
+        let subscribers = vendor_idx.map(|i| vec![hierarchy.edges[i]]).unwrap_or_default();
+        let cloud_id = sim.add_process(CloudProcess::new(CloudConfig {
+            arch: arch.clone(),
+            me: hierarchy.cloud,
+            domain: DomainId(0),
+            registry: registry.clone(),
+            subscribers,
+            domain_of: domain_of.clone(),
+        }));
+        debug_assert_eq!(cloud_id, hierarchy.cloud);
+
+        for (i, &e) in hierarchy.edges.iter().enumerate() {
+            let peer_edges: Vec<ProcessId> =
+                hierarchy.edges.iter().copied().filter(|p| *p != e).collect();
+            let id = sim.add_process(EdgeProcess::new(EdgeConfig {
+                arch: arch.clone(),
+                me: e,
+                cloud: hierarchy.cloud,
+                peer_edges,
+                domain: domain_of[&e],
+                domain_of: domain_of.clone(),
+                registry: registry.clone(),
+                scope: i as u32,
+            }));
+            debug_assert_eq!(id, e);
+        }
+
+        let mut devices = Vec::with_capacity(spec.device_count());
+        let mut global_idx = 0usize;
+        for (e, devs) in hierarchy.devices.iter().enumerate() {
+            for &d in devs {
+                let personal =
+                    spec.personal_every > 0 && global_idx % spec.personal_every == 0;
+                let key = format!("dev{}/reading", d.0);
+                let backups: Vec<ProcessId> = (1..spec.edges)
+                    .map(|k| hierarchy.edges[(e + k) % spec.edges])
+                    .collect();
+                let id = sim.add_process(DeviceProcess::new(DeviceConfig {
+                    arch: arch.clone(),
+                    primary_edge: hierarchy.edges[e],
+                    backup_edges: backups,
+                    cloud: hierarchy.cloud,
+                    component: riot_model::ComponentId(d.0 as u32),
+                    data_key: key.clone(),
+                    sensitivity: if personal { Sensitivity::Personal } else { Sensitivity::Internal },
+                    domain: DomainId(0),
+                }));
+                debug_assert_eq!(id, d);
+                devices.push(DeviceInfo { id: d, edge_index: e, key, personal });
+                global_idx += 1;
+            }
+        }
+
+        // -- Disruptions become injections.
+        for ev in spec.disruptions.clone() {
+            let disruption = ev.disruption.clone();
+            sim.schedule_injection(ev.at, move |sim| apply_disruption(sim, disruption));
+        }
+
+        let requirements = standard_requirements(spec.thresholds);
+        let goals = standard_goal_model();
+        Scenario { spec, sim, hierarchy, devices, registry, requirements, goals }
+    }
+
+    /// The spec this scenario was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The devices of the built scenario.
+    pub fn devices(&self) -> &[DeviceInfo] {
+        &self.devices
+    }
+
+    /// Runs to completion, sampling requirements, and reports.
+    pub fn run(mut self) -> ScenarioResult {
+        let spec = self.spec.clone();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + spec.duration;
+        while t < end {
+            t = (t + spec.sample_every).min(end);
+            self.sim.run_until(t);
+            self.sample(t);
+        }
+        self.finish()
+    }
+
+    fn consumer_staleness(&mut self, info: &DeviceInfo, now: SimTime) -> f64 {
+        let spec = &self.spec;
+        match (spec.level, spec.architecture().replication) {
+            (_, ReplicationMode::None) => NEVER_SEEN_STALENESS_S,
+            (_, ReplicationMode::CloudOnly) | (_, ReplicationMode::EdgeToCloud) => self
+                .sim
+                .process::<CloudProcess>(self.hierarchy.cloud)
+                .and_then(|c| c.store().staleness_secs(&info.key, now))
+                .unwrap_or(NEVER_SEEN_STALENESS_S),
+            (_, ReplicationMode::EdgeMesh) => {
+                let consumer = self.hierarchy.edges[(info.edge_index + 1) % spec.edges];
+                self.sim
+                    .process::<EdgeProcess>(consumer)
+                    .and_then(|e| e.store().staleness_secs(&info.key, now))
+                    .unwrap_or(NEVER_SEEN_STALENESS_S)
+            }
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let spec = self.spec.clone();
+        // -- Control-loop window across devices.
+        let mut window = DeviceWindow::default();
+        let mut covered = 0usize;
+        let fresh_horizon = spec.architecture().sense_period * 3;
+        let device_infos: Vec<DeviceInfo> = self.devices.clone();
+        for info in &device_infos {
+            let up = self.sim.is_up(info.id);
+            let dev = self
+                .sim
+                .process_mut::<DeviceProcess>(info.id)
+                .expect("device process");
+            let w = dev.take_window();
+            window.control_ok += w.control_ok;
+            window.control_timeout += w.control_timeout;
+            window.latency_sum_ms += w.latency_sum_ms;
+            window.latency_count += w.latency_count;
+            let reporting = dev
+                .last_reading_at()
+                .map(|at| now.saturating_since(at) <= fresh_horizon)
+                .unwrap_or(false);
+            if up && dev.component_state().provides_service() && reporting {
+                covered += 1;
+            }
+        }
+
+        // -- Freshness at the consuming store (operational keys only;
+        // governed architectures rightfully keep personal keys home).
+        let mut staleness_sum = 0.0;
+        let mut staleness_n = 0usize;
+        for info in device_infos.iter().filter(|i| !i.personal) {
+            staleness_sum += self.consumer_staleness(info, now).min(NEVER_SEEN_STALENESS_S);
+            staleness_n += 1;
+        }
+
+        // -- Privacy audit across all stores.
+        let mut violations = 0usize;
+        if let Some(c) = self.sim.process::<CloudProcess>(self.hierarchy.cloud) {
+            violations += c.store().privacy_violations(&self.registry);
+        }
+        for &e in &self.hierarchy.edges {
+            if let Some(edge) = self.sim.process::<EdgeProcess>(e) {
+                violations += edge.store().privacy_violations(&self.registry);
+            }
+        }
+
+        // -- Telemetry map and verdicts.
+        let mut telemetry: BTreeMap<String, f64> = BTreeMap::new();
+        if let Some(avail) = window.availability() {
+            telemetry.insert("ctl.availability".into(), avail);
+        }
+        if let Some(lat) = window.mean_latency_ms() {
+            telemetry.insert("ctl.latency_ms".into(), lat);
+        }
+        telemetry.insert("coverage".into(), covered as f64 / device_infos.len().max(1) as f64);
+        if staleness_n > 0 {
+            telemetry.insert("freshness_s".into(), staleness_sum / staleness_n as f64);
+        }
+        telemetry.insert("privacy.violations".into(), violations as f64);
+
+        let verdicts = self.requirements.evaluate_all(&telemetry);
+        let goal_eval = self.goals.evaluate(&self.requirements, &telemetry);
+        let metrics = self.sim.metrics_mut();
+        metrics.series_push(
+            &format!("sat.{GOAL_NAME}"),
+            now,
+            if goal_eval.root == Verdict::Satisfied { 1.0 } else { 0.0 },
+        );
+        let mut all_sat = true;
+        let mut sat_count = 0usize;
+        for ((_, verdict), name) in verdicts.iter().zip(REQUIREMENT_NAMES) {
+            let sat = *verdict == Verdict::Satisfied;
+            all_sat &= sat;
+            sat_count += sat as usize;
+            metrics.series_push(&format!("sat.{name}"), now, if sat { 1.0 } else { 0.0 });
+        }
+        metrics.series_push("sat.all", now, if all_sat { 1.0 } else { 0.0 });
+        metrics.series_push("satfrac", now, sat_count as f64 / verdicts.len().max(1) as f64);
+        for (key, value) in &telemetry {
+            metrics.series_push(&format!("telemetry.{key}"), now, *value);
+        }
+    }
+
+    fn finish(mut self) -> ScenarioResult {
+        let spec = self.spec.clone();
+        let end = SimTime::ZERO + spec.duration;
+        let split = SimTime::ZERO + spec.warmup;
+        let failovers = self.sim.metrics().counter("device.failover");
+        let restarts = self.sim.metrics().counter("device.component.restarted");
+        let restart_commands = self.sim.metrics().counter("mape.restart_sent");
+        let ingest_denied = self.sim.metrics().counter("edge.ingest.denied")
+            + self.sim.metrics().counter("cloud.ingest.denied");
+        let msgs_sent = self.sim.metrics().counter("sim.msg.sent");
+        let msgs_dropped = self.sim.metrics().counter("sim.msg.dropped");
+        let latency = self.sim.metrics_mut().summarize("device.control.latency_ms");
+        let mut names: Vec<&str> = REQUIREMENT_NAMES.to_vec();
+        names.push(GOAL_NAME);
+        let report =
+            ResilienceReport::from_metrics(self.sim.metrics(), &names, SimTime::ZERO, split, end);
+        let series = |name: &str| -> Vec<(f64, f64)> {
+            self.sim
+                .metrics()
+                .series(name)
+                .unwrap_or(&[])
+                .iter()
+                .map(|(t, v)| (t.as_secs_f64(), *v))
+                .collect()
+        };
+        let sat_all_series = series("sat.all");
+        let satfrac_series = series("satfrac");
+        let mut telemetry_means = BTreeMap::new();
+        let telemetry_names: Vec<String> = self
+            .sim
+            .metrics()
+            .series_names()
+            .filter(|n| n.starts_with("telemetry."))
+            .map(str::to_owned)
+            .collect();
+        for name in telemetry_names {
+            if let Some(mean) = self.sim.metrics().time_weighted_mean_raw(&name, split, end) {
+                telemetry_means.insert(name.trim_start_matches("telemetry.").to_owned(), mean);
+            }
+        }
+        ScenarioResult {
+            name: spec.name.clone(),
+            level: spec.level,
+            seed: spec.seed,
+            devices: spec.device_count(),
+            edges: spec.edges,
+            duration_s: spec.duration.as_secs_f64(),
+            report,
+            failovers,
+            restarts,
+            restart_commands,
+            ingest_denied,
+            messages_sent: msgs_sent,
+            messages_dropped: msgs_dropped,
+            control_latency: latency,
+            events_processed: self.sim.events_processed(),
+            sat_all_series,
+            satfrac_series,
+            telemetry_means,
+        }
+    }
+}
+
+/// Applies one disruption inside an injection.
+fn apply_disruption(sim: &mut Sim<Msg>, disruption: Disruption) {
+    match disruption {
+        Disruption::NodeCrash { node, recover_after } => {
+            sim.set_down(node);
+            // Dead hardware neither hosts software nor relays traffic.
+            let cut = sim
+                .medium_mut::<Network>()
+                .map(|net| net.isolate(node))
+                .unwrap_or_default();
+            if let Some(delay) = recover_after {
+                let at = sim.now() + delay;
+                sim.schedule_injection(at, move |sim| {
+                    sim.set_up(node);
+                    if let Some(net) = sim.medium_mut::<Network>() {
+                        for (a, b) in cut {
+                            net.restore_link(a, b);
+                        }
+                    }
+                });
+            }
+        }
+        Disruption::ComponentFault { node, .. } => {
+            if let Some(dev) = sim.process_mut::<DeviceProcess>(node) {
+                dev.fail_component();
+            }
+        }
+        Disruption::LinkDegradation { a, b, factor, heal_after } => {
+            if let Some(net) = sim.medium_mut::<Network>() {
+                net.degrade_link(a, b, factor);
+            }
+            if let Some(delay) = heal_after {
+                let at = sim.now() + delay;
+                sim.schedule_injection(at, move |sim| {
+                    if let Some(net) = sim.medium_mut::<Network>() {
+                        net.restore_link_quality(a, b);
+                    }
+                });
+            }
+        }
+        Disruption::LinkCut { a, b, heal_after } => {
+            if let Some(net) = sim.medium_mut::<Network>() {
+                net.cut_link(a, b);
+            }
+            if let Some(delay) = heal_after {
+                let at = sim.now() + delay;
+                sim.schedule_injection(at, move |sim| {
+                    if let Some(net) = sim.medium_mut::<Network>() {
+                        net.restore_link(a, b);
+                    }
+                });
+            }
+        }
+        Disruption::CloudOutage { cloud, heal_after } => {
+            let cut = sim
+                .medium_mut::<Network>()
+                .map(|net| net.isolate(cloud))
+                .unwrap_or_default();
+            if let Some(delay) = heal_after {
+                let at = sim.now() + delay;
+                sim.schedule_injection(at, move |sim| {
+                    if let Some(net) = sim.medium_mut::<Network>() {
+                        for (a, b) in cut {
+                            net.restore_link(a, b);
+                        }
+                    }
+                });
+            }
+        }
+        Disruption::Partition { groups, heal_after } => {
+            let cut = sim
+                .medium_mut::<Network>()
+                .map(|net| net.partition(&groups))
+                .unwrap_or_default();
+            if let Some(delay) = heal_after {
+                let at = sim.now() + delay;
+                sim.schedule_injection(at, move |sim| {
+                    if let Some(net) = sim.medium_mut::<Network>() {
+                        for (a, b) in cut {
+                            net.restore_link(a, b);
+                        }
+                    }
+                });
+            }
+        }
+        Disruption::DomainTransfer { entity, to } => {
+            let node = ProcessId(entity as usize);
+            if let Some(edge) = sim.process_mut::<EdgeProcess>(node) {
+                edge.transfer_domain(to);
+            }
+        }
+        Disruption::Mobility { device, new_parent } => {
+            if let Some(net) = sim.medium_mut::<Network>() {
+                net.reattach(device, new_parent, presets::device_edge());
+            }
+            if let Some(dev) = sim.process_mut::<DeviceProcess>(device) {
+                dev.rehome(new_parent);
+            }
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Maturity level run.
+    pub level: MaturityLevel,
+    /// Seed used.
+    pub seed: u64,
+    /// Number of devices.
+    pub devices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Run length in virtual seconds.
+    pub duration_s: f64,
+    /// The resilience report.
+    pub report: ResilienceReport,
+    /// Device failovers performed (ML4).
+    pub failovers: u64,
+    /// Component restarts completed.
+    pub restarts: u64,
+    /// Restart commands issued by MAPE loops.
+    pub restart_commands: u64,
+    /// Records denied at policy-checked ingestion.
+    pub ingest_denied: u64,
+    /// Messages submitted to the medium.
+    pub messages_sent: u64,
+    /// Messages dropped (loss, partitions, dead nodes).
+    pub messages_dropped: u64,
+    /// Control round-trip latency summary.
+    pub control_latency: Option<HistogramSummary>,
+    /// Simulator events processed.
+    pub events_processed: u64,
+    /// The sampled all-requirements-satisfied indicator, as
+    /// `(seconds, 0/1)` — the trace runtime monitors consume.
+    pub sat_all_series: Vec<(f64, f64)>,
+    /// The sampled satisfied-fraction series, as `(seconds, fraction)`.
+    pub satfrac_series: Vec<(f64, f64)>,
+    /// Time-weighted means of the sampled telemetry over the disruption
+    /// window, keyed by telemetry name (`"freshness_s"`, `"coverage"`, ...),
+    /// in each metric's natural scale.
+    pub telemetry_means: BTreeMap<String, f64>,
+}
+
+impl ScenarioResult {
+    /// The resilience R of the all-requirements indicator.
+    pub fn overall_resilience(&self) -> f64 {
+        self.report.overall_resilience
+    }
+
+    /// Resilience of one named requirement.
+    pub fn requirement_resilience(&self, name: &str) -> Option<f64> {
+        self.report.requirements.get(name).map(|o| o.resilience)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(level: MaturityLevel) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new("unit", level, 42);
+        spec.edges = 2;
+        spec.devices_per_edge = 2;
+        spec.duration = SimDuration::from_secs(30);
+        spec.warmup = SimDuration::from_secs(10);
+        spec
+    }
+
+    #[test]
+    fn id_layout_is_deterministic() {
+        let spec = small(MaturityLevel::Ml4);
+        assert_eq!(spec.cloud_id(), ProcessId(0));
+        assert_eq!(spec.edge_id(0), ProcessId(1));
+        assert_eq!(spec.edge_id(1), ProcessId(2));
+        assert_eq!(spec.device_id(0, 0), ProcessId(3));
+        assert_eq!(spec.device_id(1, 1), ProcessId(6));
+        assert_eq!(spec.device_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_index_panics() {
+        let _ = small(MaturityLevel::Ml4).edge_id(9);
+    }
+
+    #[test]
+    fn build_matches_layout() {
+        let spec = small(MaturityLevel::Ml4);
+        let scenario = Scenario::build(spec.clone());
+        assert_eq!(scenario.devices().len(), 4);
+        assert_eq!(scenario.devices()[0].id, spec.device_id(0, 0));
+        assert!(scenario.devices()[0].personal, "device 0 is personal at every=4");
+        assert!(!scenario.devices()[1].personal);
+    }
+
+    #[test]
+    fn calm_ml4_run_is_fully_satisfied() {
+        let result = Scenario::build(small(MaturityLevel::Ml4)).run();
+        // With only 4 devices a single lost packet can blip one
+        // availability sample, so allow a small margin here; the full-size
+        // experiments use larger windows.
+        assert!(
+            result.report.overall_resilience > 0.9,
+            "calm ML4 should satisfy (almost) everything: {:#?}",
+            result.report
+        );
+        // A loss-induced failover may briefly home a personal-data device
+        // on the vendor edge; governance denies those pushes, so privacy
+        // holds regardless.
+        assert!((result.report.requirements["privacy"].resilience - 1.0).abs() < f64::EPSILON);
+        assert!(result.messages_sent > 100);
+    }
+
+    #[test]
+    fn calm_ml1_fails_freshness_but_nothing_else() {
+        let result = Scenario::build(small(MaturityLevel::Ml1)).run();
+        let r = &result.report.requirements;
+        assert!(r["latency"].resilience > 0.95, "local control is fast");
+        assert!(r["availability"].resilience > 0.95);
+        assert!(r["coverage"].resilience > 0.95);
+        assert!(r["freshness"].resilience < 0.05, "silos share nothing");
+        assert!(r["privacy"].resilience > 0.95, "nothing flows, nothing leaks");
+    }
+
+    #[test]
+    fn component_fault_without_adaptation_is_permanent() {
+        let mut spec = small(MaturityLevel::Ml1);
+        let dev = spec.device_id(0, 0);
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(12),
+            Disruption::ComponentFault { node: dev, component: riot_model::ComponentId(0) },
+        );
+        let result = Scenario::build(spec).run();
+        assert_eq!(result.restarts, 0, "ML1 has no MAPE");
+        let cov = result.report.requirements["coverage"].resilience;
+        assert!(cov < 0.9, "one of four devices dark forever: {cov}");
+    }
+
+    #[test]
+    fn component_fault_with_cloud_mape_recovers() {
+        let mut spec = small(MaturityLevel::Ml2);
+        let dev = spec.device_id(0, 0);
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(12),
+            Disruption::ComponentFault { node: dev, component: riot_model::ComponentId(0) },
+        );
+        let result = Scenario::build(spec).run();
+        assert!(result.restarts >= 1, "cloud MAPE restarted the component");
+        let cov = result.report.requirements["coverage"].outages;
+        assert!(cov <= 2, "short outage only");
+    }
+
+    #[test]
+    fn vendor_edge_receives_personal_data_only_when_ungoverned() {
+        let ml3 = Scenario::build(small(MaturityLevel::Ml3)).run();
+        let ml4 = Scenario::build(small(MaturityLevel::Ml4)).run();
+        assert!(
+            ml3.report.requirements["privacy"].resilience < 1.0,
+            "ML3 leaks to the vendor subscription"
+        );
+        assert!(
+            (ml4.report.requirements["privacy"].resilience - 1.0).abs() < f64::EPSILON,
+            "ML4 governance keeps personal data home"
+        );
+        assert!(ml4.ingest_denied > 0 || ml4.report.requirements["privacy"].resilience == 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Data items and their governance-relevant metadata.
+//!
+//! Figure 4 of the paper shows sensitive data-producing devices inside
+//! *privacy scopes* "defined by particular legal jurisdictions (e.g. EU
+//! GDPR) or end-user privacy preferences". For a policy engine to act, each
+//! datum must carry its classification: sensitivity, purpose, origin, and
+//! the subject it describes. [`DataMeta`] is that label; [`DataRecord`]
+//! pairs it with a value.
+
+use riot_model::DomainId;
+use riot_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Sensitivity classification, ordered from least to most restricted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Freely shareable (aggregate city statistics).
+    Public,
+    /// Operational data, shareable with partners.
+    Internal,
+    /// Personal data (GDPR Art. 4): location traces, health wearables.
+    Personal,
+    /// Special-category personal data (GDPR Art. 9): health, biometrics.
+    Special,
+}
+
+/// The declared purpose a datum may be processed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Purpose {
+    /// Keeping the system itself running (control loops, health).
+    Operations,
+    /// Aggregate analytics.
+    Analytics,
+    /// Scientific research.
+    Research,
+    /// Commercial exploitation.
+    Marketing,
+}
+
+/// Governance metadata attached to every datum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataMeta {
+    /// Sensitivity class.
+    pub sensitivity: Sensitivity,
+    /// Purposes the datum was collected for.
+    pub purposes: Vec<Purpose>,
+    /// The administrative domain where the datum originated.
+    pub origin: DomainId,
+    /// When it was produced (drives freshness metrics).
+    pub produced_at: SimTime,
+}
+
+impl DataMeta {
+    /// Creates metadata for an operational datum.
+    pub fn operational(origin: DomainId, produced_at: SimTime) -> Self {
+        DataMeta {
+            sensitivity: Sensitivity::Internal,
+            purposes: vec![Purpose::Operations],
+            origin,
+            produced_at,
+        }
+    }
+
+    /// Creates metadata for a personal datum.
+    pub fn personal(origin: DomainId, produced_at: SimTime) -> Self {
+        DataMeta {
+            sensitivity: Sensitivity::Personal,
+            purposes: vec![Purpose::Operations],
+            origin,
+            produced_at,
+        }
+    }
+
+    /// `true` if the datum is allowed to be processed for `purpose`.
+    pub fn allows_purpose(&self, purpose: Purpose) -> bool {
+        self.purposes.contains(&purpose)
+    }
+
+    /// Age of the datum at `now`, in seconds.
+    pub fn age_secs(&self, now: SimTime) -> f64 {
+        now.saturating_since(self.produced_at).as_secs_f64()
+    }
+}
+
+/// A keyed scalar observation with governance metadata — the unit the
+/// replicated store synchronizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataRecord {
+    /// Application key (e.g. `"zone3/occupancy"`).
+    pub key: String,
+    /// Observed value.
+    pub value: f64,
+    /// Governance label.
+    pub meta: DataMeta,
+}
+
+impl DataRecord {
+    /// Creates a record.
+    pub fn new(key: impl Into<String>, value: f64, meta: DataMeta) -> Self {
+        DataRecord { key: key.into(), value, meta }
+    }
+
+    /// A redacted copy: the value is blanked and sensitivity dropped to
+    /// [`Sensitivity::Public`] — what a `Redact` policy action emits.
+    pub fn redacted(&self) -> DataRecord {
+        DataRecord {
+            key: self.key.clone(),
+            value: f64::NAN,
+            meta: DataMeta {
+                sensitivity: Sensitivity::Public,
+                purposes: self.meta.purposes.clone(),
+                origin: self.meta.origin,
+                produced_at: self.meta.produced_at,
+            },
+        }
+    }
+
+    /// `true` if the value was redacted.
+    pub fn is_redacted(&self) -> bool {
+        self.value.is_nan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_is_ordered() {
+        assert!(Sensitivity::Public < Sensitivity::Internal);
+        assert!(Sensitivity::Internal < Sensitivity::Personal);
+        assert!(Sensitivity::Personal < Sensitivity::Special);
+    }
+
+    #[test]
+    fn constructors_and_purposes() {
+        let m = DataMeta::operational(DomainId(1), SimTime::from_secs(5));
+        assert_eq!(m.sensitivity, Sensitivity::Internal);
+        assert!(m.allows_purpose(Purpose::Operations));
+        assert!(!m.allows_purpose(Purpose::Marketing));
+        let p = DataMeta::personal(DomainId(1), SimTime::ZERO);
+        assert_eq!(p.sensitivity, Sensitivity::Personal);
+    }
+
+    #[test]
+    fn age_computation() {
+        let m = DataMeta::operational(DomainId(0), SimTime::from_secs(10));
+        assert_eq!(m.age_secs(SimTime::from_secs(25)), 15.0);
+        assert_eq!(m.age_secs(SimTime::from_secs(5)), 0.0, "future data has zero age");
+    }
+
+    #[test]
+    fn redaction_blanks_value_and_declassifies() {
+        let rec = DataRecord::new("hr/bpm", 72.0, DataMeta::personal(DomainId(2), SimTime::ZERO));
+        assert!(!rec.is_redacted());
+        let red = rec.redacted();
+        assert!(red.is_redacted());
+        assert_eq!(red.meta.sensitivity, Sensitivity::Public);
+        assert_eq!(red.key, rec.key);
+        assert_eq!(red.meta.origin, rec.meta.origin);
+    }
+}

@@ -1,0 +1,253 @@
+//! Data lineage: where data came from and what touched it.
+//!
+//! §VI-B: "methodologically follow the data lineage within IoT — data's
+//! origins, what happens to it and where it moves over time, providing
+//! mechanisms for resilient data governance". [`LineageGraph`] is an
+//! append-only DAG: nodes are datum versions (with the operation and the
+//! domain where it happened), edges point from a derived version to its
+//! inputs. Governance queries walk ancestry: e.g. *does this aggregate
+//! derive from any personal datum?* must be answerable before the aggregate
+//! crosses a domain boundary.
+
+use riot_model::DomainId;
+use riot_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifies a node of the lineage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineageId(pub u32);
+
+/// What produced a datum version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation {
+    /// Observed from the physical world (a sensor reading).
+    Sensed,
+    /// Aggregated or transformed from inputs.
+    Derived,
+    /// Copied across components (a synchronization).
+    Replicated,
+    /// Redacted by a governance policy.
+    Redacted,
+}
+
+/// One datum version in the lineage DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineageNode {
+    /// Application key of the datum.
+    pub key: String,
+    /// How this version came to be.
+    pub operation: Operation,
+    /// The domain where the operation happened.
+    pub domain: DomainId,
+    /// When it happened.
+    pub at: SimTime,
+    /// `true` when the version carries personal/special data.
+    pub sensitive: bool,
+    /// Direct inputs (empty for sensed data).
+    pub inputs: Vec<LineageId>,
+}
+
+/// An append-only provenance DAG.
+///
+/// # Examples
+///
+/// ```
+/// use riot_data::{LineageGraph, Operation};
+/// use riot_model::DomainId;
+/// use riot_sim::SimTime;
+///
+/// let mut g = LineageGraph::new();
+/// let hr = g.record("wearable/hr", Operation::Sensed, DomainId(0), SimTime::ZERO, true, &[]);
+/// let avg = g.record("ward/avg_hr", Operation::Derived, DomainId(0), SimTime::from_secs(1), false, &[hr]);
+/// assert!(g.derives_from_sensitive(avg), "the aggregate inherits sensitivity taint");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LineageGraph {
+    nodes: Vec<LineageNode>,
+}
+
+impl LineageGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        LineageGraph::default()
+    }
+
+    /// Records a new datum version; `inputs` must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a forward reference (inputs must precede derivations —
+    /// the DAG is built in causal order).
+    pub fn record(
+        &mut self,
+        key: impl Into<String>,
+        operation: Operation,
+        domain: DomainId,
+        at: SimTime,
+        sensitive: bool,
+        inputs: &[LineageId],
+    ) -> LineageId {
+        for i in inputs {
+            assert!((i.0 as usize) < self.nodes.len(), "unknown lineage input {i:?}");
+        }
+        let id = LineageId(self.nodes.len() as u32);
+        self.nodes.push(LineageNode {
+            key: key.into(),
+            operation,
+            domain,
+            at,
+            sensitive,
+            inputs: inputs.to_vec(),
+        });
+        id
+    }
+
+    /// Borrows a node.
+    pub fn get(&self, id: LineageId) -> Option<&LineageNode> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// Number of recorded versions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All transitive ancestors of `id` (excluding itself), in id order.
+    pub fn ancestors(&self, id: LineageId) -> Vec<LineageId> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<LineageId> = self
+            .get(id)
+            .map(|n| n.inputs.clone())
+            .unwrap_or_default();
+        while let Some(a) = stack.pop() {
+            if seen.insert(a) {
+                stack.extend(self.nodes[a.0 as usize].inputs.iter().copied());
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The root (sensed) versions this datum ultimately derives from.
+    pub fn sources(&self, id: LineageId) -> Vec<LineageId> {
+        let mut roots: Vec<LineageId> = self
+            .ancestors(id)
+            .into_iter()
+            .filter(|a| self.nodes[a.0 as usize].inputs.is_empty())
+            .collect();
+        if self.get(id).is_some_and(|n| n.inputs.is_empty()) {
+            roots.push(id);
+        }
+        roots
+    }
+
+    /// `true` if the version or any ancestor is marked sensitive — the
+    /// *taint* query governance asks before an egress. Redaction cuts the
+    /// taint: ancestry is not followed through a [`Operation::Redacted`]
+    /// node (the redacted copy is, by construction, sanitized).
+    pub fn derives_from_sensitive(&self, id: LineageId) -> bool {
+        let Some(node) = self.get(id) else {
+            return false;
+        };
+        if node.sensitive {
+            return true;
+        }
+        if node.operation == Operation::Redacted {
+            return false;
+        }
+        node.inputs.iter().any(|i| self.derives_from_sensitive(*i))
+    }
+
+    /// The domains this datum's lineage has traversed (including its own).
+    pub fn domains_traversed(&self, id: LineageId) -> Vec<DomainId> {
+        let mut domains = BTreeSet::new();
+        if let Some(n) = self.get(id) {
+            domains.insert(n.domain);
+        }
+        for a in self.ancestors(id) {
+            domains.insert(self.nodes[a.0 as usize].domain);
+        }
+        domains.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (LineageGraph, LineageId, LineageId, LineageId, LineageId) {
+        // s1 (sensed, sensitive)   s2 (sensed, public)
+        //      \                  /
+        //       d (derived in dom1)
+        //       |
+        //       r (replicated into dom2)
+        let mut g = LineageGraph::new();
+        let s1 = g.record("hr", Operation::Sensed, DomainId(0), SimTime::ZERO, true, &[]);
+        let s2 = g.record("temp", Operation::Sensed, DomainId(0), SimTime::ZERO, false, &[]);
+        let d = g.record("score", Operation::Derived, DomainId(1), SimTime::from_secs(1), false, &[s1, s2]);
+        let r = g.record("score", Operation::Replicated, DomainId(2), SimTime::from_secs(2), false, &[d]);
+        (g, s1, s2, d, r)
+    }
+
+    #[test]
+    fn ancestry_is_transitive() {
+        let (g, s1, s2, d, r) = diamond();
+        assert_eq!(g.ancestors(r), vec![s1, s2, d]);
+        assert_eq!(g.ancestors(d), vec![s1, s2]);
+        assert!(g.ancestors(s1).is_empty());
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn sources_finds_sensed_roots() {
+        let (g, s1, s2, _, r) = diamond();
+        assert_eq!(g.sources(r), vec![s1, s2]);
+        assert_eq!(g.sources(s1), vec![s1], "a root is its own source");
+    }
+
+    #[test]
+    fn sensitivity_taint_propagates() {
+        let (g, s1, s2, d, r) = diamond();
+        assert!(g.derives_from_sensitive(s1));
+        assert!(!g.derives_from_sensitive(s2));
+        assert!(g.derives_from_sensitive(d), "derived from sensitive hr");
+        assert!(g.derives_from_sensitive(r), "taint survives replication");
+    }
+
+    #[test]
+    fn redaction_cuts_taint() {
+        let (mut g, s1, _, _, _) = diamond();
+        let red = g.record("hr-red", Operation::Redacted, DomainId(0), SimTime::from_secs(3), false, &[s1]);
+        assert!(!g.derives_from_sensitive(red), "redaction sanitizes");
+        let reuse = g.record("agg", Operation::Derived, DomainId(2), SimTime::from_secs(4), false, &[red]);
+        assert!(!g.derives_from_sensitive(reuse));
+    }
+
+    #[test]
+    fn domains_traversed_accumulate() {
+        let (g, _, _, d, r) = diamond();
+        assert_eq!(g.domains_traversed(d), vec![DomainId(0), DomainId(1)]);
+        assert_eq!(g.domains_traversed(r), vec![DomainId(0), DomainId(1), DomainId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown lineage input")]
+    fn forward_reference_panics() {
+        let mut g = LineageGraph::new();
+        g.record("x", Operation::Derived, DomainId(0), SimTime::ZERO, false, &[LineageId(5)]);
+    }
+
+    #[test]
+    fn unknown_id_queries_are_safe() {
+        let g = LineageGraph::new();
+        assert!(g.is_empty());
+        assert!(!g.derives_from_sensitive(LineageId(3)));
+        assert!(g.get(LineageId(3)).is_none());
+        assert!(g.ancestors(LineageId(3)).is_empty());
+    }
+}

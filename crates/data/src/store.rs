@@ -1,0 +1,563 @@
+//! A policy-enforcing replicated data store.
+//!
+//! The data-plane component Figure 4 implies: each data-handling software
+//! component holds a [`ReplicatedStore`] of keyed records; stores
+//! synchronize by anti-entropy push ([`ReplicatedStore::sync_out`] →
+//! [`ReplicatedStore::on_sync`]), resolving conflicts last-writer-wins; and
+//! **every record crossing the component boundary passes the governance
+//! policy twice** — at egress by the sender and at ingress by the receiver
+//! (defense in depth: an ungoverned or compromised sender cannot force
+//! sensitive data into a governed store).
+//!
+//! The store also answers the audit query behind experiment E5:
+//! [`ReplicatedStore::privacy_violations`] counts personal records resting
+//! in domains they should never have reached.
+
+use crate::item::{DataMeta, DataRecord, Sensitivity};
+use crate::policy::{FlowContext, PolicyAction, PolicyEngine};
+use crate::vclock::ReplicaId;
+use riot_model::{DomainId, DomainRegistry, TrustLevel};
+use riot_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One stored record with its LWW version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// The record.
+    pub record: DataRecord,
+    /// Write timestamp (LWW major key).
+    pub written_at: SimTime,
+    /// Writing replica (LWW tie-break).
+    pub writer: ReplicaId,
+}
+
+/// An anti-entropy push message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncMsg {
+    /// Domain of the sending store (receivers re-check policy against it).
+    pub from_domain: DomainId,
+    /// The pushed entries.
+    pub entries: Vec<StoreEntry>,
+}
+
+/// Flow-governance counters kept by each store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Entries blocked at egress.
+    pub egress_denied: u64,
+    /// Entries redacted at egress.
+    pub egress_redacted: u64,
+    /// Entries blocked at ingress (sender should not have sent them).
+    pub ingress_denied: u64,
+    /// Records accepted from peers.
+    pub ingress_accepted: u64,
+    /// Local writes.
+    pub local_writes: u64,
+}
+
+/// A replicated key-value store with governance enforcement.
+///
+/// # Examples
+///
+/// ```
+/// use riot_data::{DataMeta, PolicyEngine, ReplicatedStore};
+/// use riot_model::{Domain, DomainId, DomainRegistry, Jurisdiction, TrustLevel};
+/// use riot_sim::SimTime;
+///
+/// let mut reg = DomainRegistry::new();
+/// reg.register(Domain { id: DomainId(0), name: "a".into(), jurisdiction: Jurisdiction::EuGdpr });
+/// reg.register(Domain { id: DomainId(1), name: "b".into(), jurisdiction: Jurisdiction::EuGdpr });
+/// reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Trusted);
+///
+/// let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
+/// let mut dst = ReplicatedStore::new(1, DomainId(1), PolicyEngine::governed());
+/// src.put("zone/occupancy", 17.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+///
+/// let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
+/// dst.on_sync(msg, &reg, SimTime::from_millis(5));
+/// assert_eq!(dst.get("zone/occupancy").map(|r| r.value), Some(17.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicatedStore {
+    replica: ReplicaId,
+    domain: DomainId,
+    policy: PolicyEngine,
+    entries: BTreeMap<String, StoreEntry>,
+    stats: StoreStats,
+}
+
+impl ReplicatedStore {
+    /// Creates an empty store owned by `domain`.
+    pub fn new(replica: ReplicaId, domain: DomainId, policy: PolicyEngine) -> Self {
+        ReplicatedStore { replica, domain, policy, entries: BTreeMap::new(), stats: StoreStats::default() }
+    }
+
+    /// This store's replica id.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// The domain this store lives in.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Governance counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Replaces the policy (a domain-transfer disruption may require it).
+    pub fn set_policy(&mut self, policy: PolicyEngine) {
+        self.policy = policy;
+    }
+
+    /// Moves the store to a new domain (the domain-transfer disruption).
+    pub fn set_domain(&mut self, domain: DomainId) {
+        self.domain = domain;
+    }
+
+    /// Ingests a record arriving from a producer (a device pushing a
+    /// reading): the governance policy is applied to the flow from the
+    /// datum's *origin domain* into this store's domain. Returns the action
+    /// taken — on `Deny` nothing is stored, on `Redact` a sanitized copy is.
+    ///
+    /// This is the paper's "the edge can manage a local privacy scope"
+    /// (§VI-B): a governed edge refuses or redacts out-of-scope personal
+    /// data at the door, while a permissive store accepts it verbatim.
+    pub fn ingest(
+        &mut self,
+        key: impl Into<String>,
+        value: f64,
+        meta: DataMeta,
+        registry: &DomainRegistry,
+        now: SimTime,
+    ) -> PolicyAction {
+        let ctx = FlowContext { meta: &meta, from: meta.origin, to: self.domain };
+        let (action, _) = self.policy.decide(&ctx, registry);
+        match action {
+            PolicyAction::Allow => self.put(key, value, meta, now),
+            PolicyAction::Redact => {
+                let record = DataRecord::new(key, value, meta).redacted();
+                self.stats.local_writes += 1;
+                self.apply(StoreEntry { record, written_at: now, writer: self.replica });
+            }
+            PolicyAction::Deny => {
+                self.stats.ingress_denied += 1;
+            }
+        }
+        action
+    }
+
+    /// Writes a record locally.
+    pub fn put(&mut self, key: impl Into<String>, value: f64, meta: DataMeta, now: SimTime) {
+        let key = key.into();
+        self.stats.local_writes += 1;
+        let entry = StoreEntry {
+            record: DataRecord::new(key.clone(), value, meta),
+            written_at: now,
+            writer: self.replica,
+        };
+        self.apply(entry);
+    }
+
+    /// Reads a record.
+    pub fn get(&self, key: &str) -> Option<&DataRecord> {
+        self.entries.get(key).map(|e| &e.record)
+    }
+
+    /// Seconds since the record was produced, or `None` when absent.
+    pub fn staleness_secs(&self, key: &str, now: SimTime) -> Option<f64> {
+        self.get(key).map(|r| r.meta.age_secs(now))
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StoreEntry)> {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e))
+    }
+
+    fn apply(&mut self, entry: StoreEntry) -> bool {
+        match self.entries.get(&entry.record.key) {
+            Some(existing)
+                if (existing.written_at, existing.writer) >= (entry.written_at, entry.writer) =>
+            {
+                false
+            }
+            _ => {
+                self.entries.insert(entry.record.key.clone(), entry);
+                true
+            }
+        }
+    }
+
+    /// Builds the anti-entropy push towards a peer in `peer_domain`,
+    /// applying egress policy per entry. `since` bounds the delta: only
+    /// entries written strictly after it are pushed (pass
+    /// [`SimTime::ZERO`] for a full push).
+    pub fn sync_out(&mut self, peer_domain: DomainId, registry: &DomainRegistry, since: SimTime) -> SyncMsg {
+        let mut entries = Vec::new();
+        for entry in self.entries.values() {
+            if since > SimTime::ZERO && entry.written_at <= since {
+                continue;
+            }
+            let ctx = FlowContext { meta: &entry.record.meta, from: self.domain, to: peer_domain };
+            match self.policy.decide(&ctx, registry).0 {
+                PolicyAction::Allow => entries.push(entry.clone()),
+                PolicyAction::Redact => {
+                    self.stats.egress_redacted += 1;
+                    entries.push(StoreEntry {
+                        record: entry.record.redacted(),
+                        written_at: entry.written_at,
+                        writer: entry.writer,
+                    });
+                }
+                PolicyAction::Deny => {
+                    self.stats.egress_denied += 1;
+                }
+            }
+        }
+        SyncMsg { from_domain: self.domain, entries }
+    }
+
+    /// Merges a received push, applying ingress policy per entry. Returns
+    /// the number of entries that changed local state.
+    pub fn on_sync(&mut self, msg: SyncMsg, registry: &DomainRegistry, _now: SimTime) -> usize {
+        let mut changed = 0;
+        for entry in msg.entries {
+            let ctx = FlowContext { meta: &entry.record.meta, from: msg.from_domain, to: self.domain };
+            match self.policy.decide(&ctx, registry).0 {
+                PolicyAction::Deny => {
+                    self.stats.ingress_denied += 1;
+                }
+                PolicyAction::Redact => {
+                    let redacted = StoreEntry {
+                        record: entry.record.redacted(),
+                        written_at: entry.written_at,
+                        writer: entry.writer,
+                    };
+                    if self.apply(redacted) {
+                        changed += 1;
+                        self.stats.ingress_accepted += 1;
+                    }
+                }
+                PolicyAction::Allow => {
+                    if self.apply(entry) {
+                        changed += 1;
+                        self.stats.ingress_accepted += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Drops every entry — the volatile-memory semantics of a node restart
+    /// (stats are preserved; they describe the component's lifetime).
+    /// Anti-entropy subsequently repopulates the store from peers, which is
+    /// precisely the recovery path replication buys.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Evicts records older than the retention window for their
+    /// sensitivity class — the GDPR storage-limitation principle: personal
+    /// data is kept no longer than needed. Returns how many were evicted.
+    ///
+    /// `retention` maps a sensitivity class to a maximum age in seconds;
+    /// classes without an entry are retained indefinitely.
+    pub fn enforce_retention(
+        &mut self,
+        retention: &[(Sensitivity, f64)],
+        now: SimTime,
+    ) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| {
+            match retention.iter().find(|(s, _)| *s == e.record.meta.sensitivity) {
+                Some((_, max_age)) => e.record.meta.age_secs(now) <= *max_age,
+                None => true,
+            }
+        });
+        before - self.entries.len()
+    }
+
+    /// Evicts every resting record that currently constitutes a privacy
+    /// violation (see [`ReplicatedStore::privacy_violations`]) and returns
+    /// how many were purged. A governed component calls this after a
+    /// domain transfer: data legitimately held in the old domain may be
+    /// out of scope in the new one.
+    pub fn purge_violations(&mut self, registry: &DomainRegistry) -> usize {
+        let domain = self.domain;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| {
+            !(!e.record.is_redacted()
+                && e.record.meta.sensitivity >= Sensitivity::Personal
+                && e.record.meta.origin != domain
+                && registry.trust(e.record.meta.origin, domain) < TrustLevel::Trusted)
+        });
+        before - self.entries.len()
+    }
+
+    /// Audit: counts resting records that constitute privacy violations —
+    /// personal-or-worse data sitting in a domain other than its origin
+    /// whose trust relation with the origin is below `Trusted`.
+    pub fn privacy_violations(&self, registry: &DomainRegistry) -> usize {
+        self.entries
+            .values()
+            .filter(|e| {
+                !e.record.is_redacted()
+                    && e.record.meta.sensitivity >= Sensitivity::Personal
+                    && e.record.meta.origin != self.domain
+                    && registry.trust(e.record.meta.origin, self.domain) < TrustLevel::Trusted
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_model::{Domain, Jurisdiction};
+
+    fn registry() -> DomainRegistry {
+        let mut reg = DomainRegistry::new();
+        reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+        reg.register(Domain { id: DomainId(1), name: "vendor".into(), jurisdiction: Jurisdiction::UsCcpa });
+        reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Partner);
+        reg
+    }
+
+    #[test]
+    fn local_write_and_read() {
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        s.put("k", 1.5, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(s.get("k").unwrap().value, 1.5);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stats().local_writes, 1);
+        assert_eq!(s.staleness_secs("k", SimTime::from_secs(4)), Some(4.0));
+        assert_eq!(s.staleness_secs("missing", SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn lww_merge_keeps_freshest() {
+        let reg = registry();
+        let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
+        a.put("k", 1.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
+        b.put("k", 2.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(2));
+        // Push the older into the newer: no change.
+        let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        assert_eq!(b.on_sync(msg, &reg, SimTime::from_secs(3)), 0);
+        assert_eq!(b.get("k").unwrap().value, 2.0);
+        // Push the newer into the older: replaced.
+        let msg = b.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        assert_eq!(a.on_sync(msg, &reg, SimTime::from_secs(3)), 1);
+        assert_eq!(a.get("k").unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn bidirectional_sync_converges() {
+        let reg = registry();
+        let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
+        for i in 0..10 {
+            a.put(format!("a/{i}"), i as f64, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(i));
+            b.put(format!("b/{i}"), i as f64, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(i));
+        }
+        let m1 = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        b.on_sync(m1, &reg, SimTime::from_secs(20));
+        let m2 = b.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        a.on_sync(m2, &reg, SimTime::from_secs(20));
+        assert_eq!(a.len(), 20);
+        assert_eq!(b.len(), 20);
+        for (k, e) in a.iter() {
+            assert_eq!(Some(e), b.iter().find(|(k2, _)| *k2 == k).map(|(_, e2)| e2));
+        }
+    }
+
+    #[test]
+    fn egress_policy_blocks_personal_data() {
+        let reg = registry();
+        let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
+        src.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        src.put("temp", 21.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
+        assert_eq!(msg.entries.len(), 1, "only the operational record flows");
+        assert_eq!(msg.entries[0].record.key, "temp");
+        assert_eq!(src.stats().egress_denied, 1);
+    }
+
+    #[test]
+    fn ingress_policy_is_defense_in_depth() {
+        let reg = registry();
+        // The sender is ungoverned and leaks personal data…
+        let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        src.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
+        assert_eq!(msg.entries.len(), 1, "permissive egress leaks");
+        // …but a governed receiver refuses it.
+        let mut dst = ReplicatedStore::new(1, DomainId(1), PolicyEngine::governed());
+        assert_eq!(dst.on_sync(msg.clone(), &reg, SimTime::ZERO), 0);
+        assert_eq!(dst.stats().ingress_denied, 1);
+        assert_eq!(dst.privacy_violations(&reg), 0);
+        // An ungoverned receiver accepts it: that *is* the violation E5 counts.
+        let mut leaky = ReplicatedStore::new(2, DomainId(1), PolicyEngine::permissive());
+        assert_eq!(leaky.on_sync(msg, &reg, SimTime::ZERO), 1);
+        assert_eq!(leaky.privacy_violations(&reg), 1);
+    }
+
+    #[test]
+    fn redaction_flows_and_does_not_count_as_violation() {
+        let reg = registry();
+        let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
+        let meta = DataMeta {
+            sensitivity: Sensitivity::Special,
+            purposes: vec![],
+            origin: DomainId(0),
+            produced_at: SimTime::ZERO,
+        };
+        src.put("dna", 1.0, meta, SimTime::ZERO);
+        let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
+        assert_eq!(msg.entries.len(), 1);
+        assert!(msg.entries[0].record.is_redacted());
+        assert_eq!(src.stats().egress_redacted, 1);
+        let mut dst = ReplicatedStore::new(1, DomainId(1), PolicyEngine::permissive());
+        dst.on_sync(msg, &reg, SimTime::ZERO);
+        assert_eq!(dst.privacy_violations(&reg), 0, "redacted data is sanitized");
+    }
+
+    #[test]
+    fn delta_sync_respects_since() {
+        let reg = registry();
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        s.put("old", 1.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
+        s.put("new", 2.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(5));
+        let msg = s.sync_out(DomainId(0), &reg, SimTime::from_secs(3));
+        assert_eq!(msg.entries.len(), 1);
+        assert_eq!(msg.entries[0].record.key, "new");
+        let full = s.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        assert_eq!(full.entries.len(), 2);
+    }
+
+    #[test]
+    fn ingest_applies_policy_at_the_door() {
+        let reg = registry();
+        // A governed vendor-domain store refuses personal data originating
+        // in the city domain, even on a direct device push.
+        let mut governed = ReplicatedStore::new(0, DomainId(1), PolicyEngine::governed());
+        let action = governed.ingest(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            &reg,
+            SimTime::ZERO,
+        );
+        assert_eq!(action, PolicyAction::Deny);
+        assert!(governed.is_empty());
+        assert_eq!(governed.stats().ingress_denied, 1);
+        // Operational data is ingested normally.
+        let action = governed.ingest(
+            "temp",
+            20.0,
+            DataMeta::operational(DomainId(1), SimTime::ZERO),
+            &reg,
+            SimTime::ZERO,
+        );
+        assert_eq!(action, PolicyAction::Allow);
+        assert_eq!(governed.len(), 1);
+        // A permissive store accepts the personal push: the E5 violation.
+        let mut leaky = ReplicatedStore::new(1, DomainId(1), PolicyEngine::permissive());
+        leaky.ingest("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), &reg, SimTime::ZERO);
+        assert_eq!(leaky.privacy_violations(&reg), 1);
+    }
+
+    #[test]
+    fn ingest_redacts_special_category() {
+        let reg = registry();
+        let mut s = ReplicatedStore::new(0, DomainId(1), PolicyEngine::governed());
+        let meta = DataMeta {
+            sensitivity: Sensitivity::Special,
+            purposes: vec![],
+            origin: DomainId(0),
+            produced_at: SimTime::ZERO,
+        };
+        let action = s.ingest("dna", 1.0, meta, &reg, SimTime::ZERO);
+        assert_eq!(action, PolicyAction::Redact);
+        assert!(s.get("dna").unwrap().is_redacted());
+        assert_eq!(s.privacy_violations(&reg), 0);
+    }
+
+    #[test]
+    fn domain_transfer_changes_audit_result() {
+        let reg = registry();
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        s.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(s.privacy_violations(&reg), 0, "at home, no violation");
+        // The store's node is transferred to the vendor domain (§II's
+        // "transfer of administrative domains").
+        s.set_domain(DomainId(1));
+        assert_eq!(s.privacy_violations(&reg), 1, "resting personal data now out of scope");
+    }
+
+    #[test]
+    fn clear_models_volatile_restart() {
+        let reg = registry();
+        let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
+        a.put("k", 5.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
+        let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        b.on_sync(msg, &reg, SimTime::from_secs(2));
+        assert_eq!(b.len(), 1);
+        // b restarts: volatile memory gone…
+        b.clear();
+        assert!(b.is_empty());
+        // …and the next anti-entropy round restores it.
+        let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        b.on_sync(msg, &reg, SimTime::from_secs(3));
+        assert_eq!(b.get("k").map(|r| r.value), Some(5.0));
+    }
+
+    #[test]
+    fn retention_evicts_per_sensitivity_class() {
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        s.put("old-personal", 1.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "new-personal",
+            2.0,
+            DataMeta::personal(DomainId(0), SimTime::from_secs(95)),
+            SimTime::from_secs(95),
+        );
+        s.put("old-operational", 3.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        // Personal data: 30 s retention. Operational: unlimited.
+        let evicted =
+            s.enforce_retention(&[(Sensitivity::Personal, 30.0)], SimTime::from_secs(100));
+        assert_eq!(evicted, 1);
+        assert!(s.get("old-personal").is_none(), "expired personal data gone");
+        assert!(s.get("new-personal").is_some(), "fresh personal data kept");
+        assert!(s.get("old-operational").is_some(), "no policy, no eviction");
+    }
+
+    #[test]
+    fn purge_evicts_exactly_the_violations() {
+        let reg = registry();
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        s.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put("temp", 20.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(s.purge_violations(&reg), 0, "nothing to purge at home");
+        s.set_domain(DomainId(1));
+        assert_eq!(s.purge_violations(&reg), 1, "personal record evicted after transfer");
+        assert_eq!(s.privacy_violations(&reg), 0);
+        assert!(s.get("temp").is_some(), "operational data survives");
+        assert!(s.get("hr").is_none());
+    }
+}

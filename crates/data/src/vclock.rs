@@ -1,0 +1,202 @@
+//! Vector clocks: causal ordering without a central clock.
+//!
+//! Decentralized data flows (§VI-B) need to tell whether two observed
+//! versions of a datum are ordered or concurrent — with no cloud timestamp
+//! authority. A [`VClock`] maps replica ids to event counters; comparison
+//! yields a partial order whose incomparable case ([`Causality::Concurrent`])
+//! is what multi-value registers and conflict detection key off.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a replica (usually the hosting node's process index).
+pub type ReplicaId = u32;
+
+/// The causal relation between two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Causality {
+    /// Identical clocks.
+    Equal,
+    /// `self` happened strictly before `other`.
+    Before,
+    /// `self` happened strictly after `other`.
+    After,
+    /// Neither dominates: concurrent updates.
+    Concurrent,
+}
+
+/// A vector clock.
+///
+/// # Examples
+///
+/// ```
+/// use riot_data::{Causality, VClock};
+///
+/// let mut a = VClock::new();
+/// let mut b = VClock::new();
+/// a.tick(0);
+/// b.tick(1);
+/// assert_eq!(a.compare(&b), Causality::Concurrent);
+/// b.merge(&a);
+/// b.tick(1);
+/// assert_eq!(a.compare(&b), Causality::Before);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VClock {
+    counts: BTreeMap<ReplicaId, u64>,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// Increments this replica's component; returns the new count.
+    pub fn tick(&mut self, replica: ReplicaId) -> u64 {
+        let c = self.counts.entry(replica).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// The count for a replica (0 when absent).
+    pub fn get(&self, replica: ReplicaId) -> u64 {
+        self.counts.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum with another clock.
+    pub fn merge(&mut self, other: &VClock) {
+        for (r, c) in &other.counts {
+            let mine = self.counts.entry(*r).or_insert(0);
+            *mine = (*mine).max(*c);
+        }
+    }
+
+    /// Compares two clocks under the standard partial order.
+    pub fn compare(&self, other: &VClock) -> Causality {
+        let mut less = false;
+        let mut greater = false;
+        let replicas: std::collections::BTreeSet<ReplicaId> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        for r in replicas {
+            let a = self.get(r);
+            let b = other.get(r);
+            if a < b {
+                less = true;
+            }
+            if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// `true` if `self` causally dominates or equals `other`.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        matches!(self.compare(other), Causality::After | Causality::Equal)
+    }
+
+    /// Total events witnessed (sum of components).
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of replicas with a nonzero component.
+    pub fn replica_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.counts.iter().map(|(r, c)| format!("{r}:{c}")).collect();
+        write!(f, "<{}>", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        assert_eq!(VClock::new().compare(&VClock::new()), Causality::Equal);
+    }
+
+    #[test]
+    fn tick_orders_causally() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        assert_eq!(a.compare(&b), Causality::Before);
+        assert_eq!(b.compare(&a), Causality::After);
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    fn divergent_ticks_are_concurrent() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert_eq!(b.compare(&a), Causality::Concurrent);
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.dominates(&a));
+        assert!(m.dominates(&b));
+        assert_eq!(m.get(0), 2);
+        assert_eq!(m.get(1), 1);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.replica_count(), 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(2);
+        b.tick(1);
+        b.tick(2);
+        b.tick(2);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutative");
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        assert_eq!(ab, abb, "idempotent");
+    }
+
+    #[test]
+    fn display_renders_components() {
+        let mut a = VClock::new();
+        a.tick(3);
+        a.tick(1);
+        a.tick(3);
+        assert_eq!(a.to_string(), "<1:1,3:2>");
+    }
+}

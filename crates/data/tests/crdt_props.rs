@@ -1,0 +1,231 @@
+//! Property tests: the CRDT join-semilattice laws and vector-clock order
+//! axioms that make the decentralized data plane safe.
+
+use proptest::prelude::*;
+use riot_data::{Causality, Crdt, GCounter, LwwRegister, MvRegister, OrSet, PnCounter, VClock};
+
+// ---------- operation generators ----------
+
+#[derive(Debug, Clone)]
+enum CounterOp {
+    Incr(u32, u64),
+    Decr(u32, u64),
+}
+
+fn counter_ops() -> impl Strategy<Value = Vec<CounterOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..4, 1u64..10).prop_map(|(r, x)| CounterOp::Incr(r, x)),
+            (0u32..4, 1u64..10).prop_map(|(r, x)| CounterOp::Decr(r, x)),
+        ],
+        0..40,
+    )
+}
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Add(u8),
+    Remove(u8),
+}
+
+fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(SetOp::Add),
+            (0u8..12).prop_map(SetOp::Remove),
+        ],
+        0..40,
+    )
+}
+
+fn apply_counter(replica: u32, ops: &[CounterOp]) -> PnCounter {
+    let mut c = PnCounter::new();
+    for op in ops {
+        match op {
+            CounterOp::Incr(r, x) => c.incr(*r * 10 + replica, *x),
+            CounterOp::Decr(r, x) => c.decr(*r * 10 + replica, *x),
+        }
+    }
+    c
+}
+
+fn apply_set(replica: u32, ops: &[SetOp]) -> OrSet<u8> {
+    let mut s = OrSet::new();
+    for op in ops {
+        match op {
+            SetOp::Add(v) => s.add(*v, replica),
+            SetOp::Remove(v) => s.remove(v),
+        }
+    }
+    s
+}
+
+/// Checks the three semilattice laws for arbitrary replica states.
+fn semilattice_laws<C: Crdt + Clone + PartialEq + std::fmt::Debug>(a: &C, b: &C, c: &C) {
+    // Idempotence: a ⊔ a = a
+    let mut aa = a.clone();
+    aa.merge(a);
+    assert_eq!(&aa, a, "idempotence");
+    // Commutativity: a ⊔ b = b ⊔ a
+    let mut ab = a.clone();
+    ab.merge(b);
+    let mut ba = b.clone();
+    ba.merge(a);
+    assert_eq!(ab, ba, "commutativity");
+    // Associativity: (a ⊔ b) ⊔ c = a ⊔ (b ⊔ c)
+    let mut ab_c = ab.clone();
+    ab_c.merge(c);
+    let mut bc = b.clone();
+    bc.merge(c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc, "associativity");
+}
+
+proptest! {
+    #[test]
+    fn gcounter_is_a_semilattice(
+        xa in prop::collection::vec((0u32..6, 1u64..20), 0..30),
+        xb in prop::collection::vec((0u32..6, 1u64..20), 0..30),
+        xc in prop::collection::vec((0u32..6, 1u64..20), 0..30),
+    ) {
+        let build = |ops: &[(u32, u64)]| {
+            let mut g = GCounter::new();
+            for (r, x) in ops {
+                g.incr(*r, *x);
+            }
+            g
+        };
+        semilattice_laws(&build(&xa), &build(&xb), &build(&xc));
+    }
+
+    #[test]
+    fn pncounter_is_a_semilattice(a in counter_ops(), b in counter_ops(), c in counter_ops()) {
+        semilattice_laws(&apply_counter(0, &a), &apply_counter(1, &b), &apply_counter(2, &c));
+    }
+
+    #[test]
+    fn orset_is_a_semilattice(a in set_ops(), b in set_ops(), c in set_ops()) {
+        semilattice_laws(&apply_set(0, &a), &apply_set(1, &b), &apply_set(2, &c));
+    }
+
+    #[test]
+    fn lww_register_is_a_semilattice(
+        wa in prop::collection::vec((0u64..100, 0u32..50), 0..20),
+        wb in prop::collection::vec((0u64..100, 0u32..50), 0..20),
+        wc in prop::collection::vec((0u64..100, 0u32..50), 0..20),
+    ) {
+        // A well-formed LWW history never writes two different values under
+        // the same (timestamp, replica) key, so each register writes as its
+        // own replica id.
+        let build = |writes: &[(u64, u32)], replica: u32| {
+            let mut reg = LwwRegister::new(0u32);
+            for (t, v) in writes {
+                reg.set(*v, *t, replica);
+            }
+            reg
+        };
+        semilattice_laws(&build(&wa, 1), &build(&wb, 2), &build(&wc, 3));
+    }
+
+    #[test]
+    fn mv_register_merge_commutes(
+        seq_a in prop::collection::vec(0u32..10, 0..6),
+        seq_b in prop::collection::vec(0u32..10, 0..6),
+    ) {
+        let mut a = MvRegister::new();
+        for v in &seq_a {
+            a.set(*v, 0);
+        }
+        let mut b = MvRegister::new();
+        for v in &seq_b {
+            b.set(*v, 1);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut va: Vec<&u32> = ab.get();
+        let mut vb: Vec<&u32> = ba.get();
+        va.sort();
+        vb.sort();
+        prop_assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn gcounter_merge_is_an_upper_bound(
+        xa in prop::collection::vec((0u32..6, 1u64..20), 0..30),
+        xb in prop::collection::vec((0u32..6, 1u64..20), 0..30),
+    ) {
+        let mut a = GCounter::new();
+        for (r, x) in &xa {
+            a.incr(*r, *x);
+        }
+        let mut b = GCounter::new();
+        for (r, x) in &xb {
+            b.incr(*r, *x);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.value() >= a.value());
+        prop_assert!(m.value() >= b.value());
+        prop_assert!(m.value() <= a.value() + b.value());
+    }
+
+    #[test]
+    fn orset_observed_remove_semantics(ops in set_ops(), concurrent_add in 0u8..12) {
+        // After any op sequence: removing then merging a replica that
+        // concurrently re-added keeps the element.
+        let mut a = apply_set(0, &ops);
+        let mut b = a.clone();
+        a.remove(&concurrent_add);
+        b.add(concurrent_add, 1);
+        a.merge(&b);
+        prop_assert!(a.contains(&concurrent_add), "concurrent add must win");
+    }
+
+    // ---------- vector clocks ----------
+
+    #[test]
+    fn vclock_compare_is_antisymmetric_and_merge_is_lub(
+        ta in prop::collection::vec(0u32..5, 0..30),
+        tb in prop::collection::vec(0u32..5, 0..30),
+    ) {
+        let mut a = VClock::new();
+        for r in &ta {
+            a.tick(*r);
+        }
+        let mut b = VClock::new();
+        for r in &tb {
+            b.tick(*r);
+        }
+        // Antisymmetry of the reported relation.
+        match a.compare(&b) {
+            Causality::Before => prop_assert_eq!(b.compare(&a), Causality::After),
+            Causality::After => prop_assert_eq!(b.compare(&a), Causality::Before),
+            Causality::Equal => prop_assert_eq!(b.compare(&a), Causality::Equal),
+            Causality::Concurrent => prop_assert_eq!(b.compare(&a), Causality::Concurrent),
+        }
+        // Merge is the least upper bound: dominates both and equals the
+        // pointwise max (checked through dominance of any other bound).
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+        // Tick after merge strictly dominates both inputs.
+        let mut m2 = m.clone();
+        m2.tick(0);
+        prop_assert_eq!(m2.compare(&a), if a == m2 { Causality::Equal } else { Causality::After });
+    }
+
+    #[test]
+    fn vclock_tick_orders_history(ticks in prop::collection::vec(0u32..5, 1..30)) {
+        let mut clock = VClock::new();
+        let mut prev = clock.clone();
+        for r in ticks {
+            clock.tick(r);
+            prop_assert_eq!(prev.compare(&clock), Causality::Before);
+            prev = clock.clone();
+        }
+    }
+}

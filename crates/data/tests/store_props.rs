@@ -1,0 +1,136 @@
+//! Property tests of the replicated store: convergence under arbitrary
+//! write/sync interleavings, and governance invariants that must hold on
+//! every path.
+
+use proptest::prelude::*;
+use riot_data::{DataMeta, PolicyEngine, ReplicatedStore, Sensitivity};
+use riot_model::{Domain, DomainId, DomainRegistry, Jurisdiction, TrustLevel};
+use riot_sim::SimTime;
+
+fn registry() -> DomainRegistry {
+    let mut reg = DomainRegistry::new();
+    reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+    reg.register(Domain { id: DomainId(1), name: "vendor".into(), jurisdiction: Jurisdiction::UsCcpa });
+    reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Partner);
+    reg
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// (replica, key, value) — local write at increasing timestamps.
+    Put(usize, u8, u32),
+    /// (from, to) — one-way anti-entropy push.
+    Sync(usize, usize),
+}
+
+fn ops(replicas: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..replicas, 0u8..6, 0u32..100).prop_map(|(r, k, v)| Op::Put(r, k, v)),
+            (0..replicas, 0..replicas).prop_map(|(a, b)| Op::Sync(a, b)),
+        ],
+        0..60,
+    )
+}
+
+fn fingerprint(store: &ReplicatedStore) -> Vec<(String, u64, u32)> {
+    store
+        .iter()
+        .map(|(k, e)| (k.to_owned(), e.written_at.as_micros(), e.writer))
+        .collect()
+}
+
+proptest! {
+    /// After any interleaving of writes and one-way syncs, a final round of
+    /// all-pairs exchanges makes every replica identical (anti-entropy
+    /// convergence on LWW state).
+    #[test]
+    fn stores_converge_after_full_exchange(script in ops(4)) {
+        let reg = registry();
+        let mut stores: Vec<ReplicatedStore> = (0..4)
+            .map(|i| ReplicatedStore::new(i as u32, DomainId(0), PolicyEngine::permissive()))
+            .collect();
+        let mut clock = 1u64;
+        for op in &script {
+            clock += 1;
+            match op {
+                Op::Put(r, k, v) => {
+                    let meta = DataMeta::operational(DomainId(0), SimTime::from_micros(clock));
+                    stores[*r].put(format!("k{k}"), *v as f64, meta, SimTime::from_micros(clock));
+                }
+                Op::Sync(a, b) if a != b => {
+                    let msg = stores[*a].sync_out(DomainId(0), &reg, SimTime::ZERO);
+                    stores[*b].on_sync(msg, &reg, SimTime::from_micros(clock));
+                }
+                Op::Sync(..) => {}
+            }
+        }
+        // Two full all-pairs rounds guarantee convergence.
+        for _ in 0..2 {
+            for a in 0..4 {
+                for b in 0..4 {
+                    if a != b {
+                        let msg = stores[a].sync_out(DomainId(0), &reg, SimTime::ZERO);
+                        stores[b].on_sync(msg, &reg, SimTime::from_micros(clock + 1));
+                    }
+                }
+            }
+        }
+        let reference = fingerprint(&stores[0]);
+        for s in &stores[1..] {
+            prop_assert_eq!(fingerprint(s), reference.clone(), "replicas diverged");
+        }
+    }
+
+    /// Governance safety on every path: however writes and syncs interleave,
+    /// a governed vendor-domain store never holds a resting privacy
+    /// violation — personal records are stopped at ingress or egress.
+    #[test]
+    fn governed_store_never_rests_on_violations(script in ops(3), personal_every in 1u8..4) {
+        let reg = registry();
+        // Store 0 and 1 are permissive city stores; store 2 is a governed
+        // vendor store receiving whatever the others push.
+        let mut stores = vec![
+            ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive()),
+            ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive()),
+            ReplicatedStore::new(2, DomainId(1), PolicyEngine::governed()),
+        ];
+        let mut clock = 1u64;
+        for op in &script {
+            clock += 1;
+            match op {
+                Op::Put(r, k, v) => {
+                    let sensitivity = if k % personal_every == 0 {
+                        Sensitivity::Personal
+                    } else {
+                        Sensitivity::Internal
+                    };
+                    let meta = DataMeta {
+                        sensitivity,
+                        purposes: vec![riot_data::Purpose::Operations],
+                        origin: DomainId(0),
+                        produced_at: SimTime::from_micros(clock),
+                    };
+                    let r = r % 3;
+                    stores[r].ingest(format!("k{k}"), *v as f64, meta, &reg, SimTime::from_micros(clock));
+                }
+                Op::Sync(a, b) if a != b => {
+                    let (a, b) = (a % 3, b % 3);
+                    if a == b {
+                        continue;
+                    }
+                    let to_domain = stores[b].domain();
+                    let msg = stores[a].sync_out(to_domain, &reg, SimTime::ZERO);
+                    stores[b].on_sync(msg, &reg, SimTime::from_micros(clock));
+                }
+                Op::Sync(..) => {}
+            }
+            // The invariant holds at every step, not just at the end.
+            prop_assert_eq!(
+                stores[2].privacy_violations(&reg),
+                0,
+                "a governed store must never rest on a violation"
+            );
+        }
+    }
+}

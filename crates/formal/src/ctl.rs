@@ -1,0 +1,499 @@
+//! CTL model checking over explicit-state Kripke structures.
+//!
+//! Implements the textbook fixpoint labeling algorithms: `EX`, `EU` and
+//! `EG` natively, the remaining operators by De Morgan-style dualities on
+//! labeled state sets. Complexity is `O(|φ| · (|S| + |R|))` for all
+//! operators except `EG`/`AF`, which iterate to a fixpoint.
+
+use crate::kripke::{Kripke, StateId};
+use crate::prop::{AtomId, Atoms};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CTL state formula.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ctl {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic proposition.
+    Atom(AtomId),
+    /// Negation.
+    Not(Box<Ctl>),
+    /// Conjunction.
+    And(Box<Ctl>, Box<Ctl>),
+    /// Disjunction.
+    Or(Box<Ctl>, Box<Ctl>),
+    /// Implication.
+    Implies(Box<Ctl>, Box<Ctl>),
+    /// On some path, next.
+    Ex(Box<Ctl>),
+    /// On all paths, next.
+    Ax(Box<Ctl>),
+    /// On some path, eventually.
+    Ef(Box<Ctl>),
+    /// On all paths, eventually.
+    Af(Box<Ctl>),
+    /// On some path, globally.
+    Eg(Box<Ctl>),
+    /// On all paths, globally.
+    Ag(Box<Ctl>),
+    /// On some path, until.
+    Eu(Box<Ctl>, Box<Ctl>),
+    /// On all paths, until.
+    Au(Box<Ctl>, Box<Ctl>),
+}
+
+impl Ctl {
+    /// Atomic proposition.
+    pub fn atom(a: AtomId) -> Ctl {
+        Ctl::Atom(a)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ctl {
+        Ctl::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Ctl) -> Ctl {
+        Ctl::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Ctl) -> Ctl {
+        Ctl::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: Ctl) -> Ctl {
+        Ctl::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `EX self`.
+    pub fn ex(self) -> Ctl {
+        Ctl::Ex(Box::new(self))
+    }
+
+    /// `AX self`.
+    pub fn ax(self) -> Ctl {
+        Ctl::Ax(Box::new(self))
+    }
+
+    /// `EF self`.
+    pub fn ef(self) -> Ctl {
+        Ctl::Ef(Box::new(self))
+    }
+
+    /// `AF self`.
+    pub fn af(self) -> Ctl {
+        Ctl::Af(Box::new(self))
+    }
+
+    /// `EG self`.
+    pub fn eg(self) -> Ctl {
+        Ctl::Eg(Box::new(self))
+    }
+
+    /// `AG self`.
+    pub fn ag(self) -> Ctl {
+        Ctl::Ag(Box::new(self))
+    }
+
+    /// `E [self U rhs]`.
+    pub fn eu(self, rhs: Ctl) -> Ctl {
+        Ctl::Eu(Box::new(self), Box::new(rhs))
+    }
+
+    /// `A [self U rhs]`.
+    pub fn au(self, rhs: Ctl) -> Ctl {
+        Ctl::Au(Box::new(self), Box::new(rhs))
+    }
+
+    /// Renders the formula with atom names.
+    pub fn render(&self, atoms: &Atoms) -> String {
+        match self {
+            Ctl::True => "true".to_owned(),
+            Ctl::False => "false".to_owned(),
+            Ctl::Atom(a) => atoms.name(*a).to_owned(),
+            Ctl::Not(f) => format!("!({})", f.render(atoms)),
+            Ctl::And(a, b) => format!("({} & {})", a.render(atoms), b.render(atoms)),
+            Ctl::Or(a, b) => format!("({} | {})", a.render(atoms), b.render(atoms)),
+            Ctl::Implies(a, b) => format!("({} -> {})", a.render(atoms), b.render(atoms)),
+            Ctl::Ex(f) => format!("EX {}", f.render(atoms)),
+            Ctl::Ax(f) => format!("AX {}", f.render(atoms)),
+            Ctl::Ef(f) => format!("EF {}", f.render(atoms)),
+            Ctl::Af(f) => format!("AF {}", f.render(atoms)),
+            Ctl::Eg(f) => format!("EG {}", f.render(atoms)),
+            Ctl::Ag(f) => format!("AG {}", f.render(atoms)),
+            Ctl::Eu(a, b) => format!("E[{} U {}]", a.render(atoms), b.render(atoms)),
+            Ctl::Au(a, b) => format!("A[{} U {}]", a.render(atoms), b.render(atoms)),
+        }
+    }
+}
+
+/// The set of states satisfying a formula, as a dense boolean vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatSet {
+    sat: Vec<bool>,
+}
+
+impl SatSet {
+    /// `true` if state `s` satisfies the formula.
+    pub fn contains(&self, s: StateId) -> bool {
+        self.sat[s.index()]
+    }
+
+    /// Number of satisfying states.
+    pub fn count(&self) -> usize {
+        self.sat.iter().filter(|b| **b).count()
+    }
+
+    /// Iterates over satisfying state ids.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.sat
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| StateId(i as u32))
+    }
+}
+
+/// A CTL model checker bound to one structure (precomputes predecessors).
+///
+/// # Examples
+///
+/// ```
+/// use riot_formal::{Atoms, Ctl, CtlChecker, Kripke, Valuation};
+///
+/// let mut atoms = Atoms::new();
+/// let up = atoms.intern("up");
+/// let mut k = Kripke::new();
+/// let s0 = k.add_state(Valuation::EMPTY.with(up));
+/// let s1 = k.add_state(Valuation::EMPTY);
+/// k.add_transition(s0, s1);
+/// k.add_transition(s1, s0);
+/// k.add_initial(s0);
+///
+/// let checker = CtlChecker::new(&k);
+/// // From s0 the system always eventually returns to an "up" state.
+/// assert!(checker.holds_initially(&Ctl::atom(up).af().ag()));
+/// ```
+#[derive(Debug)]
+pub struct CtlChecker<'a> {
+    model: &'a Kripke,
+    preds: Vec<Vec<StateId>>,
+}
+
+impl<'a> CtlChecker<'a> {
+    /// Binds a checker to a structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure fails [`Kripke::validate`] (CTL semantics
+    /// need a total relation).
+    pub fn new(model: &'a Kripke) -> Self {
+        if let Err(defect) = model.validate() {
+            panic!("ill-formed Kripke structure: {defect}");
+        }
+        CtlChecker { model, preds: model.predecessors() }
+    }
+
+    /// Computes the satisfying state set of a formula.
+    pub fn check(&self, formula: &Ctl) -> SatSet {
+        SatSet { sat: self.sat(formula) }
+    }
+
+    /// `true` if every initial state satisfies the formula.
+    pub fn holds_initially(&self, formula: &Ctl) -> bool {
+        let sat = self.check(formula);
+        self.model.initial().iter().all(|s| sat.contains(*s))
+    }
+
+    fn sat(&self, formula: &Ctl) -> Vec<bool> {
+        let n = self.model.state_count();
+        match formula {
+            Ctl::True => vec![true; n],
+            Ctl::False => vec![false; n],
+            Ctl::Atom(a) => self.model.states().map(|s| self.model.label(s).contains(*a)).collect(),
+            Ctl::Not(f) => negate(self.sat(f)),
+            Ctl::And(a, b) => zip_with(self.sat(a), self.sat(b), |x, y| x && y),
+            Ctl::Or(a, b) => zip_with(self.sat(a), self.sat(b), |x, y| x || y),
+            Ctl::Implies(a, b) => zip_with(self.sat(a), self.sat(b), |x, y| !x || y),
+            Ctl::Ex(f) => self.ex(&self.sat(f)),
+            Ctl::Ax(f) => negate(self.ex(&negate(self.sat(f)))),
+            Ctl::Ef(f) => self.eu(&vec![true; n], &self.sat(f)),
+            Ctl::Af(f) => negate(self.eg(&negate(self.sat(f)))),
+            Ctl::Eg(f) => self.eg(&self.sat(f)),
+            Ctl::Ag(f) => negate(self.eu(&vec![true; n], &negate(self.sat(f)))),
+            Ctl::Eu(a, b) => self.eu(&self.sat(a), &self.sat(b)),
+            Ctl::Au(a, b) => {
+                // A[a U b] = !(E[!b U (!a & !b)] | EG !b)
+                let not_a = negate(self.sat(a));
+                let not_b = negate(self.sat(b));
+                let both = zip_with(not_a, not_b.clone(), |x, y| x && y);
+                let eu = self.eu(&not_b, &both);
+                let eg = self.eg(&not_b);
+                negate(zip_with(eu, eg, |x, y| x || y))
+            }
+        }
+    }
+
+    /// States with at least one successor in `target`.
+    fn ex(&self, target: &[bool]) -> Vec<bool> {
+        self.model
+            .states()
+            .map(|s| self.model.successors(s).iter().any(|t| target[t.index()]))
+            .collect()
+    }
+
+    /// Least fixpoint for `E[a U b]` via backward BFS from `b` through `a`.
+    fn eu(&self, a: &[bool], b: &[bool]) -> Vec<bool> {
+        let mut sat = b.to_vec();
+        let mut work: Vec<StateId> = sat
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v)
+            .map(|(i, _)| StateId(i as u32))
+            .collect();
+        while let Some(s) = work.pop() {
+            for &p in &self.preds[s.index()] {
+                if !sat[p.index()] && a[p.index()] {
+                    sat[p.index()] = true;
+                    work.push(p);
+                }
+            }
+        }
+        sat
+    }
+
+    /// Greatest fixpoint for `EG a`: repeatedly drop states with no
+    /// successor still in the set.
+    fn eg(&self, a: &[bool]) -> Vec<bool> {
+        let mut sat = a.to_vec();
+        let mut count: Vec<usize> = self
+            .model
+            .states()
+            .map(|s| self.model.successors(s).iter().filter(|t| sat[t.index()]).count())
+            .collect();
+        let mut work: Vec<StateId> = sat
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| **v && count[*i] == 0)
+            .map(|(i, _)| StateId(i as u32))
+            .collect();
+        for (i, v) in sat.iter_mut().enumerate() {
+            if *v && count[i] == 0 {
+                *v = false;
+            }
+        }
+        while let Some(s) = work.pop() {
+            for &p in &self.preds[s.index()] {
+                if sat[p.index()] {
+                    count[p.index()] -= 1;
+                    if count[p.index()] == 0 {
+                        sat[p.index()] = false;
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        sat
+    }
+}
+
+fn negate(mut v: Vec<bool>) -> Vec<bool> {
+    for b in &mut v {
+        *b = !*b;
+    }
+    v
+}
+
+fn zip_with(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+impl fmt::Display for Ctl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Positional rendering without a vocabulary: atoms print as `p<i>`.
+        match self {
+            Ctl::Atom(a) => write!(f, "p{}", a.index()),
+            Ctl::True => write!(f, "true"),
+            Ctl::False => write!(f, "false"),
+            Ctl::Not(x) => write!(f, "!({x})"),
+            Ctl::And(a, b) => write!(f, "({a} & {b})"),
+            Ctl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ctl::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Ctl::Ex(x) => write!(f, "EX {x}"),
+            Ctl::Ax(x) => write!(f, "AX {x}"),
+            Ctl::Ef(x) => write!(f, "EF {x}"),
+            Ctl::Af(x) => write!(f, "AF {x}"),
+            Ctl::Eg(x) => write!(f, "EG {x}"),
+            Ctl::Ag(x) => write!(f, "AG {x}"),
+            Ctl::Eu(a, b) => write!(f, "E[{a} U {b}]"),
+            Ctl::Au(a, b) => write!(f, "A[{a} U {b}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Valuation;
+
+    /// A 4-state model of a component: Up -> Degraded -> Failed -> Up
+    /// (recovery), with Up also looping to itself.
+    fn component_model() -> (Atoms, Kripke, [StateId; 3], (AtomId, AtomId, AtomId)) {
+        let mut atoms = Atoms::new();
+        let up = atoms.intern("up");
+        let degraded = atoms.intern("degraded");
+        let failed = atoms.intern("failed");
+        let mut k = Kripke::new();
+        let s_up = k.add_state(Valuation::EMPTY.with(up));
+        let s_deg = k.add_state(Valuation::EMPTY.with(degraded));
+        let s_fail = k.add_state(Valuation::EMPTY.with(failed));
+        k.add_transition(s_up, s_up);
+        k.add_transition(s_up, s_deg);
+        k.add_transition(s_deg, s_fail);
+        k.add_transition(s_deg, s_up);
+        k.add_transition(s_fail, s_up);
+        k.add_initial(s_up);
+        (atoms, k, [s_up, s_deg, s_fail], (up, degraded, failed))
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        let (_, k, [s_up, s_deg, _], (up, degraded, _)) = component_model();
+        let c = CtlChecker::new(&k);
+        let sat = c.check(&Ctl::atom(up));
+        assert!(sat.contains(s_up) && !sat.contains(s_deg));
+        assert_eq!(c.check(&Ctl::True).count(), 3);
+        assert_eq!(c.check(&Ctl::False).count(), 0);
+        let either = Ctl::atom(up).or(Ctl::atom(degraded));
+        assert_eq!(c.check(&either).count(), 2);
+        assert_eq!(c.check(&either.clone().not()).count(), 1);
+        assert!(c.holds_initially(&Ctl::atom(degraded).implies(Ctl::False).or(Ctl::True)));
+    }
+
+    #[test]
+    fn ex_ax() {
+        let (_, k, [s_up, s_deg, s_fail], (up, _, failed)) = component_model();
+        let c = CtlChecker::new(&k);
+        // EX failed: only the degraded state can step into failure.
+        let sat = c.check(&Ctl::atom(failed).ex());
+        assert!(sat.contains(s_deg));
+        assert!(!sat.contains(s_up) && !sat.contains(s_fail));
+        // AX up holds in the failed state (its only successor is up).
+        let sat = c.check(&Ctl::atom(up).ax());
+        assert!(sat.contains(s_fail));
+        assert!(!sat.contains(s_up), "up can stay up or degrade");
+    }
+
+    #[test]
+    fn ef_af_reachability() {
+        let (_, k, [s_up, s_deg, s_fail], (up, _, failed)) = component_model();
+        let c = CtlChecker::new(&k);
+        // Failure is reachable from everywhere.
+        assert_eq!(c.check(&Ctl::atom(failed).ef()).count(), 3);
+        // AF up: from failed, every path returns to up in one step. From
+        // degraded, paths go to up or to failed→up: also AF up. From up:
+        // trivially. But up has a self-loop... up holds *now*, so AF up holds.
+        let sat = c.check(&Ctl::atom(up).af());
+        assert!(sat.contains(s_up) && sat.contains(s_deg) && sat.contains(s_fail));
+        // AF failed does NOT hold at up (the self-loop avoids failure forever).
+        assert!(!c.check(&Ctl::atom(failed).af()).contains(s_up));
+    }
+
+    #[test]
+    fn eg_ag() {
+        let (_, k, [s_up, s_deg, _], (up, _, failed)) = component_model();
+        let c = CtlChecker::new(&k);
+        // EG up: the self-loop at up sustains up forever.
+        let sat = c.check(&Ctl::atom(up).eg());
+        assert!(sat.contains(s_up));
+        assert!(!sat.contains(s_deg));
+        // AG !failed fails everywhere (failure is always reachable).
+        assert_eq!(c.check(&Ctl::atom(failed).not().ag()).count(), 0);
+        // AG (EF up): recovery is always possible — the resilience property.
+        assert!(c.holds_initially(&Ctl::atom(up).ef().ag()));
+    }
+
+    #[test]
+    fn eu_au() {
+        let (_, k, [s_up, s_deg, s_fail], (up, degraded, failed)) = component_model();
+        let c = CtlChecker::new(&k);
+        // E[degraded U failed]: holds at degraded (step to failed) and at
+        // failed itself (b holds immediately).
+        let sat = c.check(&Ctl::atom(degraded).eu(Ctl::atom(failed)));
+        assert!(sat.contains(s_deg) && sat.contains(s_fail));
+        assert!(!sat.contains(s_up));
+        // A[true U up] == AF up: holds everywhere (see ef_af test).
+        let sat = c.check(&Ctl::True.au(Ctl::atom(up)));
+        assert_eq!(sat.count(), 3);
+        // A[!failed U up] at failed: up not yet, !failed false now → fails.
+        let sat = c.check(&Ctl::atom(failed).not().au(Ctl::atom(up)));
+        assert!(!sat.contains(s_fail));
+        assert!(sat.contains(s_up));
+    }
+
+    #[test]
+    fn duality_laws_on_random_models() {
+        let mut rng = riot_sim::SimRng::seed_from(11);
+        for _ in 0..5 {
+            let k = Kripke::random(60, 3, 3, &mut rng);
+            let c = CtlChecker::new(&k);
+            let p = Ctl::Atom(AtomId(0));
+            let q = Ctl::Atom(AtomId(1));
+            // AG p == !EF !p
+            let lhs = c.check(&p.clone().ag());
+            let rhs = c.check(&p.clone().not().ef().not());
+            assert_eq!(lhs, rhs);
+            // AF p == !EG !p
+            let lhs = c.check(&p.clone().af());
+            let rhs = c.check(&p.clone().not().eg().not());
+            assert_eq!(lhs, rhs);
+            // AX p == !EX !p
+            let lhs = c.check(&p.clone().ax());
+            let rhs = c.check(&p.clone().not().ex().not());
+            assert_eq!(lhs, rhs);
+            // EF p == E[true U p]
+            let lhs = c.check(&p.clone().ef());
+            let rhs = c.check(&Ctl::True.eu(p.clone()));
+            assert_eq!(lhs, rhs);
+            // A[p U q] implies AF q
+            let au = c.check(&p.clone().au(q.clone()));
+            let af = c.check(&q.clone().af());
+            for s in au.iter() {
+                assert!(af.contains(s), "A[p U q] must imply AF q");
+            }
+        }
+    }
+
+    #[test]
+    fn render_and_display() {
+        let (atoms, _, _, (up, _, failed)) = component_model();
+        let f = Ctl::atom(up).ef().ag().and(Ctl::atom(failed).not());
+        assert_eq!(f.render(&atoms), "(AG EF up & !(failed))");
+        assert_eq!(f.to_string(), "(AG EF p0 & !(p2))");
+    }
+
+    #[test]
+    #[should_panic(expected = "ill-formed")]
+    fn checker_rejects_deadlocked_model() {
+        let mut k = Kripke::new();
+        let s = k.add_state(Valuation::EMPTY);
+        k.add_initial(s);
+        let _ = CtlChecker::new(&k);
+    }
+
+    #[test]
+    fn satset_iteration() {
+        let (_, k, [s_up, ..], (up, _, _)) = component_model();
+        let c = CtlChecker::new(&k);
+        let sat = c.check(&Ctl::atom(up));
+        assert_eq!(sat.iter().collect::<Vec<_>>(), vec![s_up]);
+        assert_eq!(sat.count(), 1);
+    }
+}

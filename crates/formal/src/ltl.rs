@@ -1,0 +1,356 @@
+//! Linear temporal logic over finite traces.
+//!
+//! Runtime verification in the framework treats an execution trace as a
+//! finite word of [`Valuation`]s. Semantics are defined over *suffixes
+//! including the empty suffix*: atoms are false on the empty suffix, `X φ`
+//! evaluates `φ` on the (possibly empty) next suffix, and `G`/`R` hold
+//! vacuously at the end of the trace while `F`/`U` fail there. This choice
+//! makes the progression-based [`crate::Monitor`] *exactly* equivalent to
+//! [`Ltl::evaluate`] (a property-tested invariant), at the cost of `X`
+//! being "weak" at the final position.
+
+use crate::prop::{AtomId, Atoms, Valuation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An LTL formula.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ltl {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic proposition.
+    Atom(AtomId),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication.
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// Next.
+    Next(Box<Ltl>),
+    /// Globally (always).
+    Globally(Box<Ltl>),
+    /// Eventually.
+    Eventually(Box<Ltl>),
+    /// Until.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release (dual of until).
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atomic proposition.
+    pub fn atom(a: AtomId) -> Ltl {
+        Ltl::Atom(a)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: Ltl) -> Ltl {
+        Ltl::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `X self`.
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Box::new(self))
+    }
+
+    /// `G self`.
+    pub fn globally(self) -> Ltl {
+        Ltl::Globally(Box::new(self))
+    }
+
+    /// `F self`.
+    pub fn eventually(self) -> Ltl {
+        Ltl::Eventually(Box::new(self))
+    }
+
+    /// `self U rhs`.
+    pub fn until(self, rhs: Ltl) -> Ltl {
+        Ltl::Until(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self R rhs`.
+    pub fn release(self, rhs: Ltl) -> Ltl {
+        Ltl::Release(Box::new(self), Box::new(rhs))
+    }
+
+    /// The common resilience template: `G (trigger -> F response)` —
+    /// "whenever `trigger` occurs, `response` eventually follows".
+    pub fn responds(trigger: Ltl, response: Ltl) -> Ltl {
+        trigger.implies(response.eventually()).globally()
+    }
+
+    /// Evaluates the formula on the suffix of `trace` starting at `at`
+    /// (`at` may equal `trace.len()`, denoting the empty suffix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > trace.len()`.
+    pub fn evaluate(&self, trace: &[Valuation], at: usize) -> bool {
+        assert!(at <= trace.len(), "index {at} beyond trace");
+        let n = trace.len();
+        match self {
+            Ltl::True => true,
+            Ltl::False => false,
+            Ltl::Atom(a) => at < n && trace[at].contains(*a),
+            Ltl::Not(f) => !f.evaluate(trace, at),
+            Ltl::And(a, b) => a.evaluate(trace, at) && b.evaluate(trace, at),
+            Ltl::Or(a, b) => a.evaluate(trace, at) || b.evaluate(trace, at),
+            Ltl::Implies(a, b) => !a.evaluate(trace, at) || b.evaluate(trace, at),
+            Ltl::Next(f) => at < n && f.evaluate(trace, at + 1),
+            Ltl::Globally(f) => (at..n).all(|i| f.evaluate(trace, i)),
+            Ltl::Eventually(f) => (at..n).any(|i| f.evaluate(trace, i)),
+            Ltl::Until(a, b) => {
+                for j in at..n {
+                    if b.evaluate(trace, j) {
+                        return true;
+                    }
+                    if !a.evaluate(trace, j) {
+                        return false;
+                    }
+                }
+                false
+            }
+            Ltl::Release(a, b) => {
+                for j in at..n {
+                    if !b.evaluate(trace, j) {
+                        return false;
+                    }
+                    if a.evaluate(trace, j) {
+                        return true;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// `true` if the formula holds on the empty suffix (used when a monitor
+    /// is finished on an inconclusive residual).
+    pub fn accepts_empty(&self) -> bool {
+        self.evaluate(&[], 0)
+    }
+
+    /// Renders the formula with atom names.
+    pub fn render(&self, atoms: &Atoms) -> String {
+        match self {
+            Ltl::True => "true".to_owned(),
+            Ltl::False => "false".to_owned(),
+            Ltl::Atom(a) => atoms.name(*a).to_owned(),
+            Ltl::Not(f) => format!("!({})", f.render(atoms)),
+            Ltl::And(a, b) => format!("({} & {})", a.render(atoms), b.render(atoms)),
+            Ltl::Or(a, b) => format!("({} | {})", a.render(atoms), b.render(atoms)),
+            Ltl::Implies(a, b) => format!("({} -> {})", a.render(atoms), b.render(atoms)),
+            Ltl::Next(f) => format!("X {}", f.render(atoms)),
+            Ltl::Globally(f) => format!("G {}", f.render(atoms)),
+            Ltl::Eventually(f) => format!("F {}", f.render(atoms)),
+            Ltl::Until(a, b) => format!("({} U {})", a.render(atoms), b.render(atoms)),
+            Ltl::Release(a, b) => format!("({} R {})", a.render(atoms), b.render(atoms)),
+        }
+    }
+
+    /// Structural size (number of operators and atoms) — a growth guard for
+    /// progression-based monitors.
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Atom(_) => 1,
+            Ltl::Not(f) | Ltl::Next(f) | Ltl::Globally(f) | Ltl::Eventually(f) => 1 + f.size(),
+            Ltl::And(a, b)
+            | Ltl::Or(a, b)
+            | Ltl::Implies(a, b)
+            | Ltl::Until(a, b)
+            | Ltl::Release(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::Atom(a) => write!(f, "p{}", a.index()),
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Not(x) => write!(f, "!({x})"),
+            Ltl::And(a, b) => write!(f, "({a} & {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ltl::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Ltl::Next(x) => write!(f, "X {x}"),
+            Ltl::Globally(x) => write!(f, "G {x}"),
+            Ltl::Eventually(x) => write!(f, "F {x}"),
+            Ltl::Until(a, b) => write!(f, "({a} U {b})"),
+            Ltl::Release(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms2() -> (Atoms, AtomId, AtomId) {
+        let mut atoms = Atoms::new();
+        let p = atoms.intern("p");
+        let q = atoms.intern("q");
+        (atoms, p, q)
+    }
+
+    /// Builds a trace from strings like "pq", "p", "" (atoms present).
+    fn trace(spec: &[&str], p: AtomId, q: AtomId) -> Vec<Valuation> {
+        spec.iter()
+            .map(|s| {
+                let mut v = Valuation::EMPTY;
+                if s.contains('p') {
+                    v.set(p, true);
+                }
+                if s.contains('q') {
+                    v.set(q, true);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        let (_, p, q) = atoms2();
+        let t = trace(&["p", "q"], p, q);
+        assert!(Ltl::atom(p).evaluate(&t, 0));
+        assert!(!Ltl::atom(q).evaluate(&t, 0));
+        assert!(Ltl::atom(q).evaluate(&t, 1));
+        assert!(Ltl::atom(p).or(Ltl::atom(q)).evaluate(&t, 0));
+        assert!(Ltl::atom(p).and(Ltl::atom(q)).not().evaluate(&t, 0));
+        assert!(Ltl::atom(p).implies(Ltl::atom(q)).evaluate(&t, 1), "vacuous implication");
+    }
+
+    #[test]
+    fn next_semantics_at_boundaries() {
+        let (_, p, q) = atoms2();
+        let t = trace(&["p", "q"], p, q);
+        assert!(Ltl::atom(q).next().evaluate(&t, 0));
+        // X q at the last position: the suffix after it is empty, q is false there.
+        assert!(!Ltl::atom(q).next().evaluate(&t, 1));
+        // X (G q) at the last position: G on the empty suffix holds vacuously.
+        assert!(Ltl::atom(q).globally().next().evaluate(&t, 1));
+    }
+
+    #[test]
+    fn globally_eventually() {
+        let (_, p, q) = atoms2();
+        let t = trace(&["p", "pq", "p"], p, q);
+        assert!(Ltl::atom(p).globally().evaluate(&t, 0));
+        assert!(!Ltl::atom(q).globally().evaluate(&t, 0));
+        assert!(Ltl::atom(q).eventually().evaluate(&t, 0));
+        assert!(!Ltl::atom(q).eventually().evaluate(&t, 2));
+        // Empty suffix: G holds, F fails.
+        assert!(Ltl::atom(p).globally().evaluate(&t, 3));
+        assert!(!Ltl::atom(p).eventually().evaluate(&t, 3));
+    }
+
+    #[test]
+    fn until_release() {
+        let (_, p, q) = atoms2();
+        let t = trace(&["p", "p", "q"], p, q);
+        assert!(Ltl::atom(p).until(Ltl::atom(q)).evaluate(&t, 0));
+        // p U q fails when p breaks before q.
+        let t2 = trace(&["p", "", "q"], p, q);
+        assert!(!Ltl::atom(p).until(Ltl::atom(q)).evaluate(&t2, 0));
+        // q R p: p must hold until (and including when) q releases it.
+        let t3 = trace(&["p", "pq", ""], p, q);
+        assert!(Ltl::atom(q).release(Ltl::atom(p)).evaluate(&t3, 0));
+        let t4 = trace(&["p", "", "q"], p, q);
+        assert!(!Ltl::atom(q).release(Ltl::atom(p)).evaluate(&t4, 0));
+        // Release holds vacuously on the empty suffix; until fails.
+        assert!(Ltl::atom(q).release(Ltl::atom(p)).evaluate(&t3, 3));
+        assert!(!Ltl::atom(p).until(Ltl::atom(q)).evaluate(&t3, 3));
+    }
+
+    #[test]
+    fn duality_until_release_on_finite_traces() {
+        let (_, p, q) = atoms2();
+        let cases = [
+            vec!["p", "q", ""],
+            vec!["", "p"],
+            vec!["pq", "pq"],
+            vec![""],
+            vec!["p", "p", "p"],
+            vec!["q"],
+        ];
+        for spec in cases {
+            let t = trace(&spec, p, q);
+            for at in 0..=t.len() {
+                // !(p U q) == (!p R !q)
+                let lhs = !Ltl::atom(p).until(Ltl::atom(q)).evaluate(&t, at);
+                let rhs = Ltl::atom(p).not().release(Ltl::atom(q).not()).evaluate(&t, at);
+                assert_eq!(lhs, rhs, "duality failed on {spec:?} at {at}");
+                // G p == false R p, F p == true U p
+                assert_eq!(
+                    Ltl::atom(p).globally().evaluate(&t, at),
+                    Ltl::False.release(Ltl::atom(p)).evaluate(&t, at)
+                );
+                assert_eq!(
+                    Ltl::atom(p).eventually().evaluate(&t, at),
+                    Ltl::True.until(Ltl::atom(p)).evaluate(&t, at)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn responds_template() {
+        let (_, p, q) = atoms2();
+        let good = trace(&["p", "", "q", ""], p, q);
+        let bad = trace(&["", "p", ""], p, q);
+        let f = Ltl::responds(Ltl::atom(p), Ltl::atom(q));
+        assert!(f.evaluate(&good, 0));
+        assert!(!f.evaluate(&bad, 0));
+    }
+
+    #[test]
+    fn accepts_empty_matches_definitions() {
+        let (_, p, _) = atoms2();
+        assert!(Ltl::True.accepts_empty());
+        assert!(!Ltl::False.accepts_empty());
+        assert!(!Ltl::atom(p).accepts_empty());
+        assert!(Ltl::atom(p).not().accepts_empty());
+        assert!(Ltl::atom(p).globally().accepts_empty());
+        assert!(!Ltl::atom(p).eventually().accepts_empty());
+        assert!(!Ltl::atom(p).next().accepts_empty());
+    }
+
+    #[test]
+    fn size_and_render() {
+        let (atoms, p, q) = atoms2();
+        let f = Ltl::responds(Ltl::atom(p), Ltl::atom(q));
+        assert_eq!(f.size(), 5);
+        assert_eq!(f.render(&atoms), "G (p -> F q)");
+        assert_eq!(f.to_string(), "G (p0 -> F p1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace")]
+    fn out_of_range_index_panics() {
+        let (_, p, q) = atoms2();
+        let t = trace(&["p"], p, q);
+        let _ = Ltl::atom(p).evaluate(&t, 2);
+    }
+}

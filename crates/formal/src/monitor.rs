@@ -1,0 +1,357 @@
+//! Runtime verification by formula progression.
+//!
+//! §IV of the paper calls runtime assurance "naturally a port to runtime of
+//! design time representations". A [`Monitor`] carries an LTL formula
+//! through an executing trace one state at a time: after each state it
+//! *progresses* the formula — rewriting it into the obligation on the rest
+//! of the trace — and simplifies. The verdict becomes [`Verdict3::Satisfied`]
+//! or [`Verdict3::Violated`] as soon as the residual collapses to a constant;
+//! until then it is [`Verdict3::Inconclusive`].
+//!
+//! The progression relation is exactly consistent with
+//! [`Ltl::evaluate`]: for any trace `t`, feeding `t` into a monitor and
+//! resolving the residual on the empty suffix gives the same boolean as
+//! `φ.evaluate(&t, 0)` — a property-tested invariant.
+
+use crate::ltl::Ltl;
+use crate::prop::Valuation;
+use serde::{Deserialize, Serialize};
+
+/// Three-valued runtime verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict3 {
+    /// Every extension of the observed prefix satisfies the property.
+    Satisfied,
+    /// Every extension of the observed prefix violates the property.
+    Violated,
+    /// The prefix does not yet determine the outcome.
+    Inconclusive,
+}
+
+/// Progresses `φ` through one state: the result is the obligation on the
+/// remaining suffix.
+pub fn progress(phi: &Ltl, state: Valuation) -> Ltl {
+    let f = match phi {
+        Ltl::True => Ltl::True,
+        Ltl::False => Ltl::False,
+        Ltl::Atom(a) => {
+            if state.contains(*a) {
+                Ltl::True
+            } else {
+                Ltl::False
+            }
+        }
+        Ltl::Not(f) => progress(f, state).not(),
+        Ltl::And(a, b) => progress(a, state).and(progress(b, state)),
+        Ltl::Or(a, b) => progress(a, state).or(progress(b, state)),
+        Ltl::Implies(a, b) => progress(a, state).not().or(progress(b, state)),
+        Ltl::Next(f) => (**f).clone(),
+        Ltl::Globally(f) => progress(f, state).and(phi.clone()),
+        Ltl::Eventually(f) => progress(f, state).or(phi.clone()),
+        Ltl::Until(a, b) => progress(b, state).or(progress(a, state).and(phi.clone())),
+        Ltl::Release(a, b) => progress(b, state).and(progress(a, state).or(phi.clone())),
+    };
+    simplify(f)
+}
+
+/// Boolean simplification: constant folding and idempotence, applied
+/// bottom-up. Keeps progressed formulas from growing without bound.
+pub fn simplify(phi: Ltl) -> Ltl {
+    match phi {
+        Ltl::Not(f) => match simplify(*f) {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Not(inner) => *inner,
+            g => g.not(),
+        },
+        Ltl::And(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            match (a, b) {
+                (Ltl::False, _) | (_, Ltl::False) => Ltl::False,
+                (Ltl::True, g) | (g, Ltl::True) => g,
+                (a, b) if a == b => a,
+                (a, b) => a.and(b),
+            }
+        }
+        Ltl::Or(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            match (a, b) {
+                (Ltl::True, _) | (_, Ltl::True) => Ltl::True,
+                (Ltl::False, g) | (g, Ltl::False) => g,
+                (a, b) if a == b => a,
+                (a, b) => a.or(b),
+            }
+        }
+        Ltl::Implies(a, b) => simplify(Ltl::Or(Box::new(Ltl::Not(a)), b)),
+        other => other,
+    }
+}
+
+/// An online monitor for one LTL property.
+///
+/// # Examples
+///
+/// ```
+/// use riot_formal::{Atoms, Ltl, Monitor, Valuation, Verdict3};
+///
+/// let mut atoms = Atoms::new();
+/// let fail = atoms.intern("failed");
+/// let rec = atoms.intern("recovered");
+///
+/// // Every failure is eventually recovered.
+/// let phi = Ltl::responds(Ltl::atom(fail), Ltl::atom(rec));
+/// let mut mon = Monitor::new(phi);
+///
+/// mon.step(Valuation::EMPTY.with(fail));
+/// assert_eq!(mon.verdict(), Verdict3::Inconclusive, "recovery still possible");
+/// mon.step(Valuation::EMPTY.with(rec));
+/// assert_eq!(mon.verdict(), Verdict3::Inconclusive, "future failures may occur");
+/// // End of the run: residual obligations resolve on the empty suffix.
+/// assert!(mon.finish());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Monitor {
+    original: Ltl,
+    residual: Ltl,
+    verdict: Verdict3,
+    steps: usize,
+}
+
+impl Monitor {
+    /// Creates a monitor for a property.
+    pub fn new(phi: Ltl) -> Self {
+        let residual = simplify(phi.clone());
+        let verdict = match residual {
+            Ltl::True => Verdict3::Satisfied,
+            Ltl::False => Verdict3::Violated,
+            _ => Verdict3::Inconclusive,
+        };
+        Monitor { original: phi, residual, verdict, steps: 0 }
+    }
+
+    /// Consumes one trace state. Returns the verdict after the step.
+    /// Further steps after a definite verdict are no-ops.
+    pub fn step(&mut self, state: Valuation) -> Verdict3 {
+        if self.verdict != Verdict3::Inconclusive {
+            return self.verdict;
+        }
+        self.steps += 1;
+        self.residual = progress(&self.residual, state);
+        self.verdict = match self.residual {
+            Ltl::True => Verdict3::Satisfied,
+            Ltl::False => Verdict3::Violated,
+            _ => Verdict3::Inconclusive,
+        };
+        self.verdict
+    }
+
+    /// The current three-valued verdict.
+    pub fn verdict(&self) -> Verdict3 {
+        self.verdict
+    }
+
+    /// Ends the trace: resolves an inconclusive residual on the empty
+    /// suffix and returns the final boolean.
+    pub fn finish(&self) -> bool {
+        match self.verdict {
+            Verdict3::Satisfied => true,
+            Verdict3::Violated => false,
+            Verdict3::Inconclusive => self.residual.accepts_empty(),
+        }
+    }
+
+    /// The property being monitored.
+    pub fn property(&self) -> &Ltl {
+        &self.original
+    }
+
+    /// The residual obligation.
+    pub fn residual(&self) -> &Ltl {
+        &self.residual
+    }
+
+    /// Number of states consumed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Resets the monitor to its initial obligation.
+    pub fn reset(&mut self) {
+        *self = Monitor::new(self.original.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{AtomId, Atoms};
+    use riot_sim::SimRng;
+
+    fn atoms2() -> (Atoms, AtomId, AtomId) {
+        let mut a = Atoms::new();
+        let p = a.intern("p");
+        let q = a.intern("q");
+        (a, p, q)
+    }
+
+    fn v(p_on: bool, q_on: bool, p: AtomId, q: AtomId) -> Valuation {
+        let mut val = Valuation::EMPTY;
+        val.set(p, p_on);
+        val.set(q, q_on);
+        val
+    }
+
+    #[test]
+    fn safety_violation_is_definite() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::atom(p).globally());
+        assert_eq!(m.step(v(true, false, p, q)), Verdict3::Inconclusive);
+        assert_eq!(m.step(v(false, false, p, q)), Verdict3::Violated);
+        // Further input cannot change a definite verdict.
+        assert_eq!(m.step(v(true, true, p, q)), Verdict3::Violated);
+        assert!(!m.finish());
+    }
+
+    #[test]
+    fn liveness_satisfaction_is_definite() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::atom(q).eventually());
+        assert_eq!(m.step(v(false, false, p, q)), Verdict3::Inconclusive);
+        assert_eq!(m.step(v(false, true, p, q)), Verdict3::Satisfied);
+        assert!(m.finish());
+    }
+
+    #[test]
+    fn globally_stays_inconclusive_and_finishes_true() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::atom(p).globally());
+        for _ in 0..50 {
+            assert_eq!(m.step(v(true, false, p, q)), Verdict3::Inconclusive);
+        }
+        assert!(m.finish(), "no violation observed");
+        assert_eq!(m.steps(), 50);
+    }
+
+    #[test]
+    fn next_progression() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::atom(q).next());
+        assert_eq!(m.step(v(false, false, p, q)), Verdict3::Inconclusive);
+        assert_eq!(m.step(v(false, true, p, q)), Verdict3::Satisfied);
+
+        let mut m = Monitor::new(Ltl::atom(q).next());
+        m.step(v(false, true, p, q)); // q now is irrelevant to X q
+        assert_eq!(m.step(v(false, false, p, q)), Verdict3::Violated);
+    }
+
+    #[test]
+    fn until_progresses_correctly() {
+        let (_, p, q) = atoms2();
+        let phi = Ltl::atom(p).until(Ltl::atom(q));
+        let mut m = Monitor::new(phi.clone());
+        m.step(v(true, false, p, q));
+        assert_eq!(m.verdict(), Verdict3::Inconclusive);
+        m.step(v(false, false, p, q));
+        assert_eq!(m.verdict(), Verdict3::Violated, "p broke before q");
+
+        let mut m = Monitor::new(phi);
+        m.step(v(true, false, p, q));
+        m.step(v(false, true, p, q));
+        assert_eq!(m.verdict(), Verdict3::Satisfied);
+    }
+
+    #[test]
+    fn responds_pattern_lifecycle() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::responds(Ltl::atom(p), Ltl::atom(q)));
+        m.step(v(false, false, p, q));
+        m.step(v(true, false, p, q)); // trigger
+        assert_eq!(m.verdict(), Verdict3::Inconclusive);
+        assert!(!m.finish(), "pending obligation fails at trace end");
+        m.step(v(false, true, p, q)); // response
+        assert!(m.finish(), "obligation discharged");
+    }
+
+    #[test]
+    fn reset_restores_initial_obligation() {
+        let (_, p, q) = atoms2();
+        let mut m = Monitor::new(Ltl::atom(p).globally());
+        m.step(v(false, false, p, q));
+        assert_eq!(m.verdict(), Verdict3::Violated);
+        m.reset();
+        assert_eq!(m.verdict(), Verdict3::Inconclusive);
+        assert_eq!(m.steps(), 0);
+        assert_eq!(m.residual(), m.property());
+    }
+
+    #[test]
+    fn trivial_properties_start_definite() {
+        assert_eq!(Monitor::new(Ltl::True).verdict(), Verdict3::Satisfied);
+        assert_eq!(Monitor::new(Ltl::False).verdict(), Verdict3::Violated);
+        assert_eq!(Monitor::new(Ltl::True.and(Ltl::False)).verdict(), Verdict3::Violated);
+    }
+
+    #[test]
+    fn simplify_laws() {
+        let (_, p, _) = atoms2();
+        let a = Ltl::atom(p);
+        assert_eq!(simplify(a.clone().and(Ltl::True)), a);
+        assert_eq!(simplify(a.clone().and(Ltl::False)), Ltl::False);
+        assert_eq!(simplify(a.clone().or(Ltl::True)), Ltl::True);
+        assert_eq!(simplify(a.clone().or(Ltl::False)), a);
+        assert_eq!(simplify(a.clone().and(a.clone())), a);
+        assert_eq!(simplify(a.clone().or(a.clone())), a);
+        assert_eq!(simplify(a.clone().not().not()), a);
+        assert_eq!(simplify(Ltl::True.not()), Ltl::False);
+        assert_eq!(simplify(Ltl::False.implies(a.clone())), Ltl::True);
+    }
+
+    /// Random formula generator for the equivalence test.
+    fn random_formula(rng: &mut SimRng, depth: usize, p: AtomId, q: AtomId) -> Ltl {
+        if depth == 0 {
+            return match rng.range_u64(0, 4) {
+                0 => Ltl::atom(p),
+                1 => Ltl::atom(q),
+                2 => Ltl::True,
+                _ => Ltl::False,
+            };
+        }
+        match rng.range_u64(0, 10) {
+            0 => random_formula(rng, depth - 1, p, q).not(),
+            1 => random_formula(rng, depth - 1, p, q).and(random_formula(rng, depth - 1, p, q)),
+            2 => random_formula(rng, depth - 1, p, q).or(random_formula(rng, depth - 1, p, q)),
+            3 => random_formula(rng, depth - 1, p, q).implies(random_formula(rng, depth - 1, p, q)),
+            4 => random_formula(rng, depth - 1, p, q).next(),
+            5 => random_formula(rng, depth - 1, p, q).globally(),
+            6 => random_formula(rng, depth - 1, p, q).eventually(),
+            7 => random_formula(rng, depth - 1, p, q).until(random_formula(rng, depth - 1, p, q)),
+            8 => random_formula(rng, depth - 1, p, q).release(random_formula(rng, depth - 1, p, q)),
+            _ => Ltl::atom(p),
+        }
+    }
+
+    #[test]
+    fn progression_equals_finite_trace_semantics_on_random_inputs() {
+        let (_, p, q) = atoms2();
+        let mut rng = SimRng::seed_from(2024);
+        for _ in 0..300 {
+            let phi = random_formula(&mut rng, 3, p, q);
+            let len = rng.range_u64(0, 6) as usize;
+            let trace: Vec<Valuation> = (0..len)
+                .map(|_| v(rng.chance(0.5), rng.chance(0.5), p, q))
+                .collect();
+            let expected = phi.evaluate(&trace, 0);
+            let mut m = Monitor::new(phi.clone());
+            for s in &trace {
+                m.step(*s);
+            }
+            assert_eq!(
+                m.finish(),
+                expected,
+                "monitor disagrees with semantics for {phi} on {trace:?}"
+            );
+        }
+    }
+}

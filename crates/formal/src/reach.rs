@@ -1,0 +1,248 @@
+//! Bounded reachability over implicit transition systems.
+//!
+//! Design-time safety checking (Figure 2, the "model ⊨ property" box) often
+//! does not need a pre-built Kripke structure: the state space can be
+//! explored on the fly from a successor function. [`bounded_search`] runs a
+//! breadth-first exploration up to a depth bound, looking for a state
+//! matching a predicate, and returns a shortest witness path — used to
+//! verify (or refute) invariants of configuration models before deployment.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// An implicit transition system: initial states and a successor function.
+pub trait TransitionSystem {
+    /// The state type; must be hashable for visited-set deduplication.
+    type State: Clone + Eq + Hash;
+
+    /// The initial states.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// The successors of a state.
+    fn successors(&self, state: &Self::State) -> Vec<Self::State>;
+}
+
+/// The outcome of a bounded search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult<S> {
+    /// A matching state was found; the path starts at an initial state and
+    /// ends at the match.
+    Found {
+        /// Witness path (initial state first).
+        path: Vec<S>,
+    },
+    /// No matching state exists within the bound, and the full reachable
+    /// state space was exhausted before the bound — the result is complete.
+    ExhaustedComplete {
+        /// Number of distinct states explored.
+        explored: usize,
+    },
+    /// No matching state was found up to the depth bound, but deeper states
+    /// exist — the result is a bounded guarantee only.
+    ExhaustedBounded {
+        /// Number of distinct states explored.
+        explored: usize,
+    },
+}
+
+impl<S> SearchResult<S> {
+    /// `true` if a matching state was found.
+    pub fn found(&self) -> bool {
+        matches!(self, SearchResult::Found { .. })
+    }
+}
+
+/// Breadth-first search from the initial states for a state satisfying
+/// `target`, exploring at most `max_depth` transitions deep.
+///
+/// Returns a *shortest* witness path when one exists within the bound.
+///
+/// # Examples
+///
+/// Checking that a 3-bit counter can reach 7 (and that 9 is unreachable):
+///
+/// ```
+/// use riot_formal::{bounded_search, SearchResult, TransitionSystem};
+///
+/// struct Counter;
+/// impl TransitionSystem for Counter {
+///     type State = u8;
+///     fn initial(&self) -> Vec<u8> {
+///         vec![0]
+///     }
+///     fn successors(&self, s: &u8) -> Vec<u8> {
+///         if *s < 7 { vec![s + 1] } else { vec![*s] }
+///     }
+/// }
+///
+/// let hit = bounded_search(&Counter, 100, |s| *s == 7);
+/// assert!(hit.found());
+/// let miss = bounded_search(&Counter, 100, |s| *s == 9);
+/// assert!(matches!(miss, SearchResult::ExhaustedComplete { .. }));
+/// ```
+pub fn bounded_search<T: TransitionSystem>(
+    system: &T,
+    max_depth: usize,
+    mut target: impl FnMut(&T::State) -> bool,
+) -> SearchResult<T::State> {
+    let mut parents: HashMap<T::State, Option<T::State>> = HashMap::new();
+    let mut frontier: VecDeque<(T::State, usize)> = VecDeque::new();
+    for s in system.initial() {
+        if target(&s) {
+            return SearchResult::Found { path: vec![s] };
+        }
+        if !parents.contains_key(&s) {
+            parents.insert(s.clone(), None);
+            frontier.push_back((s, 0));
+        }
+    }
+    let mut truncated = false;
+    while let Some((state, depth)) = frontier.pop_front() {
+        if depth == max_depth {
+            truncated = true;
+            continue;
+        }
+        for succ in system.successors(&state) {
+            if parents.contains_key(&succ) {
+                continue;
+            }
+            parents.insert(succ.clone(), Some(state.clone()));
+            if target(&succ) {
+                let mut path = vec![succ.clone()];
+                let mut cur = succ;
+                while let Some(Some(prev)) = parents.get(&cur).cloned() {
+                    path.push(prev.clone());
+                    cur = prev;
+                }
+                path.reverse();
+                return SearchResult::Found { path };
+            }
+            frontier.push_back((succ, depth + 1));
+        }
+    }
+    let explored = parents.len();
+    if truncated {
+        SearchResult::ExhaustedBounded { explored }
+    } else {
+        SearchResult::ExhaustedComplete { explored }
+    }
+}
+
+/// Checks the invariant `inv` on all states reachable within `max_depth`.
+/// Returns `Ok(explored)` when the invariant holds, or a counterexample
+/// path to the first violating state found.
+///
+/// The boolean in `Ok` is `true` when the exploration was complete (the
+/// invariant is proved, not just bounded-checked).
+pub fn check_invariant<T: TransitionSystem>(
+    system: &T,
+    max_depth: usize,
+    mut inv: impl FnMut(&T::State) -> bool,
+) -> Result<(usize, bool), Vec<T::State>> {
+    match bounded_search(system, max_depth, |s| !inv(s)) {
+        SearchResult::Found { path } => Err(path),
+        SearchResult::ExhaustedComplete { explored } => Ok((explored, true)),
+        SearchResult::ExhaustedBounded { explored } => Ok((explored, false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A component that can be replicated 0..=max times; a crash removes
+    /// one replica, a repair adds one.
+    struct Replicas {
+        max: u8,
+    }
+
+    impl TransitionSystem for Replicas {
+        type State = u8;
+        fn initial(&self) -> Vec<u8> {
+            vec![2]
+        }
+        fn successors(&self, s: &u8) -> Vec<u8> {
+            let mut next = Vec::new();
+            if *s > 0 {
+                next.push(s - 1);
+            }
+            if *s < self.max {
+                next.push(s + 1);
+            }
+            next
+        }
+    }
+
+    #[test]
+    fn finds_shortest_path() {
+        let sys = Replicas { max: 5 };
+        match bounded_search(&sys, 10, |s| *s == 0) {
+            SearchResult::Found { path } => assert_eq!(path, vec![2, 1, 0]),
+            other => panic!("expected found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_exhaustion_proves_absence() {
+        let sys = Replicas { max: 5 };
+        let r = bounded_search(&sys, 100, |s| *s == 9);
+        assert_eq!(r, SearchResult::ExhaustedComplete { explored: 6 });
+        assert!(!r.found());
+    }
+
+    #[test]
+    fn bounded_exhaustion_is_flagged() {
+        let sys = Replicas { max: 200 };
+        // Depth 3 from state 2 reaches at most 5.
+        let r = bounded_search(&sys, 3, |s| *s == 100);
+        assert!(matches!(r, SearchResult::ExhaustedBounded { .. }));
+    }
+
+    #[test]
+    fn initial_state_match_short_circuits() {
+        let sys = Replicas { max: 5 };
+        match bounded_search(&sys, 0, |s| *s == 2) {
+            SearchResult::Found { path } => assert_eq!(path, vec![2]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_holds_and_fails() {
+        let sys = Replicas { max: 5 };
+        // "replica count <= 5" holds everywhere, completely explored.
+        assert_eq!(check_invariant(&sys, 100, |s| *s <= 5), Ok((6, true)));
+        // "never zero replicas" is violated; counterexample is minimal.
+        let cex = check_invariant(&sys, 100, |s| *s > 0).unwrap_err();
+        assert_eq!(cex, vec![2, 1, 0]);
+        // Bounded check that cannot reach the violation reports bounded-ok.
+        let sys_big = Replicas { max: 200 };
+        let r = check_invariant(&sys_big, 1, |s| *s != 100).unwrap();
+        assert!(!r.1, "only a bounded guarantee");
+    }
+
+    /// Branching system to verify BFS yields shortest witnesses under
+    /// multiple paths.
+    struct Grid;
+    impl TransitionSystem for Grid {
+        type State = (i8, i8);
+        fn initial(&self) -> Vec<(i8, i8)> {
+            vec![(0, 0)]
+        }
+        fn successors(&self, s: &(i8, i8)) -> Vec<(i8, i8)> {
+            vec![(s.0 + 1, s.1), (s.0, s.1 + 1)]
+        }
+    }
+
+    #[test]
+    fn bfs_shortest_on_branching_system() {
+        match bounded_search(&Grid, 10, |s| *s == (2, 2)) {
+            SearchResult::Found { path } => {
+                assert_eq!(path.len(), 5, "manhattan-shortest path");
+                assert_eq!(path[0], (0, 0));
+                assert_eq!(path[4], (2, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the formal toolbox: progression soundness, boolean
+//! simplification, LTL dualities, and CTL duality laws on random models.
+
+use proptest::prelude::*;
+use riot_formal::{simplify, Atoms, Ctl, CtlChecker, Kripke, Ltl, Monitor, Valuation};
+use riot_sim::SimRng;
+
+fn atoms3() -> (Atoms, riot_formal::AtomId, riot_formal::AtomId, riot_formal::AtomId) {
+    let mut a = Atoms::new();
+    let p = a.intern("p");
+    let q = a.intern("q");
+    let r = a.intern("r");
+    (a, p, q, r)
+}
+
+/// Strategy: a random LTL formula of bounded depth over three atoms.
+fn ltl_formula(depth: u32) -> BoxedStrategy<Ltl> {
+    let (_, p, q, r) = atoms3();
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        Just(Ltl::atom(p)),
+        Just(Ltl::atom(q)),
+        Just(Ltl::atom(r)),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(|f| f.next()),
+            inner.clone().prop_map(|f| f.globally()),
+            inner.clone().prop_map(|f| f.eventually()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.release(b)),
+        ]
+    })
+    .boxed()
+}
+
+/// Strategy: a random trace over the three atoms.
+fn trace(max_len: usize) -> BoxedStrategy<Vec<Valuation>> {
+    let (_, p, q, r) = atoms3();
+    prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 0..max_len)
+        .prop_map(move |bits| {
+            bits.into_iter()
+                .map(|(bp, bq, br)| {
+                    let mut v = Valuation::EMPTY;
+                    v.set(p, bp);
+                    v.set(q, bq);
+                    v.set(r, br);
+                    v
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The crown jewel: the progression monitor agrees with the denotational
+    /// finite-trace semantics on every formula and every trace.
+    #[test]
+    fn monitor_agrees_with_trace_semantics(phi in ltl_formula(3), t in trace(8)) {
+        let expected = phi.evaluate(&t, 0);
+        let mut m = Monitor::new(phi);
+        for s in &t {
+            m.step(*s);
+        }
+        prop_assert_eq!(m.finish(), expected);
+    }
+
+    /// Boolean simplification never changes meaning.
+    #[test]
+    fn simplify_preserves_semantics(phi in ltl_formula(3), t in trace(6)) {
+        let simplified = simplify(phi.clone());
+        for at in 0..=t.len() {
+            prop_assert_eq!(
+                phi.evaluate(&t, at),
+                simplified.evaluate(&t, at),
+                "simplify changed meaning at {}", at
+            );
+        }
+        // Note: simplify may grow `Implies` by one node (it desugars to
+        // `!a | b`), so no size bound is asserted — only semantics.
+    }
+
+    /// The classical dualities hold under the finite-trace semantics.
+    #[test]
+    fn ltl_dualities(a in ltl_formula(2), b in ltl_formula(2), t in trace(6)) {
+        for at in 0..=t.len() {
+            // ¬(a U b) ≡ ¬a R ¬b
+            prop_assert_eq!(
+                !a.clone().until(b.clone()).evaluate(&t, at),
+                a.clone().not().release(b.clone().not()).evaluate(&t, at)
+            );
+            // G a ≡ false R a ; F a ≡ true U a
+            prop_assert_eq!(
+                a.clone().globally().evaluate(&t, at),
+                Ltl::False.release(a.clone()).evaluate(&t, at)
+            );
+            prop_assert_eq!(
+                a.clone().eventually().evaluate(&t, at),
+                Ltl::True.until(a.clone()).evaluate(&t, at)
+            );
+            // ¬F¬a ≡ G a
+            prop_assert_eq!(
+                a.clone().not().eventually().not().evaluate(&t, at),
+                a.clone().globally().evaluate(&t, at)
+            );
+        }
+    }
+
+    /// Monitors are prefix-sound: a definite verdict never flips with more
+    /// input.
+    #[test]
+    fn monitor_verdicts_are_stable(phi in ltl_formula(3), t in trace(10)) {
+        use riot_formal::Verdict3;
+        let mut m = Monitor::new(phi);
+        let mut definite: Option<Verdict3> = None;
+        for s in &t {
+            let v = m.step(*s);
+            if let Some(d) = definite {
+                prop_assert_eq!(v, d, "definite verdict flipped");
+            } else if v != Verdict3::Inconclusive {
+                definite = Some(v);
+            }
+        }
+    }
+
+    /// Render → parse is the identity on LTL formulas (the parser and the
+    /// renderer agree on the grammar).
+    #[test]
+    fn ltl_render_parse_round_trip(phi in ltl_formula(3)) {
+        let (mut atoms, _, _, _) = atoms3();
+        let rendered = phi.render(&atoms);
+        let reparsed = riot_formal::parse_ltl(&rendered, &mut atoms)
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(phi, reparsed, "{}", rendered);
+    }
+
+    /// CTL dualities on random Kripke structures.
+    #[test]
+    fn ctl_dualities_on_random_models(seed in 0u64..500, states in 10usize..60) {
+        let mut rng = SimRng::seed_from(seed);
+        let k = Kripke::random(states, 3, 2, &mut rng);
+        let checker = CtlChecker::new(&k);
+        let mut vocab = Atoms::new();
+        let p = Ctl::atom(vocab.intern("p0"));
+        let pairs = [
+            (p.clone().ag(), p.clone().not().ef().not()),
+            (p.clone().af(), p.clone().not().eg().not()),
+            (p.clone().ax(), p.clone().not().ex().not()),
+            (p.clone().ef(), Ctl::True.eu(p.clone())),
+        ];
+        for (lhs, rhs) in pairs {
+            prop_assert_eq!(checker.check(&lhs), checker.check(&rhs), "duality failed");
+        }
+    }
+
+    /// `AG φ` implies `φ` everywhere it holds; `φ` implies `EF φ`.
+    #[test]
+    fn ctl_fixpoint_sanity(seed in 0u64..500) {
+        let mut rng = SimRng::seed_from(seed);
+        let k = Kripke::random(40, 3, 2, &mut rng);
+        let checker = CtlChecker::new(&k);
+        let mut vocab = Atoms::new();
+        let p = Ctl::atom(vocab.intern("p0"));
+        let ag = checker.check(&p.clone().ag());
+        let now = checker.check(&p.clone());
+        let ef = checker.check(&p.clone().ef());
+        for s in k.states() {
+            if ag.contains(s) {
+                prop_assert!(now.contains(s), "AG p ⊆ p");
+            }
+            if now.contains(s) {
+                prop_assert!(ef.contains(s), "p ⊆ EF p");
+            }
+        }
+    }
+}

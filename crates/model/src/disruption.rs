@@ -1,0 +1,321 @@
+//! The disruption taxonomy: adverse changes a resilient system must absorb.
+//!
+//! "Disruption is an adverse change to system stability, which fundamentally
+//! affects system requirements" (§I). This module enumerates the concrete
+//! change events the paper names — internal faults, connectivity changes,
+//! non-persistent control structures, administrative-domain transfers,
+//! mobility — and provides deterministic and stochastic schedules of them.
+//! `riot-core` turns each scheduled [`Disruption`] into a simulator
+//! injection.
+
+use crate::domain::DomainId;
+use crate::entity::ComponentId;
+use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One adverse change event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Disruption {
+    /// A whole node crashes (process down), optionally recovering.
+    NodeCrash {
+        /// The node.
+        node: ProcessId,
+        /// Recovery delay; `None` means the node stays down.
+        recover_after: Option<SimDuration>,
+    },
+    /// A single software component on a node fails.
+    ComponentFault {
+        /// Hosting node.
+        node: ProcessId,
+        /// Failed component.
+        component: ComponentId,
+    },
+    /// A link degrades: latency multiplied by `factor` until restored.
+    LinkDegradation {
+        /// One endpoint.
+        a: ProcessId,
+        /// Other endpoint.
+        b: ProcessId,
+        /// Latency multiplier (≥ 1).
+        factor: f64,
+        /// Restoration delay; `None` means the degradation is permanent.
+        heal_after: Option<SimDuration>,
+    },
+    /// One link is cut, optionally healing.
+    LinkCut {
+        /// One endpoint.
+        a: ProcessId,
+        /// Other endpoint.
+        b: ProcessId,
+        /// Healing delay; `None` means the cut is permanent.
+        heal_after: Option<SimDuration>,
+    },
+    /// The cloud becomes unreachable (§II: "connectivity to cloud control
+    /// structures may not be persistent").
+    CloudOutage {
+        /// The cloud node.
+        cloud: ProcessId,
+        /// Healing delay; `None` means the outage is permanent.
+        heal_after: Option<SimDuration>,
+    },
+    /// The network splits into groups.
+    Partition {
+        /// The groups; links across groups are cut.
+        groups: Vec<Vec<ProcessId>>,
+        /// Healing delay; `None` means the partition is permanent.
+        heal_after: Option<SimDuration>,
+    },
+    /// An entity changes administrative domain at runtime.
+    DomainTransfer {
+        /// Entity key (model-level id).
+        entity: u64,
+        /// New owning domain.
+        to: DomainId,
+    },
+    /// A device roams to a new parent edge.
+    Mobility {
+        /// Roaming device.
+        device: ProcessId,
+        /// New parent.
+        new_parent: ProcessId,
+    },
+}
+
+/// Coarse categories used to group disruptions into experiment suites
+/// (experiment E1 runs one suite per disruption vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DisruptionCategory {
+    /// Node/infrastructure loss.
+    Infrastructure,
+    /// Component/service failure.
+    Service,
+    /// Network connectivity (cuts, outages, partitions).
+    Connectivity,
+    /// Administrative/governance change.
+    Governance,
+    /// Physical mobility.
+    Mobility,
+}
+
+impl Disruption {
+    /// The category this disruption belongs to.
+    pub fn category(&self) -> DisruptionCategory {
+        match self {
+            Disruption::NodeCrash { .. } => DisruptionCategory::Infrastructure,
+            Disruption::ComponentFault { .. } => DisruptionCategory::Service,
+            Disruption::LinkDegradation { .. }
+            | Disruption::LinkCut { .. }
+            | Disruption::CloudOutage { .. }
+            | Disruption::Partition { .. } => DisruptionCategory::Connectivity,
+            Disruption::DomainTransfer { .. } => DisruptionCategory::Governance,
+            Disruption::Mobility { .. } => DisruptionCategory::Mobility,
+        }
+    }
+}
+
+/// A disruption at a virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionEvent {
+    /// When it strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub disruption: Disruption,
+}
+
+/// A time-ordered schedule of disruptions.
+///
+/// # Examples
+///
+/// ```
+/// use riot_model::{Disruption, DisruptionSchedule};
+/// use riot_sim::{ProcessId, SimDuration, SimTime};
+///
+/// let schedule = DisruptionSchedule::new()
+///     .at(
+///         SimTime::from_secs(10),
+///         Disruption::NodeCrash { node: ProcessId(3), recover_after: Some(SimDuration::from_secs(5)) },
+///     )
+///     .at(
+///         SimTime::from_secs(5),
+///         Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None },
+///     );
+/// let times: Vec<u64> = schedule.events().iter().map(|e| e.at.as_micros()).collect();
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionSchedule {
+    events: Vec<DisruptionEvent>,
+}
+
+impl DisruptionSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        DisruptionSchedule::default()
+    }
+
+    /// Adds a disruption at a given time (kept sorted).
+    pub fn at(mut self, at: SimTime, disruption: Disruption) -> Self {
+        self.push(at, disruption);
+        self
+    }
+
+    /// Adds a disruption at a given time, in place.
+    pub fn push(&mut self, at: SimTime, disruption: Disruption) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, DisruptionEvent { at, disruption });
+    }
+
+    /// Appends a Poisson process of disruptions over `[from, to)` with the
+    /// given mean rate (events per second); each event is drawn by
+    /// `generate`. Deterministic for a given `rng` state.
+    pub fn poisson(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        rate_per_sec: f64,
+        rng: &mut SimRng,
+        mut generate: impl FnMut(&mut SimRng) -> Disruption,
+    ) {
+        if rate_per_sec <= 0.0 || to <= from {
+            return;
+        }
+        let mean_gap = 1.0 / rate_per_sec;
+        let mut t = from;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap).max(1e-6));
+            t = t + gap;
+            if t >= to {
+                break;
+            }
+            let d = generate(rng);
+            self.push(t, d);
+        }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[DisruptionEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no disruption is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Merges another schedule into this one, preserving time order.
+    pub fn merge(&mut self, other: DisruptionSchedule) {
+        for e in other.events {
+            self.push(e.at, e.disruption);
+        }
+    }
+
+    /// Iterates over events within a category.
+    pub fn in_category(&self, cat: DisruptionCategory) -> impl Iterator<Item = &DisruptionEvent> {
+        self.events.iter().filter(move |e| e.disruption.category() == cat)
+    }
+}
+
+impl IntoIterator for DisruptionSchedule {
+    type Item = DisruptionEvent;
+    type IntoIter = std::vec::IntoIter<DisruptionEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_taxonomy() {
+        let crash = Disruption::NodeCrash { node: ProcessId(1), recover_after: None };
+        let fault = Disruption::ComponentFault { node: ProcessId(1), component: ComponentId(0) };
+        let cut = Disruption::LinkCut { a: ProcessId(0), b: ProcessId(1), heal_after: None };
+        let degraded = Disruption::LinkDegradation {
+            a: ProcessId(0),
+            b: ProcessId(1),
+            factor: 8.0,
+            heal_after: None,
+        };
+        assert_eq!(degraded.category(), DisruptionCategory::Connectivity);
+        let outage = Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None };
+        let part = Disruption::Partition { groups: vec![], heal_after: None };
+        let xfer = Disruption::DomainTransfer { entity: 1, to: DomainId(2) };
+        let mob = Disruption::Mobility { device: ProcessId(5), new_parent: ProcessId(2) };
+        assert_eq!(crash.category(), DisruptionCategory::Infrastructure);
+        assert_eq!(fault.category(), DisruptionCategory::Service);
+        assert_eq!(cut.category(), DisruptionCategory::Connectivity);
+        assert_eq!(outage.category(), DisruptionCategory::Connectivity);
+        assert_eq!(part.category(), DisruptionCategory::Connectivity);
+        assert_eq!(xfer.category(), DisruptionCategory::Governance);
+        assert_eq!(mob.category(), DisruptionCategory::Mobility);
+    }
+
+    #[test]
+    fn schedule_keeps_time_order_with_stable_ties() {
+        let s = DisruptionSchedule::new()
+            .at(SimTime::from_secs(2), Disruption::NodeCrash { node: ProcessId(1), recover_after: None })
+            .at(SimTime::from_secs(1), Disruption::NodeCrash { node: ProcessId(2), recover_after: None })
+            .at(SimTime::from_secs(2), Disruption::NodeCrash { node: ProcessId(3), recover_after: None });
+        let nodes: Vec<usize> = s
+            .events()
+            .iter()
+            .map(|e| match &e.disruption {
+                Disruption::NodeCrash { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![2, 1, 3], "ties keep insertion order");
+    }
+
+    #[test]
+    fn poisson_generates_deterministically_within_window() {
+        let mut rng1 = SimRng::seed_from(5);
+        let mut s1 = DisruptionSchedule::new();
+        s1.poisson(SimTime::from_secs(0), SimTime::from_secs(100), 0.5, &mut rng1, |_| {
+            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
+        });
+        let mut rng2 = SimRng::seed_from(5);
+        let mut s2 = DisruptionSchedule::new();
+        s2.poisson(SimTime::from_secs(0), SimTime::from_secs(100), 0.5, &mut rng2, |_| {
+            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
+        });
+        assert_eq!(s1, s2);
+        assert!(!s1.is_empty());
+        // ~50 expected; loose bounds.
+        assert!((20..100).contains(&s1.len()), "got {}", s1.len());
+        assert!(s1.events().iter().all(|e| e.at < SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn poisson_degenerate_inputs_are_noops() {
+        let mut rng = SimRng::seed_from(1);
+        let mut s = DisruptionSchedule::new();
+        s.poisson(SimTime::from_secs(10), SimTime::from_secs(10), 1.0, &mut rng, |_| {
+            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
+        });
+        s.poisson(SimTime::ZERO, SimTime::from_secs(10), 0.0, &mut rng, |_| {
+            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
+        });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_and_category_filter() {
+        let a = DisruptionSchedule::new()
+            .at(SimTime::from_secs(1), Disruption::DomainTransfer { entity: 3, to: DomainId(1) });
+        let mut b = DisruptionSchedule::new()
+            .at(SimTime::from_secs(2), Disruption::Mobility { device: ProcessId(4), new_parent: ProcessId(1) });
+        b.merge(a);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.in_category(DisruptionCategory::Governance).count(), 1);
+        assert_eq!(b.in_category(DisruptionCategory::Mobility).count(), 1);
+        assert_eq!(b.events()[0].at, SimTime::from_secs(1));
+    }
+}

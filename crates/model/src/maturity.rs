@@ -1,0 +1,275 @@
+//! The maturity ladder of Tables 1 and 2: ML1–ML4 across five disruption
+//! vectors.
+//!
+//! The paper's roadmap identifies four evolutionary steps — (ML1)
+//! vertically-coupled silos, (ML2) hybrid IoT-cloud, (ML3) edge-centric,
+//! (ML4) resilient IoT — along five *disruption vectors*. This module
+//! encodes the two tables as data, so the experiment harness (E1) can
+//! iterate the ladder and report measured resilience per cell next to the
+//! paper's qualitative description.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four maturity levels of the roadmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MaturityLevel {
+    /// Traditional vertically coupled IoT systems (silos).
+    Ml1,
+    /// Hybrid IoT-Cloud systems.
+    Ml2,
+    /// Edge-centric systems.
+    Ml3,
+    /// Resilient IoT systems (the paper's vision).
+    Ml4,
+}
+
+impl MaturityLevel {
+    /// All levels in ascending order.
+    pub const ALL: [MaturityLevel; 4] =
+        [MaturityLevel::Ml1, MaturityLevel::Ml2, MaturityLevel::Ml3, MaturityLevel::Ml4];
+
+    /// Numeric rank, 1–4.
+    pub fn rank(self) -> u8 {
+        match self {
+            MaturityLevel::Ml1 => 1,
+            MaturityLevel::Ml2 => 2,
+            MaturityLevel::Ml3 => 3,
+            MaturityLevel::Ml4 => 4,
+        }
+    }
+
+    /// Short title as used in the roadmap (§III-B).
+    pub fn title(self) -> &'static str {
+        match self {
+            MaturityLevel::Ml1 => "Traditional vertically coupled IoT systems",
+            MaturityLevel::Ml2 => "Hybrid IoT-Cloud systems",
+            MaturityLevel::Ml3 => "Edge-centric systems",
+            MaturityLevel::Ml4 => "Resilient IoT systems",
+        }
+    }
+}
+
+impl fmt::Display for MaturityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ML{}", self.rank())
+    }
+}
+
+/// The five disruption vectors of Tables 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DisruptionVector {
+    /// Pervasiveness: how IoT infrastructure/resources are consumed.
+    Pervasiveness,
+    /// Service management: coupling of business logic to devices.
+    ServiceManagement,
+    /// Validation: requirements verification maturity.
+    Validation,
+    /// Operations: automation of management processes.
+    Operations,
+    /// Data flows: communication and data governance.
+    DataFlows,
+}
+
+impl DisruptionVector {
+    /// All vectors in table-column order.
+    pub const ALL: [DisruptionVector; 5] = [
+        DisruptionVector::Pervasiveness,
+        DisruptionVector::ServiceManagement,
+        DisruptionVector::Validation,
+        DisruptionVector::Operations,
+        DisruptionVector::DataFlows,
+    ];
+
+    /// Column title.
+    pub fn title(self) -> &'static str {
+        match self {
+            DisruptionVector::Pervasiveness => "Pervasiveness",
+            DisruptionVector::ServiceManagement => "Service management",
+            DisruptionVector::Validation => "Validation",
+            DisruptionVector::Operations => "Operations",
+            DisruptionVector::DataFlows => "Data flows",
+        }
+    }
+}
+
+impl fmt::Display for DisruptionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// The cell text of Tables 1 and 2: what a system at `level` looks like
+/// along `vector`.
+pub fn cell(level: MaturityLevel, vector: DisruptionVector) -> &'static str {
+    use DisruptionVector as V;
+    use MaturityLevel as L;
+    match (level, vector) {
+        (L::Ml1, V::Pervasiveness) => "IoT silos: vertically closed and task-specific IoT infrastructure",
+        (L::Ml1, V::ServiceManagement) => "Business logic bundled and shipped with IoT devices",
+        (L::Ml1, V::Validation) => "Ad hoc requirements with little to no validation",
+        (L::Ml1, V::Operations) => "Exclusively manual interactions with on-site presence",
+        (L::Ml1, V::DataFlows) => "Proprietary and task-specific communication protocols; isolated data flows",
+        (L::Ml2, V::Pervasiveness) => "Cloud-based platforms for brokering IoT data",
+        (L::Ml2, V::ServiceManagement) => {
+            "Services decoupled, with a hard line between IoT and cloud responsibilities"
+        }
+        (L::Ml2, V::Validation) => "Limited verification; parts of the system offer service-level agreements",
+        (L::Ml2, V::Operations) => "Partly automated operations processes, mainly on the cloud side",
+        (L::Ml2, V::DataFlows) => "Unidirectional data flows, with no explicit support for data governance",
+        (L::Ml3, V::Pervasiveness) => {
+            "Common access to specific resource types (gateways, cloudlets, micro-clouds)"
+        }
+        (L::Ml3, V::ServiceManagement) => "Some shared services exist; services are partly managed",
+        (L::Ml3, V::Validation) => "Task-specific formal verification possible",
+        (L::Ml3, V::Operations) => {
+            "Full automation of specific tasks; manual interactions handled remotely"
+        }
+        (L::Ml3, V::DataFlows) => {
+            "Bidirectional edge-cloud data flows; governance limited to specific domains"
+        }
+        (L::Ml4, V::Pervasiveness) => "Edge infrastructure consumed as a full-fledged utility",
+        (L::Ml4, V::ServiceManagement) => {
+            "Deviceless: business logic fully managed and abstracted from infrastructure capabilities"
+        }
+        (L::Ml4, V::Validation) => {
+            "Formally verifiable requirements of both infrastructure and application logic"
+        }
+        (L::Ml4, V::Operations) => "Autonomous control, coordination and self-healing",
+        (L::Ml4, V::DataFlows) => {
+            "Unconstrained data flows; governance among administrative domains and trust levels"
+        }
+    }
+}
+
+/// Capability switches implied by a maturity level; `riot-core` uses these
+/// to assemble the corresponding architecture archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCapabilities {
+    /// Devices reach the cloud (ML2+).
+    pub cloud_connected: bool,
+    /// Edge components host services (ML3+).
+    pub edge_services: bool,
+    /// Edge mesh exists for peer coordination (ML3+ partially, ML4 fully).
+    pub edge_mesh: bool,
+    /// Decentralized coordination (membership, gossip, election) (ML4).
+    pub decentralized_coordination: bool,
+    /// MAPE-K self-adaptation runs (ML2+: cloud; ML4: edge).
+    pub self_adaptation: bool,
+    /// Analysis/planning placed at the edge rather than the cloud (ML4).
+    pub adaptation_at_edge: bool,
+    /// Data replication between edges (ML3+).
+    pub data_replication: bool,
+    /// Governance policies enforced at every component (ML4; ML3 only at
+    /// specific domains).
+    pub full_governance: bool,
+    /// Runtime formal monitors deployed (ML4).
+    pub runtime_monitors: bool,
+}
+
+impl MaturityLevel {
+    /// The capability profile used to assemble this level's archetype.
+    pub fn capabilities(self) -> LevelCapabilities {
+        match self {
+            MaturityLevel::Ml1 => LevelCapabilities {
+                cloud_connected: false,
+                edge_services: false,
+                edge_mesh: false,
+                decentralized_coordination: false,
+                self_adaptation: false,
+                adaptation_at_edge: false,
+                data_replication: false,
+                full_governance: false,
+                runtime_monitors: false,
+            },
+            MaturityLevel::Ml2 => LevelCapabilities {
+                cloud_connected: true,
+                edge_services: false,
+                edge_mesh: false,
+                decentralized_coordination: false,
+                self_adaptation: true,
+                adaptation_at_edge: false,
+                data_replication: false,
+                full_governance: false,
+                runtime_monitors: false,
+            },
+            MaturityLevel::Ml3 => LevelCapabilities {
+                cloud_connected: true,
+                edge_services: true,
+                edge_mesh: true,
+                decentralized_coordination: false,
+                self_adaptation: true,
+                adaptation_at_edge: false,
+                data_replication: true,
+                full_governance: false,
+                runtime_monitors: false,
+            },
+            MaturityLevel::Ml4 => LevelCapabilities {
+                cloud_connected: true,
+                edge_services: true,
+                edge_mesh: true,
+                decentralized_coordination: true,
+                self_adaptation: true,
+                adaptation_at_edge: true,
+                data_replication: true,
+                full_governance: true,
+                runtime_monitors: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered() {
+        assert!(MaturityLevel::Ml1 < MaturityLevel::Ml2);
+        assert!(MaturityLevel::Ml2 < MaturityLevel::Ml3);
+        assert!(MaturityLevel::Ml3 < MaturityLevel::Ml4);
+        assert_eq!(MaturityLevel::Ml4.rank(), 4);
+        assert_eq!(MaturityLevel::Ml1.to_string(), "ML1");
+    }
+
+    #[test]
+    fn all_table_cells_are_present() {
+        for level in MaturityLevel::ALL {
+            for vector in DisruptionVector::ALL {
+                assert!(!cell(level, vector).is_empty(), "empty cell for {level}/{vector}");
+            }
+            assert!(!level.title().is_empty());
+        }
+        assert_eq!(DisruptionVector::ALL.len(), 5);
+    }
+
+    #[test]
+    fn capabilities_are_monotone_along_the_ladder() {
+        fn count(c: LevelCapabilities) -> u32 {
+            [
+                c.cloud_connected,
+                c.edge_services,
+                c.edge_mesh,
+                c.decentralized_coordination,
+                c.self_adaptation,
+                c.adaptation_at_edge,
+                c.data_replication,
+                c.full_governance,
+                c.runtime_monitors,
+            ]
+            .iter()
+            .filter(|b| **b)
+            .count() as u32
+        }
+        let counts: Vec<u32> = MaturityLevel::ALL.iter().map(|l| count(l.capabilities())).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "capability count strictly grows: {counts:?}");
+    }
+
+    #[test]
+    fn ml4_has_everything_ml1_nothing() {
+        let ml4 = MaturityLevel::Ml4.capabilities();
+        assert!(ml4.decentralized_coordination && ml4.adaptation_at_edge && ml4.full_governance);
+        let ml1 = MaturityLevel::Ml1.capabilities();
+        assert!(!ml1.cloud_connected && !ml1.self_adaptation && !ml1.data_replication);
+    }
+}

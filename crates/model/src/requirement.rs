@@ -1,0 +1,359 @@
+//! Requirements: the unit of resilience measurement.
+//!
+//! The framework adopts the paper's working definition — resilience is "the
+//! persistence of reliable requirements satisfaction when facing change" —
+//! so a requirement must be *measurable at runtime*. A [`Requirement`] names
+//! a telemetry metric and a [`Predicate`] over it; evaluation yields a
+//! three-valued [`Verdict`] (satisfied / violated / unknown), where unknown
+//! captures the paper's environment uncertainty: the metric may be
+//! unobservable during a disruption.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a requirement within a system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequirementId(pub u32);
+
+impl fmt::Display for RequirementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// The concern a requirement addresses; the paper's recurring quartet is
+/// latency, availability, privacy and timeliness/freshness (§IV, §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequirementKind {
+    /// A bound on reaction or round-trip time.
+    Latency,
+    /// A floor on the fraction of time a service answers.
+    Availability,
+    /// No sensitive data outside its scope.
+    Privacy,
+    /// A bound on data staleness.
+    Freshness,
+    /// A floor on sensing/actuation coverage.
+    Coverage,
+    /// Anything else.
+    Custom,
+}
+
+/// A predicate over one metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Metric must be `<= bound`.
+    AtMost(f64),
+    /// Metric must be `>= bound`.
+    AtLeast(f64),
+    /// Metric must lie in `[lo, hi]`.
+    Between(f64, f64),
+    /// Metric must be exactly zero (e.g. a violation counter).
+    Zero,
+}
+
+impl Predicate {
+    /// Applies the predicate to a value.
+    pub fn holds(&self, value: f64) -> bool {
+        match *self {
+            Predicate::AtMost(b) => value <= b,
+            Predicate::AtLeast(b) => value >= b,
+            Predicate::Between(lo, hi) => value >= lo && value <= hi,
+            Predicate::Zero => value == 0.0,
+        }
+    }
+
+    /// Signed margin by which the predicate holds (positive) or fails
+    /// (negative); used by planners to rank violations by severity.
+    pub fn margin(&self, value: f64) -> f64 {
+        match *self {
+            Predicate::AtMost(b) => b - value,
+            Predicate::AtLeast(b) => value - b,
+            Predicate::Between(lo, hi) => (value - lo).min(hi - value),
+            Predicate::Zero => -value.abs(),
+        }
+    }
+}
+
+/// Three-valued requirement outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The predicate held on an observed value.
+    Satisfied,
+    /// The predicate failed on an observed value.
+    Violated,
+    /// The metric was not observable.
+    Unknown,
+}
+
+impl Verdict {
+    /// Conjunction over three-valued logic (Kleene): any violation
+    /// dominates, otherwise any unknown, otherwise satisfied.
+    pub fn and(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (Violated, _) | (_, Violated) => Violated,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            _ => Satisfied,
+        }
+    }
+
+    /// Disjunction over three-valued logic.
+    pub fn or(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (Satisfied, _) | (_, Satisfied) => Satisfied,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            _ => Violated,
+        }
+    }
+
+    /// `true` only for [`Verdict::Satisfied`].
+    pub fn is_satisfied(self) -> bool {
+        self == Verdict::Satisfied
+    }
+}
+
+/// A source of runtime measurements, keyed by metric name.
+///
+/// The runtime model in `riot-adapt` implements this over its knowledge
+/// base; tests can use a plain `BTreeMap`.
+pub trait Telemetry {
+    /// The current value of a metric, or `None` if unobservable.
+    fn value(&self, metric: &str) -> Option<f64>;
+}
+
+impl Telemetry for BTreeMap<String, f64> {
+    fn value(&self, metric: &str) -> Option<f64> {
+        self.get(metric).copied()
+    }
+}
+
+/// A measurable requirement.
+///
+/// # Examples
+///
+/// ```
+/// use riot_model::{Predicate, Requirement, RequirementId, RequirementKind, Verdict};
+/// use std::collections::BTreeMap;
+///
+/// let req = Requirement::new(
+///     RequirementId(0),
+///     "street lights react within 200ms",
+///     RequirementKind::Latency,
+///     "control.loop_ms",
+///     Predicate::AtMost(200.0),
+/// );
+/// let mut t = BTreeMap::new();
+/// t.insert("control.loop_ms".to_owned(), 120.0);
+/// assert_eq!(req.evaluate(&t), Verdict::Satisfied);
+/// t.insert("control.loop_ms".to_owned(), 500.0);
+/// assert_eq!(req.evaluate(&t), Verdict::Violated);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Identity.
+    pub id: RequirementId,
+    /// Human-readable statement.
+    pub name: String,
+    /// Concern category.
+    pub kind: RequirementKind,
+    /// Telemetry metric the predicate reads.
+    pub metric: String,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+impl Requirement {
+    /// Creates a requirement.
+    pub fn new(
+        id: RequirementId,
+        name: impl Into<String>,
+        kind: RequirementKind,
+        metric: impl Into<String>,
+        predicate: Predicate,
+    ) -> Self {
+        Requirement { id, name: name.into(), kind, metric: metric.into(), predicate }
+    }
+
+    /// Evaluates against a telemetry source.
+    pub fn evaluate(&self, telemetry: &impl Telemetry) -> Verdict {
+        match telemetry.value(&self.metric) {
+            Some(v) if self.predicate.holds(v) => Verdict::Satisfied,
+            Some(_) => Verdict::Violated,
+            None => Verdict::Unknown,
+        }
+    }
+
+    /// Signed satisfaction margin, or `None` when unobservable.
+    pub fn margin(&self, telemetry: &impl Telemetry) -> Option<f64> {
+        telemetry.value(&self.metric).map(|v| self.predicate.margin(v))
+    }
+}
+
+/// An ordered collection of requirements.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequirementSet {
+    reqs: BTreeMap<RequirementId, Requirement>,
+}
+
+impl RequirementSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RequirementSet::default()
+    }
+
+    /// Inserts a requirement, replacing any with the same id.
+    pub fn insert(&mut self, req: Requirement) {
+        self.reqs.insert(req.id, req);
+    }
+
+    /// Looks up a requirement.
+    pub fn get(&self, id: RequirementId) -> Option<&Requirement> {
+        self.reqs.get(&id)
+    }
+
+    /// Number of requirements.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Iterates in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Requirement> {
+        self.reqs.values()
+    }
+
+    /// Evaluates every requirement, returning verdicts in id order.
+    pub fn evaluate_all(&self, telemetry: &impl Telemetry) -> Vec<(RequirementId, Verdict)> {
+        self.reqs
+            .values()
+            .map(|r| (r.id, r.evaluate(telemetry)))
+            .collect()
+    }
+
+    /// Fraction of requirements currently satisfied (unknown counts as not
+    /// satisfied — conservative, as the paper's adversarial framing wants).
+    pub fn satisfaction_fraction(&self, telemetry: &impl Telemetry) -> f64 {
+        if self.reqs.is_empty() {
+            return 1.0;
+        }
+        let sat = self
+            .reqs
+            .values()
+            .filter(|r| r.evaluate(telemetry).is_satisfied())
+            .count();
+        sat as f64 / self.reqs.len() as f64
+    }
+}
+
+impl FromIterator<Requirement> for RequirementSet {
+    fn from_iter<I: IntoIterator<Item = Requirement>>(iter: I) -> Self {
+        let mut set = RequirementSet::new();
+        for r in iter {
+            set.insert(r);
+        }
+        set
+    }
+}
+
+impl Extend<Requirement> for RequirementSet {
+    fn extend<I: IntoIterator<Item = Requirement>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn predicates_hold_and_margin() {
+        assert!(Predicate::AtMost(5.0).holds(5.0));
+        assert!(!Predicate::AtMost(5.0).holds(5.1));
+        assert!(Predicate::AtLeast(0.9).holds(0.95));
+        assert!(Predicate::Between(1.0, 2.0).holds(1.5));
+        assert!(!Predicate::Between(1.0, 2.0).holds(2.5));
+        assert!(Predicate::Zero.holds(0.0));
+        assert!(!Predicate::Zero.holds(0.001));
+
+        assert_eq!(Predicate::AtMost(5.0).margin(3.0), 2.0);
+        assert_eq!(Predicate::AtLeast(5.0).margin(3.0), -2.0);
+        assert_eq!(Predicate::Between(0.0, 10.0).margin(2.0), 2.0);
+        assert_eq!(Predicate::Zero.margin(-3.0), -3.0);
+    }
+
+    #[test]
+    fn verdict_kleene_logic() {
+        use Verdict::*;
+        assert_eq!(Satisfied.and(Satisfied), Satisfied);
+        assert_eq!(Satisfied.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Violated), Violated);
+        assert_eq!(Violated.or(Satisfied), Satisfied);
+        assert_eq!(Violated.or(Unknown), Unknown);
+        assert_eq!(Violated.or(Violated), Violated);
+        assert!(Satisfied.is_satisfied());
+        assert!(!Unknown.is_satisfied());
+    }
+
+    #[test]
+    fn requirement_evaluation_three_valued() {
+        let r = Requirement::new(
+            RequirementId(1),
+            "fresh data",
+            RequirementKind::Freshness,
+            "staleness_s",
+            Predicate::AtMost(10.0),
+        );
+        assert_eq!(r.evaluate(&telemetry(&[("staleness_s", 3.0)])), Verdict::Satisfied);
+        assert_eq!(r.evaluate(&telemetry(&[("staleness_s", 30.0)])), Verdict::Violated);
+        assert_eq!(r.evaluate(&telemetry(&[])), Verdict::Unknown);
+        assert_eq!(r.margin(&telemetry(&[("staleness_s", 3.0)])), Some(7.0));
+        assert_eq!(r.margin(&telemetry(&[])), None);
+    }
+
+    #[test]
+    fn set_satisfaction_fraction_counts_unknown_as_unsatisfied() {
+        let set: RequirementSet = vec![
+            Requirement::new(RequirementId(0), "a", RequirementKind::Latency, "m0", Predicate::AtMost(1.0)),
+            Requirement::new(RequirementId(1), "b", RequirementKind::Availability, "m1", Predicate::AtLeast(0.9)),
+            Requirement::new(RequirementId(2), "c", RequirementKind::Privacy, "m2", Predicate::Zero),
+        ]
+        .into_iter()
+        .collect();
+        let t = telemetry(&[("m0", 0.5), ("m1", 0.5)]);
+        // m0 satisfied, m1 violated, m2 unknown.
+        assert_eq!(set.satisfaction_fraction(&t), 1.0 / 3.0);
+        let verdicts = set.evaluate_all(&t);
+        assert_eq!(verdicts[0].1, Verdict::Satisfied);
+        assert_eq!(verdicts[1].1, Verdict::Violated);
+        assert_eq!(verdicts[2].1, Verdict::Unknown);
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_satisfied() {
+        let set = RequirementSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.satisfaction_fraction(&telemetry(&[])), 1.0);
+    }
+
+    #[test]
+    fn insert_replaces_same_id() {
+        let mut set = RequirementSet::new();
+        set.insert(Requirement::new(RequirementId(0), "v1", RequirementKind::Custom, "m", Predicate::Zero));
+        set.insert(Requirement::new(RequirementId(0), "v2", RequirementKind::Custom, "m", Predicate::Zero));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(RequirementId(0)).unwrap().name, "v2");
+    }
+}

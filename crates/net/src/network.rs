@@ -1,0 +1,606 @@
+//! The network medium: topology, routing, loss and partitions.
+//!
+//! [`Network`] implements [`riot_sim::Medium`]. It models the landscape of
+//! Figure 1 in the paper: device, edge and cloud nodes joined by links with
+//! heterogeneous latency and loss. Messages follow the minimum-expected-
+//! latency path; a message is dropped when any link on its path is cut
+//! (partition) or probabilistically fails (loss).
+//!
+//! **Identity convention.** A network node is identified by the
+//! [`ProcessId`] of the simulated process that inhabits it; build the
+//! topology and spawn processes in the same order so the indices line up
+//! (the `riot-core` scenario builder enforces this).
+
+use crate::latency::LatencyModel;
+use riot_sim::{Delivery, Medium, ProcessId, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// The role a node plays in the IoT landscape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A constrained end device: sensor, actuator, wearable.
+    Device,
+    /// An edge component: gateway, cloudlet, micro-cloud.
+    Edge,
+    /// A remote cloud facility.
+    Cloud,
+}
+
+/// Static facts about a topology node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// The node's role.
+    pub kind: NodeKind,
+    /// Human-readable label used in reports.
+    pub label: String,
+}
+
+/// Parameters of one bidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Per-message latency distribution.
+    pub latency: LatencyModel,
+    /// Independent per-message loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Link {
+    /// A lossless link with the given latency model.
+    pub fn lossless(latency: LatencyModel) -> Self {
+        Link { latency, loss: 0.0 }
+    }
+}
+
+fn key(a: ProcessId, b: ProcessId) -> (usize, usize) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// A simulated IoT network: nodes, links, routing, partitions and churn.
+///
+/// # Examples
+///
+/// ```
+/// use riot_net::{LatencyModel, Link, Network, NodeKind};
+/// use riot_sim::{Delivery, Medium, ProcessId, SimRng, SimTime};
+///
+/// let mut net = Network::new();
+/// let cloud = net.add_node(NodeKind::Cloud, "cloud");
+/// let edge = net.add_node(NodeKind::Edge, "edge-0");
+/// net.add_link(cloud, edge, Link::lossless(LatencyModel::fixed_ms(50)));
+///
+/// let mut rng = SimRng::seed_from(0);
+/// let d = Medium::<u32>::route(&mut net, SimTime::ZERO, cloud, edge, &0, &mut rng);
+/// assert!(matches!(d, Delivery::After(_)));
+///
+/// net.cut_link(cloud, edge);
+/// let d = Medium::<u32>::route(&mut net, SimTime::ZERO, cloud, edge, &0, &mut rng);
+/// assert_eq!(d, Delivery::Drop("partition"));
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<NodeInfo>,
+    links: HashMap<(usize, usize), Link>,
+    adjacency: Vec<Vec<usize>>,
+    cut: HashSet<(usize, usize)>,
+    /// Latency multipliers for degraded links (congestion, interference).
+    degraded: HashMap<(usize, usize), f64>,
+    per_hop_overhead: SimDuration,
+    external_latency: SimDuration,
+    path_cache: HashMap<(usize, usize), Option<Vec<usize>>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            adjacency: Vec::new(),
+            cut: HashSet::new(),
+            degraded: HashMap::new(),
+            per_hop_overhead: SimDuration::ZERO,
+            external_latency: SimDuration::ZERO,
+            path_cache: HashMap::new(),
+        }
+    }
+
+    /// Sets a fixed processing overhead added per hop traversed.
+    pub fn set_per_hop_overhead(&mut self, d: SimDuration) {
+        self.per_hop_overhead = d;
+        self.invalidate();
+    }
+
+    /// Adds a node and returns its id. Ids are assigned densely in call
+    /// order and must match the order processes are spawned in the sim.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> ProcessId {
+        let id = ProcessId(self.nodes.len());
+        self.nodes.push(NodeInfo { kind, label: label.into() });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds (or replaces) a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown or `a == b`.
+    pub fn add_link(&mut self, a: ProcessId, b: ProcessId, link: Link) {
+        assert!(a != b, "self-links are not allowed");
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown endpoint");
+        let k = key(a, b);
+        if self.links.insert(k, link).is_none() {
+            self.adjacency[a.0].push(b.0);
+            self.adjacency[b.0].push(a.0);
+        }
+        self.invalidate();
+    }
+
+    /// Removes a link entirely (distinct from cutting, which is reversible
+    /// via [`Network::heal_all`]).
+    pub fn remove_link(&mut self, a: ProcessId, b: ProcessId) {
+        let k = key(a, b);
+        if self.links.remove(&k).is_some() {
+            self.adjacency[a.0].retain(|&n| n != b.0);
+            self.adjacency[b.0].retain(|&n| n != a.0);
+        }
+        self.cut.remove(&k);
+        self.invalidate();
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Static facts about a node, if it exists.
+    pub fn node(&self, id: ProcessId) -> Option<&NodeInfo> {
+        self.nodes.get(id.0)
+    }
+
+    /// Iterates over `(id, info)` for all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &NodeInfo)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (ProcessId(i), n))
+    }
+
+    /// All node ids of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<ProcessId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Cuts one link (both directions). Cut links drop every message until
+    /// healed.
+    pub fn cut_link(&mut self, a: ProcessId, b: ProcessId) {
+        if self.links.contains_key(&key(a, b)) {
+            self.cut.insert(key(a, b));
+            self.invalidate();
+        }
+    }
+
+    /// Restores one previously cut link.
+    pub fn restore_link(&mut self, a: ProcessId, b: ProcessId) {
+        if self.cut.remove(&key(a, b)) {
+            self.invalidate();
+        }
+    }
+
+    /// Cuts every link adjacent to `n`, isolating it. Returns the links
+    /// that were newly cut, so a healer can restore exactly them.
+    pub fn isolate(&mut self, n: ProcessId) -> Vec<(ProcessId, ProcessId)> {
+        let neighbors: Vec<usize> = self.adjacency[n.0].clone();
+        let mut newly_cut = Vec::new();
+        for m in neighbors {
+            if self.cut.insert(key(n, ProcessId(m))) {
+                newly_cut.push((n, ProcessId(m)));
+            }
+        }
+        self.invalidate();
+        newly_cut
+    }
+
+    /// Restores every link adjacent to `n`.
+    pub fn rejoin(&mut self, n: ProcessId) {
+        let neighbors: Vec<usize> = self.adjacency[n.0].clone();
+        for m in neighbors {
+            self.cut.remove(&key(n, ProcessId(m)));
+        }
+        self.invalidate();
+    }
+
+    /// Partitions the network into the given groups: every link whose
+    /// endpoints fall in different groups is cut. Nodes not mentioned keep
+    /// all their links. Returns the links that were newly cut, so a healer
+    /// can restore exactly them.
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) -> Vec<(ProcessId, ProcessId)> {
+        let mut group_of: HashMap<usize, usize> = HashMap::new();
+        for (gi, members) in groups.iter().enumerate() {
+            for m in members {
+                group_of.insert(m.0, gi);
+            }
+        }
+        let keys: Vec<(usize, usize)> = self.links.keys().copied().collect();
+        let mut newly_cut = Vec::new();
+        for (a, b) in keys {
+            if let (Some(ga), Some(gb)) = (group_of.get(&a), group_of.get(&b)) {
+                if ga != gb && self.cut.insert((a, b)) {
+                    newly_cut.push((ProcessId(a), ProcessId(b)));
+                }
+            }
+        }
+        self.invalidate();
+        newly_cut
+    }
+
+    /// Heals every cut link.
+    pub fn heal_all(&mut self) {
+        self.cut.clear();
+        self.invalidate();
+    }
+
+    /// Degrades a link: every message over it takes `factor` times its
+    /// sampled latency (congestion or radio interference, §II's adverse
+    /// environments). Factors below 1 are clamped to 1. Routing weights
+    /// are unchanged — congestion is invisible to the (static) routing
+    /// tables, as in real IP networks.
+    pub fn degrade_link(&mut self, a: ProcessId, b: ProcessId, factor: f64) {
+        if self.links.contains_key(&key(a, b)) {
+            self.degraded.insert(key(a, b), factor.max(1.0));
+        }
+    }
+
+    /// Removes any degradation from a link.
+    pub fn restore_link_quality(&mut self, a: ProcessId, b: ProcessId) {
+        self.degraded.remove(&key(a, b));
+    }
+
+    /// The current degradation factor of a link (1.0 when healthy).
+    pub fn degradation(&self, a: ProcessId, b: ProcessId) -> f64 {
+        self.degraded.get(&key(a, b)).copied().unwrap_or(1.0)
+    }
+
+    /// `true` if a usable (existing and not cut) link joins `a` and `b`.
+    pub fn link_usable(&self, a: ProcessId, b: ProcessId) -> bool {
+        let k = key(a, b);
+        self.links.contains_key(&k) && !self.cut.contains(&k)
+    }
+
+    /// Moves a device to a new parent: all current links of `dev` are
+    /// removed and a single new link to `parent` is added — the mobility
+    /// primitive (a phone roaming between gateways, a vehicle between road-
+    /// side units).
+    pub fn reattach(&mut self, dev: ProcessId, parent: ProcessId, link: Link) {
+        let neighbors: Vec<usize> = self.adjacency[dev.0].clone();
+        for m in neighbors {
+            self.remove_link(dev, ProcessId(m));
+        }
+        self.add_link(dev, parent, link);
+    }
+
+    /// The current minimum-expected-latency path between two nodes, if the
+    /// network (minus cut links) connects them. The path includes both
+    /// endpoints.
+    pub fn path(&mut self, from: ProcessId, to: ProcessId) -> Option<Vec<ProcessId>> {
+        self.path_indices(from.0, to.0)
+            .map(|p| p.iter().map(|&i| ProcessId(i)).collect())
+    }
+
+    /// `true` if `from` can currently reach `to`.
+    pub fn reachable(&mut self, from: ProcessId, to: ProcessId) -> bool {
+        if from == to {
+            return true;
+        }
+        self.path_indices(from.0, to.0).is_some()
+    }
+
+    fn invalidate(&mut self) {
+        self.path_cache.clear();
+    }
+
+    fn path_indices(&mut self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from >= self.nodes.len() || to >= self.nodes.len() {
+            return None;
+        }
+        if let Some(cached) = self.path_cache.get(&(from, to)) {
+            return cached.clone();
+        }
+        let result = self.dijkstra(from, to);
+        self.path_cache.insert((from, to), result.clone());
+        if let Some(p) = &result {
+            // A path is symmetric under this cost model; prime the reverse.
+            let mut rev = p.clone();
+            rev.reverse();
+            self.path_cache.insert((to, from), Some(rev));
+        }
+        result
+    }
+
+    fn dijkstra(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        use std::cmp::Reverse;
+        let n = self.nodes.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from] = 0;
+        heap.push(Reverse((0u64, from)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if u == to {
+                break;
+            }
+            if d > dist[u] {
+                continue;
+            }
+            for &v in &self.adjacency[u] {
+                let k = if u <= v { (u, v) } else { (v, u) };
+                if self.cut.contains(&k) {
+                    continue;
+                }
+                let link = &self.links[&k];
+                let w = link.latency.mean().as_micros().max(1);
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[to] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+impl<M> Medium<M> for Network {
+    fn route(
+        &mut self,
+        _now: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        _msg: &M,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        // Endpoints outside the topology (external senders, observer
+        // processes) communicate out-of-band with a fixed latency.
+        if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
+            return Delivery::After(self.external_latency);
+        }
+        if from == to {
+            return Delivery::After(SimDuration::ZERO);
+        }
+        let Some(path) = self.path_indices(from.0, to.0) else {
+            return Delivery::Drop("partition");
+        };
+        let mut total = SimDuration::ZERO;
+        for pair in path.windows(2) {
+            let k = if pair[0] <= pair[1] { (pair[0], pair[1]) } else { (pair[1], pair[0]) };
+            let link = self.links[&k];
+            if rng.chance(link.loss) {
+                return Delivery::Drop("loss");
+            }
+            let mut hop = link.latency.sample(rng);
+            if let Some(factor) = self.degraded.get(&k) {
+                hop = hop.mul_f64(*factor);
+            }
+            total += hop + self.per_hop_overhead;
+        }
+        Delivery::After(total)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Network, ProcessId, ProcessId, ProcessId) {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Device, "a");
+        let b = net.add_node(NodeKind::Edge, "b");
+        let c = net.add_node(NodeKind::Cloud, "c");
+        net.add_link(a, b, Link::lossless(LatencyModel::fixed_ms(1)));
+        net.add_link(b, c, Link::lossless(LatencyModel::fixed_ms(10)));
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn routes_along_multi_hop_path() {
+        let (mut net, a, b, c) = line3();
+        assert_eq!(net.path(a, c).unwrap(), vec![a, b, c]);
+        let mut rng = SimRng::seed_from(0);
+        match Medium::<u32>::route(&mut net, SimTime::ZERO, a, c, &0, &mut rng) {
+            Delivery::After(d) => assert_eq!(d, SimDuration::from_millis(11)),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Device, "a");
+        let b = net.add_node(NodeKind::Edge, "b");
+        let c = net.add_node(NodeKind::Cloud, "c");
+        net.add_link(a, c, Link::lossless(LatencyModel::fixed_ms(100)));
+        net.add_link(a, b, Link::lossless(LatencyModel::fixed_ms(5)));
+        net.add_link(b, c, Link::lossless(LatencyModel::fixed_ms(5)));
+        assert_eq!(net.path(a, c).unwrap(), vec![a, b, c], "10ms via edge beats 100ms direct");
+        net.cut_link(a, b);
+        assert_eq!(net.path(a, c).unwrap(), vec![a, c], "falls back to direct after cut");
+    }
+
+    #[test]
+    fn partition_drops_and_heal_restores() {
+        let (mut net, a, b, c) = line3();
+        net.partition(&[vec![a, b], vec![c]]);
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(
+            Medium::<u32>::route(&mut net, SimTime::ZERO, a, c, &0, &mut rng),
+            Delivery::Drop("partition")
+        );
+        assert!(net.reachable(a, b));
+        assert!(!net.reachable(a, c));
+        net.heal_all();
+        assert!(net.reachable(a, c));
+    }
+
+    #[test]
+    fn isolate_and_rejoin() {
+        let (mut net, a, b, c) = line3();
+        net.isolate(b);
+        assert!(!net.reachable(a, b));
+        assert!(!net.reachable(a, c));
+        net.rejoin(b);
+        assert!(net.reachable(a, c));
+    }
+
+    #[test]
+    fn loss_is_per_link_and_calibrated() {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Device, "a");
+        let b = net.add_node(NodeKind::Edge, "b");
+        net.add_link(a, b, Link { latency: LatencyModel::fixed_ms(1), loss: 0.2 });
+        let mut rng = SimRng::seed_from(7);
+        let drops = (0..10_000)
+            .filter(|_| {
+                matches!(
+                    Medium::<u32>::route(&mut net, SimTime::ZERO, a, b, &0, &mut rng),
+                    Delivery::Drop("loss")
+                )
+            })
+            .count();
+        assert!((1_700..2_300).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn reattach_moves_device() {
+        let mut net = Network::new();
+        let e1 = net.add_node(NodeKind::Edge, "e1");
+        let e2 = net.add_node(NodeKind::Edge, "e2");
+        let d = net.add_node(NodeKind::Device, "d");
+        net.add_link(e1, e2, Link::lossless(LatencyModel::fixed_ms(5)));
+        net.add_link(d, e1, Link::lossless(LatencyModel::fixed_ms(1)));
+        assert_eq!(net.path(d, e2).unwrap(), vec![d, e1, e2]);
+        net.reattach(d, e2, Link::lossless(LatencyModel::fixed_ms(1)));
+        assert_eq!(net.path(d, e2).unwrap(), vec![d, e2]);
+        assert_eq!(net.path(d, e1).unwrap(), vec![d, e2, e1]);
+    }
+
+    #[test]
+    fn external_endpoints_use_external_latency() {
+        let (mut net, a, _, _) = line3();
+        let mut rng = SimRng::seed_from(0);
+        let ext = ProcessId(usize::MAX);
+        assert_eq!(
+            Medium::<u32>::route(&mut net, SimTime::ZERO, ext, a, &0, &mut rng),
+            Delivery::After(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn self_route_is_instant() {
+        let (mut net, a, _, _) = line3();
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(
+            Medium::<u32>::route(&mut net, SimTime::ZERO, a, a, &0, &mut rng),
+            Delivery::After(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn per_hop_overhead_adds_up() {
+        let (mut net, a, _, c) = line3();
+        net.set_per_hop_overhead(SimDuration::from_millis(2));
+        let mut rng = SimRng::seed_from(0);
+        match Medium::<u32>::route(&mut net, SimTime::ZERO, a, c, &0, &mut rng) {
+            Delivery::After(d) => assert_eq!(d, SimDuration::from_millis(15)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodes_of_kind_filters() {
+        let (net, a, b, c) = line3();
+        assert_eq!(net.nodes_of_kind(NodeKind::Device), vec![a]);
+        assert_eq!(net.nodes_of_kind(NodeKind::Edge), vec![b]);
+        assert_eq!(net.nodes_of_kind(NodeKind::Cloud), vec![c]);
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.node(a).unwrap().label, "a");
+    }
+
+    #[test]
+    fn remove_link_is_permanent_across_heal() {
+        let (mut net, a, b, c) = line3();
+        net.remove_link(b, c);
+        net.heal_all();
+        assert!(!net.reachable(a, c));
+        assert!(net.reachable(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Device, "a");
+        net.add_link(a, a, Link::lossless(LatencyModel::fixed_ms(1)));
+    }
+
+    #[test]
+    fn degradation_multiplies_latency_without_rerouting() {
+        let (mut net, a, b, c) = line3();
+        let mut rng = SimRng::seed_from(0);
+        net.degrade_link(a, b, 10.0);
+        assert_eq!(net.degradation(a, b), 10.0);
+        match Medium::<u32>::route(&mut net, SimTime::ZERO, a, c, &0, &mut rng) {
+            Delivery::After(d) => assert_eq!(d, SimDuration::from_millis(20), "1ms*10 + 10ms"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Path unchanged: degradation is invisible to routing.
+        assert_eq!(net.path(a, c).unwrap(), vec![a, b, c]);
+        net.restore_link_quality(a, b);
+        assert_eq!(net.degradation(a, b), 1.0);
+        match Medium::<u32>::route(&mut net, SimTime::ZERO, a, c, &0, &mut rng) {
+            Delivery::After(d) => assert_eq!(d, SimDuration::from_millis(11)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Sub-unity factors clamp to 1 (degradation never speeds links up).
+        net.degrade_link(a, b, 0.1);
+        assert_eq!(net.degradation(a, b), 1.0);
+        // Unknown links are ignored.
+        net.degrade_link(a, c, 5.0);
+        assert_eq!(net.degradation(a, c), 1.0);
+    }
+
+    #[test]
+    fn link_usable_reflects_cuts() {
+        let (mut net, a, b, _) = line3();
+        assert!(net.link_usable(a, b));
+        net.cut_link(a, b);
+        assert!(!net.link_usable(a, b));
+        net.restore_link(a, b);
+        assert!(net.link_usable(a, b));
+    }
+}

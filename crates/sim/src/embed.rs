@@ -1,0 +1,90 @@
+//! Message embedding: composing protocol message types into one world.
+//!
+//! Each substrate crate (membership, gossip, data sync, ...) defines its own
+//! message enum; a concrete simulation defines one closed-world message type
+//! and implements [`Embed`] for every sub-protocol it hosts. Protocol glue
+//! can then be written generically against `M: Embed<SubMsg>`.
+
+/// A bidirectional, possibly lossy embedding of `Sub` into `Self`.
+///
+/// `embed` is total (every sub-message has a representation); `extract` is
+/// partial (a world message may belong to a different protocol, in which
+/// case it is handed back untouched).
+///
+/// # Examples
+///
+/// ```
+/// use riot_sim::Embed;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum World {
+///     Swim(u32),
+///     Other(&'static str),
+/// }
+///
+/// impl Embed<u32> for World {
+///     fn embed(sub: u32) -> Self {
+///         World::Swim(sub)
+///     }
+///     fn extract(self) -> Result<u32, Self> {
+///         match self {
+///             World::Swim(n) => Ok(n),
+///             other => Err(other),
+///         }
+///     }
+/// }
+///
+/// assert_eq!(World::embed(5), World::Swim(5));
+/// assert_eq!(World::Swim(5).extract(), Ok(5));
+/// assert!(World::Other("x").extract().is_err());
+/// ```
+pub trait Embed<Sub>: Sized {
+    /// Wraps a sub-protocol message into the world type.
+    fn embed(sub: Sub) -> Self;
+    /// Unwraps a world message into the sub-protocol, or returns it
+    /// unchanged when it belongs elsewhere.
+    fn extract(self) -> Result<Sub, Self>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum World {
+        A(u8),
+        B(char),
+    }
+
+    impl Embed<u8> for World {
+        fn embed(sub: u8) -> Self {
+            World::A(sub)
+        }
+        fn extract(self) -> Result<u8, Self> {
+            match self {
+                World::A(x) => Ok(x),
+                other => Err(other),
+            }
+        }
+    }
+
+    impl Embed<char> for World {
+        fn embed(sub: char) -> Self {
+            World::B(sub)
+        }
+        fn extract(self) -> Result<char, Self> {
+            match self {
+                World::B(x) => Ok(x),
+                other => Err(other),
+            }
+        }
+    }
+
+    #[test]
+    fn embed_extract_round_trips() {
+        assert_eq!(<World as Embed<u8>>::embed(3).extract(), Ok(3u8));
+        assert_eq!(<World as Embed<char>>::embed('x').extract(), Ok('x'));
+        let w: Result<u8, World> = World::B('y').extract();
+        assert_eq!(w, Err(World::B('y')));
+    }
+}

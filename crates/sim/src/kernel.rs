@@ -1,0 +1,165 @@
+//! Kernel internals: the event heap and the state shared with [`Ctx`].
+//!
+//! Everything a process may touch during a callback lives in [`Kernel`]; the
+//! process table itself lives one level up in [`Sim`](crate::Sim) so that a
+//! running handler can borrow the kernel mutably while it is itself borrowed
+//! out of the table.
+
+use crate::medium::{Delivery, Medium};
+use crate::metrics::Metrics;
+use crate::process::{ProcessId, TimerId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceKind};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+pub(crate) enum EventKind<M> {
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { owner: ProcessId, tag: u64, timer: TimerId, epoch: u64 },
+    Down { id: ProcessId },
+    Up { id: ProcessId },
+}
+
+pub(crate) struct Event<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    /// Max-heap inverted: earliest time first, ties broken by scheduling
+    /// order. This tie-break is what makes runs deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The mutable heart of a run; exposed to processes through
+/// [`Ctx`](crate::Ctx) and to the engine through crate-private methods.
+pub struct Kernel<M> {
+    pub(crate) clock: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: BinaryHeap<Event<M>>,
+    pub(crate) medium: Box<dyn Medium<M>>,
+    pub(crate) rng: SimRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) trace: Trace,
+    /// Liveness flag per process.
+    pub(crate) live: Vec<bool>,
+    /// Restart epoch per process; timers from a previous life are discarded.
+    pub(crate) epoch: Vec<u64>,
+    pub(crate) cancelled_timers: HashSet<u64>,
+    pub(crate) next_timer: u64,
+    pub(crate) halted: bool,
+    pub(crate) trace_payloads: bool,
+}
+
+impl<M: fmt::Debug> Kernel<M> {
+    pub(crate) fn new(medium: Box<dyn Medium<M>>, rng: SimRng, trace: Trace, trace_payloads: bool) -> Self {
+        Kernel {
+            clock: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            medium,
+            rng,
+            metrics: Metrics::new(),
+            trace,
+            live: Vec::new(),
+            epoch: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            halted: false,
+            trace_payloads,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        debug_assert!(at >= self.clock, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn is_up(&self, id: ProcessId) -> bool {
+        self.live.get(id.0).copied().unwrap_or(false)
+    }
+
+    fn payload_detail(&self, msg: &M) -> String {
+        if self.trace_payloads && self.trace.is_enabled() {
+            format!("{msg:?}")
+        } else {
+            String::new()
+        }
+    }
+
+    /// Routes a message through the medium and schedules delivery or records
+    /// the drop.
+    pub(crate) fn submit_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        if to.0 == usize::MAX {
+            // A reply to an external sender: swallowed by the outside world.
+            self.metrics.incr("sim.msg.external");
+            return;
+        }
+        assert!(to.0 < self.live.len(), "send to unknown process {to}");
+        self.metrics.incr("sim.msg.sent");
+        let detail = self.payload_detail(&msg);
+        self.trace.push(self.clock, TraceKind::Sent { from, to }, detail);
+        match self.medium.route(self.clock, from, to, &msg, &mut self.rng) {
+            Delivery::After(latency) => {
+                let at = self.clock + latency;
+                self.push(at, EventKind::Deliver { from, to, msg });
+            }
+            Delivery::Drop(reason) => {
+                self.metrics.incr("sim.msg.dropped");
+                let detail = self.payload_detail(&msg);
+                self.trace.push(
+                    self.clock,
+                    TraceKind::Dropped { from, to, reason: reason.to_owned() },
+                    detail,
+                );
+            }
+        }
+    }
+
+    pub(crate) fn schedule_timer(&mut self, owner: ProcessId, delay: SimDuration, tag: u64) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let epoch = self.epoch[owner.0];
+        let at = self.clock + delay;
+        self.push(at, EventKind::Timer { owner, tag, timer, epoch });
+        timer
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+    }
+
+    /// Queues a down transition for `id`, effective at the current instant
+    /// but after the running handler returns.
+    pub(crate) fn request_down(&mut self, id: ProcessId) {
+        let at = self.clock;
+        self.push(at, EventKind::Down { id });
+    }
+
+    /// Queues an up transition for `id` after `delay`.
+    pub(crate) fn request_up(&mut self, id: ProcessId, delay: SimDuration) {
+        let at = self.clock + delay;
+        self.push(at, EventKind::Up { id });
+    }
+}

@@ -1,0 +1,472 @@
+//! In-simulation metrics: counters, gauges, histograms and time series.
+//!
+//! Every experiment in the reproduction is expressed in terms of metrics
+//! recorded here — e.g. requirement-satisfaction time series, message counts,
+//! recovery-time histograms. The recorder is deliberately simple (BTree maps
+//! keyed by metric name) so that output is deterministic and diffable.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram that retains all recorded samples.
+///
+/// Simulation runs record at most a few million samples per metric, so exact
+/// retention is affordable and gives exact quantiles in exchange.
+///
+/// # Examples
+///
+/// ```
+/// use riot_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or `0.0` if empty.
+    pub fn min(&self) -> f64 {
+        let m = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest sample, or `0.0` if empty.
+    pub fn max(&self) -> f64 {
+        let m = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact `q`-quantile (`0.0 ..= 1.0`) using the nearest-rank method, or
+    /// `0.0` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Sample standard deviation, or `0.0` with fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// A borrowed view of the raw samples (unsorted unless a quantile was
+    /// queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A summary of a [`Histogram`] suitable for table output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// The metrics recorder owned by a simulation run.
+///
+/// Metric names are dotted paths by convention (`"net.dropped"`,
+/// `"req.latency.sat"`); the recorder itself treats them as opaque keys.
+///
+/// # Examples
+///
+/// ```
+/// use riot_sim::{Metrics, SimTime};
+///
+/// let mut m = Metrics::new();
+/// m.incr("net.sent");
+/// m.incr_by("net.sent", 2);
+/// m.gauge_set("cluster.size", 5.0);
+/// m.observe("rtt_ms", 12.5);
+/// m.series_push("load", SimTime::from_secs(1), 0.7);
+///
+/// assert_eq!(m.counter("net.sent"), 3);
+/// assert_eq!(m.gauge("cluster.size"), Some(5.0));
+/// assert_eq!(m.histogram("rtt_ms").unwrap().count(), 1);
+/// assert_eq!(m.series("load").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn incr_by(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Adds `delta` to a gauge (missing gauges start at zero).
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        *self.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Borrows a histogram, if any sample was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Summarizes a histogram (count, mean, quantiles), if present.
+    pub fn summarize(&mut self, name: &str) -> Option<HistogramSummary> {
+        let h = self.histograms.get_mut(name)?;
+        Some(HistogramSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        })
+    }
+
+    /// Appends a `(time, value)` point to a named time series.
+    pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push((at, value));
+    }
+
+    /// Borrows a time series.
+    pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all time-series names in name order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Iterates over all histogram names in name order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merges another recorder into this one: counters add, gauges take the
+    /// other's value, histograms and series concatenate.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for s in h.samples() {
+                dst.record(*s);
+            }
+        }
+        for (k, pts) in &other.series {
+            self.series.entry(k.clone()).or_default().extend_from_slice(pts);
+        }
+    }
+
+    /// Computes the time-weighted mean of a boolean-ish series (values are
+    /// clamped to `[0, 1]`) over `[from, to]`, holding the last value between
+    /// points. Returns `None` when the series is missing, empty, or the
+    /// window is degenerate.
+    ///
+    /// This is the *resilience integral* used across experiments: the series
+    /// records requirement satisfaction over time and this returns the
+    /// fraction of the window during which the requirement held.
+    pub fn time_weighted_mean(&self, name: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        self.integrate(name, from, to, true)
+    }
+
+    /// Like [`Metrics::time_weighted_mean`] but without clamping values to
+    /// `[0, 1]` — for series carrying physical quantities rather than
+    /// satisfaction indicators.
+    pub fn time_weighted_mean_raw(&self, name: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        self.integrate(name, from, to, false)
+    }
+
+    fn integrate(&self, name: &str, from: SimTime, to: SimTime, clamp: bool) -> Option<f64> {
+        let pts = self.series.get(name)?;
+        if pts.is_empty() || to <= from {
+            return None;
+        }
+        let bound = |v: f64| if clamp { v.clamp(0.0, 1.0) } else { v };
+        let mut acc = 0.0;
+        let mut cur_t = from;
+        // Value in force at `from`: last point at or before it, else the first
+        // point's value once it appears (the gap before the first point counts
+        // as that first value, a deliberate, documented choice).
+        let mut cur_v = pts
+            .iter()
+            .take_while(|(t, _)| *t <= from)
+            .last()
+            .map(|(_, v)| *v)
+            .unwrap_or(pts[0].1);
+        for (t, v) in pts.iter().filter(|(t, _)| *t > from && *t <= to) {
+            let span = (*t - cur_t).as_secs_f64();
+            acc += span * bound(cur_v);
+            cur_t = *t;
+            cur_v = *v;
+        }
+        acc += (to - cur_t).as_secs_f64() * bound(cur_v);
+        Some(acc / (to - from).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x");
+        m.incr_by("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let mut m = Metrics::new();
+        assert_eq!(m.gauge("g"), None);
+        m.gauge_set("g", 2.0);
+        m.gauge_add("g", 0.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        m.gauge_add("fresh", -1.0);
+        assert_eq!(m.gauge("fresh"), Some(-1.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::new();
+        for x in 1..=100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.std_dev() - 29.011).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_histogram() {
+        let mut m = Metrics::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.observe("h", x);
+        }
+        let s = m.summarize("h").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(m.summarize("missing").is_none());
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Metrics::new();
+        a.incr("c");
+        a.observe("h", 1.0);
+        a.series_push("s", SimTime::ZERO, 1.0);
+        let mut b = Metrics::new();
+        b.incr_by("c", 2);
+        b.gauge_set("g", 9.0);
+        b.observe("h", 3.0);
+        b.series_push("s", SimTime::from_secs(1), 0.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.series("s").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn time_weighted_mean_step_function() {
+        let mut m = Metrics::new();
+        // satisfied [0, 4), violated [4, 8), satisfied [8, 10]
+        m.series_push("sat", SimTime::ZERO, 1.0);
+        m.series_push("sat", SimTime::from_secs(4), 0.0);
+        m.series_push("sat", SimTime::from_secs(8), 1.0);
+        let r = m.time_weighted_mean("sat", SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        assert!((r - 0.6).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn time_weighted_mean_window_subset() {
+        let mut m = Metrics::new();
+        m.series_push("sat", SimTime::ZERO, 1.0);
+        m.series_push("sat", SimTime::from_secs(5), 0.0);
+        // Window [5, 10]: fully violated.
+        let r = m
+            .time_weighted_mean("sat", SimTime::from_secs(5), SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(r, 0.0);
+        // Degenerate window.
+        assert!(m.time_weighted_mean("sat", SimTime::from_secs(5), SimTime::from_secs(5)).is_none());
+        assert!(m.time_weighted_mean("missing", SimTime::ZERO, SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn time_weighted_mean_clamps_values() {
+        let mut m = Metrics::new();
+        m.series_push("s", SimTime::ZERO, 7.0);
+        let r = m.time_weighted_mean("s", SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        assert_eq!(r, 1.0);
+        let raw = m.time_weighted_mean_raw("s", SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        assert_eq!(raw, 7.0);
+    }
+}

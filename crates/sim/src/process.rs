@@ -1,0 +1,178 @@
+//! Processes: the actors of a simulation.
+//!
+//! A [`Process`] is a deterministic state machine driven by the kernel: it
+//! receives messages and timer expirations, and reacts through its [`Ctx`]
+//! handle (sending messages, scheduling timers, recording metrics). Processes
+//! never see wall-clock time or OS randomness — everything flows through the
+//! kernel, which is what makes runs reproducible.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a process within one simulation. Indices are assigned densely
+/// in spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies one scheduled timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerId(pub(crate) u64);
+
+/// The behaviour of a simulated actor.
+///
+/// Implementations should be pure with respect to the kernel: all effects go
+/// through [`Ctx`]. The kernel guarantees that at most one handler runs at a
+/// time and that handlers observe a consistent virtual clock.
+///
+/// # Examples
+///
+/// A process that echoes every message back to its sender:
+///
+/// ```
+/// use riot_sim::{Ctx, Process, ProcessId};
+///
+/// struct Echo;
+///
+/// impl Process<String> for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, String>, from: ProcessId, msg: String) {
+///         ctx.send(from, msg);
+///     }
+/// }
+/// ```
+pub trait Process<M> {
+    /// Called once when the simulation starts (or when the process is
+    /// restarted after a crash). Schedule initial timers here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message is delivered to this process.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ProcessId, msg: M);
+
+    /// Called when a timer scheduled by this process fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Called when the kernel takes this process down (crash injection or
+    /// churn). State may be inspected but no effects are possible.
+    fn on_down(&mut self) {}
+
+    /// A short, human-readable name used in panics and traces.
+    fn name(&self) -> &str {
+        "process"
+    }
+}
+
+/// The kernel handle passed to every [`Process`] callback.
+///
+/// `Ctx` is the *only* channel through which a process can affect the world:
+/// it can read the virtual clock, draw randomness, send messages (routed
+/// through the run's [`Medium`](crate::Medium)), schedule and cancel timers,
+/// and record metrics and trace annotations.
+pub struct Ctx<'a, M> {
+    pub(crate) kernel: &'a mut crate::kernel::Kernel<M>,
+    pub(crate) id: ProcessId,
+}
+
+impl<'a, M: fmt::Debug> Ctx<'a, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.clock
+    }
+
+    /// The id of the process being called.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Sends `msg` to `to`, routed through the medium (which decides latency
+    /// and loss). Sending to a down process silently drops with a trace
+    /// entry; protocols are expected to tolerate loss.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        let from = self.id;
+        self.kernel.submit_message(from, to, msg);
+    }
+
+    /// Schedules a timer to fire on this process after `delay`, carrying
+    /// `tag`. Returns a [`TimerId`] usable with [`Ctx::cancel_timer`].
+    pub fn schedule(&mut self, delay: crate::time::SimDuration, tag: u64) -> TimerId {
+        self.kernel.schedule_timer(self.id, delay, tag)
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired or
+    /// already-cancelled timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.kernel.cancel_timer(id);
+    }
+
+    /// Draws randomness from the run's deterministic stream.
+    pub fn rng(&mut self) -> &mut crate::rng::SimRng {
+        &mut self.kernel.rng
+    }
+
+    /// The run's metrics recorder.
+    pub fn metrics(&mut self) -> &mut crate::metrics::Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Records a free-form trace annotation (no-op when tracing is off).
+    pub fn annotate(&mut self, text: impl Into<String>) {
+        let at = self.kernel.clock;
+        let id = self.id;
+        self.kernel.trace.push(at, crate::trace::TraceKind::Note { id, text: text.into() }, String::new());
+    }
+
+    /// `true` if the given process is currently up.
+    pub fn is_up(&self, id: ProcessId) -> bool {
+        self.kernel.is_up(id)
+    }
+
+    /// Requests that `target` be taken down. The transition happens at the
+    /// current instant but after this handler returns, so a process may take
+    /// itself down safely.
+    pub fn take_down(&mut self, target: ProcessId) {
+        self.kernel.request_down(target);
+    }
+
+    /// Requests that `target` be brought (back) up after `delay`; its
+    /// `on_start` runs again with a fresh timer epoch.
+    pub fn bring_up(&mut self, target: ProcessId, delay: crate::time::SimDuration) {
+        self.kernel.request_up(target, delay);
+    }
+
+    /// Number of processes spawned in this simulation.
+    pub fn process_count(&self) -> usize {
+        self.kernel.live.len()
+    }
+
+    /// Requests that the whole simulation stop after this handler returns.
+    pub fn halt(&mut self) {
+        self.kernel.halted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(ProcessId(3).index(), 3);
+    }
+}

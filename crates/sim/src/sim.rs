@@ -1,0 +1,664 @@
+//! The simulation engine: builds a world of processes and runs it.
+
+use crate::kernel::{Event, EventKind, Kernel};
+use crate::medium::{IdealMedium, Medium};
+use crate::metrics::Metrics;
+use crate::process::{Ctx, Process, ProcessId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceKind};
+use std::any::Any;
+use std::fmt;
+
+/// Object-safe super-trait that adds downcasting to [`Process`]; blanket
+/// implemented for every `'static` process, so user code never sees it.
+pub trait AnyProcess<M>: Process<M> {
+    /// Upcast to [`Any`] for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast to [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Process<M> + Any> AnyProcess<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+type Injection<M> = Box<dyn FnOnce(&mut Sim<M>)>;
+
+/// Configures and constructs a [`Sim`].
+///
+/// # Examples
+///
+/// ```
+/// use riot_sim::{Sim, SimBuilder, SimDuration};
+///
+/// let sim: Sim<String> = SimBuilder::new(42)
+///     .tracing(true)
+///     .max_events(1_000_000)
+///     .build();
+/// assert_eq!(sim.now().as_micros(), 0);
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder {
+    seed: u64,
+    tracing: bool,
+    trace_payloads: bool,
+    max_events: u64,
+}
+
+impl SimBuilder {
+    /// Starts a builder for a run with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SimBuilder { seed, tracing: false, trace_payloads: false, max_events: u64::MAX }
+    }
+
+    /// Enables structured tracing (see [`crate::Trace`]).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Also record `Debug` renderings of payloads in the trace (requires
+    /// tracing; costly on large runs).
+    pub fn trace_payloads(mut self, on: bool) -> Self {
+        self.trace_payloads = on;
+        self
+    }
+
+    /// Caps the number of processed events; exceeding the cap panics, which
+    /// turns runaway simulations into loud test failures.
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// Builds a simulation with the default zero-latency [`IdealMedium`].
+    pub fn build<M: fmt::Debug>(self) -> Sim<M> {
+        self.build_with_medium(Box::new(IdealMedium::new()))
+    }
+
+    /// Builds a simulation with an explicit medium (e.g. `riot-net`'s
+    /// `Network`).
+    pub fn build_with_medium<M: fmt::Debug>(self, medium: Box<dyn Medium<M>>) -> Sim<M> {
+        let rng = SimRng::seed_from(self.seed);
+        let trace = Trace::new(self.tracing);
+        Sim {
+            kernel: Kernel::new(medium, rng, trace, self.trace_payloads),
+            procs: Vec::new(),
+            injections: Vec::new(),
+            events_processed: 0,
+            max_events: self.max_events,
+            started: false,
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation: a set of [`Process`]es, a
+/// [`Medium`], and an event queue ordered by virtual time.
+///
+/// # Examples
+///
+/// A two-process ping-pong:
+///
+/// ```
+/// use riot_sim::{Ctx, Process, ProcessId, Sim, SimBuilder, SimTime};
+///
+/// struct Pinger { peer: Option<ProcessId>, rounds: u32 }
+/// struct Ponger;
+///
+/// impl Process<u32> for Pinger {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+///         if let Some(peer) = self.peer {
+///             ctx.send(peer, 0);
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: ProcessId, n: u32) {
+///         self.rounds = n;
+///         if n < 10 {
+///             ctx.send(from, n + 1);
+///         }
+///     }
+/// }
+///
+/// impl Process<u32> for Ponger {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: ProcessId, n: u32) {
+///         ctx.send(from, n + 1);
+///     }
+/// }
+///
+/// let mut sim = SimBuilder::new(1).build();
+/// let ponger = sim.add_process(Ponger);
+/// sim.add_process(Pinger { peer: Some(ponger), rounds: 0 });
+/// sim.run_until(SimTime::from_secs(1));
+/// assert_eq!(sim.metrics().counter("sim.msg.sent"), 12);
+/// ```
+pub struct Sim<M> {
+    kernel: Kernel<M>,
+    procs: Vec<Option<Box<dyn AnyProcess<M>>>>,
+    injections: Vec<Option<Injection<M>>>,
+    events_processed: u64,
+    max_events: u64,
+    started: bool,
+}
+
+impl<M: fmt::Debug + 'static> Sim<M> {
+    /// Adds a process; it will receive `on_start` when the run begins (or
+    /// immediately if the run has already begun).
+    pub fn add_process(&mut self, proc_: impl Process<M> + 'static) -> ProcessId {
+        let id = ProcessId(self.procs.len());
+        self.procs.push(Some(Box::new(proc_)));
+        self.kernel.live.push(true);
+        self.kernel.epoch.push(0);
+        if self.started {
+            self.with_proc(id, |p, ctx| p.on_start(ctx));
+        }
+        id
+    }
+
+    /// Schedules an arbitrary mutation of the simulation at a future instant
+    /// — the hook used by disruption injectors (partitions, crashes, domain
+    /// transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_injection(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<M>) + 'static) {
+        assert!(at >= self.kernel.clock, "injection scheduled into the past");
+        let idx = self.injections.len() as u64;
+        self.injections.push(Some(Box::new(f)));
+        // Injections ride the ordinary event queue as timers owned by no
+        // process; we reuse the Down/Up slot pattern with a dedicated kind.
+        self.kernel.push(at, EventKind::Timer {
+            owner: ProcessId(usize::MAX),
+            tag: idx,
+            timer: crate::process::TimerId(u64::MAX),
+            epoch: 0,
+        });
+    }
+
+    /// Sends a message into the simulation from the outside world at the
+    /// current instant (delivered through the medium).
+    pub fn send_external(&mut self, to: ProcessId, msg: M) {
+        self.kernel.submit_message(ProcessId(usize::MAX), to, msg);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.clock
+    }
+
+    /// The metrics recorded so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Mutable access to metrics (e.g. for scenario-level series).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// The trace recorded so far (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.kernel.trace
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// `true` if the given process is currently up.
+    pub fn is_up(&self, id: ProcessId) -> bool {
+        self.kernel.is_up(id)
+    }
+
+    /// Downcasts the medium to its concrete type, for disruption injectors.
+    pub fn medium_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.kernel.medium.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Borrows a process for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the process is currently executing.
+    pub fn process<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.procs[id.0]
+            .as_ref()
+            .expect("process is executing")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a process for inspection or surgery between events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the process is currently executing.
+    pub fn process_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        self.procs[id.0]
+            .as_mut()
+            .expect("process is executing")
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Takes a process down immediately: its timers die with it and messages
+    /// addressed to it are dropped until it is brought back up.
+    pub fn set_down(&mut self, id: ProcessId) {
+        if !self.kernel.is_up(id) {
+            return;
+        }
+        self.kernel.live[id.0] = false;
+        self.kernel.epoch[id.0] += 1;
+        let at = self.kernel.clock;
+        self.kernel.trace.push(at, TraceKind::ProcessDown { id }, String::new());
+        self.kernel.metrics.incr("sim.proc.down");
+        if let Some(p) = self.procs[id.0].as_mut() {
+            p.on_down();
+        }
+    }
+
+    /// Brings a process back up immediately and re-runs its `on_start`.
+    pub fn set_up(&mut self, id: ProcessId) {
+        if self.kernel.is_up(id) {
+            return;
+        }
+        self.kernel.live[id.0] = true;
+        self.kernel.epoch[id.0] += 1;
+        let at = self.kernel.clock;
+        self.kernel.trace.push(at, TraceKind::ProcessUp { id }, String::new());
+        self.kernel.metrics.incr("sim.proc.up");
+        self.with_proc(id, |p, ctx| p.on_start(ctx));
+    }
+
+    /// Runs until the queue drains, `deadline` is reached, or a process calls
+    /// [`Ctx::halt`]. Returns the number of events processed by this call.
+    /// The clock is advanced to `deadline` when the queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.ensure_started();
+        let before = self.events_processed;
+        while !self.kernel.halted {
+            match self.kernel.queue.peek() {
+                Some(ev) if ev.at <= deadline => {}
+                _ => break,
+            }
+            self.step_one();
+        }
+        if !self.kernel.halted && self.kernel.clock < deadline {
+            self.kernel.clock = deadline;
+        }
+        self.events_processed - before
+    }
+
+    /// Runs for an additional duration of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.kernel.clock + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is empty or a process halts the run.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.ensure_started();
+        let before = self.events_processed;
+        while !self.kernel.halted && !self.kernel.queue.is_empty() {
+            self.step_one();
+        }
+        self.events_processed - before
+    }
+
+    /// Processes exactly one event if any is queued; returns `false` when
+    /// the queue is empty or the run has halted.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        if self.kernel.halted || self.kernel.queue.is_empty() {
+            return false;
+        }
+        self.step_one();
+        true
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.procs.len() {
+            let id = ProcessId(i);
+            if self.kernel.is_up(id) {
+                self.with_proc(id, |p, ctx| p.on_start(ctx));
+            }
+        }
+    }
+
+    fn step_one(&mut self) {
+        let ev = self.kernel.queue.pop().expect("caller checked non-empty");
+        debug_assert!(ev.at >= self.kernel.clock, "time went backwards");
+        self.kernel.clock = ev.at;
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.max_events,
+            "event cap exceeded ({}): runaway simulation",
+            self.max_events
+        );
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if !self.kernel.is_up(to) {
+                    self.kernel.metrics.incr("sim.msg.dropped");
+                    let at = self.kernel.clock;
+                    self.kernel.trace.push(
+                        at,
+                        TraceKind::Dropped { from, to, reason: "down".to_owned() },
+                        String::new(),
+                    );
+                    return;
+                }
+                self.kernel.metrics.incr("sim.msg.delivered");
+                let at = self.kernel.clock;
+                let detail = if self.kernel.trace_payloads && self.kernel.trace.is_enabled() {
+                    format!("{msg:?}")
+                } else {
+                    String::new()
+                };
+                self.kernel.trace.push(at, TraceKind::Delivered { from, to }, detail);
+                self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { owner, tag, timer, epoch } => {
+                if owner.0 == usize::MAX {
+                    // An injection riding the queue.
+                    let f = self.injections[tag as usize].take().expect("injection fires once");
+                    f(self);
+                    return;
+                }
+                if self.kernel.cancelled_timers.remove(&timer.0) {
+                    return;
+                }
+                if !self.kernel.is_up(owner) || self.kernel.epoch[owner.0] != epoch {
+                    return;
+                }
+                let at = self.kernel.clock;
+                self.kernel.trace.push(at, TraceKind::TimerFired { owner, tag }, String::new());
+                self.with_proc(owner, |p, ctx| p.on_timer(ctx, tag));
+            }
+            EventKind::Down { id } => {
+                self.set_down(id);
+            }
+            EventKind::Up { id } => {
+                self.set_up(id);
+            }
+        }
+    }
+
+    fn with_proc(
+        &mut self,
+        id: ProcessId,
+        f: impl FnOnce(&mut dyn AnyProcess<M>, &mut Ctx<'_, M>),
+    ) {
+        let mut boxed = self.procs[id.0].take().unwrap_or_else(|| {
+            panic!("re-entrant call into process {id}");
+        });
+        {
+            let mut ctx = Ctx { kernel: &mut self.kernel, id };
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.procs[id.0] = Some(boxed);
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.kernel.clock)
+            .field("processes", &self.procs.len())
+            .field("queued", &self.kernel.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+// Keep the unused-import lint honest: `Event` is used via the kernel module.
+#[allow(unused)]
+fn _assert_event_ordering<M>(a: &Event<M>, b: &Event<M>) -> std::cmp::Ordering {
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::LossyMedium;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+    }
+
+    struct Counter {
+        received: Vec<(ProcessId, u32)>,
+        timers: Vec<u64>,
+        start_count: u32,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter { received: Vec::new(), timers: Vec::new(), start_count: 0 }
+        }
+    }
+
+    impl Process<Msg> for Counter {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {
+            self.start_count += 1;
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+            let Msg::Ping(n) = msg;
+            self.received.push((from, n));
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, tag: u64) {
+            self.timers.push(tag);
+        }
+    }
+
+    #[test]
+    fn external_message_is_delivered() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(Counter::new());
+        sim.send_external(a, Msg::Ping(7));
+        sim.run_to_completion();
+        let c = sim.process::<Counter>(a).unwrap();
+        assert_eq!(c.received.len(), 1);
+        assert_eq!(c.received[0].1, 7);
+        assert_eq!(c.start_count, 1);
+    }
+
+    struct TimerProc {
+        fired: Vec<(u64, SimTime)>,
+        cancel_second: bool,
+    }
+
+    impl Process<Msg> for TimerProc {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.schedule(SimDuration::from_millis(10), 1);
+            let t2 = ctx.schedule(SimDuration::from_millis(20), 2);
+            ctx.schedule(SimDuration::from_millis(30), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+            self.fired.push((tag, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: true });
+        sim.run_to_completion();
+        let p = sim.process::<TimerProc>(a).unwrap();
+        assert_eq!(
+            p.fired,
+            vec![(1, SimTime::from_millis(10)), (3, SimTime::from_millis(30))]
+        );
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_when_queue_drains() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        sim.add_process(Counter::new());
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn down_process_drops_messages_and_timers() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: false });
+        sim.run_until(SimTime::from_millis(15));
+        sim.set_down(a);
+        sim.send_external(a, Msg::Ping(1));
+        sim.run_to_completion();
+        let p = sim.process::<TimerProc>(a).unwrap();
+        // Only the first timer fired before the crash; 20ms/30ms died with it.
+        assert_eq!(p.fired.len(), 1);
+        assert_eq!(sim.metrics().counter("sim.msg.dropped"), 1);
+    }
+
+    #[test]
+    fn restart_runs_on_start_again_with_fresh_epoch() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: false });
+        sim.run_until(SimTime::from_millis(5));
+        sim.set_down(a);
+        sim.set_up(a);
+        sim.run_to_completion();
+        let p = sim.process::<TimerProc>(a).unwrap();
+        // Restart re-scheduled all three timers at t=5ms; the originals died.
+        assert_eq!(p.fired.len(), 3);
+        assert_eq!(p.fired[0].1, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn injections_run_at_their_time() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(Counter::new());
+        sim.schedule_injection(SimTime::from_secs(1), move |sim| {
+            sim.set_down(a);
+        });
+        sim.run_until(SimTime::from_millis(500));
+        assert!(sim.is_up(a));
+        sim.run_until(SimTime::from_secs(2));
+        assert!(!sim.is_up(a));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        fn run() -> (u64, u64) {
+            let mut sim: Sim<Msg> = SimBuilder::new(99)
+                .build_with_medium(Box::new(LossyMedium::new(SimDuration::from_millis(1), 0.3)));
+            let a = sim.add_process(Counter::new());
+            for i in 0..200 {
+                sim.send_external(a, Msg::Ping(i));
+            }
+            sim.run_to_completion();
+            (sim.metrics().counter("sim.msg.delivered"), sim.metrics().counter("sim.msg.dropped"))
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracing_records_lifecycle() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).tracing(true).trace_payloads(true).build();
+        let a = sim.add_process(Counter::new());
+        sim.send_external(a, Msg::Ping(3));
+        sim.run_to_completion();
+        assert!(sim.trace().len() >= 2);
+        assert!(sim
+            .trace()
+            .filtered(|e| matches!(e.kind, TraceKind::Delivered { .. }))
+            .any(|e| e.detail.contains("Ping(3)")));
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap exceeded")]
+    fn event_cap_panics() {
+        struct Looper;
+        impl Process<Msg> for Looper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.schedule(SimDuration::from_micros(1), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                ctx.schedule(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).max_events(100).build();
+        sim.add_process(Looper);
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn processes_can_take_each_other_down_and_up() {
+        struct Supervisor {
+            target: ProcessId,
+        }
+        impl Process<Msg> for Supervisor {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
+                let Msg::Ping(n) = msg;
+                match n {
+                    0 => ctx.take_down(self.target),
+                    _ => ctx.bring_up(self.target, SimDuration::from_millis(100)),
+                }
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let worker = sim.add_process(Counter::new());
+        let boss = sim.add_process(Supervisor { target: worker });
+        sim.send_external(boss, Msg::Ping(0));
+        sim.run_until(SimTime::from_millis(10));
+        assert!(!sim.is_up(worker), "supervisor took the worker down");
+        sim.send_external(boss, Msg::Ping(1));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(!sim.is_up(worker), "bring-up is delayed");
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.is_up(worker));
+        assert_eq!(
+            sim.process::<Counter>(worker).unwrap().start_count,
+            2,
+            "restart re-ran on_start"
+        );
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        struct Halter;
+        impl Process<Msg> for Halter {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcessId, _msg: Msg) {
+                ctx.halt();
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(Halter);
+        sim.send_external(a, Msg::Ping(0));
+        sim.send_external(a, Msg::Ping(1));
+        let n = sim.run_to_completion();
+        assert_eq!(n, 1, "second delivery never runs after halt");
+    }
+
+    #[test]
+    fn add_process_mid_run_starts_immediately() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(Counter::new());
+        sim.send_external(a, Msg::Ping(0));
+        sim.run_to_completion();
+        let b = sim.add_process(Counter::new());
+        sim.send_external(b, Msg::Ping(1));
+        sim.run_to_completion();
+        assert_eq!(sim.process::<Counter>(b).unwrap().start_count, 1);
+        assert_eq!(sim.process::<Counter>(b).unwrap().received.len(), 1);
+    }
+}

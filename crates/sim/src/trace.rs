@@ -1,0 +1,185 @@
+//! Structured execution traces.
+//!
+//! When tracing is enabled on a run, the kernel records one [`TraceEntry`]
+//! per significant event: message send/deliver/drop, timer fire, process
+//! lifecycle transitions. Traces serve three purposes in the framework:
+//!
+//! 1. debugging protocol glue deterministically,
+//! 2. feeding the [`riot-formal`](../../riot_formal) runtime monitors (a
+//!    trace is a finite word over atomic propositions), and
+//! 3. asserting causal properties in integration tests.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use serde::Serialize;
+use std::fmt;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// A process submitted a message to the medium.
+    Sent {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+    },
+    /// The medium delivered a message.
+    Delivered {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+    },
+    /// The medium dropped a message (loss, partition, or dead destination).
+    Dropped {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Human-readable reason (`"loss"`, `"partition"`, `"down"`, ...).
+        reason: String,
+    },
+    /// A timer fired at its owner.
+    TimerFired {
+        /// Owning process.
+        owner: ProcessId,
+        /// The tag the owner attached when scheduling.
+        tag: u64,
+    },
+    /// A process was taken down (crash or scheduled churn).
+    ProcessDown {
+        /// The process.
+        id: ProcessId,
+    },
+    /// A process came (back) up.
+    ProcessUp {
+        /// The process.
+        id: ProcessId,
+    },
+    /// A free-form application annotation (`Ctx::annotate`).
+    Note {
+        /// Annotating process.
+        id: ProcessId,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// One entry of an execution trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Debug rendering of the payload, when applicable and tracing payloads
+    /// is enabled.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?} {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// An execution trace: an append-only list of entries in time order.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates a trace recorder; `enabled = false` makes [`Trace::push`] a
+    /// no-op so untraced runs pay nothing.
+    pub fn new(enabled: bool) -> Self {
+        Trace { enabled, entries: Vec::new() }
+    }
+
+    /// `true` if entries are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an entry when enabled.
+    pub fn push(&mut self, at: SimTime, kind: TraceKind, detail: String) {
+        if self.enabled {
+            self.entries.push(TraceEntry { at, kind, detail });
+        }
+    }
+
+    /// All recorded entries in time order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries matching a predicate.
+    pub fn filtered<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEntry) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| pred(e))
+    }
+
+    /// Counts delivered messages between the given endpoints.
+    pub fn delivered_between(&self, from: ProcessId, to: ProcessId) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == TraceKind::Delivered { from, to })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.push(SimTime::ZERO, TraceKind::ProcessUp { id: ProcessId(0) }, String::new());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(true);
+        t.push(SimTime::ZERO, TraceKind::ProcessUp { id: ProcessId(0) }, String::new());
+        t.push(
+            SimTime::from_secs(1),
+            TraceKind::Sent { from: ProcessId(0), to: ProcessId(1) },
+            "hello".into(),
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[1].at, SimTime::from_secs(1));
+        assert!(t.entries()[1].to_string().contains("hello"));
+    }
+
+    #[test]
+    fn delivered_between_counts_only_matching() {
+        let mut t = Trace::new(true);
+        let (a, b) = (ProcessId(0), ProcessId(1));
+        t.push(SimTime::ZERO, TraceKind::Delivered { from: a, to: b }, String::new());
+        t.push(SimTime::ZERO, TraceKind::Delivered { from: b, to: a }, String::new());
+        t.push(
+            SimTime::ZERO,
+            TraceKind::Dropped { from: a, to: b, reason: "loss".into() },
+            String::new(),
+        );
+        assert_eq!(t.delivered_between(a, b), 1);
+        assert_eq!(t.filtered(|e| matches!(e.kind, TraceKind::Dropped { .. })).count(), 1);
+    }
+}

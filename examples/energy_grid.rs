@@ -1,0 +1,66 @@
+//! Energy grid: latency-critical control. Feeder automation must react
+//! within a 150 ms deadline — tighter than the default smart-city budget —
+//! so control placement decides everything. The example sweeps the utility
+//! backhaul RTT and shows where cloud-centric control (ML2) stops meeting
+//! the deadline while substation-edge control (ML4) never notices.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p riot-core --example energy_grid
+//! ```
+
+use riot_core::{Scenario, ScenarioSpec, Table, Thresholds};
+use riot_model::MaturityLevel;
+use riot_net::{LatencyModel, Link};
+use riot_sim::SimDuration;
+
+fn main() {
+    println!("Energy-grid scenario: 150 ms feeder-automation deadline, backhaul RTT sweep.\n");
+    let mut table = Table::new(&[
+        "backhaul RTT",
+        "architecture",
+        "control latency (mean)",
+        "latency R",
+        "avail R",
+    ]);
+    let mut crossover: Option<u64> = None;
+    for rtt_ms in [20u64, 60, 120, 180, 240] {
+        let link = Link::lossless(LatencyModel::Fixed(SimDuration::from_millis(rtt_ms / 2)));
+        for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
+            let mut spec = ScenarioSpec::new(format!("grid/{level}/{rtt_ms}"), level, 660);
+            spec.edges = 3;
+            spec.devices_per_edge = 8;
+            spec.duration = SimDuration::from_secs(80);
+            spec.warmup = SimDuration::from_secs(20);
+            spec.vendor_edge = false;
+            spec.personal_every = 0;
+            spec.edge_cloud_link = Some(link);
+            spec.thresholds = Thresholds { latency_ms: 150.0, ..Thresholds::default() };
+            let r = Scenario::build(spec).run();
+            let latency_r = r.requirement_resilience("latency").unwrap_or(0.0);
+            if level == MaturityLevel::Ml2 && latency_r < 0.5 && crossover.is_none() {
+                crossover = Some(rtt_ms);
+            }
+            table.row(vec![
+                format!("{rtt_ms}ms"),
+                level.to_string(),
+                r.control_latency
+                    .map(|l| format!("{:.1}ms", l.mean))
+                    .unwrap_or_else(|| "timed out".into()),
+                format!("{latency_r:.3}"),
+                format!("{:.3}", r.requirement_resilience("availability").unwrap_or(0.0)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    match crossover {
+        Some(rtt) => println!(
+            "Cloud-centric feeder control stops meeting the 150 ms deadline at ~{rtt} ms\n\
+             backhaul RTT; substation-edge control is indifferent to the backhaul —\n\
+             the paper's locality argument in one table (§V, Figure 3).",
+        ),
+        None => println!("Cloud control met the deadline across the sweep (unexpected)."),
+    }
+    println!("\n(simulated 10 parameter points deterministically)");
+}

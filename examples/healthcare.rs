@@ -1,0 +1,77 @@
+//! Healthcare: privacy-first IoT. Ward wearables produce special-category
+//! (GDPR Art. 9) health data; an analytics vendor subscribes to the
+//! hospital's data platform; and mid-run, one ward's gateway is sold to
+//! the vendor (a domain transfer). The example contrasts an ungoverned
+//! ML3 deployment with the governed ML4 stack, and demonstrates the data
+//! plane's redaction and post-transfer purge.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p riot-core --example healthcare
+//! ```
+
+use riot_core::{Scenario, ScenarioSpec, Table};
+use riot_data::{DataMeta, PolicyEngine, ReplicatedStore, Sensitivity};
+use riot_model::{Disruption, DisruptionSchedule, DomainId, MaturityLevel};
+use riot_sim::SimTime;
+
+fn main() {
+    println!("Healthcare scenario: 4 wards, half the devices are patient wearables.\n");
+
+    // -- The micro-level story first: what the governed data plane does
+    //    with one special-category record.
+    let registry = riot_core::standard_domains();
+    let mut ward_store = ReplicatedStore::new(1, DomainId(0), PolicyEngine::governed());
+    let meta = DataMeta {
+        sensitivity: Sensitivity::Special,
+        purposes: vec![riot_data::Purpose::Operations],
+        origin: DomainId(0),
+        produced_at: SimTime::ZERO,
+    };
+    ward_store.put("ward3/patient17/ecg", 0.82, meta, SimTime::ZERO);
+    let outbound = ward_store.sync_out(DomainId(1), &registry, SimTime::ZERO);
+    println!(
+        "A special-category ECG record leaving the hospital scope is redacted: \
+         value present = {}, redacted = {}.\n",
+        !outbound.entries[0].record.is_redacted(),
+        outbound.entries[0].record.is_redacted()
+    );
+
+    // -- The system-level comparison.
+    let mut table = Table::new(&[
+        "architecture",
+        "privacy R",
+        "freshness R",
+        "coverage R",
+        "ingest denied",
+    ]);
+    for level in [MaturityLevel::Ml3, MaturityLevel::Ml4] {
+        let mut spec = ScenarioSpec::new(format!("healthcare/{level}"), level, 1177);
+        spec.edges = 4;
+        spec.devices_per_edge = 8;
+        spec.personal_every = 2; // every second device is a wearable
+        spec.vendor_edge = true;
+        // Ward 0's gateway changes hands mid-run.
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(70),
+            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+        );
+        let r = Scenario::build(spec).run();
+        table.row(vec![
+            level.to_string(),
+            format!("{:.3}", r.requirement_resilience("privacy").unwrap_or(0.0)),
+            format!("{:.3}", r.requirement_resilience("freshness").unwrap_or(0.0)),
+            format!("{:.3}", r.requirement_resilience("coverage").unwrap_or(0.0)),
+            r.ingest_denied.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "ML3 leaks patient data into the vendor scope twice over — via the cloud\n\
+         subscription and via the transferred gateway's resting store. The governed ML4\n\
+         stack denies out-of-scope ingestion, blocks egress at the policy engine, and\n\
+         purges the transferred store on handover — privacy holds without sacrificing\n\
+         operational data sharing."
+    );
+}

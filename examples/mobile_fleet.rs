@@ -1,0 +1,79 @@
+//! Mobile fleet: sensor-laden vehicles roaming a city. Devices physically
+//! move between edge coverage areas (geometry-grounded waypoint walks) while
+//! the metro backhaul degrades under rush-hour congestion. Compares the
+//! cloud-coupled (ML2) and resilient (ML4) stacks under the combined
+//! stress: both hand vehicles over between radios, but only ML2's control
+//! loop rides the congested backhaul.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p riot-core --example mobile_fleet
+//! ```
+
+use riot_core::{roaming_schedule, MobilitySpec, Scenario, ScenarioSpec, Table};
+use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimRng, SimTime};
+
+fn main() {
+    println!("Mobile-fleet scenario: 5 districts, 8 vehicles roaming, congested backhaul.\n");
+    let mut table = Table::new(&[
+        "architecture",
+        "avail R",
+        "latency R",
+        "freshness R",
+        "re-associations",
+        "failovers",
+    ]);
+    for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
+        let mut spec = ScenarioSpec::new(format!("fleet/{level}"), level, 4711);
+        spec.edges = 5;
+        spec.devices_per_edge = 6;
+        spec.duration = SimDuration::from_secs(150);
+        spec.warmup = SimDuration::from_secs(30);
+        spec.vendor_edge = false;
+        spec.personal_every = 0;
+
+        // Vehicles roam: waypoint walks with nearest-edge re-association.
+        let mobility = MobilitySpec {
+            roamers: 8,
+            hop_distance: 200.0,
+            hop_every: SimDuration::from_secs(8),
+            start_at: SimTime::from_secs(30),
+        };
+        let mut rng = SimRng::seed_from(spec.seed);
+        let (mut schedule, hops) = roaming_schedule(&spec, &mobility, &mut rng);
+
+        // Rush hour: every edge's backhaul degrades 8× for 40 s.
+        for i in 0..spec.edges {
+            schedule.push(
+                SimTime::from_secs(60),
+                Disruption::LinkDegradation {
+                    a: spec.edge_id(i),
+                    b: spec.cloud_id(),
+                    factor: 8.0,
+                    heal_after: Some(SimDuration::from_secs(40)),
+                },
+            );
+        }
+        let merged: DisruptionSchedule = schedule;
+        spec.disruptions = merged;
+
+        let r = Scenario::build(spec).run();
+        table.row(vec![
+            level.to_string(),
+            format!("{:.3}", r.requirement_resilience("availability").unwrap_or(0.0)),
+            format!("{:.3}", r.requirement_resilience("latency").unwrap_or(0.0)),
+            format!("{:.3}", r.requirement_resilience("freshness").unwrap_or(0.0)),
+            hops.to_string(),
+            r.failovers.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Both levels re-associate roaming vehicles (the radio layer hands over); the\n\
+         difference is what depends on the backhaul. ML2's control round-trips ride the\n\
+         congested edge→cloud links and blow the 250 ms deadline during rush hour; ML4's\n\
+         edge control and edge-mesh replication never notice it."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a resilient (ML4) IoT deployment, hit it with a cloud
+//! outage and a component fault, and read the resilience report.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p riot-core --example quickstart
+//! ```
+
+use riot_core::{resilience_table, Scenario, ScenarioSpec};
+use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+
+fn main() {
+    // 1. Describe the deployment: 3 edge gateways, 6 devices each, the
+    //    full ML4 (resilient IoT) software stack.
+    let mut spec = ScenarioSpec::new("quickstart", MaturityLevel::Ml4, 2024);
+    spec.edges = 3;
+    spec.devices_per_edge = 6;
+    spec.duration = SimDuration::from_secs(90);
+    spec.warmup = SimDuration::from_secs(20);
+
+    // 2. Schedule some adversity: the cloud link drops for 20 s, and one
+    //    device's software component crashes.
+    let victim = spec.device_id(1, 2);
+    spec.disruptions = DisruptionSchedule::new()
+        .at(
+            SimTime::from_secs(30),
+            Disruption::CloudOutage {
+                cloud: spec.cloud_id(),
+                heal_after: Some(SimDuration::from_secs(20)),
+            },
+        )
+        .at(
+            SimTime::from_secs(45),
+            Disruption::ComponentFault {
+                node: victim,
+                component: ComponentId(victim.0 as u32),
+            },
+        );
+
+    // 3. Build and run. Everything is deterministic: same spec + seed ⇒
+    //    identical results.
+    let result = Scenario::build(spec).run();
+
+    // 4. Read the report.
+    println!("{}", resilience_table(std::slice::from_ref(&result)).render());
+    println!(
+        "The component fault was detected by the edge MAPE loop and repaired \
+         ({} restart commands, {} restarts completed), despite the concurrent \
+         cloud outage — control and recovery never depended on the cloud.",
+        result.restart_commands, result.restarts
+    );
+    if let Some(latency) = &result.control_latency {
+        println!("Control round-trip: {latency}");
+    }
+    assert!(result.overall_resilience() > 0.8, "the resilient archetype rides out the storm");
+}

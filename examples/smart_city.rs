@@ -1,0 +1,84 @@
+//! Smart city: the paper's flagship domain, as a head-to-head between the
+//! cloud-coupled (ML2) and resilient (ML4) architectures under a storm of
+//! mixed disruptions — edge hardware failures, a cloud outage, component
+//! crashes and roaming devices, all in one afternoon.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p riot-core --example smart_city
+//! ```
+
+use riot_core::{resilience_table, Scenario, ScenarioSpec};
+use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+
+/// One afternoon of urban misfortune, against the deterministic node
+/// layout shared by both architectures.
+fn storm(spec: &ScenarioSpec) -> DisruptionSchedule {
+    let mut s = DisruptionSchedule::new();
+    // 12:00+35s — a gateway's power supply dies; facilities replace it
+    // twenty seconds later.
+    s.push(
+        SimTime::from_secs(35),
+        Disruption::NodeCrash {
+            node: spec.edge_id(1),
+            recover_after: Some(SimDuration::from_secs(20)),
+        },
+    );
+    // +50s — the metro fiber to the cloud is cut for half a minute.
+    s.push(
+        SimTime::from_secs(50),
+        Disruption::CloudOutage {
+            cloud: spec.cloud_id(),
+            heal_after: Some(SimDuration::from_secs(30)),
+        },
+    );
+    // +55..75s — four traffic-light controllers hit a firmware bug.
+    for (i, t) in [55u64, 60, 65, 70].into_iter().enumerate() {
+        let node = spec.device_id(i % spec.edges, 2);
+        s.push(
+            SimTime::from_secs(t),
+            Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+        );
+    }
+    // +90s — a sensor-laden bus roams to the next district.
+    s.push(
+        SimTime::from_secs(90),
+        Disruption::Mobility {
+            device: spec.device_id(0, 5),
+            new_parent: spec.edge_id(2),
+        },
+    );
+    s
+}
+
+fn main() {
+    println!("Smart-city scenario: 6 districts × 10 devices, one afternoon of trouble.\n");
+    let mut results = Vec::new();
+    for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
+        let mut spec = ScenarioSpec::new(format!("smart-city/{level}"), level, 8080);
+        spec.edges = 6;
+        spec.devices_per_edge = 10;
+        spec.duration = SimDuration::from_secs(150);
+        spec.warmup = SimDuration::from_secs(30);
+        spec.disruptions = storm(&spec);
+        results.push(Scenario::build(spec).run());
+    }
+    println!("{}", resilience_table(&results).render());
+
+    let (ml2, ml4) = (&results[0], &results[1]);
+    println!(
+        "ML2 rode the storm at {:.0}% mean satisfaction, ML4 at {:.0}%.",
+        ml2.report.mean_satisfaction * 100.0,
+        ml4.report.mean_satisfaction * 100.0
+    );
+    println!(
+        "ML4 performed {} device failovers and completed {} component restarts without the cloud.",
+        ml4.failovers, ml4.restarts
+    );
+    assert!(
+        ml4.report.mean_satisfaction > ml2.report.mean_satisfaction,
+        "the resilient architecture must dominate under the storm"
+    );
+}

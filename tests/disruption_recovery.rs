@@ -1,0 +1,112 @@
+//! Recovery dynamics under targeted disruptions: who recovers, how fast,
+//! and who never does.
+
+use riot_core::{Scenario, ScenarioSpec};
+use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+
+fn fault_all_of_edge0(spec: &ScenarioSpec) -> DisruptionSchedule {
+    let mut s = DisruptionSchedule::new();
+    for d in 0..spec.devices_per_edge {
+        let node = spec.device_id(0, d);
+        s.push(
+            SimTime::from_secs(30 + d as u64),
+            Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+        );
+    }
+    s
+}
+
+fn spec_with(level: MaturityLevel, f: impl Fn(&ScenarioSpec) -> DisruptionSchedule) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(format!("recovery/{level}"), level, 99);
+    spec.edges = 3;
+    spec.devices_per_edge = 6;
+    spec.duration = SimDuration::from_secs(90);
+    spec.warmup = SimDuration::from_secs(20);
+    spec.vendor_edge = false;
+    spec.personal_every = 0;
+    spec.disruptions = f(&spec);
+    spec
+}
+
+#[test]
+fn component_faults_recover_at_ml4_but_not_ml1() {
+    let ml1 = Scenario::build(spec_with(MaturityLevel::Ml1, fault_all_of_edge0)).run();
+    let ml4 = Scenario::build(spec_with(MaturityLevel::Ml4, fault_all_of_edge0)).run();
+
+    let cov1 = &ml1.report.requirements["coverage"];
+    let cov4 = &ml4.report.requirements["coverage"];
+    // A third of the fleet dark forever at ML1: coverage threshold (0.8)
+    // violated until the end of the run.
+    assert!(cov1.resilience < 0.5, "ML1 coverage R: {}", cov1.resilience);
+    assert_eq!(ml1.restarts, 0);
+    // ML4 repairs within seconds.
+    assert!(cov4.resilience > 0.85, "ML4 coverage R: {}", cov4.resilience);
+    assert_eq!(ml4.restarts as usize, 6, "every fault repaired exactly once");
+    if let Some(mttr) = cov4.mttr_s {
+        assert!(mttr < 15.0, "ML4 coverage MTTR: {mttr}");
+    }
+}
+
+#[test]
+fn edge_crash_recovery_is_fast_at_ml4_slow_at_ml3() {
+    let crash = |spec: &ScenarioSpec| {
+        DisruptionSchedule::new().at(
+            SimTime::from_secs(30),
+            Disruption::NodeCrash {
+                node: spec.edge_id(0),
+                recover_after: Some(SimDuration::from_secs(30)),
+            },
+        )
+    };
+    let ml3 = Scenario::build(spec_with(MaturityLevel::Ml3, crash)).run();
+    let ml4 = Scenario::build(spec_with(MaturityLevel::Ml4, crash)).run();
+    let avail3 = ml3.report.requirements["availability"].resilience;
+    let avail4 = ml4.report.requirements["availability"].resilience;
+    assert!(
+        avail4 > avail3 + 0.02,
+        "ML4 failover ({avail4}) must beat ML3 slow fallback ({avail3})"
+    );
+    assert!(ml4.failovers >= 1, "ML4 devices failed over");
+    // ML3 eventually reaches the cloud: its availability is dented, not
+    // destroyed.
+    assert!(avail3 > 0.5, "ML3 fallback worked eventually: {avail3}");
+}
+
+#[test]
+fn permanent_cloud_outage_kills_ml2_not_ml4() {
+    let outage = |spec: &ScenarioSpec| {
+        DisruptionSchedule::new().at(
+            SimTime::from_secs(30),
+            Disruption::CloudOutage { cloud: spec.cloud_id(), heal_after: None },
+        )
+    };
+    let ml2 = Scenario::build(spec_with(MaturityLevel::Ml2, outage)).run();
+    let ml4 = Scenario::build(spec_with(MaturityLevel::Ml4, outage)).run();
+    let avail2 = ml2.report.requirements["availability"].resilience;
+    let avail4 = ml4.report.requirements["availability"].resilience;
+    assert!(avail2 < 0.3, "ML2 control dies with the cloud: {avail2}");
+    assert!(avail4 > 0.95, "ML4 control never needed the cloud: {avail4}");
+    // ML4 freshness survives too (edge-mesh replication).
+    assert!(
+        ml4.report.requirements["freshness"].resilience > 0.9,
+        "edge-to-edge data flows survive the cloud outage"
+    );
+}
+
+#[test]
+fn mobility_is_absorbed_by_every_connected_level() {
+    let roam = |spec: &ScenarioSpec| {
+        DisruptionSchedule::new().at(
+            SimTime::from_secs(40),
+            Disruption::Mobility { device: spec.device_id(0, 0), new_parent: spec.edge_id(1) },
+        )
+    };
+    for level in [MaturityLevel::Ml2, MaturityLevel::Ml3, MaturityLevel::Ml4] {
+        let r = Scenario::build(spec_with(level, roam)).run();
+        assert!(
+            r.report.requirements["availability"].resilience > 0.9,
+            "{level}: one roaming device must not dent availability"
+        );
+    }
+}

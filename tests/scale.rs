@@ -1,0 +1,68 @@
+//! Scale sanity: the full ML4 stack at city scale (hundreds of processes),
+//! with disruptions, completes in bounded work and stays healthy.
+
+use riot_core::{Scenario, ScenarioSpec};
+use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
+use riot_sim::{SimDuration, SimTime};
+
+#[test]
+fn city_scale_ml4_run() {
+    // 1 cloud + 12 edges + 240 devices = 253 processes.
+    let mut spec = ScenarioSpec::new("scale", MaturityLevel::Ml4, 60_1);
+    spec.edges = 12;
+    spec.devices_per_edge = 20;
+    spec.duration = SimDuration::from_secs(60);
+    spec.warmup = SimDuration::from_secs(20);
+    spec.disruptions = DisruptionSchedule::new()
+        .at(
+            SimTime::from_secs(25),
+            Disruption::NodeCrash {
+                node: spec.edge_id(3),
+                recover_after: Some(SimDuration::from_secs(15)),
+            },
+        )
+        .at(
+            SimTime::from_secs(35),
+            Disruption::CloudOutage {
+                cloud: spec.cloud_id(),
+                heal_after: Some(SimDuration::from_secs(15)),
+            },
+        );
+    let result = Scenario::build(spec).run();
+    assert_eq!(result.devices, 240);
+    assert!(
+        result.report.mean_satisfaction > 0.9,
+        "city-scale ML4 stays healthy: {:#?}",
+        result.report
+    );
+    // Work scales like devices × rates × time, not quadratically: with 240
+    // devices sensing at 1 Hz and controlling at 2 Hz over 60 s plus
+    // coordination, a generous ceiling is a couple million events.
+    assert!(
+        result.events_processed < 2_000_000,
+        "event volume exploded: {}",
+        result.events_processed
+    );
+    assert!(result.messages_sent > 50_000, "the city was actually busy");
+}
+
+#[test]
+fn event_volume_scales_linearly_with_devices() {
+    let run = |devices_per_edge: usize| -> u64 {
+        let mut spec = ScenarioSpec::new("scale-lin", MaturityLevel::Ml4, 7);
+        spec.edges = 4;
+        spec.devices_per_edge = devices_per_edge;
+        spec.duration = SimDuration::from_secs(30);
+        spec.warmup = SimDuration::from_secs(10);
+        Scenario::build(spec).run().events_processed
+    };
+    let small = run(4);
+    let large = run(16);
+    // 4× the devices should cost roughly 4× the events (plus a fixed
+    // coordination floor), and certainly not 16×.
+    assert!(
+        large < small * 8,
+        "super-linear blowup: {small} -> {large}"
+    );
+    assert!(large > small * 2, "more devices must mean more work: {small} -> {large}");
+}
