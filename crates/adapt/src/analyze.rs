@@ -9,10 +9,9 @@
 use crate::knowledge::KnowledgeBase;
 use riot_formal::{AtomId, Ltl, Monitor, Valuation, Verdict3};
 use riot_model::{Requirement, RequirementId, RequirementSet, Verdict};
-use serde::Serialize;
 
 /// One detected (or suspected) requirement problem.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Issue {
     /// The requirement concerned.
     pub requirement: RequirementId,
@@ -50,7 +49,9 @@ pub struct AtomBinding {
 
 impl std::fmt::Debug for AtomBinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AtomBinding").field("atom", &self.atom).finish()
+        f.debug_struct("AtomBinding")
+            .field("atom", &self.atom)
+            .finish()
     }
 }
 
@@ -77,13 +78,23 @@ impl Analyzer {
     }
 
     /// Binds an atom to a knowledge-base predicate.
-    pub fn bind_atom(&mut self, atom: AtomId, predicate: impl Fn(&KnowledgeBase) -> bool + 'static) {
-        self.bindings.push(AtomBinding { atom, predicate: Box::new(predicate) });
+    pub fn bind_atom(
+        &mut self,
+        atom: AtomId,
+        predicate: impl Fn(&KnowledgeBase) -> bool + 'static,
+    ) {
+        self.bindings.push(AtomBinding {
+            atom,
+            predicate: Box::new(predicate),
+        });
     }
 
     /// Installs an LTL property to monitor at every cycle.
     pub fn add_monitor(&mut self, name: impl Into<String>, property: Ltl) {
-        self.monitors.push(NamedMonitor { name: name.into(), monitor: Monitor::new(property) });
+        self.monitors.push(NamedMonitor {
+            name: name.into(),
+            monitor: Monitor::new(property),
+        });
     }
 
     /// The installed monitors.
@@ -108,9 +119,11 @@ impl Analyzer {
             .filter_map(|r| self.issue_for(r, kb))
             .collect();
         issues.sort_by(|a, b| {
-            b.severity()
-                .partial_cmp(&a.severity())
-                .expect("severity is finite")
+            let (class_a, margin_a) = a.severity();
+            let (class_b, margin_b) = b.severity();
+            class_b
+                .cmp(&class_a)
+                .then(margin_b.total_cmp(&margin_a))
                 .then(a.requirement.cmp(&b.requirement))
         });
         if !self.bindings.is_empty() {
@@ -153,8 +166,20 @@ mod tests {
 
     fn reqs() -> RequirementSet {
         vec![
-            Requirement::new(RequirementId(0), "latency", RequirementKind::Latency, "lat_ms", Predicate::AtMost(100.0)),
-            Requirement::new(RequirementId(1), "coverage", RequirementKind::Coverage, "coverage", Predicate::AtLeast(0.8)),
+            Requirement::new(
+                RequirementId(0),
+                "latency",
+                RequirementKind::Latency,
+                "lat_ms",
+                Predicate::AtMost(100.0),
+            ),
+            Requirement::new(
+                RequirementId(1),
+                "coverage",
+                RequirementKind::Coverage,
+                "coverage",
+                Predicate::AtLeast(0.8),
+            ),
         ]
         .into_iter()
         .collect()
@@ -181,7 +206,10 @@ mod tests {
         // absolute margin.
         assert_eq!(issues[0].requirement, RequirementId(0));
         assert_eq!(issues[0].margin, Some(-50.0));
-        assert_eq!(issues[1].margin.map(|m| (m * 10.0).round() / 10.0), Some(-0.7));
+        assert_eq!(
+            issues[1].margin.map(|m| (m * 10.0).round() / 10.0),
+            Some(-0.7)
+        );
     }
 
     #[test]
@@ -202,7 +230,9 @@ mod tests {
         let mut atoms = Atoms::new();
         let healthy = atoms.intern("healthy");
         let mut a = Analyzer::new();
-        a.bind_atom(healthy, |kb| kb.value("err_rate").map(|v| v < 0.1).unwrap_or(false));
+        a.bind_atom(healthy, |kb| {
+            kb.value("err_rate").map(|v| v < 0.1).unwrap_or(false)
+        });
         a.add_monitor("always-healthy", Ltl::atom(healthy).globally());
 
         let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));

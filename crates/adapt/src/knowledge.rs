@@ -10,11 +10,10 @@
 
 use riot_model::{ComponentId, ComponentState, Telemetry};
 use riot_sim::{ProcessId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A timestamped scalar observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// The value.
     pub value: f64,
@@ -38,7 +37,7 @@ pub struct Observation {
 /// kb.set_now(SimTime::from_secs(120));
 /// assert_eq!(kb.value("zone/occupancy"), None, "stale knowledge is unknown");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KnowledgeBase {
     metrics: BTreeMap<String, Observation>,
     components: BTreeMap<ComponentId, (ComponentState, ProcessId, SimTime)>,
@@ -73,7 +72,8 @@ impl KnowledgeBase {
     /// Records a metric observation.
     pub fn record(&mut self, metric: impl Into<String>, value: f64, at: SimTime) {
         self.now = self.now.max(at);
-        self.metrics.insert(metric.into(), Observation { value, at });
+        self.metrics
+            .insert(metric.into(), Observation { value, at });
     }
 
     /// The raw observation for a metric, fresh or not.
@@ -83,11 +83,19 @@ impl KnowledgeBase {
 
     /// Age of a metric's last observation at the current time.
     pub fn age(&self, metric: &str) -> Option<SimDuration> {
-        self.metrics.get(metric).map(|o| self.now.saturating_since(o.at))
+        self.metrics
+            .get(metric)
+            .map(|o| self.now.saturating_since(o.at))
     }
 
     /// Records a component's lifecycle state on a host.
-    pub fn set_component(&mut self, id: ComponentId, state: ComponentState, host: ProcessId, at: SimTime) {
+    pub fn set_component(
+        &mut self,
+        id: ComponentId,
+        state: ComponentState,
+        host: ProcessId,
+        at: SimTime,
+    ) {
         self.now = self.now.max(at);
         self.components.insert(id, (state, host, at));
     }
@@ -136,7 +144,8 @@ impl KnowledgeBase {
     pub fn prune(&mut self) {
         let horizon = self.freshness;
         let now = self.now;
-        self.metrics.retain(|_, o| now.saturating_since(o.at) <= horizon);
+        self.metrics
+            .retain(|_, o| now.saturating_since(o.at) <= horizon);
     }
 }
 
@@ -171,7 +180,10 @@ mod tests {
         kb.record("m", 5.0, SimTime::from_secs(1));
         kb.set_now(SimTime::from_secs(20));
         assert_eq!(kb.value("m"), None);
-        assert!(kb.observation("m").is_some(), "raw observation still inspectable");
+        assert!(
+            kb.observation("m").is_some(),
+            "raw observation still inspectable"
+        );
         assert_eq!(kb.age("m"), Some(SimDuration::from_secs(19)));
     }
 
@@ -191,7 +203,10 @@ mod tests {
         kb.set_component(ComponentId(1), Running, ProcessId(4), SimTime::ZERO);
         kb.set_component(ComponentId(2), Failed, ProcessId(5), SimTime::ZERO);
         assert_eq!(kb.component(ComponentId(1)), Some((Running, ProcessId(4))));
-        assert_eq!(kb.components_in_state(Failed), vec![(ComponentId(2), ProcessId(5))]);
+        assert_eq!(
+            kb.components_in_state(Failed),
+            vec![(ComponentId(2), ProcessId(5))]
+        );
         kb.set_component(ComponentId(2), Running, ProcessId(5), SimTime::from_secs(1));
         assert!(kb.components_in_state(Failed).is_empty());
     }

@@ -17,11 +17,10 @@ use crate::knowledge::KnowledgeBase;
 use crate::plan::{AdaptationAction, Plan, Planner};
 use riot_model::{ComponentId, ComponentState, RequirementSet};
 use riot_sim::{ProcessId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Where a MAPE loop's analysis and planning run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// In the cloud (ML2/ML3 archetypes): global view, but reachable only
     /// through the cloud link.
@@ -31,7 +30,7 @@ pub enum Placement {
 }
 
 /// One entry of the adaptation audit log: what a cycle saw and decided.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CycleRecord {
     /// When the cycle ran.
     pub at: SimTime,
@@ -42,7 +41,7 @@ pub struct CycleRecord {
 }
 
 /// Cycle statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MapeStats {
     /// Analysis cycles run.
     pub cycles: u64,
@@ -152,7 +151,13 @@ impl<P: Planner> MapeLoop<P> {
     }
 
     /// Monitor boundary: a component state report arrived.
-    pub fn observe_component(&mut self, id: ComponentId, state: ComponentState, host: ProcessId, at: SimTime) {
+    pub fn observe_component(
+        &mut self,
+        id: ComponentId,
+        state: ComponentState,
+        host: ProcessId,
+        at: SimTime,
+    ) {
         self.kb.set_component(id, state, host, at);
     }
 
@@ -247,12 +252,20 @@ mod tests {
     fn failure_detected_and_repair_planned() {
         let mut m = loop_with_standard_rules();
         m.observe_metric("service_up", 0.0, SimTime::from_secs(1));
-        m.observe_component(ComponentId(2), ComponentState::Failed, ProcessId(5), SimTime::from_secs(1));
+        m.observe_component(
+            ComponentId(2),
+            ComponentState::Failed,
+            ProcessId(5),
+            SimTime::from_secs(1),
+        );
         let (issues, plan) = m.cycle(SimTime::from_secs(2));
         assert_eq!(issues.len(), 1);
         assert_eq!(
             plan.actions,
-            vec![AdaptationAction::RestartComponent { component: ComponentId(2), host: ProcessId(5) }]
+            vec![AdaptationAction::RestartComponent {
+                component: ComponentId(2),
+                host: ProcessId(5)
+            }]
         );
         assert_eq!(m.stats().issues_found, 1);
         assert_eq!(m.stats().actions_planned, 1);
@@ -307,7 +320,11 @@ mod tests {
         }
         let records: Vec<_> = m.history().cloned().collect();
         assert_eq!(records.len(), 3, "capped at 3");
-        assert_eq!(records.last().unwrap().at, SimTime::from_secs(9), "newest kept");
+        assert_eq!(
+            records.last().unwrap().at,
+            SimTime::from_secs(9),
+            "newest kept"
+        );
         assert_eq!(records[0].issues, 1);
         assert!(matches!(
             records[0].actions[0],

@@ -15,10 +15,9 @@ use crate::analyze::Issue;
 use crate::knowledge::KnowledgeBase;
 use riot_model::{ComponentId, RequirementSet};
 use riot_sim::ProcessId;
-use serde::{Deserialize, Serialize};
 
 /// Where control decisions for a scope are taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControlMode {
     /// Decisions deferred to the cloud (the ML2 archetype).
     Cloud,
@@ -27,7 +26,7 @@ pub enum ControlMode {
 }
 
 /// An adaptation the Execute stage can actuate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdaptationAction {
     /// Restart a failed component in place.
     RestartComponent {
@@ -68,7 +67,7 @@ pub enum AdaptationAction {
 }
 
 /// A planned sequence of actions with a human-readable rationale.
-#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Plan {
     /// Actions in execution order.
     pub actions: Vec<AdaptationAction>,
@@ -104,17 +103,23 @@ pub trait Planner {
     fn plan(&mut self, issues: &[Issue], kb: &KnowledgeBase) -> Plan;
 }
 
+/// The callback type of a [`PlanningRule`]: maps one issue (plus the
+/// knowledge base) to at most one action.
+pub type RuleFn = Box<dyn FnMut(&Issue, &KnowledgeBase) -> Option<AdaptationAction>>;
+
 /// One condition→action rule.
 pub struct PlanningRule {
     /// Name for rationale strings.
     pub name: String,
     /// Fires at most one action per issue.
-    pub apply: Box<dyn FnMut(&Issue, &KnowledgeBase) -> Option<AdaptationAction>>,
+    pub apply: RuleFn,
 }
 
 impl std::fmt::Debug for PlanningRule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PlanningRule").field("name", &self.name).finish()
+        f.debug_struct("PlanningRule")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -138,7 +143,10 @@ impl RulePlanner {
         name: impl Into<String>,
         apply: impl FnMut(&Issue, &KnowledgeBase) -> Option<AdaptationAction> + 'static,
     ) -> Self {
-        self.rules.push(PlanningRule { name: name.into(), apply: Box::new(apply) });
+        self.rules.push(PlanningRule {
+            name: name.into(),
+            apply: Box::new(apply),
+        });
         self
     }
 
@@ -149,7 +157,10 @@ impl RulePlanner {
         RulePlanner::new().rule("restart-failed-components", |_, kb| {
             kb.components_in_state(riot_model::ComponentState::Failed)
                 .first()
-                .map(|(c, h)| AdaptationAction::RestartComponent { component: *c, host: *h })
+                .map(|(c, h)| AdaptationAction::RestartComponent {
+                    component: *c,
+                    host: *h,
+                })
         })
     }
 }
@@ -210,7 +221,12 @@ impl<M: std::fmt::Debug> std::fmt::Debug for SearchPlanner<M> {
 impl<M: ActionModel> SearchPlanner<M> {
     /// Creates a planner over the given predictive model and requirements.
     pub fn new(model: M, requirements: RequirementSet) -> Self {
-        SearchPlanner { model, requirements, cost_weight: 0.01, max_actions: 4 }
+        SearchPlanner {
+            model,
+            requirements,
+            cost_weight: 0.01,
+            max_actions: 4,
+        }
     }
 
     /// The requirement-satisfaction fraction of a (predicted) model.
@@ -244,10 +260,7 @@ impl<M: ActionModel> Planner for SearchPlanner<M> {
             }
             match best {
                 Some((action, predicted, gain, _)) => {
-                    plan.push(
-                        action,
-                        format!("predicted satisfaction gain {:+.3}", gain),
-                    );
+                    plan.push(action, format!("predicted satisfaction gain {:+.3}", gain));
                     current = predicted;
                     current_score = self.score(&current);
                 }
@@ -261,12 +274,19 @@ impl<M: ActionModel> Planner for SearchPlanner<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use riot_model::{ComponentState, Predicate, Requirement, RequirementId, RequirementKind, Verdict};
+    use riot_model::{
+        ComponentState, Predicate, Requirement, RequirementId, RequirementKind, Verdict,
+    };
     use riot_sim::{SimDuration, SimTime};
 
     fn kb_with_failure() -> KnowledgeBase {
         let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
-        kb.set_component(ComponentId(7), ComponentState::Failed, ProcessId(3), SimTime::ZERO);
+        kb.set_component(
+            ComponentId(7),
+            ComponentState::Failed,
+            ProcessId(3),
+            SimTime::ZERO,
+        );
         kb.record("service_up", 0.0, SimTime::ZERO);
         kb
     }
@@ -294,7 +314,10 @@ mod tests {
         let plan = p.plan(&[issue()], &kb_with_failure());
         assert_eq!(
             plan.actions,
-            vec![AdaptationAction::RestartComponent { component: ComponentId(7), host: ProcessId(3) }]
+            vec![AdaptationAction::RestartComponent {
+                component: ComponentId(7),
+                host: ProcessId(3)
+            }]
         );
         assert!(plan.rationale[0].contains("restart-failed-components"));
     }
@@ -322,7 +345,10 @@ mod tests {
         fn candidates(&self, _issues: &[Issue], kb: &KnowledgeBase) -> Vec<AdaptationAction> {
             let mut c = Vec::new();
             for (comp, host) in kb.components_in_state(ComponentState::Failed) {
-                c.push(AdaptationAction::RestartComponent { component: comp, host });
+                c.push(AdaptationAction::RestartComponent {
+                    component: comp,
+                    host,
+                });
             }
             c.push(AdaptationAction::MigrateComponent {
                 component: ComponentId(7),
@@ -359,8 +385,20 @@ mod tests {
 
     fn search_requirements() -> RequirementSet {
         vec![
-            Requirement::new(RequirementId(0), "svc", RequirementKind::Availability, "service_up", Predicate::AtLeast(1.0)),
-            Requirement::new(RequirementId(1), "lat", RequirementKind::Latency, "latency_ms", Predicate::AtMost(100.0)),
+            Requirement::new(
+                RequirementId(0),
+                "svc",
+                RequirementKind::Availability,
+                "service_up",
+                Predicate::AtLeast(1.0),
+            ),
+            Requirement::new(
+                RequirementId(1),
+                "lat",
+                RequirementKind::Latency,
+                "latency_ms",
+                Predicate::AtMost(100.0),
+            ),
         ]
         .into_iter()
         .collect()
@@ -375,8 +413,14 @@ mod tests {
         assert_eq!(plan.len(), 2, "both fixes are worth their cost: {plan:?}");
         // Both actions gain 0.5 satisfaction; the restart is cheaper, so it
         // is picked first.
-        assert!(matches!(plan.actions[0], AdaptationAction::RestartComponent { .. }));
-        assert!(matches!(plan.actions[1], AdaptationAction::MigrateComponent { .. }));
+        assert!(matches!(
+            plan.actions[0],
+            AdaptationAction::RestartComponent { .. }
+        ));
+        assert!(matches!(
+            plan.actions[1],
+            AdaptationAction::MigrateComponent { .. }
+        ));
     }
 
     #[test]
@@ -386,7 +430,10 @@ mod tests {
         kb.record("latency_ms", 10.0, SimTime::ZERO);
         let mut p = SearchPlanner::new(ToyModel, search_requirements());
         let plan = p.plan(&[], &kb);
-        assert!(plan.is_empty(), "all satisfied: no action has positive utility");
+        assert!(
+            plan.is_empty(),
+            "all satisfied: no action has positive utility"
+        );
     }
 
     #[test]

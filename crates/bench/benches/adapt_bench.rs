@@ -1,11 +1,11 @@
 //! Microbenchmarks of the MAPE-K stack, including ablation A3: plan
 //! quality/cost of the rule-based vs search-based planner.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use riot_adapt::{
     ActionModel, AdaptationAction, Analyzer, Issue, KnowledgeBase, Planner, RulePlanner,
     SearchPlanner,
 };
+use riot_bench::harness;
 use riot_model::{
     ComponentId, ComponentState, Predicate, Requirement, RequirementId, RequirementKind,
     RequirementSet,
@@ -29,22 +29,35 @@ fn requirements(n: u32) -> RequirementSet {
 fn knowledge(n: u32, violated_every: u32) -> KnowledgeBase {
     let mut kb = KnowledgeBase::new(SimDuration::from_secs(60));
     for i in 0..n {
-        let v = if violated_every > 0 && i % violated_every == 0 { 500.0 } else { 50.0 };
+        let v = if violated_every > 0 && i % violated_every == 0 {
+            500.0
+        } else {
+            50.0
+        };
         kb.record(format!("m{i}"), v, SimTime::from_secs(1));
     }
     for i in 0..8u32 {
-        let state = if i % 2 == 0 { ComponentState::Failed } else { ComponentState::Running };
-        kb.set_component(ComponentId(i), state, ProcessId(i as usize), SimTime::from_secs(1));
+        let state = if i % 2 == 0 {
+            ComponentState::Failed
+        } else {
+            ComponentState::Running
+        };
+        kb.set_component(
+            ComponentId(i),
+            state,
+            ProcessId(i as usize),
+            SimTime::from_secs(1),
+        );
     }
     kb
 }
 
-fn bench_analyzer(c: &mut Criterion) {
-    c.bench_function("adapt/analyze_100_requirements", |b| {
-        let reqs = requirements(100);
-        let kb = knowledge(100, 10);
-        let mut analyzer = Analyzer::new();
-        b.iter(|| analyzer.analyze(&reqs, &kb));
+fn bench_analyzer() {
+    let reqs = requirements(100);
+    let kb = knowledge(100, 10);
+    let mut analyzer = Analyzer::new();
+    harness::bench("adapt/analyze_100_requirements", || {
+        analyzer.analyze(&reqs, &kb)
     });
 }
 
@@ -73,28 +86,24 @@ impl ActionModel for RepairModel {
     }
 }
 
-fn bench_planners_a3(c: &mut Criterion) {
+fn bench_planners_a3() {
     let reqs = requirements(100);
     let kb = knowledge(100, 10);
     let issues: Vec<Issue> = {
         let mut analyzer = Analyzer::new();
         analyzer.analyze(&reqs, &kb)
     };
-    c.bench_function("adapt/a3_rule_planner", |b| {
-        b.iter_batched(
-            RulePlanner::standard,
-            |mut p| p.plan(&issues, &kb),
-            BatchSize::SmallInput,
-        );
+    harness::bench_batched("adapt/a3_rule_planner", RulePlanner::standard, |mut p| {
+        p.plan(&issues, &kb)
     });
-    c.bench_function("adapt/a3_search_planner_depth4", |b| {
-        b.iter_batched(
-            || SearchPlanner::new(RepairModel, requirements(100)),
-            |mut p| p.plan(&issues, &kb),
-            BatchSize::SmallInput,
-        );
-    });
+    harness::bench_batched(
+        "adapt/a3_search_planner_depth4",
+        || SearchPlanner::new(RepairModel, requirements(100)),
+        |mut p| p.plan(&issues, &kb),
+    );
 }
 
-criterion_group!(benches, bench_analyzer, bench_planners_a3);
-criterion_main!(benches);
+fn main() {
+    bench_analyzer();
+    bench_planners_a3();
+}

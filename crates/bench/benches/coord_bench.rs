@@ -1,100 +1,117 @@
 //! Microbenchmarks of the coordination state machines (ablation A1's hot
 //! paths): SWIM ticks and message handling, gossip rounds, election ticks.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_bench::harness;
 use riot_coord::{
     Election, ElectionConfig, Gossip, GossipConfig, Swim, SwimConfig, SwimMsg, SwimOutput,
 };
 use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
 
-fn bench_swim(c: &mut Criterion) {
+fn bench_swim() {
     let ids: Vec<ProcessId> = (0..50).map(ProcessId).collect();
-    c.bench_function("coord/swim_tick_50_members", |b| {
-        let mut node = Swim::new(ProcessId(0), ids.iter().copied(), SwimConfig::default(), SimTime::ZERO);
+    {
+        let mut node = Swim::new(
+            ProcessId(0),
+            ids.iter().copied(),
+            SwimConfig::default(),
+            SimTime::ZERO,
+        );
         let mut rng = SimRng::seed_from(1);
         let mut now = SimTime::ZERO;
-        b.iter(|| {
+        harness::bench("coord/swim_tick_50_members", || {
             now += SimDuration::from_millis(200);
             node.tick(now, &mut rng)
         });
-    });
-    c.bench_function("coord/swim_ping_handling", |b| {
-        let mut node = Swim::new(ProcessId(0), ids.iter().copied(), SwimConfig::default(), SimTime::ZERO);
+    }
+    {
+        let mut node = Swim::new(
+            ProcessId(0),
+            ids.iter().copied(),
+            SwimConfig::default(),
+            SimTime::ZERO,
+        );
         let mut seq = 0u64;
-        b.iter(|| {
+        harness::bench("coord/swim_ping_handling", || {
             seq += 1;
             node.on_message(
                 SimTime::from_millis(seq),
                 ProcessId((seq % 49 + 1) as usize),
-                SwimMsg::Ping { seq, updates: Vec::new() },
+                SwimMsg::Ping {
+                    seq,
+                    updates: Vec::new(),
+                },
             )
         });
-    });
-    c.bench_function("coord/swim_full_round_20_nodes", |b| {
-        b.iter_batched(
-            || {
-                let ids: Vec<ProcessId> = (0..20).map(ProcessId).collect();
-                let nodes: Vec<Swim> = ids
-                    .iter()
-                    .map(|&me| Swim::new(me, ids.iter().copied(), SwimConfig::default(), SimTime::ZERO))
-                    .collect();
-                (nodes, SimRng::seed_from(5))
-            },
-            |(mut nodes, mut rng)| {
-                // One full protocol round with synchronous delivery.
-                let now = SimTime::from_millis(1_200);
-                let mut pending: Vec<(ProcessId, ProcessId, SwimMsg)> = Vec::new();
-                for (i, node) in nodes.iter_mut().enumerate() {
-                    for o in node.tick(now, &mut rng) {
-                        if let SwimOutput::Send { to, msg } = o {
-                            pending.push((ProcessId(i), to, msg));
-                        }
+    }
+    harness::bench_batched(
+        "coord/swim_full_round_20_nodes",
+        || {
+            let ids: Vec<ProcessId> = (0..20).map(ProcessId).collect();
+            let nodes: Vec<Swim> = ids
+                .iter()
+                .map(|&me| {
+                    Swim::new(
+                        me,
+                        ids.iter().copied(),
+                        SwimConfig::default(),
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            (nodes, SimRng::seed_from(5))
+        },
+        |(mut nodes, mut rng)| {
+            // One full protocol round with synchronous delivery.
+            let now = SimTime::from_millis(1_200);
+            let mut pending: Vec<(ProcessId, ProcessId, SwimMsg)> = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                for o in node.tick(now, &mut rng) {
+                    if let SwimOutput::Send { to, msg } = o {
+                        pending.push((ProcessId(i), to, msg));
                     }
                 }
-                while let Some((from, to, msg)) = pending.pop() {
-                    for o in nodes[to.0].on_message(now, from, msg) {
-                        if let SwimOutput::Send { to: t, msg } = o {
-                            pending.push((to, t, msg));
-                        }
+            }
+            while let Some((from, to, msg)) = pending.pop() {
+                for o in nodes[to.0].on_message(now, from, msg) {
+                    if let SwimOutput::Send { to: t, msg } = o {
+                        pending.push((to, t, msg));
                     }
                 }
-                nodes
-            },
-            BatchSize::SmallInput,
-        );
-    });
+            }
+            nodes
+        },
+    );
 }
 
-fn bench_gossip(c: &mut Criterion) {
+fn bench_gossip() {
     let peers: Vec<ProcessId> = (1..64).map(ProcessId).collect();
-    c.bench_function("coord/gossip_tick_with_hot_entries", |b| {
-        let mut g: Gossip<u64> = Gossip::new(GossipConfig::default());
-        let mut rng = SimRng::seed_from(2);
-        let mut key = 0u64;
-        b.iter(|| {
-            key += 1;
-            g.publish(key % 32, key);
-            g.tick(&peers, &mut rng)
-        });
+    let mut g: Gossip<u64> = Gossip::new(GossipConfig::default());
+    let mut rng = SimRng::seed_from(2);
+    let mut key = 0u64;
+    harness::bench("coord/gossip_tick_with_hot_entries", || {
+        key += 1;
+        g.publish(key % 32, key);
+        g.tick(&peers, &mut rng)
     });
 }
 
-fn bench_election(c: &mut Criterion) {
+fn bench_election() {
     let peers: Vec<ProcessId> = (0..20).map(ProcessId).collect();
-    c.bench_function("coord/election_tick_as_leader", |b| {
-        let mut e = Election::new(ProcessId(19), ElectionConfig::default(), SimTime::ZERO);
-        // Promote to leader once.
-        let mut now = SimTime::ZERO;
-        now += SimDuration::from_secs(3);
-        e.tick(now, &peers);
-        now += SimDuration::from_secs(1);
-        e.tick(now, &peers);
-        b.iter(|| {
-            now += SimDuration::from_millis(500);
-            e.tick(now, &peers)
-        });
+    let mut e = Election::new(ProcessId(19), ElectionConfig::default(), SimTime::ZERO);
+    // Promote to leader once.
+    let mut now = SimTime::ZERO;
+    now += SimDuration::from_secs(3);
+    e.tick(now, &peers);
+    now += SimDuration::from_secs(1);
+    e.tick(now, &peers);
+    harness::bench("coord/election_tick_as_leader", || {
+        now += SimDuration::from_millis(500);
+        e.tick(now, &peers)
     });
 }
 
-criterion_group!(benches, bench_swim, bench_gossip, bench_election);
-criterion_main!(benches);
+fn main() {
+    bench_swim();
+    bench_gossip();
+    bench_election();
+}

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the data plane (ablation A2's hot paths): CRDT
 //! merges, policy decisions and store synchronization.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_bench::harness;
 use riot_core::standard_domains;
 use riot_data::{
     Crdt, DataMeta, FlowContext, GCounter, OrSet, PolicyEngine, ReplicatedStore, VClock,
@@ -9,21 +9,21 @@ use riot_data::{
 use riot_model::DomainId;
 use riot_sim::SimTime;
 
-fn bench_crdts(c: &mut Criterion) {
-    c.bench_function("data/gcounter_merge_64_replicas", |b| {
+fn bench_crdts() {
+    {
         let mut a = GCounter::new();
         let mut other = GCounter::new();
         for r in 0..64 {
             a.incr(r, r as u64 + 1);
             other.incr(r, 64 - r as u64);
         }
-        b.iter(|| {
+        harness::bench("data/gcounter_merge_64_replicas", || {
             let mut x = a.clone();
             x.merge(&other);
             x.value()
         });
-    });
-    c.bench_function("data/orset_merge_1k_elements", |b| {
+    }
+    {
         let mut a: OrSet<u64> = OrSet::new();
         let mut other: OrSet<u64> = OrSet::new();
         for i in 0..1_000u64 {
@@ -35,16 +35,16 @@ fn bench_crdts(c: &mut Criterion) {
                 a.remove(&i);
             }
         }
-        b.iter_batched(
+        harness::bench_batched(
+            "data/orset_merge_1k_elements",
             || a.clone(),
             |mut x| {
                 x.merge(&other);
                 x.len()
             },
-            BatchSize::SmallInput,
         );
-    });
-    c.bench_function("data/vclock_compare_32_replicas", |b| {
+    }
+    {
         let mut x = VClock::new();
         let mut y = VClock::new();
         for r in 0..32 {
@@ -55,50 +55,63 @@ fn bench_crdts(c: &mut Criterion) {
                 y.tick(r);
             }
         }
-        b.iter(|| x.compare(&y));
-    });
+        harness::bench("data/vclock_compare_32_replicas", || x.compare(&y));
+    }
 }
 
-fn bench_policy(c: &mut Criterion) {
+fn bench_policy() {
     let registry = standard_domains();
     let engine = PolicyEngine::governed();
     let personal = DataMeta::personal(DomainId(0), SimTime::ZERO);
     let operational = DataMeta::operational(DomainId(0), SimTime::ZERO);
-    c.bench_function("data/policy_decide_deny_path", |b| {
-        let ctx = FlowContext { meta: &personal, from: DomainId(0), to: DomainId(1) };
-        b.iter(|| engine.decide(&ctx, &registry));
-    });
-    c.bench_function("data/policy_decide_allow_path", |b| {
-        let ctx = FlowContext { meta: &operational, from: DomainId(0), to: DomainId(0) };
-        b.iter(|| engine.decide(&ctx, &registry));
-    });
+    {
+        let ctx = FlowContext {
+            meta: &personal,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
+        harness::bench("data/policy_decide_deny_path", || {
+            engine.decide(&ctx, &registry)
+        });
+    }
+    {
+        let ctx = FlowContext {
+            meta: &operational,
+            from: DomainId(0),
+            to: DomainId(0),
+        };
+        harness::bench("data/policy_decide_allow_path", || {
+            engine.decide(&ctx, &registry)
+        });
+    }
 }
 
-fn bench_store_sync(c: &mut Criterion) {
+fn bench_store_sync() {
     let registry = standard_domains();
-    c.bench_function("data/store_sync_1k_keys", |b| {
-        b.iter_batched(
-            || {
-                let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
-                for i in 0..1_000 {
-                    let meta = if i % 4 == 0 {
-                        DataMeta::personal(DomainId(0), SimTime::from_secs(i))
-                    } else {
-                        DataMeta::operational(DomainId(0), SimTime::from_secs(i))
-                    };
-                    src.put(format!("k{i}"), i as f64, meta, SimTime::from_secs(i));
-                }
-                let dst = ReplicatedStore::new(1, DomainId(0), PolicyEngine::governed());
-                (src, dst)
-            },
-            |(mut src, mut dst)| {
-                let msg = src.sync_out(DomainId(0), &registry, SimTime::ZERO);
-                dst.on_sync(msg, &registry, SimTime::from_secs(2_000))
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    harness::bench_batched(
+        "data/store_sync_1k_keys",
+        || {
+            let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
+            for i in 0..1_000 {
+                let meta = if i % 4 == 0 {
+                    DataMeta::personal(DomainId(0), SimTime::from_secs(i))
+                } else {
+                    DataMeta::operational(DomainId(0), SimTime::from_secs(i))
+                };
+                src.put(format!("k{i}"), i as f64, meta, SimTime::from_secs(i));
+            }
+            let dst = ReplicatedStore::new(1, DomainId(0), PolicyEngine::governed());
+            (src, dst)
+        },
+        |(mut src, mut dst)| {
+            let msg = src.sync_out(DomainId(0), &registry, SimTime::ZERO);
+            dst.on_sync(msg, &registry, SimTime::from_secs(2_000))
+        },
+    );
 }
 
-criterion_group!(benches, bench_crdts, bench_policy, bench_store_sync);
-criterion_main!(benches);
+fn main() {
+    bench_crdts();
+    bench_policy();
+    bench_store_sync();
+}

@@ -1,32 +1,30 @@
 //! Microbenchmarks of the formal toolbox (experiment E3's hot paths):
 //! CTL fixpoint checking, LTL monitor stepping and bounded search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_bench::harness;
 use riot_formal::{
     bounded_search, Atoms, Ctl, CtlChecker, Kripke, Ltl, Monitor, TransitionSystem, Valuation,
 };
 use riot_sim::SimRng;
 
-fn bench_ctl(c: &mut Criterion) {
+fn bench_ctl() {
     let mut atoms = Atoms::new();
     let p = atoms.intern("p0");
     let q = atoms.intern("p1");
-    let mut group = c.benchmark_group("formal/ctl");
     for states in [1_000usize, 10_000] {
         let mut rng = SimRng::seed_from(7);
         let k = Kripke::random(states, 4, 2, &mut rng);
         let checker = CtlChecker::new(&k);
-        group.bench_with_input(BenchmarkId::new("AG_EF", states), &states, |b, _| {
-            b.iter(|| checker.check(&Ctl::atom(p).ef().ag()));
+        harness::bench(&format!("formal/ctl/AG_EF/{states}"), || {
+            checker.check(&Ctl::atom(p).ef().ag())
         });
-        group.bench_with_input(BenchmarkId::new("AG_responds", states), &states, |b, _| {
-            b.iter(|| checker.check(&Ctl::atom(p).implies(Ctl::atom(q).af()).ag()));
+        harness::bench(&format!("formal/ctl/AG_responds/{states}"), || {
+            checker.check(&Ctl::atom(p).implies(Ctl::atom(q).af()).ag())
         });
     }
-    group.finish();
 }
 
-fn bench_monitor(c: &mut Criterion) {
+fn bench_monitor() {
     let mut atoms = Atoms::new();
     let fail = atoms.intern("fail");
     let rec = atoms.intern("rec");
@@ -40,19 +38,15 @@ fn bench_monitor(c: &mut Criterion) {
             v
         })
         .collect();
-    c.bench_function("formal/monitor_responds_10k_steps", |b| {
-        b.iter(|| {
-            let mut m = Monitor::new(Ltl::responds(Ltl::atom(fail), Ltl::atom(rec)));
-            for s in &trace {
-                m.step(*s);
-            }
-            m.finish()
-        });
+    harness::bench("formal/monitor_responds_10k_steps", || {
+        let mut m = Monitor::new(Ltl::responds(Ltl::atom(fail), Ltl::atom(rec)));
+        for s in &trace {
+            m.step(*s);
+        }
+        m.finish()
     });
-    c.bench_function("formal/ltl_evaluate_10k_trace", |b| {
-        let phi = Ltl::responds(Ltl::atom(fail), Ltl::atom(rec));
-        b.iter(|| phi.evaluate(&trace, 0));
-    });
+    let phi = Ltl::responds(Ltl::atom(fail), Ltl::atom(rec));
+    harness::bench("formal/ltl_evaluate_10k_trace", || phi.evaluate(&trace, 0));
 }
 
 /// A grid system for bounded-search benchmarking.
@@ -77,12 +71,15 @@ impl TransitionSystem for Grid {
     }
 }
 
-fn bench_reach(c: &mut Criterion) {
-    c.bench_function("formal/bounded_search_100x100_grid", |b| {
-        let grid = Grid { size: 100 };
-        b.iter(|| bounded_search(&grid, 250, |s| *s == (100, 100)));
+fn bench_reach() {
+    let grid = Grid { size: 100 };
+    harness::bench("formal/bounded_search_100x100_grid", || {
+        bounded_search(&grid, 250, |s| *s == (100, 100))
     });
 }
 
-criterion_group!(benches, bench_ctl, bench_monitor, bench_reach);
-criterion_main!(benches);
+fn main() {
+    bench_ctl();
+    bench_monitor();
+    bench_reach();
+}

@@ -1,32 +1,28 @@
 //! End-to-end scenario throughput: how much virtual IoT time the full
 //! ML4 stack simulates per wall-clock second.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_bench::harness;
 use riot_core::{Scenario, ScenarioSpec};
 use riot_model::MaturityLevel;
 use riot_sim::SimDuration;
 
-fn bench_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario");
-    group.sample_size(10);
+fn bench_scenarios() {
     for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
-        group.bench_function(format!("run_30s_{level}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut spec = ScenarioSpec::new("bench", level, 1);
-                    spec.edges = 4;
-                    spec.devices_per_edge = 8;
-                    spec.duration = SimDuration::from_secs(30);
-                    spec.warmup = SimDuration::from_secs(10);
-                    Scenario::build(spec)
-                },
-                |scenario| scenario.run(),
-                BatchSize::SmallInput,
-            );
-        });
+        harness::bench_batched(
+            &format!("scenario/run_30s_{level}"),
+            || {
+                let mut spec = ScenarioSpec::new("bench", level, 1);
+                spec.edges = 4;
+                spec.devices_per_edge = 8;
+                spec.duration = SimDuration::from_secs(30);
+                spec.warmup = SimDuration::from_secs(10);
+                Scenario::build(spec)
+            },
+            |scenario| scenario.run(),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_scenarios);
-criterion_main!(benches);
+fn main() {
+    bench_scenarios();
+}

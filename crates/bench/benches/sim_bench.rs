@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulation kernel: event throughput, timer churn
 //! and medium routing — the floor everything else stands on.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riot_bench::harness;
 use riot_net::{presets, Hierarchy, HierarchySpec};
 use riot_sim::{
     Ctx, Delivery, Medium, Process, ProcessId, Sim, SimBuilder, SimDuration, SimRng, SimTime,
@@ -41,36 +41,38 @@ impl Process<Ping> for TimerChurn {
     }
 }
 
-fn bench_event_throughput(c: &mut Criterion) {
-    c.bench_function("sim/ping_pong_100k_events", |b| {
-        b.iter_batched(
-            || {
-                let mut sim: Sim<Ping> = SimBuilder::new(1).build();
-                let a = sim.add_process(Pinger { peer: ProcessId(1), remaining: 50_000 });
-                sim.add_process(Pinger { peer: a, remaining: 50_000 });
-                sim
-            },
-            |mut sim| sim.run_to_completion(),
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_event_throughput() {
+    harness::bench_batched(
+        "sim/ping_pong_100k_events",
+        || {
+            let mut sim: Sim<Ping> = SimBuilder::new(1).build();
+            let a = sim.add_process(Pinger {
+                peer: ProcessId(1),
+                remaining: 50_000,
+            });
+            sim.add_process(Pinger {
+                peer: a,
+                remaining: 50_000,
+            });
+            sim
+        },
+        |mut sim| sim.run_to_completion(),
+    );
 }
 
-fn bench_timer_churn(c: &mut Criterion) {
-    c.bench_function("sim/timer_churn_8x_1s", |b| {
-        b.iter_batched(
-            || {
-                let mut sim: Sim<Ping> = SimBuilder::new(1).build();
-                sim.add_process(TimerChurn);
-                sim
-            },
-            |mut sim| sim.run_until(SimTime::from_secs(1)),
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_timer_churn() {
+    harness::bench_batched(
+        "sim/timer_churn_8x_1s",
+        || {
+            let mut sim: Sim<Ping> = SimBuilder::new(1).build();
+            sim.add_process(TimerChurn);
+            sim
+        },
+        |mut sim| sim.run_until(SimTime::from_secs(1)),
+    );
 }
 
-fn bench_network_routing(c: &mut Criterion) {
+fn bench_network_routing() {
     let spec = HierarchySpec {
         edges: 8,
         devices_per_edge: 16,
@@ -81,33 +83,34 @@ fn bench_network_routing(c: &mut Criterion) {
     let (mut net, h) = Hierarchy::build(&spec);
     let mut rng = SimRng::seed_from(3);
     let devices = h.all_devices();
-    c.bench_function("net/route_device_to_cloud_137_nodes", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let from = devices[i % devices.len()];
-            i += 1;
-            let d: Delivery =
-                Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.cloud, &0, &mut rng);
-            d
-        });
+    let mut i = 0usize;
+    harness::bench("net/route_device_to_cloud_137_nodes", || {
+        let from = devices[i % devices.len()];
+        i += 1;
+        let d: Delivery =
+            Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.cloud, &0, &mut rng);
+        d
     });
-    c.bench_function("net/route_after_partition_churn", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            // Flip a partition every 64 routes: exercises cache invalidation.
-            if i % 64 == 0 {
-                if (i / 64) % 2 == 0 {
-                    net.isolate(h.cloud);
-                } else {
-                    net.rejoin(h.cloud);
-                }
+
+    let (mut net, h) = Hierarchy::build(&spec);
+    let mut i = 0usize;
+    harness::bench("net/route_after_partition_churn", || {
+        // Flip a partition every 64 routes: exercises cache invalidation.
+        if i.is_multiple_of(64) {
+            if (i / 64).is_multiple_of(2) {
+                net.isolate(h.cloud);
+            } else {
+                net.rejoin(h.cloud);
             }
-            let from = devices[i % devices.len()];
-            i += 1;
-            Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.edges[0], &0, &mut rng)
-        });
+        }
+        let from = devices[i % devices.len()];
+        i += 1;
+        Medium::<u32>::route(&mut net, SimTime::ZERO, from, h.edges[0], &0, &mut rng)
     });
 }
 
-criterion_group!(benches, bench_event_throughput, bench_timer_churn, bench_network_routing);
-criterion_main!(benches);
+fn main() {
+    bench_event_throughput();
+    bench_timer_churn();
+    bench_network_routing();
+}

@@ -9,20 +9,23 @@
 //!   probe period and suspicion timeout.
 
 use riot_bench::{banner, write_json};
-use riot_core::Table;
 use riot_coord::{Gossip, GossipConfig, MemberState, Swim, SwimConfig, SwimMsg, SwimOutput};
+use riot_core::Table;
 use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct GossipRow {
     nodes: usize,
     fanout: usize,
     rounds_to_full: u32,
     messages: u64,
 }
+riot_sim::impl_to_json_struct!(GossipRow {
+    nodes,
+    fanout,
+    rounds_to_full,
+    messages
+});
 
-#[derive(Serialize)]
 struct SwimRow {
     nodes: usize,
     probe_period_ms: u64,
@@ -30,6 +33,13 @@ struct SwimRow {
     detection_time_s: f64,
     messages: u64,
 }
+riot_sim::impl_to_json_struct!(SwimRow {
+    nodes,
+    probe_period_ms,
+    suspicion_timeout_ms,
+    detection_time_s,
+    messages
+});
 
 fn main() {
     banner(
@@ -47,7 +57,12 @@ fn main() {
         for fanout in [1usize, 2, 3, 5] {
             let (rounds, msgs) = gossip_trial(n, fanout, 17);
             cells.push(format!("{rounds}r / {msgs}m"));
-            gossip_rows.push(GossipRow { nodes: n, fanout, rounds_to_full: rounds, messages: msgs });
+            gossip_rows.push(GossipRow {
+                nodes: n,
+                fanout,
+                rounds_to_full: rounds,
+                messages: msgs,
+            });
         }
         table.row(cells);
     }
@@ -55,10 +70,21 @@ fn main() {
 
     // ---- SWIM timing.
     println!("SWIM: crash-to-global-detection time:\n");
-    let mut table = Table::new(&["nodes", "probe period", "suspicion timeout", "detection", "msgs"]);
+    let mut table = Table::new(&[
+        "nodes",
+        "probe period",
+        "suspicion timeout",
+        "detection",
+        "msgs",
+    ]);
     let mut swim_rows = Vec::new();
     for n in [8usize, 32] {
-        for (probe_ms, susp_ms) in [(500u64, 1_500u64), (1_000, 3_000), (2_000, 6_000), (1_000, 1_000)] {
+        for (probe_ms, susp_ms) in [
+            (500u64, 1_500u64),
+            (1_000, 3_000),
+            (2_000, 6_000),
+            (1_000, 1_000),
+        ] {
             let (detect_s, msgs) = swim_trial(n, probe_ms, susp_ms, 23);
             table.row(vec![
                 n.to_string(),
@@ -84,18 +110,28 @@ fn main() {
          round-robin per node)."
     );
 
-    #[derive(Serialize)]
     struct Output {
         gossip: Vec<GossipRow>,
         swim: Vec<SwimRow>,
     }
-    write_json("a1_coord_ablation", &Output { gossip: gossip_rows, swim: swim_rows });
+    riot_sim::impl_to_json_struct!(Output { gossip, swim });
+    write_json(
+        "a1_coord_ablation",
+        &Output {
+            gossip: gossip_rows,
+            swim: swim_rows,
+        },
+    );
 }
 
 /// Runs rumor dissemination; returns (rounds until everyone has it, total
 /// messages sent).
 fn gossip_trial(n: usize, fanout: usize, seed: u64) -> (u32, u64) {
-    let cfg = GossipConfig { fanout, rounds_hot: 4, batch_limit: 16 };
+    let cfg = GossipConfig {
+        fanout,
+        rounds_hot: 4,
+        batch_limit: 16,
+    };
     let mut nodes: Vec<Gossip<u64>> = (0..n).map(|_| Gossip::new(cfg)).collect();
     let ids: Vec<ProcessId> = (0..n).map(ProcessId).collect();
     let mut rng = SimRng::seed_from(seed);
@@ -145,11 +181,11 @@ fn swim_trial(n: usize, probe_ms: u64, susp_ms: u64, seed: u64) -> (f64, u64) {
             crashed = true;
         }
         let mut pending: Vec<(ProcessId, ProcessId, SwimMsg)> = Vec::new();
-        for i in 0..n {
+        for (i, node) in nodes.iter_mut().enumerate() {
             if crashed && i == 0 {
                 continue;
             }
-            for o in nodes[i].tick(now, &mut rng) {
+            for o in node.tick(now, &mut rng) {
                 if let SwimOutput::Send { to, msg } = o {
                     pending.push((ProcessId(i), to, msg));
                 }

@@ -14,23 +14,32 @@ use riot_core::{ArchitectureConfig, Scenario, ScenarioSpec, Table};
 use riot_data::{Crdt, GCounter, LwwRegister, OrSet, PnCounter};
 use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimRng, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SyncRow {
     sync_period_ms: u64,
     staleness_mean_s: f64,
     freshness_resilience: f64,
     messages_sent: u64,
 }
+riot_sim::impl_to_json_struct!(SyncRow {
+    sync_period_ms,
+    staleness_mean_s,
+    freshness_resilience,
+    messages_sent
+});
 
-#[derive(Serialize)]
 struct CrdtRow {
     crdt: String,
     replicas: usize,
     operations: usize,
     merge_rounds_to_converge: u32,
 }
+riot_sim::impl_to_json_struct!(CrdtRow {
+    crdt,
+    replicas,
+    operations,
+    merge_rounds_to_converge
+});
 
 fn main() {
     banner(
@@ -69,7 +78,11 @@ fn main() {
         let r = Scenario::build(spec).run();
         let row = SyncRow {
             sync_period_ms: period_ms,
-            staleness_mean_s: r.telemetry_means.get("freshness_s").copied().unwrap_or(f64::NAN),
+            staleness_mean_s: r
+                .telemetry_means
+                .get("freshness_s")
+                .copied()
+                .unwrap_or(f64::NAN),
             freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
             messages_sent: r.messages_sent,
         };
@@ -89,18 +102,29 @@ fn main() {
     let mut crdt_rows = Vec::new();
     let mut rng = SimRng::seed_from(5);
     for (name, rounds) in [
-        ("GCounter", converge_counter::<GCounter>(8, 200, &mut rng, |c, r, x| c.incr(r, x))),
-        ("PnCounter", converge_counter::<PnCounter>(8, 200, &mut rng, |c, r, x| {
-            if x % 2 == 0 {
-                c.incr(r, x)
-            } else {
-                c.decr(r, x)
-            }
-        })),
+        (
+            "GCounter",
+            converge_counter::<GCounter>(8, 200, &mut rng, |c, r, x| c.incr(r, x)),
+        ),
+        (
+            "PnCounter",
+            converge_counter::<PnCounter>(8, 200, &mut rng, |c, r, x| {
+                if x % 2 == 0 {
+                    c.incr(r, x)
+                } else {
+                    c.decr(r, x)
+                }
+            }),
+        ),
         ("LwwRegister", converge_lww(8, 200, &mut rng)),
         ("OrSet", converge_orset(8, 200, &mut rng)),
     ] {
-        table.row(vec![name.to_owned(), "8".into(), "200".into(), rounds.to_string()]);
+        table.row(vec![
+            name.to_owned(),
+            "8".into(),
+            "200".into(),
+            rounds.to_string(),
+        ]);
         crdt_rows.push(CrdtRow {
             crdt: name.to_owned(),
             replicas: 8,
@@ -115,12 +139,18 @@ fn main() {
          converges within a logarithmic number of pairwise ring merges."
     );
 
-    #[derive(Serialize)]
     struct Output {
         sync: Vec<SyncRow>,
         crdt: Vec<CrdtRow>,
     }
-    write_json("a2_data_ablation", &Output { sync: sync_rows, crdt: crdt_rows });
+    riot_sim::impl_to_json_struct!(Output { sync, crdt });
+    write_json(
+        "a2_data_ablation",
+        &Output {
+            sync: sync_rows,
+            crdt: crdt_rows,
+        },
+    );
 }
 
 /// Applies random ops to `n` replicas of a counter-like CRDT, then merges

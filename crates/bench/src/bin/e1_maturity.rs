@@ -8,9 +8,7 @@
 use riot_bench::{banner, f3, suites, write_json};
 use riot_core::{resilience_table, Scenario, ScenarioSpec, Table};
 use riot_model::{cell, DisruptionVector, MaturityLevel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     suite: String,
     level: MaturityLevel,
@@ -22,6 +20,17 @@ struct Row {
     freshness: f64,
     privacy: f64,
 }
+riot_sim::impl_to_json_struct!(Row {
+    suite,
+    level,
+    overall_resilience,
+    overall_baseline,
+    latency,
+    availability,
+    coverage,
+    freshness,
+    privacy
+});
 
 fn main() {
     banner(

@@ -11,9 +11,7 @@
 use riot_bench::{banner, f3, write_json};
 use riot_core::{Scenario, ScenarioSpec, Table};
 use riot_model::{interoperability, Device, DeviceClass, DeviceId, MaturityLevel, SoftwareStack};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Baseline {
     level: MaturityLevel,
     baseline_overall: f64,
@@ -21,6 +19,13 @@ struct Baseline {
     messages_sent: u64,
     events: u64,
 }
+riot_sim::impl_to_json_struct!(Baseline {
+    level,
+    baseline_overall,
+    baseline_satfrac,
+    messages_sent,
+    events
+});
 
 fn main() {
     banner(
@@ -31,7 +36,14 @@ fn main() {
 
     // -- The heterogeneity inventory: stacks across device classes.
     println!("Device-class inventory (heterogeneous stacks, §II):\n");
-    let mut inv = Table::new(&["class", "cpu (MIPS)", "mem (KiB)", "os", "runtime", "protocols"]);
+    let mut inv = Table::new(&[
+        "class",
+        "cpu (MIPS)",
+        "mem (KiB)",
+        "os",
+        "runtime",
+        "protocols",
+    ]);
     for class in [
         DeviceClass::Microcontroller,
         DeviceClass::SensorNode,
@@ -88,7 +100,13 @@ fn main() {
 
     // -- Baseline (no disruptions) per maturity level.
     println!("Disturbance-free baselines per level:\n");
-    let mut table = Table::new(&["level", "overall baseline", "mean satfrac", "msgs", "events"]);
+    let mut table = Table::new(&[
+        "level",
+        "overall baseline",
+        "mean satfrac",
+        "msgs",
+        "events",
+    ]);
     let mut rows = Vec::new();
     for level in MaturityLevel::ALL {
         let mut spec = ScenarioSpec::new(format!("baseline/{level}"), level, 7);

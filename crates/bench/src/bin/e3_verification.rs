@@ -13,6 +13,7 @@
 //!    recovers coverage within 15 s of a component fault, with a Wilson
 //!    interval, plus an SPRT threshold test.
 
+use riot_bench::harness;
 use riot_bench::{banner, f3, write_json};
 use riot_core::{Scenario, ScenarioSpec, Table};
 use riot_formal::{
@@ -21,10 +22,7 @@ use riot_formal::{
 };
 use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimRng, SimTime};
-use serde::Serialize;
-use std::time::Instant;
 
-#[derive(Serialize)]
 struct CtlRow {
     states: usize,
     transitions: usize,
@@ -33,8 +31,15 @@ struct CtlRow {
     check_ms: f64,
     states_per_sec: f64,
 }
+riot_sim::impl_to_json_struct!(CtlRow {
+    states,
+    transitions,
+    recoverable_holds,
+    response_holds,
+    check_ms,
+    states_per_sec
+});
 
-#[derive(Serialize)]
 struct Output {
     ctl: Vec<CtlRow>,
     monitor_verdict: String,
@@ -47,6 +52,18 @@ struct Output {
     dtmc_availability: f64,
     dtmc_recover_10s: f64,
 }
+riot_sim::impl_to_json_struct!(Output {
+    ctl,
+    monitor_verdict,
+    monitor_steps,
+    recovery_probability,
+    recovery_lo,
+    recovery_hi,
+    sprt_decision,
+    sprt_observations,
+    dtmc_availability,
+    dtmc_recover_10s
+});
 
 fn main() {
     banner(
@@ -75,11 +92,14 @@ fn main() {
     let responds = parse_ctl("AG (p1 -> AF p2)", &mut ctl_atoms).expect("well-formed");
     for states in [100usize, 1_000, 10_000, 100_000] {
         let k = Kripke::random(states, 4, 3, &mut rng);
-        let start = Instant::now();
-        let checker = CtlChecker::new(&k);
-        let recoverable_holds = checker.holds_initially(&recoverable);
-        let responds_holds = checker.holds_initially(&responds);
-        let elapsed = start.elapsed().as_secs_f64();
+        let ((recoverable_holds, responds_holds), took) = harness::time(|| {
+            let checker = CtlChecker::new(&k);
+            (
+                checker.holds_initially(&recoverable),
+                checker.holds_initially(&responds),
+            )
+        });
+        let elapsed = took.as_secs_f64();
         let row = CtlRow {
             states,
             transitions: k.transition_count(),
@@ -114,7 +134,10 @@ fn main() {
     let fault_dev = spec.device_id(1, 2);
     spec.disruptions = DisruptionSchedule::new().at(
         SimTime::from_secs(40),
-        Disruption::ComponentFault { node: fault_dev, component: ComponentId(fault_dev.0 as u32) },
+        Disruption::ComponentFault {
+            node: fault_dev,
+            component: ComponentId(fault_dev.0 as u32),
+        },
     );
     let scenario = Scenario::build(spec);
     let result = scenario.run();
@@ -213,7 +236,10 @@ fn recovery_trial(seed: u64) -> bool {
     let dev = spec.device_id(0, 1);
     spec.disruptions = DisruptionSchedule::new().at(
         SimTime::from_secs(15),
-        Disruption::ComponentFault { node: dev, component: ComponentId(dev.0 as u32) },
+        Disruption::ComponentFault {
+            node: dev,
+            component: ComponentId(dev.0 as u32),
+        },
     );
     let result = Scenario::build(spec).run();
     let cov = &result.report.requirements["coverage"];

@@ -16,9 +16,7 @@ use riot_core::{Scenario, ScenarioSpec, Table};
 use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
 use riot_net::{LatencyModel, Link};
 use riot_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct RttRow {
     cloud_rtt_ms: u64,
     level: MaturityLevel,
@@ -27,8 +25,15 @@ struct RttRow {
     latency_resilience: f64,
     availability_resilience: f64,
 }
+riot_sim::impl_to_json_struct!(RttRow {
+    cloud_rtt_ms,
+    level,
+    latency_mean_ms,
+    latency_p95_ms,
+    latency_resilience,
+    availability_resilience
+});
 
-#[derive(Serialize)]
 struct OutageRow {
     outages_per_min: f64,
     level: MaturityLevel,
@@ -37,6 +42,14 @@ struct OutageRow {
     mttr_s: Option<f64>,
     failovers: u64,
 }
+riot_sim::impl_to_json_struct!(OutageRow {
+    outages_per_min,
+    level,
+    availability_resilience,
+    latency_resilience,
+    mttr_s,
+    failovers
+});
 
 fn run_with(
     level: MaturityLevel,
@@ -155,7 +168,9 @@ fn main() {
                 level.to_string(),
                 f3(row.availability_resilience),
                 f3(row.latency_resilience),
-                row.mttr_s.map(|m| format!("{m:.1}s")).unwrap_or_else(|| "-".into()),
+                row.mttr_s
+                    .map(|m| format!("{m:.1}s"))
+                    .unwrap_or_else(|| "-".into()),
                 row.failovers.to_string(),
             ]);
             outage_rows.push(row);
@@ -169,10 +184,19 @@ fn main() {
          depend on the cloud for control at all."
     );
 
-    #[derive(Serialize)]
     struct Output {
         rtt_sweep: Vec<RttRow>,
         outage_sweep: Vec<OutageRow>,
     }
-    write_json("e4_control", &Output { rtt_sweep: rtt_rows, outage_sweep: outage_rows });
+    riot_sim::impl_to_json_struct!(Output {
+        rtt_sweep,
+        outage_sweep
+    });
+    write_json(
+        "e4_control",
+        &Output {
+            rtt_sweep: rtt_rows,
+            outage_sweep: outage_rows,
+        },
+    );
 }

@@ -18,9 +18,7 @@ use riot_bench::{banner, f3, write_json};
 use riot_core::{ArchitectureConfig, Scenario, ScenarioSpec, Table};
 use riot_model::{Disruption, DisruptionSchedule, DomainId, MaturityLevel};
 use riot_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     posture: String,
     privacy_resilience: f64,
@@ -29,6 +27,14 @@ struct Row {
     availability_resilience: f64,
     messages_sent: u64,
 }
+riot_sim::impl_to_json_struct!(Row {
+    posture,
+    privacy_resilience,
+    freshness_resilience,
+    ingest_denied,
+    availability_resilience,
+    messages_sent
+});
 
 fn main() {
     banner(
@@ -62,7 +68,10 @@ fn main() {
         // Mid-run domain transfer: an edge changes hands (§II).
         spec.disruptions = DisruptionSchedule::new().at(
             SimTime::from_secs(60),
-            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+            Disruption::DomainTransfer {
+                entity: spec.edge_id(0).0 as u64,
+                to: DomainId(1),
+            },
         );
         if let Some(governed) = governance_override {
             let mut arch = ArchitectureConfig::for_level(level);
@@ -92,9 +101,13 @@ fn main() {
 
     // Anti-entropy cost/benefit: staleness vs sync period at ML4.
     println!("Timeliness vs sync period (ML4, governed):\n");
-    let mut table =
-        Table::new(&["sync period", "mean staleness", "freshness R", "msgs", "privacy R"]);
-    #[derive(Serialize)]
+    let mut table = Table::new(&[
+        "sync period",
+        "mean staleness",
+        "freshness R",
+        "msgs",
+        "privacy R",
+    ]);
     struct SyncRow {
         sync_period_ms: u64,
         staleness_mean_s: f64,
@@ -102,6 +115,13 @@ fn main() {
         messages_sent: u64,
         privacy_resilience: f64,
     }
+    riot_sim::impl_to_json_struct!(SyncRow {
+        sync_period_ms,
+        staleness_mean_s,
+        freshness_resilience,
+        messages_sent,
+        privacy_resilience
+    });
     let mut sync_rows = Vec::new();
     for period_ms in [500u64, 1_000, 2_000, 5_000, 10_000] {
         let mut spec = ScenarioSpec::new(format!("sync-{period_ms}"), MaturityLevel::Ml4, 78);
@@ -113,7 +133,11 @@ fn main() {
         let r = Scenario::build(spec).run();
         let row = SyncRow {
             sync_period_ms: period_ms,
-            staleness_mean_s: r.telemetry_means.get("freshness_s").copied().unwrap_or(f64::NAN),
+            staleness_mean_s: r
+                .telemetry_means
+                .get("freshness_s")
+                .copied()
+                .unwrap_or(f64::NAN),
             freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
             messages_sent: r.messages_sent,
             privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
@@ -135,10 +159,19 @@ fn main() {
          The sync-period sweep shows the timeliness/traffic trade-off of anti-entropy."
     );
 
-    #[derive(Serialize)]
     struct Output {
         postures: Vec<Row>,
         sync_sweep: Vec<SyncRow>,
     }
-    write_json("e5_dataflows", &Output { postures: rows, sync_sweep: sync_rows });
+    riot_sim::impl_to_json_struct!(Output {
+        postures,
+        sync_sweep
+    });
+    write_json(
+        "e5_dataflows",
+        &Output {
+            postures: rows,
+            sync_sweep: sync_rows,
+        },
+    );
 }

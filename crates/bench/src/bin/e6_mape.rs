@@ -12,9 +12,7 @@ use riot_bench::{banner, f3, write_json};
 use riot_core::{ArchitectureConfig, MapePlacement, Scenario, ScenarioSpec, Table};
 use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     placement: String,
     cloud_outages: bool,
@@ -25,6 +23,16 @@ struct Row {
     restarts: u64,
     restart_commands: u64,
 }
+riot_sim::impl_to_json_struct!(Row {
+    placement,
+    cloud_outages,
+    coverage_resilience,
+    mean_coverage,
+    coverage_mttr_s,
+    max_outage_s,
+    restarts,
+    restart_commands
+});
 
 /// Component-fault storm: three devices per edge fail within a 12-second
 /// burst starting at t=62 s — 37% of the fleet, dropping coverage well
@@ -39,7 +47,10 @@ fn faults(spec: &ScenarioSpec) -> DisruptionSchedule {
             let node = spec.device_id(e, d);
             s.push(
                 SimTime::from_secs(t),
-                Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+                Disruption::ComponentFault {
+                    node,
+                    component: ComponentId(node.0 as u32),
+                },
             );
             t += 1;
         }
@@ -74,8 +85,10 @@ fn main() {
     ];
 
     // The static answer the pattern catalogue gives before any run.
-    println!("Static prediction from the control-pattern catalogue (§V):
-");
+    println!(
+        "Static prediction from the control-pattern catalogue (§V):
+"
+    );
     for (name, placement) in &placements {
         let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
         arch.mape = *placement;
@@ -93,7 +106,11 @@ fn main() {
     for with_outages in [false, true] {
         println!(
             "--- component-fault storm, cloud link {}:\n",
-            if with_outages { "flapping (3×20s outages)" } else { "healthy" }
+            if with_outages {
+                "flapping (3×20s outages)"
+            } else {
+                "healthy"
+            }
         );
         let mut table = Table::new(&[
             "MAPE placement",
@@ -131,7 +148,11 @@ fn main() {
                 placement: name.to_string(),
                 cloud_outages: with_outages,
                 coverage_resilience: cov.resilience,
-                mean_coverage: r.telemetry_means.get("coverage").copied().unwrap_or(f64::NAN),
+                mean_coverage: r
+                    .telemetry_means
+                    .get("coverage")
+                    .copied()
+                    .unwrap_or(f64::NAN),
                 coverage_mttr_s: cov.mttr_s,
                 max_outage_s: cov.max_outage_s,
                 restarts: r.restarts,
@@ -141,7 +162,9 @@ fn main() {
                 row.placement.clone(),
                 f3(row.coverage_resilience),
                 f3(row.mean_coverage),
-                row.coverage_mttr_s.map(|m| format!("{m:.1}s")).unwrap_or_else(|| "∞ (never)".into()),
+                row.coverage_mttr_s
+                    .map(|m| format!("{m:.1}s"))
+                    .unwrap_or_else(|| "∞ (never)".into()),
                 format!("{:.1}s", row.max_outage_s),
                 row.restarts.to_string(),
                 row.restart_commands.to_string(),

@@ -108,7 +108,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn num(s: &str) -> Result<usize, String> {
-    s.parse::<usize>().map_err(|_| format!("'{s}' is not a number"))
+    s.parse::<usize>()
+        .map_err(|_| format!("'{s}' is not a number"))
 }
 
 fn build_spec(args: &Args, level: MaturityLevel) -> Result<ScenarioSpec, String> {
@@ -125,7 +126,10 @@ fn build_spec(args: &Args, level: MaturityLevel) -> Result<ScenarioSpec, String>
             .ok_or_else(|| format!("unknown suite '{name}'"))?;
     }
     if args.roaming > 0 {
-        let mobility = MobilitySpec { roamers: args.roaming, ..MobilitySpec::default() };
+        let mobility = MobilitySpec {
+            roamers: args.roaming,
+            ..MobilitySpec::default()
+        };
         let mut rng = SimRng::seed_from(args.seed);
         let (roam, _) = roaming_schedule(&spec, &mobility, &mut rng);
         spec.disruptions.merge(roam);
@@ -171,19 +175,12 @@ fn main() -> ExitCode {
     println!();
     println!("{}", resilience_table(&results).render());
     if let Some(path) = &args.json {
-        match serde_json::to_string_pretty(&results) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("error: cannot write {path}: {e}");
-                    return ExitCode::from(1);
-                }
-                println!("[wrote {path}]");
-            }
-            Err(e) => {
-                eprintln!("error: serialization failed: {e}");
-                return ExitCode::from(1);
-            }
+        let json = riot_sim::ToJson::to_json(&results).pretty();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
         }
+        println!("[wrote {path}]");
     }
     ExitCode::SUCCESS
 }
@@ -225,7 +222,10 @@ mod tests {
 
     #[test]
     fn spec_builds_with_suite_and_roaming() {
-        let a = parse_args(&argv("--suite connectivity --roaming 3 --edges 4 --devices 4")).unwrap();
+        let a = parse_args(&argv(
+            "--suite connectivity --roaming 3 --edges 4 --devices 4",
+        ))
+        .unwrap();
         let spec = build_spec(&a, MaturityLevel::Ml4).unwrap();
         assert!(!spec.disruptions.is_empty());
         let a = parse_args(&argv("--suite nosuch")).unwrap();

@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use riot_sim::ToJson;
 use std::fs;
 use std::path::PathBuf;
 
@@ -37,22 +37,17 @@ pub fn banner(id: &str, artifact: &str, claim: &str) {
 /// workspace root when run via `cargo run`), creating the directory as
 /// needed. Failures are reported but non-fatal: the printed tables are the
 /// primary artifact.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let dir = PathBuf::from("results");
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[wrote {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    if let Err(e) = fs::write(&path, value.to_json().pretty()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[wrote {}]", path.display());
     }
 }
 
@@ -101,7 +96,10 @@ pub mod suites {
                     let node = spec.device_id(e, d);
                     s.push(
                         SimTime::from_secs(t),
-                        Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+                        Disruption::ComponentFault {
+                            node,
+                            component: ComponentId(node.0 as u32),
+                        },
                     );
                     t += 7;
                 }
@@ -122,7 +120,9 @@ pub mod suites {
         );
         if spec.edges >= 4 {
             let left: Vec<_> = (0..spec.edges / 2).map(|i| spec.edge_id(i)).collect();
-            let right: Vec<_> = (spec.edges / 2..spec.edges).map(|i| spec.edge_id(i)).collect();
+            let right: Vec<_> = (spec.edges / 2..spec.edges)
+                .map(|i| spec.edge_id(i))
+                .collect();
             s.push(
                 SimTime::from_secs(80),
                 Disruption::Partition {
@@ -138,7 +138,10 @@ pub mod suites {
     pub fn governance(spec: &ScenarioSpec) -> DisruptionSchedule {
         DisruptionSchedule::new().at(
             SimTime::from_secs(45),
-            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+            Disruption::DomainTransfer {
+                entity: spec.edge_id(0).0 as u64,
+                to: DomainId(1),
+            },
         )
     }
 
@@ -150,7 +153,10 @@ pub mod suites {
             let device = spec.device_id(e, 0);
             let new_parent = spec.edge_id((e + 1) % spec.edges);
             if spec.edges > 1 {
-                s.push(SimTime::from_secs(t), Disruption::Mobility { device, new_parent });
+                s.push(
+                    SimTime::from_secs(t),
+                    Disruption::Mobility { device, new_parent },
+                );
                 t += 10;
             }
         }
@@ -174,5 +180,77 @@ mod tests {
     #[test]
     fn f3_formats() {
         assert_eq!(super::f3(1.23456), "1.235");
+    }
+}
+
+/// A minimal wall-clock micro-benchmark harness used by the `benches/`
+/// targets; criterion is unavailable in offline builds, and statistical
+/// rigor matters less here than a stable, dependency-free smoke number.
+///
+/// Wall-clock time is confined to `crates/bench` by lint rule `D2`
+/// (`riot-lint`): simulation results never depend on it — these harness
+/// numbers are operator-facing diagnostics only.
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Runs `f` once and returns its result with the wall-clock time it
+    /// took. This is the single sanctioned timing primitive for experiment
+    /// binaries (rule `D2` forbids `Instant::now()` everywhere else): cost
+    /// numbers are operator-facing output and never feed back into
+    /// simulation state.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now(); // riot-lint: allow(D2, reason = "the sanctioned wall-clock site; see module docs")
+        let out = f();
+        (out, start.elapsed())
+    }
+
+    /// Budget per benchmark: enough for a stable mean, short enough that the
+    /// full suite stays in CI budgets.
+    const BUDGET: Duration = Duration::from_millis(500);
+    const WARMUP: Duration = Duration::from_millis(50);
+
+    /// Times `f` repeatedly for a fixed budget and prints ns/iter.
+    pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) {
+        // riot-lint: allow(D2, reason = "bench harness measures wall-clock by design")
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        // riot-lint: allow(D2, reason = "bench harness measures wall-clock by design")
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        let per_iter = total.as_nanos() / u128::from(iters.max(1));
+        println!("{name:<44} {per_iter:>12} ns/iter ({iters} iters, warmup {warm_iters})");
+    }
+
+    /// Like [`bench`], but rebuilds input state outside the timed section.
+    pub fn bench_batched<S, T, Setup: FnMut() -> S, Run: FnMut(S) -> T>(
+        name: &str,
+        mut setup: Setup,
+        mut run: Run,
+    ) {
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        // Warmup: one full cycle.
+        let s = setup();
+        let _ = run(s);
+        while timed < BUDGET {
+            let s = setup();
+            // riot-lint: allow(D2, reason = "bench harness measures wall-clock by design")
+            let start = Instant::now();
+            let out = run(s);
+            timed += start.elapsed();
+            iters += 1;
+            std::hint::black_box(out);
+        }
+        let per_iter = timed.as_nanos() / u128::from(iters.max(1));
+        println!("{name:<44} {per_iter:>12} ns/iter ({iters} iters)");
     }
 }

@@ -20,10 +20,9 @@
 //! ignored.
 
 use riot_sim::{ProcessId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Protocol messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElectionMsg {
     /// Challenge: "I want to lead `term` unless someone higher objects."
     Challenge {
@@ -67,7 +66,7 @@ pub enum ElectionOutput {
 }
 
 /// Timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ElectionConfig {
     /// Leader heartbeat interval.
     pub heartbeat_every: SimDuration,
@@ -163,7 +162,10 @@ impl Election {
             return;
         }
         for p in higher {
-            out.push(ElectionOutput::Send { to: p, msg: ElectionMsg::Challenge { term: self.term } });
+            out.push(ElectionOutput::Send {
+                to: p,
+                msg: ElectionMsg::Challenge { term: self.term },
+            });
         }
     }
 
@@ -173,7 +175,10 @@ impl Election {
         self.set_leader(Some(self.me), term, out);
         self.last_heartbeat_sent = now;
         for p in peers.iter().copied().filter(|p| *p != self.me) {
-            out.push(ElectionOutput::Send { to: p, msg: ElectionMsg::Coordinator { term: self.term } });
+            out.push(ElectionOutput::Send {
+                to: p,
+                msg: ElectionMsg::Coordinator { term: self.term },
+            });
         }
     }
 
@@ -187,7 +192,10 @@ impl Election {
                 if now.saturating_since(self.last_heartbeat_sent) >= self.cfg.heartbeat_every {
                     self.last_heartbeat_sent = now;
                     for p in &peers {
-                        out.push(ElectionOutput::Send { to: *p, msg: ElectionMsg::Heartbeat { term: self.term } });
+                        out.push(ElectionOutput::Send {
+                            to: *p,
+                            msg: ElectionMsg::Heartbeat { term: self.term },
+                        });
                     }
                 }
             }
@@ -223,7 +231,10 @@ impl Election {
                 if self.me.0 > from.0 {
                     // We outrank the challenger: veto and ensure a proper
                     // election (ours) happens at a term at least as high.
-                    out.push(ElectionOutput::Send { to: from, msg: ElectionMsg::Veto { term } });
+                    out.push(ElectionOutput::Send {
+                        to: from,
+                        msg: ElectionMsg::Veto { term },
+                    });
                     if !self.is_leader() {
                         self.term = self.term.max(term);
                         self.start_election(now, &peers, &mut out);
@@ -287,14 +298,19 @@ mod tests {
         fn new(n: usize) -> Self {
             let cfg = ElectionConfig::default();
             Harness {
-                nodes: (0..n).map(|i| Election::new(ProcessId(i), cfg, SimTime::ZERO)).collect(),
+                nodes: (0..n)
+                    .map(|i| Election::new(ProcessId(i), cfg, SimTime::ZERO))
+                    .collect(),
                 now: SimTime::ZERO,
                 down: vec![false; n],
             }
         }
 
         fn alive_ids(&self) -> Vec<ProcessId> {
-            (0..self.nodes.len()).filter(|i| !self.down[*i]).map(ProcessId).collect()
+            (0..self.nodes.len())
+                .filter(|i| !self.down[*i])
+                .map(ProcessId)
+                .collect()
         }
 
         fn dispatch(&mut self, from: ProcessId, outs: Vec<ElectionOutput>) {
@@ -340,7 +356,10 @@ mod tests {
         let mut h = Harness::new(4);
         h.run(60); // 6 s
         let leaders = h.leaders();
-        assert!(leaders.iter().all(|l| *l == Some(ProcessId(3))), "leaders: {leaders:?}");
+        assert!(
+            leaders.iter().all(|l| *l == Some(ProcessId(3))),
+            "leaders: {leaders:?}"
+        );
         assert!(h.nodes[3].is_leader());
         assert!(!h.nodes[0].is_leader());
     }
@@ -433,8 +452,8 @@ mod tests {
         );
         assert!(!n.is_leader());
         assert_eq!(n.leader(), Some(ProcessId(7)));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, ElectionOutput::LeaderChanged { leader: Some(p), term: 4 } if p.0 == 7)));
+        assert!(out.iter().any(
+            |o| matches!(o, ElectionOutput::LeaderChanged { leader: Some(p), term: 4 } if p.0 == 7)
+        ));
     }
 }

@@ -9,11 +9,10 @@
 //! ablation experiment A1 measures exactly this curve.
 
 use riot_sim::{ProcessId, SimRng};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One versioned entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry<T> {
     /// Monotone per-key version; higher wins.
     pub version: u64,
@@ -22,14 +21,14 @@ pub struct Entry<T> {
 }
 
 /// A gossip exchange message: a batch of entries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GossipMsg<T> {
     /// `(key, entry)` pairs.
     pub entries: Vec<(u64, Entry<T>)>,
 }
 
 /// Tuning parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GossipConfig {
     /// Peers contacted per round.
     pub fanout: usize,
@@ -41,7 +40,11 @@ pub struct GossipConfig {
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        GossipConfig { fanout: 3, rounds_hot: 4, batch_limit: 16 }
+        GossipConfig {
+            fanout: 3,
+            rounds_hot: 4,
+            batch_limit: 16,
+        }
     }
 }
 
@@ -75,7 +78,11 @@ pub struct Gossip<T> {
 impl<T: Clone> Gossip<T> {
     /// Creates an empty store.
     pub fn new(cfg: GossipConfig) -> Self {
-        Gossip { cfg, store: BTreeMap::new(), hot: BTreeMap::new() }
+        Gossip {
+            cfg,
+            store: BTreeMap::new(),
+            hot: BTreeMap::new(),
+        }
     }
 
     /// Publishes a new value under `key`, bumping its version, and marks it
@@ -110,7 +117,11 @@ impl<T: Clone> Gossip<T> {
     /// One gossip round: returns `(peer, message)` sends for `fanout`
     /// random peers, carrying the hot entries. No-op when nothing is hot or
     /// `peers` is empty.
-    pub fn tick(&mut self, peers: &[ProcessId], rng: &mut SimRng) -> Vec<(ProcessId, GossipMsg<T>)> {
+    pub fn tick(
+        &mut self,
+        peers: &[ProcessId],
+        rng: &mut SimRng,
+    ) -> Vec<(ProcessId, GossipMsg<T>)> {
         if self.hot.is_empty() || peers.is_empty() {
             return Vec::new();
         }
@@ -130,7 +141,14 @@ impl<T: Clone> Gossip<T> {
         targets
             .into_iter()
             .take(self.cfg.fanout)
-            .map(|p| (p, GossipMsg { entries: entries.clone() }))
+            .map(|p| {
+                (
+                    p,
+                    GossipMsg {
+                        entries: entries.clone(),
+                    },
+                )
+            })
             .collect()
     }
 
@@ -139,7 +157,11 @@ impl<T: Clone> Gossip<T> {
     pub fn on_message(&mut self, msg: GossipMsg<T>) -> Vec<u64> {
         let mut changed = Vec::new();
         for (key, entry) in msg.entries {
-            let fresher = self.store.get(&key).map(|e| entry.version > e.version).unwrap_or(true);
+            let fresher = self
+                .store
+                .get(&key)
+                .map(|e| entry.version > e.version)
+                .unwrap_or(true);
             if fresher {
                 self.store.insert(key, entry);
                 self.hot.insert(key, self.cfg.rounds_hot);
@@ -169,30 +191,61 @@ mod tests {
         let mut g: Gossip<u32> = Gossip::new(GossipConfig::default());
         g.publish(1, 5); // version 1
         g.publish(1, 6); // version 2
-        let stale = GossipMsg { entries: vec![(1, Entry { version: 1, value: 99 })] };
+        let stale = GossipMsg {
+            entries: vec![(
+                1,
+                Entry {
+                    version: 1,
+                    value: 99,
+                },
+            )],
+        };
         assert!(g.on_message(stale).is_empty());
         assert_eq!(g.get(1), Some(&6));
-        let fresh = GossipMsg { entries: vec![(1, Entry { version: 7, value: 42 })] };
+        let fresh = GossipMsg {
+            entries: vec![(
+                1,
+                Entry {
+                    version: 7,
+                    value: 42,
+                },
+            )],
+        };
         assert_eq!(g.on_message(fresh), vec![1]);
         assert_eq!(g.get(1), Some(&42));
     }
 
     #[test]
     fn hot_entries_cool_down() {
-        let cfg = GossipConfig { fanout: 1, rounds_hot: 2, batch_limit: 16 };
+        let cfg = GossipConfig {
+            fanout: 1,
+            rounds_hot: 2,
+            batch_limit: 16,
+        };
         let mut g: Gossip<u32> = Gossip::new(cfg);
         g.publish(1, 5);
         let peers = [ProcessId(1)];
         let mut rng = SimRng::seed_from(0);
         assert_eq!(g.tick(&peers, &mut rng).len(), 1);
         assert_eq!(g.tick(&peers, &mut rng).len(), 1);
-        assert!(g.tick(&peers, &mut rng).is_empty(), "entry retired after rounds_hot");
+        assert!(
+            g.tick(&peers, &mut rng).is_empty(),
+            "entry retired after rounds_hot"
+        );
     }
 
     #[test]
     fn received_news_is_regossiped() {
         let mut g: Gossip<u32> = Gossip::new(GossipConfig::default());
-        g.on_message(GossipMsg { entries: vec![(3, Entry { version: 1, value: 7 })] });
+        g.on_message(GossipMsg {
+            entries: vec![(
+                3,
+                Entry {
+                    version: 1,
+                    value: 7,
+                },
+            )],
+        });
         let mut rng = SimRng::seed_from(0);
         let sends = g.tick(&[ProcessId(5)], &mut rng);
         assert_eq!(sends.len(), 1);
@@ -201,7 +254,10 @@ mod tests {
 
     #[test]
     fn fanout_bounds_sends() {
-        let cfg = GossipConfig { fanout: 2, ..GossipConfig::default() };
+        let cfg = GossipConfig {
+            fanout: 2,
+            ..GossipConfig::default()
+        };
         let mut g: Gossip<u32> = Gossip::new(cfg);
         g.publish(1, 1);
         let peers: Vec<ProcessId> = (1..10).map(ProcessId).collect();
@@ -233,7 +289,10 @@ mod tests {
                 }
             }
         }
-        assert!(rounds <= 8, "fanout-3 should cover 32 nodes fast, took {rounds}");
+        assert!(
+            rounds <= 8,
+            "fanout-3 should cover 32 nodes fast, took {rounds}"
+        );
         assert!(nodes.iter().all(|g| g.get(77) == Some(&123)));
     }
 }

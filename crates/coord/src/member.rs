@@ -6,11 +6,10 @@
 //! SWIM precedence rules implemented in [`MemberInfo::apply`].
 
 use riot_sim::{ProcessId, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A peer's state as locally believed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemberState {
     /// Believed up.
     Alive,
@@ -21,7 +20,7 @@ pub enum MemberState {
 }
 
 /// A disseminated membership assertion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Update {
     /// The subject node.
     pub node: ProcessId,
@@ -32,7 +31,7 @@ pub struct Update {
 }
 
 /// Locally-held facts about one peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemberInfo {
     /// Current believed state.
     pub state: MemberState,
@@ -74,7 +73,7 @@ impl MemberInfo {
 }
 
 /// A node's local membership view.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MembershipView {
     members: BTreeMap<ProcessId, MemberInfo>,
 }
@@ -84,7 +83,16 @@ impl MembershipView {
     pub fn seeded(peers: impl IntoIterator<Item = ProcessId>, now: SimTime) -> Self {
         let members = peers
             .into_iter()
-            .map(|p| (p, MemberInfo { state: MemberState::Alive, incarnation: 0, since: now }))
+            .map(|p| {
+                (
+                    p,
+                    MemberInfo {
+                        state: MemberState::Alive,
+                        incarnation: 0,
+                        since: now,
+                    },
+                )
+            })
             .collect();
         MembershipView { members }
     }
@@ -105,7 +113,11 @@ impl MembershipView {
                 // First time we hear of this node.
                 self.members.insert(
                     update.node,
-                    MemberInfo { state: update.state, incarnation: update.incarnation, since: now },
+                    MemberInfo {
+                        state: update.state,
+                        incarnation: update.incarnation,
+                        since: now,
+                    },
                 );
                 Some(update.state) // treat as a change from "unknown"
             }
@@ -158,11 +170,19 @@ mod tests {
     const T0: SimTime = SimTime::ZERO;
 
     fn info(state: MemberState, inc: u64) -> MemberInfo {
-        MemberInfo { state, incarnation: inc, since: T0 }
+        MemberInfo {
+            state,
+            incarnation: inc,
+            since: T0,
+        }
     }
 
     fn upd(node: usize, state: MemberState, inc: u64) -> Update {
-        Update { node: ProcessId(node), state, incarnation: inc }
+        Update {
+            node: ProcessId(node),
+            state,
+            incarnation: inc,
+        }
     }
 
     #[test]
@@ -186,7 +206,10 @@ mod tests {
     #[test]
     fn alive_refutes_suspicion_with_higher_incarnation() {
         let mut m = info(MemberState::Suspect, 3);
-        assert!(!m.apply(upd(0, MemberState::Alive, 3), T0), "same incarnation cannot refute");
+        assert!(
+            !m.apply(upd(0, MemberState::Alive, 3), T0),
+            "same incarnation cannot refute"
+        );
         assert!(m.apply(upd(0, MemberState::Alive, 4), T0));
         assert_eq!(m.state, MemberState::Alive);
     }
@@ -194,12 +217,27 @@ mod tests {
     #[test]
     fn dead_yields_only_to_higher_incarnation_alive() {
         let mut m = info(MemberState::Suspect, 3);
-        assert!(m.apply(upd(0, MemberState::Dead, 0), T0), "confirm at any incarnation");
-        assert!(!m.apply(upd(0, MemberState::Suspect, 100), T0), "suspicion cannot resurrect");
-        assert!(!m.apply(upd(0, MemberState::Alive, 3), T0), "same incarnation cannot resurrect");
-        assert!(m.apply(upd(0, MemberState::Alive, 4), T0), "rejoin with fresh incarnation");
+        assert!(
+            m.apply(upd(0, MemberState::Dead, 0), T0),
+            "confirm at any incarnation"
+        );
+        assert!(
+            !m.apply(upd(0, MemberState::Suspect, 100), T0),
+            "suspicion cannot resurrect"
+        );
+        assert!(
+            !m.apply(upd(0, MemberState::Alive, 3), T0),
+            "same incarnation cannot resurrect"
+        );
+        assert!(
+            m.apply(upd(0, MemberState::Alive, 4), T0),
+            "rejoin with fresh incarnation"
+        );
         assert_eq!(m.state, MemberState::Alive);
-        assert!(m.apply(upd(0, MemberState::Dead, 4), T0), "re-confirm allowed");
+        assert!(
+            m.apply(upd(0, MemberState::Dead, 4), T0),
+            "re-confirm allowed"
+        );
     }
 
     #[test]

@@ -15,11 +15,10 @@
 //! organization survive losing its central element?", which experiments E4
 //! and E6 then confirm dynamically.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where one MAPE activity runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivityPlacement {
     /// One instance for the whole system (a central point of failure).
     Centralized,
@@ -38,7 +37,7 @@ impl ActivityPlacement {
 }
 
 /// The canonical decentralized-control patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControlPattern {
     /// Everything in one loop on one host — today's IoT-cloud archetype.
     CentralizedControl,
@@ -54,7 +53,7 @@ pub enum ControlPattern {
 }
 
 /// The placement profile of a pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PatternProfile {
     /// Monitor placement.
     pub monitor: ActivityPlacement,

@@ -11,11 +11,10 @@
 //! (SWIM + election) avoids.
 
 use riot_sim::{ProcessId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Messages between registry clients and the cloud registry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegistryMsg {
     /// Client liveness report (also serves as registration).
     Heartbeat {
@@ -38,7 +37,7 @@ pub enum RegistryMsg {
 }
 
 /// Registry tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegistryConfig {
     /// A client silent for this long is deregistered.
     pub client_timeout: SimDuration,
@@ -46,7 +45,9 @@ pub struct RegistryConfig {
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        RegistryConfig { client_timeout: SimDuration::from_millis(3_000) }
+        RegistryConfig {
+            client_timeout: SimDuration::from_millis(3_000),
+        }
     }
 }
 
@@ -80,12 +81,20 @@ pub struct CloudRegistry {
 impl CloudRegistry {
     /// Creates an empty registry.
     pub fn new(cfg: RegistryConfig) -> Self {
-        CloudRegistry { cfg, clients: BTreeMap::new() }
+        CloudRegistry {
+            cfg,
+            clients: BTreeMap::new(),
+        }
     }
 
     /// Handles one message; returns the reply to send back to `from`, if
     /// any.
-    pub fn on_message(&mut self, now: SimTime, from: ProcessId, msg: RegistryMsg) -> Option<RegistryMsg> {
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        msg: RegistryMsg,
+    ) -> Option<RegistryMsg> {
         match msg {
             RegistryMsg::Heartbeat { scope } => {
                 self.clients.insert(from, (scope, now));
@@ -108,7 +117,8 @@ impl CloudRegistry {
     /// Drops clients whose heartbeats timed out.
     pub fn expire(&mut self, now: SimTime) {
         let timeout = self.cfg.client_timeout;
-        self.clients.retain(|_, (_, last)| now.saturating_since(*last) < timeout);
+        self.clients
+            .retain(|_, (_, last)| now.saturating_since(*last) < timeout);
     }
 
     /// Live clients of a scope, in id order.
@@ -134,36 +144,90 @@ mod tests {
     fn heartbeat_registers_and_query_answers() {
         let mut reg = CloudRegistry::new(RegistryConfig::default());
         assert_eq!(reg.client_count(), 0);
-        reg.on_message(SimTime::ZERO, ProcessId(2), RegistryMsg::Heartbeat { scope: 7 });
-        reg.on_message(SimTime::ZERO, ProcessId(9), RegistryMsg::Heartbeat { scope: 7 });
-        let r = reg.on_message(SimTime::from_millis(1), ProcessId(9), RegistryMsg::WhoCoordinates { scope: 7 });
-        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 7, node: Some(ProcessId(2)) }));
+        reg.on_message(
+            SimTime::ZERO,
+            ProcessId(2),
+            RegistryMsg::Heartbeat { scope: 7 },
+        );
+        reg.on_message(
+            SimTime::ZERO,
+            ProcessId(9),
+            RegistryMsg::Heartbeat { scope: 7 },
+        );
+        let r = reg.on_message(
+            SimTime::from_millis(1),
+            ProcessId(9),
+            RegistryMsg::WhoCoordinates { scope: 7 },
+        );
+        assert_eq!(
+            r,
+            Some(RegistryMsg::Coordinator {
+                scope: 7,
+                node: Some(ProcessId(2))
+            })
+        );
         assert_eq!(reg.members_of(7), vec![ProcessId(2), ProcessId(9)]);
     }
 
     #[test]
     fn silent_clients_expire() {
-        let mut reg = CloudRegistry::new(RegistryConfig { client_timeout: SimDuration::from_secs(3) });
-        reg.on_message(SimTime::ZERO, ProcessId(2), RegistryMsg::Heartbeat { scope: 1 });
-        reg.on_message(SimTime::from_secs(2), ProcessId(5), RegistryMsg::Heartbeat { scope: 1 });
+        let mut reg = CloudRegistry::new(RegistryConfig {
+            client_timeout: SimDuration::from_secs(3),
+        });
+        reg.on_message(
+            SimTime::ZERO,
+            ProcessId(2),
+            RegistryMsg::Heartbeat { scope: 1 },
+        );
+        reg.on_message(
+            SimTime::from_secs(2),
+            ProcessId(5),
+            RegistryMsg::Heartbeat { scope: 1 },
+        );
         // At t=4s node 2 is stale (4s > 3s), node 5 is fresh (2s ago).
-        let r = reg.on_message(SimTime::from_secs(4), ProcessId(5), RegistryMsg::WhoCoordinates { scope: 1 });
-        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 1, node: Some(ProcessId(5)) }));
+        let r = reg.on_message(
+            SimTime::from_secs(4),
+            ProcessId(5),
+            RegistryMsg::WhoCoordinates { scope: 1 },
+        );
+        assert_eq!(
+            r,
+            Some(RegistryMsg::Coordinator {
+                scope: 1,
+                node: Some(ProcessId(5))
+            })
+        );
         assert_eq!(reg.client_count(), 1);
     }
 
     #[test]
     fn empty_scope_has_no_coordinator() {
         let mut reg = CloudRegistry::new(RegistryConfig::default());
-        let r = reg.on_message(SimTime::ZERO, ProcessId(1), RegistryMsg::WhoCoordinates { scope: 3 });
-        assert_eq!(r, Some(RegistryMsg::Coordinator { scope: 3, node: None }));
+        let r = reg.on_message(
+            SimTime::ZERO,
+            ProcessId(1),
+            RegistryMsg::WhoCoordinates { scope: 3 },
+        );
+        assert_eq!(
+            r,
+            Some(RegistryMsg::Coordinator {
+                scope: 3,
+                node: None
+            })
+        );
     }
 
     #[test]
     fn heartbeat_refresh_prevents_expiry() {
-        let mut reg = CloudRegistry::new(RegistryConfig { client_timeout: SimDuration::from_secs(3) });
+        let mut reg = CloudRegistry::new(RegistryConfig {
+            client_timeout: SimDuration::from_secs(3),
+        });
         for s in 0..10u64 {
-            reg.on_message(SimTime::from_secs(s), ProcessId(2), RegistryMsg::Heartbeat { scope: 1 });
+            reg.on_message(
+                SimTime::from_secs(s),
+                ProcessId(2),
+                RegistryMsg::Heartbeat { scope: 1 },
+            );
         }
         reg.expire(SimTime::from_secs(10));
         assert_eq!(reg.client_count(), 1);
@@ -172,11 +236,39 @@ mod tests {
     #[test]
     fn scopes_are_independent() {
         let mut reg = CloudRegistry::new(RegistryConfig::default());
-        reg.on_message(SimTime::ZERO, ProcessId(3), RegistryMsg::Heartbeat { scope: 1 });
-        reg.on_message(SimTime::ZERO, ProcessId(4), RegistryMsg::Heartbeat { scope: 2 });
-        let r1 = reg.on_message(SimTime::ZERO, ProcessId(0), RegistryMsg::WhoCoordinates { scope: 1 });
-        let r2 = reg.on_message(SimTime::ZERO, ProcessId(0), RegistryMsg::WhoCoordinates { scope: 2 });
-        assert_eq!(r1, Some(RegistryMsg::Coordinator { scope: 1, node: Some(ProcessId(3)) }));
-        assert_eq!(r2, Some(RegistryMsg::Coordinator { scope: 2, node: Some(ProcessId(4)) }));
+        reg.on_message(
+            SimTime::ZERO,
+            ProcessId(3),
+            RegistryMsg::Heartbeat { scope: 1 },
+        );
+        reg.on_message(
+            SimTime::ZERO,
+            ProcessId(4),
+            RegistryMsg::Heartbeat { scope: 2 },
+        );
+        let r1 = reg.on_message(
+            SimTime::ZERO,
+            ProcessId(0),
+            RegistryMsg::WhoCoordinates { scope: 1 },
+        );
+        let r2 = reg.on_message(
+            SimTime::ZERO,
+            ProcessId(0),
+            RegistryMsg::WhoCoordinates { scope: 2 },
+        );
+        assert_eq!(
+            r1,
+            Some(RegistryMsg::Coordinator {
+                scope: 1,
+                node: Some(ProcessId(3))
+            })
+        );
+        assert_eq!(
+            r2,
+            Some(RegistryMsg::Coordinator {
+                scope: 2,
+                node: Some(ProcessId(4))
+            })
+        );
     }
 }

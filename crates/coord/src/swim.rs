@@ -17,11 +17,10 @@
 
 use crate::member::{MemberState, MembershipView, Update};
 use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Protocol messages.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwimMsg {
     /// Direct probe.
     Ping {
@@ -79,7 +78,7 @@ pub enum SwimOutput {
 }
 
 /// Protocol timing and fan-out parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwimConfig {
     /// How often the caller must invoke [`Swim::tick`].
     pub tick_every: SimDuration,
@@ -144,7 +143,12 @@ pub struct Swim {
 
 impl Swim {
     /// Creates a machine for `me` with seed peers believed alive.
-    pub fn new(me: ProcessId, peers: impl IntoIterator<Item = ProcessId>, cfg: SwimConfig, now: SimTime) -> Self {
+    pub fn new(
+        me: ProcessId,
+        peers: impl IntoIterator<Item = ProcessId>,
+        cfg: SwimConfig,
+        now: SimTime,
+    ) -> Self {
         let peers: Vec<ProcessId> = peers.into_iter().filter(|p| *p != me).collect();
         Swim {
             me,
@@ -205,18 +209,31 @@ impl Swim {
             // Someone believes we are suspect/dead: refute loudly.
             if update.state != MemberState::Alive && update.incarnation >= self.incarnation {
                 self.incarnation = update.incarnation + 1;
-                let refute = Update { node: self.me, state: MemberState::Alive, incarnation: self.incarnation };
+                let refute = Update {
+                    node: self.me,
+                    state: MemberState::Alive,
+                    incarnation: self.incarnation,
+                };
                 self.enqueue(refute);
             }
             return;
         }
         if let Some(prev) = self.view.apply(update, now) {
+            // riot-lint: allow(P1, reason = "apply() returned Some, so the node is present in the view")
             let info = self.view.get(update.node).expect("just applied");
             if prev != info.state {
-                out.push(SwimOutput::StateChange { node: update.node, from: prev, to: info.state });
+                out.push(SwimOutput::StateChange {
+                    node: update.node,
+                    from: prev,
+                    to: info.state,
+                });
             }
             // Propagate what we learned.
-            self.enqueue(Update { node: update.node, state: info.state, incarnation: info.incarnation });
+            self.enqueue(Update {
+                node: update.node,
+                state: info.state,
+                incarnation: info.incarnation,
+            });
         }
     }
 
@@ -226,13 +243,28 @@ impl Swim {
         }
     }
 
-    fn mark(&mut self, node: ProcessId, state: MemberState, now: SimTime, out: &mut Vec<SwimOutput>) {
+    fn mark(
+        &mut self,
+        node: ProcessId,
+        state: MemberState,
+        now: SimTime,
+        out: &mut Vec<SwimOutput>,
+    ) {
         let inc = self.view.get(node).map(|i| i.incarnation).unwrap_or(0);
-        let update = Update { node, state, incarnation: inc };
+        let update = Update {
+            node,
+            state,
+            incarnation: inc,
+        };
         if let Some(prev) = self.view.apply(update, now) {
+            // riot-lint: allow(P1, reason = "apply() returned Some, so the node is present in the view")
             let new = self.view.get(node).expect("applied").state;
             if prev != new {
-                out.push(SwimOutput::StateChange { node, from: prev, to: new });
+                out.push(SwimOutput::StateChange {
+                    node,
+                    from: prev,
+                    to: new,
+                });
             }
             self.enqueue(update);
         }
@@ -259,7 +291,10 @@ impl Swim {
         // 2. Probe lifecycle.
         if let Some(probe) = self.probe.clone() {
             let elapsed = now.saturating_since(probe.started);
-            if elapsed >= self.cfg.probe_timeout && !probe.indirect_sent && self.cfg.indirect_probes > 0 {
+            if elapsed >= self.cfg.probe_timeout
+                && !probe.indirect_sent
+                && self.cfg.indirect_probes > 0
+            {
                 let mut candidates: Vec<ProcessId> = self
                     .alive_peers()
                     .into_iter()
@@ -270,7 +305,11 @@ impl Swim {
                     let updates = self.take_piggyback();
                     out.push(SwimOutput::Send {
                         to: relay,
-                        msg: SwimMsg::PingReq { seq: probe.seq, target: probe.target, updates },
+                        msg: SwimMsg::PingReq {
+                            seq: probe.seq,
+                            target: probe.target,
+                            updates,
+                        },
                     });
                 }
                 if let Some(p) = self.probe.as_mut() {
@@ -294,9 +333,17 @@ impl Swim {
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 self.last_probe_at = Some(now);
-                self.probe = Some(ProbeState { target, seq, started: now, indirect_sent: false });
+                self.probe = Some(ProbeState {
+                    target,
+                    seq,
+                    started: now,
+                    indirect_sent: false,
+                });
                 let updates = self.take_piggyback();
-                out.push(SwimOutput::Send { to: target, msg: SwimMsg::Ping { seq, updates } });
+                out.push(SwimOutput::Send {
+                    to: target,
+                    msg: SwimMsg::Ping { seq, updates },
+                });
             }
         }
         out
@@ -311,13 +358,23 @@ impl Swim {
                 // Hearing from a peer proves it is alive.
                 self.learn_alive(from, now, &mut out);
                 let reply_updates = self.take_piggyback();
-                out.push(SwimOutput::Send { to: from, msg: SwimMsg::Ack { seq, updates: reply_updates } });
+                out.push(SwimOutput::Send {
+                    to: from,
+                    msg: SwimMsg::Ack {
+                        seq,
+                        updates: reply_updates,
+                    },
+                });
             }
             SwimMsg::Ack { seq, updates } => {
                 self.apply_all(updates, now, &mut out);
                 self.learn_alive(from, now, &mut out);
                 // Complete our own probe...
-                if self.probe.as_ref().is_some_and(|p| p.seq == seq && p.target == from) {
+                if self
+                    .probe
+                    .as_ref()
+                    .is_some_and(|p| p.seq == seq && p.target == from)
+                {
                     self.probe = None;
                 }
                 // ...or relay an indirect ack we owe.
@@ -325,25 +382,54 @@ impl Swim {
                     let updates = self.take_piggyback();
                     out.push(SwimOutput::Send {
                         to: relay.requester,
-                        msg: SwimMsg::IndirectAck { seq: relay.seq, target: relay.target, updates },
+                        msg: SwimMsg::IndirectAck {
+                            seq: relay.seq,
+                            target: relay.target,
+                            updates,
+                        },
                     });
                 }
             }
-            SwimMsg::PingReq { seq, target, updates } => {
+            SwimMsg::PingReq {
+                seq,
+                target,
+                updates,
+            } => {
                 self.apply_all(updates, now, &mut out);
                 self.learn_alive(from, now, &mut out);
                 // Probe the target with a fresh local sequence; remember who asked.
                 let local_seq = self.next_seq;
                 self.next_seq += 1;
-                self.relays.insert(local_seq, PendingRelay { requester: from, seq, target });
+                self.relays.insert(
+                    local_seq,
+                    PendingRelay {
+                        requester: from,
+                        seq,
+                        target,
+                    },
+                );
                 let fwd_updates = self.take_piggyback();
-                out.push(SwimOutput::Send { to: target, msg: SwimMsg::Ping { seq: local_seq, updates: fwd_updates } });
+                out.push(SwimOutput::Send {
+                    to: target,
+                    msg: SwimMsg::Ping {
+                        seq: local_seq,
+                        updates: fwd_updates,
+                    },
+                });
             }
-            SwimMsg::IndirectAck { seq, target, updates } => {
+            SwimMsg::IndirectAck {
+                seq,
+                target,
+                updates,
+            } => {
                 self.apply_all(updates, now, &mut out);
                 self.learn_alive(from, now, &mut out);
                 self.learn_alive(target, now, &mut out);
-                if self.probe.as_ref().is_some_and(|p| p.seq == seq && p.target == target) {
+                if self
+                    .probe
+                    .as_ref()
+                    .is_some_and(|p| p.seq == seq && p.target == target)
+                {
                     self.probe = None;
                 }
             }
@@ -360,10 +446,16 @@ impl Swim {
         // A live message refutes local suspicion at the same incarnation:
         // bump the incarnation we assert (we have direct evidence).
         let update = match state {
-            Some(MemberState::Suspect) | Some(MemberState::Dead) => {
-                Update { node, state: MemberState::Alive, incarnation: inc + 1 }
-            }
-            _ => Update { node, state: MemberState::Alive, incarnation: inc },
+            Some(MemberState::Suspect) | Some(MemberState::Dead) => Update {
+                node,
+                state: MemberState::Alive,
+                incarnation: inc + 1,
+            },
+            _ => Update {
+                node,
+                state: MemberState::Alive,
+                incarnation: inc,
+            },
         };
         self.apply_update(update, now, out);
     }
@@ -432,7 +524,10 @@ mod tests {
         }
 
         fn believed_state(&self, observer: usize, subject: usize) -> Option<MemberState> {
-            self.nodes[observer].view().get(ProcessId(subject)).map(|i| i.state)
+            self.nodes[observer]
+                .view()
+                .get(ProcessId(subject))
+                .map(|i| i.state)
         }
     }
 
@@ -494,7 +589,10 @@ mod tests {
         assert!(
             changes.iter().any(|e| matches!(
                 e,
-                SwimOutput::StateChange { to: MemberState::Suspect, .. }
+                SwimOutput::StateChange {
+                    to: MemberState::Suspect,
+                    ..
+                }
             )),
             "no suspicion phase observed: {changes:?}"
         );
@@ -503,17 +601,29 @@ mod tests {
     #[test]
     fn incarnation_bumps_on_refutation() {
         let cfg = SwimConfig::default();
-        let mut node = Swim::new(ProcessId(0), [ProcessId(0), ProcessId(1)], cfg, SimTime::ZERO);
+        let mut node = Swim::new(
+            ProcessId(0),
+            [ProcessId(0), ProcessId(1)],
+            cfg,
+            SimTime::ZERO,
+        );
         // Deliver a rumor that *we* are suspect.
         let rumor = SwimMsg::Ping {
             seq: 0,
-            updates: vec![Update { node: ProcessId(0), state: MemberState::Suspect, incarnation: 0 }],
+            updates: vec![Update {
+                node: ProcessId(0),
+                state: MemberState::Suspect,
+                incarnation: 0,
+            }],
         };
         let out = node.on_message(SimTime::from_millis(10), ProcessId(1), rumor);
         assert_eq!(node.incarnation(), 1, "refutation bumps incarnation");
         // The refutation rides the piggyback of the Ack.
         let ack_updates = out.iter().find_map(|o| match o {
-            SwimOutput::Send { msg: SwimMsg::Ack { updates, .. }, .. } => Some(updates.clone()),
+            SwimOutput::Send {
+                msg: SwimMsg::Ack { updates, .. },
+                ..
+            } => Some(updates.clone()),
             _ => None,
         });
         let ups = ack_updates.expect("ack sent");
@@ -561,9 +671,11 @@ mod tests {
                 for o in machine.on_message(now, src, msg) {
                     match o {
                         SwimOutput::Send { to, msg } => pending.push((dst, to, msg)),
-                        SwimOutput::StateChange { node, to: MemberState::Suspect, .. }
-                            if node == ProcessId(1) =>
-                        {
+                        SwimOutput::StateChange {
+                            node: ProcessId(1),
+                            to: MemberState::Suspect,
+                            ..
+                        } => {
                             suspected = true;
                         }
                         _ => {}

@@ -1,27 +1,34 @@
 //! Property tests of the SWIM membership update rules: the invariants the
 //! failure detector's safety rests on.
+//!
+//! Randomized inputs are drawn from the workspace's own seeded [`SimRng`]
+//! rather than `proptest`, so every run explores the same cases — test
+//! determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
 use riot_coord::{MemberInfo, MemberState, Update};
-use riot_sim::{ProcessId, SimTime};
+use riot_sim::{ProcessId, SimRng, SimTime};
 
-fn states() -> impl Strategy<Value = MemberState> {
-    prop_oneof![
-        Just(MemberState::Alive),
-        Just(MemberState::Suspect),
-        Just(MemberState::Dead),
-    ]
+const CASES: usize = 500;
+
+fn state(rng: &mut SimRng) -> MemberState {
+    match rng.range_u64(0, 3) {
+        0 => MemberState::Alive,
+        1 => MemberState::Suspect,
+        _ => MemberState::Dead,
+    }
 }
 
-fn updates(max: usize) -> impl Strategy<Value = Vec<Update>> {
-    prop::collection::vec(
-        (states(), 0u64..8).prop_map(|(state, incarnation)| Update {
-            node: ProcessId(1),
-            state,
-            incarnation,
-        }),
-        0..max,
-    )
+fn update(rng: &mut SimRng) -> Update {
+    Update {
+        node: ProcessId(1),
+        state: state(rng),
+        incarnation: rng.range_u64(0, 8),
+    }
+}
+
+fn updates(rng: &mut SimRng, max: usize) -> Vec<Update> {
+    let n = rng.range_u64(0, max as u64 + 1) as usize;
+    (0..n).map(|_| update(rng)).collect()
 }
 
 fn apply_all(init: MemberInfo, ups: &[Update]) -> MemberInfo {
@@ -32,44 +39,66 @@ fn apply_all(init: MemberInfo, ups: &[Update]) -> MemberInfo {
     info
 }
 
-proptest! {
-    /// Applying the same update twice is the same as applying it once.
-    #[test]
-    fn apply_is_idempotent(ups in updates(10), extra in (states(), 0u64..8)) {
-        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
-        let u = Update { node: ProcessId(1), state: extra.0, incarnation: extra.1 };
+/// Applying the same update twice is the same as applying it once.
+#[test]
+fn apply_is_idempotent() {
+    let mut rng = SimRng::seed_from(0xC0DE_0001);
+    for _ in 0..CASES {
+        let ups = updates(&mut rng, 10);
+        let u = update(&mut rng);
+        let init = MemberInfo {
+            state: MemberState::Alive,
+            incarnation: 0,
+            since: SimTime::ZERO,
+        };
         let mut once = apply_all(init, &ups);
         once.apply(u, SimTime::from_secs(100));
         let mut twice = once;
         let changed = twice.apply(u, SimTime::from_secs(101));
-        prop_assert!(!changed, "second identical update must be absorbed");
-        prop_assert_eq!(twice.state, once.state);
-        prop_assert_eq!(twice.incarnation, once.incarnation);
+        assert!(!changed, "second identical update must be absorbed");
+        assert_eq!(twice.state, once.state);
+        assert_eq!(twice.incarnation, once.incarnation);
     }
+}
 
-    /// Incarnation numbers never decrease.
-    #[test]
-    fn incarnation_is_monotone(ups in updates(20)) {
-        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+/// Incarnation numbers never decrease.
+#[test]
+fn incarnation_is_monotone() {
+    let mut rng = SimRng::seed_from(0xC0DE_0002);
+    for _ in 0..CASES {
+        let ups = updates(&mut rng, 20);
+        let init = MemberInfo {
+            state: MemberState::Alive,
+            incarnation: 0,
+            since: SimTime::ZERO,
+        };
         let mut info = init;
         let mut last = info.incarnation;
         for (i, u) in ups.iter().enumerate() {
             info.apply(*u, SimTime::from_secs(i as u64));
-            prop_assert!(info.incarnation >= last, "incarnation regressed");
+            assert!(info.incarnation >= last, "incarnation regressed");
             last = info.incarnation;
         }
     }
+}
 
-    /// Once dead, only a strictly-higher-incarnation Alive resurrects.
-    #[test]
-    fn death_is_sticky_below_fresh_incarnations(ups in updates(20)) {
-        let mut info = MemberInfo { state: MemberState::Dead, incarnation: 5, since: SimTime::ZERO };
+/// Once dead, only a strictly-higher-incarnation Alive resurrects.
+#[test]
+fn death_is_sticky_below_fresh_incarnations() {
+    let mut rng = SimRng::seed_from(0xC0DE_0003);
+    for _ in 0..CASES {
+        let ups = updates(&mut rng, 20);
+        let mut info = MemberInfo {
+            state: MemberState::Dead,
+            incarnation: 5,
+            since: SimTime::ZERO,
+        };
         for (i, u) in ups.iter().enumerate() {
             let before_inc = info.incarnation;
             info.apply(*u, SimTime::from_secs(i as u64));
             if info.state != MemberState::Dead {
-                prop_assert_eq!(info.state, MemberState::Alive, "only Alive resurrects");
-                prop_assert!(
+                assert_eq!(info.state, MemberState::Alive, "only Alive resurrects");
+                assert!(
                     info.incarnation > before_inc || u.incarnation > 5,
                     "resurrection requires a fresh incarnation"
                 );
@@ -77,12 +106,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// A refutation (Alive with incarnation strictly above a suspicion)
-    /// always clears the suspicion, regardless of history order.
-    #[test]
-    fn refutation_always_wins(ups in updates(15)) {
-        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+/// A refutation (Alive with incarnation strictly above a suspicion)
+/// always clears the suspicion, regardless of history order.
+#[test]
+fn refutation_always_wins() {
+    let mut rng = SimRng::seed_from(0xC0DE_0004);
+    for _ in 0..CASES {
+        let ups = updates(&mut rng, 15);
+        let init = MemberInfo {
+            state: MemberState::Alive,
+            incarnation: 0,
+            since: SimTime::ZERO,
+        };
         let mut info = apply_all(init, &ups);
         if info.state == MemberState::Suspect {
             let refute = Update {
@@ -91,19 +128,27 @@ proptest! {
                 incarnation: info.incarnation + 1,
             };
             info.apply(refute, SimTime::from_secs(999));
-            prop_assert_eq!(info.state, MemberState::Alive);
+            assert_eq!(info.state, MemberState::Alive);
         }
     }
+}
 
-    /// Two views that receive the same updates in the same order agree —
-    /// determinism of the merge function (full commutativity does not hold
-    /// for SWIM by design: Dead dominates same-incarnation Alive).
-    #[test]
-    fn same_history_same_state(ups in updates(20)) {
-        let init = MemberInfo { state: MemberState::Alive, incarnation: 0, since: SimTime::ZERO };
+/// Two views that receive the same updates in the same order agree —
+/// determinism of the merge function (full commutativity does not hold
+/// for SWIM by design: Dead dominates same-incarnation Alive).
+#[test]
+fn same_history_same_state() {
+    let mut rng = SimRng::seed_from(0xC0DE_0005);
+    for _ in 0..CASES {
+        let ups = updates(&mut rng, 20);
+        let init = MemberInfo {
+            state: MemberState::Alive,
+            incarnation: 0,
+            since: SimTime::ZERO,
+        };
         let a = apply_all(init, &ups);
         let b = apply_all(init, &ups);
-        prop_assert_eq!(a.state, b.state);
-        prop_assert_eq!(a.incarnation, b.incarnation);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.incarnation, b.incarnation);
     }
 }

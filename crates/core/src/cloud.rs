@@ -9,7 +9,7 @@
 //! quantify.
 
 use crate::config::{ArchitectureConfig, MapePlacement};
-use crate::msg::{AppMsg, Msg};
+use crate::msg::{AppMsg, Msg, ReadingPayload};
 use crate::recovery::{scope_requirements, RecoveryPlanner};
 use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{CloudRegistry, RegistryConfig};
@@ -107,16 +107,15 @@ impl CloudProcess {
         self.mape.as_ref().map(|m| m.stats())
     }
 
-    fn ingest_telemetry(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        key: String,
-        value: f64,
-        meta: riot_data::DataMeta,
-        component: ComponentId,
-        state: ComponentState,
-        device: ProcessId,
-    ) {
+    fn ingest_telemetry(&mut self, ctx: &mut Ctx<'_, Msg>, reading: ReadingPayload) {
+        let ReadingPayload {
+            key,
+            value,
+            meta,
+            component,
+            state,
+            device,
+        } = reading;
         let now = ctx.now();
         self.last_seen.insert(component, (device, now));
         let action = self.store.ingest(key, value, meta, &self.cfg.registry, now);
@@ -191,9 +190,31 @@ impl Process<Msg> for CloudProcess {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
         match msg {
-            Msg::App(AppMsg::Reading { key, value, meta, component, state, device })
-            | Msg::App(AppMsg::RelayedReading { key, value, meta, component, state, device }) => {
-                self.ingest_telemetry(ctx, key, value, meta, component, state, device);
+            Msg::App(AppMsg::Reading {
+                key,
+                value,
+                meta,
+                component,
+                state,
+                device,
+            })
+            | Msg::App(AppMsg::RelayedReading {
+                key,
+                value,
+                meta,
+                component,
+                state,
+                device,
+            }) => {
+                let reading = ReadingPayload {
+                    key,
+                    value,
+                    meta,
+                    component,
+                    state,
+                    device,
+                };
+                self.ingest_telemetry(ctx, reading);
             }
             Msg::App(AppMsg::ControlRequest { req_id, issued_at }) => {
                 self.control_served += 1;
@@ -226,7 +247,9 @@ impl Process<Msg> for CloudProcess {
                         .get(&target)
                         .copied()
                         .unwrap_or(self.cfg.domain);
-                    let msg = self.store.sync_out(peer_domain, &self.cfg.registry, SimTime::ZERO);
+                    let msg = self
+                        .store
+                        .sync_out(peer_domain, &self.cfg.registry, SimTime::ZERO);
                     if !msg.entries.is_empty() {
                         ctx.send(target, Msg::Sync(msg));
                     }
@@ -251,7 +274,11 @@ mod tests {
 
     fn cloud_cfg(level: MaturityLevel, me: ProcessId) -> CloudConfig {
         let mut registry = DomainRegistry::new();
-        registry.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+        registry.register(Domain {
+            id: DomainId(0),
+            name: "city".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
         CloudConfig {
             arch: ArchitectureConfig::for_level(level),
             me,
@@ -288,10 +315,19 @@ mod tests {
     #[test]
     fn cloud_serves_control_and_stores_data() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(
+            MaturityLevel::Ml2,
+            ProcessId(0),
+        )));
         let dev = sim.add_process(Dev::default());
         sim.send_external(cloud, reading(dev, ComponentState::Running));
-        sim.send_external(cloud, Msg::App(AppMsg::ControlRequest { req_id: 1, issued_at: SimTime::ZERO }));
+        sim.send_external(
+            cloud,
+            Msg::App(AppMsg::ControlRequest {
+                req_id: 1,
+                issued_at: SimTime::ZERO,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         let c = sim.process::<CloudProcess>(cloud).unwrap();
         assert_eq!(c.control_served(), 1);
@@ -301,23 +337,43 @@ mod tests {
     #[test]
     fn cloud_mape_restarts_silent_components_at_ml2() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(
+            MaturityLevel::Ml2,
+            ProcessId(0),
+        )));
         let dev = sim.add_process(Dev::default());
         sim.send_external(cloud, reading(dev, ComponentState::Running));
         sim.run_until(SimTime::from_secs(10));
-        assert!(sim.process::<Dev>(dev).unwrap().restarts >= 1, "silence detected, restart sent");
-        assert!(sim.process::<CloudProcess>(cloud).unwrap().mape_stats().unwrap().cycles >= 5);
+        assert!(
+            sim.process::<Dev>(dev).unwrap().restarts >= 1,
+            "silence detected, restart sent"
+        );
+        assert!(
+            sim.process::<CloudProcess>(cloud)
+                .unwrap()
+                .mape_stats()
+                .unwrap()
+                .cycles
+                >= 5
+        );
     }
 
     #[test]
     fn ml4_cloud_hosts_no_mape() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml4, ProcessId(0))));
+        let cloud = sim.add_process(CloudProcess::new(cloud_cfg(
+            MaturityLevel::Ml4,
+            ProcessId(0),
+        )));
         let dev = sim.add_process(Dev::default());
         sim.send_external(cloud, reading(dev, ComponentState::Running));
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(sim.process::<Dev>(dev).unwrap().restarts, 0);
-        assert!(sim.process::<CloudProcess>(cloud).unwrap().mape_stats().is_none());
+        assert!(sim
+            .process::<CloudProcess>(cloud)
+            .unwrap()
+            .mape_stats()
+            .is_none());
     }
 
     #[test]
@@ -328,8 +384,14 @@ mod tests {
         }
         impl Process<Msg> for Client {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-                ctx.send(ProcessId(0), Msg::Registry(RegistryMsg::Heartbeat { scope: 2 }));
-                ctx.send(ProcessId(0), Msg::Registry(RegistryMsg::WhoCoordinates { scope: 2 }));
+                ctx.send(
+                    ProcessId(0),
+                    Msg::Registry(RegistryMsg::Heartbeat { scope: 2 }),
+                );
+                ctx.send(
+                    ProcessId(0),
+                    Msg::Registry(RegistryMsg::WhoCoordinates { scope: 2 }),
+                );
             }
             fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
                 if let Msg::Registry(r) = msg {
@@ -338,12 +400,18 @@ mod tests {
             }
         }
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        sim.add_process(CloudProcess::new(cloud_cfg(MaturityLevel::Ml2, ProcessId(0))));
+        sim.add_process(CloudProcess::new(cloud_cfg(
+            MaturityLevel::Ml2,
+            ProcessId(0),
+        )));
         let client = sim.add_process(Client::default());
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(
             sim.process::<Client>(client).unwrap().answer,
-            Some(RegistryMsg::Coordinator { scope: 2, node: Some(client) })
+            Some(RegistryMsg::Coordinator {
+                scope: 2,
+                node: Some(client)
+            })
         );
     }
 }

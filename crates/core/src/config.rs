@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn control_patterns_match_the_catalogue() {
         use riot_coord::ControlPattern;
-        assert_eq!(ArchitectureConfig::for_level(MaturityLevel::Ml1).control_pattern(), None);
+        assert_eq!(
+            ArchitectureConfig::for_level(MaturityLevel::Ml1).control_pattern(),
+            None
+        );
         assert_eq!(
             ArchitectureConfig::for_level(MaturityLevel::Ml2).control_pattern(),
             Some(ControlPattern::MasterSlave)
@@ -212,8 +215,14 @@ mod tests {
     #[test]
     fn timing_defaults_are_consistent() {
         let cfg = ArchitectureConfig::for_level(MaturityLevel::Ml4);
-        assert!(cfg.control_deadline < cfg.control_period, "deadline inside the period");
+        assert!(
+            cfg.control_deadline < cfg.control_period,
+            "deadline inside the period"
+        );
         assert!(cfg.coord_tick <= cfg.swim.probe_period);
-        assert!(cfg.silence_threshold > cfg.sense_period * 2, "tolerate a missed reading");
+        assert!(
+            cfg.silence_threshold > cfg.sense_period * 2,
+            "tolerate a missed reading"
+        );
     }
 }

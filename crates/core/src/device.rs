@@ -153,6 +153,7 @@ impl DeviceProcess {
         if self.controller_idx == 0 {
             self.cfg.primary_edge
         } else {
+            // riot-lint: allow(P1, reason = "controller_idx wraps mod backup_edges.len() + 1 on failover")
             self.cfg.backup_edges[self.controller_idx - 1]
         }
     }
@@ -236,7 +237,10 @@ impl DeviceProcess {
                 self.next_req += 1;
                 let issued_at = ctx.now();
                 self.pending.insert(req_id, issued_at);
-                ctx.send(controller, Msg::App(AppMsg::ControlRequest { req_id, issued_at }));
+                ctx.send(
+                    controller,
+                    Msg::App(AppMsg::ControlRequest { req_id, issued_at }),
+                );
                 ctx.schedule(self.cfg.arch.control_deadline, TAG_TIMEOUT_BASE + req_id);
             }
         }
@@ -254,10 +258,12 @@ impl DeviceProcess {
                 if self.consecutive_timeouts >= self.cfg.arch.failover_after_timeouts
                     && !self.cfg.backup_edges.is_empty() =>
             {
-                self.controller_idx =
-                    (self.controller_idx + 1) % (self.cfg.backup_edges.len() + 1);
-                self.on_backup_since =
-                    if self.controller_idx == 0 { None } else { Some(ctx.now()) };
+                self.controller_idx = (self.controller_idx + 1) % (self.cfg.backup_edges.len() + 1);
+                self.on_backup_since = if self.controller_idx == 0 {
+                    None
+                } else {
+                    Some(ctx.now())
+                };
                 self.consecutive_timeouts = 0;
                 self.failovers += 1;
                 ctx.metrics().incr("device.failover");
@@ -267,8 +273,11 @@ impl DeviceProcess {
                 if self.consecutive_timeouts >= self.cfg.arch.ml3_fallback_timeouts =>
             {
                 self.controller_idx = 1 - self.controller_idx.min(1);
-                self.on_backup_since =
-                    if self.controller_idx == 0 { None } else { Some(ctx.now()) };
+                self.on_backup_since = if self.controller_idx == 0 {
+                    None
+                } else {
+                    Some(ctx.now())
+                };
                 self.consecutive_timeouts = 0;
                 self.failovers += 1;
                 ctx.metrics().incr("device.ml3_fallback");
@@ -281,28 +290,36 @@ impl DeviceProcess {
 impl Process<Msg> for DeviceProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // Stagger periodic activity so devices do not phase-lock.
-        let sense_jitter = ctx.rng().range_u64(0, self.cfg.arch.sense_period.as_micros().max(1));
-        let control_jitter = ctx.rng().range_u64(0, self.cfg.arch.control_period.as_micros().max(1));
+        let sense_jitter = ctx
+            .rng()
+            .range_u64(0, self.cfg.arch.sense_period.as_micros().max(1));
+        let control_jitter = ctx
+            .rng()
+            .range_u64(0, self.cfg.arch.control_period.as_micros().max(1));
         ctx.schedule(riot_sim::SimDuration::from_micros(sense_jitter), TAG_SENSE);
-        ctx.schedule(riot_sim::SimDuration::from_micros(control_jitter), TAG_CONTROL);
+        ctx.schedule(
+            riot_sim::SimDuration::from_micros(control_jitter),
+            TAG_CONTROL,
+        );
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
         match msg {
-            Msg::App(AppMsg::ControlReply { req_id, issued_at }) => {
-                if self.pending.remove(&req_id).is_some() {
-                    let latency_ms = (ctx.now() - issued_at).as_millis_f64();
-                    self.window.control_ok += 1;
-                    self.window.latency_sum_ms += latency_ms;
-                    self.window.latency_count += 1;
-                    self.consecutive_timeouts = 0;
-                    ctx.metrics().observe("device.control.latency_ms", latency_ms);
-                }
+            Msg::App(AppMsg::ControlReply { req_id, issued_at })
+                if self.pending.remove(&req_id).is_some() =>
+            {
+                let latency_ms = (ctx.now() - issued_at).as_millis_f64();
+                self.window.control_ok += 1;
+                self.window.latency_sum_ms += latency_ms;
+                self.window.latency_count += 1;
+                self.consecutive_timeouts = 0;
+                ctx.metrics()
+                    .observe("device.control.latency_ms", latency_ms);
             }
-            Msg::App(AppMsg::Restart { component }) if component == self.cfg.component => {
-                if self.state == ComponentState::Failed {
-                    ctx.schedule(self.cfg.arch.restart_delay, TAG_RESTART_DONE);
-                }
+            Msg::App(AppMsg::Restart { component })
+                if component == self.cfg.component && self.state == ComponentState::Failed =>
+            {
+                ctx.schedule(self.cfg.arch.restart_delay, TAG_RESTART_DONE);
             }
             _ => {}
         }
@@ -318,11 +335,9 @@ impl Process<Msg> for DeviceProcess {
                 self.run_control(ctx);
                 ctx.schedule(self.cfg.arch.control_period, TAG_CONTROL);
             }
-            TAG_RESTART_DONE => {
-                if self.state == ComponentState::Failed {
-                    self.state = ComponentState::Running;
-                    ctx.metrics().incr("device.component.restarted");
-                }
+            TAG_RESTART_DONE if self.state == ComponentState::Failed => {
+                self.state = ComponentState::Running;
+                ctx.metrics().incr("device.component.restarted");
             }
             t if t >= TAG_TIMEOUT_BASE => {
                 self.on_control_timeout(ctx, t - TAG_TIMEOUT_BASE);
@@ -376,9 +391,18 @@ mod tests {
 
     fn world(level: MaturityLevel) -> (Sim<Msg>, ProcessId, ProcessId, ProcessId) {
         let mut sim: Sim<Msg> = SimBuilder::new(7).build();
-        let primary = sim.add_process(EchoController { requests: 0, readings: 0 });
-        let _backup = sim.add_process(EchoController { requests: 0, readings: 0 });
-        let cloud = sim.add_process(EchoController { requests: 0, readings: 0 });
+        let primary = sim.add_process(EchoController {
+            requests: 0,
+            readings: 0,
+        });
+        let _backup = sim.add_process(EchoController {
+            requests: 0,
+            readings: 0,
+        });
+        let cloud = sim.add_process(EchoController {
+            requests: 0,
+            readings: 0,
+        });
         let dev = sim.add_process(DeviceProcess::new(device_cfg(level)));
         (sim, primary, cloud, dev)
     }
@@ -388,14 +412,21 @@ mod tests {
         let (mut sim, primary, cloud, dev) = world(MaturityLevel::Ml3);
         sim.run_until(SimTime::from_secs(10));
         let edge = sim.process::<EchoController>(primary).unwrap();
-        assert!(edge.requests >= 15, "control loop exercised: {}", edge.requests);
+        assert!(
+            edge.requests >= 15,
+            "control loop exercised: {}",
+            edge.requests
+        );
         assert!(edge.readings >= 8, "readings pushed: {}", edge.readings);
         assert_eq!(sim.process::<EchoController>(cloud).unwrap().requests, 0);
         let d = sim.process::<DeviceProcess>(dev).unwrap();
         assert!(d.window.control_ok >= 15);
         assert_eq!(d.window.control_timeout, 0);
         assert!(d.window.availability().unwrap() == 1.0);
-        assert!(d.window.mean_latency_ms().unwrap() < 1.0, "ideal medium: ~0ms");
+        assert!(
+            d.window.mean_latency_ms().unwrap() < 1.0,
+            "ideal medium: ~0ms"
+        );
     }
 
     #[test]
@@ -414,14 +445,20 @@ mod tests {
         assert_eq!(sim.process::<EchoController>(cloud).unwrap().requests, 0);
         let d = sim.process::<DeviceProcess>(dev).unwrap();
         assert!(d.window.control_ok > 0, "local control succeeds");
-        assert_eq!(sim.metrics().counter("sim.msg.sent"), 0, "no traffic at ML1");
+        assert_eq!(
+            sim.metrics().counter("sim.msg.sent"),
+            0,
+            "no traffic at ML1"
+        );
     }
 
     #[test]
     fn failed_component_times_out_locally_and_restarts_on_command() {
         let (mut sim, _, _, dev) = world(MaturityLevel::Ml1);
         sim.run_until(SimTime::from_secs(2));
-        sim.process_mut::<DeviceProcess>(dev).unwrap().fail_component();
+        sim.process_mut::<DeviceProcess>(dev)
+            .unwrap()
+            .fail_component();
         sim.run_until(SimTime::from_secs(6));
         {
             let d = sim.process_mut::<DeviceProcess>(dev).unwrap();
@@ -429,7 +466,12 @@ mod tests {
             let w = d.take_window();
             assert!(w.control_timeout > 0, "local control fails while down");
         }
-        sim.send_external(dev, Msg::App(AppMsg::Restart { component: ComponentId(0) }));
+        sim.send_external(
+            dev,
+            Msg::App(AppMsg::Restart {
+                component: ComponentId(0),
+            }),
+        );
         sim.run_until(SimTime::from_secs(8));
         assert_eq!(
             sim.process::<DeviceProcess>(dev).unwrap().component_state(),
@@ -459,7 +501,11 @@ mod tests {
         sim.set_down(primary);
         // ML4 would have failed over within ~1s (2 timeouts); ML3 needs 12.
         sim.run_until(SimTime::from_secs(5));
-        assert_eq!(sim.process::<DeviceProcess>(dev).unwrap().failovers(), 0, "still waiting");
+        assert_eq!(
+            sim.process::<DeviceProcess>(dev).unwrap().failovers(),
+            0,
+            "still waiting"
+        );
         sim.run_until(SimTime::from_secs(20));
         let d = sim.process::<DeviceProcess>(dev).unwrap();
         assert!(d.failovers() >= 1, "remote redirection eventually happened");

@@ -8,7 +8,7 @@
 //! silent components and restarts them.
 
 use crate::config::{ArchitectureConfig, MapePlacement, ReplicationMode};
-use crate::msg::{AppMsg, Msg, PolicyUpdate};
+use crate::msg::{AppMsg, Msg, PolicyUpdate, ReadingPayload};
 use crate::recovery::{scope_requirements, RecoveryPlanner};
 use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{Election, ElectionOutput, Gossip, GossipConfig, MemberState, Swim, SwimOutput};
@@ -83,8 +83,7 @@ impl EdgeProcess {
         };
         let store = ReplicatedStore::new(cfg.me.0 as u32, cfg.domain, policy);
         let (swim, election, gossip) = if cfg.arch.decentralized_coordination {
-            let members: Vec<ProcessId> =
-                cfg.peer_edges.iter().copied().chain([cfg.me]).collect();
+            let members: Vec<ProcessId> = cfg.peer_edges.iter().copied().chain([cfg.me]).collect();
             (
                 Some(Swim::new(cfg.me, members, cfg.arch.swim, SimTime::ZERO)),
                 Some(Election::new(cfg.me, cfg.arch.election, SimTime::ZERO)),
@@ -130,7 +129,10 @@ impl EdgeProcess {
 
     /// Peers this edge currently believes alive (ML4 only).
     pub fn alive_peers(&self) -> Vec<ProcessId> {
-        self.swim.as_ref().map(|s| s.alive_peers()).unwrap_or_default()
+        self.swim
+            .as_ref()
+            .map(|s| s.alive_peers())
+            .unwrap_or_default()
     }
 
     /// Control requests served so far.
@@ -151,7 +153,10 @@ impl EdgeProcess {
     /// The posture this edge currently enforces, per its gossip view
     /// (`None` below ML4 or before any update circulated).
     pub fn gossiped_posture(&self) -> Option<PolicyUpdate> {
-        self.gossip.as_ref().and_then(|g| g.get(POLICY_GOSSIP_KEY)).copied()
+        self.gossip
+            .as_ref()
+            .and_then(|g| g.get(POLICY_GOSSIP_KEY))
+            .copied()
     }
 
     fn apply_posture(&mut self, posture: PolicyUpdate) {
@@ -230,21 +235,22 @@ impl EdgeProcess {
         }
     }
 
-    fn ingest_reading(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        key: String,
-        value: f64,
-        meta: riot_data::DataMeta,
-        component: ComponentId,
-        state: ComponentState,
-        device: ProcessId,
-    ) {
+    fn ingest_reading(&mut self, ctx: &mut Ctx<'_, Msg>, reading: ReadingPayload) {
+        let ReadingPayload {
+            key,
+            value,
+            meta,
+            component,
+            state,
+            device,
+        } = reading;
         let now = ctx.now();
         self.last_seen.insert(component, (device, now));
         // Policy-checked ingestion: a governed edge manages its local
         // privacy scope even for direct device pushes (§VI-B).
-        let action = self.store.ingest(key.clone(), value, meta.clone(), &self.cfg.registry, now);
+        let action = self
+            .store
+            .ingest(key.clone(), value, meta.clone(), &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
             ctx.metrics().incr("edge.ingest.denied");
         }
@@ -256,7 +262,14 @@ impl EdgeProcess {
         if self.cfg.arch.mape == MapePlacement::Cloud {
             ctx.send(
                 self.cfg.cloud,
-                Msg::App(AppMsg::RelayedReading { key, value, meta, component, state, device }),
+                Msg::App(AppMsg::RelayedReading {
+                    key,
+                    value,
+                    meta,
+                    component,
+                    state,
+                    device,
+                }),
             );
         }
     }
@@ -327,13 +340,20 @@ impl Process<Msg> for EdgeProcess {
         if self.cfg.arch.decentralized_coordination {
             ctx.schedule(self.cfg.arch.coord_tick, TAG_COORD);
         }
-        if !matches!(self.cfg.arch.replication, ReplicationMode::None | ReplicationMode::CloudOnly) {
+        if !matches!(
+            self.cfg.arch.replication,
+            ReplicationMode::None | ReplicationMode::CloudOnly
+        ) {
             // Stagger sync rounds across edges.
-            let jitter = ctx.rng().range_u64(0, self.cfg.arch.sync_period.as_micros().max(1));
+            let jitter = ctx
+                .rng()
+                .range_u64(0, self.cfg.arch.sync_period.as_micros().max(1));
             ctx.schedule(riot_sim::SimDuration::from_micros(jitter), TAG_SYNC);
         }
         if self.mape.is_some() {
-            let jitter = ctx.rng().range_u64(0, self.cfg.arch.mape_period.as_micros().max(1));
+            let jitter = ctx
+                .rng()
+                .range_u64(0, self.cfg.arch.mape_period.as_micros().max(1));
             ctx.schedule(riot_sim::SimDuration::from_micros(jitter), TAG_MAPE);
         }
     }
@@ -363,14 +383,30 @@ impl Process<Msg> for EdgeProcess {
                 if let Some(gossip) = self.gossip.as_mut() {
                     let changed = gossip.on_message(m);
                     if changed.contains(&POLICY_GOSSIP_KEY) {
+                        // riot-lint: allow(P1, reason = "changed contains the key, so the merged table holds it")
                         let posture = *gossip.get(POLICY_GOSSIP_KEY).expect("just merged");
                         self.apply_posture(posture);
                         ctx.metrics().incr("edge.policy.updated");
                     }
                 }
             }
-            Msg::App(AppMsg::Reading { key, value, meta, component, state, device }) => {
-                self.ingest_reading(ctx, key, value, meta, component, state, device);
+            Msg::App(AppMsg::Reading {
+                key,
+                value,
+                meta,
+                component,
+                state,
+                device,
+            }) => {
+                let reading = ReadingPayload {
+                    key,
+                    value,
+                    meta,
+                    component,
+                    state,
+                    device,
+                };
+                self.ingest_reading(ctx, reading);
             }
             Msg::App(AppMsg::ControlRequest { req_id, issued_at }) => {
                 self.control_served += 1;
@@ -413,7 +449,9 @@ impl Process<Msg> for EdgeProcess {
                         .get(&target)
                         .copied()
                         .unwrap_or(self.cfg.domain);
-                    let msg = self.store.sync_out(peer_domain, &self.cfg.registry, SimTime::ZERO);
+                    let msg = self
+                        .store
+                        .sync_out(peer_domain, &self.cfg.registry, SimTime::ZERO);
                     if !msg.entries.is_empty() {
                         ctx.send(target, Msg::Sync(msg));
                     }
@@ -442,7 +480,11 @@ mod tests {
 
     fn registry() -> DomainRegistry {
         let mut reg = DomainRegistry::new();
-        reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+        reg.register(Domain {
+            id: DomainId(0),
+            name: "city".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
         reg
     }
 
@@ -456,7 +498,12 @@ mod tests {
         reg
     }
 
-    fn edge_cfg(level: MaturityLevel, me: ProcessId, peers: Vec<ProcessId>, cloud: ProcessId) -> EdgeConfig {
+    fn edge_cfg(
+        level: MaturityLevel,
+        me: ProcessId,
+        peers: Vec<ProcessId>,
+        cloud: ProcessId,
+    ) -> EdgeConfig {
         let mut domain_of = BTreeMap::new();
         domain_of.insert(cloud, DomainId(0));
         domain_of.insert(me, DomainId(0));
@@ -511,7 +558,12 @@ mod tests {
         let e1 = ProcessId(2);
         let e2 = ProcessId(3);
         for (me, peers) in [(e0, vec![e1, e2]), (e1, vec![e0, e2]), (e2, vec![e0, e1])] {
-            sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, me, peers, cloud)));
+            sim.add_process(EdgeProcess::new(edge_cfg(
+                MaturityLevel::Ml4,
+                me,
+                peers,
+                cloud,
+            )));
         }
         sim.run_until(SimTime::from_secs(15));
         for e in [e0, e1, e2] {
@@ -529,14 +581,22 @@ mod tests {
         let e1 = ProcessId(2);
         let e2 = ProcessId(3);
         for (me, peers) in [(e0, vec![e1, e2]), (e1, vec![e0, e2]), (e2, vec![e0, e1])] {
-            sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, me, peers, cloud)));
+            sim.add_process(EdgeProcess::new(edge_cfg(
+                MaturityLevel::Ml4,
+                me,
+                peers,
+                cloud,
+            )));
         }
         sim.run_until(SimTime::from_secs(15));
         sim.set_down(e2);
         sim.run_until(SimTime::from_secs(40));
         let edge = sim.process::<EdgeProcess>(e0).unwrap();
         assert_eq!(edge.leader(), Some(e1), "failover to next-highest edge");
-        assert!(!edge.alive_peers().contains(&e2), "dead edge detected by SWIM");
+        assert!(
+            !edge.alive_peers().contains(&e2),
+            "dead edge detected by SWIM"
+        );
     }
 
     #[test]
@@ -547,19 +607,31 @@ mod tests {
         let e1 = ProcessId(2);
         let e2 = ProcessId(3);
         for (me, peers) in [(e0, vec![e1, e2]), (e1, vec![e0, e2]), (e2, vec![e0, e1])] {
-            sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, me, peers, cloud)));
+            sim.add_process(EdgeProcess::new(edge_cfg(
+                MaturityLevel::Ml4,
+                me,
+                peers,
+                cloud,
+            )));
         }
         sim.run_until(SimTime::from_secs(15));
         assert_eq!(sim.process::<EdgeProcess>(e0).unwrap().leader(), Some(e2));
         // The leader edge dies long enough to be declared dead, then returns.
         sim.set_down(e2);
         sim.run_until(SimTime::from_secs(45));
-        assert!(!sim.process::<EdgeProcess>(e0).unwrap().alive_peers().contains(&e2));
+        assert!(!sim
+            .process::<EdgeProcess>(e0)
+            .unwrap()
+            .alive_peers()
+            .contains(&e2));
         sim.set_up(e2);
         sim.run_until(SimTime::from_secs(90));
         // SWIM resurrected the member (incarnation-bumped Alive beats Dead)…
         assert!(
-            sim.process::<EdgeProcess>(e0).unwrap().alive_peers().contains(&e2),
+            sim.process::<EdgeProcess>(e0)
+                .unwrap()
+                .alive_peers()
+                .contains(&e2),
             "recovered edge must rejoin the membership"
         );
         // …and leadership is consistent: everyone follows one live leader.
@@ -576,7 +648,12 @@ mod tests {
         let mut sim: Sim<Msg> = SimBuilder::new(3).build();
         let cloud = sim.add_process(Sink::default());
         let me = ProcessId(1);
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml3, me, vec![], cloud)));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml3,
+            me,
+            vec![],
+            cloud,
+        )));
         sim.send_external(me, reading(ProcessId(9), "dev9/reading"));
         sim.run_until(SimTime::from_secs(5));
         let sink = sim.process::<Sink>(cloud).unwrap();
@@ -591,7 +668,12 @@ mod tests {
         let mut sim: Sim<Msg> = SimBuilder::new(3).build();
         let _cloud = sim.add_process(Sink::default());
         let me = ProcessId(1);
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, me, vec![], ProcessId(0))));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml4,
+            me,
+            vec![],
+            ProcessId(0),
+        )));
         // A device "reports once and goes silent".
         #[derive(Default)]
         struct Dev {
@@ -633,13 +715,28 @@ mod tests {
         let cloud = sim.add_process(Sink::default());
         let e0 = ProcessId(1);
         let e1 = ProcessId(2);
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, e0, vec![e1], cloud)));
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml4, e1, vec![e0], cloud)));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml4,
+            e0,
+            vec![e1],
+            cloud,
+        )));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml4,
+            e1,
+            vec![e0],
+            cloud,
+        )));
         let dev = sim.add_process(Sink::default());
         // Edge 0 ingests a reading; the mesh replicates it to edge 1.
         sim.send_external(e0, reading(dev, "dev9/reading"));
         sim.run_until(SimTime::from_secs(5));
-        assert!(sim.process::<EdgeProcess>(e1).unwrap().store().get("dev9/reading").is_some());
+        assert!(sim
+            .process::<EdgeProcess>(e1)
+            .unwrap()
+            .store()
+            .get("dev9/reading")
+            .is_some());
         // Edge 1 crashes and restarts: volatile store gone…
         sim.set_down(e1);
         sim.set_up(e1);
@@ -698,12 +795,17 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         let reg = registry_with_vendor();
         assert_eq!(
-            sim.process::<EdgeProcess>(e1).unwrap().store().privacy_violations(&reg),
+            sim.process::<EdgeProcess>(e1)
+                .unwrap()
+                .store()
+                .privacy_violations(&reg),
             1,
             "permissive vendor edge keeps the personal record"
         );
         // Edge 0 publishes the governed posture; gossip spreads it.
-        sim.process_mut::<EdgeProcess>(e0).unwrap().publish_policy(PolicyUpdate::Governed);
+        sim.process_mut::<EdgeProcess>(e0)
+            .unwrap()
+            .publish_policy(PolicyUpdate::Governed);
         sim.run_until(SimTime::from_secs(8));
         for e in [e0, e1, e2] {
             assert_eq!(
@@ -713,7 +815,10 @@ mod tests {
             );
         }
         assert_eq!(
-            sim.process::<EdgeProcess>(e1).unwrap().store().privacy_violations(&reg),
+            sim.process::<EdgeProcess>(e1)
+                .unwrap()
+                .store()
+                .privacy_violations(&reg),
             0,
             "tightening purged the resting violation"
         );
@@ -725,8 +830,19 @@ mod tests {
         let mut sim: Sim<Msg> = SimBuilder::new(3).build();
         let cloud = sim.add_process(Sink::default());
         let me = ProcessId(1);
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml3, me, vec![], cloud)));
-        sim.send_external(me, Msg::App(AppMsg::ControlRequest { req_id: 4, issued_at: SimTime::ZERO }));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml3,
+            me,
+            vec![],
+            cloud,
+        )));
+        sim.send_external(
+            me,
+            Msg::App(AppMsg::ControlRequest {
+                req_id: 4,
+                issued_at: SimTime::ZERO,
+            }),
+        );
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.process::<EdgeProcess>(me).unwrap().control_served(), 1);
     }
@@ -736,11 +852,20 @@ mod tests {
         let mut sim: Sim<Msg> = SimBuilder::new(3).build();
         let cloud = sim.add_process(Sink::default());
         let me = ProcessId(1);
-        sim.add_process(EdgeProcess::new(edge_cfg(MaturityLevel::Ml2, me, vec![], cloud)));
+        sim.add_process(EdgeProcess::new(edge_cfg(
+            MaturityLevel::Ml2,
+            me,
+            vec![],
+            cloud,
+        )));
         sim.run_until(SimTime::from_secs(10));
         // No coordination, no sync, no MAPE: the ML2 edge is a dumb pipe.
         assert_eq!(sim.process::<Sink>(cloud).unwrap().syncs, 0);
-        assert!(sim.process::<EdgeProcess>(me).unwrap().mape_stats().is_none());
+        assert!(sim
+            .process::<EdgeProcess>(me)
+            .unwrap()
+            .mape_stats()
+            .is_none());
         assert!(sim.process::<EdgeProcess>(me).unwrap().leader().is_none());
     }
 }

@@ -12,10 +12,9 @@
 use crate::scenario::ScenarioSpec;
 use riot_model::{Disruption, DisruptionSchedule, Location, SpatialIndex};
 use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a roaming workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MobilitySpec {
     /// How many devices roam (the first device of each edge, round-robin).
     pub roamers: usize,
@@ -58,12 +57,14 @@ impl Layout {
         let edges: Vec<(ProcessId, Location)> = (0..spec.edges)
             .map(|i| {
                 let angle = std::f64::consts::TAU * i as f64 / spec.edges as f64;
-                (spec.edge_id(i), Location::new(radius * angle.cos(), radius * angle.sin()))
+                (
+                    spec.edge_id(i),
+                    Location::new(radius * angle.cos(), radius * angle.sin()),
+                )
             })
             .collect();
         let mut devices = Vec::with_capacity(spec.device_count());
-        for e in 0..spec.edges {
-            let home = edges[e].1;
+        for (e, (_, home)) in edges.iter().enumerate() {
             for d in 0..spec.devices_per_edge {
                 let angle = rng.range_f64(0.0, std::f64::consts::TAU);
                 let dist = rng.range_f64(0.0, 100.0);
@@ -73,7 +74,11 @@ impl Layout {
                 ));
             }
         }
-        Layout { edges, devices, radius }
+        Layout {
+            edges,
+            devices,
+            radius,
+        }
     }
 
     /// The edge nearest to a location.
@@ -82,6 +87,7 @@ impl Layout {
         for (id, loc) in &self.edges {
             index.place(id.0 as u64, *loc);
         }
+        // riot-lint: allow(P1, reason = "build() rejects degenerate specs, so the layout has at least one edge")
         ProcessId(index.nearest(at).expect("layout has edges") as usize)
     }
 }
@@ -111,6 +117,7 @@ pub fn roaming_schedule(
                 .devices
                 .iter()
                 .find(|(pid, _)| *pid == id)
+                // riot-lint: allow(P1, reason = "roamers are drawn from this layout's own device list")
                 .expect("device placed")
                 .1;
             (id, loc)
@@ -134,11 +141,17 @@ pub fn roaming_schedule(
             }
             let nearest = layout.nearest_edge(&pos);
             if nearest != home {
-                schedule.push(t, Disruption::Mobility { device, new_parent: nearest });
+                schedule.push(
+                    t,
+                    Disruption::Mobility {
+                        device,
+                        new_parent: nearest,
+                    },
+                );
                 home = nearest;
                 reassociations += 1;
             }
-            t = t + mobility.hop_every;
+            t += mobility.hop_every;
         }
     }
     (schedule, reassociations)
@@ -187,7 +200,10 @@ mod tests {
         let (s2, n2) = roaming_schedule(&spec, &mobility, &mut SimRng::seed_from(7));
         assert_eq!(s1, s2, "deterministic for a given seed");
         assert_eq!(n1, n2);
-        assert!(n1 > 0, "150m hops between 500m-spaced edges must reassociate sometimes");
+        assert!(
+            n1 > 0,
+            "150m hops between 500m-spaced edges must reassociate sometimes"
+        );
         // All events are mobility events within the run window, targeting
         // real edges.
         for ev in s1.events() {
@@ -204,7 +220,10 @@ mod tests {
     #[test]
     fn consecutive_reassociations_differ_per_device() {
         let spec = spec();
-        let mobility = MobilitySpec { roamers: 2, ..MobilitySpec::default() };
+        let mobility = MobilitySpec {
+            roamers: 2,
+            ..MobilitySpec::default()
+        };
         let (s, _) = roaming_schedule(&spec, &mobility, &mut SimRng::seed_from(3));
         use std::collections::BTreeMap;
         let mut last: BTreeMap<usize, ProcessId> = BTreeMap::new();

@@ -23,6 +23,24 @@ pub enum PolicyUpdate {
     Governed,
 }
 
+/// The fields of a [`AppMsg::Reading`]/[`AppMsg::RelayedReading`] message,
+/// regrouped so ingestion paths can pass them as one value.
+#[derive(Debug, Clone)]
+pub struct ReadingPayload {
+    /// Data key (`"dev<id>/reading"`).
+    pub key: String,
+    /// Observed value.
+    pub value: f64,
+    /// Governance label.
+    pub meta: DataMeta,
+    /// The reporting device's component.
+    pub component: ComponentId,
+    /// Its lifecycle state.
+    pub state: ComponentState,
+    /// The device that produced it.
+    pub device: ProcessId,
+}
+
 /// Application-level IoT traffic: sensing, control and actuation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AppMsg {
@@ -125,7 +143,10 @@ mod tests {
 
     #[test]
     fn embeds_round_trip() {
-        let m = Msg::embed(SwimMsg::Ping { seq: 1, updates: vec![] });
+        let m = Msg::embed(SwimMsg::Ping {
+            seq: 1,
+            updates: vec![],
+        });
         let back: Result<SwimMsg, Msg> = m.extract();
         assert!(matches!(back, Ok(SwimMsg::Ping { seq: 1, .. })));
 
@@ -136,7 +157,10 @@ mod tests {
 
     #[test]
     fn app_messages_embed() {
-        let m = Msg::embed(AppMsg::ControlRequest { req_id: 9, issued_at: SimTime::ZERO });
+        let m = Msg::embed(AppMsg::ControlRequest {
+            req_id: 9,
+            issued_at: SimTime::ZERO,
+        });
         match m {
             Msg::App(AppMsg::ControlRequest { req_id, .. }) => assert_eq!(req_id, 9),
             other => panic!("unexpected {other:?}"),

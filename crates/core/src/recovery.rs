@@ -36,8 +36,10 @@ impl Planner for RecoveryPlanner {
     fn plan(&mut self, _issues: &[Issue], kb: &KnowledgeBase) -> Plan {
         let mut plan = Plan::empty();
         for (component, host) in kb.components_in_state(ComponentState::Failed) {
-            plan.actions.push(AdaptationAction::RestartComponent { component, host });
-            plan.rationale.push(format!("component {component} on {host} believed failed"));
+            plan.actions
+                .push(AdaptationAction::RestartComponent { component, host });
+            plan.rationale
+                .push(format!("component {component} on {host} believed failed"));
         }
         plan
     }
@@ -52,9 +54,24 @@ mod tests {
     #[test]
     fn restarts_every_failed_component() {
         let mut kb = KnowledgeBase::new(SimDuration::from_secs(10));
-        kb.set_component(ComponentId(1), ComponentState::Failed, ProcessId(5), SimTime::ZERO);
-        kb.set_component(ComponentId(2), ComponentState::Running, ProcessId(6), SimTime::ZERO);
-        kb.set_component(ComponentId(3), ComponentState::Failed, ProcessId(7), SimTime::ZERO);
+        kb.set_component(
+            ComponentId(1),
+            ComponentState::Failed,
+            ProcessId(5),
+            SimTime::ZERO,
+        );
+        kb.set_component(
+            ComponentId(2),
+            ComponentState::Running,
+            ProcessId(6),
+            SimTime::ZERO,
+        );
+        kb.set_component(
+            ComponentId(3),
+            ComponentState::Failed,
+            ProcessId(7),
+            SimTime::ZERO,
+        );
         let plan = RecoveryPlanner.plan(&[], &kb);
         assert_eq!(plan.len(), 2);
         assert!(plan.actions.contains(&AdaptationAction::RestartComponent {
@@ -70,7 +87,12 @@ mod tests {
     #[test]
     fn healthy_model_plans_nothing() {
         let mut kb = KnowledgeBase::new(SimDuration::from_secs(10));
-        kb.set_component(ComponentId(1), ComponentState::Running, ProcessId(5), SimTime::ZERO);
+        kb.set_component(
+            ComponentId(1),
+            ComponentState::Running,
+            ProcessId(5),
+            SimTime::ZERO,
+        );
         assert!(RecoveryPlanner.plan(&[], &kb).is_empty());
     }
 }

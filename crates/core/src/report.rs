@@ -18,7 +18,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -46,8 +49,8 @@ impl Table {
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         let mut out = String::new();
@@ -106,7 +109,11 @@ pub fn resilience_table(results: &[ScenarioResult]) -> Table {
                 .map(|o| pct(o.resilience))
                 .unwrap_or_else(|| "-".to_owned())
         };
-        let mttr = r.report.requirements.get("availability").and_then(|o| o.mttr_s);
+        let mttr = r
+            .report
+            .requirements
+            .get("availability")
+            .and_then(|o| o.mttr_s);
         t.row(vec![
             r.name.clone(),
             r.level.to_string(),
@@ -137,7 +144,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width: {widths:?}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width: {widths:?}"
+        );
         assert!(lines[0].contains("long-header"));
         assert!(!t.is_empty());
         assert_eq!(t.len(), 2);

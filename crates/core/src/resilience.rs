@@ -17,11 +17,10 @@ use riot_model::{
     GoalModel, Predicate, Requirement, RequirementId, RequirementKind, RequirementSet,
 };
 use riot_sim::{Metrics, SimTime};
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Thresholds for the standard scenario requirement set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     /// Mean control round-trip must stay below this (ms).
     pub latency_ms: f64,
@@ -35,7 +34,12 @@ pub struct Thresholds {
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Thresholds { latency_ms: 250.0, availability: 0.85, coverage: 0.8, freshness_s: 15.0 }
+        Thresholds {
+            latency_ms: 250.0,
+            availability: 0.85,
+            coverage: 0.8,
+            freshness_s: 15.0,
+        }
     }
 }
 
@@ -85,8 +89,13 @@ pub fn standard_requirements(t: Thresholds) -> RequirementSet {
 }
 
 /// Short reporting names for the standard requirements, in id order.
-pub const REQUIREMENT_NAMES: [&str; 5] =
-    ["latency", "availability", "coverage", "freshness", "privacy"];
+pub const REQUIREMENT_NAMES: [&str; 5] = [
+    "latency",
+    "availability",
+    "coverage",
+    "freshness",
+    "privacy",
+];
 
 /// The reporting key of the goal-model series (see
 /// [`standard_goal_model`]).
@@ -122,7 +131,7 @@ pub fn standard_goal_model() -> GoalModel {
 }
 
 /// Per-requirement outcome over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequirementOutcome {
     /// Time-weighted satisfaction before the disruption window.
     pub baseline: f64,
@@ -137,6 +146,14 @@ pub struct RequirementOutcome {
     /// The longest single outage in seconds.
     pub max_outage_s: f64,
 }
+
+riot_sim::impl_to_json_struct!(RequirementOutcome {
+    baseline,
+    resilience,
+    outages,
+    mttr_s,
+    max_outage_s
+});
 
 /// Extracts an outcome from a 0/1 satisfaction series.
 ///
@@ -159,6 +176,7 @@ pub fn outcome_from_series(
             .take_while(|(t, _)| *t <= from)
             .last()
             .map(|(_, v)| *v)
+            // riot-lint: allow(P1, reason = "points is non-empty: checked at the top of this closure")
             .unwrap_or(points[0].1);
         for (t, v) in points.iter().filter(|(t, _)| *t > from && *t <= to) {
             acc += (*t - cur_t).as_secs_f64() * cur_v.clamp(0.0, 1.0);
@@ -202,7 +220,7 @@ pub fn outcome_from_series(
 }
 
 /// The full resilience report of one scenario run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResilienceReport {
     /// Outcome per requirement (keyed by short name), plus the goal-model
     /// root under [`GOAL_NAME`] when the runner sampled it.
@@ -214,6 +232,13 @@ pub struct ResilienceReport {
     /// Mean satisfied fraction during the disruption window.
     pub mean_satisfaction: f64,
 }
+
+riot_sim::impl_to_json_struct!(ResilienceReport {
+    requirements,
+    overall_baseline,
+    overall_resilience,
+    mean_satisfaction
+});
 
 impl ResilienceReport {
     /// Builds the report from the runner's recorded series.
@@ -230,7 +255,10 @@ impl ResilienceReport {
         let mut requirements = BTreeMap::new();
         for name in names {
             let series = metrics.series(&format!("sat.{name}")).unwrap_or(&[]);
-            requirements.insert(name.to_string(), outcome_from_series(series, start, split, end));
+            requirements.insert(
+                name.to_string(),
+                outcome_from_series(series, start, split, end),
+            );
         }
         let all = metrics.series("sat.all").unwrap_or(&[]);
         let all_outcome = outcome_from_series(all, start, split, end);
@@ -272,11 +300,20 @@ mod tests {
             .collect()
         };
         // Freshness fails, latency holds: still acceptable (the ML1 shape).
-        assert_eq!(goals.evaluate(&reqs, &telemetry(10.0, 1e6)).root, Verdict::Satisfied);
+        assert_eq!(
+            goals.evaluate(&reqs, &telemetry(10.0, 1e6)).root,
+            Verdict::Satisfied
+        );
         // Latency fails, freshness holds: still acceptable.
-        assert_eq!(goals.evaluate(&reqs, &telemetry(1e6, 1.0)).root, Verdict::Satisfied);
+        assert_eq!(
+            goals.evaluate(&reqs, &telemetry(1e6, 1.0)).root,
+            Verdict::Satisfied
+        );
         // Both QoS facets fail: not acceptable.
-        assert_eq!(goals.evaluate(&reqs, &telemetry(1e6, 1e6)).root, Verdict::Violated);
+        assert_eq!(
+            goals.evaluate(&reqs, &telemetry(1e6, 1e6)).root,
+            Verdict::Violated
+        );
         // Privacy failing is never acceptable.
         let mut t = telemetry(10.0, 1.0);
         t.insert("privacy.violations".into(), 3.0);
@@ -314,7 +351,11 @@ mod tests {
         }
         let o = outcome_from_series(&pts, t(0), t(10), t(30));
         assert_eq!(o.baseline, 1.0);
-        assert!((o.resilience - 0.8).abs() < 1e-9, "4s of 20s violated: {}", o.resilience);
+        assert!(
+            (o.resilience - 0.8).abs() < 1e-9,
+            "4s of 20s violated: {}",
+            o.resilience
+        );
         assert_eq!(o.outages, 1);
         assert_eq!(o.mttr_s, Some(4.0));
         assert_eq!(o.max_outage_s, 4.0);
@@ -336,7 +377,11 @@ mod tests {
     fn outcome_multiple_outages() {
         let mut pts = Vec::new();
         for s in 0..=30 {
-            let v = if (10..12).contains(&s) || (20..23).contains(&s) { 0.0 } else { 1.0 };
+            let v = if (10..12).contains(&s) || (20..23).contains(&s) {
+                0.0
+            } else {
+                1.0
+            };
             pts.push((t(s), v));
         }
         let o = outcome_from_series(&pts, t(0), t(5), t(30));
@@ -357,7 +402,7 @@ mod tests {
     fn report_from_metrics_collects_all_series() {
         let mut m = Metrics::new();
         for s in 0..=20 {
-            let ok = s < 10 || s >= 15;
+            let ok = !(10..15).contains(&s);
             m.series_push("sat.latency", t(s), if ok { 1.0 } else { 0.0 });
             m.series_push("sat.all", t(s), if ok { 1.0 } else { 0.0 });
             m.series_push("satfrac", t(s), if ok { 1.0 } else { 0.5 });

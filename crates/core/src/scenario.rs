@@ -26,12 +26,11 @@ use crate::resilience::{
 };
 use riot_data::Sensitivity;
 use riot_model::{
-    Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, Jurisdiction,
-    MaturityLevel, RequirementSet, TrustLevel, Verdict,
+    Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, Jurisdiction, MaturityLevel,
+    RequirementSet, TrustLevel, Verdict,
 };
 use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
 use riot_sim::{HistogramSummary, ProcessId, Sim, SimBuilder, SimDuration, SimTime};
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Staleness value reported when a consumer has never seen a key (treated
@@ -72,6 +71,10 @@ pub struct ScenarioSpec {
     pub arch: Option<ArchitectureConfig>,
     /// Edge↔cloud link override (for RTT sweeps).
     pub edge_cloud_link: Option<Link>,
+    /// Record the full kernel event trace (sends, drops, timer firings,
+    /// process up/down) into [`ScenarioResult::event_trace`]. Off by
+    /// default: tracing a long run allocates one entry per event.
+    pub trace_events: bool,
 }
 
 impl ScenarioSpec {
@@ -93,6 +96,7 @@ impl ScenarioSpec {
             disruptions: DisruptionSchedule::new(),
             arch: None,
             edge_cloud_link: None,
+            trace_events: false,
         }
     }
 
@@ -117,7 +121,10 @@ impl ScenarioSpec {
     ///
     /// Panics if out of range.
     pub fn device_id(&self, e: usize, d: usize) -> ProcessId {
-        assert!(e < self.edges && d < self.devices_per_edge, "device ({e},{d}) out of range");
+        assert!(
+            e < self.edges && d < self.devices_per_edge,
+            "device ({e},{d}) out of range"
+        );
         ProcessId(1 + self.edges + e * self.devices_per_edge + d)
     }
 
@@ -128,7 +135,9 @@ impl ScenarioSpec {
 
     /// The effective architecture configuration.
     pub fn architecture(&self) -> ArchitectureConfig {
-        self.arch.clone().unwrap_or_else(|| ArchitectureConfig::for_level(self.level))
+        self.arch
+            .clone()
+            .unwrap_or_else(|| ArchitectureConfig::for_level(self.level))
     }
 
     /// The vendor edge's index (the last edge), when enabled.
@@ -142,7 +151,7 @@ impl ScenarioSpec {
 }
 
 /// Static facts about one device of a built scenario.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceInfo {
     /// Process id.
     pub id: ProcessId,
@@ -179,7 +188,11 @@ impl std::fmt::Debug for Scenario {
 /// (US/CCPA), partners in trust.
 pub fn standard_domains() -> DomainRegistry {
     let mut reg = DomainRegistry::new();
-    reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
+    reg.register(Domain {
+        id: DomainId(0),
+        name: "city".into(),
+        jurisdiction: Jurisdiction::EuGdpr,
+    });
     reg.register(Domain {
         id: DomainId(1),
         name: "analytics-vendor".into(),
@@ -196,7 +209,10 @@ impl Scenario {
     ///
     /// Panics on degenerate specs (zero edges or devices).
     pub fn build(spec: ScenarioSpec) -> Scenario {
-        assert!(spec.edges >= 1 && spec.devices_per_edge >= 1, "degenerate scenario");
+        assert!(
+            spec.edges >= 1 && spec.devices_per_edge >= 1,
+            "degenerate scenario"
+        );
         let arch = spec.architecture();
 
         // -- Network. The physical topology is identical at every maturity
@@ -212,8 +228,12 @@ impl Scenario {
         };
         let (mut net, hierarchy) = Hierarchy::build(&hspec);
         if spec.edges > 1 {
-            let backup = Link { latency: LatencyModel::uniform_ms(4, 12), loss: 0.005 };
+            let backup = Link {
+                latency: LatencyModel::uniform_ms(4, 12),
+                loss: 0.005,
+            };
             for (e, devs) in hierarchy.devices.iter().enumerate() {
+                // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
                 let next_edge = hierarchy.edges[(e + 1) % spec.edges];
                 for &d in devs {
                     net.add_link(d, next_edge, backup);
@@ -227,7 +247,11 @@ impl Scenario {
         let mut domain_of: BTreeMap<ProcessId, DomainId> = BTreeMap::new();
         domain_of.insert(hierarchy.cloud, DomainId(0));
         for (i, &e) in hierarchy.edges.iter().enumerate() {
-            let dom = if Some(i) == vendor_idx { DomainId(1) } else { DomainId(0) };
+            let dom = if Some(i) == vendor_idx {
+                DomainId(1)
+            } else {
+                DomainId(0)
+            };
             domain_of.insert(e, dom);
         }
         for &d in &hierarchy.all_devices() {
@@ -237,9 +261,13 @@ impl Scenario {
         // -- Simulation and processes (spawn order must match node ids).
         let mut sim: Sim<Msg> = SimBuilder::new(spec.seed)
             .max_events(2_000_000_000)
+            .tracing(spec.trace_events)
             .build_with_medium(Box::new(net));
 
-        let subscribers = vendor_idx.map(|i| vec![hierarchy.edges[i]]).unwrap_or_default();
+        let subscribers = vendor_idx
+            // riot-lint: allow(P1, reason = "vendor_edge_index() only ever returns Some(spec.edges - 1)")
+            .map(|i| vec![hierarchy.edges[i]])
+            .unwrap_or_default();
         let cloud_id = sim.add_process(CloudProcess::new(CloudConfig {
             arch: arch.clone(),
             me: hierarchy.cloud,
@@ -251,13 +279,18 @@ impl Scenario {
         debug_assert_eq!(cloud_id, hierarchy.cloud);
 
         for (i, &e) in hierarchy.edges.iter().enumerate() {
-            let peer_edges: Vec<ProcessId> =
-                hierarchy.edges.iter().copied().filter(|p| *p != e).collect();
+            let peer_edges: Vec<ProcessId> = hierarchy
+                .edges
+                .iter()
+                .copied()
+                .filter(|p| *p != e)
+                .collect();
             let id = sim.add_process(EdgeProcess::new(EdgeConfig {
                 arch: arch.clone(),
                 me: e,
                 cloud: hierarchy.cloud,
                 peer_edges,
+                // riot-lint: allow(P1, reason = "domain_of was populated above with every process the hierarchy minted")
                 domain: domain_of[&e],
                 domain_of: domain_of.clone(),
                 registry: registry.clone(),
@@ -271,23 +304,34 @@ impl Scenario {
         for (e, devs) in hierarchy.devices.iter().enumerate() {
             for &d in devs {
                 let personal =
-                    spec.personal_every > 0 && global_idx % spec.personal_every == 0;
+                    spec.personal_every > 0 && global_idx.is_multiple_of(spec.personal_every);
                 let key = format!("dev{}/reading", d.0);
                 let backups: Vec<ProcessId> = (1..spec.edges)
+                    // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
                     .map(|k| hierarchy.edges[(e + k) % spec.edges])
                     .collect();
                 let id = sim.add_process(DeviceProcess::new(DeviceConfig {
                     arch: arch.clone(),
+                    // riot-lint: allow(P1, reason = "e enumerates hierarchy.devices, built with one entry per edge")
                     primary_edge: hierarchy.edges[e],
                     backup_edges: backups,
                     cloud: hierarchy.cloud,
                     component: riot_model::ComponentId(d.0 as u32),
                     data_key: key.clone(),
-                    sensitivity: if personal { Sensitivity::Personal } else { Sensitivity::Internal },
+                    sensitivity: if personal {
+                        Sensitivity::Personal
+                    } else {
+                        Sensitivity::Internal
+                    },
                     domain: DomainId(0),
                 }));
                 debug_assert_eq!(id, d);
-                devices.push(DeviceInfo { id: d, edge_index: e, key, personal });
+                devices.push(DeviceInfo {
+                    id: d,
+                    edge_index: e,
+                    key,
+                    personal,
+                });
                 global_idx += 1;
             }
         }
@@ -300,7 +344,15 @@ impl Scenario {
 
         let requirements = standard_requirements(spec.thresholds);
         let goals = standard_goal_model();
-        Scenario { spec, sim, hierarchy, devices, registry, requirements, goals }
+        Scenario {
+            spec,
+            sim,
+            hierarchy,
+            devices,
+            registry,
+            requirements,
+            goals,
+        }
     }
 
     /// The spec this scenario was built from.
@@ -336,6 +388,7 @@ impl Scenario {
                 .and_then(|c| c.store().staleness_secs(&info.key, now))
                 .unwrap_or(NEVER_SEEN_STALENESS_S),
             (_, ReplicationMode::EdgeMesh) => {
+                // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
                 let consumer = self.hierarchy.edges[(info.edge_index + 1) % spec.edges];
                 self.sim
                     .process::<EdgeProcess>(consumer)
@@ -357,6 +410,7 @@ impl Scenario {
             let dev = self
                 .sim
                 .process_mut::<DeviceProcess>(info.id)
+                // riot-lint: allow(P1, reason = "every id in the device index was registered as a DeviceProcess by build()")
                 .expect("device process");
             let w = dev.take_window();
             window.control_ok += w.control_ok;
@@ -377,7 +431,9 @@ impl Scenario {
         let mut staleness_sum = 0.0;
         let mut staleness_n = 0usize;
         for info in device_infos.iter().filter(|i| !i.personal) {
-            staleness_sum += self.consumer_staleness(info, now).min(NEVER_SEEN_STALENESS_S);
+            staleness_sum += self
+                .consumer_staleness(info, now)
+                .min(NEVER_SEEN_STALENESS_S);
             staleness_n += 1;
         }
 
@@ -400,7 +456,10 @@ impl Scenario {
         if let Some(lat) = window.mean_latency_ms() {
             telemetry.insert("ctl.latency_ms".into(), lat);
         }
-        telemetry.insert("coverage".into(), covered as f64 / device_infos.len().max(1) as f64);
+        telemetry.insert(
+            "coverage".into(),
+            covered as f64 / device_infos.len().max(1) as f64,
+        );
         if staleness_n > 0 {
             telemetry.insert("freshness_s".into(), staleness_sum / staleness_n as f64);
         }
@@ -412,7 +471,11 @@ impl Scenario {
         metrics.series_push(
             &format!("sat.{GOAL_NAME}"),
             now,
-            if goal_eval.root == Verdict::Satisfied { 1.0 } else { 0.0 },
+            if goal_eval.root == Verdict::Satisfied {
+                1.0
+            } else {
+                0.0
+            },
         );
         let mut all_sat = true;
         let mut sat_count = 0usize;
@@ -423,7 +486,11 @@ impl Scenario {
             metrics.series_push(&format!("sat.{name}"), now, if sat { 1.0 } else { 0.0 });
         }
         metrics.series_push("sat.all", now, if all_sat { 1.0 } else { 0.0 });
-        metrics.series_push("satfrac", now, sat_count as f64 / verdicts.len().max(1) as f64);
+        metrics.series_push(
+            "satfrac",
+            now,
+            sat_count as f64 / verdicts.len().max(1) as f64,
+        );
         for (key, value) in &telemetry {
             metrics.series_push(&format!("telemetry.{key}"), now, *value);
         }
@@ -440,7 +507,10 @@ impl Scenario {
             + self.sim.metrics().counter("cloud.ingest.denied");
         let msgs_sent = self.sim.metrics().counter("sim.msg.sent");
         let msgs_dropped = self.sim.metrics().counter("sim.msg.dropped");
-        let latency = self.sim.metrics_mut().summarize("device.control.latency_ms");
+        let latency = self
+            .sim
+            .metrics_mut()
+            .summarize("device.control.latency_ms");
         let mut names: Vec<&str> = REQUIREMENT_NAMES.to_vec();
         names.push(GOAL_NAME);
         let report =
@@ -469,6 +539,13 @@ impl Scenario {
                 telemetry_means.insert(name.trim_start_matches("telemetry.").to_owned(), mean);
             }
         }
+        let event_trace: Vec<String> = self
+            .sim
+            .trace()
+            .entries()
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
         ScenarioResult {
             name: spec.name.clone(),
             level: spec.level,
@@ -487,6 +564,7 @@ impl Scenario {
             events_processed: self.sim.events_processed(),
             sat_all_series,
             satfrac_series,
+            event_trace,
             telemetry_means,
         }
     }
@@ -495,7 +573,10 @@ impl Scenario {
 /// Applies one disruption inside an injection.
 fn apply_disruption(sim: &mut Sim<Msg>, disruption: Disruption) {
     match disruption {
-        Disruption::NodeCrash { node, recover_after } => {
+        Disruption::NodeCrash {
+            node,
+            recover_after,
+        } => {
             sim.set_down(node);
             // Dead hardware neither hosts software nor relays traffic.
             let cut = sim
@@ -519,7 +600,12 @@ fn apply_disruption(sim: &mut Sim<Msg>, disruption: Disruption) {
                 dev.fail_component();
             }
         }
-        Disruption::LinkDegradation { a, b, factor, heal_after } => {
+        Disruption::LinkDegradation {
+            a,
+            b,
+            factor,
+            heal_after,
+        } => {
             if let Some(net) = sim.medium_mut::<Network>() {
                 net.degrade_link(a, b, factor);
             }
@@ -595,7 +681,7 @@ fn apply_disruption(sim: &mut Sim<Msg>, disruption: Disruption) {
 }
 
 /// The outcome of one scenario run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Scenario name.
     pub name: String,
@@ -632,11 +718,36 @@ pub struct ScenarioResult {
     pub sat_all_series: Vec<(f64, f64)>,
     /// The sampled satisfied-fraction series, as `(seconds, fraction)`.
     pub satfrac_series: Vec<(f64, f64)>,
+    /// Rendered kernel trace entries, in event order. Empty unless
+    /// [`ScenarioSpec::trace_events`] was set. Excluded from the JSON
+    /// rendering: it is a debugging/determinism artifact, not a result.
+    pub event_trace: Vec<String>,
     /// Time-weighted means of the sampled telemetry over the disruption
     /// window, keyed by telemetry name (`"freshness_s"`, `"coverage"`, ...),
     /// in each metric's natural scale.
     pub telemetry_means: BTreeMap<String, f64>,
 }
+
+riot_sim::impl_to_json_struct!(ScenarioResult {
+    name,
+    level,
+    seed,
+    devices,
+    edges,
+    duration_s,
+    report,
+    failovers,
+    restarts,
+    restart_commands,
+    ingest_denied,
+    messages_sent,
+    messages_dropped,
+    control_latency,
+    events_processed,
+    sat_all_series,
+    satfrac_series,
+    telemetry_means
+});
 
 impl ScenarioResult {
     /// The resilience R of the all-requirements indicator.
@@ -686,7 +797,10 @@ mod tests {
         let scenario = Scenario::build(spec.clone());
         assert_eq!(scenario.devices().len(), 4);
         assert_eq!(scenario.devices()[0].id, spec.device_id(0, 0));
-        assert!(scenario.devices()[0].personal, "device 0 is personal at every=4");
+        assert!(
+            scenario.devices()[0].personal,
+            "device 0 is personal at every=4"
+        );
         assert!(!scenario.devices()[1].personal);
     }
 
@@ -716,7 +830,10 @@ mod tests {
         assert!(r["availability"].resilience > 0.95);
         assert!(r["coverage"].resilience > 0.95);
         assert!(r["freshness"].resilience < 0.05, "silos share nothing");
-        assert!(r["privacy"].resilience > 0.95, "nothing flows, nothing leaks");
+        assert!(
+            r["privacy"].resilience > 0.95,
+            "nothing flows, nothing leaks"
+        );
     }
 
     #[test]
@@ -725,7 +842,10 @@ mod tests {
         let dev = spec.device_id(0, 0);
         spec.disruptions = DisruptionSchedule::new().at(
             SimTime::from_secs(12),
-            Disruption::ComponentFault { node: dev, component: riot_model::ComponentId(0) },
+            Disruption::ComponentFault {
+                node: dev,
+                component: riot_model::ComponentId(0),
+            },
         );
         let result = Scenario::build(spec).run();
         assert_eq!(result.restarts, 0, "ML1 has no MAPE");
@@ -739,7 +859,10 @@ mod tests {
         let dev = spec.device_id(0, 0);
         spec.disruptions = DisruptionSchedule::new().at(
             SimTime::from_secs(12),
-            Disruption::ComponentFault { node: dev, component: riot_model::ComponentId(0) },
+            Disruption::ComponentFault {
+                node: dev,
+                component: riot_model::ComponentId(0),
+            },
         );
         let result = Scenario::build(spec).run();
         assert!(result.restarts >= 1, "cloud MAPE restarted the component");

@@ -12,7 +12,6 @@
 //! suite.
 
 use crate::vclock::{Causality, ReplicaId, VClock};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A state-based (convergent) replicated data type.
@@ -36,7 +35,7 @@ pub trait Crdt {
 /// a.merge(&b);
 /// assert_eq!(a.value(), 5);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GCounter {
     counts: BTreeMap<ReplicaId, u64>,
 }
@@ -68,7 +67,7 @@ impl Crdt for GCounter {
 }
 
 /// An increment/decrement counter (two G-counters).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PnCounter {
     pos: GCounter,
     neg: GCounter,
@@ -107,7 +106,7 @@ impl Crdt for PnCounter {
 ///
 /// Timestamps are caller-supplied (virtual time in the simulator), so ties
 /// across replicas are broken deterministically by replica id.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LwwRegister<T> {
     value: T,
     timestamp: u64,
@@ -118,7 +117,11 @@ impl<T> LwwRegister<T> {
     /// Creates a register with an initial value written at time 0 by
     /// replica 0.
     pub fn new(initial: T) -> Self {
-        LwwRegister { value: initial, timestamp: 0, replica: 0 }
+        LwwRegister {
+            value: initial,
+            timestamp: 0,
+            replica: 0,
+        }
     }
 
     /// Writes a value at `(timestamp, replica)`. Returns `true` when the
@@ -157,7 +160,7 @@ impl<T: Clone> Crdt for LwwRegister<T> {
 
 /// A multi-value register: keeps *all* causally-concurrent writes, exposing
 /// conflicts to the application instead of silently dropping one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MvRegister<T> {
     /// Concurrent versions: each value with the clock of its write.
     versions: Vec<(T, VClock)>,
@@ -165,14 +168,18 @@ pub struct MvRegister<T> {
 
 impl<T> Default for MvRegister<T> {
     fn default() -> Self {
-        MvRegister { versions: Vec::new() }
+        MvRegister {
+            versions: Vec::new(),
+        }
     }
 }
 
 impl<T: Clone + Eq> MvRegister<T> {
     /// An empty register.
     pub fn new() -> Self {
-        MvRegister { versions: Vec::new() }
+        MvRegister {
+            versions: Vec::new(),
+        }
     }
 
     /// Writes a value at `replica`: supersedes every version the writer has
@@ -223,7 +230,7 @@ impl<T: Clone + Eq> Crdt for MvRegister<T> {
 ///
 /// Each add creates a unique tag; a remove deletes exactly the tags it has
 /// observed, so a concurrent add (new tag) survives.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrSet<T: Ord> {
     /// Element → live tags.
     live: BTreeMap<T, BTreeSet<(ReplicaId, u64)>>,
@@ -235,7 +242,11 @@ pub struct OrSet<T: Ord> {
 
 impl<T: Ord> Default for OrSet<T> {
     fn default() -> Self {
-        OrSet { live: BTreeMap::new(), seen: BTreeSet::new(), next_tag: BTreeMap::new() }
+        OrSet {
+            live: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            next_tag: BTreeMap::new(),
+        }
     }
 }
 
@@ -422,7 +433,10 @@ mod tests {
         let mut d = c.clone();
         c.remove(&"only");
         c.merge(&d);
-        assert!(!c.contains(&"only"), "observed remove holds without concurrent add");
+        assert!(
+            !c.contains(&"only"),
+            "observed remove holds without concurrent add"
+        );
         d.merge(&c);
         assert!(!d.contains(&"only"), "remove propagates");
     }

@@ -9,10 +9,9 @@
 
 use riot_model::DomainId;
 use riot_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Sensitivity classification, ordered from least to most restricted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Sensitivity {
     /// Freely shareable (aggregate city statistics).
     Public,
@@ -25,7 +24,7 @@ pub enum Sensitivity {
 }
 
 /// The declared purpose a datum may be processed for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Purpose {
     /// Keeping the system itself running (control loops, health).
     Operations,
@@ -38,7 +37,7 @@ pub enum Purpose {
 }
 
 /// Governance metadata attached to every datum.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataMeta {
     /// Sensitivity class.
     pub sensitivity: Sensitivity,
@@ -84,7 +83,7 @@ impl DataMeta {
 
 /// A keyed scalar observation with governance metadata — the unit the
 /// replicated store synchronizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataRecord {
     /// Application key (e.g. `"zone3/occupancy"`).
     pub key: String,
@@ -97,7 +96,11 @@ pub struct DataRecord {
 impl DataRecord {
     /// Creates a record.
     pub fn new(key: impl Into<String>, value: f64, meta: DataMeta) -> Self {
-        DataRecord { key: key.into(), value, meta }
+        DataRecord {
+            key: key.into(),
+            value,
+            meta,
+        }
     }
 
     /// A redacted copy: the value is blanked and sensitivity dropped to
@@ -146,12 +149,20 @@ mod tests {
     fn age_computation() {
         let m = DataMeta::operational(DomainId(0), SimTime::from_secs(10));
         assert_eq!(m.age_secs(SimTime::from_secs(25)), 15.0);
-        assert_eq!(m.age_secs(SimTime::from_secs(5)), 0.0, "future data has zero age");
+        assert_eq!(
+            m.age_secs(SimTime::from_secs(5)),
+            0.0,
+            "future data has zero age"
+        );
     }
 
     #[test]
     fn redaction_blanks_value_and_declassifies() {
-        let rec = DataRecord::new("hr/bpm", 72.0, DataMeta::personal(DomainId(2), SimTime::ZERO));
+        let rec = DataRecord::new(
+            "hr/bpm",
+            72.0,
+            DataMeta::personal(DomainId(2), SimTime::ZERO),
+        );
         assert!(!rec.is_redacted());
         let red = rec.redacted();
         assert!(red.is_redacted());

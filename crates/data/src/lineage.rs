@@ -11,15 +11,14 @@
 
 use riot_model::DomainId;
 use riot_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Identifies a node of the lineage graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineageId(pub u32);
 
 /// What produced a datum version.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operation {
     /// Observed from the physical world (a sensor reading).
     Sensed,
@@ -32,7 +31,7 @@ pub enum Operation {
 }
 
 /// One datum version in the lineage DAG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineageNode {
     /// Application key of the datum.
     pub key: String,
@@ -62,7 +61,7 @@ pub struct LineageNode {
 /// let avg = g.record("ward/avg_hr", Operation::Derived, DomainId(0), SimTime::from_secs(1), false, &[hr]);
 /// assert!(g.derives_from_sensitive(avg), "the aggregate inherits sensitivity taint");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LineageGraph {
     nodes: Vec<LineageNode>,
 }
@@ -89,7 +88,10 @@ impl LineageGraph {
         inputs: &[LineageId],
     ) -> LineageId {
         for i in inputs {
-            assert!((i.0 as usize) < self.nodes.len(), "unknown lineage input {i:?}");
+            assert!(
+                (i.0 as usize) < self.nodes.len(),
+                "unknown lineage input {i:?}"
+            );
         }
         let id = LineageId(self.nodes.len() as u32);
         self.nodes.push(LineageNode {
@@ -121,12 +123,10 @@ impl LineageGraph {
     /// All transitive ancestors of `id` (excluding itself), in id order.
     pub fn ancestors(&self, id: LineageId) -> Vec<LineageId> {
         let mut seen = BTreeSet::new();
-        let mut stack: Vec<LineageId> = self
-            .get(id)
-            .map(|n| n.inputs.clone())
-            .unwrap_or_default();
+        let mut stack: Vec<LineageId> = self.get(id).map(|n| n.inputs.clone()).unwrap_or_default();
         while let Some(a) = stack.pop() {
             if seen.insert(a) {
+                // riot-lint: allow(P1, reason = "input lists only ever reference previously recorded nodes")
                 stack.extend(self.nodes[a.0 as usize].inputs.iter().copied());
             }
         }
@@ -138,6 +138,7 @@ impl LineageGraph {
         let mut roots: Vec<LineageId> = self
             .ancestors(id)
             .into_iter()
+            // riot-lint: allow(P1, reason = "ancestors() only yields recorded node ids")
             .filter(|a| self.nodes[a.0 as usize].inputs.is_empty())
             .collect();
         if self.get(id).is_some_and(|n| n.inputs.is_empty()) {
@@ -170,6 +171,7 @@ impl LineageGraph {
             domains.insert(n.domain);
         }
         for a in self.ancestors(id) {
+            // riot-lint: allow(P1, reason = "ancestors() only yields recorded node ids")
             domains.insert(self.nodes[a.0 as usize].domain);
         }
         domains.into_iter().collect()
@@ -187,10 +189,38 @@ mod tests {
         //       |
         //       r (replicated into dom2)
         let mut g = LineageGraph::new();
-        let s1 = g.record("hr", Operation::Sensed, DomainId(0), SimTime::ZERO, true, &[]);
-        let s2 = g.record("temp", Operation::Sensed, DomainId(0), SimTime::ZERO, false, &[]);
-        let d = g.record("score", Operation::Derived, DomainId(1), SimTime::from_secs(1), false, &[s1, s2]);
-        let r = g.record("score", Operation::Replicated, DomainId(2), SimTime::from_secs(2), false, &[d]);
+        let s1 = g.record(
+            "hr",
+            Operation::Sensed,
+            DomainId(0),
+            SimTime::ZERO,
+            true,
+            &[],
+        );
+        let s2 = g.record(
+            "temp",
+            Operation::Sensed,
+            DomainId(0),
+            SimTime::ZERO,
+            false,
+            &[],
+        );
+        let d = g.record(
+            "score",
+            Operation::Derived,
+            DomainId(1),
+            SimTime::from_secs(1),
+            false,
+            &[s1, s2],
+        );
+        let r = g.record(
+            "score",
+            Operation::Replicated,
+            DomainId(2),
+            SimTime::from_secs(2),
+            false,
+            &[d],
+        );
         (g, s1, s2, d, r)
     }
 
@@ -222,9 +252,23 @@ mod tests {
     #[test]
     fn redaction_cuts_taint() {
         let (mut g, s1, _, _, _) = diamond();
-        let red = g.record("hr-red", Operation::Redacted, DomainId(0), SimTime::from_secs(3), false, &[s1]);
+        let red = g.record(
+            "hr-red",
+            Operation::Redacted,
+            DomainId(0),
+            SimTime::from_secs(3),
+            false,
+            &[s1],
+        );
         assert!(!g.derives_from_sensitive(red), "redaction sanitizes");
-        let reuse = g.record("agg", Operation::Derived, DomainId(2), SimTime::from_secs(4), false, &[red]);
+        let reuse = g.record(
+            "agg",
+            Operation::Derived,
+            DomainId(2),
+            SimTime::from_secs(4),
+            false,
+            &[red],
+        );
         assert!(!g.derives_from_sensitive(reuse));
     }
 
@@ -232,14 +276,24 @@ mod tests {
     fn domains_traversed_accumulate() {
         let (g, _, _, d, r) = diamond();
         assert_eq!(g.domains_traversed(d), vec![DomainId(0), DomainId(1)]);
-        assert_eq!(g.domains_traversed(r), vec![DomainId(0), DomainId(1), DomainId(2)]);
+        assert_eq!(
+            g.domains_traversed(r),
+            vec![DomainId(0), DomainId(1), DomainId(2)]
+        );
     }
 
     #[test]
     #[should_panic(expected = "unknown lineage input")]
     fn forward_reference_panics() {
         let mut g = LineageGraph::new();
-        g.record("x", Operation::Derived, DomainId(0), SimTime::ZERO, false, &[LineageId(5)]);
+        g.record(
+            "x",
+            Operation::Derived,
+            DomainId(0),
+            SimTime::ZERO,
+            false,
+            &[LineageId(5)],
+        );
     }
 
     #[test]

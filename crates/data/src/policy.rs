@@ -11,10 +11,9 @@
 
 use crate::item::{DataMeta, Purpose, Sensitivity};
 use riot_model::{DomainId, DomainRegistry, TrustLevel};
-use serde::{Deserialize, Serialize};
 
 /// What a matching rule does with the flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyAction {
     /// Let the datum flow unchanged.
     Allow,
@@ -36,7 +35,7 @@ pub struct FlowContext<'a> {
 }
 
 /// A single match-then-act rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRule {
     /// Human-readable name for audit trails.
     pub name: String,
@@ -131,7 +130,7 @@ impl PolicyRule {
 /// let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
 /// assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Deny);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyEngine {
     rules: Vec<PolicyRule>,
     default_action: PolicyAction,
@@ -140,7 +139,10 @@ pub struct PolicyEngine {
 impl PolicyEngine {
     /// Creates an engine with ordered rules and a default action.
     pub fn new(rules: Vec<PolicyRule>, default_action: PolicyAction) -> Self {
-        PolicyEngine { rules, default_action }
+        PolicyEngine {
+            rules,
+            default_action,
+        }
     }
 
     /// The ungoverned engine: everything flows (the ML1/ML2 posture).
@@ -203,9 +205,21 @@ mod tests {
 
     fn registry() -> DomainRegistry {
         let mut reg = DomainRegistry::new();
-        reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
-        reg.register(Domain { id: DomainId(1), name: "hospital".into(), jurisdiction: Jurisdiction::EuGdpr });
-        reg.register(Domain { id: DomainId(2), name: "vendor".into(), jurisdiction: Jurisdiction::UsCcpa });
+        reg.register(Domain {
+            id: DomainId(0),
+            name: "city".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
+        reg.register(Domain {
+            id: DomainId(1),
+            name: "hospital".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
+        reg.register(Domain {
+            id: DomainId(2),
+            name: "vendor".into(),
+            jurisdiction: Jurisdiction::UsCcpa,
+        });
         reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Trusted);
         reg.set_trust(DomainId(0), DomainId(2), TrustLevel::Untrusted);
         reg
@@ -215,8 +229,17 @@ mod tests {
     fn permissive_allows_everything() {
         let reg = registry();
         let engine = PolicyEngine::permissive();
-        let meta = DataMeta { sensitivity: Sensitivity::Special, purposes: vec![], origin: DomainId(1), produced_at: SimTime::ZERO };
-        let ctx = FlowContext { meta: &meta, from: DomainId(1), to: DomainId(2) };
+        let meta = DataMeta {
+            sensitivity: Sensitivity::Special,
+            purposes: vec![],
+            origin: DomainId(1),
+            produced_at: SimTime::ZERO,
+        };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(1),
+            to: DomainId(2),
+        };
         assert_eq!(engine.decide(&ctx, &reg), (PolicyAction::Allow, "default"));
         assert_eq!(engine.rule_count(), 0);
     }
@@ -227,14 +250,26 @@ mod tests {
         let engine = PolicyEngine::governed();
         let meta = DataMeta::personal(DomainId(0), SimTime::ZERO);
         // To an untrusted domain: denied.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(2) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(2),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Deny);
         // Within the origin domain: allowed.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(0) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(0),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
         // To a *trusted* domain: the GDPR rule requires dest trust <=
         // Partner, and city↔hospital is Trusted, so it does not match.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
     }
 
@@ -248,7 +283,11 @@ mod tests {
             origin: DomainId(1),
             produced_at: SimTime::ZERO,
         };
-        let ctx = FlowContext { meta: &meta, from: DomainId(1), to: DomainId(0) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(1),
+            to: DomainId(0),
+        };
         let (action, rule) = engine.decide(&ctx, &reg);
         assert_eq!(action, PolicyAction::Redact);
         assert_eq!(rule, "special-category-redacted-outside-origin");
@@ -259,10 +298,18 @@ mod tests {
         let reg = registry();
         let engine = PolicyEngine::governed();
         let meta = DataMeta::operational(DomainId(0), SimTime::ZERO);
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
         // But internal data to an untrusted destination is denied.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(2) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(2),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Deny);
     }
 
@@ -270,7 +317,11 @@ mod tests {
     fn rule_order_matters() {
         let reg = registry();
         let meta = DataMeta::personal(DomainId(0), SimTime::ZERO);
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(2) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(2),
+        };
         let allow_first = PolicyEngine::new(
             vec![
                 PolicyRule::catch_all("allow-all", PolicyAction::Allow),
@@ -278,7 +329,10 @@ mod tests {
             ],
             PolicyAction::Deny,
         );
-        assert_eq!(allow_first.decide(&ctx, &reg), (PolicyAction::Allow, "allow-all"));
+        assert_eq!(
+            allow_first.decide(&ctx, &reg),
+            (PolicyAction::Allow, "allow-all")
+        );
         let deny_first = PolicyEngine::new(
             vec![
                 PolicyRule::gdpr_personal_data(PolicyAction::Deny),
@@ -303,10 +357,18 @@ mod tests {
         };
         let engine = PolicyEngine::new(vec![rule], PolicyAction::Allow);
         let mut meta = DataMeta::operational(DomainId(0), SimTime::ZERO);
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
         meta.purposes.push(Purpose::Marketing);
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Deny);
     }
 
@@ -325,10 +387,18 @@ mod tests {
         let engine = PolicyEngine::new(vec![rule], PolicyAction::Allow);
         let meta = DataMeta::operational(DomainId(0), SimTime::ZERO);
         // GDPR→GDPR: allowed.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(1) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(1),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
         // GDPR→CCPA: denied.
-        let ctx = FlowContext { meta: &meta, from: DomainId(0), to: DomainId(2) };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: DomainId(0),
+            to: DomainId(2),
+        };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Deny);
     }
 }

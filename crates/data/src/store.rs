@@ -18,11 +18,10 @@ use crate::policy::{FlowContext, PolicyAction, PolicyEngine};
 use crate::vclock::ReplicaId;
 use riot_model::{DomainId, DomainRegistry, TrustLevel};
 use riot_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One stored record with its LWW version.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreEntry {
     /// The record.
     pub record: DataRecord,
@@ -33,7 +32,7 @@ pub struct StoreEntry {
 }
 
 /// An anti-entropy push message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyncMsg {
     /// Domain of the sending store (receivers re-check policy against it).
     pub from_domain: DomainId,
@@ -42,7 +41,7 @@ pub struct SyncMsg {
 }
 
 /// Flow-governance counters kept by each store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Entries blocked at egress.
     pub egress_denied: u64,
@@ -90,7 +89,13 @@ pub struct ReplicatedStore {
 impl ReplicatedStore {
     /// Creates an empty store owned by `domain`.
     pub fn new(replica: ReplicaId, domain: DomainId, policy: PolicyEngine) -> Self {
-        ReplicatedStore { replica, domain, policy, entries: BTreeMap::new(), stats: StoreStats::default() }
+        ReplicatedStore {
+            replica,
+            domain,
+            policy,
+            entries: BTreeMap::new(),
+            stats: StoreStats::default(),
+        }
     }
 
     /// This store's replica id.
@@ -134,14 +139,22 @@ impl ReplicatedStore {
         registry: &DomainRegistry,
         now: SimTime,
     ) -> PolicyAction {
-        let ctx = FlowContext { meta: &meta, from: meta.origin, to: self.domain };
+        let ctx = FlowContext {
+            meta: &meta,
+            from: meta.origin,
+            to: self.domain,
+        };
         let (action, _) = self.policy.decide(&ctx, registry);
         match action {
             PolicyAction::Allow => self.put(key, value, meta, now),
             PolicyAction::Redact => {
                 let record = DataRecord::new(key, value, meta).redacted();
                 self.stats.local_writes += 1;
-                self.apply(StoreEntry { record, written_at: now, writer: self.replica });
+                self.apply(StoreEntry {
+                    record,
+                    written_at: now,
+                    writer: self.replica,
+                });
             }
             PolicyAction::Deny => {
                 self.stats.ingress_denied += 1;
@@ -205,13 +218,22 @@ impl ReplicatedStore {
     /// applying egress policy per entry. `since` bounds the delta: only
     /// entries written strictly after it are pushed (pass
     /// [`SimTime::ZERO`] for a full push).
-    pub fn sync_out(&mut self, peer_domain: DomainId, registry: &DomainRegistry, since: SimTime) -> SyncMsg {
+    pub fn sync_out(
+        &mut self,
+        peer_domain: DomainId,
+        registry: &DomainRegistry,
+        since: SimTime,
+    ) -> SyncMsg {
         let mut entries = Vec::new();
         for entry in self.entries.values() {
             if since > SimTime::ZERO && entry.written_at <= since {
                 continue;
             }
-            let ctx = FlowContext { meta: &entry.record.meta, from: self.domain, to: peer_domain };
+            let ctx = FlowContext {
+                meta: &entry.record.meta,
+                from: self.domain,
+                to: peer_domain,
+            };
             match self.policy.decide(&ctx, registry).0 {
                 PolicyAction::Allow => entries.push(entry.clone()),
                 PolicyAction::Redact => {
@@ -227,7 +249,10 @@ impl ReplicatedStore {
                 }
             }
         }
-        SyncMsg { from_domain: self.domain, entries }
+        SyncMsg {
+            from_domain: self.domain,
+            entries,
+        }
     }
 
     /// Merges a received push, applying ingress policy per entry. Returns
@@ -235,7 +260,11 @@ impl ReplicatedStore {
     pub fn on_sync(&mut self, msg: SyncMsg, registry: &DomainRegistry, _now: SimTime) -> usize {
         let mut changed = 0;
         for entry in msg.entries {
-            let ctx = FlowContext { meta: &entry.record.meta, from: msg.from_domain, to: self.domain };
+            let ctx = FlowContext {
+                meta: &entry.record.meta,
+                from: msg.from_domain,
+                to: self.domain,
+            };
             match self.policy.decide(&ctx, registry).0 {
                 PolicyAction::Deny => {
                     self.stats.ingress_denied += 1;
@@ -276,14 +305,13 @@ impl ReplicatedStore {
     ///
     /// `retention` maps a sensitivity class to a maximum age in seconds;
     /// classes without an entry are retained indefinitely.
-    pub fn enforce_retention(
-        &mut self,
-        retention: &[(Sensitivity, f64)],
-        now: SimTime,
-    ) -> usize {
+    pub fn enforce_retention(&mut self, retention: &[(Sensitivity, f64)], now: SimTime) -> usize {
         let before = self.entries.len();
         self.entries.retain(|_, e| {
-            match retention.iter().find(|(s, _)| *s == e.record.meta.sensitivity) {
+            match retention
+                .iter()
+                .find(|(s, _)| *s == e.record.meta.sensitivity)
+            {
                 Some((_, max_age)) => e.record.meta.age_secs(now) <= *max_age,
                 None => true,
             }
@@ -331,8 +359,16 @@ mod tests {
 
     fn registry() -> DomainRegistry {
         let mut reg = DomainRegistry::new();
-        reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
-        reg.register(Domain { id: DomainId(1), name: "vendor".into(), jurisdiction: Jurisdiction::UsCcpa });
+        reg.register(Domain {
+            id: DomainId(0),
+            name: "city".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
+        reg.register(Domain {
+            id: DomainId(1),
+            name: "vendor".into(),
+            jurisdiction: Jurisdiction::UsCcpa,
+        });
         reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Partner);
         reg
     }
@@ -340,7 +376,12 @@ mod tests {
     #[test]
     fn local_write_and_read() {
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        s.put("k", 1.5, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "k",
+            1.5,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(s.get("k").unwrap().value, 1.5);
         assert_eq!(s.len(), 1);
         assert_eq!(s.stats().local_writes, 1);
@@ -353,8 +394,18 @@ mod tests {
         let reg = registry();
         let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
         let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
-        a.put("k", 1.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
-        b.put("k", 2.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(2));
+        a.put(
+            "k",
+            1.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(1),
+        );
+        b.put(
+            "k",
+            2.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(2),
+        );
         // Push the older into the newer: no change.
         let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
         assert_eq!(b.on_sync(msg, &reg, SimTime::from_secs(3)), 0);
@@ -371,8 +422,18 @@ mod tests {
         let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
         let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
         for i in 0..10 {
-            a.put(format!("a/{i}"), i as f64, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(i));
-            b.put(format!("b/{i}"), i as f64, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(i));
+            a.put(
+                format!("a/{i}"),
+                i as f64,
+                DataMeta::operational(DomainId(0), SimTime::ZERO),
+                SimTime::from_secs(i),
+            );
+            b.put(
+                format!("b/{i}"),
+                i as f64,
+                DataMeta::operational(DomainId(0), SimTime::ZERO),
+                SimTime::from_secs(i),
+            );
         }
         let m1 = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
         b.on_sync(m1, &reg, SimTime::from_secs(20));
@@ -389,8 +450,18 @@ mod tests {
     fn egress_policy_blocks_personal_data() {
         let reg = registry();
         let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
-        src.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
-        src.put("temp", 21.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        src.put(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        src.put(
+            "temp",
+            21.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
         assert_eq!(msg.entries.len(), 1, "only the operational record flows");
         assert_eq!(msg.entries[0].record.key, "temp");
@@ -402,7 +473,12 @@ mod tests {
         let reg = registry();
         // The sender is ungoverned and leaks personal data…
         let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        src.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        src.put(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
         assert_eq!(msg.entries.len(), 1, "permissive egress leaks");
         // …but a governed receiver refuses it.
@@ -433,15 +509,29 @@ mod tests {
         assert_eq!(src.stats().egress_redacted, 1);
         let mut dst = ReplicatedStore::new(1, DomainId(1), PolicyEngine::permissive());
         dst.on_sync(msg, &reg, SimTime::ZERO);
-        assert_eq!(dst.privacy_violations(&reg), 0, "redacted data is sanitized");
+        assert_eq!(
+            dst.privacy_violations(&reg),
+            0,
+            "redacted data is sanitized"
+        );
     }
 
     #[test]
     fn delta_sync_respects_since() {
         let reg = registry();
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        s.put("old", 1.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
-        s.put("new", 2.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(5));
+        s.put(
+            "old",
+            1.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(1),
+        );
+        s.put(
+            "new",
+            2.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(5),
+        );
         let msg = s.sync_out(DomainId(0), &reg, SimTime::from_secs(3));
         assert_eq!(msg.entries.len(), 1);
         assert_eq!(msg.entries[0].record.key, "new");
@@ -477,7 +567,13 @@ mod tests {
         assert_eq!(governed.len(), 1);
         // A permissive store accepts the personal push: the E5 violation.
         let mut leaky = ReplicatedStore::new(1, DomainId(1), PolicyEngine::permissive());
-        leaky.ingest("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), &reg, SimTime::ZERO);
+        leaky.ingest(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            &reg,
+            SimTime::ZERO,
+        );
         assert_eq!(leaky.privacy_violations(&reg), 1);
     }
 
@@ -501,12 +597,21 @@ mod tests {
     fn domain_transfer_changes_audit_result() {
         let reg = registry();
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        s.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(s.privacy_violations(&reg), 0, "at home, no violation");
         // The store's node is transferred to the vendor domain (§II's
         // "transfer of administrative domains").
         s.set_domain(DomainId(1));
-        assert_eq!(s.privacy_violations(&reg), 1, "resting personal data now out of scope");
+        assert_eq!(
+            s.privacy_violations(&reg),
+            1,
+            "resting personal data now out of scope"
+        );
     }
 
     #[test]
@@ -514,7 +619,12 @@ mod tests {
         let reg = registry();
         let mut a = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
         let mut b = ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive());
-        a.put("k", 5.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::from_secs(1));
+        a.put(
+            "k",
+            5.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(1),
+        );
         let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
         b.on_sync(msg, &reg, SimTime::from_secs(2));
         assert_eq!(b.len(), 1);
@@ -530,19 +640,32 @@ mod tests {
     #[test]
     fn retention_evicts_per_sensitivity_class() {
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        s.put("old-personal", 1.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "old-personal",
+            1.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         s.put(
             "new-personal",
             2.0,
             DataMeta::personal(DomainId(0), SimTime::from_secs(95)),
             SimTime::from_secs(95),
         );
-        s.put("old-operational", 3.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "old-operational",
+            3.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         // Personal data: 30 s retention. Operational: unlimited.
         let evicted =
             s.enforce_retention(&[(Sensitivity::Personal, 30.0)], SimTime::from_secs(100));
         assert_eq!(evicted, 1);
-        assert!(s.get("old-personal").is_none(), "expired personal data gone");
+        assert!(
+            s.get("old-personal").is_none(),
+            "expired personal data gone"
+        );
         assert!(s.get("new-personal").is_some(), "fresh personal data kept");
         assert!(s.get("old-operational").is_some(), "no policy, no eviction");
     }
@@ -551,11 +674,25 @@ mod tests {
     fn purge_evicts_exactly_the_violations() {
         let reg = registry();
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
-        s.put("hr", 70.0, DataMeta::personal(DomainId(0), SimTime::ZERO), SimTime::ZERO);
-        s.put("temp", 20.0, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+        s.put(
+            "hr",
+            70.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        s.put(
+            "temp",
+            20.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(s.purge_violations(&reg), 0, "nothing to purge at home");
         s.set_domain(DomainId(1));
-        assert_eq!(s.purge_violations(&reg), 1, "personal record evicted after transfer");
+        assert_eq!(
+            s.purge_violations(&reg),
+            1,
+            "personal record evicted after transfer"
+        );
         assert_eq!(s.privacy_violations(&reg), 0);
         assert!(s.get("temp").is_some(), "operational data survives");
         assert!(s.get("hr").is_none());

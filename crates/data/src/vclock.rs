@@ -6,7 +6,6 @@
 //! yields a partial order whose incomparable case ([`Causality::Concurrent`])
 //! is what multi-value registers and conflict detection key off.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -42,7 +41,7 @@ pub enum Causality {
 /// b.tick(1);
 /// assert_eq!(a.compare(&b), Causality::Before);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct VClock {
     counts: BTreeMap<ReplicaId, u64>,
 }
@@ -119,7 +118,11 @@ impl VClock {
 
 impl fmt::Display for VClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self.counts.iter().map(|(r, c)| format!("{r}:{c}")).collect();
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(r, c)| format!("{r}:{c}"))
+            .collect();
         write!(f, "<{}>", parts.join(","))
     }
 }

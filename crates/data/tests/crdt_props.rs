@@ -1,8 +1,14 @@
 //! Property tests: the CRDT join-semilattice laws and vector-clock order
 //! axioms that make the decentralized data plane safe.
+//!
+//! Randomized inputs are drawn from the workspace's own seeded [`SimRng`]
+//! rather than `proptest`, so every run explores the same cases — test
+//! determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
 use riot_data::{Causality, Crdt, GCounter, LwwRegister, MvRegister, OrSet, PnCounter, VClock};
+use riot_sim::SimRng;
+
+const CASES: usize = 300;
 
 // ---------- operation generators ----------
 
@@ -12,14 +18,19 @@ enum CounterOp {
     Decr(u32, u64),
 }
 
-fn counter_ops() -> impl Strategy<Value = Vec<CounterOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..4, 1u64..10).prop_map(|(r, x)| CounterOp::Incr(r, x)),
-            (0u32..4, 1u64..10).prop_map(|(r, x)| CounterOp::Decr(r, x)),
-        ],
-        0..40,
-    )
+fn counter_ops(rng: &mut SimRng) -> Vec<CounterOp> {
+    let n = rng.range_u64(0, 40) as usize;
+    (0..n)
+        .map(|_| {
+            let r = rng.range_u64(0, 4) as u32;
+            let x = rng.range_u64(1, 10);
+            if rng.chance(0.5) {
+                CounterOp::Incr(r, x)
+            } else {
+                CounterOp::Decr(r, x)
+            }
+        })
+        .collect()
 }
 
 #[derive(Debug, Clone)]
@@ -28,14 +39,25 @@ enum SetOp {
     Remove(u8),
 }
 
-fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..12).prop_map(SetOp::Add),
-            (0u8..12).prop_map(SetOp::Remove),
-        ],
-        0..40,
-    )
+fn set_ops(rng: &mut SimRng) -> Vec<SetOp> {
+    let n = rng.range_u64(0, 40) as usize;
+    (0..n)
+        .map(|_| {
+            let v = rng.range_u64(0, 12) as u8;
+            if rng.chance(0.5) {
+                SetOp::Add(v)
+            } else {
+                SetOp::Remove(v)
+            }
+        })
+        .collect()
+}
+
+fn incr_pairs(rng: &mut SimRng) -> Vec<(u32, u64)> {
+    let n = rng.range_u64(0, 30) as usize;
+    (0..n)
+        .map(|_| (rng.range_u64(0, 6) as u32, rng.range_u64(1, 20)))
+        .collect()
 }
 
 fn apply_counter(replica: u32, ops: &[CounterOp]) -> PnCounter {
@@ -82,57 +104,86 @@ fn semilattice_laws<C: Crdt + Clone + PartialEq + std::fmt::Debug>(a: &C, b: &C,
     assert_eq!(ab_c, a_bc, "associativity");
 }
 
-proptest! {
-    #[test]
-    fn gcounter_is_a_semilattice(
-        xa in prop::collection::vec((0u32..6, 1u64..20), 0..30),
-        xb in prop::collection::vec((0u32..6, 1u64..20), 0..30),
-        xc in prop::collection::vec((0u32..6, 1u64..20), 0..30),
-    ) {
-        let build = |ops: &[(u32, u64)]| {
-            let mut g = GCounter::new();
-            for (r, x) in ops {
-                g.incr(*r, *x);
-            }
-            g
-        };
+#[test]
+fn gcounter_is_a_semilattice() {
+    let mut rng = SimRng::seed_from(0xDA7A_0001);
+    let build = |ops: &[(u32, u64)]| {
+        let mut g = GCounter::new();
+        for (r, x) in ops {
+            g.incr(*r, *x);
+        }
+        g
+    };
+    for _ in 0..CASES {
+        let (xa, xb, xc) = (
+            incr_pairs(&mut rng),
+            incr_pairs(&mut rng),
+            incr_pairs(&mut rng),
+        );
         semilattice_laws(&build(&xa), &build(&xb), &build(&xc));
     }
+}
 
-    #[test]
-    fn pncounter_is_a_semilattice(a in counter_ops(), b in counter_ops(), c in counter_ops()) {
-        semilattice_laws(&apply_counter(0, &a), &apply_counter(1, &b), &apply_counter(2, &c));
+#[test]
+fn pncounter_is_a_semilattice() {
+    let mut rng = SimRng::seed_from(0xDA7A_0002);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            counter_ops(&mut rng),
+            counter_ops(&mut rng),
+            counter_ops(&mut rng),
+        );
+        semilattice_laws(
+            &apply_counter(0, &a),
+            &apply_counter(1, &b),
+            &apply_counter(2, &c),
+        );
     }
+}
 
-    #[test]
-    fn orset_is_a_semilattice(a in set_ops(), b in set_ops(), c in set_ops()) {
+#[test]
+fn orset_is_a_semilattice() {
+    let mut rng = SimRng::seed_from(0xDA7A_0003);
+    for _ in 0..CASES {
+        let (a, b, c) = (set_ops(&mut rng), set_ops(&mut rng), set_ops(&mut rng));
         semilattice_laws(&apply_set(0, &a), &apply_set(1, &b), &apply_set(2, &c));
     }
+}
 
-    #[test]
-    fn lww_register_is_a_semilattice(
-        wa in prop::collection::vec((0u64..100, 0u32..50), 0..20),
-        wb in prop::collection::vec((0u64..100, 0u32..50), 0..20),
-        wc in prop::collection::vec((0u64..100, 0u32..50), 0..20),
-    ) {
-        // A well-formed LWW history never writes two different values under
-        // the same (timestamp, replica) key, so each register writes as its
-        // own replica id.
-        let build = |writes: &[(u64, u32)], replica: u32| {
-            let mut reg = LwwRegister::new(0u32);
-            for (t, v) in writes {
-                reg.set(*v, *t, replica);
-            }
-            reg
-        };
+#[test]
+fn lww_register_is_a_semilattice() {
+    let mut rng = SimRng::seed_from(0xDA7A_0004);
+    // A well-formed LWW history never writes two different values under
+    // the same (timestamp, replica) key, so each register writes as its
+    // own replica id.
+    let build = |writes: &[(u64, u32)], replica: u32| {
+        let mut reg = LwwRegister::new(0u32);
+        for (t, v) in writes {
+            reg.set(*v, *t, replica);
+        }
+        reg
+    };
+    let writes = |rng: &mut SimRng| -> Vec<(u64, u32)> {
+        let n = rng.range_u64(0, 20) as usize;
+        (0..n)
+            .map(|_| (rng.range_u64(0, 100), rng.range_u64(0, 50) as u32))
+            .collect()
+    };
+    for _ in 0..CASES {
+        let (wa, wb, wc) = (writes(&mut rng), writes(&mut rng), writes(&mut rng));
         semilattice_laws(&build(&wa, 1), &build(&wb, 2), &build(&wc, 3));
     }
+}
 
-    #[test]
-    fn mv_register_merge_commutes(
-        seq_a in prop::collection::vec(0u32..10, 0..6),
-        seq_b in prop::collection::vec(0u32..10, 0..6),
-    ) {
+#[test]
+fn mv_register_merge_commutes() {
+    let mut rng = SimRng::seed_from(0xDA7A_0005);
+    for _ in 0..CASES {
+        let seq = |rng: &mut SimRng| -> Vec<u32> {
+            let n = rng.range_u64(0, 6) as usize;
+            (0..n).map(|_| rng.range_u64(0, 10) as u32).collect()
+        };
+        let (seq_a, seq_b) = (seq(&mut rng), seq(&mut rng));
         let mut a = MvRegister::new();
         for v in &seq_a {
             a.set(*v, 0);
@@ -149,14 +200,15 @@ proptest! {
         let mut vb: Vec<&u32> = ba.get();
         va.sort();
         vb.sort();
-        prop_assert_eq!(va, vb);
+        assert_eq!(va, vb);
     }
+}
 
-    #[test]
-    fn gcounter_merge_is_an_upper_bound(
-        xa in prop::collection::vec((0u32..6, 1u64..20), 0..30),
-        xb in prop::collection::vec((0u32..6, 1u64..20), 0..30),
-    ) {
+#[test]
+fn gcounter_merge_is_an_upper_bound() {
+    let mut rng = SimRng::seed_from(0xDA7A_0006);
+    for _ in 0..CASES {
+        let (xa, xb) = (incr_pairs(&mut rng), incr_pairs(&mut rng));
         let mut a = GCounter::new();
         for (r, x) in &xa {
             a.incr(*r, *x);
@@ -167,30 +219,41 @@ proptest! {
         }
         let mut m = a.clone();
         m.merge(&b);
-        prop_assert!(m.value() >= a.value());
-        prop_assert!(m.value() >= b.value());
-        prop_assert!(m.value() <= a.value() + b.value());
+        assert!(m.value() >= a.value());
+        assert!(m.value() >= b.value());
+        assert!(m.value() <= a.value() + b.value());
     }
+}
 
-    #[test]
-    fn orset_observed_remove_semantics(ops in set_ops(), concurrent_add in 0u8..12) {
+#[test]
+fn orset_observed_remove_semantics() {
+    let mut rng = SimRng::seed_from(0xDA7A_0007);
+    for _ in 0..CASES {
         // After any op sequence: removing then merging a replica that
         // concurrently re-added keeps the element.
+        let ops = set_ops(&mut rng);
+        let concurrent_add = rng.range_u64(0, 12) as u8;
         let mut a = apply_set(0, &ops);
         let mut b = a.clone();
         a.remove(&concurrent_add);
         b.add(concurrent_add, 1);
         a.merge(&b);
-        prop_assert!(a.contains(&concurrent_add), "concurrent add must win");
+        assert!(a.contains(&concurrent_add), "concurrent add must win");
     }
+}
 
-    // ---------- vector clocks ----------
+// ---------- vector clocks ----------
 
-    #[test]
-    fn vclock_compare_is_antisymmetric_and_merge_is_lub(
-        ta in prop::collection::vec(0u32..5, 0..30),
-        tb in prop::collection::vec(0u32..5, 0..30),
-    ) {
+fn ticks(rng: &mut SimRng, lo: usize, hi: usize) -> Vec<u32> {
+    let n = rng.range_u64(lo as u64, hi as u64) as usize;
+    (0..n).map(|_| rng.range_u64(0, 5) as u32).collect()
+}
+
+#[test]
+fn vclock_compare_is_antisymmetric_and_merge_is_lub() {
+    let mut rng = SimRng::seed_from(0xDA7A_0008);
+    for _ in 0..CASES {
+        let (ta, tb) = (ticks(&mut rng, 0, 30), ticks(&mut rng, 0, 30));
         let mut a = VClock::new();
         for r in &ta {
             a.tick(*r);
@@ -201,30 +264,41 @@ proptest! {
         }
         // Antisymmetry of the reported relation.
         match a.compare(&b) {
-            Causality::Before => prop_assert_eq!(b.compare(&a), Causality::After),
-            Causality::After => prop_assert_eq!(b.compare(&a), Causality::Before),
-            Causality::Equal => prop_assert_eq!(b.compare(&a), Causality::Equal),
-            Causality::Concurrent => prop_assert_eq!(b.compare(&a), Causality::Concurrent),
+            Causality::Before => assert_eq!(b.compare(&a), Causality::After),
+            Causality::After => assert_eq!(b.compare(&a), Causality::Before),
+            Causality::Equal => assert_eq!(b.compare(&a), Causality::Equal),
+            Causality::Concurrent => assert_eq!(b.compare(&a), Causality::Concurrent),
         }
         // Merge is the least upper bound: dominates both and equals the
         // pointwise max (checked through dominance of any other bound).
         let mut m = a.clone();
         m.merge(&b);
-        prop_assert!(m.dominates(&a));
-        prop_assert!(m.dominates(&b));
+        assert!(m.dominates(&a));
+        assert!(m.dominates(&b));
         // Tick after merge strictly dominates both inputs.
         let mut m2 = m.clone();
         m2.tick(0);
-        prop_assert_eq!(m2.compare(&a), if a == m2 { Causality::Equal } else { Causality::After });
+        assert_eq!(
+            m2.compare(&a),
+            if a == m2 {
+                Causality::Equal
+            } else {
+                Causality::After
+            }
+        );
     }
+}
 
-    #[test]
-    fn vclock_tick_orders_history(ticks in prop::collection::vec(0u32..5, 1..30)) {
+#[test]
+fn vclock_tick_orders_history() {
+    let mut rng = SimRng::seed_from(0xDA7A_0009);
+    for _ in 0..CASES {
+        let ticks = ticks(&mut rng, 1, 30);
         let mut clock = VClock::new();
         let mut prev = clock.clone();
         for r in ticks {
             clock.tick(r);
-            prop_assert_eq!(prev.compare(&clock), Causality::Before);
+            assert_eq!(prev.compare(&clock), Causality::Before);
             prev = clock.clone();
         }
     }

@@ -1,16 +1,29 @@
 //! Property tests of the replicated store: convergence under arbitrary
 //! write/sync interleavings, and governance invariants that must hold on
 //! every path.
+//!
+//! Randomized inputs are drawn from the workspace's own seeded [`SimRng`]
+//! rather than `proptest`, so every run explores the same cases — test
+//! determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
 use riot_data::{DataMeta, PolicyEngine, ReplicatedStore, Sensitivity};
 use riot_model::{Domain, DomainId, DomainRegistry, Jurisdiction, TrustLevel};
-use riot_sim::SimTime;
+use riot_sim::{SimRng, SimTime};
+
+const CASES: usize = 200;
 
 fn registry() -> DomainRegistry {
     let mut reg = DomainRegistry::new();
-    reg.register(Domain { id: DomainId(0), name: "city".into(), jurisdiction: Jurisdiction::EuGdpr });
-    reg.register(Domain { id: DomainId(1), name: "vendor".into(), jurisdiction: Jurisdiction::UsCcpa });
+    reg.register(Domain {
+        id: DomainId(0),
+        name: "city".into(),
+        jurisdiction: Jurisdiction::EuGdpr,
+    });
+    reg.register(Domain {
+        id: DomainId(1),
+        name: "vendor".into(),
+        jurisdiction: Jurisdiction::UsCcpa,
+    });
     reg.set_trust(DomainId(0), DomainId(1), TrustLevel::Partner);
     reg
 }
@@ -23,14 +36,24 @@ enum Op {
     Sync(usize, usize),
 }
 
-fn ops(replicas: usize) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..replicas, 0u8..6, 0u32..100).prop_map(|(r, k, v)| Op::Put(r, k, v)),
-            (0..replicas, 0..replicas).prop_map(|(a, b)| Op::Sync(a, b)),
-        ],
-        0..60,
-    )
+fn ops(rng: &mut SimRng, replicas: usize) -> Vec<Op> {
+    let n = rng.range_u64(0, 60) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Op::Put(
+                    rng.range_u64(0, replicas as u64) as usize,
+                    rng.range_u64(0, 6) as u8,
+                    rng.range_u64(0, 100) as u32,
+                )
+            } else {
+                Op::Sync(
+                    rng.range_u64(0, replicas as u64) as usize,
+                    rng.range_u64(0, replicas as u64) as usize,
+                )
+            }
+        })
+        .collect()
 }
 
 fn fingerprint(store: &ReplicatedStore) -> Vec<(String, u64, u32)> {
@@ -40,12 +63,14 @@ fn fingerprint(store: &ReplicatedStore) -> Vec<(String, u64, u32)> {
         .collect()
 }
 
-proptest! {
-    /// After any interleaving of writes and one-way syncs, a final round of
-    /// all-pairs exchanges makes every replica identical (anti-entropy
-    /// convergence on LWW state).
-    #[test]
-    fn stores_converge_after_full_exchange(script in ops(4)) {
+/// After any interleaving of writes and one-way syncs, a final round of
+/// all-pairs exchanges makes every replica identical (anti-entropy
+/// convergence on LWW state).
+#[test]
+fn stores_converge_after_full_exchange() {
+    let mut rng = SimRng::seed_from(0x570E_0001);
+    for _ in 0..CASES {
+        let script = ops(&mut rng, 4);
         let reg = registry();
         let mut stores: Vec<ReplicatedStore> = (0..4)
             .map(|i| ReplicatedStore::new(i as u32, DomainId(0), PolicyEngine::permissive()))
@@ -56,7 +81,12 @@ proptest! {
             match op {
                 Op::Put(r, k, v) => {
                     let meta = DataMeta::operational(DomainId(0), SimTime::from_micros(clock));
-                    stores[*r].put(format!("k{k}"), *v as f64, meta, SimTime::from_micros(clock));
+                    stores[*r].put(
+                        format!("k{k}"),
+                        *v as f64,
+                        meta,
+                        SimTime::from_micros(clock),
+                    );
                 }
                 Op::Sync(a, b) if a != b => {
                     let msg = stores[*a].sync_out(DomainId(0), &reg, SimTime::ZERO);
@@ -78,19 +108,24 @@ proptest! {
         }
         let reference = fingerprint(&stores[0]);
         for s in &stores[1..] {
-            prop_assert_eq!(fingerprint(s), reference.clone(), "replicas diverged");
+            assert_eq!(fingerprint(s), reference, "replicas diverged");
         }
     }
+}
 
-    /// Governance safety on every path: however writes and syncs interleave,
-    /// a governed vendor-domain store never holds a resting privacy
-    /// violation — personal records are stopped at ingress or egress.
-    #[test]
-    fn governed_store_never_rests_on_violations(script in ops(3), personal_every in 1u8..4) {
+/// Governance safety on every path: however writes and syncs interleave,
+/// a governed vendor-domain store never holds a resting privacy
+/// violation — personal records are stopped at ingress or egress.
+#[test]
+fn governed_store_never_rests_on_violations() {
+    let mut rng = SimRng::seed_from(0x570E_0002);
+    for _ in 0..CASES {
+        let script = ops(&mut rng, 3);
+        let personal_every = rng.range_u64(1, 4) as u8;
         let reg = registry();
         // Store 0 and 1 are permissive city stores; store 2 is a governed
         // vendor store receiving whatever the others push.
-        let mut stores = vec![
+        let mut stores = [
             ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive()),
             ReplicatedStore::new(1, DomainId(0), PolicyEngine::permissive()),
             ReplicatedStore::new(2, DomainId(1), PolicyEngine::governed()),
@@ -112,7 +147,13 @@ proptest! {
                         produced_at: SimTime::from_micros(clock),
                     };
                     let r = r % 3;
-                    stores[r].ingest(format!("k{k}"), *v as f64, meta, &reg, SimTime::from_micros(clock));
+                    stores[r].ingest(
+                        format!("k{k}"),
+                        *v as f64,
+                        meta,
+                        &reg,
+                        SimTime::from_micros(clock),
+                    );
                 }
                 Op::Sync(a, b) if a != b => {
                     let (a, b) = (a % 3, b % 3);
@@ -126,7 +167,7 @@ proptest! {
                 Op::Sync(..) => {}
             }
             // The invariant holds at every step, not just at the end.
-            prop_assert_eq!(
+            assert_eq!(
                 stores[2].privacy_violations(&reg),
                 0,
                 "a governed store must never rest on a violation"

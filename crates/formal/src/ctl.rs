@@ -4,14 +4,15 @@
 //! `EG` natively, the remaining operators by De Morgan-style dualities on
 //! labeled state sets. Complexity is `O(|φ| · (|S| + |R|))` for all
 //! operators except `EG`/`AF`, which iterate to a fixpoint.
+//!
+//! riot-lint: allow-file(P1, reason = "dense StateId-indexed bitset fixpoint kernel; ill-formed structures are rejected up front by the documented validation panic")
 
 use crate::kripke::{Kripke, StateId};
 use crate::prop::{AtomId, Atoms};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A CTL state formula.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ctl {
     /// Truth.
     True,
@@ -198,12 +199,17 @@ impl<'a> CtlChecker<'a> {
         if let Err(defect) = model.validate() {
             panic!("ill-formed Kripke structure: {defect}");
         }
-        CtlChecker { model, preds: model.predecessors() }
+        CtlChecker {
+            model,
+            preds: model.predecessors(),
+        }
     }
 
     /// Computes the satisfying state set of a formula.
     pub fn check(&self, formula: &Ctl) -> SatSet {
-        SatSet { sat: self.sat(formula) }
+        SatSet {
+            sat: self.sat(formula),
+        }
     }
 
     /// `true` if every initial state satisfies the formula.
@@ -217,7 +223,11 @@ impl<'a> CtlChecker<'a> {
         match formula {
             Ctl::True => vec![true; n],
             Ctl::False => vec![false; n],
-            Ctl::Atom(a) => self.model.states().map(|s| self.model.label(s).contains(*a)).collect(),
+            Ctl::Atom(a) => self
+                .model
+                .states()
+                .map(|s| self.model.label(s).contains(*a))
+                .collect(),
             Ctl::Not(f) => negate(self.sat(f)),
             Ctl::And(a, b) => zip_with(self.sat(a), self.sat(b), |x, y| x && y),
             Ctl::Or(a, b) => zip_with(self.sat(a), self.sat(b), |x, y| x || y),
@@ -276,7 +286,13 @@ impl<'a> CtlChecker<'a> {
         let mut count: Vec<usize> = self
             .model
             .states()
-            .map(|s| self.model.successors(s).iter().filter(|t| sat[t.index()]).count())
+            .map(|s| {
+                self.model
+                    .successors(s)
+                    .iter()
+                    .filter(|t| sat[t.index()])
+                    .count()
+            })
             .collect();
         let mut work: Vec<StateId> = sat
             .iter()

@@ -48,6 +48,4 @@ pub use parse::{parse_ctl, parse_ltl, ParseError};
 pub use prob::{Dtmc, DtmcDefect};
 pub use prop::{AtomId, Atoms, Valuation, MAX_ATOMS};
 pub use reach::{bounded_search, check_invariant, SearchResult, TransitionSystem};
-pub use stat::{
-    estimate_probability, hoeffding_samples, wilson, Estimate, Sprt, SprtDecision,
-};
+pub use stat::{estimate_probability, hoeffding_samples, wilson, Estimate, Sprt, SprtDecision};

@@ -10,11 +10,10 @@
 //! being "weak" at the final position.
 
 use crate::prop::{AtomId, Atoms, Valuation};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An LTL formula.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ltl {
     /// Truth.
     True,
@@ -112,7 +111,7 @@ impl Ltl {
         match self {
             Ltl::True => true,
             Ltl::False => false,
-            Ltl::Atom(a) => at < n && trace[at].contains(*a),
+            Ltl::Atom(a) => trace.get(at).is_some_and(|v| v.contains(*a)),
             Ltl::Not(f) => !f.evaluate(trace, at),
             Ltl::And(a, b) => a.evaluate(trace, at) && b.evaluate(trace, at),
             Ltl::Or(a, b) => a.evaluate(trace, at) || b.evaluate(trace, at),
@@ -239,7 +238,10 @@ mod tests {
         assert!(Ltl::atom(q).evaluate(&t, 1));
         assert!(Ltl::atom(p).or(Ltl::atom(q)).evaluate(&t, 0));
         assert!(Ltl::atom(p).and(Ltl::atom(q)).not().evaluate(&t, 0));
-        assert!(Ltl::atom(p).implies(Ltl::atom(q)).evaluate(&t, 1), "vacuous implication");
+        assert!(
+            Ltl::atom(p).implies(Ltl::atom(q)).evaluate(&t, 1),
+            "vacuous implication"
+        );
     }
 
     #[test]
@@ -300,7 +302,10 @@ mod tests {
             for at in 0..=t.len() {
                 // !(p U q) == (!p R !q)
                 let lhs = !Ltl::atom(p).until(Ltl::atom(q)).evaluate(&t, at);
-                let rhs = Ltl::atom(p).not().release(Ltl::atom(q).not()).evaluate(&t, at);
+                let rhs = Ltl::atom(p)
+                    .not()
+                    .release(Ltl::atom(q).not())
+                    .evaluate(&t, at);
                 assert_eq!(lhs, rhs, "duality failed on {spec:?} at {at}");
                 // G p == false R p, F p == true U p
                 assert_eq!(

@@ -15,10 +15,9 @@
 
 use crate::ltl::Ltl;
 use crate::prop::Valuation;
-use serde::{Deserialize, Serialize};
 
 /// Three-valued runtime verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict3 {
     /// Every extension of the observed prefix satisfies the property.
     Satisfied,
@@ -111,7 +110,7 @@ pub fn simplify(phi: Ltl) -> Ltl {
 /// // End of the run: residual obligations resolve on the empty suffix.
 /// assert!(mon.finish());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Monitor {
     original: Ltl,
     residual: Ltl,
@@ -128,7 +127,12 @@ impl Monitor {
             Ltl::False => Verdict3::Violated,
             _ => Verdict3::Inconclusive,
         };
-        Monitor { original: phi, residual, verdict, steps: 0 }
+        Monitor {
+            original: phi,
+            residual,
+            verdict,
+            steps: 0,
+        }
     }
 
     /// Consumes one trace state. Returns the verdict after the step.
@@ -290,7 +294,10 @@ mod tests {
     fn trivial_properties_start_definite() {
         assert_eq!(Monitor::new(Ltl::True).verdict(), Verdict3::Satisfied);
         assert_eq!(Monitor::new(Ltl::False).verdict(), Verdict3::Violated);
-        assert_eq!(Monitor::new(Ltl::True.and(Ltl::False)).verdict(), Verdict3::Violated);
+        assert_eq!(
+            Monitor::new(Ltl::True.and(Ltl::False)).verdict(),
+            Verdict3::Violated
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! `E[φ U ψ]` / `A[φ U ψ]` (CTL), atoms, `true`, `false`, parentheses.
 //! Identifiers match `[A-Za-z_][A-Za-z0-9_./]*` and are interned into the
 //! supplied [`Atoms`] vocabulary (keywords are reserved).
+//!
+//! riot-lint: allow-file(P1, reason = "recursive-descent parser: expect() is this parser's own Result-returning method, and byte-cursor indexing is bounded by the enclosing i < len loop conditions")
 
 use crate::ctl::Ctl;
 use crate::ltl::Ltl;
@@ -108,7 +110,10 @@ fn lex(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
                     out.push((i, Token::Implies));
                     i += 2;
                 } else {
-                    return Err(ParseError { position: i, message: "expected '->'".into() });
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '->'".into(),
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -166,7 +171,10 @@ impl<'a> Parser<'a> {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map(|(p, _)| *p).unwrap_or(self.input_len)
+        self.tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -180,12 +188,18 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseError { position: self.here(), message: format!("expected {what}") })
+            Err(ParseError {
+                position: self.here(),
+                message: format!("expected {what}"),
+            })
         }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { position: self.here(), message: message.into() })
+        Err(ParseError {
+            position: self.here(),
+            message: message.into(),
+        })
     }
 
     // ---------------- LTL ----------------
@@ -333,7 +347,11 @@ impl<'a> Parser<'a> {
         self.expect(Token::Until, "'U' inside E[...]/A[...]")?;
         let rhs = self.ctl_implies()?;
         self.expect(Token::RBracket, "']'")?;
-        Ok(if existential { lhs.eu(rhs) } else { lhs.au(rhs) })
+        Ok(if existential {
+            lhs.eu(rhs)
+        } else {
+            lhs.au(rhs)
+        })
     }
 
     fn ctl_atom(&mut self) -> Result<Ctl, ParseError> {
@@ -380,7 +398,12 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse_ltl(input: &str, atoms: &mut Atoms) -> Result<Ltl, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, atoms, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        atoms,
+        input_len: input.len(),
+    };
     let f = p.ltl_implies()?;
     p.finish(f)
 }
@@ -402,7 +425,12 @@ pub fn parse_ltl(input: &str, atoms: &mut Atoms) -> Result<Ltl, ParseError> {
 /// ```
 pub fn parse_ctl(input: &str, atoms: &mut Atoms) -> Result<Ctl, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, atoms, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        atoms,
+        input_len: input.len(),
+    };
     let f = p.ctl_implies()?;
     p.finish(f)
 }
@@ -490,8 +518,8 @@ mod tests {
 
     #[test]
     fn parsed_ctl_checks_correctly() {
-        use crate::kripke::Kripke;
         use crate::ctl::CtlChecker;
+        use crate::kripke::Kripke;
         let mut atoms = Atoms::new();
         let phi = parse_ctl("AG EF up", &mut atoms).unwrap();
         let up = atoms.lookup("up").unwrap();

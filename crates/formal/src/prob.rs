@@ -13,9 +13,10 @@
 //!   fixpoint;
 //! * [`Dtmc::stationary`] — the long-run state distribution by power
 //!   iteration (the fraction of time a component spends failed).
+//!
+//! riot-lint: allow-file(P1, reason = "row-stochastic matrix kernel: rows are sized to the state count at construction and StateId bounds are assert-checked on entry")
 
 use crate::kripke::StateId;
-use serde::Serialize;
 use std::fmt;
 
 /// A discrete-time Markov chain with dense state indexing.
@@ -51,7 +52,7 @@ pub struct Dtmc {
 }
 
 /// A defect found by [`Dtmc::validate`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DtmcDefect {
     /// A row does not sum to 1 (within 1e-9).
     BadRowSum {
@@ -71,7 +72,10 @@ impl fmt::Display for DtmcDefect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DtmcDefect::BadRowSum { state, sum } => {
-                write!(f, "state s{state}: outgoing probabilities sum to {sum}, expected 1")
+                write!(
+                    f,
+                    "state s{state}: outgoing probabilities sum to {sum}, expected 1"
+                )
             }
             DtmcDefect::NegativeProbability { state } => {
                 write!(f, "state s{state}: negative probability")
@@ -90,7 +94,10 @@ impl Dtmc {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a chain needs at least one state");
-        Dtmc { n, rows: vec![Vec::new(); n] }
+        Dtmc {
+            n,
+            rows: vec![Vec::new(); n],
+        }
     }
 
     /// Number of states.
@@ -104,7 +111,10 @@ impl Dtmc {
     ///
     /// Panics on out-of-range states.
     pub fn set_transition(&mut self, from: StateId, to: StateId, p: f64) {
-        assert!(from.index() < self.n && to.index() < self.n, "state out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "state out of range"
+        );
         let row = &mut self.rows[from.index()];
         if let Some(entry) = row.iter_mut().find(|(j, _)| *j == to.index()) {
             entry.1 = p;
@@ -134,7 +144,10 @@ impl Dtmc {
             }
             let sum: f64 = row.iter().map(|(_, p)| p).sum();
             if (sum - 1.0).abs() > 1e-9 {
-                return Err(DtmcDefect::BadRowSum { state: i as u32, sum });
+                return Err(DtmcDefect::BadRowSum {
+                    state: i as u32,
+                    sum,
+                });
             }
         }
         Ok(())
@@ -149,11 +162,11 @@ impl Dtmc {
         }
         for _ in 0..k {
             let mut next = v.clone();
-            for i in 0..self.n {
+            for (i, next_i) in next.iter_mut().enumerate() {
                 if targets.iter().any(|t| t.index() == i) {
                     continue; // absorbing for the query
                 }
-                next[i] = self.rows[i].iter().map(|(j, p)| p * v[*j]).sum();
+                *next_i = self.rows[i].iter().map(|(j, p)| p * v[*j]).sum();
             }
             v = next;
         }
@@ -171,13 +184,13 @@ impl Dtmc {
         for _ in 0..100_000 {
             let mut next = v.clone();
             let mut delta = 0.0f64;
-            for i in 0..self.n {
+            for (i, next_i) in next.iter_mut().enumerate() {
                 if targets.iter().any(|t| t.index() == i) {
                     continue;
                 }
                 let x: f64 = self.rows[i].iter().map(|(j, p)| p * v[*j]).sum();
-                delta = delta.max((x - next[i]).abs());
-                next[i] = x;
+                delta = delta.max((x - *next_i).abs());
+                *next_i = x;
             }
             v = next;
             if delta < 1e-12 {
@@ -212,7 +225,10 @@ impl Dtmc {
     ///
     /// Panics if either probability is outside `[0, 1]`.
     pub fn availability_model(p_fail: f64, p_repair: f64) -> Dtmc {
-        assert!((0.0..=1.0).contains(&p_fail) && (0.0..=1.0).contains(&p_repair), "bad probabilities");
+        assert!(
+            (0.0..=1.0).contains(&p_fail) && (0.0..=1.0).contains(&p_repair),
+            "bad probabilities"
+        );
         let mut m = Dtmc::new(2);
         m.set_transition(StateId(0), StateId(1), p_fail);
         m.set_transition(StateId(0), StateId(0), 1.0 - p_fail);
@@ -234,12 +250,18 @@ mod tests {
     fn validation_catches_defects() {
         let mut m = Dtmc::new(2);
         m.set_transition(s(0), s(1), 0.5);
-        assert!(matches!(m.validate(), Err(DtmcDefect::BadRowSum { state: 0, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(DtmcDefect::BadRowSum { state: 0, .. })
+        ));
         m.set_transition(s(0), s(0), 0.5);
         m.set_transition(s(1), s(1), 1.0);
         assert!(m.validate().is_ok());
         m.set_transition(s(1), s(0), -0.1);
-        assert!(matches!(m.validate(), Err(DtmcDefect::NegativeProbability { state: 1 })));
+        assert!(matches!(
+            m.validate(),
+            Err(DtmcDefect::NegativeProbability { state: 1 })
+        ));
         let err = DtmcDefect::BadRowSum { state: 0, sum: 0.5 };
         assert!(err.to_string().contains("sum to 0.5"));
     }

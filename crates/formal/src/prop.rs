@@ -7,12 +7,11 @@
 //! framework use well under 64 observable propositions; the interner
 //! enforces the cap loudly).
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An interned atomic proposition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AtomId(pub(crate) u8);
 
 impl AtomId {
@@ -37,7 +36,7 @@ impl AtomId {
 #[derive(Debug, Clone, Default)]
 pub struct Atoms {
     names: Vec<String>,
-    index: HashMap<String, AtomId>,
+    index: BTreeMap<String, AtomId>,
 }
 
 /// Maximum number of distinct atoms (valuations are 64-bit masks).
@@ -58,7 +57,10 @@ impl Atoms {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        assert!(self.names.len() < MAX_ATOMS, "more than {MAX_ATOMS} atomic propositions");
+        assert!(
+            self.names.len() < MAX_ATOMS,
+            "more than {MAX_ATOMS} atomic propositions"
+        );
         let id = AtomId(self.names.len() as u8);
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
@@ -76,6 +78,7 @@ impl Atoms {
     ///
     /// Panics on a foreign [`AtomId`].
     pub fn name(&self, id: AtomId) -> &str {
+        // riot-lint: allow(P1, reason = "documented # Panics contract: foreign AtomIds are a caller bug")
         &self.names[id.index()]
     }
 
@@ -104,7 +107,7 @@ impl Atoms {
 /// assert!(v.contains(a));
 /// assert!(!v.contains(b));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Valuation(u64);
 
 impl Valuation {

@@ -7,13 +7,13 @@
 //! matching a predicate, and returns a shortest witness path — used to
 //! verify (or refute) invariants of configuration models before deployment.
 
-use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
+use std::collections::{BTreeMap, VecDeque};
 
 /// An implicit transition system: initial states and a successor function.
 pub trait TransitionSystem {
-    /// The state type; must be hashable for visited-set deduplication.
-    type State: Clone + Eq + Hash;
+    /// The state type; must be totally ordered so the visited set
+    /// (a `BTreeMap`) stays deterministic — rule `D1`.
+    type State: Clone + Eq + Ord;
 
     /// The initial states.
     fn initial(&self) -> Vec<Self::State>;
@@ -85,7 +85,7 @@ pub fn bounded_search<T: TransitionSystem>(
     max_depth: usize,
     mut target: impl FnMut(&T::State) -> bool,
 ) -> SearchResult<T::State> {
-    let mut parents: HashMap<T::State, Option<T::State>> = HashMap::new();
+    let mut parents: BTreeMap<T::State, Option<T::State>> = BTreeMap::new();
     let mut frontier: VecDeque<(T::State, usize)> = VecDeque::new();
     for s in system.initial() {
         if target(&s) {

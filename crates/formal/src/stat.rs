@@ -7,11 +7,11 @@
 //! and reports the satisfaction probability with confidence bounds — plus a
 //! sequential probability ratio test (SPRT) for threshold queries
 //! ("is P(recovery within 10 s) ≥ 0.95?").
-
-use serde::Serialize;
+//!
+//! riot-lint: allow-file(P1, reason = "fixed polynomial coefficient tables indexed by literal constants (inverse-normal approximation)")
 
 /// A probability estimate with a confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Number of samples.
     pub n: usize,
@@ -44,10 +44,22 @@ fn inverse_normal_cdf(p: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&p));
     // Coefficients for the central region approximation.
     const A: [f64; 6] = [
-        -39.696830, 220.946098, -275.928510, 138.357751, -30.664798, 2.506628,
+        -39.696830,
+        220.946098,
+        -275.928510,
+        138.357751,
+        -30.664798,
+        2.506628,
     ];
     const B: [f64; 5] = [-54.476098, 161.585836, -155.698979, 66.801311, -13.280681];
-    const C: [f64; 6] = [-0.007784894002, -0.32239645, -2.400758, -2.549732, 4.374664, 2.938163];
+    const C: [f64; 6] = [
+        -0.007784894002,
+        -0.32239645,
+        -2.400758,
+        -2.549732,
+        4.374664,
+        2.938163,
+    ];
     const D: [f64; 4] = [0.007784695709, 0.32246712, 2.445134, 3.754408];
     let p_low = 0.02425;
     if p < p_low {
@@ -89,7 +101,10 @@ pub fn estimate_probability(
     mut trial: impl FnMut(usize) -> bool,
 ) -> Estimate {
     assert!(n > 0, "need at least one sample");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
     let successes = (0..n).filter(|i| trial(*i)).count();
     wilson(successes, n, confidence)
 }
@@ -131,7 +146,7 @@ pub fn hoeffding_samples(epsilon: f64, delta: f64) -> usize {
 }
 
 /// Outcome of a sequential probability ratio test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SprtDecision {
     /// Accept `H1: p >= p1` (the property holds with high probability).
     AcceptH1,
@@ -179,7 +194,10 @@ impl Sprt {
     /// Panics unless `0 < p0 < p1 < 1` and `alpha`, `beta` in `(0, 1)`.
     pub fn new(p0: f64, p1: f64, alpha: f64, beta: f64) -> Self {
         assert!(0.0 < p0 && p0 < p1 && p1 < 1.0, "need 0 < p0 < p1 < 1");
-        assert!(alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0, "bad error bounds");
+        assert!(
+            alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0,
+            "bad error bounds"
+        );
         Sprt {
             log_a: ((1.0 - beta) / alpha).ln(),
             log_b: (beta / (1.0 - alpha)).ln(),
@@ -194,7 +212,11 @@ impl Sprt {
     /// undecided) decision.
     pub fn observe(&mut self, success: bool) -> SprtDecision {
         self.observations += 1;
-        self.llr += if success { self.log_ratio_success } else { self.log_ratio_failure };
+        self.llr += if success {
+            self.log_ratio_success
+        } else {
+            self.log_ratio_failure
+        };
         self.decision()
     }
 
@@ -225,7 +247,12 @@ mod tests {
         let e = wilson(75, 100, 0.95);
         assert_eq!(e.mean, 0.75);
         assert!(e.lo < 0.75 && 0.75 < e.hi);
-        assert!(e.lo > 0.6 && e.hi < 0.9, "interval is reasonably tight: [{}, {}]", e.lo, e.hi);
+        assert!(
+            e.lo > 0.6 && e.hi < 0.9,
+            "interval is reasonably tight: [{}, {}]",
+            e.lo,
+            e.hi
+        );
         // Degenerate counts stay in [0,1].
         let e = wilson(0, 10, 0.95);
         assert_eq!(e.lo, 0.0);
@@ -253,7 +280,12 @@ mod tests {
     fn estimate_probability_covers_truth() {
         let mut rng = SimRng::seed_from(8);
         let est = estimate_probability(2_000, 0.95, |_| rng.chance(0.3));
-        assert!(est.lo <= 0.3 && 0.3 <= est.hi, "interval [{}, {}] misses 0.3", est.lo, est.hi);
+        assert!(
+            est.lo <= 0.3 && 0.3 <= est.hi,
+            "interval [{}, {}] misses 0.3",
+            est.lo,
+            est.hi
+        );
     }
 
     #[test]
@@ -286,7 +318,10 @@ mod tests {
             }
         }
         assert_eq!(d, SprtDecision::AcceptH1);
-        assert!(sprt.observations() < 200, "sequential test should stop early");
+        assert!(
+            sprt.observations() < 200,
+            "sequential test should stop early"
+        );
 
         let mut sprt = Sprt::new(0.5, 0.9, 0.01, 0.01);
         let mut d = SprtDecision::Undecided;

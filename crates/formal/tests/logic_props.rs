@@ -1,11 +1,21 @@
 //! Property tests for the formal toolbox: progression soundness, boolean
 //! simplification, LTL dualities, and CTL duality laws on random models.
+//!
+//! Randomized formulas and traces are drawn from the workspace's own seeded
+//! [`SimRng`] rather than `proptest`, so every run explores the same cases —
+//! test determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
 use riot_formal::{simplify, Atoms, Ctl, CtlChecker, Kripke, Ltl, Monitor, Valuation};
 use riot_sim::SimRng;
 
-fn atoms3() -> (Atoms, riot_formal::AtomId, riot_formal::AtomId, riot_formal::AtomId) {
+const CASES: usize = 128;
+
+fn atoms3() -> (
+    Atoms,
+    riot_formal::AtomId,
+    riot_formal::AtomId,
+    riot_formal::AtomId,
+) {
     let mut a = Atoms::new();
     let p = a.intern("p");
     let q = a.intern("q");
@@ -13,137 +23,160 @@ fn atoms3() -> (Atoms, riot_formal::AtomId, riot_formal::AtomId, riot_formal::At
     (a, p, q, r)
 }
 
-/// Strategy: a random LTL formula of bounded depth over three atoms.
-fn ltl_formula(depth: u32) -> BoxedStrategy<Ltl> {
+/// A random LTL formula of bounded depth over three atoms.
+fn ltl_formula(rng: &mut SimRng, depth: u32) -> Ltl {
     let (_, p, q, r) = atoms3();
-    let leaf = prop_oneof![
-        Just(Ltl::True),
-        Just(Ltl::False),
-        Just(Ltl::atom(p)),
-        Just(Ltl::atom(q)),
-        Just(Ltl::atom(r)),
-    ];
-    leaf.prop_recursive(depth, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            inner.clone().prop_map(|f| f.next()),
-            inner.clone().prop_map(|f| f.globally()),
-            inner.clone().prop_map(|f| f.eventually()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.release(b)),
-        ]
-    })
-    .boxed()
+    if depth == 0 || rng.chance(0.25) {
+        return match rng.range_u64(0, 5) {
+            0 => Ltl::True,
+            1 => Ltl::False,
+            2 => Ltl::atom(p),
+            3 => Ltl::atom(q),
+            _ => Ltl::atom(r),
+        };
+    }
+    let d = depth - 1;
+    match rng.range_u64(0, 9) {
+        0 => ltl_formula(rng, d).not(),
+        1 => ltl_formula(rng, d).and(ltl_formula(rng, d)),
+        2 => ltl_formula(rng, d).or(ltl_formula(rng, d)),
+        3 => ltl_formula(rng, d).implies(ltl_formula(rng, d)),
+        4 => ltl_formula(rng, d).next(),
+        5 => ltl_formula(rng, d).globally(),
+        6 => ltl_formula(rng, d).eventually(),
+        7 => ltl_formula(rng, d).until(ltl_formula(rng, d)),
+        _ => ltl_formula(rng, d).release(ltl_formula(rng, d)),
+    }
 }
 
-/// Strategy: a random trace over the three atoms.
-fn trace(max_len: usize) -> BoxedStrategy<Vec<Valuation>> {
+/// A random trace over the three atoms.
+fn trace(rng: &mut SimRng, max_len: usize) -> Vec<Valuation> {
     let (_, p, q, r) = atoms3();
-    prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 0..max_len)
-        .prop_map(move |bits| {
-            bits.into_iter()
-                .map(|(bp, bq, br)| {
-                    let mut v = Valuation::EMPTY;
-                    v.set(p, bp);
-                    v.set(q, bq);
-                    v.set(r, br);
-                    v
-                })
-                .collect()
+    let n = rng.range_u64(0, max_len as u64) as usize;
+    (0..n)
+        .map(|_| {
+            let mut v = Valuation::EMPTY;
+            v.set(p, rng.chance(0.5));
+            v.set(q, rng.chance(0.5));
+            v.set(r, rng.chance(0.5));
+            v
         })
-        .boxed()
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The crown jewel: the progression monitor agrees with the denotational
-    /// finite-trace semantics on every formula and every trace.
-    #[test]
-    fn monitor_agrees_with_trace_semantics(phi in ltl_formula(3), t in trace(8)) {
+/// The crown jewel: the progression monitor agrees with the denotational
+/// finite-trace semantics on every formula and every trace.
+#[test]
+fn monitor_agrees_with_trace_semantics() {
+    let mut rng = SimRng::seed_from(0xF0_0001);
+    for _ in 0..CASES {
+        let phi = ltl_formula(&mut rng, 3);
+        let t = trace(&mut rng, 8);
         let expected = phi.evaluate(&t, 0);
         let mut m = Monitor::new(phi);
         for s in &t {
             m.step(*s);
         }
-        prop_assert_eq!(m.finish(), expected);
+        assert_eq!(m.finish(), expected);
     }
+}
 
-    /// Boolean simplification never changes meaning.
-    #[test]
-    fn simplify_preserves_semantics(phi in ltl_formula(3), t in trace(6)) {
+/// Boolean simplification never changes meaning.
+#[test]
+fn simplify_preserves_semantics() {
+    let mut rng = SimRng::seed_from(0xF0_0002);
+    for _ in 0..CASES {
+        let phi = ltl_formula(&mut rng, 3);
+        let t = trace(&mut rng, 6);
         let simplified = simplify(phi.clone());
         for at in 0..=t.len() {
-            prop_assert_eq!(
+            assert_eq!(
                 phi.evaluate(&t, at),
                 simplified.evaluate(&t, at),
-                "simplify changed meaning at {}", at
+                "simplify changed meaning at {at}"
             );
         }
         // Note: simplify may grow `Implies` by one node (it desugars to
         // `!a | b`), so no size bound is asserted — only semantics.
     }
+}
 
-    /// The classical dualities hold under the finite-trace semantics.
-    #[test]
-    fn ltl_dualities(a in ltl_formula(2), b in ltl_formula(2), t in trace(6)) {
+/// The classical dualities hold under the finite-trace semantics.
+#[test]
+fn ltl_dualities() {
+    let mut rng = SimRng::seed_from(0xF0_0003);
+    for _ in 0..CASES {
+        let a = ltl_formula(&mut rng, 2);
+        let b = ltl_formula(&mut rng, 2);
+        let t = trace(&mut rng, 6);
         for at in 0..=t.len() {
             // ¬(a U b) ≡ ¬a R ¬b
-            prop_assert_eq!(
+            assert_eq!(
                 !a.clone().until(b.clone()).evaluate(&t, at),
                 a.clone().not().release(b.clone().not()).evaluate(&t, at)
             );
             // G a ≡ false R a ; F a ≡ true U a
-            prop_assert_eq!(
+            assert_eq!(
                 a.clone().globally().evaluate(&t, at),
                 Ltl::False.release(a.clone()).evaluate(&t, at)
             );
-            prop_assert_eq!(
+            assert_eq!(
                 a.clone().eventually().evaluate(&t, at),
                 Ltl::True.until(a.clone()).evaluate(&t, at)
             );
             // ¬F¬a ≡ G a
-            prop_assert_eq!(
+            assert_eq!(
                 a.clone().not().eventually().not().evaluate(&t, at),
                 a.clone().globally().evaluate(&t, at)
             );
         }
     }
+}
 
-    /// Monitors are prefix-sound: a definite verdict never flips with more
-    /// input.
-    #[test]
-    fn monitor_verdicts_are_stable(phi in ltl_formula(3), t in trace(10)) {
-        use riot_formal::Verdict3;
+/// Monitors are prefix-sound: a definite verdict never flips with more
+/// input.
+#[test]
+fn monitor_verdicts_are_stable() {
+    use riot_formal::Verdict3;
+    let mut rng = SimRng::seed_from(0xF0_0004);
+    for _ in 0..CASES {
+        let phi = ltl_formula(&mut rng, 3);
+        let t = trace(&mut rng, 10);
         let mut m = Monitor::new(phi);
         let mut definite: Option<Verdict3> = None;
         for s in &t {
             let v = m.step(*s);
             if let Some(d) = definite {
-                prop_assert_eq!(v, d, "definite verdict flipped");
+                assert_eq!(v, d, "definite verdict flipped");
             } else if v != Verdict3::Inconclusive {
                 definite = Some(v);
             }
         }
     }
+}
 
-    /// Render → parse is the identity on LTL formulas (the parser and the
-    /// renderer agree on the grammar).
-    #[test]
-    fn ltl_render_parse_round_trip(phi in ltl_formula(3)) {
+/// Render → parse is the identity on LTL formulas (the parser and the
+/// renderer agree on the grammar).
+#[test]
+fn ltl_render_parse_round_trip() {
+    let mut rng = SimRng::seed_from(0xF0_0005);
+    for _ in 0..CASES {
+        let phi = ltl_formula(&mut rng, 3);
         let (mut atoms, _, _, _) = atoms3();
         let rendered = phi.render(&atoms);
         let reparsed = riot_formal::parse_ltl(&rendered, &mut atoms)
             .unwrap_or_else(|e| panic!("{rendered}: {e}"));
-        prop_assert_eq!(phi, reparsed, "{}", rendered);
+        assert_eq!(phi, reparsed, "{rendered}");
     }
+}
 
-    /// CTL dualities on random Kripke structures.
-    #[test]
-    fn ctl_dualities_on_random_models(seed in 0u64..500, states in 10usize..60) {
+/// CTL dualities on random Kripke structures.
+#[test]
+fn ctl_dualities_on_random_models() {
+    let mut meta = SimRng::seed_from(0xF0_0006);
+    for _ in 0..CASES {
+        let seed = meta.range_u64(0, 500);
+        let states = meta.range_u64(10, 60) as usize;
         let mut rng = SimRng::seed_from(seed);
         let k = Kripke::random(states, 3, 2, &mut rng);
         let checker = CtlChecker::new(&k);
@@ -156,13 +189,17 @@ proptest! {
             (p.clone().ef(), Ctl::True.eu(p.clone())),
         ];
         for (lhs, rhs) in pairs {
-            prop_assert_eq!(checker.check(&lhs), checker.check(&rhs), "duality failed");
+            assert_eq!(checker.check(&lhs), checker.check(&rhs), "duality failed");
         }
     }
+}
 
-    /// `AG φ` implies `φ` everywhere it holds; `φ` implies `EF φ`.
-    #[test]
-    fn ctl_fixpoint_sanity(seed in 0u64..500) {
+/// `AG φ` implies `φ` everywhere it holds; `φ` implies `EF φ`.
+#[test]
+fn ctl_fixpoint_sanity() {
+    let mut meta = SimRng::seed_from(0xF0_0007);
+    for _ in 0..CASES {
+        let seed = meta.range_u64(0, 500);
         let mut rng = SimRng::seed_from(seed);
         let k = Kripke::random(40, 3, 2, &mut rng);
         let checker = CtlChecker::new(&k);
@@ -173,10 +210,10 @@ proptest! {
         let ef = checker.check(&p.clone().ef());
         for s in k.states() {
             if ag.contains(s) {
-                prop_assert!(now.contains(s), "AG p ⊆ p");
+                assert!(now.contains(s), "AG p ⊆ p");
             }
             if now.contains(s) {
-                prop_assert!(ef.contains(s), "p ⊆ EF p");
+                assert!(ef.contains(s), "p ⊆ EF p");
             }
         }
     }

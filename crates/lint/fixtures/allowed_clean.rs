@@ -1,0 +1,25 @@
+//! Fixture: every rule trigger carries a well-formed allow directive, so
+//! the scan must report ZERO diagnostics (the false-positive guard for the
+//! allow path). NOT compiled; scanned by crates/lint/tests/fixtures.rs.
+//! riot-lint: allow-file(D3, reason = "fixture exercises file-scoped allows")
+
+use std::collections::HashMap; // riot-lint: allow(D1, reason = "never iterated; keyed lookups only")
+
+pub fn timed() -> std::time::Duration {
+    // riot-lint: allow(D2, reason = "operator-facing latency probe, not sim state")
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn entropy_covered_by_file_allow() -> bool {
+    rand::random()
+}
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    // riot-lint: allow(P1, reason = "i < xs.len() checked by caller contract")
+    xs[i]
+}
+
+pub fn trailing(m: &HashMap<u32, u32>, k: u32) -> u32 { // riot-lint: allow(D1, reason = "keyed lookup")
+    m.get(&k).copied().unwrap_or(0)
+}

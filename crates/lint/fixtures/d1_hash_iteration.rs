@@ -1,0 +1,23 @@
+//! Fixture: rule D1 — hashed collections in a sim-visible crate.
+//! NOT compiled; scanned by crates/lint/tests/fixtures.rs, which asserts
+//! the exact (rule, line) pairs below. Keep line numbers stable.
+
+use std::collections::HashMap; // line 5: D1
+use std::collections::BTreeMap; // fine
+
+pub fn tally(events: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut counts: HashMap<u32, u64> = HashMap::new(); // line 9: D1
+    for (k, v) in events {
+        *counts.entry(*k).or_default() += *v;
+    }
+    // Mentioning HashMap here, or in the string below, must NOT fire.
+    let _doc = "HashMap and HashSet are unordered";
+    let mut out: Vec<(u32, u64)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect(); // line 21: D1
+    set.len()
+}

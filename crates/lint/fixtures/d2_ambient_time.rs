@@ -1,0 +1,22 @@
+//! Fixture: rule D2 — ambient wall-clock time.
+//! NOT compiled; scanned by crates/lint/tests/fixtures.rs. Keep line
+//! numbers stable.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure<F: FnOnce()>(f: F) -> Duration {
+    let start = Instant::now(); // line 8: D2
+    f();
+    start.elapsed()
+}
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now(); // line 14: D2
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn sim_clock_is_fine(now: riot_sim::SimTime) -> riot_sim::SimTime {
+    // "Instant::now" in a comment or string must not fire:
+    let _s = "Instant::now";
+    now
+}

@@ -1,0 +1,21 @@
+//! Fixture: rule D3 — ambient entropy.
+//! NOT compiled; scanned by crates/lint/tests/fixtures.rs. Keep line
+//! numbers stable.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // line 6: D3
+    rng.gen()
+}
+
+pub fn coin() -> bool {
+    rand::random() // line 11: D3
+}
+
+pub fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new() // line 15: D3
+}
+
+pub fn seeded_is_fine(seed: u64) -> u64 {
+    let mut rng = riot_sim::SimRng::seed_from(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,17 @@
+//! Fixture: malformed directives are reported as rule LINT and do not
+//! suppress the violation they sit next to. NOT compiled; scanned by
+//! crates/lint/tests/fixtures.rs. Keep line numbers stable.
+
+pub fn missing_reason(xs: &[u32]) -> u32 {
+    // riot-lint: allow(P1)
+    xs.first().copied().unwrap() // line 7: P1 (the allow above is void), line 6: LINT
+}
+
+pub fn unknown_rule(xs: &[u32]) -> u32 {
+    xs.last().copied().unwrap() // riot-lint: allow(Q7, reason = "no such rule") -- line 11: LINT + P1
+}
+
+pub fn empty_reason() -> u32 {
+    // riot-lint: allow(D2, reason = "")
+    0 // line 15: LINT on the directive line
+}

@@ -1,0 +1,35 @@
+//! Fixture: rule P1 — panic paths in non-test library code.
+//! NOT compiled; scanned by crates/lint/tests/fixtures.rs. Keep line
+//! numbers stable.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap() // line 6: P1
+}
+
+pub fn named(map: &std::collections::BTreeMap<u32, String>, k: u32) -> String {
+    map.get(&k).expect("key must exist").clone() // line 10: P1
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        panic!("empty input"); // line 15: P1
+    }
+    xs[0] // line 17: P1 (bare indexing)
+}
+
+pub fn graceful(xs: &[u32]) -> Option<u32> {
+    // The non-panicking forms must not fire:
+    let a = xs.first().copied().unwrap_or(0);
+    let b = xs.get(1).copied().unwrap_or_else(|| a);
+    Some(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = vec![1u32, 2];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+        assert_eq!(xs[1], 2);
+    }
+}

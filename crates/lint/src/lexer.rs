@@ -1,0 +1,356 @@
+//! A small scrubbing lexer for Rust source.
+//!
+//! The rule checks in [`crate::rules`] are token-level: they must never be
+//! fooled by text that merely *mentions* a forbidden construct inside a
+//! comment, a string literal or a doc example. This module walks a source
+//! file once and produces, per line, the code with all comments and
+//! string/char literal *contents* removed (quote characters are kept so
+//! token adjacency stays sane), plus the verbatim text of every line
+//! comment so `riot-lint:` directives can be parsed from them.
+//!
+//! The lexer understands:
+//!
+//! - line comments (`//`, `///`, `//!`) — captured for directive parsing;
+//! - nested block comments (`/* /* */ */`) — blanked;
+//! - string literals with escapes (`"a \" b"`), including multi-line ones;
+//! - raw strings with any hash depth (`r#"..."#`, `br##"..."##`);
+//! - byte strings (`b"..."`) and byte chars (`b'x'`);
+//! - char literals incl. escapes (`'x'`, `'\u{1F600}'`, `'\''`) vs
+//!   lifetimes/labels (`'a`, `'static`), disambiguated by lookahead.
+//!
+//! It does **not** build an AST: line-accurate tokens are all the rules
+//! need, and keeping the pass dependency-free matters more than parsing
+//! fidelity (see DESIGN.md — the container builds fully offline, so `syn`
+//! is not an option).
+
+/// One source line after scrubbing.
+#[derive(Debug, Default)]
+pub struct ScrubbedLine {
+    /// The line's code with comment and literal contents removed.
+    pub code: String,
+    /// Verbatim text of each line comment that ended on this line.
+    pub comments: Vec<String>,
+}
+
+/// A whole file after scrubbing; `lines[i]` is source line `i + 1`.
+#[derive(Debug, Default)]
+pub struct ScrubbedFile {
+    /// The scrubbed lines, in order.
+    pub lines: Vec<ScrubbedLine>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Result of scanning a string-ish literal body.
+struct LitScan {
+    /// Index just past the literal (or end of input if unterminated).
+    end: usize,
+    /// Newlines crossed inside the literal.
+    newlines: usize,
+    /// Whether a closing delimiter was found.
+    closed: bool,
+}
+
+/// What a `r`/`b` prefix turned out to introduce.
+enum Prefixed {
+    Str(LitScan),
+    Char(usize),
+}
+
+/// Scrubs `source`. Never panics: malformed input (unterminated literals)
+/// degrades to treating the rest of the file as literal content, which can
+/// only *suppress* findings on text that was not code to begin with.
+pub fn scrub(source: &str) -> ScrubbedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+
+    let mut out = ScrubbedFile::default();
+    let mut cur = ScrubbedLine::default();
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {
+            out.lines.push(std::mem::take(&mut cur))
+        };
+    }
+    macro_rules! emit_str {
+        ($scan:expr) => {{
+            let scan = $scan;
+            cur.code.push('"');
+            for _ in 0..scan.newlines {
+                newline!();
+            }
+            if scan.closed {
+                cur.code.push('"');
+            }
+            i = scan.end;
+        }};
+    }
+
+    while i < n {
+        let c = at(i);
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if at(i + 1) == '/' => {
+                // Line comment: capture verbatim (minus the trailing \n).
+                let mut text = String::new();
+                while i < n && at(i) != '\n' {
+                    text.push(at(i));
+                    i += 1;
+                }
+                cur.comments.push(text);
+            }
+            '/' if at(i + 1) == '*' => {
+                // Nested block comment; blanked entirely.
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if at(i) == '/' && at(i + 1) == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if at(i) == '*' && at(i + 1) == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if at(i) == '\n' {
+                            newline!();
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => emit_str!(scan_string(&chars, i + 1)),
+            'r' | 'b' if !cur.code.chars().last().is_some_and(is_ident) => {
+                match scan_prefixed(&chars, i) {
+                    Some(Prefixed::Str(scan)) => emit_str!(scan),
+                    Some(Prefixed::Char(end)) => {
+                        cur.code.push_str("''");
+                        i = end;
+                    }
+                    None => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                if let Some(end) = char_literal_end(&chars, i) {
+                    cur.code.push_str("''");
+                    i = end;
+                } else {
+                    // Lifetime or loop label: keep as-is.
+                    cur.code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comments.is_empty() {
+        out.lines.push(cur);
+    }
+    out
+}
+
+/// Scans a normal string literal body starting just past the opening `"`.
+fn scan_string(chars: &[char], mut i: usize) -> LitScan {
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    let mut newlines = 0usize;
+    while i < chars.len() {
+        match at(i) {
+            '\\' => i += 2,
+            '\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            '"' => {
+                return LitScan {
+                    end: i + 1,
+                    newlines,
+                    closed: true,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    LitScan {
+        end: i,
+        newlines,
+        closed: false,
+    }
+}
+
+/// If position `start` begins a prefixed literal (`r"`, `r#"`, `b"`, `br#"`,
+/// `b'`), scans it. Returns `None` when the `r`/`b` is just an identifier
+/// character.
+fn scan_prefixed(chars: &[char], start: usize) -> Option<Prefixed> {
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    let mut i = start;
+    let mut raw = false;
+    while at(i) == 'r' || at(i) == 'b' {
+        raw |= at(i) == 'r';
+        i += 1;
+        if i > start + 2 {
+            return None;
+        }
+    }
+    if at(i) == '\'' && !raw {
+        // Byte char literal b'x'.
+        return char_literal_end(chars, i).map(Prefixed::Char);
+    }
+    let mut hashes = 0usize;
+    while at(i) == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if at(i) != '"' || (hashes > 0 && !raw) {
+        return None;
+    }
+    if !raw {
+        return Some(Prefixed::Str(scan_string(chars, i + 1)));
+    }
+    // Raw string: scan for `"` followed by `hashes` hash marks.
+    i += 1;
+    let mut newlines = 0usize;
+    while i < chars.len() {
+        if at(i) == '\n' {
+            newlines += 1;
+            i += 1;
+            continue;
+        }
+        if at(i) == '"' {
+            let mut k = 0usize;
+            while k < hashes && at(i + 1 + k) == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(Prefixed::Str(LitScan {
+                    end: i + 1 + hashes,
+                    newlines,
+                    closed: true,
+                }));
+            }
+        }
+        i += 1;
+    }
+    Some(Prefixed::Str(LitScan {
+        end: i,
+        newlines,
+        closed: false,
+    }))
+}
+
+/// If the `'` at `start` opens a char literal (rather than a lifetime),
+/// returns the index just past its closing quote.
+fn char_literal_end(chars: &[char], start: usize) -> Option<usize> {
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    if at(start + 1) == '\\' {
+        // Escape: skip the backslash and the escaped char, then scan to the
+        // closing quote (covers '\u{..}' and '\'' alike).
+        let mut i = start + 3;
+        while i < chars.len() && at(i) != '\'' && at(i) != '\n' {
+            i += 1;
+        }
+        return (at(i) == '\'').then_some(i + 1);
+    }
+    // 'x' but not 'x (lifetime) and not '' (invalid).
+    (at(start + 2) == '\'' && at(start + 1) != '\'').then_some(start + 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_lines(src: &str) -> Vec<String> {
+        scrub(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_kept() {
+        let f = scrub("let x = 1; // uses HashMap\n");
+        assert_eq!(f.lines.len(), 1);
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert_eq!(f.lines[0].comments, vec!["// uses HashMap".to_string()]);
+    }
+
+    #[test]
+    fn block_comments_blank_and_track_lines() {
+        let lines = code_lines("a /* HashMap\n still comment */ b\nc");
+        assert_eq!(
+            lines,
+            vec!["a ".to_string(), " b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn strings_are_emptied_but_quotes_remain() {
+        let lines = code_lines("call(\".unwrap() Instant::now\")");
+        assert_eq!(lines, vec!["call(\"\")".to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lines = code_lines("let s = r#\"thread_rng \" quote\"#; s.len()");
+        assert_eq!(lines, vec!["let s = \"\"; s.len()".to_string()]);
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_attribution() {
+        let lines = code_lines("let s = \"one\ntwo\nthree\"; done()");
+        assert_eq!(
+            lines,
+            vec![
+                "let s = \"".to_string(),
+                String::new(),
+                "\"; done()".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = code_lines("fn f<'a>(x: &'a str) { m.insert('[', 1); }");
+        assert_eq!(
+            lines,
+            vec!["fn f<'a>(x: &'a str) { m.insert('', 1); }".to_string()]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let lines = code_lines("let q = '\\''; let u = '\\u{41}'; v.len()");
+        assert_eq!(lines, vec!["let q = ''; let u = ''; v.len()".to_string()]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let lines = code_lines("let a = b\"bytes[0]\"; let c = b'x'; id(a, c)");
+        assert_eq!(
+            lines,
+            vec!["let a = \"\"; let c = ''; id(a, c)".to_string()]
+        );
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let lines = code_lines("attr\"x\"");
+        // The `r` inside `attr` must not absorb the string as raw.
+        assert_eq!(lines, vec!["attr\"\"".to_string()]);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_rest() {
+        let lines = code_lines("let s = \"oops\nmore .unwrap()");
+        // The second line is literal content, so no code survives there.
+        assert_eq!(lines, vec!["let s = \"".to_string()]);
+    }
+}

@@ -1,0 +1,473 @@
+//! # riot-lint — workspace determinism & panic-safety static analysis
+//!
+//! The reproduction's headline claim is *bit-for-bit determinism*: the same
+//! scenario seed must produce the same event trace on every run and every
+//! machine (DESIGN.md, "Determinism & panic-safety policy"). The compiler
+//! cannot enforce that — `HashMap` iteration, `Instant::now()` and
+//! `thread_rng()` are all safe Rust — so this crate does, as a
+//! dependency-free lexical pass over every `.rs` file in the workspace:
+//!
+//! - **D1** — no `HashMap`/`HashSet` in sim-visible crates (their iteration
+//!   order is randomized per process);
+//! - **D2** — no ambient wall-clock time outside the bench harness;
+//! - **D3** — no ambient entropy, anywhere;
+//! - **P1** — no `.unwrap()` / `.expect(..)` / `panic!` / bare indexing in
+//!   non-test library code.
+//!
+//! Reviewed exceptions are carried in-line and must state a reason:
+//!
+//! ```text
+//! // riot-lint: allow(P1, reason = "fixed-size array, index < 16 by construction")
+//! ```
+//!
+//! placed on the offending line (trailing) or the line directly above. A
+//! whole file can opt out of one rule with `allow-file`; this is reserved
+//! for dense numeric kernels where per-line annotations would drown the
+//! code. Malformed or reason-less directives are themselves reported (rule
+//! `LINT`) and cannot be suppressed.
+//!
+//! The pass runs as `cargo run -p riot-lint` (add `--json` for machine
+//! consumption) and as an integration test, so `cargo test` fails on new
+//! violations.
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use riot_sim::Json;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose state feeds simulation results: a stray source of
+/// nondeterminism in any of these shows up as a diverging event trace.
+pub const SIM_VISIBLE_CRATES: &[&str] = &[
+    "sim", "net", "coord", "adapt", "data", "formal", "core", "model",
+];
+
+/// The rule identifiers. `Lint` flags problems with the directives
+/// themselves and cannot be allowed away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hashed collections in sim-visible crates.
+    D1,
+    /// Ambient wall-clock time.
+    D2,
+    /// Ambient entropy.
+    D3,
+    /// Panic paths in non-test library code.
+    P1,
+    /// Malformed `riot-lint:` directive.
+    Lint,
+}
+
+impl RuleId {
+    /// The stable textual id used in diagnostics and allow directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::P1 => "P1",
+            RuleId::Lint => "LINT",
+        }
+    }
+
+    /// Parses an id as written in an allow directive.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "P1" => Some(RuleId::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation, pointing at a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.suggestion
+        )
+    }
+}
+
+impl riot_sim::ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("file".into(), Json::Str(self.file.clone())),
+            ("line".into(), Json::UInt(self.line as u64)),
+            ("rule".into(), Json::Str(self.rule.id().into())),
+            ("message".into(), Json::Str(self.message.clone())),
+            ("suggestion".into(), Json::Str(self.suggestion.clone())),
+        ])
+    }
+}
+
+/// The scope of an allow directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Covers the directive's own line (trailing) or the next line
+    /// (standalone).
+    Line,
+    /// Covers the whole file.
+    File,
+}
+
+/// A parsed `riot-lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule being allowed.
+    pub rule: RuleId,
+    /// Line or file scope.
+    pub scope: Scope,
+    /// The mandatory human reason.
+    pub reason: String,
+}
+
+/// Parses a line comment. Returns `None` when the comment is not a
+/// directive at all, `Some(Err(why))` when it tries to be one and fails.
+/// A directive is a comment whose text — after the `//`/`///`/`//!`
+/// marker — *starts with* `riot-lint:`; prose that merely mentions the
+/// marker mid-sentence (docs, this file) is not a directive attempt.
+pub fn parse_directive(comment: &str) -> Option<Result<Directive, String>> {
+    let text = comment.trim_start_matches(['/', '!']).trim_start();
+    let rest = text.strip_prefix("riot-lint:")?.trim();
+    Some(parse_directive_body(rest))
+}
+
+fn parse_directive_body(rest: &str) -> Result<Directive, String> {
+    let (scope, body) = if let Some(b) = rest.strip_prefix("allow-file(") {
+        (Scope::File, b)
+    } else if let Some(b) = rest.strip_prefix("allow(") {
+        (Scope::Line, b)
+    } else {
+        return Err("expected `allow(<rule>, reason = \"...\")` or `allow-file(...)`".into());
+    };
+    let (rule_s, after) = body
+        .split_once(',')
+        .ok_or("missing `, reason = \"...\"` after the rule id")?;
+    let rule = RuleId::parse(rule_s.trim()).ok_or_else(|| {
+        format!(
+            "unknown rule id `{}` (want D1, D2, D3 or P1)",
+            rule_s.trim()
+        )
+    })?;
+    let after = after
+        .trim_start()
+        .strip_prefix("reason")
+        .ok_or("expected `reason = \"...\"`")?
+        .trim_start()
+        .strip_prefix('=')
+        .ok_or("expected `=` after `reason`")?
+        .trim_start()
+        .strip_prefix('"')
+        .ok_or("reason must be a double-quoted string")?;
+    let (reason, tail) = after.split_once('"').ok_or("unterminated reason string")?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    if !tail.trim_start().starts_with(')') {
+        return Err("missing closing `)`".into());
+    }
+    Ok(Directive {
+        rule,
+        scope,
+        reason: reason.to_string(),
+    })
+}
+
+/// Which rule families apply to a given file, derived from its
+/// workspace-relative path by [`classify`].
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass {
+    /// D1 applies (file belongs to a sim-visible crate).
+    pub sim_visible: bool,
+    /// D2 applies (file is not a bench target).
+    pub ambient_time_forbidden: bool,
+    /// P1 applies (file is non-test library code).
+    pub panic_checked: bool,
+}
+
+impl FileClass {
+    /// A class with every rule enabled — what fixture tests use.
+    pub const STRICT: FileClass = FileClass {
+        sim_visible: true,
+        ambient_time_forbidden: true,
+        panic_checked: true,
+    };
+}
+
+/// Classifies a workspace-relative path (`crates/sim/src/kernel.rs`, with
+/// `/` separators) into the rule scopes that apply to it.
+pub fn classify(rel: &str) -> FileClass {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root");
+    // Root-level tests/ and examples/ drive the sim crates directly, so
+    // they are sim-visible too.
+    let sim_visible = crate_name == "root" || SIM_VISIBLE_CRATES.contains(&crate_name);
+    let ambient_time_forbidden = !rel.starts_with("crates/bench/benches/");
+    let panic_checked =
+        rel.contains("/src/") && !rel.contains("/bin/") && !rel.ends_with("src/main.rs");
+    FileClass {
+        sim_visible,
+        ambient_time_forbidden,
+        panic_checked,
+    }
+}
+
+/// Lints one file's source. `file` is used only for diagnostics.
+pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic> {
+    let scrubbed = lexer::scrub(source);
+    let codes: Vec<String> = scrubbed.lines.iter().map(|l| l.code.clone()).collect();
+    let in_test = context::test_lines(&codes);
+
+    let mut diags = Vec::new();
+    let mut file_allows: Vec<RuleId> = Vec::new();
+    // allowed[i] = rules excused on line i (0-based).
+    let mut allowed: Vec<Vec<RuleId>> = vec![Vec::new(); scrubbed.lines.len()];
+
+    for (idx, line) in scrubbed.lines.iter().enumerate() {
+        for comment in &line.comments {
+            match parse_directive(comment) {
+                None => {}
+                Some(Err(why)) => diags.push(Diagnostic {
+                    file: file.into(),
+                    line: idx + 1,
+                    rule: RuleId::Lint,
+                    message: format!("malformed riot-lint directive: {why}"),
+                    suggestion: "write: // riot-lint: allow(<rule>, reason = \"...\")".into(),
+                }),
+                Some(Ok(d)) => match d.scope {
+                    Scope::File => file_allows.push(d.rule),
+                    Scope::Line => {
+                        // Trailing directives cover their own line;
+                        // standalone ones cover the next line.
+                        let target = if line.code.trim().is_empty() {
+                            idx + 1
+                        } else {
+                            idx
+                        };
+                        if let Some(slot) = allowed.get_mut(target) {
+                            slot.push(d.rule);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    for (idx, code) in codes.iter().enumerate() {
+        let lineno = idx + 1;
+        let excused = |rule: RuleId| {
+            file_allows.contains(&rule)
+                || allowed.get(idx).is_some_and(|rules| rules.contains(&rule))
+        };
+        let mut findings: Vec<rules::Finding> = Vec::new();
+        if class.sim_visible {
+            findings.extend(rules::check_d1(code));
+        }
+        if class.ambient_time_forbidden {
+            findings.extend(rules::check_d2(code));
+        }
+        findings.extend(rules::check_d3(code));
+        if class.panic_checked && !in_test.get(idx).copied().unwrap_or(false) {
+            findings.extend(rules::check_p1(code));
+        }
+        for (rule, message, suggestion) in findings {
+            if !excused(rule) {
+                diags.push(Diagnostic {
+                    file: file.into(),
+                    line: lineno,
+                    rule,
+                    message,
+                    suggestion,
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// The result of a full workspace scan.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// All violations, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were inspected.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The machine-readable form emitted by `riot-lint --json`.
+    pub fn to_json(&self) -> Json {
+        use riot_sim::ToJson;
+        Json::Obj(vec![
+            ("clean".into(), Json::Bool(self.clean())),
+            (
+                "files_scanned".into(),
+                Json::UInt(self.files_scanned as u64),
+            ),
+            ("violations".into(), self.diagnostics.to_json()),
+        ])
+    }
+}
+
+/// Directory names never descended into: build output, VCS metadata, the
+/// lint crate's own deliberately-violating fixtures, and experiment output.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results"];
+
+/// Scans every `.rs` file under `root` (the workspace checkout) and returns
+/// the diagnostics, deterministically ordered.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        diagnostics.extend(lint_source(&rel, &source, classify(&rel)));
+    }
+    Ok(ScanReport {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_parses() {
+        let d = parse_directive("// riot-lint: allow(P1, reason = \"bounded by len\")")
+            .expect("is a directive")
+            .expect("well-formed");
+        assert_eq!(d.rule, RuleId::P1);
+        assert_eq!(d.scope, Scope::Line);
+        assert_eq!(d.reason, "bounded by len");
+    }
+
+    #[test]
+    fn directive_file_scope() {
+        let d = parse_directive("//! riot-lint: allow-file(P1, reason = \"chacha kernel\")")
+            .expect("is a directive")
+            .expect("well-formed");
+        assert_eq!(d.scope, Scope::File);
+    }
+
+    #[test]
+    fn directive_rejects_missing_reason() {
+        assert!(parse_directive("// riot-lint: allow(P1)")
+            .expect("directive")
+            .is_err());
+        assert!(parse_directive("// riot-lint: allow(P1, reason = \"\")")
+            .expect("directive")
+            .is_err());
+        assert!(parse_directive("// riot-lint: allow(Q9, reason = \"x\")")
+            .expect("directive")
+            .is_err());
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        assert!(parse_directive("// plain comment").is_none());
+    }
+
+    #[test]
+    fn classify_scopes() {
+        let sim = classify("crates/sim/src/kernel.rs");
+        assert!(sim.sim_visible && sim.ambient_time_forbidden && sim.panic_checked);
+        let bench_lib = classify("crates/bench/src/lib.rs");
+        assert!(!bench_lib.sim_visible && bench_lib.ambient_time_forbidden);
+        let bench_bench = classify("crates/bench/benches/sim_bench.rs");
+        assert!(!bench_bench.ambient_time_forbidden && !bench_bench.panic_checked);
+        let bin = classify("crates/bench/src/bin/riot.rs");
+        assert!(!bin.panic_checked);
+        let root_test = classify("tests/determinism.rs");
+        assert!(root_test.sim_visible && !root_test.panic_checked);
+    }
+
+    #[test]
+    fn trailing_and_standalone_allows() {
+        let src = "fn f(xs: &[u32], i: usize) -> u32 {\n\
+                   // riot-lint: allow(P1, reason = \"caller checks i\")\n\
+                   xs[i] +\n\
+                   xs[i] // riot-lint: allow(P1, reason = \"same\")\n\
+                   }\n";
+        let diags = lint_source("x.rs", src, FileClass::STRICT);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let src = "//! riot-lint: allow-file(P1, reason = \"kernel\")\n\
+                   fn f(xs: &[u32]) -> u32 { xs[0] }\n";
+        assert!(lint_source("x.rs", src, FileClass::STRICT).is_empty());
+    }
+
+    #[test]
+    fn malformed_directive_is_reported_and_suppresses_nothing() {
+        let src = "// riot-lint: allow(P1)\nfn f(xs: &[u32]) -> u32 { xs[0] }\n";
+        let diags = lint_source("x.rs", src, FileClass::STRICT);
+        let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec![RuleId::Lint, RuleId::P1]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The `riot-lint` CLI: scans the workspace and reports violations.
+//!
+//! ```text
+//! cargo run -p riot-lint            # human-readable report
+//! cargo run -p riot-lint -- --json  # machine-readable diagnostics
+//! cargo run -p riot-lint -- --root /path/to/checkout
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: riot-lint [--json] [--root <workspace>]");
+                println!("rules: D1 hash collections (sim-visible crates), D2 ambient time,");
+                println!("       D3 ambient entropy, P1 panic paths in library code");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // When invoked via `cargo run -p riot-lint`, CARGO_MANIFEST_DIR points
+    // at crates/lint; the workspace root is two levels up.
+    let root = root
+        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match riot_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "riot-lint: {} violation(s) in {} file(s) scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

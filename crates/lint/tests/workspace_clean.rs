@@ -1,0 +1,23 @@
+//! The tier-1 gate: linting the workspace itself must come back clean.
+//! Any new HashMap iteration, ambient clock/entropy, or unannotated panic
+//! path in library code fails `cargo test` right here.
+
+#[test]
+fn workspace_has_no_violations() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = riot_lint::scan_workspace(&root).expect("workspace scan succeeds");
+    // A sanity floor so a broken walker cannot vacuously pass: the
+    // workspace has well over 80 Rust files.
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.clean(),
+        "riot-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        rendered.join("\n")
+    );
+}

@@ -11,10 +11,9 @@
 use crate::domain::DomainId;
 use crate::entity::ComponentId;
 use riot_sim::{ProcessId, SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One adverse change event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Disruption {
     /// A whole node crashes (process down), optionally recovering.
     NodeCrash {
@@ -83,7 +82,7 @@ pub enum Disruption {
 
 /// Coarse categories used to group disruptions into experiment suites
 /// (experiment E1 runs one suite per disruption vector).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DisruptionCategory {
     /// Node/infrastructure loss.
     Infrastructure,
@@ -114,7 +113,7 @@ impl Disruption {
 }
 
 /// A disruption at a virtual time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DisruptionEvent {
     /// When it strikes.
     pub at: SimTime,
@@ -142,7 +141,7 @@ pub struct DisruptionEvent {
 /// let times: Vec<u64> = schedule.events().iter().map(|e| e.at.as_micros()).collect();
 /// assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DisruptionSchedule {
     events: Vec<DisruptionEvent>,
 }
@@ -183,7 +182,7 @@ impl DisruptionSchedule {
         let mut t = from;
         loop {
             let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap).max(1e-6));
-            t = t + gap;
+            t += gap;
             if t >= to {
                 break;
             }
@@ -216,7 +215,9 @@ impl DisruptionSchedule {
 
     /// Iterates over events within a category.
     pub fn in_category(&self, cat: DisruptionCategory) -> impl Iterator<Item = &DisruptionEvent> {
-        self.events.iter().filter(move |e| e.disruption.category() == cat)
+        self.events
+            .iter()
+            .filter(move |e| e.disruption.category() == cat)
     }
 }
 
@@ -234,9 +235,19 @@ mod tests {
 
     #[test]
     fn categories_cover_taxonomy() {
-        let crash = Disruption::NodeCrash { node: ProcessId(1), recover_after: None };
-        let fault = Disruption::ComponentFault { node: ProcessId(1), component: ComponentId(0) };
-        let cut = Disruption::LinkCut { a: ProcessId(0), b: ProcessId(1), heal_after: None };
+        let crash = Disruption::NodeCrash {
+            node: ProcessId(1),
+            recover_after: None,
+        };
+        let fault = Disruption::ComponentFault {
+            node: ProcessId(1),
+            component: ComponentId(0),
+        };
+        let cut = Disruption::LinkCut {
+            a: ProcessId(0),
+            b: ProcessId(1),
+            heal_after: None,
+        };
         let degraded = Disruption::LinkDegradation {
             a: ProcessId(0),
             b: ProcessId(1),
@@ -244,10 +255,22 @@ mod tests {
             heal_after: None,
         };
         assert_eq!(degraded.category(), DisruptionCategory::Connectivity);
-        let outage = Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None };
-        let part = Disruption::Partition { groups: vec![], heal_after: None };
-        let xfer = Disruption::DomainTransfer { entity: 1, to: DomainId(2) };
-        let mob = Disruption::Mobility { device: ProcessId(5), new_parent: ProcessId(2) };
+        let outage = Disruption::CloudOutage {
+            cloud: ProcessId(0),
+            heal_after: None,
+        };
+        let part = Disruption::Partition {
+            groups: vec![],
+            heal_after: None,
+        };
+        let xfer = Disruption::DomainTransfer {
+            entity: 1,
+            to: DomainId(2),
+        };
+        let mob = Disruption::Mobility {
+            device: ProcessId(5),
+            new_parent: ProcessId(2),
+        };
         assert_eq!(crash.category(), DisruptionCategory::Infrastructure);
         assert_eq!(fault.category(), DisruptionCategory::Service);
         assert_eq!(cut.category(), DisruptionCategory::Connectivity);
@@ -260,9 +283,27 @@ mod tests {
     #[test]
     fn schedule_keeps_time_order_with_stable_ties() {
         let s = DisruptionSchedule::new()
-            .at(SimTime::from_secs(2), Disruption::NodeCrash { node: ProcessId(1), recover_after: None })
-            .at(SimTime::from_secs(1), Disruption::NodeCrash { node: ProcessId(2), recover_after: None })
-            .at(SimTime::from_secs(2), Disruption::NodeCrash { node: ProcessId(3), recover_after: None });
+            .at(
+                SimTime::from_secs(2),
+                Disruption::NodeCrash {
+                    node: ProcessId(1),
+                    recover_after: None,
+                },
+            )
+            .at(
+                SimTime::from_secs(1),
+                Disruption::NodeCrash {
+                    node: ProcessId(2),
+                    recover_after: None,
+                },
+            )
+            .at(
+                SimTime::from_secs(2),
+                Disruption::NodeCrash {
+                    node: ProcessId(3),
+                    recover_after: None,
+                },
+            );
         let nodes: Vec<usize> = s
             .events()
             .iter()
@@ -278,14 +319,28 @@ mod tests {
     fn poisson_generates_deterministically_within_window() {
         let mut rng1 = SimRng::seed_from(5);
         let mut s1 = DisruptionSchedule::new();
-        s1.poisson(SimTime::from_secs(0), SimTime::from_secs(100), 0.5, &mut rng1, |_| {
-            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
-        });
+        s1.poisson(
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+            0.5,
+            &mut rng1,
+            |_| Disruption::CloudOutage {
+                cloud: ProcessId(0),
+                heal_after: None,
+            },
+        );
         let mut rng2 = SimRng::seed_from(5);
         let mut s2 = DisruptionSchedule::new();
-        s2.poisson(SimTime::from_secs(0), SimTime::from_secs(100), 0.5, &mut rng2, |_| {
-            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
-        });
+        s2.poisson(
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+            0.5,
+            &mut rng2,
+            |_| Disruption::CloudOutage {
+                cloud: ProcessId(0),
+                heal_after: None,
+            },
+        );
         assert_eq!(s1, s2);
         assert!(!s1.is_empty());
         // ~50 expected; loose bounds.
@@ -297,21 +352,41 @@ mod tests {
     fn poisson_degenerate_inputs_are_noops() {
         let mut rng = SimRng::seed_from(1);
         let mut s = DisruptionSchedule::new();
-        s.poisson(SimTime::from_secs(10), SimTime::from_secs(10), 1.0, &mut rng, |_| {
-            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
-        });
+        s.poisson(
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+            1.0,
+            &mut rng,
+            |_| Disruption::CloudOutage {
+                cloud: ProcessId(0),
+                heal_after: None,
+            },
+        );
         s.poisson(SimTime::ZERO, SimTime::from_secs(10), 0.0, &mut rng, |_| {
-            Disruption::CloudOutage { cloud: ProcessId(0), heal_after: None }
+            Disruption::CloudOutage {
+                cloud: ProcessId(0),
+                heal_after: None,
+            }
         });
         assert!(s.is_empty());
     }
 
     #[test]
     fn merge_and_category_filter() {
-        let a = DisruptionSchedule::new()
-            .at(SimTime::from_secs(1), Disruption::DomainTransfer { entity: 3, to: DomainId(1) });
-        let mut b = DisruptionSchedule::new()
-            .at(SimTime::from_secs(2), Disruption::Mobility { device: ProcessId(4), new_parent: ProcessId(1) });
+        let a = DisruptionSchedule::new().at(
+            SimTime::from_secs(1),
+            Disruption::DomainTransfer {
+                entity: 3,
+                to: DomainId(1),
+            },
+        );
+        let mut b = DisruptionSchedule::new().at(
+            SimTime::from_secs(2),
+            Disruption::Mobility {
+                device: ProcessId(4),
+                new_parent: ProcessId(1),
+            },
+        );
         b.merge(a);
         assert_eq!(b.len(), 2);
         assert_eq!(b.in_category(DisruptionCategory::Governance).count(), 1);

@@ -7,12 +7,11 @@
 //! trust relation, plus the *domain transfer* change event (a device or
 //! component changing hands at runtime).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies an administrative domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DomainId(pub u32);
 
 impl fmt::Display for DomainId {
@@ -23,7 +22,7 @@ impl fmt::Display for DomainId {
 
 /// Legal/regulatory frameworks a domain may fall under (the paper names the
 /// EU GDPR and the California CCPA explicitly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Jurisdiction {
     /// European Union — GDPR.
     EuGdpr,
@@ -44,7 +43,7 @@ impl Jurisdiction {
 }
 
 /// How much one principal trusts another.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrustLevel {
     /// No trust: assume adversarial.
     Untrusted,
@@ -56,7 +55,7 @@ pub enum TrustLevel {
 
 /// An administrative domain: an ownership and legal scope for devices,
 /// components and data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Domain {
     /// Identity.
     pub id: DomainId,
@@ -88,7 +87,7 @@ pub struct Domain {
 /// assert_eq!(reg.trust(city, vendor), TrustLevel::Partner);
 /// assert_eq!(reg.trust(vendor, city), TrustLevel::Partner);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DomainRegistry {
     domains: BTreeMap<DomainId, Domain>,
     /// Symmetric trust relation keyed by ordered pair.
@@ -152,7 +151,10 @@ impl DomainRegistry {
         if a == b {
             return TrustLevel::Trusted;
         }
-        self.trust.get(&Self::pair(a, b)).copied().unwrap_or(TrustLevel::Untrusted)
+        self.trust
+            .get(&Self::pair(a, b))
+            .copied()
+            .unwrap_or(TrustLevel::Untrusted)
     }
 
     /// `true` when data may flow from `src` to `dst` under jurisdiction
@@ -168,7 +170,7 @@ impl DomainRegistry {
 /// Records which domain currently owns each entity, and supports the
 /// *domain transfer* disruption (§II: "transfer of administrative domains
 /// may occur").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OwnershipMap {
     owners: BTreeMap<u64, DomainId>,
 }
@@ -196,7 +198,11 @@ impl OwnershipMap {
     ///
     /// Returns `Err` if the entity has no current owner (transfers require
     /// provenance).
-    pub fn transfer(&mut self, entity: u64, new_domain: DomainId) -> Result<DomainId, UnownedEntityError> {
+    pub fn transfer(
+        &mut self,
+        entity: u64,
+        new_domain: DomainId,
+    ) -> Result<DomainId, UnownedEntityError> {
         match self.owners.get_mut(&entity) {
             Some(cur) => {
                 let old = *cur;
@@ -238,8 +244,16 @@ mod tests {
 
     fn two_domains() -> (DomainRegistry, DomainId, DomainId) {
         let mut reg = DomainRegistry::new();
-        let a = reg.register(Domain { id: DomainId(0), name: "a".into(), jurisdiction: Jurisdiction::EuGdpr });
-        let b = reg.register(Domain { id: DomainId(1), name: "b".into(), jurisdiction: Jurisdiction::UsCcpa });
+        let a = reg.register(Domain {
+            id: DomainId(0),
+            name: "a".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
+        let b = reg.register(Domain {
+            id: DomainId(1),
+            name: "b".into(),
+            jurisdiction: Jurisdiction::UsCcpa,
+        });
         (reg, a, b)
     }
 
@@ -261,17 +275,31 @@ mod tests {
     #[test]
     fn jurisdiction_flow_rules() {
         let (mut reg, a, b) = two_domains();
-        let c = reg.register(Domain { id: DomainId(2), name: "c".into(), jurisdiction: Jurisdiction::EuGdpr });
+        let c = reg.register(Domain {
+            id: DomainId(2),
+            name: "c".into(),
+            jurisdiction: Jurisdiction::EuGdpr,
+        });
         assert!(reg.jurisdiction_allows_flow(a, c), "GDPR to GDPR flows");
-        assert!(!reg.jurisdiction_allows_flow(a, b), "GDPR to CCPA needs policy");
-        assert!(!reg.jurisdiction_allows_flow(a, DomainId(99)), "unknown domain blocks");
+        assert!(
+            !reg.jurisdiction_allows_flow(a, b),
+            "GDPR to CCPA needs policy"
+        );
+        assert!(
+            !reg.jurisdiction_allows_flow(a, DomainId(99)),
+            "unknown domain blocks"
+        );
     }
 
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_registration_panics() {
         let mut reg = DomainRegistry::new();
-        let d = Domain { id: DomainId(0), name: "x".into(), jurisdiction: Jurisdiction::Other };
+        let d = Domain {
+            id: DomainId(0),
+            name: "x".into(),
+            jurisdiction: Jurisdiction::Other,
+        };
         reg.register(d.clone());
         reg.register(d);
     }

@@ -8,15 +8,14 @@
 //! [`Capabilities`] and a [`SoftwareStack`]; a [`SoftwareComponent`] is a
 //! unit of deployable function with a lifecycle.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a device within a system model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub u32);
 
 /// Identifies a software component within a system model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComponentId(pub u32);
 
 impl fmt::Display for DeviceId {
@@ -33,7 +32,7 @@ impl fmt::Display for ComponentId {
 
 /// Hardware classes spanning the paper's device spectrum (§I: "from
 /// microcontrollers to mobile phones and micro-clouds").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// A bare microcontroller: sensing/actuation only, minimal software.
     Microcontroller,
@@ -75,7 +74,7 @@ impl DeviceClass {
 
 /// Resource capabilities of a device (the "technical specification and
 /// configuration details" of §III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Capabilities {
     /// Processing budget, in abstract MIPS.
     pub cpu_mips: u32,
@@ -145,7 +144,7 @@ impl Capabilities {
 }
 
 /// Resources a component needs from its host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceDemand {
     /// Required CPU, in abstract MIPS.
     pub cpu_mips: u32,
@@ -156,7 +155,7 @@ pub struct ResourceDemand {
 }
 
 /// Operating-system families found across IoT stacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OsKind {
     /// No OS — bare-metal firmware.
     BareMetal,
@@ -171,7 +170,7 @@ pub enum OsKind {
 }
 
 /// Application runtimes hosted on a stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {
     /// Compiled native firmware.
     Native,
@@ -185,7 +184,7 @@ pub enum RuntimeKind {
 }
 
 /// Wire protocols spoken by a stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProtocolKind {
     /// Constrained application protocol.
     Coap,
@@ -199,7 +198,7 @@ pub enum ProtocolKind {
 
 /// The software stack of a device — the unit of *heterogeneity* in the
 /// paper's challenge list (§III-A challenge 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SoftwareStack {
     /// Operating system family.
     pub os: OsKind,
@@ -215,7 +214,11 @@ impl SoftwareStack {
     pub fn new(os: OsKind, runtime: RuntimeKind, mut protocols: Vec<ProtocolKind>) -> Self {
         protocols.sort_unstable();
         protocols.dedup();
-        SoftwareStack { os, runtime, protocols }
+        SoftwareStack {
+            os,
+            runtime,
+            protocols,
+        }
     }
 
     /// Protocols spoken by this stack.
@@ -232,12 +235,16 @@ impl SoftwareStack {
     /// A typical stack for a device class.
     pub fn typical(class: DeviceClass) -> Self {
         match class {
-            DeviceClass::Microcontroller => {
-                SoftwareStack::new(OsKind::BareMetal, RuntimeKind::Native, vec![ProtocolKind::Proprietary])
-            }
-            DeviceClass::SensorNode | DeviceClass::ActuatorNode => {
-                SoftwareStack::new(OsKind::Rtos, RuntimeKind::Native, vec![ProtocolKind::Coap, ProtocolKind::Mqtt])
-            }
+            DeviceClass::Microcontroller => SoftwareStack::new(
+                OsKind::BareMetal,
+                RuntimeKind::Native,
+                vec![ProtocolKind::Proprietary],
+            ),
+            DeviceClass::SensorNode | DeviceClass::ActuatorNode => SoftwareStack::new(
+                OsKind::Rtos,
+                RuntimeKind::Native,
+                vec![ProtocolKind::Coap, ProtocolKind::Mqtt],
+            ),
             DeviceClass::Gateway => SoftwareStack::new(
                 OsKind::EmbeddedLinux,
                 RuntimeKind::Containers,
@@ -285,6 +292,7 @@ pub fn interoperability(stacks: &[SoftwareStack]) -> f64 {
     for i in 0..n {
         for j in (i + 1)..n {
             pairs += 1;
+            // riot-lint: allow(P1, reason = "i < j < stacks.len() by the loop bounds")
             if stacks[i].interoperates_with(&stacks[j]) {
                 ok += 1;
             }
@@ -294,7 +302,7 @@ pub fn interoperability(stacks: &[SoftwareStack]) -> f64 {
 }
 
 /// A device of the system model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Model-wide identity.
     pub id: DeviceId,
@@ -323,7 +331,7 @@ impl Device {
 }
 
 /// Functional roles of software components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComponentKind {
     /// Produces observations of the physical environment.
     Sensing,
@@ -341,7 +349,7 @@ pub enum ComponentKind {
 
 /// Lifecycle states of a deployed component (the paper's "independent
 /// software components with different lifespans").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComponentState {
     /// Installed but not running.
     Stopped,
@@ -361,7 +369,7 @@ impl ComponentState {
 }
 
 /// A deployable unit of software function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftwareComponent {
     /// Model-wide identity.
     pub id: ComponentId,
@@ -399,7 +407,9 @@ mod tests {
 
     #[test]
     fn capability_rank_orders_classes() {
-        assert!(DeviceClass::CloudServer.capability_rank() > DeviceClass::Cloudlet.capability_rank());
+        assert!(
+            DeviceClass::CloudServer.capability_rank() > DeviceClass::Cloudlet.capability_rank()
+        );
         assert!(DeviceClass::Cloudlet.capability_rank() > DeviceClass::Gateway.capability_rank());
         assert!(DeviceClass::Gateway.capability_rank() > DeviceClass::SensorNode.capability_rank());
         assert!(DeviceClass::Gateway.can_host_control());
@@ -409,8 +419,16 @@ mod tests {
     #[test]
     fn capabilities_cover_demand() {
         let caps = Capabilities::typical(DeviceClass::Gateway);
-        let small = ResourceDemand { cpu_mips: 100, mem_kib: 1_024, storage_kib: 10 };
-        let huge = ResourceDemand { cpu_mips: 1_000_000, mem_kib: 1, storage_kib: 1 };
+        let small = ResourceDemand {
+            cpu_mips: 100,
+            mem_kib: 1_024,
+            storage_kib: 10,
+        };
+        let huge = ResourceDemand {
+            cpu_mips: 1_000_000,
+            mem_kib: 1,
+            storage_kib: 1,
+        };
         assert!(caps.covers(&small));
         assert!(!caps.covers(&huge));
     }
@@ -420,9 +438,15 @@ mod tests {
         let mcu = SoftwareStack::typical(DeviceClass::Microcontroller);
         let cloud = SoftwareStack::typical(DeviceClass::CloudServer);
         let gw = SoftwareStack::typical(DeviceClass::Gateway);
-        assert!(!mcu.interoperates_with(&cloud), "proprietary silo cannot reach cloud");
+        assert!(
+            !mcu.interoperates_with(&cloud),
+            "proprietary silo cannot reach cloud"
+        );
         assert!(gw.interoperates_with(&cloud));
-        assert!(gw.interoperates_with(&mcu) == false, "gateway lacks the proprietary protocol");
+        assert!(
+            !gw.interoperates_with(&mcu),
+            "gateway lacks the proprietary protocol"
+        );
     }
 
     #[test]
@@ -439,7 +463,10 @@ mod tests {
     fn interoperability_metric() {
         // Empty and singleton fleets are vacuously interoperable.
         assert_eq!(interoperability(&[]), 1.0);
-        assert_eq!(interoperability(&[SoftwareStack::typical(DeviceClass::Gateway)]), 1.0);
+        assert_eq!(
+            interoperability(&[SoftwareStack::typical(DeviceClass::Gateway)]),
+            1.0
+        );
         // A homogeneous fleet is fully interoperable.
         let homo = vec![SoftwareStack::typical(DeviceClass::Gateway); 4];
         assert_eq!(interoperability(&homo), 1.0);

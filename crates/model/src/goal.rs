@@ -9,11 +9,10 @@
 //! planners to compare candidate adaptations.
 
 use crate::requirement::{RequirementId, RequirementSet, Telemetry, Verdict};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a node within one [`GoalModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GoalId(pub u32);
 
 impl fmt::Display for GoalId {
@@ -23,7 +22,7 @@ impl fmt::Display for GoalId {
 }
 
 /// A node's decomposition operator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GoalOp {
     /// All children must hold.
     And(Vec<GoalId>),
@@ -34,7 +33,7 @@ pub enum GoalOp {
 }
 
 /// One node of the goal tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoalNode {
     /// Human-readable goal statement.
     pub name: String,
@@ -43,7 +42,7 @@ pub struct GoalNode {
 }
 
 /// The result of evaluating a goal model.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoalEvaluation {
     /// Verdict of the root goal.
     pub root: Verdict,
@@ -84,7 +83,7 @@ pub struct GoalEvaluation {
 /// assert_eq!(eval.root, Verdict::Satisfied);
 /// assert_eq!(eval.leaf_score, 1.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GoalModel {
     nodes: Vec<GoalNode>,
     root: Option<GoalId>,
@@ -98,7 +97,10 @@ impl GoalModel {
 
     /// Adds a leaf goal referencing a requirement; returns its id.
     pub fn leaf(&mut self, name: impl Into<String>, req: RequirementId) -> GoalId {
-        self.push(GoalNode { name: name.into(), op: GoalOp::Leaf(req) })
+        self.push(GoalNode {
+            name: name.into(),
+            op: GoalOp::Leaf(req),
+        })
     }
 
     /// Adds an AND goal over children; returns its id.
@@ -108,7 +110,10 @@ impl GoalModel {
     /// Panics if `children` is empty or references an unknown node.
     pub fn and(&mut self, name: impl Into<String>, children: Vec<GoalId>) -> GoalId {
         self.validate_children(&children);
-        self.push(GoalNode { name: name.into(), op: GoalOp::And(children) })
+        self.push(GoalNode {
+            name: name.into(),
+            op: GoalOp::And(children),
+        })
     }
 
     /// Adds an OR goal over children; returns its id.
@@ -118,7 +123,10 @@ impl GoalModel {
     /// Panics if `children` is empty or references an unknown node.
     pub fn or(&mut self, name: impl Into<String>, children: Vec<GoalId>) -> GoalId {
         self.validate_children(&children);
-        self.push(GoalNode { name: name.into(), op: GoalOp::Or(children) })
+        self.push(GoalNode {
+            name: name.into(),
+            op: GoalOp::Or(children),
+        })
     }
 
     fn validate_children(&self, children: &[GoalId]) {
@@ -188,6 +196,7 @@ impl GoalModel {
         // Children always precede parents (enforced at construction), so one
         // forward pass suffices.
         for (i, node) in self.nodes.iter().enumerate() {
+            // riot-lint: allow(P1, reason = "verdicts is sized to nodes.len(); i enumerates nodes")
             verdicts[i] = match &node.op {
                 GoalOp::Leaf(rid) => {
                     total_leaves += 1;
@@ -202,16 +211,19 @@ impl GoalModel {
                 }
                 GoalOp::And(children) => children
                     .iter()
+                    // riot-lint: allow(P1, reason = "children precede parents, enforced at construction")
                     .map(|c| verdicts[c.0 as usize])
                     .fold(Verdict::Satisfied, Verdict::and),
                 GoalOp::Or(children) => children
                     .iter()
+                    // riot-lint: allow(P1, reason = "children precede parents, enforced at construction")
                     .map(|c| verdicts[c.0 as usize])
                     .fold(Verdict::Violated, Verdict::or),
             };
         }
         let root = self
             .root
+            // riot-lint: allow(P1, reason = "the root id is validated against nodes at construction")
             .map(|r| verdicts[r.0 as usize])
             .unwrap_or(Verdict::Satisfied);
         let leaf_score = if total_leaves == 0 {
@@ -219,7 +231,11 @@ impl GoalModel {
         } else {
             sat_leaves as f64 / total_leaves as f64
         };
-        GoalEvaluation { root, verdicts, leaf_score }
+        GoalEvaluation {
+            root,
+            verdicts,
+            leaf_score,
+        }
     }
 }
 
@@ -231,9 +247,27 @@ mod tests {
 
     fn reqs() -> RequirementSet {
         vec![
-            Requirement::new(RequirementId(0), "lat", RequirementKind::Latency, "lat", Predicate::AtMost(100.0)),
-            Requirement::new(RequirementId(1), "avail", RequirementKind::Availability, "avail", Predicate::AtLeast(0.9)),
-            Requirement::new(RequirementId(2), "priv", RequirementKind::Privacy, "leaks", Predicate::Zero),
+            Requirement::new(
+                RequirementId(0),
+                "lat",
+                RequirementKind::Latency,
+                "lat",
+                Predicate::AtMost(100.0),
+            ),
+            Requirement::new(
+                RequirementId(1),
+                "avail",
+                RequirementKind::Availability,
+                "avail",
+                Predicate::AtLeast(0.9),
+            ),
+            Requirement::new(
+                RequirementId(2),
+                "priv",
+                RequirementKind::Privacy,
+                "leaks",
+                Predicate::Zero,
+            ),
         ]
         .into_iter()
         .collect()
@@ -306,7 +340,10 @@ mod tests {
         let a = g.leaf("a", RequirementId(5));
         let b = g.leaf("b", RequirementId(3));
         let _root = g.and("r", vec![a, b]);
-        assert_eq!(g.referenced_requirements(), vec![RequirementId(5), RequirementId(3)]);
+        assert_eq!(
+            g.referenced_requirements(),
+            vec![RequirementId(5), RequirementId(3)]
+        );
         assert_eq!(g.len(), 3);
         assert_eq!(g.node(a).unwrap().name, "a");
     }

@@ -8,11 +8,10 @@
 //! iterate the ladder and report measured resilience per cell next to the
 //! paper's qualitative description.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four maturity levels of the roadmap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MaturityLevel {
     /// Traditional vertically coupled IoT systems (silos).
     Ml1,
@@ -26,8 +25,12 @@ pub enum MaturityLevel {
 
 impl MaturityLevel {
     /// All levels in ascending order.
-    pub const ALL: [MaturityLevel; 4] =
-        [MaturityLevel::Ml1, MaturityLevel::Ml2, MaturityLevel::Ml3, MaturityLevel::Ml4];
+    pub const ALL: [MaturityLevel; 4] = [
+        MaturityLevel::Ml1,
+        MaturityLevel::Ml2,
+        MaturityLevel::Ml3,
+        MaturityLevel::Ml4,
+    ];
 
     /// Numeric rank, 1–4.
     pub fn rank(self) -> u8 {
@@ -56,8 +59,14 @@ impl fmt::Display for MaturityLevel {
     }
 }
 
+impl riot_sim::ToJson for MaturityLevel {
+    fn to_json(&self) -> riot_sim::Json {
+        riot_sim::Json::Str(self.to_string())
+    }
+}
+
 /// The five disruption vectors of Tables 1 and 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DisruptionVector {
     /// Pervasiveness: how IoT infrastructure/resources are consumed.
     Pervasiveness,
@@ -144,7 +153,7 @@ pub fn cell(level: MaturityLevel, vector: DisruptionVector) -> &'static str {
 
 /// Capability switches implied by a maturity level; `riot-core` uses these
 /// to assemble the corresponding architecture archetype.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelCapabilities {
     /// Devices reach the cloud (ML2+).
     pub cloud_connected: bool,
@@ -236,7 +245,10 @@ mod tests {
     fn all_table_cells_are_present() {
         for level in MaturityLevel::ALL {
             for vector in DisruptionVector::ALL {
-                assert!(!cell(level, vector).is_empty(), "empty cell for {level}/{vector}");
+                assert!(
+                    !cell(level, vector).is_empty(),
+                    "empty cell for {level}/{vector}"
+                );
             }
             assert!(!level.title().is_empty());
         }
@@ -261,8 +273,14 @@ mod tests {
             .filter(|b| **b)
             .count() as u32
         }
-        let counts: Vec<u32> = MaturityLevel::ALL.iter().map(|l| count(l.capabilities())).collect();
-        assert!(counts.windows(2).all(|w| w[0] < w[1]), "capability count strictly grows: {counts:?}");
+        let counts: Vec<u32> = MaturityLevel::ALL
+            .iter()
+            .map(|l| count(l.capabilities()))
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] < w[1]),
+            "capability count strictly grows: {counts:?}"
+        );
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! captures the paper's environment uncertainty: the metric may be
 //! unobservable during a disruption.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies a requirement within a system model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequirementId(pub u32);
 
 impl fmt::Display for RequirementId {
@@ -24,7 +23,7 @@ impl fmt::Display for RequirementId {
 
 /// The concern a requirement addresses; the paper's recurring quartet is
 /// latency, availability, privacy and timeliness/freshness (§IV, §VI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequirementKind {
     /// A bound on reaction or round-trip time.
     Latency,
@@ -41,7 +40,7 @@ pub enum RequirementKind {
 }
 
 /// A predicate over one metric value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Predicate {
     /// Metric must be `<= bound`.
     AtMost(f64),
@@ -77,7 +76,7 @@ impl Predicate {
 }
 
 /// Three-valued requirement outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// The predicate held on an observed value.
     Satisfied,
@@ -151,7 +150,7 @@ impl Telemetry for BTreeMap<String, f64> {
 /// t.insert("control.loop_ms".to_owned(), 500.0);
 /// assert_eq!(req.evaluate(&t), Verdict::Violated);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Requirement {
     /// Identity.
     pub id: RequirementId,
@@ -174,7 +173,13 @@ impl Requirement {
         metric: impl Into<String>,
         predicate: Predicate,
     ) -> Self {
-        Requirement { id, name: name.into(), kind, metric: metric.into(), predicate }
+        Requirement {
+            id,
+            name: name.into(),
+            kind,
+            metric: metric.into(),
+            predicate,
+        }
     }
 
     /// Evaluates against a telemetry source.
@@ -188,12 +193,14 @@ impl Requirement {
 
     /// Signed satisfaction margin, or `None` when unobservable.
     pub fn margin(&self, telemetry: &impl Telemetry) -> Option<f64> {
-        telemetry.value(&self.metric).map(|v| self.predicate.margin(v))
+        telemetry
+            .value(&self.metric)
+            .map(|v| self.predicate.margin(v))
     }
 }
 
 /// An ordered collection of requirements.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RequirementSet {
     reqs: BTreeMap<RequirementId, Requirement>,
 }
@@ -316,8 +323,14 @@ mod tests {
             "staleness_s",
             Predicate::AtMost(10.0),
         );
-        assert_eq!(r.evaluate(&telemetry(&[("staleness_s", 3.0)])), Verdict::Satisfied);
-        assert_eq!(r.evaluate(&telemetry(&[("staleness_s", 30.0)])), Verdict::Violated);
+        assert_eq!(
+            r.evaluate(&telemetry(&[("staleness_s", 3.0)])),
+            Verdict::Satisfied
+        );
+        assert_eq!(
+            r.evaluate(&telemetry(&[("staleness_s", 30.0)])),
+            Verdict::Violated
+        );
         assert_eq!(r.evaluate(&telemetry(&[])), Verdict::Unknown);
         assert_eq!(r.margin(&telemetry(&[("staleness_s", 3.0)])), Some(7.0));
         assert_eq!(r.margin(&telemetry(&[])), None);
@@ -326,9 +339,27 @@ mod tests {
     #[test]
     fn set_satisfaction_fraction_counts_unknown_as_unsatisfied() {
         let set: RequirementSet = vec![
-            Requirement::new(RequirementId(0), "a", RequirementKind::Latency, "m0", Predicate::AtMost(1.0)),
-            Requirement::new(RequirementId(1), "b", RequirementKind::Availability, "m1", Predicate::AtLeast(0.9)),
-            Requirement::new(RequirementId(2), "c", RequirementKind::Privacy, "m2", Predicate::Zero),
+            Requirement::new(
+                RequirementId(0),
+                "a",
+                RequirementKind::Latency,
+                "m0",
+                Predicate::AtMost(1.0),
+            ),
+            Requirement::new(
+                RequirementId(1),
+                "b",
+                RequirementKind::Availability,
+                "m1",
+                Predicate::AtLeast(0.9),
+            ),
+            Requirement::new(
+                RequirementId(2),
+                "c",
+                RequirementKind::Privacy,
+                "m2",
+                Predicate::Zero,
+            ),
         ]
         .into_iter()
         .collect();
@@ -351,8 +382,20 @@ mod tests {
     #[test]
     fn insert_replaces_same_id() {
         let mut set = RequirementSet::new();
-        set.insert(Requirement::new(RequirementId(0), "v1", RequirementKind::Custom, "m", Predicate::Zero));
-        set.insert(Requirement::new(RequirementId(0), "v2", RequirementKind::Custom, "m", Predicate::Zero));
+        set.insert(Requirement::new(
+            RequirementId(0),
+            "v1",
+            RequirementKind::Custom,
+            "m",
+            Predicate::Zero,
+        ));
+        set.insert(Requirement::new(
+            RequirementId(0),
+            "v2",
+            RequirementKind::Custom,
+            "m",
+            Predicate::Zero,
+        ));
         assert_eq!(set.len(), 1);
         assert_eq!(set.get(RequirementId(0)).unwrap().name, "v2");
     }

@@ -5,11 +5,10 @@
 //! privacy scopes with spatial extent, edge coverage radii, and device
 //! mobility, without importing a GIS.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A point on the deployment plane, in abstract meters.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Location {
     /// East–west coordinate.
     pub x: f64,
@@ -31,7 +30,7 @@ impl Location {
 
 /// A circular region of the plane: the spatial footprint of an edge
 /// component's scope, a jurisdiction, or a sensing field.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Region {
     /// Center of the region.
     pub center: Location,
@@ -76,7 +75,7 @@ impl Region {
 /// assert_eq!(idx.within(&near_origin), vec![1]);
 /// assert_eq!(idx.nearest(&Location::new(90.0, 0.0)), Some(2));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SpatialIndex {
     positions: BTreeMap<u64, Location>,
 }
@@ -128,8 +127,7 @@ impl SpatialIndex {
             .iter()
             .min_by(|(ia, la), (ib, lb)| {
                 la.distance_to(to)
-                    .partial_cmp(&lb.distance_to(to))
-                    .expect("finite distances")
+                    .total_cmp(&lb.distance_to(to))
                     .then(ia.cmp(ib))
             })
             .map(|(id, _)| *id)
@@ -162,7 +160,10 @@ mod tests {
         let r1 = Region::new(Location::new(0.0, 0.0), 5.0);
         let r2 = Region::new(Location::new(8.0, 0.0), 4.0);
         let r3 = Region::new(Location::new(20.0, 0.0), 1.0);
-        assert!(r1.contains(&Location::new(3.0, 4.0)), "boundary point contained");
+        assert!(
+            r1.contains(&Location::new(3.0, 4.0)),
+            "boundary point contained"
+        );
         assert!(!r1.contains(&Location::new(3.1, 4.1)));
         assert!(r1.intersects(&r2));
         assert!(!r1.intersects(&r3));

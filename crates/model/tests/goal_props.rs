@@ -1,55 +1,77 @@
 //! Property tests of the requirements/goal layer: Kleene logic laws and
 //! goal-tree evaluation invariants.
+//!
+//! Randomized inputs are drawn from the workspace's own seeded [`SimRng`]
+//! rather than `proptest`, so every run explores the same cases — test
+//! determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
 use riot_model::{
     GoalModel, Predicate, Requirement, RequirementId, RequirementKind, RequirementSet, Verdict,
 };
+use riot_sim::SimRng;
 use std::collections::BTreeMap;
 
-fn verdicts() -> impl Strategy<Value = Verdict> {
-    prop_oneof![Just(Verdict::Satisfied), Just(Verdict::Violated), Just(Verdict::Unknown)]
+const CASES: usize = 500;
+
+fn verdict(rng: &mut SimRng) -> Verdict {
+    match rng.range_u64(0, 3) {
+        0 => Verdict::Satisfied,
+        1 => Verdict::Violated,
+        _ => Verdict::Unknown,
+    }
 }
 
-proptest! {
-    /// Kleene conjunction/disjunction: commutative, associative, monotone,
-    /// with correct identities.
-    #[test]
-    fn kleene_laws(a in verdicts(), b in verdicts(), c in verdicts()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
-        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
-        prop_assert_eq!(a.and(Verdict::Satisfied), a);
-        prop_assert_eq!(a.or(Verdict::Violated), a);
-        prop_assert_eq!(a.and(Verdict::Violated), Verdict::Violated);
-        prop_assert_eq!(a.or(Verdict::Satisfied), Verdict::Satisfied);
+/// Kleene conjunction/disjunction: commutative, associative, monotone,
+/// with correct identities.
+#[test]
+fn kleene_laws() {
+    let mut rng = SimRng::seed_from(0x60A1_0001);
+    for _ in 0..CASES {
+        let (a, b, c) = (verdict(&mut rng), verdict(&mut rng), verdict(&mut rng));
+        assert_eq!(a.and(b), b.and(a));
+        assert_eq!(a.or(b), b.or(a));
+        assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+        assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+        assert_eq!(a.and(Verdict::Satisfied), a);
+        assert_eq!(a.or(Verdict::Violated), a);
+        assert_eq!(a.and(Verdict::Violated), Verdict::Violated);
+        assert_eq!(a.or(Verdict::Satisfied), Verdict::Satisfied);
         // De Morgan in three-valued logic, with negation as swap.
         let neg = |v: Verdict| match v {
             Verdict::Satisfied => Verdict::Violated,
             Verdict::Violated => Verdict::Satisfied,
             Verdict::Unknown => Verdict::Unknown,
         };
-        prop_assert_eq!(neg(a.and(b)), neg(a).or(neg(b)));
+        assert_eq!(neg(a.and(b)), neg(a).or(neg(b)));
     }
+}
 
-    /// Predicate margins agree with the boolean: margin >= 0 ⟺ holds.
-    #[test]
-    fn margin_sign_matches_predicate(value in -1_000.0f64..1_000.0, bound in -500.0f64..500.0) {
+/// Predicate margins agree with the boolean: margin >= 0 ⟺ holds.
+#[test]
+fn margin_sign_matches_predicate() {
+    let mut rng = SimRng::seed_from(0x60A1_0002);
+    for _ in 0..CASES {
+        let value = rng.range_f64(-1_000.0, 1_000.0);
+        let bound = rng.range_f64(-500.0, 500.0);
         for pred in [Predicate::AtMost(bound), Predicate::AtLeast(bound)] {
             let holds = pred.holds(value);
             let margin = pred.margin(value);
-            prop_assert_eq!(holds, margin >= 0.0, "{:?} on {}", pred, value);
+            assert_eq!(holds, margin >= 0.0, "{pred:?} on {value}");
         }
         let zero = Predicate::Zero;
-        prop_assert_eq!(zero.holds(value), zero.margin(value) >= 0.0);
+        assert_eq!(zero.holds(value), zero.margin(value) >= 0.0);
     }
+}
 
-    /// An AND goal over N leaves is satisfied iff the satisfaction fraction
-    /// is 1.0; an OR goal is violated iff the fraction is 0.0 (given no
-    /// unknowns).
-    #[test]
-    fn and_or_tree_agrees_with_fraction(values in prop::collection::vec(0.0f64..10.0, 1..10)) {
+/// An AND goal over N leaves is satisfied iff the satisfaction fraction
+/// is 1.0; an OR goal is violated iff the fraction is 0.0 (given no
+/// unknowns).
+#[test]
+fn and_or_tree_agrees_with_fraction() {
+    let mut rng = SimRng::seed_from(0x60A1_0003);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 10) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 10.0)).collect();
         let mut reqs = RequirementSet::new();
         let mut telemetry: BTreeMap<String, f64> = BTreeMap::new();
         let mut goals = GoalModel::new();
@@ -57,7 +79,13 @@ proptest! {
         for (i, v) in values.iter().enumerate() {
             let id = RequirementId(i as u32);
             let metric = format!("m{i}");
-            reqs.insert(Requirement::new(id, format!("r{i}"), RequirementKind::Custom, &metric, Predicate::AtMost(5.0)));
+            reqs.insert(Requirement::new(
+                id,
+                format!("r{i}"),
+                RequirementKind::Custom,
+                &metric,
+                Predicate::AtMost(5.0),
+            ));
             telemetry.insert(metric, *v);
             leaves.push(goals.leaf(format!("leaf{i}"), id));
         }
@@ -65,8 +93,8 @@ proptest! {
         goals.set_root(and_root);
         let eval = goals.evaluate(&reqs, &telemetry);
         let frac = reqs.satisfaction_fraction(&telemetry);
-        prop_assert_eq!(eval.root == Verdict::Satisfied, (frac - 1.0).abs() < 1e-12);
-        prop_assert!((eval.leaf_score - frac).abs() < 1e-12);
+        assert_eq!(eval.root == Verdict::Satisfied, (frac - 1.0).abs() < 1e-12);
+        assert!((eval.leaf_score - frac).abs() < 1e-12);
 
         let mut goals_or = GoalModel::new();
         let leaves_or: Vec<_> = (0..values.len())
@@ -75,13 +103,18 @@ proptest! {
         let or_root = goals_or.or("any", leaves_or);
         goals_or.set_root(or_root);
         let eval_or = goals_or.evaluate(&reqs, &telemetry);
-        prop_assert_eq!(eval_or.root == Verdict::Violated, frac == 0.0);
+        assert_eq!(eval_or.root == Verdict::Violated, frac == 0.0);
     }
+}
 
-    /// Missing metrics never evaluate to Violated — uncertainty is
-    /// represented, not guessed.
-    #[test]
-    fn missing_metrics_are_unknown(present in any::<bool>(), value in 0.0f64..10.0) {
+/// Missing metrics never evaluate to Violated — uncertainty is
+/// represented, not guessed.
+#[test]
+fn missing_metrics_are_unknown() {
+    let mut rng = SimRng::seed_from(0x60A1_0004);
+    for _ in 0..CASES {
+        let present = rng.chance(0.5);
+        let value = rng.range_f64(0.0, 10.0);
         let req = Requirement::new(
             RequirementId(0),
             "probe",
@@ -95,9 +128,9 @@ proptest! {
         }
         let verdict = req.evaluate(&telemetry);
         if present {
-            prop_assert_ne!(verdict, Verdict::Unknown);
+            assert_ne!(verdict, Verdict::Unknown);
         } else {
-            prop_assert_eq!(verdict, Verdict::Unknown);
+            assert_eq!(verdict, Verdict::Unknown);
         }
     }
 }

@@ -6,10 +6,9 @@
 //! wide-area cloud links with occasional congestion spikes.
 
 use riot_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// A per-message latency distribution for one link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Always exactly this latency.
     Fixed(SimDuration),
@@ -51,7 +50,10 @@ impl LatencyModel {
     /// Panics if `lo_ms > hi_ms`.
     pub fn uniform_ms(lo_ms: u64, hi_ms: u64) -> Self {
         assert!(lo_ms <= hi_ms, "uniform bounds inverted");
-        LatencyModel::Uniform(SimDuration::from_millis(lo_ms), SimDuration::from_millis(hi_ms))
+        LatencyModel::Uniform(
+            SimDuration::from_millis(lo_ms),
+            SimDuration::from_millis(hi_ms),
+        )
     }
 
     /// Draws one latency sample.
@@ -65,12 +67,20 @@ impl LatencyModel {
                     SimDuration::from_micros(rng.range_u64(lo.as_micros(), hi.as_micros()))
                 }
             }
-            LatencyModel::Normal { mean, std_dev, floor } => {
+            LatencyModel::Normal {
+                mean,
+                std_dev,
+                floor,
+            } => {
                 let sample = rng.normal(mean.as_secs_f64(), std_dev.as_secs_f64());
                 let floored = sample.max(floor.as_secs_f64());
                 SimDuration::from_secs_f64(floored)
             }
-            LatencyModel::Spiky { base, spike_prob, spike_factor } => {
+            LatencyModel::Spiky {
+                base,
+                spike_prob,
+                spike_factor,
+            } => {
                 if rng.chance(spike_prob) {
                     base.mul_f64(spike_factor)
                 } else {
@@ -92,7 +102,11 @@ impl LatencyModel {
                     mean
                 }
             }
-            LatencyModel::Spiky { base, spike_prob, spike_factor } => {
+            LatencyModel::Spiky {
+                base,
+                spike_prob,
+                spike_factor,
+            } => {
                 let p = spike_prob.clamp(0.0, 1.0);
                 base.mul_f64(1.0 - p + p * spike_factor)
             }

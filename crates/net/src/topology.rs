@@ -5,11 +5,12 @@
 //! up-linked to the cloud. [`Hierarchy::build`] constructs exactly that;
 //! `star`, `line`, `ring` and `full_mesh` cover the shapes protocol tests
 //! want.
+//!
+//! riot-lint: allow-file(P1, reason = "topology builders index node vectors they allocate in the same function; lengths are fixed by the spec arguments")
 
 use crate::latency::LatencyModel;
 use crate::network::{Link, Network, NodeKind};
 use riot_sim::{ProcessId, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Link presets matching common IoT media.
 pub mod presets {
@@ -18,7 +19,10 @@ pub mod presets {
     /// Device ↔ edge: a local wireless hop — a few jittery milliseconds with
     /// light loss.
     pub fn device_edge() -> Link {
-        Link { latency: LatencyModel::uniform_ms(2, 8), loss: 0.005 }
+        Link {
+            latency: LatencyModel::uniform_ms(2, 8),
+            loss: 0.005,
+        }
     }
 
     /// Edge ↔ cloud: a wide-area link — tens of milliseconds, mild jitter,
@@ -36,7 +40,10 @@ pub mod presets {
 
     /// Edge ↔ edge: a metropolitan link between gateways.
     pub fn edge_edge() -> Link {
-        Link { latency: LatencyModel::uniform_ms(5, 15), loss: 0.002 }
+        Link {
+            latency: LatencyModel::uniform_ms(5, 15),
+            loss: 0.002,
+        }
     }
 
     /// A perfect 1 ms LAN link, for tests.
@@ -46,7 +53,7 @@ pub mod presets {
 }
 
 /// Parameters for the canonical cloud–edge–device hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HierarchySpec {
     /// Number of edge components.
     pub edges: usize,
@@ -75,7 +82,7 @@ impl Default for HierarchySpec {
 
 /// The node roles of a built hierarchy, in spawn order:
 /// cloud first, then all edges, then devices grouped by edge.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hierarchy {
     /// The single cloud node.
     pub cloud: ProcessId,
@@ -116,7 +123,14 @@ impl Hierarchy {
                 }
             }
         }
-        (net, Hierarchy { cloud, edges, devices })
+        (
+            net,
+            Hierarchy {
+                cloud,
+                edges,
+                devices,
+            },
+        )
     }
 
     /// All device ids, flattened in spawn order.
@@ -140,7 +154,12 @@ impl Hierarchy {
 }
 
 /// Builds a star: one hub of the given kind and `n` leaves.
-pub fn star(hub_kind: NodeKind, leaf_kind: NodeKind, n: usize, link: Link) -> (Network, ProcessId, Vec<ProcessId>) {
+pub fn star(
+    hub_kind: NodeKind,
+    leaf_kind: NodeKind,
+    n: usize,
+    link: Link,
+) -> (Network, ProcessId, Vec<ProcessId>) {
     let mut net = Network::new();
     let hub = net.add_node(hub_kind, "hub");
     let leaves: Vec<ProcessId> = (0..n)
@@ -196,7 +215,11 @@ mod tests {
 
     #[test]
     fn hierarchy_shape() {
-        let spec = HierarchySpec { edges: 3, devices_per_edge: 4, ..HierarchySpec::default() };
+        let spec = HierarchySpec {
+            edges: 3,
+            devices_per_edge: 4,
+            ..HierarchySpec::default()
+        };
         let (mut net, h) = Hierarchy::build(&spec);
         assert_eq!(h.node_count(), 1 + 3 + 12);
         assert_eq!(net.node_count(), h.node_count());
@@ -228,10 +251,17 @@ mod tests {
 
     #[test]
     fn hierarchy_with_mesh_survives_cloud_cut() {
-        let spec = HierarchySpec { edges: 2, devices_per_edge: 1, ..HierarchySpec::default() };
+        let spec = HierarchySpec {
+            edges: 2,
+            devices_per_edge: 1,
+            ..HierarchySpec::default()
+        };
         let (mut net, h) = Hierarchy::build(&spec);
         net.isolate(h.cloud);
-        assert!(net.reachable(h.edges[0], h.edges[1]), "mesh keeps edges connected");
+        assert!(
+            net.reachable(h.edges[0], h.edges[1]),
+            "mesh keeps edges connected"
+        );
         assert!(
             net.reachable(h.devices[0][0], h.devices[1][0]),
             "devices reach across edges without the cloud"

@@ -12,14 +12,27 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 pub(crate) enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { owner: ProcessId, tag: u64, timer: TimerId, epoch: u64 },
-    Down { id: ProcessId },
-    Up { id: ProcessId },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        owner: ProcessId,
+        tag: u64,
+        timer: TimerId,
+        epoch: u64,
+    },
+    Down {
+        id: ProcessId,
+    },
+    Up {
+        id: ProcessId,
+    },
 }
 
 pub(crate) struct Event<M> {
@@ -46,7 +59,10 @@ impl<M> Ord for Event<M> {
     /// Max-heap inverted: earliest time first, ties broken by scheduling
     /// order. This tie-break is what makes runs deterministic.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -64,14 +80,19 @@ pub struct Kernel<M> {
     pub(crate) live: Vec<bool>,
     /// Restart epoch per process; timers from a previous life are discarded.
     pub(crate) epoch: Vec<u64>,
-    pub(crate) cancelled_timers: HashSet<u64>,
+    pub(crate) cancelled_timers: BTreeSet<u64>,
     pub(crate) next_timer: u64,
     pub(crate) halted: bool,
     pub(crate) trace_payloads: bool,
 }
 
 impl<M: fmt::Debug> Kernel<M> {
-    pub(crate) fn new(medium: Box<dyn Medium<M>>, rng: SimRng, trace: Trace, trace_payloads: bool) -> Self {
+    pub(crate) fn new(
+        medium: Box<dyn Medium<M>>,
+        rng: SimRng,
+        trace: Trace,
+        trace_payloads: bool,
+    ) -> Self {
         Kernel {
             clock: SimTime::ZERO,
             seq: 0,
@@ -82,7 +103,7 @@ impl<M: fmt::Debug> Kernel<M> {
             trace,
             live: Vec::new(),
             epoch: Vec::new(),
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: BTreeSet::new(),
             next_timer: 0,
             halted: false,
             trace_payloads,
@@ -119,7 +140,8 @@ impl<M: fmt::Debug> Kernel<M> {
         assert!(to.0 < self.live.len(), "send to unknown process {to}");
         self.metrics.incr("sim.msg.sent");
         let detail = self.payload_detail(&msg);
-        self.trace.push(self.clock, TraceKind::Sent { from, to }, detail);
+        self.trace
+            .push(self.clock, TraceKind::Sent { from, to }, detail);
         match self.medium.route(self.clock, from, to, &msg, &mut self.rng) {
             Delivery::After(latency) => {
                 let at = self.clock + latency;
@@ -130,19 +152,37 @@ impl<M: fmt::Debug> Kernel<M> {
                 let detail = self.payload_detail(&msg);
                 self.trace.push(
                     self.clock,
-                    TraceKind::Dropped { from, to, reason: reason.to_owned() },
+                    TraceKind::Dropped {
+                        from,
+                        to,
+                        reason: reason.to_owned(),
+                    },
                     detail,
                 );
             }
         }
     }
 
-    pub(crate) fn schedule_timer(&mut self, owner: ProcessId, delay: SimDuration, tag: u64) -> TimerId {
+    pub(crate) fn schedule_timer(
+        &mut self,
+        owner: ProcessId,
+        delay: SimDuration,
+        tag: u64,
+    ) -> TimerId {
         let timer = TimerId(self.next_timer);
         self.next_timer += 1;
+        // riot-lint: allow(P1, reason = "owner was spawned by this kernel; epoch is grown in lockstep with the process table")
         let epoch = self.epoch[owner.0];
         let at = self.clock + delay;
-        self.push(at, EventKind::Timer { owner, tag, timer, epoch });
+        self.push(
+            at,
+            EventKind::Timer {
+                owner,
+                tag,
+                timer,
+                epoch,
+            },
+        );
         timer
     }
 

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod embed;
+pub mod json;
 mod kernel;
 mod medium;
 mod metrics;
@@ -63,6 +64,7 @@ mod time;
 mod trace;
 
 pub use embed::Embed;
+pub use json::{Json, ToJson};
 pub use medium::{Delivery, IdealMedium, LossyMedium, Medium};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
 pub use process::{Ctx, Process, ProcessId, TimerId};

@@ -63,7 +63,9 @@ pub struct IdealMedium {
 impl IdealMedium {
     /// A medium with zero latency.
     pub fn new() -> Self {
-        IdealMedium { latency: SimDuration::ZERO }
+        IdealMedium {
+            latency: SimDuration::ZERO,
+        }
     }
 
     /// A medium with the given constant latency.
@@ -107,7 +109,10 @@ impl LossyMedium {
     /// Creates a medium with the given latency and loss probability
     /// (clamped to `[0, 1]`).
     pub fn new(latency: SimDuration, loss: f64) -> Self {
-        LossyMedium { latency, loss: loss.clamp(0.0, 1.0) }
+        LossyMedium {
+            latency,
+            loss: loss.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -141,7 +146,14 @@ mod tests {
         let mut m = IdealMedium::with_latency(SimDuration::from_millis(3));
         let mut rng = SimRng::seed_from(0);
         for _ in 0..10 {
-            let d = Medium::<u32>::route(&mut m, SimTime::ZERO, ProcessId(0), ProcessId(1), &1, &mut rng);
+            let d = Medium::<u32>::route(
+                &mut m,
+                SimTime::ZERO,
+                ProcessId(0),
+                ProcessId(1),
+                &1,
+                &mut rng,
+            );
             assert_eq!(d, Delivery::After(SimDuration::from_millis(3)));
         }
     }
@@ -153,7 +165,14 @@ mod tests {
         let drops = (0..10_000)
             .filter(|_| {
                 matches!(
-                    Medium::<u32>::route(&mut m, SimTime::ZERO, ProcessId(0), ProcessId(1), &1, &mut rng),
+                    Medium::<u32>::route(
+                        &mut m,
+                        SimTime::ZERO,
+                        ProcessId(0),
+                        ProcessId(1),
+                        &1,
+                        &mut rng
+                    ),
                     Delivery::Drop(_)
                 )
             })
@@ -165,7 +184,14 @@ mod tests {
     fn lossy_medium_clamps_probability() {
         let mut m = LossyMedium::new(SimDuration::ZERO, 7.0);
         let mut rng = SimRng::seed_from(2);
-        let d = Medium::<u32>::route(&mut m, SimTime::ZERO, ProcessId(0), ProcessId(1), &1, &mut rng);
+        let d = Medium::<u32>::route(
+            &mut m,
+            SimTime::ZERO,
+            ProcessId(0),
+            ProcessId(1),
+            &1,
+            &mut rng,
+        );
         assert_eq!(d, Delivery::Drop("loss"));
     }
 }

@@ -6,7 +6,6 @@
 //! keyed by metric name) so that output is deterministic and diffable.
 
 use crate::time::SimTime;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -28,10 +27,9 @@ use std::fmt;
 /// assert_eq!(h.mean(), 2.5);
 /// assert_eq!(h.quantile(0.5), 2.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
-    #[serde(skip)]
     sorted: bool,
 }
 
@@ -80,7 +78,11 @@ impl Histogram {
 
     /// Largest sample, or `0.0` if empty.
     pub fn max(&self) -> f64 {
-        let m = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let m = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if m.is_finite() {
             m
         } else {
@@ -100,11 +102,12 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let n = self.samples.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        // riot-lint: allow(P1, reason = "rank is clamped to 1..=n and samples is non-empty, checked above")
         self.samples[rank - 1]
     }
 
@@ -127,7 +130,7 @@ impl Histogram {
 }
 
 /// A summary of a [`Histogram`] suitable for table output.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: usize,
@@ -144,6 +147,16 @@ pub struct HistogramSummary {
     /// Maximum sample.
     pub max: f64,
 }
+
+crate::impl_to_json_struct!(HistogramSummary {
+    count,
+    mean,
+    min,
+    p50,
+    p95,
+    p99,
+    max
+});
 
 impl fmt::Display for HistogramSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -177,7 +190,7 @@ impl fmt::Display for HistogramSummary {
 /// assert_eq!(m.histogram("rtt_ms").unwrap().count(), 1);
 /// assert_eq!(m.series("load").unwrap().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
@@ -223,7 +236,10 @@ impl Metrics {
 
     /// Records one histogram sample.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_owned()).or_default().record(value);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// Borrows a histogram, if any sample was recorded under `name`.
@@ -247,7 +263,10 @@ impl Metrics {
 
     /// Appends a `(time, value)` point to a named time series.
     pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().push((at, value));
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((at, value));
     }
 
     /// Borrows a time series.
@@ -291,7 +310,10 @@ impl Metrics {
             }
         }
         for (k, pts) in &other.series {
-            self.series.entry(k.clone()).or_default().extend_from_slice(pts);
+            self.series
+                .entry(k.clone())
+                .or_default()
+                .extend_from_slice(pts);
         }
     }
 
@@ -330,6 +352,7 @@ impl Metrics {
             .take_while(|(t, _)| *t <= from)
             .last()
             .map(|(_, v)| *v)
+            // riot-lint: allow(P1, reason = "pts is non-empty: checked at function entry")
             .unwrap_or(pts[0].1);
         for (t, v) in pts.iter().filter(|(t, _)| *t > from && *t <= to) {
             let span = (*t - cur_t).as_secs_f64();
@@ -441,7 +464,9 @@ mod tests {
         m.series_push("sat", SimTime::ZERO, 1.0);
         m.series_push("sat", SimTime::from_secs(4), 0.0);
         m.series_push("sat", SimTime::from_secs(8), 1.0);
-        let r = m.time_weighted_mean("sat", SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let r = m
+            .time_weighted_mean("sat", SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         assert!((r - 0.6).abs() < 1e-9, "got {r}");
     }
 
@@ -456,17 +481,25 @@ mod tests {
             .unwrap();
         assert_eq!(r, 0.0);
         // Degenerate window.
-        assert!(m.time_weighted_mean("sat", SimTime::from_secs(5), SimTime::from_secs(5)).is_none());
-        assert!(m.time_weighted_mean("missing", SimTime::ZERO, SimTime::from_secs(1)).is_none());
+        assert!(m
+            .time_weighted_mean("sat", SimTime::from_secs(5), SimTime::from_secs(5))
+            .is_none());
+        assert!(m
+            .time_weighted_mean("missing", SimTime::ZERO, SimTime::from_secs(1))
+            .is_none());
     }
 
     #[test]
     fn time_weighted_mean_clamps_values() {
         let mut m = Metrics::new();
         m.series_push("s", SimTime::ZERO, 7.0);
-        let r = m.time_weighted_mean("s", SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        let r = m
+            .time_weighted_mean("s", SimTime::ZERO, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(r, 1.0);
-        let raw = m.time_weighted_mean_raw("s", SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        let raw = m
+            .time_weighted_mean_raw("s", SimTime::ZERO, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(raw, 7.0);
     }
 }

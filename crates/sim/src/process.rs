@@ -7,12 +7,11 @@
 //! kernel, which is what makes runs reproducible.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a process within one simulation. Indices are assigned densely
 /// in spawn order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {
@@ -29,7 +28,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifies one scheduled timer, for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
 /// The behaviour of a simulated actor.
@@ -134,7 +133,14 @@ impl<'a, M: fmt::Debug> Ctx<'a, M> {
     pub fn annotate(&mut self, text: impl Into<String>) {
         let at = self.kernel.clock;
         let id = self.id;
-        self.kernel.trace.push(at, crate::trace::TraceKind::Note { id, text: text.into() }, String::new());
+        self.kernel.trace.push(
+            at,
+            crate::trace::TraceKind::Note {
+                id,
+                text: text.into(),
+            },
+            String::new(),
+        );
     }
 
     /// `true` if the given process is currently up.

@@ -1,4 +1,6 @@
 //! The simulation engine: builds a world of processes and runs it.
+//!
+//! riot-lint: allow-file(P1, reason = "engine core: every panic path is a documented `# Panics` API contract over process-table indices the kernel itself mints")
 
 use crate::kernel::{Event, EventKind, Kernel};
 use crate::medium::{IdealMedium, Medium};
@@ -54,7 +56,12 @@ pub struct SimBuilder {
 impl SimBuilder {
     /// Starts a builder for a run with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        SimBuilder { seed, tracing: false, trace_payloads: false, max_events: u64::MAX }
+        SimBuilder {
+            seed,
+            tracing: false,
+            trace_payloads: false,
+            max_events: u64::MAX,
+        }
     }
 
     /// Enables structured tracing (see [`crate::Trace`]).
@@ -173,12 +180,15 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.injections.push(Some(Box::new(f)));
         // Injections ride the ordinary event queue as timers owned by no
         // process; we reuse the Down/Up slot pattern with a dedicated kind.
-        self.kernel.push(at, EventKind::Timer {
-            owner: ProcessId(usize::MAX),
-            tag: idx,
-            timer: crate::process::TimerId(u64::MAX),
-            epoch: 0,
-        });
+        self.kernel.push(
+            at,
+            EventKind::Timer {
+                owner: ProcessId(usize::MAX),
+                tag: idx,
+                timer: crate::process::TimerId(u64::MAX),
+                epoch: 0,
+            },
+        );
     }
 
     /// Sends a message into the simulation from the outside world at the
@@ -257,7 +267,9 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.kernel.live[id.0] = false;
         self.kernel.epoch[id.0] += 1;
         let at = self.kernel.clock;
-        self.kernel.trace.push(at, TraceKind::ProcessDown { id }, String::new());
+        self.kernel
+            .trace
+            .push(at, TraceKind::ProcessDown { id }, String::new());
         self.kernel.metrics.incr("sim.proc.down");
         if let Some(p) = self.procs[id.0].as_mut() {
             p.on_down();
@@ -272,7 +284,9 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.kernel.live[id.0] = true;
         self.kernel.epoch[id.0] += 1;
         let at = self.kernel.clock;
-        self.kernel.trace.push(at, TraceKind::ProcessUp { id }, String::new());
+        self.kernel
+            .trace
+            .push(at, TraceKind::ProcessUp { id }, String::new());
         self.kernel.metrics.incr("sim.proc.up");
         self.with_proc(id, |p, ctx| p.on_start(ctx));
     }
@@ -353,7 +367,11 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                     let at = self.kernel.clock;
                     self.kernel.trace.push(
                         at,
-                        TraceKind::Dropped { from, to, reason: "down".to_owned() },
+                        TraceKind::Dropped {
+                            from,
+                            to,
+                            reason: "down".to_owned(),
+                        },
                         String::new(),
                     );
                     return;
@@ -365,13 +383,22 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                 } else {
                     String::new()
                 };
-                self.kernel.trace.push(at, TraceKind::Delivered { from, to }, detail);
+                self.kernel
+                    .trace
+                    .push(at, TraceKind::Delivered { from, to }, detail);
                 self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
             }
-            EventKind::Timer { owner, tag, timer, epoch } => {
+            EventKind::Timer {
+                owner,
+                tag,
+                timer,
+                epoch,
+            } => {
                 if owner.0 == usize::MAX {
                     // An injection riding the queue.
-                    let f = self.injections[tag as usize].take().expect("injection fires once");
+                    let f = self.injections[tag as usize]
+                        .take()
+                        .expect("injection fires once");
                     f(self);
                     return;
                 }
@@ -382,7 +409,9 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                     return;
                 }
                 let at = self.kernel.clock;
-                self.kernel.trace.push(at, TraceKind::TimerFired { owner, tag }, String::new());
+                self.kernel
+                    .trace
+                    .push(at, TraceKind::TimerFired { owner, tag }, String::new());
                 self.with_proc(owner, |p, ctx| p.on_timer(ctx, tag));
             }
             EventKind::Down { id } => {
@@ -403,7 +432,10 @@ impl<M: fmt::Debug + 'static> Sim<M> {
             panic!("re-entrant call into process {id}");
         });
         {
-            let mut ctx = Ctx { kernel: &mut self.kernel, id };
+            let mut ctx = Ctx {
+                kernel: &mut self.kernel,
+                id,
+            };
             f(boxed.as_mut(), &mut ctx);
         }
         self.procs[id.0] = Some(boxed);
@@ -445,7 +477,11 @@ mod tests {
 
     impl Counter {
         fn new() -> Self {
-            Counter { received: Vec::new(), timers: Vec::new(), start_count: 0 }
+            Counter {
+                received: Vec::new(),
+                timers: Vec::new(),
+                start_count: 0,
+            }
         }
     }
 
@@ -497,7 +533,10 @@ mod tests {
     #[test]
     fn timers_fire_in_order_and_cancel_works() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: true });
+        let a = sim.add_process(TimerProc {
+            fired: Vec::new(),
+            cancel_second: true,
+        });
         sim.run_to_completion();
         let p = sim.process::<TimerProc>(a).unwrap();
         assert_eq!(
@@ -517,7 +556,10 @@ mod tests {
     #[test]
     fn down_process_drops_messages_and_timers() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: false });
+        let a = sim.add_process(TimerProc {
+            fired: Vec::new(),
+            cancel_second: false,
+        });
         sim.run_until(SimTime::from_millis(15));
         sim.set_down(a);
         sim.send_external(a, Msg::Ping(1));
@@ -531,7 +573,10 @@ mod tests {
     #[test]
     fn restart_runs_on_start_again_with_fresh_epoch() {
         let mut sim: Sim<Msg> = SimBuilder::new(1).build();
-        let a = sim.add_process(TimerProc { fired: Vec::new(), cancel_second: false });
+        let a = sim.add_process(TimerProc {
+            fired: Vec::new(),
+            cancel_second: false,
+        });
         sim.run_until(SimTime::from_millis(5));
         sim.set_down(a);
         sim.set_up(a);
@@ -565,14 +610,20 @@ mod tests {
                 sim.send_external(a, Msg::Ping(i));
             }
             sim.run_to_completion();
-            (sim.metrics().counter("sim.msg.delivered"), sim.metrics().counter("sim.msg.dropped"))
+            (
+                sim.metrics().counter("sim.msg.delivered"),
+                sim.metrics().counter("sim.msg.dropped"),
+            )
         }
         assert_eq!(run(), run());
     }
 
     #[test]
     fn tracing_records_lifecycle() {
-        let mut sim: Sim<Msg> = SimBuilder::new(1).tracing(true).trace_payloads(true).build();
+        let mut sim: Sim<Msg> = SimBuilder::new(1)
+            .tracing(true)
+            .trace_payloads(true)
+            .build();
         let a = sim.add_process(Counter::new());
         sim.send_external(a, Msg::Ping(3));
         sim.run_to_completion();

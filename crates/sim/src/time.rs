@@ -9,7 +9,6 @@
 //! [`SimDuration`] is a span between instants. Mixing them up is a compile
 //! error, which catches a whole family of scheduling bugs statically.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
@@ -25,7 +24,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(t.as_micros(), 250_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(250));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
@@ -39,7 +38,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_millis_f64(), 2500.0);
 /// assert_eq!(d * 2, SimDuration::from_secs(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -274,7 +273,10 @@ mod tests {
             "earlier-in-future saturates to zero"
         );
         assert_eq!(t.saturating_since(SimTime::ZERO), SimDuration::from_secs(1));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -293,14 +295,28 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
+        );
     }
 
     #[test]
     fn mul_f64_scales() {
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5), SimDuration::from_secs(3));
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5),
+            SimDuration::from_secs(3)
+        );
         assert_eq!(SimDuration::from_secs(2).mul_f64(0.0), SimDuration::ZERO);
     }
 }

@@ -11,11 +11,10 @@
 
 use crate::process::ProcessId;
 use crate::time::SimTime;
-use serde::Serialize;
 use std::fmt;
 
 /// What happened at one traced instant.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
     /// A process submitted a message to the medium.
     Sent {
@@ -67,7 +66,7 @@ pub enum TraceKind {
 }
 
 /// One entry of an execution trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Virtual time of the event.
     pub at: SimTime,
@@ -85,7 +84,7 @@ impl fmt::Display for TraceEntry {
 }
 
 /// An execution trace: an append-only list of entries in time order.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     enabled: bool,
     entries: Vec<TraceEntry>,
@@ -95,7 +94,10 @@ impl Trace {
     /// Creates a trace recorder; `enabled = false` makes [`Trace::push`] a
     /// no-op so untraced runs pay nothing.
     pub fn new(enabled: bool) -> Self {
-        Trace { enabled, entries: Vec::new() }
+        Trace {
+            enabled,
+            entries: Vec::new(),
+        }
     }
 
     /// `true` if entries are being recorded.
@@ -149,7 +151,11 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new(false);
-        t.push(SimTime::ZERO, TraceKind::ProcessUp { id: ProcessId(0) }, String::new());
+        t.push(
+            SimTime::ZERO,
+            TraceKind::ProcessUp { id: ProcessId(0) },
+            String::new(),
+        );
         assert!(t.is_empty());
         assert!(!t.is_enabled());
     }
@@ -157,10 +163,17 @@ mod tests {
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::new(true);
-        t.push(SimTime::ZERO, TraceKind::ProcessUp { id: ProcessId(0) }, String::new());
+        t.push(
+            SimTime::ZERO,
+            TraceKind::ProcessUp { id: ProcessId(0) },
+            String::new(),
+        );
         t.push(
             SimTime::from_secs(1),
-            TraceKind::Sent { from: ProcessId(0), to: ProcessId(1) },
+            TraceKind::Sent {
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
             "hello".into(),
         );
         assert_eq!(t.len(), 2);
@@ -172,14 +185,30 @@ mod tests {
     fn delivered_between_counts_only_matching() {
         let mut t = Trace::new(true);
         let (a, b) = (ProcessId(0), ProcessId(1));
-        t.push(SimTime::ZERO, TraceKind::Delivered { from: a, to: b }, String::new());
-        t.push(SimTime::ZERO, TraceKind::Delivered { from: b, to: a }, String::new());
         t.push(
             SimTime::ZERO,
-            TraceKind::Dropped { from: a, to: b, reason: "loss".into() },
+            TraceKind::Delivered { from: a, to: b },
+            String::new(),
+        );
+        t.push(
+            SimTime::ZERO,
+            TraceKind::Delivered { from: b, to: a },
+            String::new(),
+        );
+        t.push(
+            SimTime::ZERO,
+            TraceKind::Dropped {
+                from: a,
+                to: b,
+                reason: "loss".into(),
+            },
             String::new(),
         );
         assert_eq!(t.delivered_between(a, b), 1);
-        assert_eq!(t.filtered(|e| matches!(e.kind, TraceKind::Dropped { .. })).count(), 1);
+        assert_eq!(
+            t.filtered(|e| matches!(e.kind, TraceKind::Dropped { .. }))
+                .count(),
+            1
+        );
     }
 }

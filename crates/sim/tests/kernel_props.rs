@@ -1,33 +1,47 @@
 //! Property tests of the kernel's foundations: time arithmetic, histogram
 //! statistics and the satisfaction integral.
+//!
+//! Randomized inputs are drawn from the kernel's own seeded [`SimRng`]
+//! rather than `proptest`, so every run explores the same cases — test
+//! determinism is part of the determinism policy (`DESIGN.md`).
 
-use proptest::prelude::*;
-use riot_sim::{Histogram, Metrics, SimDuration, SimTime};
+use riot_sim::{Histogram, Metrics, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Time arithmetic is consistent: (t + d) - t == d, ordering respects
-    /// addition, conversions round-trip.
-    #[test]
-    fn time_arithmetic_laws(base_us in 0u64..1_000_000_000, d1 in 0u64..1_000_000, d2 in 0u64..1_000_000) {
+const CASES: usize = 500;
+
+/// Time arithmetic is consistent: (t + d) - t == d, ordering respects
+/// addition, conversions round-trip.
+#[test]
+fn time_arithmetic_laws() {
+    let mut rng = SimRng::seed_from(0x5EED_0001);
+    for _ in 0..CASES {
+        let base_us = rng.range_u64(0, 1_000_000_000);
+        let d1 = rng.range_u64(0, 1_000_000);
+        let d2 = rng.range_u64(0, 1_000_000);
         let t = SimTime::from_micros(base_us);
         let da = SimDuration::from_micros(d1);
         let db = SimDuration::from_micros(d2);
-        prop_assert_eq!((t + da) - t, da);
-        prop_assert_eq!((t + da) + db, (t + db) + da, "commutative offsets");
-        prop_assert!(t + da >= t);
+        assert_eq!((t + da) - t, da);
+        assert_eq!((t + da) + db, (t + db) + da, "commutative offsets");
+        assert!(t + da >= t);
         if d1 > 0 {
-            prop_assert!(t + da > t);
+            assert!(t + da > t);
         }
-        prop_assert_eq!(da + db, db + da);
-        prop_assert_eq!(SimDuration::from_micros(d1).as_micros(), d1);
+        assert_eq!(da + db, db + da);
+        assert_eq!(SimDuration::from_micros(d1).as_micros(), d1);
         // saturating_since is max(0, t1 - t2).
-        prop_assert_eq!(t.saturating_since(t + da), SimDuration::ZERO);
-        prop_assert_eq!((t + da).saturating_since(t), da);
+        assert_eq!(t.saturating_since(t + da), SimDuration::ZERO);
+        assert_eq!((t + da).saturating_since(t), da);
     }
+}
 
-    /// Histogram quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn histogram_quantiles_are_monotone(samples in prop::collection::vec(-1_000.0f64..1_000.0, 1..200)) {
+/// Histogram quantiles are monotone in q and bounded by min/max.
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let mut rng = SimRng::seed_from(0x5EED_0002);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 200) as usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.range_f64(-1_000.0, 1_000.0)).collect();
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);
@@ -36,51 +50,68 @@ proptest! {
         let mut last = f64::NEG_INFINITY;
         for q in qs {
             let v = h.quantile(q);
-            prop_assert!(v >= last, "quantile not monotone at {}", q);
-            prop_assert!(v >= h.min() && v <= h.max());
+            assert!(v >= last, "quantile not monotone at {q}");
+            assert!(v >= h.min() && v <= h.max());
             last = v;
         }
-        prop_assert!(h.mean() >= h.min() - 1e-9 && h.mean() <= h.max() + 1e-9);
-        prop_assert_eq!(h.count(), samples.len());
+        assert!(h.mean() >= h.min() - 1e-9 && h.mean() <= h.max() + 1e-9);
+        assert_eq!(h.count(), samples.len());
     }
+}
 
-    /// The satisfaction integral is always in [0, 1] and equals 1 (resp. 0)
-    /// for constant series.
-    #[test]
-    fn satisfaction_integral_bounds(
-        points in prop::collection::vec((0u64..100, 0.0f64..1.0), 1..50),
-        window_end in 101u64..200,
-    ) {
+/// The satisfaction integral is always in [0, 1] and equals 1 (resp. 0)
+/// for constant series.
+#[test]
+fn satisfaction_integral_bounds() {
+    let mut rng = SimRng::seed_from(0x5EED_0003);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 50) as usize;
+        let mut points: Vec<(u64, f64)> = (0..n)
+            .map(|_| (rng.range_u64(0, 100), rng.range_f64(0.0, 1.0)))
+            .collect();
+        let window_end = rng.range_u64(101, 200);
         let mut m = Metrics::new();
-        let mut sorted = points.clone();
-        sorted.sort_by_key(|(t, _)| *t);
-        for (t, v) in &sorted {
+        points.sort_by_key(|(t, _)| *t);
+        for (t, v) in &points {
             m.series_push("s", SimTime::from_secs(*t), *v);
         }
         let r = m
             .time_weighted_mean("s", SimTime::ZERO, SimTime::from_secs(window_end))
             .expect("series present, window nonempty");
-        prop_assert!((0.0..=1.0).contains(&r), "integral out of bounds: {}", r);
+        assert!((0.0..=1.0).contains(&r), "integral out of bounds: {r}");
     }
+}
 
-    #[test]
-    fn satisfaction_integral_of_constant_series(v in 0.0f64..1.0, n in 1usize..20) {
+#[test]
+fn satisfaction_integral_of_constant_series() {
+    let mut rng = SimRng::seed_from(0x5EED_0004);
+    for _ in 0..CASES {
+        let v = rng.range_f64(0.0, 1.0);
+        let n = rng.range_u64(1, 20) as usize;
         let mut m = Metrics::new();
         for i in 0..n {
             m.series_push("s", SimTime::from_secs(i as u64), v);
         }
         let r = m
             .time_weighted_mean("s", SimTime::ZERO, SimTime::from_secs(n as u64 + 5))
-            .unwrap();
-        prop_assert!((r - v).abs() < 1e-9, "constant series integrates to itself: {} vs {}", r, v);
+            .expect("series present");
+        assert!(
+            (r - v).abs() < 1e-9,
+            "constant series integrates to itself: {r} vs {v}"
+        );
     }
+}
 
-    /// Merging metrics adds counters and concatenates histograms.
-    #[test]
-    fn metrics_merge_adds(
-        a in prop::collection::vec(0u64..100, 0..20),
-        b in prop::collection::vec(0u64..100, 0..20),
-    ) {
+/// Merging metrics adds counters and concatenates histograms.
+#[test]
+fn metrics_merge_adds() {
+    let mut rng = SimRng::seed_from(0x5EED_0005);
+    for _ in 0..CASES {
+        let gen = |rng: &mut SimRng| -> Vec<u64> {
+            let n = rng.range_u64(0, 20) as usize;
+            (0..n).map(|_| rng.range_u64(0, 100)).collect()
+        };
+        let (a, b) = (gen(&mut rng), gen(&mut rng));
         let mut ma = Metrics::new();
         for x in &a {
             ma.incr_by("c", *x);
@@ -93,9 +124,9 @@ proptest! {
         }
         let (ca, cb) = (ma.counter("c"), mb.counter("c"));
         ma.merge(&mb);
-        prop_assert_eq!(ma.counter("c"), ca + cb);
+        assert_eq!(ma.counter("c"), ca + cb);
         let expected = a.len() + b.len();
         let got = ma.histogram("h").map(|h| h.count()).unwrap_or(0);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

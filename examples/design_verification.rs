@@ -51,7 +51,10 @@ fn qualitative_model_checking() {
     let recoverable = Ctl::atom(served).ef().ag();
     let always_served = Ctl::atom(served).ag();
     let can_return_home = Ctl::atom(primary).ef().ag();
-    println!("  model: 3-state failover protocol, {} transitions", k.transition_count());
+    println!(
+        "  model: 3-state failover protocol, {} transitions",
+        k.transition_count()
+    );
     println!(
         "  AG EF served        (service always recoverable)   : {}",
         checker.holds_initially(&recoverable)

@@ -36,7 +36,10 @@ fn main() {
             spec.vendor_edge = false;
             spec.personal_every = 0;
             spec.edge_cloud_link = Some(link);
-            spec.thresholds = Thresholds { latency_ms: 150.0, ..Thresholds::default() };
+            spec.thresholds = Thresholds {
+                latency_ms: 150.0,
+                ..Thresholds::default()
+            };
             let r = Scenario::build(spec).run();
             let latency_r = r.requirement_resilience("latency").unwrap_or(0.0);
             if level == MaturityLevel::Ml2 && latency_r < 0.5 && crossover.is_none() {
@@ -49,7 +52,10 @@ fn main() {
                     .map(|l| format!("{:.1}ms", l.mean))
                     .unwrap_or_else(|| "timed out".into()),
                 format!("{latency_r:.3}"),
-                format!("{:.3}", r.requirement_resilience("availability").unwrap_or(0.0)),
+                format!(
+                    "{:.3}",
+                    r.requirement_resilience("availability").unwrap_or(0.0)
+                ),
             ]);
         }
     }

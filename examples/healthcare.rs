@@ -55,13 +55,19 @@ fn main() {
         // Ward 0's gateway changes hands mid-run.
         spec.disruptions = DisruptionSchedule::new().at(
             SimTime::from_secs(70),
-            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+            Disruption::DomainTransfer {
+                entity: spec.edge_id(0).0 as u64,
+                to: DomainId(1),
+            },
         );
         let r = Scenario::build(spec).run();
         table.row(vec![
             level.to_string(),
             format!("{:.3}", r.requirement_resilience("privacy").unwrap_or(0.0)),
-            format!("{:.3}", r.requirement_resilience("freshness").unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                r.requirement_resilience("freshness").unwrap_or(0.0)
+            ),
             format!("{:.3}", r.requirement_resilience("coverage").unwrap_or(0.0)),
             r.ingest_denied.to_string(),
         ]);

@@ -62,9 +62,15 @@ fn main() {
         let r = Scenario::build(spec).run();
         table.row(vec![
             level.to_string(),
-            format!("{:.3}", r.requirement_resilience("availability").unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                r.requirement_resilience("availability").unwrap_or(0.0)
+            ),
             format!("{:.3}", r.requirement_resilience("latency").unwrap_or(0.0)),
-            format!("{:.3}", r.requirement_resilience("freshness").unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                r.requirement_resilience("freshness").unwrap_or(0.0)
+            ),
             hops.to_string(),
             r.failovers.to_string(),
         ]);

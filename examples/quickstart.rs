@@ -44,7 +44,10 @@ fn main() {
     let result = Scenario::build(spec).run();
 
     // 4. Read the report.
-    println!("{}", resilience_table(std::slice::from_ref(&result)).render());
+    println!(
+        "{}",
+        resilience_table(std::slice::from_ref(&result)).render()
+    );
     println!(
         "The component fault was detected by the edge MAPE loop and repaired \
          ({} restart commands, {} restarts completed), despite the concurrent \
@@ -54,5 +57,8 @@ fn main() {
     if let Some(latency) = &result.control_latency {
         println!("Control round-trip: {latency}");
     }
-    assert!(result.overall_resilience() > 0.8, "the resilient archetype rides out the storm");
+    assert!(
+        result.overall_resilience() > 0.8,
+        "the resilient archetype rides out the storm"
+    );
 }

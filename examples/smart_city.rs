@@ -39,7 +39,10 @@ fn storm(spec: &ScenarioSpec) -> DisruptionSchedule {
         let node = spec.device_id(i % spec.edges, 2);
         s.push(
             SimTime::from_secs(t),
-            Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+            Disruption::ComponentFault {
+                node,
+                component: ComponentId(node.0 as u32),
+            },
         );
     }
     // +90s — a sensor-laden bus roams to the next district.

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI (and the tier-1 driver) checks, in the
+# order that fails fastest. Run from anywhere inside the repository.
+#
+#   scripts/check.sh           # fmt + clippy + riot-lint + tests
+#   scripts/check.sh --quick   # skip the test suite (style + lint only)
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> riot-lint (determinism & panic-safety policy)"
+cargo run --quiet -p riot-lint -- --json > /tmp/riot-lint.json || {
+  # Re-run human-readable so the violations are visible, then fail.
+  cargo run --quiet -p riot-lint || true
+  exit 1
+}
+
+if [[ "$quick" == "0" ]]; then
+  echo "==> cargo test (workspace)"
+  cargo test --quiet
+fi
+
+echo "OK: fmt, clippy, riot-lint$([[ "$quick" == "0" ]] && echo ", tests") all clean"

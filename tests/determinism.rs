@@ -16,17 +16,23 @@ fn stormy_spec(level: MaturityLevel, seed: u64) -> ScenarioSpec {
     spec.disruptions = DisruptionSchedule::new()
         .at(
             SimTime::from_secs(20),
-            Disruption::CloudOutage { cloud: spec.cloud_id(), heal_after: Some(SimDuration::from_secs(10)) },
+            Disruption::CloudOutage {
+                cloud: spec.cloud_id(),
+                heal_after: Some(SimDuration::from_secs(10)),
+            },
         )
         .at(
             SimTime::from_secs(25),
-            Disruption::ComponentFault { node: dev, component: ComponentId(dev.0 as u32) },
+            Disruption::ComponentFault {
+                node: dev,
+                component: ComponentId(dev.0 as u32),
+            },
         );
     spec
 }
 
 fn fingerprint(r: &ScenarioResult) -> String {
-    serde_json::to_string(r).expect("results serialize")
+    riot_sim::ToJson::to_json(r).render()
 }
 
 #[test]
@@ -42,6 +48,46 @@ fn identical_runs_are_bit_identical() {
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.sat_all_series, b.sat_all_series);
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_event_traces() {
+    // Stronger than comparing final metrics: the *entire event history* —
+    // every send, drop, timer firing and process up/down transition, in
+    // order — must coincide between two same-seed runs. A determinism bug
+    // that happens to cancel out in the aggregates still fails here.
+    for level in [MaturityLevel::Ml1, MaturityLevel::Ml4] {
+        let traced = |seed| {
+            let mut spec = stormy_spec(level, seed);
+            spec.trace_events = true;
+            Scenario::build(spec).run()
+        };
+        let a = traced(77);
+        let b = traced(77);
+        assert!(
+            a.event_trace.len() > 1_000,
+            "{level}: a stormy run should produce a substantial trace, got {} entries",
+            a.event_trace.len()
+        );
+        assert_eq!(
+            a.event_trace.len(),
+            b.event_trace.len(),
+            "{level}: same seed must replay the same number of events"
+        );
+        if let Some(i) = (0..a.event_trace.len()).find(|&i| a.event_trace[i] != b.event_trace[i]) {
+            panic!(
+                "{level}: event traces diverge at entry {i}:\n  run A: {}\n  run B: {}",
+                a.event_trace[i], b.event_trace[i]
+            );
+        }
+        // And a different seed must *not* replay the same history (the
+        // trace is a faithful witness, not a constant).
+        let c = traced(78);
+        assert_ne!(
+            a.event_trace, c.event_trace,
+            "{level}: seeds must steer the event history"
+        );
     }
 }
 
@@ -72,8 +118,20 @@ fn injection_order_at_equal_times_is_stable() {
         let d0 = spec.device_id(0, 0);
         let d1 = spec.device_id(1, 0);
         spec.disruptions = DisruptionSchedule::new()
-            .at(SimTime::from_secs(15), Disruption::ComponentFault { node: d0, component: ComponentId(d0.0 as u32) })
-            .at(SimTime::from_secs(15), Disruption::ComponentFault { node: d1, component: ComponentId(d1.0 as u32) });
+            .at(
+                SimTime::from_secs(15),
+                Disruption::ComponentFault {
+                    node: d0,
+                    component: ComponentId(d0.0 as u32),
+                },
+            )
+            .at(
+                SimTime::from_secs(15),
+                Disruption::ComponentFault {
+                    node: d1,
+                    component: ComponentId(d1.0 as u32),
+                },
+            );
         Scenario::build(spec).run()
     };
     assert_eq!(fingerprint(&build()), fingerprint(&build()));

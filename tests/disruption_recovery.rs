@@ -11,13 +11,19 @@ fn fault_all_of_edge0(spec: &ScenarioSpec) -> DisruptionSchedule {
         let node = spec.device_id(0, d);
         s.push(
             SimTime::from_secs(30 + d as u64),
-            Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+            Disruption::ComponentFault {
+                node,
+                component: ComponentId(node.0 as u32),
+            },
         );
     }
     s
 }
 
-fn spec_with(level: MaturityLevel, f: impl Fn(&ScenarioSpec) -> DisruptionSchedule) -> ScenarioSpec {
+fn spec_with(
+    level: MaturityLevel,
+    f: impl Fn(&ScenarioSpec) -> DisruptionSchedule,
+) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new(format!("recovery/{level}"), level, 99);
     spec.edges = 3;
     spec.devices_per_edge = 6;
@@ -41,8 +47,15 @@ fn component_faults_recover_at_ml4_but_not_ml1() {
     assert!(cov1.resilience < 0.5, "ML1 coverage R: {}", cov1.resilience);
     assert_eq!(ml1.restarts, 0);
     // ML4 repairs within seconds.
-    assert!(cov4.resilience > 0.85, "ML4 coverage R: {}", cov4.resilience);
-    assert_eq!(ml4.restarts as usize, 6, "every fault repaired exactly once");
+    assert!(
+        cov4.resilience > 0.85,
+        "ML4 coverage R: {}",
+        cov4.resilience
+    );
+    assert_eq!(
+        ml4.restarts as usize, 6,
+        "every fault repaired exactly once"
+    );
     if let Some(mttr) = cov4.mttr_s {
         assert!(mttr < 15.0, "ML4 coverage MTTR: {mttr}");
     }
@@ -78,7 +91,10 @@ fn permanent_cloud_outage_kills_ml2_not_ml4() {
     let outage = |spec: &ScenarioSpec| {
         DisruptionSchedule::new().at(
             SimTime::from_secs(30),
-            Disruption::CloudOutage { cloud: spec.cloud_id(), heal_after: None },
+            Disruption::CloudOutage {
+                cloud: spec.cloud_id(),
+                heal_after: None,
+            },
         )
     };
     let ml2 = Scenario::build(spec_with(MaturityLevel::Ml2, outage)).run();
@@ -86,7 +102,10 @@ fn permanent_cloud_outage_kills_ml2_not_ml4() {
     let avail2 = ml2.report.requirements["availability"].resilience;
     let avail4 = ml4.report.requirements["availability"].resilience;
     assert!(avail2 < 0.3, "ML2 control dies with the cloud: {avail2}");
-    assert!(avail4 > 0.95, "ML4 control never needed the cloud: {avail4}");
+    assert!(
+        avail4 > 0.95,
+        "ML4 control never needed the cloud: {avail4}"
+    );
     // ML4 freshness survives too (edge-mesh replication).
     assert!(
         ml4.report.requirements["freshness"].resilience > 0.9,
@@ -99,7 +118,10 @@ fn mobility_is_absorbed_by_every_connected_level() {
     let roam = |spec: &ScenarioSpec| {
         DisruptionSchedule::new().at(
             SimTime::from_secs(40),
-            Disruption::Mobility { device: spec.device_id(0, 0), new_parent: spec.edge_id(1) },
+            Disruption::Mobility {
+                device: spec.device_id(0, 0),
+                new_parent: spec.edge_id(1),
+            },
         )
     };
     for level in [MaturityLevel::Ml2, MaturityLevel::Ml3, MaturityLevel::Ml4] {

@@ -48,7 +48,10 @@ fn domain_transfer_leaks_without_governance_purges_with() {
     let transfer = |spec: &ScenarioSpec| {
         DisruptionSchedule::new().at(
             SimTime::from_secs(30),
-            Disruption::DomainTransfer { entity: spec.edge_id(0).0 as u64, to: DomainId(1) },
+            Disruption::DomainTransfer {
+                entity: spec.edge_id(0).0 as u64,
+                to: DomainId(1),
+            },
         )
     };
     let mut ml3_spec = privacy_spec(MaturityLevel::Ml3);
@@ -84,33 +87,98 @@ fn redaction_keeps_aggregates_flowing() {
         produced_at: SimTime::ZERO,
     };
     hospital.put("icu/load", 0.7, special, SimTime::ZERO);
-    hospital.put("lobby/temp", 21.5, DataMeta::operational(DomainId(0), SimTime::ZERO), SimTime::ZERO);
+    hospital.put(
+        "lobby/temp",
+        21.5,
+        DataMeta::operational(DomainId(0), SimTime::ZERO),
+        SimTime::ZERO,
+    );
 
     let outbound = hospital.sync_out(DomainId(1), &registry, SimTime::ZERO);
     assert_eq!(outbound.entries.len(), 2, "both records flow in some form");
-    let icu = outbound.entries.iter().find(|e| e.record.key == "icu/load").unwrap();
-    let temp = outbound.entries.iter().find(|e| e.record.key == "lobby/temp").unwrap();
+    let icu = outbound
+        .entries
+        .iter()
+        .find(|e| e.record.key == "icu/load")
+        .unwrap();
+    let temp = outbound
+        .entries
+        .iter()
+        .find(|e| e.record.key == "lobby/temp")
+        .unwrap();
     assert!(icu.record.is_redacted(), "special-category value blanked");
     assert!(!temp.record.is_redacted(), "operational value intact");
 
     let mut vendor = ReplicatedStore::new(1, DomainId(1), PolicyEngine::permissive());
     vendor.on_sync(outbound, &registry, SimTime::ZERO);
-    assert_eq!(vendor.privacy_violations(&registry), 0, "redacted data is not a violation");
+    assert_eq!(
+        vendor.privacy_violations(&registry),
+        0,
+        "redacted data is not a violation"
+    );
 }
 
 #[test]
 fn lineage_taint_survives_multi_domain_derivations() {
     let mut g = LineageGraph::new();
-    let hr = g.record("hr", Operation::Sensed, DomainId(0), SimTime::ZERO, true, &[]);
-    let tmp = g.record("temp", Operation::Sensed, DomainId(0), SimTime::ZERO, false, &[]);
-    let score = g.record("wellness", Operation::Derived, DomainId(0), SimTime::from_secs(1), false, &[hr, tmp]);
-    let replicated = g.record("wellness", Operation::Replicated, DomainId(1), SimTime::from_secs(2), false, &[score]);
-    assert!(g.derives_from_sensitive(replicated), "aggregate carries the taint across domains");
-    assert_eq!(g.domains_traversed(replicated), vec![DomainId(0), DomainId(1)]);
+    let hr = g.record(
+        "hr",
+        Operation::Sensed,
+        DomainId(0),
+        SimTime::ZERO,
+        true,
+        &[],
+    );
+    let tmp = g.record(
+        "temp",
+        Operation::Sensed,
+        DomainId(0),
+        SimTime::ZERO,
+        false,
+        &[],
+    );
+    let score = g.record(
+        "wellness",
+        Operation::Derived,
+        DomainId(0),
+        SimTime::from_secs(1),
+        false,
+        &[hr, tmp],
+    );
+    let replicated = g.record(
+        "wellness",
+        Operation::Replicated,
+        DomainId(1),
+        SimTime::from_secs(2),
+        false,
+        &[score],
+    );
+    assert!(
+        g.derives_from_sensitive(replicated),
+        "aggregate carries the taint across domains"
+    );
+    assert_eq!(
+        g.domains_traversed(replicated),
+        vec![DomainId(0), DomainId(1)]
+    );
 
     // Redaction at the boundary launders the taint legitimately.
-    let redacted = g.record("wellness-red", Operation::Redacted, DomainId(0), SimTime::from_secs(3), false, &[score]);
-    let exported = g.record("wellness-red", Operation::Replicated, DomainId(1), SimTime::from_secs(4), false, &[redacted]);
+    let redacted = g.record(
+        "wellness-red",
+        Operation::Redacted,
+        DomainId(0),
+        SimTime::from_secs(3),
+        false,
+        &[score],
+    );
+    let exported = g.record(
+        "wellness-red",
+        Operation::Replicated,
+        DomainId(1),
+        SimTime::from_secs(4),
+        false,
+        &[redacted],
+    );
     assert!(!g.derives_from_sensitive(exported));
 }
 
@@ -119,8 +187,15 @@ fn policy_decisions_are_auditable() {
     let registry = standard_domains();
     let engine = PolicyEngine::governed();
     let personal = DataMeta::personal(DomainId(0), SimTime::ZERO);
-    let ctx = riot_data::FlowContext { meta: &personal, from: DomainId(0), to: DomainId(1) };
+    let ctx = riot_data::FlowContext {
+        meta: &personal,
+        from: DomainId(0),
+        to: DomainId(1),
+    };
     let (action, rule) = engine.decide(&ctx, &registry);
     assert_eq!(action, PolicyAction::Deny);
-    assert_eq!(rule, "personal-data-stays-in-scope", "the audit trail names the rule");
+    assert_eq!(
+        rule, "personal-data-stays-in-scope",
+        "the audit trail names the rule"
+    );
 }

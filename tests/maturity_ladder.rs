@@ -18,13 +18,19 @@ fn storm(spec: &ScenarioSpec) -> DisruptionSchedule {
     );
     s.push(
         SimTime::from_secs(55),
-        Disruption::CloudOutage { cloud: spec.cloud_id(), heal_after: Some(SimDuration::from_secs(20)) },
+        Disruption::CloudOutage {
+            cloud: spec.cloud_id(),
+            heal_after: Some(SimDuration::from_secs(20)),
+        },
     );
     for (i, t) in [60u64, 64, 68, 72].into_iter().enumerate() {
         let node = spec.device_id(i % spec.edges, 1);
         s.push(
             SimTime::from_secs(t),
-            Disruption::ComponentFault { node, component: ComponentId(node.0 as u32) },
+            Disruption::ComponentFault {
+                node,
+                component: ComponentId(node.0 as u32),
+            },
         );
     }
     s
@@ -65,7 +71,10 @@ fn mean_satisfaction_is_monotone_along_the_ladder() {
 #[test]
 fn ml4_has_strictly_best_overall_resilience() {
     let results: Vec<ScenarioResult> = MaturityLevel::ALL.iter().map(|l| run(*l)).collect();
-    let overall: Vec<f64> = results.iter().map(|r| r.report.overall_resilience).collect();
+    let overall: Vec<f64> = results
+        .iter()
+        .map(|r| r.report.overall_resilience)
+        .collect();
     for (i, r) in overall.iter().enumerate().take(3) {
         assert!(
             overall[3] > r + 0.1,
@@ -87,8 +96,19 @@ fn recovery_machinery_engages_exactly_where_the_tables_say() {
     assert_eq!(ml1.restarts, 0);
     // ML2: cloud MAPE restarts components (the faults land after the
     // outage heals, so the cloud gets to see them).
-    assert!(ml2.restarts >= 1, "cloud MAPE repaired something: {}", ml2.restarts);
+    assert!(
+        ml2.restarts >= 1,
+        "cloud MAPE repaired something: {}",
+        ml2.restarts
+    );
     // ML4: full recovery plus device failovers during the edge crash.
-    assert!(ml4.restarts >= 3, "edge MAPE repaired the faults: {}", ml4.restarts);
-    assert!(ml4.failovers >= 1, "devices failed over during the edge crash");
+    assert!(
+        ml4.restarts >= 3,
+        "edge MAPE repaired the faults: {}",
+        ml4.restarts
+    );
+    assert!(
+        ml4.failovers >= 1,
+        "devices failed over during the edge crash"
+    );
 }

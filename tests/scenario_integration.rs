@@ -30,7 +30,11 @@ fn every_level_runs_and_reports() {
                 .requirements
                 .get(name)
                 .unwrap_or_else(|| panic!("{level}: missing requirement {name}"));
-            assert!((0.0..=1.0).contains(&o.baseline), "{level}/{name} baseline {}", o.baseline);
+            assert!(
+                (0.0..=1.0).contains(&o.baseline),
+                "{level}/{name} baseline {}",
+                o.baseline
+            );
             assert!(
                 (0.0..=1.0).contains(&o.resilience),
                 "{level}/{name} resilience {}",
@@ -50,7 +54,10 @@ fn traffic_profile_matches_architecture() {
     let ml2 = Scenario::build(quick_spec(MaturityLevel::Ml2, 2)).run();
     let ml4 = Scenario::build(quick_spec(MaturityLevel::Ml4, 2)).run();
     assert_eq!(ml1.messages_sent, 0, "ML1 silos do not communicate");
-    assert!(ml2.messages_sent > 500, "ML2 pushes everything to the cloud");
+    assert!(
+        ml2.messages_sent > 500,
+        "ML2 pushes everything to the cloud"
+    );
     assert!(
         ml4.messages_sent > ml2.messages_sent / 2,
         "ML4 runs coordination + replication traffic"
@@ -62,18 +69,33 @@ fn traffic_profile_matches_architecture() {
 fn calm_runs_have_no_failovers_or_restarts() {
     for level in MaturityLevel::ALL {
         let result = Scenario::build(quick_spec(level, 3)).run();
-        assert_eq!(result.restarts, 0, "{level}: nothing failed, nothing to restart");
+        assert_eq!(
+            result.restarts, 0,
+            "{level}: nothing failed, nothing to restart"
+        );
         // Loss-induced failovers are possible but must be rare and benign.
-        assert!(result.failovers <= 2, "{level}: {} failovers in a calm run", result.failovers);
+        assert!(
+            result.failovers <= 2,
+            "{level}: {} failovers in a calm run",
+            result.failovers
+        );
     }
 }
 
 #[test]
 fn telemetry_means_are_published() {
     let result = Scenario::build(quick_spec(MaturityLevel::Ml4, 4)).run();
-    let coverage = result.telemetry_means.get("coverage").copied().expect("coverage telemetry");
+    let coverage = result
+        .telemetry_means
+        .get("coverage")
+        .copied()
+        .expect("coverage telemetry");
     assert!(coverage > 0.9, "calm ML4 coverage near 1.0: {coverage}");
-    let staleness = result.telemetry_means.get("freshness_s").copied().expect("freshness telemetry");
+    let staleness = result
+        .telemetry_means
+        .get("freshness_s")
+        .copied()
+        .expect("freshness telemetry");
     assert!(staleness < 5.0, "edge-mesh staleness small: {staleness}");
 }
 
