@@ -8,10 +8,14 @@
 //!   interleavings converge to identical state after pairwise merges, for
 //!   every CRDT shipped (the qualitative safety check behind the proptest
 //!   suite, here measured for merge count).
+//!
+//! Both sweeps run as `riot-harness` grids; each CRDT convergence cell
+//! seeds its own `SimRng` so the cells are order-independent.
 
-use riot_bench::{banner, write_json};
+use riot_bench::{banner, sweep_config_from_args, write_json};
 use riot_core::{ArchitectureConfig, Scenario, ScenarioSpec, Table};
 use riot_data::{Crdt, GCounter, LwwRegister, OrSet, PnCounter};
+use riot_harness::{Cell, Grid};
 use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimRng, SimTime};
 
@@ -47,90 +51,112 @@ fn main() {
         "design-choice ablation (data plane)",
         "anti-entropy period trades staleness for traffic; all CRDTs converge after pairwise merges",
     );
+    let config = sweep_config_from_args();
 
     // ---- Sync period under partition churn.
     println!("Anti-entropy period vs consumer staleness (ML4, with partition churn):\n");
-    let mut table = Table::new(&["sync period", "mean staleness", "freshness R", "msgs"]);
-    let mut sync_rows = Vec::new();
+    let mut grid = Grid::new();
     for period_ms in [250u64, 500, 1_000, 2_000, 4_000, 8_000] {
-        let mut spec = ScenarioSpec::new(format!("a2-{period_ms}"), MaturityLevel::Ml4, 91);
-        spec.edges = 4;
-        spec.devices_per_edge = 8;
-        spec.vendor_edge = false;
-        spec.personal_every = 0;
-        let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
-        arch.sync_period = SimDuration::from_millis(period_ms);
-        spec.arch = Some(arch);
-        // Edge partitions come and go.
-        let mut schedule = DisruptionSchedule::new();
-        for t in [40u64, 70, 100] {
-            let left: Vec<_> = (0..2).map(|i| spec.edge_id(i)).collect();
-            let right: Vec<_> = (2..4).map(|i| spec.edge_id(i)).collect();
-            schedule.push(
-                SimTime::from_secs(t),
-                Disruption::Partition {
-                    groups: vec![left, right],
-                    heal_after: Some(SimDuration::from_secs(10)),
-                },
-            );
-        }
-        spec.disruptions = schedule;
-        let r = Scenario::build(spec).run();
-        let row = SyncRow {
-            sync_period_ms: period_ms,
-            staleness_mean_s: r
-                .telemetry_means
-                .get("freshness_s")
-                .copied()
-                .unwrap_or(f64::NAN),
-            freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
-            messages_sent: r.messages_sent,
-        };
+        grid.cell(
+            Cell::new(format!("a2/sync-{period_ms}"), 91, move || {
+                let mut spec = ScenarioSpec::new(format!("a2-{period_ms}"), MaturityLevel::Ml4, 91);
+                spec.edges = 4;
+                spec.devices_per_edge = 8;
+                spec.vendor_edge = false;
+                spec.personal_every = 0;
+                let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+                arch.sync_period = SimDuration::from_millis(period_ms);
+                spec.arch = Some(arch);
+                // Edge partitions come and go.
+                let mut schedule = DisruptionSchedule::new();
+                for t in [40u64, 70, 100] {
+                    let left: Vec<_> = (0..2).map(|i| spec.edge_id(i)).collect();
+                    let right: Vec<_> = (2..4).map(|i| spec.edge_id(i)).collect();
+                    schedule.push(
+                        SimTime::from_secs(t),
+                        Disruption::Partition {
+                            groups: vec![left, right],
+                            heal_after: Some(SimDuration::from_secs(10)),
+                        },
+                    );
+                }
+                spec.disruptions = schedule;
+                let r = Scenario::build(spec).run();
+                SyncRow {
+                    sync_period_ms: period_ms,
+                    staleness_mean_s: r
+                        .telemetry_means
+                        .get("freshness_s")
+                        .copied()
+                        .unwrap_or(f64::NAN),
+                    freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
+                    messages_sent: r.messages_sent,
+                }
+            })
+            .param("sync_period_ms", period_ms),
+        );
+    }
+    let report = grid.run(&config);
+    report.report_failures();
+    let sync_rows: Vec<SyncRow> = report.into_values();
+
+    let mut table = Table::new(&["sync period", "mean staleness", "freshness R", "msgs"]);
+    for row in &sync_rows {
         table.row(vec![
-            format!("{period_ms}ms"),
+            format!("{}ms", row.sync_period_ms),
             format!("{:.2}s", row.staleness_mean_s),
             format!("{:.3}", row.freshness_resilience),
             row.messages_sent.to_string(),
         ]);
-        sync_rows.push(row);
     }
     println!("{}", table.render());
 
-    // ---- CRDT convergence.
+    // ---- CRDT convergence: one cell per CRDT, each with its own seed so
+    // the checks are independent of execution order.
     println!("CRDT convergence (random ops on isolated replicas, then pairwise merges):\n");
-    let mut table = Table::new(&["CRDT", "replicas", "ops", "merge rounds to converge"]);
-    let mut crdt_rows = Vec::new();
-    let mut rng = SimRng::seed_from(5);
-    for (name, rounds) in [
-        (
-            "GCounter",
-            converge_counter::<GCounter>(8, 200, &mut rng, |c, r, x| c.incr(r, x)),
-        ),
-        (
-            "PnCounter",
-            converge_counter::<PnCounter>(8, 200, &mut rng, |c, r, x| {
-                if x % 2 == 0 {
-                    c.incr(r, x)
-                } else {
-                    c.decr(r, x)
+    let mut grid = Grid::new();
+    let crdts: [&'static str; 4] = ["GCounter", "PnCounter", "LwwRegister", "OrSet"];
+    for (i, name) in crdts.into_iter().enumerate() {
+        let seed = 5 + i as u64;
+        grid.cell(
+            Cell::new(format!("a2/crdt/{name}"), seed, move || {
+                let mut rng = SimRng::seed_from(seed);
+                let rounds = match name {
+                    "GCounter" => {
+                        converge_counter::<GCounter>(8, 200, &mut rng, |c, r, x| c.incr(r, x))
+                    }
+                    "PnCounter" => converge_counter::<PnCounter>(8, 200, &mut rng, |c, r, x| {
+                        if x % 2 == 0 {
+                            c.incr(r, x)
+                        } else {
+                            c.decr(r, x)
+                        }
+                    }),
+                    "LwwRegister" => converge_lww(8, 200, &mut rng),
+                    _ => converge_orset(8, 200, &mut rng),
+                };
+                CrdtRow {
+                    crdt: name.to_owned(),
+                    replicas: 8,
+                    operations: 200,
+                    merge_rounds_to_converge: rounds,
                 }
-            }),
-        ),
-        ("LwwRegister", converge_lww(8, 200, &mut rng)),
-        ("OrSet", converge_orset(8, 200, &mut rng)),
-    ] {
+            })
+            .param("crdt", name),
+        );
+    }
+    let crdt_report = grid.run(&config);
+    crdt_report.report_failures();
+    let crdt_rows: Vec<CrdtRow> = crdt_report.into_values();
+
+    let mut table = Table::new(&["CRDT", "replicas", "ops", "merge rounds to converge"]);
+    for row in &crdt_rows {
         table.row(vec![
-            name.to_owned(),
-            "8".into(),
-            "200".into(),
-            rounds.to_string(),
+            row.crdt.clone(),
+            row.replicas.to_string(),
+            row.operations.to_string(),
+            row.merge_rounds_to_converge.to_string(),
         ]);
-        crdt_rows.push(CrdtRow {
-            crdt: name.to_owned(),
-            replicas: 8,
-            operations: 200,
-            merge_rounds_to_converge: rounds,
-        });
     }
     println!("{}", table.render());
     println!(

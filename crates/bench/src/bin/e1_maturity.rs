@@ -4,9 +4,15 @@
 //! per disruption vector of the paper's tables) and reports resilience —
 //! time-weighted requirement satisfaction during the disruption window.
 //! The paper's claim under test: resilience increases along the ladder.
+//!
+//! The suite × level × seed sweep (60 cells) runs on `riot-harness`:
+//! cells execute in parallel across workers, results merge in grid order,
+//! and the ladder aggregates seeds as mean ± 95% CI via
+//! [`riot_core::Stats`].
 
-use riot_bench::{banner, f3, suites, write_json};
-use riot_core::{resilience_table, Scenario, ScenarioSpec, Table};
+use riot_bench::{banner, suites, sweep_config_from_args, write_json};
+use riot_core::{resilience_table, Scenario, ScenarioResult, ScenarioSpec, Table};
+use riot_harness::{Cell, Grid, GridReport};
 use riot_model::{cell, DisruptionVector, MaturityLevel};
 
 struct Row {
@@ -32,12 +38,35 @@ riot_sim::impl_to_json_struct!(Row {
     privacy
 });
 
+const SEEDS: [u64; 3] = [1234, 20_26, 777];
+
+fn run_cell(suite_name: &'static str, level: MaturityLevel, seed: u64) -> ScenarioResult {
+    let mut spec = ScenarioSpec::new(format!("{suite_name}/{level}"), level, seed);
+    spec.edges = 4;
+    spec.devices_per_edge = 8;
+    spec.disruptions = suites::all(&spec)
+        .into_iter()
+        .find(|(n, _)| *n == suite_name)
+        .map(|(_, s)| s)
+        .expect("suite exists");
+    Scenario::build(spec).run()
+}
+
+fn suite_of(rec: &riot_harness::CellRecord<ScenarioResult>) -> String {
+    rec.params
+        .iter()
+        .find(|(k, _)| k == "suite")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default()
+}
+
 fn main() {
     banner(
         "E1",
         "Tables 1 & 2 (maturity ladder × disruption vectors)",
         "resilience increases monotonically ML1→ML4 on every disruption vector",
     );
+    let config = sweep_config_from_args();
 
     // The qualitative tables, as the paper states them.
     println!("Paper's qualitative ladder (Tables 1 & 2):\n");
@@ -53,86 +82,111 @@ fn main() {
     }
     println!("{}", qual.render());
 
-    // Every cell is run with three independent seeds; the printed tables
-    // show the first seed's run in full detail, and the ladder averages
-    // over all seeds.
-    const SEEDS: [u64; 3] = [1234, 20_26, 777];
-    let mut rows: Vec<Row> = Vec::new();
-    let mut all_results = Vec::new();
+    // Every cell is run with three independent seeds; the printed suite
+    // tables show the first seed's run in full detail, and the ladder
+    // aggregates over all seeds.
     let template = ScenarioSpec::new("e1", MaturityLevel::Ml1, 0);
-    for (suite_name, _) in suites::all(&template) {
-        println!("--- suite: {suite_name} (seed {})", SEEDS[0]);
-        let mut results = Vec::new();
+    let suite_names: Vec<&'static str> =
+        suites::all(&template).into_iter().map(|(n, _)| n).collect();
+
+    let mut grid = Grid::new();
+    for &suite_name in &suite_names {
         for level in MaturityLevel::ALL {
-            for (si, seed) in SEEDS.into_iter().enumerate() {
-                let mut spec = ScenarioSpec::new(format!("{suite_name}/{level}"), level, seed);
-                spec.edges = 4;
-                spec.devices_per_edge = 8;
-                spec.disruptions = suites::all(&spec)
-                    .into_iter()
-                    .find(|(n, _)| *n == suite_name)
-                    .map(|(_, s)| s)
-                    .expect("suite exists");
-                let result = Scenario::build(spec).run();
-                let req = |name: &str| result.requirement_resilience(name).unwrap_or(1.0);
-                rows.push(Row {
-                    suite: suite_name.to_owned(),
-                    level,
-                    overall_resilience: result.report.overall_resilience,
-                    overall_baseline: result.report.overall_baseline,
-                    latency: req("latency"),
-                    availability: req("availability"),
-                    coverage: req("coverage"),
-                    freshness: req("freshness"),
-                    privacy: req("privacy"),
-                });
-                if si == 0 {
-                    results.push(result);
-                } else {
-                    all_results.push(result);
-                }
+            for seed in SEEDS {
+                grid.cell(
+                    Cell::new(
+                        format!("e1/{suite_name}/{level}/s{seed}"),
+                        seed,
+                        move || run_cell(suite_name, level, seed),
+                    )
+                    .param("suite", suite_name)
+                    .param("level", level),
+                );
             }
         }
+    }
+    let report: GridReport<ScenarioResult> = grid.run(&config);
+    report.report_failures();
+
+    for &suite_name in &suite_names {
+        println!("--- suite: {suite_name} (seed {})", SEEDS[0]);
+        let results: Vec<ScenarioResult> = report
+            .cells
+            .iter()
+            .filter(|rec| rec.seed == SEEDS[0] && suite_of(rec) == suite_name)
+            .filter_map(|rec| rec.outcome.as_ref().ok().cloned())
+            .collect();
         println!("{}", resilience_table(&results).render());
-        all_results.extend(results);
     }
 
-    // Mean resilience per level across suites and seeds — the ladder.
+    // Per-cell rows (every suite × level × seed) for the JSON artifact,
+    // in grid order.
+    let rows: Vec<Row> = report
+        .cells
+        .iter()
+        .filter_map(|rec| {
+            let result = rec.outcome.as_ref().ok()?;
+            let req = |name: &str| result.requirement_resilience(name).unwrap_or(1.0);
+            Some(Row {
+                suite: suite_of(rec),
+                level: result.level,
+                overall_resilience: result.report.overall_resilience,
+                overall_baseline: result.report.overall_baseline,
+                latency: req("latency"),
+                availability: req("availability"),
+                coverage: req("coverage"),
+                freshness: req("freshness"),
+                privacy: req("privacy"),
+            })
+        })
+        .collect();
+
+    // Mean ± 95% CI per level across suites and seeds — the ladder.
     println!(
-        "--- the measured ladder (mean over {} suites x {} seeds)",
-        suites::all(&template).len(),
+        "--- the measured ladder (mean ±95% CI over {} suites x {} seeds)",
+        suite_names.len(),
         SEEDS.len()
     );
+    // seed_stats keys from the cell's result (only successful cells are
+    // aggregated, so the fallback level is never used).
+    let level_of = |rec: &riot_harness::CellRecord<ScenarioResult>| {
+        rec.outcome
+            .as_ref()
+            .map(|r| r.level)
+            .unwrap_or(MaturityLevel::Ml1)
+    };
+    let by_level_r = report.seed_stats(level_of, |r| r.report.overall_resilience);
+    let by_level_acceptable = report.seed_stats(level_of, |r| {
+        r.requirement_resilience(riot_core::GOAL_NAME)
+            .unwrap_or(1.0)
+    });
+    let by_level_sat = report.seed_stats(level_of, |r| r.report.mean_satisfaction);
     let mut ladder = Table::new(&[
         "level",
-        "mean overall R",
-        "mean acceptable R (goal model)",
-        "mean satisfied fraction",
+        "overall R (mean ±CI)",
+        "acceptable R (goal model)",
+        "satisfied fraction",
         "min..max satfrac",
     ]);
     for level in MaturityLevel::ALL {
-        let rs: Vec<&Row> = rows.iter().filter(|r| r.level == level).collect();
-        let mean_r = rs.iter().map(|r| r.overall_resilience).sum::<f64>() / rs.len() as f64;
-        let sats: Vec<f64> = all_results
-            .iter()
-            .filter(|x| x.level == level)
-            .map(|x| x.report.mean_satisfaction)
+        let sats: Vec<f64> = report
+            .values()
+            .filter(|r| r.level == level)
+            .map(|r| r.report.mean_satisfaction)
             .collect();
-        let mean_sat = sats.iter().sum::<f64>() / sats.len() as f64;
         let min = sats.iter().copied().fold(f64::INFINITY, f64::min);
         let max = sats.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let acceptable: Vec<f64> = all_results
-            .iter()
-            .filter(|x| x.level == level)
-            .filter_map(|x| x.requirement_resilience(riot_core::GOAL_NAME))
-            .collect();
-        let mean_acceptable = acceptable.iter().sum::<f64>() / acceptable.len().max(1) as f64;
+        let cell = |stats: Option<&riot_core::Stats>| {
+            stats
+                .map(riot_core::Stats::display3)
+                .unwrap_or_else(|| "-".into())
+        };
         ladder.row(vec![
             level.to_string(),
-            f3(mean_r),
-            f3(mean_acceptable),
-            f3(mean_sat),
-            format!("{}..{}", f3(min), f3(max)),
+            cell(by_level_r.get(&level)),
+            cell(by_level_acceptable.get(&level)),
+            cell(by_level_sat.get(&level)),
+            format!("{:.3}..{:.3}", min, max),
         ]);
     }
     println!("{}", ladder.render());

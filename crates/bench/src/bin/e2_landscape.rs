@@ -8,8 +8,9 @@
 //! links) and verifies that every maturity level runs disturbance-free at
 //! its expected baseline satisfaction.
 
-use riot_bench::{banner, f3, write_json};
+use riot_bench::{banner, f3, sweep_config_from_args, write_json};
 use riot_core::{Scenario, ScenarioSpec, Table};
+use riot_harness::{Cell, Grid};
 use riot_model::{interoperability, Device, DeviceClass, DeviceId, MaturityLevel, SoftwareStack};
 
 struct Baseline {
@@ -107,21 +108,31 @@ fn main() {
         "msgs",
         "events",
     ]);
-    let mut rows = Vec::new();
+    let mut grid = Grid::new();
     for level in MaturityLevel::ALL {
-        let mut spec = ScenarioSpec::new(format!("baseline/{level}"), level, 7);
-        spec.duration = riot_sim::SimDuration::from_secs(60);
-        spec.warmup = riot_sim::SimDuration::from_secs(10);
-        let result = Scenario::build(spec).run();
+        grid.cell(
+            Cell::new(format!("e2/baseline/{level}"), 7, move || {
+                let mut spec = ScenarioSpec::new(format!("baseline/{level}"), level, 7);
+                spec.duration = riot_sim::SimDuration::from_secs(60);
+                spec.warmup = riot_sim::SimDuration::from_secs(10);
+                Scenario::build(spec).run()
+            })
+            .param("level", level),
+        );
+    }
+    let report = grid.run(&sweep_config_from_args());
+    report.report_failures();
+    let mut rows = Vec::new();
+    for result in report.values() {
         table.row(vec![
-            level.to_string(),
+            result.level.to_string(),
             f3(result.report.overall_baseline),
             f3(result.report.mean_satisfaction),
             result.messages_sent.to_string(),
             result.events_processed.to_string(),
         ]);
         rows.push(Baseline {
-            level,
+            level: result.level,
             baseline_overall: result.report.overall_baseline,
             baseline_satfrac: result.report.mean_satisfaction,
             messages_sent: result.messages_sent,

@@ -12,14 +12,21 @@
 //! 3. **Statistical model checking**: the probability that an ML4 system
 //!    recovers coverage within 15 s of a component fault, with a Wilson
 //!    interval, plus an SPRT threshold test.
+//!
+//! The CTL facet checks and the Bernoulli recovery trials run as
+//! `riot-harness` grids (each cell seeds its own `SimRng`, so cells are
+//! independent and the sweep parallelizes); SPRT consumes pre-computed
+//! trial batches until it decides. Wall-clock throughput numbers appear
+//! in the printed tables only — the JSON artifact carries none, keeping
+//! it byte-identical across runs and thread counts.
 
-use riot_bench::harness;
-use riot_bench::{banner, f3, write_json};
+use riot_bench::{banner, f3, sweep_config_from_args, write_json};
 use riot_core::{Scenario, ScenarioSpec, Table};
 use riot_formal::{
     estimate_probability, parse_ctl, parse_ltl, Atoms, CtlChecker, Dtmc, Kripke, Monitor, Sprt,
     SprtDecision, StateId, Valuation, Verdict3,
 };
+use riot_harness::{Cell, Grid, HarnessConfig};
 use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimRng, SimTime};
 
@@ -28,16 +35,12 @@ struct CtlRow {
     transitions: usize,
     recoverable_holds: bool,
     response_holds: bool,
-    check_ms: f64,
-    states_per_sec: f64,
 }
 riot_sim::impl_to_json_struct!(CtlRow {
     states,
     transitions,
     recoverable_holds,
-    response_holds,
-    check_ms,
-    states_per_sec
+    response_holds
 });
 
 struct Output {
@@ -71,10 +74,12 @@ fn main() {
         "Figure 2 (system model ⊨ resilience property)",
         "design-time checking scales to 10^5-state facets; runtime monitors verdict live traces; statistical MC bounds recovery probability",
     );
+    let config = sweep_config_from_args();
 
-    // ---- 1. Design-time CTL checking at increasing scale.
+    // ---- 1. Design-time CTL checking at increasing scale: one harness
+    // cell per facet size, each with its own derived seed so the facets
+    // are independent of execution order.
     println!("CTL model checking of resilience patterns on random model facets:\n");
-    let mut rng = SimRng::seed_from(99);
     let mut table = Table::new(&[
         "states",
         "transitions",
@@ -83,41 +88,46 @@ fn main() {
         "time",
         "states/s",
     ]);
-    let mut ctl_rows = Vec::new();
-    // Properties are written in their textual syntax, as a requirements
-    // document would hold them; atoms p0..p2 match the labeling of
-    // `Kripke::random(_, _, 3, _)`.
-    let mut ctl_atoms = Atoms::new();
-    let recoverable = parse_ctl("AG EF p0", &mut ctl_atoms).expect("well-formed");
-    let responds = parse_ctl("AG (p1 -> AF p2)", &mut ctl_atoms).expect("well-formed");
-    for states in [100usize, 1_000, 10_000, 100_000] {
-        let k = Kripke::random(states, 4, 3, &mut rng);
-        let ((recoverable_holds, responds_holds), took) = harness::time(|| {
-            let checker = CtlChecker::new(&k);
-            (
-                checker.holds_initially(&recoverable),
-                checker.holds_initially(&responds),
-            )
-        });
-        let elapsed = took.as_secs_f64();
-        let row = CtlRow {
-            states,
-            transitions: k.transition_count(),
-            recoverable_holds,
-            response_holds: responds_holds,
-            check_ms: elapsed * 1e3,
-            states_per_sec: states as f64 / elapsed,
-        };
-        table.row(vec![
-            row.states.to_string(),
-            row.transitions.to_string(),
-            row.recoverable_holds.to_string(),
-            row.response_holds.to_string(),
-            format!("{:.1}ms", row.check_ms),
-            format!("{:.0}", row.states_per_sec),
-        ]);
-        ctl_rows.push(row);
+    let mut grid = Grid::new();
+    for (i, states) in [100usize, 1_000, 10_000, 100_000].into_iter().enumerate() {
+        let seed = 99 + i as u64;
+        grid.cell(
+            Cell::new(format!("e3/ctl/{states}"), seed, move || {
+                // Properties are written in their textual syntax, as a
+                // requirements document would hold them; atoms p0..p2
+                // match the labeling of `Kripke::random(_, _, 3, _)`.
+                let mut atoms = Atoms::new();
+                let recoverable = parse_ctl("AG EF p0", &mut atoms).expect("well-formed");
+                let responds = parse_ctl("AG (p1 -> AF p2)", &mut atoms).expect("well-formed");
+                let mut rng = SimRng::seed_from(seed);
+                let k = Kripke::random(states, 4, 3, &mut rng);
+                let checker = CtlChecker::new(&k);
+                CtlRow {
+                    states,
+                    transitions: k.transition_count(),
+                    recoverable_holds: checker.holds_initially(&recoverable),
+                    response_holds: checker.holds_initially(&responds),
+                }
+            })
+            .param("states", states),
+        );
     }
+    let ctl_report = grid.run(&config);
+    ctl_report.report_failures();
+    for rec in &ctl_report.cells {
+        if let Ok(row) = &rec.outcome {
+            let elapsed = rec.wall.as_secs_f64();
+            table.row(vec![
+                row.states.to_string(),
+                row.transitions.to_string(),
+                row.recoverable_holds.to_string(),
+                row.response_holds.to_string(),
+                format!("{:.1}ms", elapsed * 1e3),
+                format!("{:.0}", row.states as f64 / elapsed.max(1e-9)),
+            ]);
+        }
+    }
+    let ctl_rows: Vec<CtlRow> = ctl_report.into_values();
     println!("{}", table.render());
 
     // ---- 2. Runtime monitoring of a live scenario trace.
@@ -184,9 +194,12 @@ fn main() {
         p_recover_10
     );
 
-    // ---- 3. Statistical model checking of recovery probability.
+    // ---- 3. Statistical model checking of recovery probability. The 60
+    // Wilson-interval trials are one grid; the estimator then replays the
+    // pre-computed outcomes in trial order.
     println!("\nStatistical MC: P(coverage recovers within 15s of a component fault) at ML4:\n");
-    let est = estimate_probability(60, 0.95, |i| recovery_trial(i as u64 * 7 + 1));
+    let trials = trial_batch(&config, 0, 60, |i| i * 7 + 1);
+    let est = estimate_probability(60, 0.95, |i| trials.get(i).copied().unwrap_or(false));
     println!(
         "  n={}  p̂={}  95% Wilson interval [{}, {}]",
         est.n,
@@ -194,13 +207,26 @@ fn main() {
         f3(est.lo),
         f3(est.hi)
     );
-    // SPRT: is P(recovery) >= 0.9 (vs <= 0.6)?
+    // SPRT: is P(recovery) >= 0.9 (vs <= 0.6)? Trials are produced in
+    // parallel batches and consumed sequentially until the test decides,
+    // so the decision and observation count match a sequential run while
+    // only one (usually) batch of simulations is actually executed.
     let mut sprt = Sprt::new(0.6, 0.9, 0.05, 0.05);
     let mut decision = SprtDecision::Undecided;
-    let mut i = 0u64;
-    while decision == SprtDecision::Undecided && i < 200 {
-        decision = sprt.observe(recovery_trial(i * 13 + 5));
-        i += 1;
+    let mut consumed = 0u64;
+    const BATCH: u64 = 25;
+    const MAX_TRIALS: u64 = 200;
+    while decision == SprtDecision::Undecided && consumed < MAX_TRIALS {
+        let batch = trial_batch(&config, consumed, BATCH.min(MAX_TRIALS - consumed), |i| {
+            i * 13 + 5
+        });
+        for outcome in batch {
+            decision = sprt.observe(outcome);
+            consumed += 1;
+            if decision != SprtDecision::Undecided {
+                break;
+            }
+        }
     }
     println!(
         "  SPRT (H1: p>=0.9 vs H0: p<=0.6, α=β=0.05): {:?} after {} trials",
@@ -223,6 +249,31 @@ fn main() {
             dtmc_recover_10s: p_recover_10,
         },
     );
+}
+
+/// Runs Bernoulli recovery trials `start..start + count` as a harness
+/// grid, returning outcomes in trial order. `seed_of` maps a trial index
+/// to its scenario seed (the same mapping the sequential code used).
+fn trial_batch(
+    config: &HarnessConfig,
+    start: u64,
+    count: u64,
+    seed_of: impl Fn(u64) -> u64,
+) -> Vec<bool> {
+    let mut grid = Grid::new();
+    for i in start..start + count {
+        let seed = seed_of(i);
+        grid.cell(Cell::new(format!("e3/smc/t{i}"), seed, move || {
+            recovery_trial(seed)
+        }));
+    }
+    let report = grid.run(config);
+    report.report_failures();
+    report
+        .cells
+        .iter()
+        .map(|rec| rec.outcome.as_ref().copied().unwrap_or(false))
+        .collect()
 }
 
 /// One Bernoulli trial: a short ML4 run with a component fault; success if

@@ -10,9 +10,12 @@
 //!   centralized control start missing the 250 ms deadline?
 //! * sweep B — recurring cloud outages: how much control availability does
 //!   each architecture retain?
+//!
+//! Both sweeps execute as `riot-harness` grids (12 + 8 cells).
 
-use riot_bench::{banner, f3, write_json};
+use riot_bench::{banner, f3, sweep_config_from_args, write_json};
 use riot_core::{Scenario, ScenarioSpec, Table};
+use riot_harness::{Cell, Grid};
 use riot_model::{Disruption, DisruptionSchedule, MaturityLevel};
 use riot_net::{LatencyModel, Link};
 use riot_sim::{SimDuration, SimTime};
@@ -75,9 +78,46 @@ fn main() {
         "Figure 3 (edge as control agent)",
         "decentralized edge control keeps latency/availability where centralized cloud control degrades with RTT and dies with the cloud link",
     );
+    let config = sweep_config_from_args();
 
     // ---- Sweep A: cloud RTT.
     println!("Sweep A — control quality vs cloud RTT (no faults; deadline 250 ms):\n");
+    let mut grid = Grid::new();
+    for rtt_ms in [10u64, 50, 100, 200, 300, 400] {
+        for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
+            grid.cell(
+                Cell::new(format!("e4/rtt{rtt_ms}/{level}"), 31, move || {
+                    // One-way link latency is half the RTT.
+                    let link =
+                        Link::lossless(LatencyModel::Fixed(SimDuration::from_millis(rtt_ms / 2)));
+                    let r = run_with(level, Some(link), DisruptionSchedule::new(), 31);
+                    // At extreme RTT every centralized request misses the
+                    // deadline and no round-trip completes: report NaN-free
+                    // sentinels.
+                    let (mean, p95) = r
+                        .control_latency
+                        .map(|l| (l.mean, l.p95))
+                        .unwrap_or((f64::INFINITY, f64::INFINITY));
+                    RttRow {
+                        cloud_rtt_ms: rtt_ms,
+                        level,
+                        latency_mean_ms: mean,
+                        latency_p95_ms: p95,
+                        latency_resilience: r.requirement_resilience("latency").unwrap_or(0.0),
+                        availability_resilience: r
+                            .requirement_resilience("availability")
+                            .unwrap_or(0.0),
+                    }
+                })
+                .param("rtt_ms", rtt_ms)
+                .param("level", level),
+            );
+        }
+    }
+    let report = grid.run(&config);
+    report.report_failures();
+    let rtt_rows: Vec<RttRow> = report.into_values();
+
     let mut table = Table::new(&[
         "cloud RTT",
         "level",
@@ -86,48 +126,68 @@ fn main() {
         "latency R",
         "avail R",
     ]);
-    let mut rtt_rows = Vec::new();
-    for rtt_ms in [10u64, 50, 100, 200, 300, 400] {
-        // One-way link latency is half the RTT.
-        let link = Link::lossless(LatencyModel::Fixed(SimDuration::from_millis(rtt_ms / 2)));
-        for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
-            let r = run_with(level, Some(link), DisruptionSchedule::new(), 31);
-            // At extreme RTT every centralized request misses the deadline
-            // and no round-trip completes: report NaN-free sentinels.
-            let (mean, p95) = r
-                .control_latency
-                .map(|l| (l.mean, l.p95))
-                .unwrap_or((f64::INFINITY, f64::INFINITY));
-            let row = RttRow {
-                cloud_rtt_ms: rtt_ms,
-                level,
-                latency_mean_ms: mean,
-                latency_p95_ms: p95,
-                latency_resilience: r.requirement_resilience("latency").unwrap_or(0.0),
-                availability_resilience: r.requirement_resilience("availability").unwrap_or(0.0),
-            };
-            let fmt_ms = |x: f64| {
-                if x.is_finite() {
-                    format!("{x:.1}ms")
-                } else {
-                    "all timed out".to_owned()
-                }
-            };
-            table.row(vec![
-                format!("{rtt_ms}ms"),
-                level.to_string(),
-                fmt_ms(row.latency_mean_ms),
-                fmt_ms(row.latency_p95_ms),
-                f3(row.latency_resilience),
-                f3(row.availability_resilience),
-            ]);
-            rtt_rows.push(row);
-        }
+    for row in &rtt_rows {
+        let fmt_ms = |x: f64| {
+            if x.is_finite() {
+                format!("{x:.1}ms")
+            } else {
+                "all timed out".to_owned()
+            }
+        };
+        table.row(vec![
+            format!("{}ms", row.cloud_rtt_ms),
+            row.level.to_string(),
+            fmt_ms(row.latency_mean_ms),
+            fmt_ms(row.latency_p95_ms),
+            f3(row.latency_resilience),
+            f3(row.availability_resilience),
+        ]);
     }
     println!("{}", table.render());
 
     // ---- Sweep B: recurring cloud outages.
     println!("Sweep B — control availability vs cloud-outage rate (15 s outages):\n");
+    let mut grid = Grid::new();
+    for per_min in [0.0f64, 0.5, 1.0, 2.0] {
+        for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
+            grid.cell(
+                Cell::new(format!("e4/outage{per_min}/{level}"), 32, move || {
+                    let mut schedule = DisruptionSchedule::new();
+                    if per_min > 0.0 {
+                        let gap = (60.0 / per_min) as u64;
+                        let mut t = 35u64;
+                        while t < 115 {
+                            schedule.push(
+                                SimTime::from_secs(t),
+                                Disruption::CloudOutage {
+                                    cloud: riot_sim::ProcessId(0),
+                                    heal_after: Some(SimDuration::from_secs(15)),
+                                },
+                            );
+                            t += gap;
+                        }
+                    }
+                    let r = run_with(level, None, schedule, 32);
+                    OutageRow {
+                        outages_per_min: per_min,
+                        level,
+                        availability_resilience: r
+                            .requirement_resilience("availability")
+                            .unwrap_or(0.0),
+                        latency_resilience: r.requirement_resilience("latency").unwrap_or(0.0),
+                        mttr_s: r.report.requirements["availability"].mttr_s,
+                        failovers: r.failovers,
+                    }
+                })
+                .param("outages_per_min", per_min)
+                .param("level", level),
+            );
+        }
+    }
+    let report = grid.run(&config);
+    report.report_failures();
+    let outage_rows: Vec<OutageRow> = report.into_values();
+
     let mut table = Table::new(&[
         "outages/min",
         "level",
@@ -136,45 +196,17 @@ fn main() {
         "MTTR",
         "failovers",
     ]);
-    let mut outage_rows = Vec::new();
-    for per_min in [0.0f64, 0.5, 1.0, 2.0] {
-        for level in [MaturityLevel::Ml2, MaturityLevel::Ml4] {
-            let mut schedule = DisruptionSchedule::new();
-            if per_min > 0.0 {
-                let gap = (60.0 / per_min) as u64;
-                let mut t = 35u64;
-                while t < 115 {
-                    schedule.push(
-                        SimTime::from_secs(t),
-                        Disruption::CloudOutage {
-                            cloud: riot_sim::ProcessId(0),
-                            heal_after: Some(SimDuration::from_secs(15)),
-                        },
-                    );
-                    t += gap;
-                }
-            }
-            let r = run_with(level, None, schedule, 32);
-            let row = OutageRow {
-                outages_per_min: per_min,
-                level,
-                availability_resilience: r.requirement_resilience("availability").unwrap_or(0.0),
-                latency_resilience: r.requirement_resilience("latency").unwrap_or(0.0),
-                mttr_s: r.report.requirements["availability"].mttr_s,
-                failovers: r.failovers,
-            };
-            table.row(vec![
-                format!("{per_min:.1}"),
-                level.to_string(),
-                f3(row.availability_resilience),
-                f3(row.latency_resilience),
-                row.mttr_s
-                    .map(|m| format!("{m:.1}s"))
-                    .unwrap_or_else(|| "-".into()),
-                row.failovers.to_string(),
-            ]);
-            outage_rows.push(row);
-        }
+    for row in &outage_rows {
+        table.row(vec![
+            format!("{:.1}", row.outages_per_min),
+            row.level.to_string(),
+            f3(row.availability_resilience),
+            f3(row.latency_resilience),
+            row.mttr_s
+                .map(|m| format!("{m:.1}s"))
+                .unwrap_or_else(|| "-".into()),
+            row.failovers.to_string(),
+        ]);
     }
     println!("{}", table.render());
     println!(

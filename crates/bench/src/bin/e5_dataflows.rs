@@ -13,9 +13,12 @@
 //! Postures: ML3 as-is (ungoverned), ML3 with governance bolted on, ML4
 //! as-is (governed natively), and ML4 with governance stripped — the
 //! ablation showing governance, not the architecture, stops the leak.
+//!
+//! The posture and sync-period sweeps run as `riot-harness` grids.
 
-use riot_bench::{banner, f3, write_json};
+use riot_bench::{banner, f3, sweep_config_from_args, write_json};
 use riot_core::{ArchitectureConfig, Scenario, ScenarioSpec, Table};
+use riot_harness::{Cell, Grid};
 use riot_model::{Disruption, DisruptionSchedule, DomainId, MaturityLevel};
 use riot_sim::{SimDuration, SimTime};
 
@@ -42,13 +45,55 @@ fn main() {
         "Figure 4 (inter-IoT data flows: privacy, timeliness, availability)",
         "governance policies at components eliminate privacy violations at bounded timeliness/availability cost",
     );
+    let config = sweep_config_from_args();
 
-    let postures: Vec<(&str, MaturityLevel, Option<bool>)> = vec![
+    let postures: Vec<(&'static str, MaturityLevel, Option<bool>)> = vec![
         ("ML3 (ungoverned)", MaturityLevel::Ml3, None),
         ("ML3 + governance", MaturityLevel::Ml3, Some(true)),
         ("ML4 (governed)", MaturityLevel::Ml4, None),
         ("ML4 - governance", MaturityLevel::Ml4, Some(false)),
     ];
+
+    let mut grid = Grid::new();
+    for (name, level, governance_override) in postures {
+        grid.cell(
+            Cell::new(format!("e5/{name}"), 77, move || {
+                let mut spec = ScenarioSpec::new(name, level, 77);
+                spec.edges = 4;
+                spec.devices_per_edge = 8;
+                spec.personal_every = 2; // half the city wears sensors
+                spec.vendor_edge = true;
+                // Mid-run domain transfer: an edge changes hands (§II).
+                spec.disruptions = DisruptionSchedule::new().at(
+                    SimTime::from_secs(60),
+                    Disruption::DomainTransfer {
+                        entity: spec.edge_id(0).0 as u64,
+                        to: DomainId(1),
+                    },
+                );
+                if let Some(governed) = governance_override {
+                    let mut arch = ArchitectureConfig::for_level(level);
+                    arch.governed_data = governed;
+                    spec.arch = Some(arch);
+                }
+                let r = Scenario::build(spec).run();
+                Row {
+                    posture: name.to_owned(),
+                    privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
+                    freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
+                    ingest_denied: r.ingest_denied,
+                    availability_resilience: r
+                        .requirement_resilience("availability")
+                        .unwrap_or(0.0),
+                    messages_sent: r.messages_sent,
+                }
+            })
+            .param("posture", name),
+        );
+    }
+    let report = grid.run(&config);
+    report.report_failures();
+    let rows: Vec<Row> = report.into_values();
 
     let mut table = Table::new(&[
         "posture",
@@ -58,35 +103,7 @@ fn main() {
         "ingest denied",
         "msgs",
     ]);
-    let mut rows = Vec::new();
-    for (name, level, governance_override) in postures {
-        let mut spec = ScenarioSpec::new(name, level, 77);
-        spec.edges = 4;
-        spec.devices_per_edge = 8;
-        spec.personal_every = 2; // half the city wears sensors
-        spec.vendor_edge = true;
-        // Mid-run domain transfer: an edge changes hands (§II).
-        spec.disruptions = DisruptionSchedule::new().at(
-            SimTime::from_secs(60),
-            Disruption::DomainTransfer {
-                entity: spec.edge_id(0).0 as u64,
-                to: DomainId(1),
-            },
-        );
-        if let Some(governed) = governance_override {
-            let mut arch = ArchitectureConfig::for_level(level);
-            arch.governed_data = governed;
-            spec.arch = Some(arch);
-        }
-        let r = Scenario::build(spec).run();
-        let row = Row {
-            posture: name.to_owned(),
-            privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
-            freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
-            ingest_denied: r.ingest_denied,
-            availability_resilience: r.requirement_resilience("availability").unwrap_or(0.0),
-            messages_sent: r.messages_sent,
-        };
+    for row in &rows {
         table.row(vec![
             row.posture.clone(),
             f3(row.privacy_resilience),
@@ -95,19 +112,11 @@ fn main() {
             row.ingest_denied.to_string(),
             row.messages_sent.to_string(),
         ]);
-        rows.push(row);
     }
     println!("{}", table.render());
 
     // Anti-entropy cost/benefit: staleness vs sync period at ML4.
     println!("Timeliness vs sync period (ML4, governed):\n");
-    let mut table = Table::new(&[
-        "sync period",
-        "mean staleness",
-        "freshness R",
-        "msgs",
-        "privacy R",
-    ]);
     struct SyncRow {
         sync_period_ms: u64,
         staleness_mean_s: f64,
@@ -122,34 +131,52 @@ fn main() {
         messages_sent,
         privacy_resilience
     });
-    let mut sync_rows = Vec::new();
+    let mut grid = Grid::new();
     for period_ms in [500u64, 1_000, 2_000, 5_000, 10_000] {
-        let mut spec = ScenarioSpec::new(format!("sync-{period_ms}"), MaturityLevel::Ml4, 78);
-        spec.edges = 4;
-        spec.devices_per_edge = 8;
-        let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
-        arch.sync_period = SimDuration::from_millis(period_ms);
-        spec.arch = Some(arch);
-        let r = Scenario::build(spec).run();
-        let row = SyncRow {
-            sync_period_ms: period_ms,
-            staleness_mean_s: r
-                .telemetry_means
-                .get("freshness_s")
-                .copied()
-                .unwrap_or(f64::NAN),
-            freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
-            messages_sent: r.messages_sent,
-            privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
-        };
+        grid.cell(
+            Cell::new(format!("e5/sync-{period_ms}"), 78, move || {
+                let mut spec =
+                    ScenarioSpec::new(format!("sync-{period_ms}"), MaturityLevel::Ml4, 78);
+                spec.edges = 4;
+                spec.devices_per_edge = 8;
+                let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+                arch.sync_period = SimDuration::from_millis(period_ms);
+                spec.arch = Some(arch);
+                let r = Scenario::build(spec).run();
+                SyncRow {
+                    sync_period_ms: period_ms,
+                    staleness_mean_s: r
+                        .telemetry_means
+                        .get("freshness_s")
+                        .copied()
+                        .unwrap_or(f64::NAN),
+                    freshness_resilience: r.requirement_resilience("freshness").unwrap_or(0.0),
+                    messages_sent: r.messages_sent,
+                    privacy_resilience: r.requirement_resilience("privacy").unwrap_or(0.0),
+                }
+            })
+            .param("sync_period_ms", period_ms),
+        );
+    }
+    let sync_report = grid.run(&config);
+    sync_report.report_failures();
+    let sync_rows: Vec<SyncRow> = sync_report.into_values();
+
+    let mut table = Table::new(&[
+        "sync period",
+        "mean staleness",
+        "freshness R",
+        "msgs",
+        "privacy R",
+    ]);
+    for row in &sync_rows {
         table.row(vec![
-            format!("{period_ms}ms"),
+            format!("{}ms", row.sync_period_ms),
             format!("{:.2}s", row.staleness_mean_s),
             f3(row.freshness_resilience),
             row.messages_sent.to_string(),
             f3(row.privacy_resilience),
         ]);
-        sync_rows.push(row);
     }
     println!("{}", table.render());
     println!(

@@ -6,9 +6,10 @@
 //! workload runs with (a) no self-adaptation, (b) a cloud-hosted MAPE loop
 //! and (c) edge-hosted MAPE loops, under a component-fault storm, first
 //! with a healthy cloud link and then with recurring cloud outages that
-//! overlap the faults.
+//! overlap the faults. All six condition × placement cells run as one
+//! `riot-harness` grid.
 
-use riot_bench::{banner, f3, write_json};
+use riot_bench::{banner, f3, sweep_config_from_args, write_json};
 use riot_core::{ArchitectureConfig, MapePlacement, Scenario, ScenarioSpec, Table};
 use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimTime};
@@ -71,14 +72,54 @@ fn outages(schedule: &mut DisruptionSchedule) {
     }
 }
 
+fn run_cell(name: &'static str, placement: MapePlacement, with_outages: bool) -> Row {
+    // Same connectivity/control substrate for all three: the ML4
+    // architecture with only the MAPE placement varied, so the
+    // comparison isolates where analysis and planning run.
+    let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
+    arch.mape = placement;
+    let mut spec = ScenarioSpec::new(
+        format!("mape-{name}{}", if with_outages { "-outage" } else { "" }),
+        MaturityLevel::Ml4,
+        55,
+    );
+    spec.edges = 4;
+    spec.devices_per_edge = 8;
+    spec.vendor_edge = false;
+    spec.personal_every = 0;
+    spec.arch = Some(arch);
+    let mut schedule = faults(&spec);
+    if with_outages {
+        outages(&mut schedule);
+    }
+    spec.disruptions = schedule;
+    let r = Scenario::build(spec).run();
+    let cov = &r.report.requirements["coverage"];
+    Row {
+        placement: name.to_owned(),
+        cloud_outages: with_outages,
+        coverage_resilience: cov.resilience,
+        mean_coverage: r
+            .telemetry_means
+            .get("coverage")
+            .copied()
+            .unwrap_or(f64::NAN),
+        coverage_mttr_s: cov.mttr_s,
+        max_outage_s: cov.max_outage_s,
+        restarts: r.restarts,
+        restart_commands: r.restart_commands,
+    }
+}
+
 fn main() {
     banner(
         "E6",
         "Figure 5 (MAPE loop placement)",
         "edge-placed analysis+planning recovers faster than cloud-placed, and keeps recovering when the cloud link is down",
     );
+    let config = sweep_config_from_args();
 
-    let placements: Vec<(&str, MapePlacement)> = vec![
+    let placements: Vec<(&'static str, MapePlacement)> = vec![
         ("none", MapePlacement::None),
         ("cloud", MapePlacement::Cloud),
         ("edge", MapePlacement::Edge),
@@ -102,7 +143,27 @@ fn main() {
     }
     println!();
 
-    let mut rows = Vec::new();
+    let mut grid = riot_harness::Grid::new();
+    for with_outages in [false, true] {
+        for &(name, placement) in &placements {
+            grid.cell(
+                riot_harness::Cell::new(
+                    format!(
+                        "e6/{name}{}",
+                        if with_outages { "/outages" } else { "/healthy" }
+                    ),
+                    55,
+                    move || run_cell(name, placement, with_outages),
+                )
+                .param("placement", name)
+                .param("cloud_outages", with_outages),
+            );
+        }
+    }
+    let report = grid.run(&config);
+    report.report_failures();
+    let rows: Vec<Row> = report.into_values();
+
     for with_outages in [false, true] {
         println!(
             "--- component-fault storm, cloud link {}:\n",
@@ -121,43 +182,7 @@ fn main() {
             "restarts",
             "commands",
         ]);
-        for (name, placement) in &placements {
-            // Same connectivity/control substrate for all three: the ML4
-            // architecture with only the MAPE placement varied, so the
-            // comparison isolates where analysis and planning run.
-            let mut arch = ArchitectureConfig::for_level(MaturityLevel::Ml4);
-            arch.mape = *placement;
-            let mut spec = ScenarioSpec::new(
-                format!("mape-{name}{}", if with_outages { "-outage" } else { "" }),
-                MaturityLevel::Ml4,
-                55,
-            );
-            spec.edges = 4;
-            spec.devices_per_edge = 8;
-            spec.vendor_edge = false;
-            spec.personal_every = 0;
-            spec.arch = Some(arch);
-            let mut schedule = faults(&spec);
-            if with_outages {
-                outages(&mut schedule);
-            }
-            spec.disruptions = schedule;
-            let r = Scenario::build(spec).run();
-            let cov = &r.report.requirements["coverage"];
-            let row = Row {
-                placement: name.to_string(),
-                cloud_outages: with_outages,
-                coverage_resilience: cov.resilience,
-                mean_coverage: r
-                    .telemetry_means
-                    .get("coverage")
-                    .copied()
-                    .unwrap_or(f64::NAN),
-                coverage_mttr_s: cov.mttr_s,
-                max_outage_s: cov.max_outage_s,
-                restarts: r.restarts,
-                restart_commands: r.restart_commands,
-            };
+        for row in rows.iter().filter(|r| r.cloud_outages == with_outages) {
             table.row(vec![
                 row.placement.clone(),
                 f3(row.coverage_resilience),
@@ -169,7 +194,6 @@ fn main() {
                 row.restarts.to_string(),
                 row.restart_commands.to_string(),
             ]);
-            rows.push(row);
         }
         println!("{}", table.render());
     }

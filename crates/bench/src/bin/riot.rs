@@ -1,25 +1,32 @@
 //! `riot` — scenario runner CLI.
 //!
 //! Runs a configurable scenario (or all four maturity levels of it) and
-//! prints the resilience report. Argument parsing is hand-rolled to keep
-//! the dependency set to the offline allowlist.
+//! prints the resilience report. With `--seeds N` every level runs under
+//! `N` consecutive seeds and the per-level resilience is reported as
+//! mean ± 95% CI; cells execute in parallel on the `riot-harness` worker
+//! pool (`--threads N` to pin the worker count). Argument parsing is
+//! hand-rolled to keep the dependency set to the offline allowlist.
 //!
 //! ```text
 //! USAGE:
 //!   riot [--level ml1|ml2|ml3|ml4 | --all-levels]
 //!        [--edges N] [--devices N]            # devices = per edge
 //!        [--duration SECS] [--warmup SECS] [--seed N]
+//!        [--seeds N]                          # N consecutive seeds per level
+//!        [--threads N]                        # harness worker threads
 //!        [--suite infrastructure|service|connectivity|governance|mobility|none]
 //!        [--roaming N]                        # N roaming devices (geometry walks)
 //!        [--json FILE]                        # write results as JSON
 //! EXAMPLE:
-//!   cargo run -p riot-bench --bin riot -- --all-levels --suite connectivity
+//!   cargo run -p riot-bench --bin riot -- --all-levels --suite connectivity --seeds 3
 //! ```
 
 use riot_bench::suites;
 use riot_core::{
     resilience_table, roaming_schedule, MobilitySpec, Scenario, ScenarioResult, ScenarioSpec,
+    Stats, Table,
 };
+use riot_harness::{Cell, Grid, HarnessConfig};
 use riot_model::MaturityLevel;
 use riot_sim::{SimDuration, SimRng};
 use std::process::ExitCode;
@@ -32,6 +39,8 @@ struct Args {
     duration_s: u64,
     warmup_s: u64,
     seed: u64,
+    seeds: usize,
+    threads: Option<usize>,
     suite: Option<String>,
     roaming: usize,
     json: Option<String>,
@@ -46,6 +55,8 @@ impl Default for Args {
             duration_s: 120,
             warmup_s: 30,
             seed: 1,
+            seeds: 1,
+            threads: None,
             suite: None,
             roaming: 0,
             json: None,
@@ -55,7 +66,7 @@ impl Default for Args {
 
 fn usage() -> &'static str {
     "usage: riot [--level ml1|ml2|ml3|ml4 | --all-levels] [--edges N] [--devices N]\n\
-     \x20           [--duration SECS] [--warmup SECS] [--seed N]\n\
+     \x20           [--duration SECS] [--warmup SECS] [--seed N] [--seeds N] [--threads N]\n\
      \x20           [--suite infrastructure|service|connectivity|governance|mobility|none]\n\
      \x20           [--roaming N] [--json FILE]"
 }
@@ -87,6 +98,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--duration" => args.duration_s = num(&value(&mut i, "--duration")?)? as u64,
             "--warmup" => args.warmup_s = num(&value(&mut i, "--warmup")?)? as u64,
             "--seed" => args.seed = num(&value(&mut i, "--seed")?)? as u64,
+            "--seeds" => args.seeds = num(&value(&mut i, "--seeds")?)?,
+            "--threads" => args.threads = Some(num(&value(&mut i, "--threads")?)?),
             "--roaming" => args.roaming = num(&value(&mut i, "--roaming")?)?,
             "--suite" => {
                 let v = value(&mut i, "--suite")?;
@@ -104,6 +117,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.warmup_s >= args.duration_s {
         return Err("--warmup must be shorter than --duration".into());
     }
+    if args.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if args.threads == Some(0) {
+        return Err("--threads must be at least 1".into());
+    }
     Ok(args)
 }
 
@@ -112,8 +131,8 @@ fn num(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("'{s}' is not a number"))
 }
 
-fn build_spec(args: &Args, level: MaturityLevel) -> Result<ScenarioSpec, String> {
-    let mut spec = ScenarioSpec::new(format!("cli/{level}"), level, args.seed);
+fn build_spec(args: &Args, level: MaturityLevel, seed: u64) -> Result<ScenarioSpec, String> {
+    let mut spec = ScenarioSpec::new(format!("cli/{level}"), level, seed);
     spec.edges = args.edges;
     spec.devices_per_edge = args.devices_per_edge;
     spec.duration = SimDuration::from_secs(args.duration_s);
@@ -130,7 +149,7 @@ fn build_spec(args: &Args, level: MaturityLevel) -> Result<ScenarioSpec, String>
             roamers: args.roaming,
             ..MobilitySpec::default()
         };
-        let mut rng = SimRng::seed_from(args.seed);
+        let mut rng = SimRng::seed_from(seed);
         let (roam, _) = roaming_schedule(&spec, &mobility, &mut rng);
         spec.disruptions.merge(roam);
     }
@@ -149,38 +168,110 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut results: Vec<ScenarioResult> = Vec::new();
-    for level in &args.levels {
-        let spec = match build_spec(&args, *level) {
-            Ok(s) => s,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                return ExitCode::from(2);
-            }
-        };
+    let mut config = HarnessConfig::from_env();
+    if let Some(n) = args.threads {
+        config = config.threads(n);
+    }
+
+    // Declare the level × seed grid. Specs are validated up front so a
+    // bad suite name fails before any cell runs.
+    let mut grid: Grid<ScenarioResult> = Grid::new();
+    for &level in &args.levels {
         println!(
-            "running {level}: {} edges x {} devices, {}s ({}s warmup), seed {}{}",
+            "running {level}: {} edges x {} devices, {}s ({}s warmup), seeds {}..{}{}",
             args.edges,
             args.devices_per_edge,
             args.duration_s,
             args.warmup_s,
             args.seed,
+            args.seed + args.seeds as u64 - 1,
             args.suite
                 .as_deref()
                 .map(|s| format!(", suite '{s}'"))
                 .unwrap_or_default(),
         );
-        results.push(Scenario::build(spec).run());
+        for s in 0..args.seeds as u64 {
+            let seed = args.seed + s;
+            let spec = match build_spec(&args, level, seed) {
+                Ok(s) => s,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            grid.cell(
+                Cell::new(format!("cli/{level}/s{seed}"), seed, move || {
+                    Scenario::build(spec).run()
+                })
+                .param("level", level),
+            );
+        }
     }
+    let report = grid.run(&config);
+    report.report_failures();
+    let failed = report.error_count();
+
+    // Detail table for the first seed of every level (the only seed when
+    // --seeds 1, preserving the classic output).
+    let first: Vec<ScenarioResult> = report
+        .cells
+        .iter()
+        .filter(|rec| rec.seed == args.seed)
+        .filter_map(|rec| rec.outcome.as_ref().ok().cloned())
+        .collect();
     println!();
-    println!("{}", resilience_table(&results).render());
+    println!("{}", resilience_table(&first).render());
+
+    // Multi-seed aggregation: per-level mean ± 95% CI across seeds.
+    if args.seeds > 1 {
+        let by_level = |metric: fn(&ScenarioResult) -> f64| {
+            report.seed_stats(
+                |rec| {
+                    rec.outcome
+                        .as_ref()
+                        .map(|r| r.level)
+                        .unwrap_or(MaturityLevel::Ml1)
+                },
+                metric,
+            )
+        };
+        let overall = by_level(|r| r.report.overall_resilience);
+        let avail = by_level(|r| r.requirement_resilience("availability").unwrap_or(1.0));
+        let latency = by_level(|r| r.requirement_resilience("latency").unwrap_or(1.0));
+        let mut agg = Table::new(&[
+            "level",
+            "seeds",
+            "overall R (mean ±CI)",
+            "avail R (mean ±CI)",
+            "latency R (mean ±CI)",
+        ]);
+        let cell = |stats: Option<&Stats>| stats.map(Stats::display3).unwrap_or_else(|| "-".into());
+        for &level in &args.levels {
+            let n = overall.get(&level).map(|s| s.n).unwrap_or(0);
+            agg.row(vec![
+                level.to_string(),
+                n.to_string(),
+                cell(overall.get(&level)),
+                cell(avail.get(&level)),
+                cell(latency.get(&level)),
+            ]);
+        }
+        println!("aggregate over {} seeds per level:\n", args.seeds);
+        println!("{}", agg.render());
+    }
+
     if let Some(path) = &args.json {
+        let results: Vec<&ScenarioResult> = report.values().collect();
         let json = riot_sim::ToJson::to_json(&results).pretty();
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(1);
         }
         println!("[wrote {path}]");
+    }
+    if failed > 0 {
+        eprintln!("error: {failed} cell(s) failed");
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }
@@ -198,6 +289,8 @@ mod tests {
         let a = parse_args(&argv("")).unwrap();
         assert_eq!(a.levels, vec![MaturityLevel::Ml4]);
         assert_eq!(a.edges, 4);
+        assert_eq!(a.seeds, 1);
+        assert_eq!(a.threads, None);
         let a = parse_args(&argv("--level ml2 --edges 3 --devices 5 --seed 9")).unwrap();
         assert_eq!(a.levels, vec![MaturityLevel::Ml2]);
         assert_eq!(a.edges, 3);
@@ -208,6 +301,9 @@ mod tests {
         assert_eq!(a.suite.as_deref(), Some("service"));
         let a = parse_args(&argv("--suite none")).unwrap();
         assert!(a.suite.is_none());
+        let a = parse_args(&argv("--seeds 5 --threads 2")).unwrap();
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.threads, Some(2));
     }
 
     #[test]
@@ -218,6 +314,8 @@ mod tests {
         assert!(parse_args(&argv("--bogus")).is_err());
         assert!(parse_args(&argv("--warmup 200 --duration 100")).is_err());
         assert!(parse_args(&argv("--edges 0")).is_err());
+        assert!(parse_args(&argv("--seeds 0")).is_err());
+        assert!(parse_args(&argv("--threads 0")).is_err());
     }
 
     #[test]
@@ -226,9 +324,9 @@ mod tests {
             "--suite connectivity --roaming 3 --edges 4 --devices 4",
         ))
         .unwrap();
-        let spec = build_spec(&a, MaturityLevel::Ml4).unwrap();
+        let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
         assert!(!spec.disruptions.is_empty());
         let a = parse_args(&argv("--suite nosuch")).unwrap();
-        assert!(build_spec(&a, MaturityLevel::Ml4).is_err());
+        assert!(build_spec(&a, MaturityLevel::Ml4, a.seed).is_err());
     }
 }

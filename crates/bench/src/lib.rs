@@ -22,9 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use riot_harness::HarnessConfig;
 use riot_sim::ToJson;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, artifact: &str, claim: &str) {
@@ -33,12 +34,24 @@ pub fn banner(id: &str, artifact: &str, claim: &str) {
     println!();
 }
 
-/// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
-/// workspace root when run via `cargo run`), creating the directory as
-/// needed. Failures are reported but non-fatal: the printed tables are the
-/// primary artifact.
+/// The workspace-root `results/` directory, resolved from this crate's
+/// compile-time manifest location (`crates/bench` → two levels up) so the
+/// output lands in the same place no matter which directory the binary is
+/// invoked from.
+fn results_dir() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .join("results")
+}
+
+/// Writes `value` as pretty JSON to `<workspace-root>/results/<name>.json`,
+/// creating the directory as needed. Failures are reported but non-fatal:
+/// the printed tables are the primary artifact.
 pub fn write_json<T: ToJson>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
@@ -47,13 +60,51 @@ pub fn write_json<T: ToJson>(name: &str, value: &T) {
     if let Err(e) = fs::write(&path, value.to_json().pretty()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
-        println!("[wrote {}]", path.display());
+        // Host-independent form, so archived logs stay machine-agnostic.
+        println!("[wrote results/{name}.json]");
     }
 }
 
 /// Formats a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// The harness configuration shared by every experiment binary: defaults
+/// from the environment (`RIOT_THREADS`, `RIOT_PROGRESS`, available
+/// cores), overridable on any binary's command line with `--threads N`.
+/// Returns an error message for a malformed flag so `main` can print
+/// usage and exit nonzero.
+pub fn sweep_config(args: impl IntoIterator<Item = String>) -> Result<HarnessConfig, String> {
+    let mut config = HarnessConfig::from_env();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--threads requires a value".to_owned())?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("--threads: '{value}' is not a positive integer"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".to_owned());
+            }
+            config = config.threads(n);
+        }
+    }
+    Ok(config)
+}
+
+/// [`sweep_config`] over the process arguments; prints the error and
+/// exits on a malformed flag.
+pub fn sweep_config_from_args() -> HarnessConfig {
+    match sweep_config(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Disruption suites shared by the experiment binaries: one per disruption
@@ -177,9 +228,35 @@ pub mod suites {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn f3_formats() {
-        assert_eq!(super::f3(1.23456), "1.235");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+
+    #[test]
+    fn results_dir_is_workspace_rooted() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(!dir.to_string_lossy().contains("crates"));
+    }
+
+    #[test]
+    fn sweep_config_parses_threads_flag() {
+        let args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            sweep_config(args(&["--threads", "3"])).map(|c| c.threads),
+            Ok(3)
+        );
+        // Unknown flags are left for the binary's own parser.
+        assert_eq!(
+            sweep_config(args(&["--level", "ml4", "--threads", "2"])).map(|c| c.threads),
+            Ok(2)
+        );
+        assert!(sweep_config(args(&["--threads"])).is_err());
+        assert!(sweep_config(args(&["--threads", "zero"])).is_err());
+        assert!(sweep_config(args(&["--threads", "0"])).is_err());
     }
 }
 
@@ -187,22 +264,14 @@ mod tests {
 /// targets; criterion is unavailable in offline builds, and statistical
 /// rigor matters less here than a stable, dependency-free smoke number.
 ///
-/// Wall-clock time is confined to `crates/bench` by lint rule `D2`
-/// (`riot-lint`): simulation results never depend on it — these harness
-/// numbers are operator-facing diagnostics only.
+/// Wall-clock time is confined to this module and `riot-harness`'s
+/// progress reporter by lint rule `D2` (`riot-lint`): simulation results
+/// never depend on it — these numbers are operator-facing diagnostics
+/// only. Experiment binaries that report per-cell cost read the
+/// harness-measured `CellRecord::wall` instead of timing anything
+/// themselves.
 pub mod harness {
     use std::time::{Duration, Instant};
-
-    /// Runs `f` once and returns its result with the wall-clock time it
-    /// took. This is the single sanctioned timing primitive for experiment
-    /// binaries (rule `D2` forbids `Instant::now()` everywhere else): cost
-    /// numbers are operator-facing output and never feed back into
-    /// simulation state.
-    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-        let start = Instant::now(); // riot-lint: allow(D2, reason = "the sanctioned wall-clock site; see module docs")
-        let out = f();
-        (out, start.elapsed())
-    }
 
     /// Budget per benchmark: enough for a stable mean, short enough that the
     /// full suite stays in CI budgets.

@@ -59,7 +59,7 @@ pub use edge::{EdgeConfig, EdgeProcess};
 pub use mobility::{roaming_schedule, Layout, MobilitySpec};
 pub use msg::{AppMsg, Msg, PolicyUpdate};
 pub use recovery::RecoveryPlanner;
-pub use report::{pct, resilience_table, secs, Table};
+pub use report::{pct, resilience_table, secs, Stats, Table};
 pub use resilience::{
     outcome_from_series, standard_goal_model, standard_requirements, RequirementOutcome,
     ResilienceReport, Thresholds, GOAL_NAME, REQUIREMENT_NAMES,

@@ -1,0 +1,96 @@
+//! Execution configuration: worker count and progress reporting.
+
+use std::num::NonZeroUsize;
+
+/// How a grid is executed: worker-thread count and progress verbosity.
+///
+/// Thread-count resolution order (first match wins):
+/// 1. an explicit [`HarnessConfig::with_threads`] / [`HarnessConfig::threads`]
+///    call (experiment binaries wire their `--threads N` flag here);
+/// 2. the `RIOT_THREADS` environment variable;
+/// 3. [`std::thread::available_parallelism`] — saturate the machine.
+///
+/// None of this affects results: the merged [`crate::GridReport`] is
+/// byte-identical for every thread count.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Number of worker threads (≥ 1; clamped to the cell count at run
+    /// time).
+    pub threads: usize,
+    /// When `true`, per-cell progress lines (done/total, wall time, ETA)
+    /// are printed to stderr as cells complete. Defaults to on; set
+    /// `RIOT_PROGRESS=0` or call [`HarnessConfig::quiet`] to disable.
+    pub progress: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            threads: default_threads(),
+            progress: default_progress(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The environment-derived default configuration (`RIOT_THREADS`,
+    /// `RIOT_PROGRESS`, available cores).
+    pub fn from_env() -> Self {
+        Self::default()
+    }
+
+    /// A configuration pinned to `n` worker threads (values below 1 are
+    /// raised to 1); everything else from the environment.
+    pub fn with_threads(n: usize) -> Self {
+        Self::default().threads(n)
+    }
+
+    /// Overrides the worker-thread count (values below 1 are raised to 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Disables progress reporting (tests, machine-consumed runs).
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RIOT_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "riot-harness: RIOT_THREADS='{v}' is not a positive integer; using available cores"
+            ),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn default_progress() -> bool {
+    std::env::var("RIOT_PROGRESS")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_are_clamped_to_at_least_one() {
+        assert_eq!(HarnessConfig::with_threads(0).threads, 1);
+        assert_eq!(HarnessConfig::with_threads(7).threads, 7);
+        assert_eq!(HarnessConfig::default().threads(0).threads, 1);
+    }
+
+    #[test]
+    fn quiet_disables_progress() {
+        assert!(!HarnessConfig::with_threads(1).quiet().progress);
+    }
+}

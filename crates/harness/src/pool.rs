@@ -1,0 +1,154 @@
+//! The worker pool: shared-queue execution with panic isolation and
+//! deterministic in-grid-order merging.
+//!
+//! Workers pull `(index, cell)` pairs from a shared queue (dynamic load
+//! balancing — a slow cell never blocks the rest of the grid behind a
+//! static partition) and send `(index, wall, outcome)` back over a
+//! channel. The main thread merges results into an index-addressed slot
+//! vector while driving the progress reporter, so completion order —
+//! which varies with the thread count and the scheduler — never leaks
+//! into the report.
+
+use crate::config::HarnessConfig;
+use crate::grid::{Cell, CellError, CellRecord};
+use crate::progress::{self, Reporter};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex, Once};
+use std::time::Duration;
+
+/// Cell identity copied out before the closure is consumed on a worker:
+/// `(id, seed, params)`.
+type CellMeta = (String, u64, Vec<(String, String)>);
+
+/// Thread-name prefix for harness workers; the panic silencer uses it to
+/// tell isolated cell panics apart from genuine crashes elsewhere.
+const WORKER_PREFIX: &str = "riot-cell-";
+
+/// Suppresses the default "thread panicked" stderr dump for panics on
+/// harness worker threads — those are caught, converted to [`CellError`]
+/// rows and reported in the merge, so the hook output would be noise.
+/// Panics on any other thread still reach the previous hook untouched.
+fn install_panic_silencer() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|name| name.starts_with(WORKER_PREFIX));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs every cell across the pool; returns the merged records in grid
+/// order, the sweep wall-clock time, and the worker count actually used.
+pub(crate) fn run_cells<T: Send>(
+    cells: Vec<Cell<T>>,
+    config: &HarnessConfig,
+) -> (Vec<CellRecord<T>>, Duration, usize) {
+    let total = cells.len();
+    let threads = config.threads.clamp(1, total.max(1));
+    install_panic_silencer();
+    let started = progress::wall_now();
+    let mut reporter = Reporter::new(config.progress, total);
+
+    // Identity metadata is copied out up front: the cell itself (with its
+    // closure) is consumed on a worker, but the merge and any synthesized
+    // error row still need id/seed/params on the main thread.
+    let metas: Vec<CellMeta> = cells
+        .iter()
+        .map(|c| (c.id.clone(), c.seed, c.params.clone()))
+        .collect();
+
+    let queue = Mutex::new(cells.into_iter().enumerate());
+    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<T, CellError>)>();
+    let mut slots: Vec<Option<CellRecord<T>>> =
+        std::iter::repeat_with(|| None).take(total).collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            let spawned = std::thread::Builder::new()
+                .name(format!("{WORKER_PREFIX}{worker}"))
+                .spawn_scoped(scope, move || loop {
+                    // A poisoned queue just means another worker panicked
+                    // outside catch_unwind (impossible for cell panics);
+                    // the iterator state is still valid either way.
+                    let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                    let Some((index, cell)) = next else { break };
+                    let cell_started = progress::wall_now();
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(cell.run)).map_err(|payload| CellError {
+                            panic: panic_message(payload.as_ref()),
+                        });
+                    let wall = cell_started.elapsed();
+                    if tx.send((index, wall, outcome)).is_err() {
+                        break;
+                    }
+                });
+            if let Err(e) = spawned {
+                eprintln!("riot-harness: could not spawn worker {worker}: {e}");
+            }
+        }
+        // Workers hold the remaining clones; dropping ours lets `recv`
+        // end once every worker has exited.
+        drop(tx);
+        while let Ok((index, wall, outcome)) = rx.recv() {
+            let Some((id, seed, params)) = metas.get(index).cloned() else {
+                continue;
+            };
+            reporter.cell_done(&id, wall);
+            if let Some(slot) = slots.get_mut(index) {
+                *slot = Some(CellRecord {
+                    index,
+                    id,
+                    seed,
+                    params,
+                    wall,
+                    outcome,
+                });
+            }
+        }
+    });
+
+    // Every cell either reported or its worker was lost before sending
+    // (spawn failure under resource exhaustion); holes become structured
+    // error rows so the merge stays total and in grid order.
+    let records = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| {
+                let (id, seed, params) = metas.get(index).cloned().unwrap_or_default();
+                CellRecord {
+                    index,
+                    id,
+                    seed,
+                    params,
+                    wall: Duration::ZERO,
+                    outcome: Err(CellError {
+                        panic: "cell produced no result (worker lost)".to_owned(),
+                    }),
+                }
+            })
+        })
+        .collect();
+
+    (records, started.elapsed(), threads)
+}

@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose state feeds simulation results: a stray source of
 /// nondeterminism in any of these shows up as a diverging event trace.
 pub const SIM_VISIBLE_CRATES: &[&str] = &[
-    "sim", "net", "coord", "adapt", "data", "formal", "core", "model",
+    "sim", "net", "coord", "adapt", "data", "formal", "core", "model", "harness",
 ];
 
 /// The rule identifiers. `Lint` flags problems with the directives
@@ -443,6 +443,11 @@ mod tests {
         assert!(!bin.panic_checked);
         let root_test = classify("tests/determinism.rs");
         assert!(root_test.sim_visible && !root_test.panic_checked);
+        // The harness merges results into sim-visible output, so it is held
+        // to the same determinism bar (its progress module carries the one
+        // reviewed D2 allow-file).
+        let harness = classify("crates/harness/src/grid.rs");
+        assert!(harness.sim_visible && harness.ambient_time_forbidden && harness.panic_checked);
     }
 
     #[test]

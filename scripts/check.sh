@@ -26,6 +26,11 @@ cargo run --quiet -p riot-lint -- --json > /tmp/riot-lint.json || {
 if [[ "$quick" == "0" ]]; then
   echo "==> cargo test (workspace)"
   cargo test --quiet
+
+  echo "==> riot-harness smoke grid (parallel run of a small scenario sweep)"
+  cargo run --quiet -p riot-bench --bin riot -- \
+    --level ml1 --edges 2 --devices 2 --duration 20 --warmup 5 \
+    --seeds 2 --threads 2 > /dev/null
 fi
 
 echo "OK: fmt, clippy, riot-lint$([[ "$quick" == "0" ]] && echo ", tests") all clean"
