@@ -21,7 +21,7 @@
 //! it byte-identical across runs and thread counts.
 
 use riot_bench::{banner, f3, sweep_config_from_args, write_json};
-use riot_core::{Scenario, ScenarioSpec, Table};
+use riot_core::{MonitorSpec, Scenario, ScenarioSpec, Table};
 use riot_formal::{
     estimate_probability, parse_ctl, parse_ltl, Atoms, CtlChecker, Dtmc, Kripke, Monitor, Sprt,
     SprtDecision, StateId, Valuation, Verdict3,
@@ -54,6 +54,10 @@ struct Output {
     sprt_observations: usize,
     dtmc_availability: f64,
     dtmc_recover_10s: f64,
+    online_verdict: String,
+    online_steps: usize,
+    online_matches_replay: bool,
+    online_first_violation_s: Option<f64>,
 }
 riot_sim::impl_to_json_struct!(Output {
     ctl,
@@ -65,7 +69,11 @@ riot_sim::impl_to_json_struct!(Output {
     sprt_decision,
     sprt_observations,
     dtmc_availability,
-    dtmc_recover_10s
+    dtmc_recover_10s,
+    online_verdict,
+    online_steps,
+    online_matches_replay,
+    online_first_violation_s
 });
 
 fn main() {
@@ -149,6 +157,10 @@ fn main() {
             component: ComponentId(fault_dev.0 as u32),
         },
     );
+    // The same property also runs *online*, advanced per sample on the
+    // observability bus while the scenario executes; the post-hoc replay
+    // below stays as the correctness oracle it is compared against.
+    spec.monitors = vec![MonitorSpec::new("recovers", "G (!all -> F all)")];
     let scenario = Scenario::build(spec);
     let result = scenario.run();
     // Feed the recorded sat.all series into the monitor as a trace.
@@ -174,6 +186,25 @@ fn main() {
         monitor.finish()
     );
     assert_ne!(verdict, Verdict3::Violated, "the ML4 run recovered");
+
+    // The online monitor watched the identical satisfaction stream live;
+    // its verdict must agree with the post-hoc replay sample for sample.
+    let online = result
+        .monitors
+        .iter()
+        .find(|o| o.name == "recovers")
+        .expect("online monitor outcome");
+    assert_eq!(
+        online.verdict,
+        format!("{verdict:?}"),
+        "online verdict must match the post-hoc replay"
+    );
+    assert_eq!(online.steps, monitor.steps(), "same number of samples");
+    assert_eq!(online.holds_at_end, monitor.finish(), "same residual");
+    println!(
+        "  online:   {} after {} samples (holds at end: {}) — matches replay",
+        online.verdict, online.steps, online.holds_at_end
+    );
 
     // ---- 2b. Probabilistic model checking: the quantitative side of
     // Figure 2 without sampling — a DTMC of the component under the E6
@@ -247,6 +278,11 @@ fn main() {
             sprt_observations: sprt.observations(),
             dtmc_availability: pi[up.index()],
             dtmc_recover_10s: p_recover_10,
+            online_verdict: online.verdict.clone(),
+            online_steps: online.steps,
+            online_matches_replay: online.verdict == format!("{verdict:?}")
+                && online.steps == monitor.steps(),
+            online_first_violation_s: online.first_violation_s,
         },
     );
 }

@@ -10,7 +10,7 @@
 //! `riot-harness` grid.
 
 use riot_bench::{banner, f3, sweep_config_from_args, write_json};
-use riot_core::{ArchitectureConfig, MapePlacement, Scenario, ScenarioSpec, Table};
+use riot_core::{ArchitectureConfig, MapePlacement, MonitorSpec, Scenario, ScenarioSpec, Table};
 use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
 use riot_sim::{SimDuration, SimTime};
 
@@ -23,6 +23,9 @@ struct Row {
     max_outage_s: f64,
     restarts: u64,
     restart_commands: u64,
+    detect_s: Option<f64>,
+    recovery_verdict: String,
+    recovery_holds_at_end: bool,
 }
 riot_sim::impl_to_json_struct!(Row {
     placement,
@@ -32,7 +35,10 @@ riot_sim::impl_to_json_struct!(Row {
     coverage_mttr_s,
     max_outage_s,
     restarts,
-    restart_commands
+    restart_commands,
+    detect_s,
+    recovery_verdict,
+    recovery_holds_at_end
 });
 
 /// Component-fault storm: three devices per edge fail within a 12-second
@@ -93,7 +99,26 @@ fn run_cell(name: &'static str, placement: MapePlacement, with_outages: bool) ->
         outages(&mut schedule);
     }
     spec.disruptions = schedule;
+    // Online monitors on the observability bus: the safety property
+    // timestamps the sample at which the fault storm first breaks
+    // coverage (the *detection* instant, flagged during the run, not in
+    // post-processing); the recovery property mirrors the MTTR column —
+    // an unrepaired fleet leaves the response obligation pending.
+    spec.monitors = vec![
+        MonitorSpec::new("coverage_safety", "G coverage"),
+        MonitorSpec::new("coverage_recovers", "G (!coverage -> F coverage)"),
+    ];
     let r = Scenario::build(spec).run();
+    let outcome = |name: &str| {
+        r.monitors
+            .iter()
+            .find(|o| o.name == name)
+            // riot-lint: allow(P1, reason = "both monitors are registered five lines up; a missing outcome is a bench bug")
+            .expect("monitor outcome")
+            .clone()
+    };
+    let safety = outcome("coverage_safety");
+    let recovers = outcome("coverage_recovers");
     let cov = &r.report.requirements["coverage"];
     Row {
         placement: name.to_owned(),
@@ -108,6 +133,9 @@ fn run_cell(name: &'static str, placement: MapePlacement, with_outages: bool) ->
         max_outage_s: cov.max_outage_s,
         restarts: r.restarts,
         restart_commands: r.restart_commands,
+        detect_s: safety.first_violation_s,
+        recovery_verdict: recovers.verdict,
+        recovery_holds_at_end: recovers.holds_at_end,
     }
 }
 
@@ -181,6 +209,8 @@ fn main() {
             "max outage",
             "restarts",
             "commands",
+            "detected",
+            "G(!cov->F cov)",
         ]);
         for row in rows.iter().filter(|r| r.cloud_outages == with_outages) {
             table.row(vec![
@@ -193,6 +223,14 @@ fn main() {
                 format!("{:.1}s", row.max_outage_s),
                 row.restarts.to_string(),
                 row.restart_commands.to_string(),
+                row.detect_s
+                    .map(|t| format!("t={t:.0}s"))
+                    .unwrap_or_else(|| "never".into()),
+                if row.recovery_holds_at_end {
+                    "holds".into()
+                } else {
+                    format!("pending ({})", row.recovery_verdict)
+                },
             ]);
         }
         println!("{}", table.render());

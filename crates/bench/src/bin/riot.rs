@@ -16,6 +16,7 @@
 //!        [--threads N]                        # harness worker threads
 //!        [--suite infrastructure|service|connectivity|governance|mobility|none]
 //!        [--roaming N]                        # N roaming devices (geometry walks)
+//!        [--trace-tail N]                     # keep + print the last N kernel events
 //!        [--json FILE]                        # write results as JSON
 //! EXAMPLE:
 //!   cargo run -p riot-bench --bin riot -- --all-levels --suite connectivity --seeds 3
@@ -43,6 +44,7 @@ struct Args {
     threads: Option<usize>,
     suite: Option<String>,
     roaming: usize,
+    trace_tail: Option<usize>,
     json: Option<String>,
 }
 
@@ -59,6 +61,7 @@ impl Default for Args {
             threads: None,
             suite: None,
             roaming: 0,
+            trace_tail: None,
             json: None,
         }
     }
@@ -68,7 +71,7 @@ fn usage() -> &'static str {
     "usage: riot [--level ml1|ml2|ml3|ml4 | --all-levels] [--edges N] [--devices N]\n\
      \x20           [--duration SECS] [--warmup SECS] [--seed N] [--seeds N] [--threads N]\n\
      \x20           [--suite infrastructure|service|connectivity|governance|mobility|none]\n\
-     \x20           [--roaming N] [--json FILE]"
+     \x20           [--roaming N] [--trace-tail N] [--json FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -101,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--seeds" => args.seeds = num(&value(&mut i, "--seeds")?)?,
             "--threads" => args.threads = Some(num(&value(&mut i, "--threads")?)?),
             "--roaming" => args.roaming = num(&value(&mut i, "--roaming")?)?,
+            "--trace-tail" => args.trace_tail = Some(num(&value(&mut i, "--trace-tail")?)?),
             "--suite" => {
                 let v = value(&mut i, "--suite")?;
                 args.suite = if v == "none" { None } else { Some(v) };
@@ -122,6 +126,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.threads == Some(0) {
         return Err("--threads must be at least 1".into());
+    }
+    if args.trace_tail == Some(0) {
+        return Err("--trace-tail must be at least 1".into());
     }
     Ok(args)
 }
@@ -153,6 +160,7 @@ fn build_spec(args: &Args, level: MaturityLevel, seed: u64) -> Result<ScenarioSp
         let (roam, _) = roaming_schedule(&spec, &mobility, &mut rng);
         spec.disruptions.merge(roam);
     }
+    spec.trace_tail = args.trace_tail;
     Ok(spec)
 }
 
@@ -260,6 +268,24 @@ fn main() -> ExitCode {
         println!("{}", agg.render());
     }
 
+    // With --trace-tail N every cell kept a bounded ring of its last N
+    // kernel events; print them as JSON lines, grouped per cell.
+    if args.trace_tail.is_some() {
+        println!();
+        for rec in &report.cells {
+            if let Ok(result) = &rec.outcome {
+                println!(
+                    "trace tail for {} ({} events):",
+                    rec.id,
+                    result.trace_tail.len()
+                );
+                for line in &result.trace_tail {
+                    println!("{line}");
+                }
+            }
+        }
+    }
+
     if let Some(path) = &args.json {
         let results: Vec<&ScenarioResult> = report.values().collect();
         let json = riot_sim::ToJson::to_json(&results).pretty();
@@ -304,6 +330,19 @@ mod tests {
         let a = parse_args(&argv("--seeds 5 --threads 2")).unwrap();
         assert_eq!(a.seeds, 5);
         assert_eq!(a.threads, Some(2));
+        assert_eq!(a.trace_tail, None);
+        let a = parse_args(&argv("--trace-tail 16")).unwrap();
+        assert_eq!(a.trace_tail, Some(16));
+    }
+
+    #[test]
+    fn trace_tail_reaches_the_spec() {
+        let a = parse_args(&argv("--trace-tail 8")).unwrap();
+        let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
+        assert_eq!(spec.trace_tail, Some(8));
+        let a = parse_args(&argv("")).unwrap();
+        let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
+        assert_eq!(spec.trace_tail, None);
     }
 
     #[test]
@@ -316,6 +355,8 @@ mod tests {
         assert!(parse_args(&argv("--edges 0")).is_err());
         assert!(parse_args(&argv("--seeds 0")).is_err());
         assert!(parse_args(&argv("--threads 0")).is_err());
+        assert!(parse_args(&argv("--trace-tail 0")).is_err());
+        assert!(parse_args(&argv("--trace-tail")).is_err());
     }
 
     #[test]

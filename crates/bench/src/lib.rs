@@ -299,7 +299,7 @@ pub mod harness {
         println!("{name:<44} {per_iter:>12} ns/iter ({iters} iters, warmup {warm_iters})");
     }
 
-    /// Like [`bench`], but rebuilds input state outside the timed section.
+    /// Like [`bench()`], but rebuilds input state outside the timed section.
     pub fn bench_batched<S, T, Setup: FnMut() -> S, Run: FnMut(S) -> T>(
         name: &str,
         mut setup: Setup,

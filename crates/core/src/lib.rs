@@ -21,6 +21,11 @@
 //!   definition of resilience — *persistence of requirement satisfaction
 //!   when facing change* — as time-weighted satisfaction, MTTR and outage
 //!   statistics.
+//! * Scenarios publish per-sample requirement valuations onto the kernel
+//!   observability bus: [`MonitorSpec`] watches LTL properties *online*
+//!   (verdicts and detection timestamps in [`ScenarioResult::monitors`]),
+//!   [`ScenarioSpec::trace_tail`] keeps bounded crash forensics, and
+//!   [`ObserverSpec`] registers custom streaming observers.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,7 @@ mod device;
 mod edge;
 mod mobility;
 mod msg;
+mod observe;
 mod recovery;
 mod report;
 mod resilience;
@@ -58,6 +64,7 @@ pub use device::{DeviceConfig, DeviceProcess, DeviceWindow};
 pub use edge::{EdgeConfig, EdgeProcess};
 pub use mobility::{roaming_schedule, Layout, MobilitySpec};
 pub use msg::{AppMsg, Msg, PolicyUpdate};
+pub use observe::{MonitorOutcome, MonitorSpec, ObserverSpec, SAT_LABEL};
 pub use recovery::RecoveryPlanner;
 pub use report::{pct, resilience_table, secs, Stats, Table};
 pub use resilience::{

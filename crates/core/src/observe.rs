@@ -1,0 +1,227 @@
+//! Scenario-level observability: observer registration specs, online
+//! requirement monitors, and their reported outcomes.
+//!
+//! [`Scenario`](crate::Scenario) publishes one requirement-satisfaction
+//! valuation per sample onto the kernel observability bus as an annotation
+//! with the [`SAT_LABEL`] label:
+//!
+//! ```text
+//! sat all=1 goal=1 latency=1 availability=1 coverage=0 freshness=1 privacy=1
+//! ```
+//!
+//! (`all`, `goal`, then the five [`REQUIREMENT_NAMES`](crate::REQUIREMENT_NAMES)
+//! in their canonical order — the token order is part of the contract.)
+//! An `riot_formal::OnlineMonitor` registered through
+//! [`ScenarioSpec::monitors`](crate::ScenarioSpec::monitors) consumes these
+//! notes and advances LTL monitors while the run executes, so a violation is
+//! timestamped at the sample that caused it instead of after a post-hoc
+//! replay.
+//!
+//! ## Registration order (determinism contract)
+//!
+//! Observers cannot perturb a run (they only read events), but *reported*
+//! artifacts must be reproducible, so `Scenario::build` registers observers
+//! in a fixed, documented order:
+//!
+//! 1. the online monitor bank built from `ScenarioSpec::monitors` (if any),
+//! 2. the forensic `RingTrace` from `ScenarioSpec::trace_tail` (if any),
+//! 3. each [`ObserverSpec`] factory, in registration order.
+
+use riot_formal::{OnlineMonitor, Verdict3};
+use riot_sim::{AnyObserver, SimObserver};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// The note label under which scenarios publish requirement valuations.
+pub const SAT_LABEL: &str = "sat";
+
+/// One LTL property to monitor online during a scenario run.
+///
+/// The formula is parsed by `riot_formal::parse_ltl`; its atoms are matched
+/// against the published valuation tokens: `all`, `goal`, and the five
+/// requirement names (`latency`, `availability`, `coverage`, `freshness`,
+/// `privacy`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSpec {
+    /// Name the outcome is reported under.
+    pub name: String,
+    /// LTL source text, e.g. `"G (!all -> F all)"`.
+    pub formula: String,
+}
+
+impl MonitorSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, formula: impl Into<String>) -> Self {
+        MonitorSpec {
+            name: name.into(),
+            formula: formula.into(),
+        }
+    }
+}
+
+/// The end-of-run outcome of one online-monitored property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorOutcome {
+    /// Property name from the [`MonitorSpec`].
+    pub name: String,
+    /// Formula source text.
+    pub formula: String,
+    /// Final three-valued verdict (`"Satisfied"` / `"Violated"` /
+    /// `"Inconclusive"`).
+    pub verdict: String,
+    /// Number of valuation samples the monitor consumed.
+    pub steps: usize,
+    /// The property resolved at end of run: a definite verdict stands, an
+    /// inconclusive residual is evaluated on the empty suffix.
+    pub holds_at_end: bool,
+    /// Virtual time (seconds) at which the verdict first became `Violated` —
+    /// the online detection timestamp — if it ever did.
+    pub first_violation_s: Option<f64>,
+    /// Virtual time (seconds) at which the verdict first became `Satisfied`,
+    /// if it ever did.
+    pub first_satisfaction_s: Option<f64>,
+}
+
+/// Renders the verdict enum the way outcomes report it.
+pub(crate) fn verdict_name(v: Verdict3) -> &'static str {
+    match v {
+        Verdict3::Satisfied => "Satisfied",
+        Verdict3::Violated => "Violated",
+        Verdict3::Inconclusive => "Inconclusive",
+    }
+}
+
+/// Extracts reported outcomes from a finished monitor bank.
+pub(crate) fn monitor_outcomes(bank: &OnlineMonitor) -> Vec<MonitorOutcome> {
+    bank.properties()
+        .iter()
+        .map(|p| MonitorOutcome {
+            name: p.name().to_owned(),
+            formula: p.source().to_owned(),
+            verdict: verdict_name(p.verdict()).to_owned(),
+            steps: p.monitor().steps(),
+            holds_at_end: p.finish(),
+            first_violation_s: p.first_violation().map(|t| t.as_secs_f64()),
+            first_satisfaction_s: p.first_satisfaction().map(|t| t.as_secs_f64()),
+        })
+        .collect()
+}
+
+/// Deferred observer registration for [`ScenarioSpec`](crate::ScenarioSpec).
+///
+/// A spec is `Clone` and outlives any single run, so it carries observer
+/// *factories* rather than observer instances: each `Scenario::build`
+/// instantiates a fresh observer per factory, in registration order.
+///
+/// # Examples
+///
+/// Counting delivered messages without touching the scenario internals:
+///
+/// ```
+/// use riot_core::{ObserverSpec, Scenario, ScenarioSpec};
+/// use riot_model::MaturityLevel;
+/// use riot_sim::{SimDuration, SimEvent, SimEventKind, SimObserver};
+/// use std::sync::{Arc, Mutex};
+///
+/// struct DeliveryCounter(Arc<Mutex<u64>>);
+/// impl SimObserver for DeliveryCounter {
+///     fn on_event(&mut self, event: &SimEvent) {
+///         if matches!(event.kind, SimEventKind::Delivered { .. }) {
+///             *self.0.lock().unwrap() += 1;
+///         }
+///     }
+/// }
+///
+/// let delivered = Arc::new(Mutex::new(0u64));
+/// let mut spec = ScenarioSpec::new("observed", MaturityLevel::Ml1, 7);
+/// spec.edges = 2;
+/// spec.devices_per_edge = 2;
+/// spec.duration = SimDuration::from_secs(10);
+/// let handle = delivered.clone();
+/// spec.observers.register(move || DeliveryCounter(handle.clone()));
+/// let result = Scenario::build(spec).run();
+/// assert_eq!(*delivered.lock().unwrap(), result.messages_sent - result.messages_dropped);
+/// ```
+#[derive(Clone, Default)]
+pub struct ObserverSpec {
+    factories: Vec<Arc<dyn Fn() -> Box<dyn AnyObserver> + Send + Sync>>,
+}
+
+impl ObserverSpec {
+    /// An empty registration list.
+    pub fn new() -> Self {
+        ObserverSpec::default()
+    }
+
+    /// Registers a factory; every built scenario gets one fresh observer
+    /// from it, registered after the built-in monitor bank and ring trace.
+    pub fn register<O, F>(&mut self, factory: F)
+    where
+        O: SimObserver + Any,
+        F: Fn() -> O + Send + Sync + 'static,
+    {
+        self.factories.push(Arc::new(move || Box::new(factory())));
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` when no factory is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    /// Instantiates one observer per factory, in registration order.
+    pub(crate) fn instantiate(&self) -> Vec<Box<dyn AnyObserver>> {
+        self.factories.iter().map(|f| f()).collect()
+    }
+}
+
+impl fmt::Debug for ObserverSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObserverSpec")
+            .field("factories", &self.factories.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_sim::SimEvent;
+
+    struct Nop;
+    impl SimObserver for Nop {
+        fn on_event(&mut self, _event: &SimEvent) {}
+    }
+
+    #[test]
+    fn observer_spec_instantiates_per_factory() {
+        let mut spec = ObserverSpec::new();
+        assert!(spec.is_empty());
+        spec.register(|| Nop);
+        spec.register(|| Nop);
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.instantiate().len(), 2);
+        let cloned = spec.clone();
+        assert_eq!(cloned.len(), 2, "clones share the factories");
+        assert_eq!(format!("{spec:?}"), "ObserverSpec { factories: 2 }");
+    }
+
+    #[test]
+    fn outcomes_mirror_bank_state() {
+        let mut bank = OnlineMonitor::new(SAT_LABEL);
+        bank.watch("safety", "G all").unwrap();
+        let outcomes = monitor_outcomes(&bank);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].name, "safety");
+        assert_eq!(outcomes[0].formula, "G all");
+        assert_eq!(outcomes[0].verdict, "Inconclusive");
+        assert_eq!(outcomes[0].steps, 0);
+        assert!(outcomes[0].holds_at_end, "G vacuous on the empty trace");
+        assert!(outcomes[0].first_violation_s.is_none());
+    }
+}

@@ -20,18 +20,21 @@ use crate::config::{ArchitectureConfig, ReplicationMode};
 use crate::device::{DeviceConfig, DeviceProcess, DeviceWindow};
 use crate::edge::{EdgeConfig, EdgeProcess};
 use crate::msg::Msg;
+use crate::observe::{monitor_outcomes, MonitorOutcome, MonitorSpec, ObserverSpec, SAT_LABEL};
 use crate::resilience::{
     standard_goal_model, standard_requirements, ResilienceReport, Thresholds, GOAL_NAME,
     REQUIREMENT_NAMES,
 };
 use riot_data::Sensitivity;
+use riot_formal::OnlineMonitor;
 use riot_model::{
     Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, Jurisdiction, MaturityLevel,
     RequirementSet, TrustLevel, Verdict,
 };
 use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
-use riot_sim::{HistogramSummary, ProcessId, Sim, SimBuilder, SimDuration, SimTime};
+use riot_sim::{HistogramSummary, ProcessId, RingTrace, Sim, SimBuilder, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Staleness value reported when a consumer has never seen a key (treated
 /// as "infinitely stale").
@@ -75,6 +78,19 @@ pub struct ScenarioSpec {
     /// process up/down) into [`ScenarioResult::event_trace`]. Off by
     /// default: tracing a long run allocates one entry per event.
     pub trace_events: bool,
+    /// LTL properties monitored *online* over the published requirement
+    /// valuations (see [`MonitorSpec`] for the wire format); outcomes
+    /// land in [`ScenarioResult::monitors`].
+    pub monitors: Vec<MonitorSpec>,
+    /// Keep a bounded ring of the last `N` kernel events and report it in
+    /// [`ScenarioResult::trace_tail`]; unlike `trace_events` this is safe on
+    /// long runs (O(N) retention) and also ships crash forensics when a run
+    /// panics inside a harness cell.
+    pub trace_tail: Option<usize>,
+    /// Additional observers registered on the bus, after the built-in
+    /// monitor bank and ring (registration order is fixed; see
+    /// [`ObserverSpec`]).
+    pub observers: ObserverSpec,
 }
 
 impl ScenarioSpec {
@@ -97,6 +113,9 @@ impl ScenarioSpec {
             arch: None,
             edge_cloud_link: None,
             trace_events: false,
+            monitors: Vec::new(),
+            trace_tail: None,
+            observers: ObserverSpec::new(),
         }
     }
 
@@ -172,6 +191,10 @@ pub struct Scenario {
     registry: DomainRegistry,
     requirements: RequirementSet,
     goals: riot_model::GoalModel,
+    /// Bus index of the online monitor bank, when `spec.monitors` is set.
+    monitor_idx: Option<usize>,
+    /// Bus index of the forensic ring, when `spec.trace_tail` is set.
+    ring_idx: Option<usize>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -264,6 +287,28 @@ impl Scenario {
             .tracing(spec.trace_events)
             .build_with_medium(Box::new(net));
 
+        // -- Observability bus. Registration order is fixed and documented
+        // (crate::observe): monitor bank, forensic ring, then user
+        // factories. Observers only read events, so this cannot change the
+        // run itself — only what gets reported.
+        let monitor_idx = if spec.monitors.is_empty() {
+            None
+        } else {
+            let mut bank = OnlineMonitor::new(SAT_LABEL);
+            for m in &spec.monitors {
+                let watched = bank.watch(&m.name, &m.formula);
+                // riot-lint: allow(P1, reason = "spec validation: a malformed monitor formula must fail loudly at build time, like the degenerate-spec asserts above")
+                watched.unwrap_or_else(|e| panic!("monitor '{}': {e}", m.name));
+            }
+            Some(sim.add_observer(bank))
+        };
+        let ring_idx = spec
+            .trace_tail
+            .map(|cap| sim.add_observer(RingTrace::forensics(cap)));
+        for observer in spec.observers.instantiate() {
+            sim.add_boxed_observer(observer);
+        }
+
         let subscribers = vendor_idx
             // riot-lint: allow(P1, reason = "vendor_edge_index() only ever returns Some(spec.edges - 1)")
             .map(|i| vec![hierarchy.edges[i]])
@@ -352,6 +397,8 @@ impl Scenario {
             registry,
             requirements,
             goals,
+            monitor_idx,
+            ring_idx,
         }
     }
 
@@ -494,6 +541,24 @@ impl Scenario {
         for (key, value) in &telemetry {
             metrics.series_push(&format!("telemetry.{key}"), now, *value);
         }
+
+        // -- Publish the valuation onto the observability bus so online
+        // monitors advance at this sample. Token order is part of the
+        // contract (crate::observe): `all`, `goal`, then the requirement
+        // names in canonical order. Skipped entirely when nobody listens.
+        if self.sim.is_observing() {
+            let mut note = String::with_capacity(96);
+            let _ = write!(
+                note,
+                "{SAT_LABEL} all={} goal={}",
+                u8::from(all_sat),
+                u8::from(goal_eval.root == Verdict::Satisfied)
+            );
+            for ((_, verdict), name) in verdicts.iter().zip(REQUIREMENT_NAMES) {
+                let _ = write!(note, " {name}={}", u8::from(*verdict == Verdict::Satisfied));
+            }
+            self.sim.annotate(note);
+        }
     }
 
     fn finish(mut self) -> ScenarioResult {
@@ -546,6 +611,16 @@ impl Scenario {
             .iter()
             .map(|e| e.to_string())
             .collect();
+        let monitors: Vec<MonitorOutcome> = self
+            .monitor_idx
+            .and_then(|i| self.sim.observer::<OnlineMonitor>(i))
+            .map(monitor_outcomes)
+            .unwrap_or_default();
+        let trace_tail: Vec<String> = self
+            .ring_idx
+            .and_then(|i| self.sim.observer::<RingTrace>(i))
+            .map(RingTrace::tail_json_lines)
+            .unwrap_or_default();
         ScenarioResult {
             name: spec.name.clone(),
             level: spec.level,
@@ -565,6 +640,8 @@ impl Scenario {
             sat_all_series,
             satfrac_series,
             event_trace,
+            monitors,
+            trace_tail,
             telemetry_means,
         }
     }
@@ -722,6 +799,15 @@ pub struct ScenarioResult {
     /// [`ScenarioSpec::trace_events`] was set. Excluded from the JSON
     /// rendering: it is a debugging/determinism artifact, not a result.
     pub event_trace: Vec<String>,
+    /// Outcomes of the online monitors from [`ScenarioSpec::monitors`], in
+    /// spec order. Excluded from the JSON rendering so existing result
+    /// files stay byte-identical; experiment binaries report the fields
+    /// they care about explicitly.
+    pub monitors: Vec<MonitorOutcome>,
+    /// The last-N kernel events as JSON lines, when
+    /// [`ScenarioSpec::trace_tail`] was set. Excluded from the JSON
+    /// rendering: a debugging/forensics artifact, not a result.
+    pub trace_tail: Vec<String>,
     /// Time-weighted means of the sampled telemetry over the disruption
     /// window, keyed by telemetry name (`"freshness_s"`, `"coverage"`, ...),
     /// in each metric's natural scale.
@@ -868,6 +954,80 @@ mod tests {
         assert!(result.restarts >= 1, "cloud MAPE restarted the component");
         let cov = result.report.requirements["coverage"].outages;
         assert!(cov <= 2, "short outage only");
+    }
+
+    #[test]
+    fn online_monitor_matches_post_hoc_replay() {
+        use riot_formal::{parse_ltl, Atoms, Monitor, Valuation};
+
+        let mut spec = small(MaturityLevel::Ml2);
+        let dev = spec.device_id(0, 0);
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(12),
+            Disruption::ComponentFault {
+                node: dev,
+                component: riot_model::ComponentId(0),
+            },
+        );
+        spec.monitors = vec![MonitorSpec::new("recovers", "G (!all -> F all)")];
+        let result = Scenario::build(spec).run();
+
+        // Post-hoc replay of the recorded series — the pre-refactor path.
+        let mut atoms = Atoms::new();
+        let phi = parse_ltl("G (!all -> F all)", &mut atoms).unwrap();
+        let all = atoms.lookup("all").unwrap();
+        let mut replay = Monitor::new(phi);
+        for &(_, v) in &result.sat_all_series {
+            let mut val = Valuation::EMPTY;
+            val.set(all, v >= 0.5);
+            replay.step(val);
+        }
+
+        let online = &result.monitors[0];
+        assert_eq!(online.name, "recovers");
+        assert_eq!(online.steps, replay.steps(), "one step per sample");
+        assert_eq!(online.steps, result.sat_all_series.len());
+        assert_eq!(online.verdict, format!("{:?}", replay.verdict()));
+        assert_eq!(online.holds_at_end, replay.finish());
+    }
+
+    #[test]
+    fn online_safety_monitor_timestamps_the_detection() {
+        let mut spec = small(MaturityLevel::Ml1);
+        let dev = spec.device_id(0, 0);
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(12),
+            Disruption::ComponentFault {
+                node: dev,
+                component: riot_model::ComponentId(0),
+            },
+        );
+        spec.monitors = vec![MonitorSpec::new("coverage-holds", "G coverage")];
+        let result = Scenario::build(spec).run();
+        let m = &result.monitors[0];
+        assert_eq!(m.verdict, "Violated", "ML1 never repairs the fault");
+        let detected = m.first_violation_s.expect("violation timestamped");
+        assert!(
+            detected >= 12.0,
+            "detection cannot precede the fault: {detected}"
+        );
+        assert!(
+            detected <= 20.0,
+            "online detection flags within a few samples: {detected}"
+        );
+    }
+
+    #[test]
+    fn trace_tail_is_bounded_and_json() {
+        let mut spec = small(MaturityLevel::Ml1);
+        spec.trace_tail = Some(7);
+        let result = Scenario::build(spec).run();
+        assert_eq!(result.trace_tail.len(), 7);
+        for line in &result.trace_tail {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"t_us\":"), "{line}");
+        }
+        assert!(result.event_trace.is_empty(), "full trace stays off");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   always possible".
 //! * **Runtime verification** — [`Ltl`] over finite traces with a
 //!   progression-based online [`Monitor`] producing three-valued verdicts;
-//!   progression is property-tested equivalent to the trace semantics.
+//!   progression is property-tested equivalent to the trace semantics. The
+//!   [`OnlineMonitor`] adapter rides the `riot-sim` observability bus and
+//!   advances monitors *during* a run with O(formula) memory, timestamping
+//!   violations the instant they become definite.
 //! * **Bounded exploration** — [`bounded_search`]/[`check_invariant`] over
 //!   implicit [`TransitionSystem`]s, with shortest counterexample paths.
 //! * **Probabilistic model checking** — [`Dtmc`] Markov chains with
@@ -34,6 +37,7 @@ mod ctl;
 mod kripke;
 mod ltl;
 mod monitor;
+mod online;
 mod parse;
 mod prob;
 mod prop;
@@ -44,6 +48,7 @@ pub use ctl::{Ctl, CtlChecker, SatSet};
 pub use kripke::{Kripke, KripkeDefect, StateId};
 pub use ltl::Ltl;
 pub use monitor::{progress, simplify, Monitor, Verdict3};
+pub use online::{OnlineMonitor, OnlineProperty};
 pub use parse::{parse_ctl, parse_ltl, ParseError};
 pub use prob::{Dtmc, DtmcDefect};
 pub use prop::{AtomId, Atoms, Valuation, MAX_ATOMS};

@@ -158,6 +158,17 @@ impl Monitor {
 
     /// Ends the trace: resolves an inconclusive residual on the empty
     /// suffix and returns the final boolean.
+    ///
+    /// # Zero-event traces
+    ///
+    /// A monitor that never consumed a state resolves its *original*
+    /// obligation on the empty trace, exactly like
+    /// [`Ltl::evaluate`]`(&[], 0)`: `G φ` and `φ R ψ` hold vacuously, `F φ`,
+    /// `φ U ψ`, `X φ` and bare atoms fail, and the verdict before `finish`
+    /// stays [`Verdict3::Inconclusive`] (an empty prefix determines nothing —
+    /// unless the formula simplified to a constant at construction). Online
+    /// monitors that watch a run which produced no samples therefore report
+    /// the same verdict a post-hoc replay of the empty series would.
     pub fn finish(&self) -> bool {
         match self.verdict {
             Verdict3::Satisfied => true,
@@ -288,6 +299,36 @@ mod tests {
         assert_eq!(m.verdict(), Verdict3::Inconclusive);
         assert_eq!(m.steps(), 0);
         assert_eq!(m.residual(), m.property());
+    }
+
+    #[test]
+    fn zero_event_trace_has_empty_word_semantics() {
+        let (_, p, q) = atoms2();
+        let cases: Vec<(Ltl, bool)> = vec![
+            (Ltl::atom(p).globally(), true),
+            (Ltl::atom(p).eventually(), false),
+            (Ltl::atom(p), false),
+            (Ltl::atom(p).not(), true),
+            (Ltl::atom(p).next(), false),
+            (Ltl::atom(p).until(Ltl::atom(q)), false),
+            (Ltl::atom(p).release(Ltl::atom(q)), true),
+            (Ltl::responds(Ltl::atom(p), Ltl::atom(q)), true),
+        ];
+        for (phi, expected) in cases {
+            let m = Monitor::new(phi.clone());
+            assert_eq!(
+                m.verdict(),
+                Verdict3::Inconclusive,
+                "no prefix observed for {phi}"
+            );
+            assert_eq!(m.steps(), 0);
+            assert_eq!(m.finish(), expected, "empty-trace verdict for {phi}");
+            assert_eq!(
+                m.finish(),
+                phi.evaluate(&[], 0),
+                "finish agrees with Ltl::evaluate on the empty word for {phi}"
+            );
+        }
     }
 
     #[test]

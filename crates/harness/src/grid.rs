@@ -132,11 +132,29 @@ impl<T: Send> Grid<T> {
 pub struct CellError {
     /// The panic message (or a placeholder for non-string payloads).
     pub panic: String,
+    /// The last kernel events before the crash, as JSON lines — harvested
+    /// from a forensic `riot_sim::RingTrace` the cell had registered (e.g.
+    /// via `ScenarioSpec::trace_tail`). Empty when the cell ran without one.
+    pub trace_tail: Vec<String>,
+}
+
+impl CellError {
+    /// An error row carrying just a panic message (no forensics).
+    pub fn message(panic: impl Into<String>) -> CellError {
+        CellError {
+            panic: panic.into(),
+            trace_tail: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cell panicked: {}", self.panic)
+        write!(f, "cell panicked: {}", self.panic)?;
+        if !self.trace_tail.is_empty() {
+            write!(f, " ({} trace events captured)", self.trace_tail.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +286,10 @@ impl<T: ToJson> ToJson for CellRecord<T> {
             Err(e) => {
                 fields.push(("ok".to_owned(), Json::Bool(false)));
                 fields.push(("error".to_owned(), Json::Str(e.panic.clone())));
+                if !e.trace_tail.is_empty() {
+                    let tail = e.trace_tail.iter().cloned().map(Json::Str).collect();
+                    fields.push(("trace_tail".to_owned(), Json::Arr(tail)));
+                }
             }
         }
         Json::Obj(fields)

@@ -93,9 +93,16 @@ pub(crate) fn run_cells<T: Send>(
                     let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
                     let Some((index, cell)) = next else { break };
                     let cell_started = progress::wall_now();
+                    // Clear any stale forensics left on this thread so a
+                    // crashing cell never inherits a predecessor's tail.
+                    let _ = riot_sim::take_crash_tail();
                     let outcome =
                         catch_unwind(AssertUnwindSafe(cell.run)).map_err(|payload| CellError {
                             panic: panic_message(payload.as_ref()),
+                            // A forensic RingTrace dropped during the unwind
+                            // parks its rendered tail in a thread-local; ship
+                            // it with the error row.
+                            trace_tail: riot_sim::take_crash_tail().unwrap_or_default(),
                         });
                     let wall = cell_started.elapsed();
                     if tx.send((index, wall, outcome)).is_err() {
@@ -142,9 +149,7 @@ pub(crate) fn run_cells<T: Send>(
                     seed,
                     params,
                     wall: Duration::ZERO,
-                    outcome: Err(CellError {
-                        panic: "cell produced no result (worker lost)".to_owned(),
-                    }),
+                    outcome: Err(CellError::message("cell produced no result (worker lost)")),
                 }
             })
         })

@@ -77,3 +77,58 @@ fn panicking_cell_yields_error_row_and_the_rest_complete() {
     assert!(json.contains(r#""ok":false"#));
     assert!(json.contains("deliberate failure"));
 }
+
+#[test]
+fn crashing_cell_ships_its_ring_trace_tail() {
+    let mut grid = Grid::new();
+    // A healthy cell that also runs a forensic ring must leave no residue
+    // behind for a later crash on the same worker to pick up.
+    grid.cell(Cell::new("t/clean", 1, || -> u64 {
+        let mut sim: riot_sim::Sim<()> = riot_sim::SimBuilder::new(1)
+            .observer(riot_sim::RingTrace::forensics(3))
+            .build();
+        sim.annotate("healthy run");
+        sim.run_to_completion();
+        drop(sim);
+        1
+    }));
+    grid.cell(Cell::new("t/crash", 2, || -> u64 {
+        let mut sim: riot_sim::Sim<()> = riot_sim::SimBuilder::new(2)
+            .observer(riot_sim::RingTrace::forensics(3))
+            .build();
+        for i in 0..10 {
+            sim.annotate(format!("step={i}"));
+        }
+        sim.run_to_completion();
+        panic!("crash after annotating")
+    }));
+    // One worker forces both cells onto the same thread, exercising the
+    // stale-forensics clearing between cells.
+    let report = grid.run(&config(1));
+
+    assert_eq!(report.ok_count(), 1);
+    let failed: Vec<_> = report.failed().collect();
+    let err = failed[0].outcome.as_ref().unwrap_err();
+    assert!(err.panic.contains("crash after annotating"));
+    assert_eq!(
+        err.trace_tail.len(),
+        3,
+        "the ring's capacity bounds the forensic tail: {err:?}"
+    );
+    assert!(
+        err.trace_tail.iter().all(|line| line.contains("step=")),
+        "tail lines carry the last events before the crash: {:?}",
+        err.trace_tail
+    );
+    assert!(
+        err.trace_tail.last().unwrap().contains("step=9"),
+        "the newest event is last"
+    );
+    // The tail reaches the serialized report too.
+    let json = report.to_json().render();
+    assert!(json.contains(r#""trace_tail":["#), "{json}");
+    // A tail-less error row omits the field entirely (see the panicking
+    // grid test above), keeping old error rows byte-identical.
+    let clean = riot_harness::CellError::message("plain");
+    assert!(clean.trace_tail.is_empty());
+}

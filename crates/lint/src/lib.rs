@@ -448,6 +448,13 @@ mod tests {
         // reviewed D2 allow-file).
         let harness = classify("crates/harness/src/grid.rs");
         assert!(harness.sim_visible && harness.ambient_time_forbidden && harness.panic_checked);
+        // The observability bus feeds recorded traces and online monitor
+        // verdicts: the observer modules are fully inside the determinism
+        // perimeter, on both the kernel and the scenario side.
+        let observer = classify("crates/sim/src/observer.rs");
+        assert!(observer.sim_visible && observer.ambient_time_forbidden && observer.panic_checked);
+        let observe = classify("crates/core/src/observe.rs");
+        assert!(observe.sim_visible && observe.panic_checked);
     }
 
     #[test]

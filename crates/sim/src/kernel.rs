@@ -7,10 +7,11 @@
 
 use crate::medium::{Delivery, Medium};
 use crate::metrics::Metrics;
+use crate::observer::{AnyObserver, SimEvent, SimEventKind, SimObserver};
 use crate::process::{ProcessId, TimerId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::Trace;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
@@ -76,6 +77,12 @@ pub struct Kernel<M> {
     pub(crate) rng: SimRng,
     pub(crate) metrics: Metrics,
     pub(crate) trace: Trace,
+    /// Registered observers, dispatched in registration order after the
+    /// built-in trace recorder (see [`crate::observer`] for the contract).
+    pub(crate) observers: Vec<Box<dyn AnyObserver>>,
+    /// `true` when anyone is listening (trace enabled or observers present);
+    /// the emit path checks this one flag before doing any work.
+    pub(crate) observing: bool,
     /// Liveness flag per process.
     pub(crate) live: Vec<bool>,
     /// Restart epoch per process; timers from a previous life are discarded.
@@ -93,6 +100,7 @@ impl<M: fmt::Debug> Kernel<M> {
         trace: Trace,
         trace_payloads: bool,
     ) -> Self {
+        let observing = trace.is_enabled();
         Kernel {
             clock: SimTime::ZERO,
             seq: 0,
@@ -101,6 +109,8 @@ impl<M: fmt::Debug> Kernel<M> {
             rng,
             metrics: Metrics::new(),
             trace,
+            observers: Vec::new(),
+            observing,
             live: Vec::new(),
             epoch: Vec::new(),
             cancelled_timers: BTreeSet::new(),
@@ -121,11 +131,35 @@ impl<M: fmt::Debug> Kernel<M> {
         self.live.get(id.0).copied().unwrap_or(false)
     }
 
-    fn payload_detail(&self, msg: &M) -> String {
-        if self.trace_payloads && self.trace.is_enabled() {
-            format!("{msg:?}")
-        } else {
-            String::new()
+    /// Registers an observer; returns its index. The `observing` flag is the
+    /// lazy-detail gate for the whole emit path, so it is kept in sync here.
+    pub(crate) fn add_observer(&mut self, observer: Box<dyn AnyObserver>) -> usize {
+        self.observers.push(observer);
+        self.observing = true;
+        self.observers.len() - 1
+    }
+
+    /// Emits one event to the bus: the built-in trace recorder first, then
+    /// every registered observer in registration order. The payload `Debug`
+    /// rendering is lazy — with nobody listening this is a single branch and
+    /// allocates nothing, and even with listeners the rendering only happens
+    /// when `trace_payloads` was requested.
+    pub(crate) fn emit(&mut self, kind: SimEventKind, payload: Option<&M>) {
+        if !self.observing {
+            return;
+        }
+        let detail = match payload {
+            Some(msg) if self.trace_payloads => format!("{msg:?}"),
+            _ => String::new(),
+        };
+        let event = SimEvent {
+            at: self.clock,
+            kind,
+            detail,
+        };
+        self.trace.on_event(&event);
+        for observer in &mut self.observers {
+            observer.on_event(&event);
         }
     }
 
@@ -139,9 +173,7 @@ impl<M: fmt::Debug> Kernel<M> {
         }
         assert!(to.0 < self.live.len(), "send to unknown process {to}");
         self.metrics.incr("sim.msg.sent");
-        let detail = self.payload_detail(&msg);
-        self.trace
-            .push(self.clock, TraceKind::Sent { from, to }, detail);
+        self.emit(SimEventKind::Sent { from, to }, Some(&msg));
         match self.medium.route(self.clock, from, to, &msg, &mut self.rng) {
             Delivery::After(latency) => {
                 let at = self.clock + latency;
@@ -149,16 +181,7 @@ impl<M: fmt::Debug> Kernel<M> {
             }
             Delivery::Drop(reason) => {
                 self.metrics.incr("sim.msg.dropped");
-                let detail = self.payload_detail(&msg);
-                self.trace.push(
-                    self.clock,
-                    TraceKind::Dropped {
-                        from,
-                        to,
-                        reason: reason.to_owned(),
-                    },
-                    detail,
-                );
+                self.emit(SimEventKind::Dropped { from, to, reason }, Some(&msg));
             }
         }
     }

@@ -18,8 +18,11 @@
 //! * **Determinism**: one seeded ChaCha stream ([`SimRng`]) per run and
 //!   stable tie-breaking in the event heap mean the same seed reproduces the
 //!   same run bit-for-bit.
-//! * **Observability**: [`Metrics`] (counters, gauges, histograms, time
-//!   series) and an optional structured [`Trace`].
+//! * **Observability**: a typed event bus — the kernel emits one
+//!   [`SimEvent`] per occurrence to an ordered list of [`SimObserver`]s.
+//!   [`Metrics`] (counters, gauges, histograms, time series), the structured
+//!   [`Trace`] recorder, and the bounded [`RingTrace`] all ride it; see
+//!   [`observer`] for the determinism contract.
 //! * **Disruption**: processes can be crashed and restarted (with timer
 //!   epochs so stale timers die), and arbitrary scheduled *injections* can
 //!   mutate the world mid-run — the hook used for partitions, churn and
@@ -57,6 +60,7 @@ pub mod json;
 mod kernel;
 mod medium;
 mod metrics;
+pub mod observer;
 mod process;
 mod rng;
 mod sim;
@@ -67,6 +71,7 @@ pub use embed::Embed;
 pub use json::{Json, ToJson};
 pub use medium::{Delivery, IdealMedium, LossyMedium, Medium};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
+pub use observer::{take_crash_tail, AnyObserver, RingTrace, SimEvent, SimEventKind, SimObserver};
 pub use process::{Ctx, Process, ProcessId, TimerId};
 pub use rng::SimRng;
 pub use sim::{AnyProcess, Sim, SimBuilder};

@@ -1,0 +1,425 @@
+//! The observability bus: typed kernel events and streaming observers.
+//!
+//! The kernel emits one [`SimEvent`] per significant occurrence — message
+//! send/deliver/drop, timer fire, process lifecycle transition, annotation —
+//! to an *ordered* list of [`SimObserver`]s registered on the builder (or on
+//! [`Sim`](crate::Sim) before the run starts). The built-in
+//! [`Trace`](crate::Trace) recorder is itself just one such observer; online
+//! runtime monitors (`riot_formal::OnlineMonitor`) and the bounded
+//! [`RingTrace`] are others. This turns observability from record-then-analyze
+//! into stream-and-react: a monitor can flag a requirement violation *during*
+//! the run, which is what a MAPE-K loop needs.
+//!
+//! ## Determinism contract for observer authors
+//!
+//! Observers are passive taps, not actors:
+//!
+//! 1. An observer receives `&SimEvent` only — it has no kernel handle, cannot
+//!    send messages, schedule timers, or draw randomness, and therefore
+//!    cannot perturb the run. Results with and without observers registered
+//!    are byte-identical by construction.
+//! 2. Events arrive in virtual-time order (ties in kernel scheduling order),
+//!    exactly once each, on the single simulation thread.
+//! 3. Dispatch order is fixed: the built-in [`Trace`](crate::Trace) recorder
+//!    sees each event first, then registered observers in registration
+//!    order. Observer state must depend only on the event stream, never on
+//!    wall-clock time or ambient entropy (riot-lint rules D2/D3 apply here).
+//! 4. `SimEvent::detail` carries a `Debug` rendering of the message payload
+//!    only when `trace_payloads` is enabled; with no observers registered and
+//!    tracing off, the emit path is a single branch and allocates nothing.
+
+use crate::json::{Json, ToJson};
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use crate::trace::TraceKind;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened at one emitted instant. Mirrors [`TraceKind`] but keeps the
+/// drop reason as `&'static str` so the hot path never allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// A process submitted a message to the medium.
+    Sent {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+    },
+    /// The medium delivered a message.
+    Delivered {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+    },
+    /// A message was dropped (loss, partition, or dead destination).
+    Dropped {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Static reason (`"loss"`, `"partition"`, `"down"`, ...).
+        reason: &'static str,
+    },
+    /// A timer fired at its owner.
+    TimerFired {
+        /// Owning process.
+        owner: ProcessId,
+        /// The tag the owner attached when scheduling.
+        tag: u64,
+    },
+    /// A process was taken down (crash or scheduled churn).
+    ProcessDown {
+        /// The process.
+        id: ProcessId,
+    },
+    /// A process came (back) up.
+    ProcessUp {
+        /// The process.
+        id: ProcessId,
+    },
+    /// A free-form annotation ([`Ctx::annotate`](crate::Ctx::annotate), or
+    /// [`Sim::annotate`](crate::Sim::annotate) with an external id).
+    Note {
+        /// Annotating process (`ProcessId(usize::MAX)` for external notes).
+        id: ProcessId,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl SimEventKind {
+    /// Short machine-readable label for this event kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimEventKind::Sent { .. } => "sent",
+            SimEventKind::Delivered { .. } => "delivered",
+            SimEventKind::Dropped { .. } => "dropped",
+            SimEventKind::TimerFired { .. } => "timer",
+            SimEventKind::ProcessDown { .. } => "down",
+            SimEventKind::ProcessUp { .. } => "up",
+            SimEventKind::Note { .. } => "note",
+        }
+    }
+
+    /// Converts to the owned [`TraceKind`] representation used by the
+    /// recording [`Trace`](crate::Trace). Allocates (reason/text move into
+    /// `String`s), so callers only invoke this when recording is enabled.
+    pub fn to_trace_kind(&self) -> TraceKind {
+        match *self {
+            SimEventKind::Sent { from, to } => TraceKind::Sent { from, to },
+            SimEventKind::Delivered { from, to } => TraceKind::Delivered { from, to },
+            SimEventKind::Dropped { from, to, reason } => TraceKind::Dropped {
+                from,
+                to,
+                reason: reason.to_owned(),
+            },
+            SimEventKind::TimerFired { owner, tag } => TraceKind::TimerFired { owner, tag },
+            SimEventKind::ProcessDown { id } => TraceKind::ProcessDown { id },
+            SimEventKind::ProcessUp { id } => TraceKind::ProcessUp { id },
+            SimEventKind::Note { id, ref text } => TraceKind::Note {
+                id,
+                text: text.clone(),
+            },
+        }
+    }
+}
+
+/// One event on the observability bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: SimEventKind,
+    /// `Debug` rendering of the payload when `trace_payloads` is enabled and
+    /// the event carries one; empty otherwise.
+    pub detail: String,
+}
+
+impl fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?} {}", self.at, self.kind, self.detail)
+    }
+}
+
+impl ToJson for SimEvent {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("t_us".to_owned(), Json::UInt(self.at.as_micros())),
+            ("kind".to_owned(), Json::Str(self.kind.label().to_owned())),
+        ];
+        let mut pid = |name: &str, id: ProcessId| {
+            let v = if id.0 == usize::MAX {
+                Json::Str("external".to_owned())
+            } else {
+                Json::UInt(id.0 as u64)
+            };
+            fields.push((name.to_owned(), v));
+        };
+        match &self.kind {
+            SimEventKind::Sent { from, to } | SimEventKind::Delivered { from, to } => {
+                pid("from", *from);
+                pid("to", *to);
+            }
+            SimEventKind::Dropped { from, to, reason } => {
+                pid("from", *from);
+                pid("to", *to);
+                fields.push(("reason".to_owned(), Json::Str((*reason).to_owned())));
+            }
+            SimEventKind::TimerFired { owner, tag } => {
+                pid("owner", *owner);
+                fields.push(("tag".to_owned(), Json::UInt(*tag)));
+            }
+            SimEventKind::ProcessDown { id } | SimEventKind::ProcessUp { id } => {
+                pid("id", *id);
+            }
+            SimEventKind::Note { id, text } => {
+                pid("id", *id);
+                fields.push(("text".to_owned(), Json::Str(text.clone())));
+            }
+        }
+        if !self.detail.is_empty() {
+            fields.push(("detail".to_owned(), Json::Str(self.detail.clone())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A streaming consumer of kernel events.
+///
+/// See the [module docs](self) for the determinism contract observers must
+/// uphold. Observers run on the simulation thread and must be cheap relative
+/// to the event rate they subscribe to.
+pub trait SimObserver {
+    /// Called once per kernel event, in virtual-time order.
+    fn on_event(&mut self, event: &SimEvent);
+
+    /// A short, human-readable name used in diagnostics.
+    fn name(&self) -> &str {
+        "observer"
+    }
+}
+
+/// Object-safe super-trait that adds downcasting to [`SimObserver`]; blanket
+/// implemented for every `'static` observer, so user code never sees it.
+pub trait AnyObserver: SimObserver {
+    /// Upcast to [`Any`] for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast to [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: SimObserver + Any> AnyObserver for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+thread_local! {
+    /// Rendered tail of the most recent [`RingTrace`] dropped during a panic
+    /// unwind on this thread; harvested by [`take_crash_tail`].
+    static CRASH_TAIL: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+/// Takes the crash-forensics tail left behind by a forensic [`RingTrace`]
+/// that was dropped while its thread was panicking (see
+/// [`RingTrace::forensics`]). Returns `None` if no panic-drop happened since
+/// the last call. The harness calls this after `catch_unwind` to attach the
+/// last events of a crashed cell to its error row.
+pub fn take_crash_tail() -> Option<Vec<String>> {
+    CRASH_TAIL.with(|cell| cell.borrow_mut().take())
+}
+
+/// A bounded recording observer: keeps the last `capacity` events, evicting
+/// the oldest, so long runs get crash forensics without unbounded retention.
+///
+/// With [`RingTrace::forensics`], the ring publishes its rendered tail to a
+/// thread-local when dropped during a panic unwind ([`take_crash_tail`]),
+/// which is how harness cells ship their final events inside `CellError`
+/// rows. The publication path only runs while unwinding — a completed run
+/// pays nothing beyond the ring itself.
+#[derive(Debug)]
+pub struct RingTrace {
+    capacity: usize,
+    ring: VecDeque<SimEvent>,
+    forensics: bool,
+}
+
+impl RingTrace {
+    /// A ring keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingTrace {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            forensics: false,
+        }
+    }
+
+    /// A ring that additionally publishes its tail for [`take_crash_tail`]
+    /// when dropped during a panic unwind.
+    pub fn forensics(capacity: usize) -> Self {
+        let mut ring = RingTrace::new(capacity);
+        ring.forensics = true;
+        ring
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn tail(&self) -> impl Iterator<Item = &SimEvent> {
+        self.ring.iter()
+    }
+
+    /// The retained events rendered as compact JSON lines, oldest first.
+    pub fn tail_json_lines(&self) -> Vec<String> {
+        self.ring.iter().map(|e| e.to_json().render()).collect()
+    }
+}
+
+impl SimObserver for RingTrace {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event.clone());
+    }
+
+    fn name(&self) -> &str {
+        "ring-trace"
+    }
+}
+
+impl Drop for RingTrace {
+    fn drop(&mut self) {
+        if self.forensics && std::thread::panicking() && !self.ring.is_empty() {
+            let tail = self.tail_json_lines();
+            CRASH_TAIL.with(|cell| *cell.borrow_mut() = Some(tail));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> SimEvent {
+        SimEvent {
+            at: SimTime::from_micros(n),
+            kind: SimEventKind::TimerFired {
+                owner: ProcessId(0),
+                tag: n,
+            },
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut ring = RingTrace::new(3);
+        for n in 0..10 {
+            ring.on_event(&ev(n));
+        }
+        assert_eq!(ring.len(), 3);
+        let tags: Vec<u64> = ring
+            .tail()
+            .map(|e| match e.kind {
+                SimEventKind::TimerFired { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_capacity_is_at_least_one() {
+        let mut ring = RingTrace::new(0);
+        ring.on_event(&ev(1));
+        ring.on_event(&ev(2));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn event_renders_as_json_object() {
+        let e = SimEvent {
+            at: SimTime::from_micros(1500),
+            kind: SimEventKind::Dropped {
+                from: ProcessId(1),
+                to: ProcessId(usize::MAX),
+                reason: "loss",
+            },
+            detail: "Ping(1)".to_owned(),
+        };
+        let line = e.to_json().render();
+        assert_eq!(
+            line,
+            r#"{"t_us":1500,"kind":"dropped","from":1,"to":"external","reason":"loss","detail":"Ping(1)"}"#
+        );
+    }
+
+    #[test]
+    fn to_trace_kind_round_trips_fields() {
+        let kind = SimEventKind::Dropped {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            reason: "partition",
+        };
+        assert_eq!(
+            kind.to_trace_kind(),
+            TraceKind::Dropped {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                reason: "partition".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn forensic_ring_publishes_tail_on_panic_drop() {
+        let _ = take_crash_tail();
+        let result = std::panic::catch_unwind(|| {
+            let mut ring = RingTrace::forensics(2);
+            for n in 0..5 {
+                ring.on_event(&ev(n));
+            }
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let tail = take_crash_tail().expect("tail published during unwind");
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].contains("\"tag\":3"));
+        assert!(take_crash_tail().is_none(), "tail is taken exactly once");
+    }
+
+    #[test]
+    fn non_forensic_ring_does_not_publish() {
+        let _ = take_crash_tail();
+        let result = std::panic::catch_unwind(|| {
+            let mut ring = RingTrace::new(2);
+            ring.on_event(&ev(1));
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(take_crash_tail().is_none());
+    }
+}

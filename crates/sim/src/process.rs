@@ -129,18 +129,27 @@ impl<'a, M: fmt::Debug> Ctx<'a, M> {
         &mut self.kernel.metrics
     }
 
-    /// Records a free-form trace annotation (no-op when tracing is off).
+    /// Records a free-form annotation on the observability bus (a no-op when
+    /// nobody is listening — the text conversion is skipped entirely, so
+    /// hot-path annotations cost one branch on untraced runs).
     pub fn annotate(&mut self, text: impl Into<String>) {
-        let at = self.kernel.clock;
+        if !self.kernel.observing {
+            return;
+        }
         let id = self.id;
-        self.kernel.trace.push(
-            at,
-            crate::trace::TraceKind::Note {
+        self.kernel.emit(
+            crate::observer::SimEventKind::Note {
                 id,
                 text: text.into(),
             },
-            String::new(),
+            None,
         );
+    }
+
+    /// `true` if anyone is listening on the observability bus. Pre-check this
+    /// before building an expensive [`Ctx::annotate`] string.
+    pub fn is_observing(&self) -> bool {
+        self.kernel.observing
     }
 
     /// `true` if the given process is currently up.

@@ -5,10 +5,11 @@
 use crate::kernel::{Event, EventKind, Kernel};
 use crate::medium::{IdealMedium, Medium};
 use crate::metrics::Metrics;
+use crate::observer::{AnyObserver, SimEventKind, SimObserver};
 use crate::process::{Ctx, Process, ProcessId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::Trace;
 use std::any::Any;
 use std::fmt;
 
@@ -45,12 +46,24 @@ type Injection<M> = Box<dyn FnOnce(&mut Sim<M>)>;
 ///     .build();
 /// assert_eq!(sim.now().as_micros(), 0);
 /// ```
-#[derive(Debug)]
 pub struct SimBuilder {
     seed: u64,
     tracing: bool,
     trace_payloads: bool,
     max_events: u64,
+    observers: Vec<Box<dyn AnyObserver>>,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("seed", &self.seed)
+            .field("tracing", &self.tracing)
+            .field("trace_payloads", &self.trace_payloads)
+            .field("max_events", &self.max_events)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
 }
 
 impl SimBuilder {
@@ -61,6 +74,7 @@ impl SimBuilder {
             tracing: false,
             trace_payloads: false,
             max_events: u64::MAX,
+            observers: Vec::new(),
         }
     }
 
@@ -84,6 +98,15 @@ impl SimBuilder {
         self
     }
 
+    /// Registers a [`SimObserver`] on the run's observability bus. Observers
+    /// see every kernel event in virtual-time order; dispatch order is the
+    /// built-in trace recorder first, then observers in registration order
+    /// (see [`crate::observer`] for the determinism contract).
+    pub fn observer(mut self, observer: impl SimObserver + Any) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
     /// Builds a simulation with the default zero-latency [`IdealMedium`].
     pub fn build<M: fmt::Debug>(self) -> Sim<M> {
         self.build_with_medium(Box::new(IdealMedium::new()))
@@ -94,8 +117,12 @@ impl SimBuilder {
     pub fn build_with_medium<M: fmt::Debug>(self, medium: Box<dyn Medium<M>>) -> Sim<M> {
         let rng = SimRng::seed_from(self.seed);
         let trace = Trace::new(self.tracing);
+        let mut kernel = Kernel::new(medium, rng, trace, self.trace_payloads);
+        for observer in self.observers {
+            kernel.add_observer(observer);
+        }
         Sim {
-            kernel: Kernel::new(medium, rng, trace, self.trace_payloads),
+            kernel,
             procs: Vec::new(),
             injections: Vec::new(),
             events_processed: 0,
@@ -217,6 +244,63 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         &self.kernel.trace
     }
 
+    /// Registers an observer on the bus mid-build (same contract as
+    /// [`SimBuilder::observer`]); returns the observer's index for later
+    /// retrieval with [`Sim::observer`]. Register before running — events
+    /// already emitted are not replayed.
+    pub fn add_observer(&mut self, observer: impl SimObserver + Any) -> usize {
+        self.kernel.add_observer(Box::new(observer))
+    }
+
+    /// Registers an already-boxed observer; see [`Sim::add_observer`].
+    pub fn add_boxed_observer(&mut self, observer: Box<dyn AnyObserver>) -> usize {
+        self.kernel.add_observer(observer)
+    }
+
+    /// Number of registered observers (excluding the built-in trace).
+    pub fn observer_count(&self) -> usize {
+        self.kernel.observers.len()
+    }
+
+    /// `true` if anyone is listening on the bus (tracing enabled or at least
+    /// one observer registered). Use this to gate expensive annotation
+    /// formatting at call sites.
+    pub fn is_observing(&self) -> bool {
+        self.kernel.observing
+    }
+
+    /// Downcasts the observer at `index` (as returned by
+    /// [`Sim::add_observer`]) to its concrete type for post-run inspection.
+    pub fn observer<T: 'static>(&self, index: usize) -> Option<&T> {
+        self.kernel.observers.get(index)?.as_any().downcast_ref()
+    }
+
+    /// Mutable variant of [`Sim::observer`].
+    pub fn observer_mut<T: 'static>(&mut self, index: usize) -> Option<&mut T> {
+        self.kernel
+            .observers
+            .get_mut(index)?
+            .as_any_mut()
+            .downcast_mut()
+    }
+
+    /// Records a free-form annotation from outside the simulation (scenario
+    /// drivers, injectors) onto the bus, attributed to the external id. A
+    /// no-op when nobody is listening; callers formatting an expensive
+    /// payload should pre-check [`Sim::is_observing`].
+    pub fn annotate(&mut self, text: impl Into<String>) {
+        if !self.kernel.observing {
+            return;
+        }
+        self.kernel.emit(
+            SimEventKind::Note {
+                id: ProcessId(usize::MAX),
+                text: text.into(),
+            },
+            None,
+        );
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -266,10 +350,7 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         }
         self.kernel.live[id.0] = false;
         self.kernel.epoch[id.0] += 1;
-        let at = self.kernel.clock;
-        self.kernel
-            .trace
-            .push(at, TraceKind::ProcessDown { id }, String::new());
+        self.kernel.emit(SimEventKind::ProcessDown { id }, None);
         self.kernel.metrics.incr("sim.proc.down");
         if let Some(p) = self.procs[id.0].as_mut() {
             p.on_down();
@@ -283,10 +364,7 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         }
         self.kernel.live[id.0] = true;
         self.kernel.epoch[id.0] += 1;
-        let at = self.kernel.clock;
-        self.kernel
-            .trace
-            .push(at, TraceKind::ProcessUp { id }, String::new());
+        self.kernel.emit(SimEventKind::ProcessUp { id }, None);
         self.kernel.metrics.incr("sim.proc.up");
         self.with_proc(id, |p, ctx| p.on_start(ctx));
     }
@@ -364,28 +442,19 @@ impl<M: fmt::Debug + 'static> Sim<M> {
             EventKind::Deliver { from, to, msg } => {
                 if !self.kernel.is_up(to) {
                     self.kernel.metrics.incr("sim.msg.dropped");
-                    let at = self.kernel.clock;
-                    self.kernel.trace.push(
-                        at,
-                        TraceKind::Dropped {
+                    self.kernel.emit(
+                        SimEventKind::Dropped {
                             from,
                             to,
-                            reason: "down".to_owned(),
+                            reason: "down",
                         },
-                        String::new(),
+                        Some(&msg),
                     );
                     return;
                 }
                 self.kernel.metrics.incr("sim.msg.delivered");
-                let at = self.kernel.clock;
-                let detail = if self.kernel.trace_payloads && self.kernel.trace.is_enabled() {
-                    format!("{msg:?}")
-                } else {
-                    String::new()
-                };
                 self.kernel
-                    .trace
-                    .push(at, TraceKind::Delivered { from, to }, detail);
+                    .emit(SimEventKind::Delivered { from, to }, Some(&msg));
                 self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
             }
             EventKind::Timer {
@@ -408,10 +477,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                 if !self.kernel.is_up(owner) || self.kernel.epoch[owner.0] != epoch {
                     return;
                 }
-                let at = self.kernel.clock;
                 self.kernel
-                    .trace
-                    .push(at, TraceKind::TimerFired { owner, tag }, String::new());
+                    .emit(SimEventKind::TimerFired { owner, tag }, None);
                 self.with_proc(owner, |p, ctx| p.on_timer(ctx, tag));
             }
             EventKind::Down { id } => {
@@ -463,6 +530,8 @@ fn _assert_event_ordering<M>(a: &Event<M>, b: &Event<M>) -> std::cmp::Ordering {
 mod tests {
     use super::*;
     use crate::medium::LossyMedium;
+    use crate::observer::{RingTrace, SimEvent};
+    use crate::trace::TraceKind;
 
     #[derive(Debug)]
     enum Msg {
@@ -632,6 +701,86 @@ mod tests {
             .trace()
             .filtered(|e| matches!(e.kind, TraceKind::Delivered { .. }))
             .any(|e| e.detail.contains("Ping(3)")));
+    }
+
+    /// Records the rendered form of every event it sees.
+    struct Recorder {
+        seen: Vec<String>,
+    }
+
+    impl SimObserver for Recorder {
+        fn on_event(&mut self, event: &SimEvent) {
+            self.seen.push(event.to_string());
+        }
+    }
+
+    #[test]
+    fn observers_see_the_trace_event_sequence() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1)
+            .tracing(true)
+            .observer(Recorder { seen: Vec::new() })
+            .build();
+        let a = sim.add_process(Counter::new());
+        let second = sim.add_observer(Recorder { seen: Vec::new() });
+        sim.send_external(a, Msg::Ping(1));
+        sim.set_down(a);
+        sim.run_to_completion();
+        let first: Vec<String> = sim.observer::<Recorder>(0).unwrap().seen.clone();
+        let also: Vec<String> = sim.observer::<Recorder>(second).unwrap().seen.clone();
+        let trace: Vec<String> = sim
+            .trace()
+            .entries()
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        assert!(!first.is_empty());
+        assert_eq!(first, also, "every observer sees the same sequence");
+        assert_eq!(first, trace, "the trace recorder is just another observer");
+    }
+
+    #[test]
+    fn observers_work_without_tracing() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1)
+            .observer(Recorder { seen: Vec::new() })
+            .build();
+        let a = sim.add_process(Counter::new());
+        sim.send_external(a, Msg::Ping(1));
+        sim.run_to_completion();
+        assert!(sim.is_observing());
+        assert!(sim.trace().is_empty(), "trace stays off");
+        assert!(!sim.observer::<Recorder>(0).unwrap().seen.is_empty());
+    }
+
+    #[test]
+    fn nobody_listening_means_not_observing() {
+        let sim: Sim<Msg> = SimBuilder::new(1).build();
+        assert!(!sim.is_observing());
+        assert_eq!(sim.observer_count(), 0);
+    }
+
+    #[test]
+    fn ring_trace_retains_the_tail_of_the_run() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).observer(RingTrace::new(4)).build();
+        let a = sim.add_process(Counter::new());
+        for i in 0..20 {
+            sim.send_external(a, Msg::Ping(i));
+        }
+        sim.run_to_completion();
+        let ring = sim.observer::<RingTrace>(0).unwrap();
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.tail_json_lines().len(), 4);
+    }
+
+    #[test]
+    fn external_annotations_reach_the_bus() {
+        let mut sim: Sim<Msg> = SimBuilder::new(1).tracing(true).build();
+        sim.add_process(Counter::new());
+        sim.annotate("phase=warmup");
+        sim.run_to_completion();
+        assert!(sim
+            .trace()
+            .filtered(|e| matches!(e.kind, TraceKind::Note { .. }))
+            .any(|e| format!("{:?}", e.kind).contains("phase=warmup")));
     }
 
     #[test]

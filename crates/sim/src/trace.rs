@@ -9,6 +9,7 @@
 //!    trace is a finite word over atomic propositions), and
 //! 3. asserting causal properties in integration tests.
 
+use crate::observer::{SimEvent, SimObserver};
 use crate::process::ProcessId;
 use crate::time::SimTime;
 use std::fmt;
@@ -141,6 +142,25 @@ impl Trace {
             .iter()
             .filter(|e| e.kind == TraceKind::Delivered { from, to })
             .count()
+    }
+}
+
+/// The full-history recorder is itself just one observer on the bus: the
+/// kernel dispatches to it first (before registered observers) so the
+/// recorded trace and every streaming consumer see the same event sequence.
+impl SimObserver for Trace {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at: event.at,
+                kind: event.kind.to_trace_kind(),
+                detail: event.detail.clone(),
+            });
+        }
+    }
+
+    fn name(&self) -> &str {
+        "trace"
     }
 }
 

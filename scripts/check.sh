@@ -23,9 +23,15 @@ cargo run --quiet -p riot-lint -- --json > /tmp/riot-lint.json || {
   exit 1
 }
 
+echo "==> cargo doc (no-deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [[ "$quick" == "0" ]]; then
   echo "==> cargo test (workspace)"
   cargo test --quiet
+
+  echo "==> observability bus determinism (observers on vs off, byte-identical)"
+  cargo test --quiet -p riot-core --test observer_bus
 
   echo "==> riot-harness smoke grid (parallel run of a small scenario sweep)"
   cargo run --quiet -p riot-bench --bin riot -- \
