@@ -1,0 +1,200 @@
+//! `perf` — the kernel hot-path microbenchmark suite.
+//!
+//! Covers the simulator's steady-state costs: kernel event throughput on an
+//! ideal-medium ping workload, metrics counter/histogram throughput, timer
+//! schedule/cancel churn, and one full standard-scenario run. Writes
+//! `BENCH_kernel.json` at the repository root (schema: benchmark id →
+//! `{iters, median_ns, events_per_sec}`) — the perf trajectory successive
+//! PRs diff against (DESIGN.md §9, EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p riot-bench --bin perf            # full suite
+//! cargo run -p riot-bench --bin perf -- --smoke           # CI gate
+//! ```
+//!
+//! `--smoke` runs tiny workloads, asserts the JSON schema and positive
+//! throughput, and writes `target/BENCH_kernel_smoke.json` instead so the
+//! committed trajectory file is only refreshed by deliberate full runs.
+
+use riot_bench::perf::{repo_root, run_benchmark, suite_json, validate_suite, PerfResult};
+use riot_core::{Scenario, ScenarioSpec};
+use riot_model::MaturityLevel;
+use riot_sim::{Ctx, Metrics, Process, ProcessId, Sim, SimBuilder, SimDuration};
+
+/// Ping-pong over the ideal medium: the minimal two-process workload whose
+/// cost is pure kernel (heap, dispatch, metrics) with no protocol logic.
+struct Pinger {
+    peer: Option<ProcessId>,
+    rounds_left: u64,
+}
+
+impl Process<u64> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(peer) = self.peer {
+            ctx.send(peer, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: ProcessId, n: u64) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.send(from, n + 1);
+        }
+    }
+}
+
+fn kernel_throughput(rounds: u64) -> u64 {
+    let mut sim: Sim<u64> = SimBuilder::new(7).build();
+    let ponger = sim.add_process(Pinger {
+        peer: None,
+        rounds_left: rounds,
+    });
+    sim.add_process(Pinger {
+        peer: Some(ponger),
+        rounds_left: rounds,
+    });
+    sim.run_to_completion()
+}
+
+/// The kernel's metric mix on a message: one hot counter incremented per
+/// event, cycling over the real hot-path names. Keys are pre-interned once,
+/// exactly as the kernel and node processes do — this is the production
+/// fast path.
+fn metrics_incr(updates: u64) -> u64 {
+    let mut m = Metrics::new();
+    let keys = [
+        m.intern("sim.msg.sent"),
+        m.intern("sim.msg.delivered"),
+        m.intern("device.control.timeout"),
+        m.intern("edge.ingest.denied"),
+    ];
+    for i in 0..updates {
+        // riot-lint: allow(P1, reason = "index is reduced mod the array length")
+        m.incr_key(keys[(i % 4) as usize]);
+    }
+    std::hint::black_box(m.counter("sim.msg.sent"));
+    updates
+}
+
+/// The same counter mix through the string compat layer — what every call
+/// site paid before interning, and what casual call sites still pay. Kept
+/// in the suite so the compat layer's cost stays visible over time.
+fn metrics_incr_string(updates: u64) -> u64 {
+    let mut m = Metrics::new();
+    for i in 0..updates {
+        match i % 4 {
+            0 => m.incr("sim.msg.sent"),
+            1 => m.incr("sim.msg.delivered"),
+            2 => m.incr("device.control.timeout"),
+            _ => m.incr("edge.ingest.denied"),
+        }
+    }
+    std::hint::black_box(m.counter("sim.msg.sent"));
+    updates
+}
+
+fn metrics_observe(updates: u64) -> u64 {
+    let mut m = Metrics::new();
+    for i in 0..updates {
+        m.observe("device.control.latency_ms", (i % 97) as f64);
+    }
+    std::hint::black_box(m.histogram("device.control.latency_ms").map(|h| h.count()));
+    updates
+}
+
+/// Schedule-heavy churn: every fired timer schedules two successors and
+/// immediately cancels one — the control-timeout pattern that produces
+/// cancelled-timer tombstones in real scenarios.
+struct Churn {
+    remaining: u64,
+}
+
+impl Process<u64> for Churn {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.schedule(SimDuration::from_micros(1), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: ProcessId, _n: u64) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        ctx.schedule(SimDuration::from_micros(1), 0);
+        let doomed = ctx.schedule(SimDuration::from_micros(2), 1);
+        ctx.cancel_timer(doomed);
+    }
+}
+
+fn timer_churn(rounds: u64) -> u64 {
+    let mut sim: Sim<u64> = SimBuilder::new(7).build();
+    sim.add_process(Churn { remaining: rounds });
+    sim.run_to_completion()
+}
+
+fn scenario_run(duration_s: u64, edges: usize, devices_per_edge: usize) -> u64 {
+    let mut spec = ScenarioSpec::new("perf", MaturityLevel::Ml4, 11);
+    spec.edges = edges;
+    spec.devices_per_edge = devices_per_edge;
+    spec.duration = SimDuration::from_secs(duration_s);
+    spec.warmup = SimDuration::from_secs(duration_s / 4);
+    Scenario::build(spec).run().events_processed
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (k, msgs, updates, churn, scen_s) = if smoke {
+        (3, 2_000, 20_000, 2_000, 10)
+    } else {
+        (9, 200_000, 2_000_000, 200_000, 120)
+    };
+    let (edges, devs) = if smoke { (2, 2) } else { (4, 8) };
+
+    println!(
+        "=== perf — kernel hot-path microbenchmarks ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results: Vec<PerfResult> = vec![
+        run_benchmark("kernel_throughput", k, || kernel_throughput(msgs)),
+        run_benchmark("metrics_incr", k, || metrics_incr(updates)),
+        run_benchmark("metrics_incr_string", k, || metrics_incr_string(updates)),
+        run_benchmark("metrics_observe", k, || metrics_observe(updates)),
+        run_benchmark("timer_churn", k, || timer_churn(churn)),
+        run_benchmark("scenario_run", k.min(5), || {
+            scenario_run(scen_s, edges, devs)
+        }),
+    ];
+    for r in &results {
+        println!(
+            "{:<24} {:>12} ns median   {:>14.0} events/s   ({} events, {} reps)",
+            r.id, r.median_ns, r.events_per_sec, r.events, r.iters
+        );
+    }
+
+    if let Err(id) = validate_suite(&results) {
+        eprintln!("error: benchmark '{id}' violates the BENCH_kernel.json schema");
+        std::process::exit(1);
+    }
+    for r in &results {
+        assert!(
+            r.events_per_sec > 0.0,
+            "{}: events/s must be positive",
+            r.id
+        );
+    }
+
+    let json = suite_json(&results).pretty();
+    let path = if smoke {
+        repo_root().join("target").join("BENCH_kernel_smoke.json")
+    } else {
+        repo_root().join("BENCH_kernel.json")
+    };
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if smoke {
+        println!("smoke OK: schema valid, all benchmarks > 0 events/s");
+    }
+}

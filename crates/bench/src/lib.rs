@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 pub use riot_harness::HarnessConfig;
 use riot_sim::ToJson;
 use std::fs;

@@ -1,0 +1,154 @@
+//! Median-of-k wall-clock microbenchmark harness for the kernel perf
+//! trajectory (`riot-bench --bin perf`).
+//!
+//! Unlike [`crate::harness`] (budget-driven mean, print-only), this module
+//! produces *machine-readable* results: each benchmark runs a fixed workload
+//! `k` times after a warmup rep, reports the median rep, and the whole
+//! suite serializes to `BENCH_kernel.json` at the repository root — the
+//! file successive PRs diff to keep the hot path honest (DESIGN.md §9).
+//!
+//! Wall-clock time is confined to this module (and `crate::harness`) by
+//! lint rule `D2`: perf numbers are operator-facing diagnostics and never
+//! feed simulation results.
+
+use riot_sim::{Json, ToJson};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The outcome of one benchmark: the median rep and its throughput.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Stable benchmark identifier (the JSON key).
+    pub id: &'static str,
+    /// Timed reps (excluding the warmup rep).
+    pub iters: u64,
+    /// Wall-clock nanoseconds of the median rep.
+    pub median_ns: u64,
+    /// Work units (kernel events, metric updates) one rep performs.
+    pub events: u64,
+    /// `events` over the median rep's wall-clock time.
+    pub events_per_sec: f64,
+}
+
+impl ToJson for PerfResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("iters".into(), Json::UInt(self.iters)),
+            ("median_ns".into(), Json::UInt(self.median_ns)),
+            (
+                "events_per_sec".into(),
+                Json::Float(crate::perf::round3(self.events_per_sec)),
+            ),
+        ])
+    }
+}
+
+/// Rounds to three decimals so the serialized trajectory stays readable.
+pub fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Runs `workload` once as warmup, then `k` timed reps, and reports the
+/// median. The workload returns the number of work units it performed
+/// (kernel events processed, metric updates applied); this must be
+/// deterministic across reps — the harness asserts it is.
+pub fn run_benchmark(id: &'static str, k: usize, mut workload: impl FnMut() -> u64) -> PerfResult {
+    let k = k.max(1);
+    let warm_events = std::hint::black_box(workload());
+    let mut reps: Vec<u64> = Vec::with_capacity(k);
+    for _ in 0..k {
+        // riot-lint: allow(D2, reason = "perf harness measures wall-clock by design")
+        let start = Instant::now();
+        let events = std::hint::black_box(workload());
+        let ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(
+            events, warm_events,
+            "{id}: workload must be deterministic across reps"
+        );
+        reps.push(ns.max(1));
+    }
+    reps.sort_unstable();
+    let median_ns = reps.get(reps.len() / 2).copied().unwrap_or(1);
+    let events_per_sec = warm_events as f64 * 1.0e9 / median_ns as f64;
+    PerfResult {
+        id,
+        iters: k as u64,
+        median_ns,
+        events: warm_events,
+        events_per_sec,
+    }
+}
+
+/// Serializes a suite as `{ "<id>": {iters, median_ns, events_per_sec} }` —
+/// the `BENCH_kernel.json` schema.
+pub fn suite_json(results: &[PerfResult]) -> Json {
+    Json::Obj(
+        results
+            .iter()
+            .map(|r| (r.id.to_owned(), r.to_json()))
+            .collect(),
+    )
+}
+
+/// The repository root, resolved from this crate's manifest location
+/// (`crates/bench` → two levels up) like [`crate::write_json`].
+pub fn repo_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// Validates the `BENCH_kernel.json` schema over an in-memory suite: every
+/// benchmark must have run at least once and measured positive throughput.
+/// Returns the offending benchmark id on failure.
+pub fn validate_suite(results: &[PerfResult]) -> Result<(), &'static str> {
+    for r in results {
+        if r.iters == 0 || r.median_ns == 0 || r.events_per_sec <= 0.0 {
+            return Err(r.id);
+        }
+        let rendered = r.to_json().render();
+        if !(rendered.contains("\"iters\"")
+            && rendered.contains("\"median_ns\"")
+            && rendered.contains("\"events_per_sec\""))
+        {
+            return Err(r.id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_k_is_stable_and_positive() {
+        let r = run_benchmark("probe", 5, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+            100
+        });
+        assert_eq!(r.iters, 5);
+        assert_eq!(r.events, 100);
+        assert!(r.median_ns > 0);
+        assert!(r.events_per_sec > 0.0);
+        assert!(validate_suite(&[r]).is_ok());
+    }
+
+    #[test]
+    fn suite_serializes_to_schema() {
+        let r = run_benchmark("probe", 1, || 7);
+        let json = suite_json(&[r]).pretty();
+        assert!(json.contains("\"probe\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"events_per_sec\""));
+    }
+
+    #[test]
+    fn repo_root_is_workspace_rooted() {
+        let root = repo_root();
+        assert!(!root.to_string_lossy().contains("crates"));
+    }
+}

@@ -15,11 +15,30 @@ use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{CloudRegistry, RegistryConfig};
 use riot_data::{PolicyEngine, ReplicatedStore};
 use riot_model::{ComponentId, ComponentState, DomainId, DomainRegistry};
-use riot_sim::{Ctx, Process, ProcessId, SimTime};
+use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
 use std::collections::BTreeMap;
 
 const TAG_MAPE: u64 = 1;
 const TAG_SYNC: u64 = 2;
+
+/// Pre-interned keys for the cloud's metric names (see `DeviceKeys` for the
+/// pattern): minted on the first callback, allocation-free thereafter.
+#[derive(Debug, Clone, Copy)]
+struct CloudKeys {
+    ingest_denied: MetricKey,
+    restart_sent: MetricKey,
+    sync_applied: MetricKey,
+}
+
+impl CloudKeys {
+    fn new(m: &mut Metrics) -> Self {
+        CloudKeys {
+            ingest_denied: m.intern("cloud.ingest.denied"),
+            restart_sent: m.intern("mape.restart_sent"),
+            sync_applied: m.intern("cloud.sync.applied"),
+        }
+    }
+}
 
 /// Static configuration of the cloud node.
 #[derive(Debug, Clone)]
@@ -42,6 +61,7 @@ pub struct CloudConfig {
 /// The cloud process.
 pub struct CloudProcess {
     cfg: CloudConfig,
+    keys: Option<CloudKeys>,
     store: ReplicatedStore,
     registry_service: CloudRegistry,
     mape: Option<MapeLoop<RecoveryPlanner>>,
@@ -83,6 +103,7 @@ impl CloudProcess {
         };
         CloudProcess {
             cfg,
+            keys: None,
             store,
             registry_service: CloudRegistry::new(RegistryConfig::default()),
             mape,
@@ -107,6 +128,13 @@ impl CloudProcess {
         self.mape.as_ref().map(|m| m.stats())
     }
 
+    /// The interned metric keys, minting them on first use.
+    fn hot_keys(&mut self, ctx: &mut Ctx<'_, Msg>) -> CloudKeys {
+        *self
+            .keys
+            .get_or_insert_with(|| CloudKeys::new(ctx.metrics()))
+    }
+
     fn ingest_telemetry(&mut self, ctx: &mut Ctx<'_, Msg>, reading: ReadingPayload) {
         let ReadingPayload {
             key,
@@ -120,7 +148,8 @@ impl CloudProcess {
         self.last_seen.insert(component, (device, now));
         let action = self.store.ingest(key, value, meta, &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
-            ctx.metrics().incr("cloud.ingest.denied");
+            let key = self.hot_keys(ctx).ingest_denied;
+            ctx.metrics().incr_key(key);
         }
         if let Some(mape) = self.mape.as_mut() {
             mape.observe_component(component, state, device, now);
@@ -169,7 +198,8 @@ impl CloudProcess {
                     continue;
                 }
                 self.restart_sent_at.insert(component, now);
-                ctx.metrics().incr("mape.restart_sent");
+                let key = self.hot_keys(ctx).restart_sent;
+                ctx.metrics().incr_key(key);
                 ctx.send(host, Msg::App(AppMsg::Restart { component }));
             }
         }
@@ -178,6 +208,7 @@ impl CloudProcess {
 
 impl Process<Msg> for CloudProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.hot_keys(ctx);
         if self.mape.is_some() {
             ctx.schedule(self.cfg.arch.mape_period, TAG_MAPE);
         }
@@ -222,7 +253,8 @@ impl Process<Msg> for CloudProcess {
             }
             Msg::Sync(m) => {
                 let changed = self.store.on_sync(m, &self.cfg.registry, ctx.now());
-                ctx.metrics().incr_by("cloud.sync.applied", changed as u64);
+                let key = self.hot_keys(ctx).sync_applied;
+                ctx.metrics().incr_by_key(key, changed as u64);
             }
             Msg::Registry(m) => {
                 if let Some(reply) = self.registry_service.on_message(ctx.now(), from, m) {

@@ -15,7 +15,7 @@ use crate::config::{ArchitectureConfig, ControlPlacement};
 use crate::msg::{AppMsg, Msg};
 use riot_data::{DataMeta, Sensitivity};
 use riot_model::{ComponentId, ComponentState, DomainId};
-use riot_sim::{Ctx, Process, ProcessId, SimTime};
+use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
 use std::collections::BTreeMap;
 
 const TAG_SENSE: u64 = 1;
@@ -79,10 +79,37 @@ impl DeviceWindow {
     }
 }
 
+/// Pre-interned keys for the device's metric names, minted on the first
+/// callback with kernel access and reused for every update thereafter —
+/// the control loop's metric writes are allocation-free at steady state.
+#[derive(Debug, Clone, Copy)]
+struct DeviceKeys {
+    rehome: MetricKey,
+    control_timeout: MetricKey,
+    failover: MetricKey,
+    ml3_fallback: MetricKey,
+    control_latency_ms: MetricKey,
+    component_restarted: MetricKey,
+}
+
+impl DeviceKeys {
+    fn new(m: &mut Metrics) -> Self {
+        DeviceKeys {
+            rehome: m.intern("device.rehome"),
+            control_timeout: m.intern("device.control.timeout"),
+            failover: m.intern("device.failover"),
+            ml3_fallback: m.intern("device.ml3_fallback"),
+            control_latency_ms: m.intern("device.control.latency_ms"),
+            component_restarted: m.intern("device.component.restarted"),
+        }
+    }
+}
+
 /// The device process.
 #[derive(Debug)]
 pub struct DeviceProcess {
     cfg: DeviceConfig,
+    keys: Option<DeviceKeys>,
     state: ComponentState,
     /// 0 = primary edge; `i > 0` = `backup_edges[i - 1]`.
     controller_idx: usize,
@@ -101,6 +128,7 @@ impl DeviceProcess {
     pub fn new(cfg: DeviceConfig) -> Self {
         DeviceProcess {
             cfg,
+            keys: None,
             state: ComponentState::Running,
             controller_idx: 0,
             next_req: 0,
@@ -156,6 +184,13 @@ impl DeviceProcess {
             // riot-lint: allow(P1, reason = "controller_idx wraps mod backup_edges.len() + 1 on failover")
             self.cfg.backup_edges[self.controller_idx - 1]
         }
+    }
+
+    /// The interned metric keys, minting them on first use.
+    fn hot_keys(&mut self, ctx: &mut Ctx<'_, Msg>) -> DeviceKeys {
+        *self
+            .keys
+            .get_or_insert_with(|| DeviceKeys::new(ctx.metrics()))
     }
 
     fn controller(&self) -> Option<ProcessId> {
@@ -217,7 +252,8 @@ impl DeviceProcess {
                 self.controller_idx = 0;
                 self.on_backup_since = None;
                 self.consecutive_timeouts = 0;
-                ctx.metrics().incr("device.rehome");
+                let key = self.hot_keys(ctx).rehome;
+                ctx.metrics().incr_key(key);
             }
         }
         match self.controller() {
@@ -251,7 +287,8 @@ impl DeviceProcess {
             return; // reply beat the deadline
         }
         self.window.control_timeout += 1;
-        ctx.metrics().incr("device.control.timeout");
+        let key = self.hot_keys(ctx).control_timeout;
+        ctx.metrics().incr_key(key);
         self.consecutive_timeouts += 1;
         match self.cfg.arch.control {
             ControlPlacement::EdgeWithFailover
@@ -266,7 +303,8 @@ impl DeviceProcess {
                 };
                 self.consecutive_timeouts = 0;
                 self.failovers += 1;
-                ctx.metrics().incr("device.failover");
+                let key = self.hot_keys(ctx).failover;
+                ctx.metrics().incr_key(key);
                 ctx.annotate(format!("failover to {}", self.current_edge()));
             }
             ControlPlacement::Edge
@@ -280,7 +318,8 @@ impl DeviceProcess {
                 };
                 self.consecutive_timeouts = 0;
                 self.failovers += 1;
-                ctx.metrics().incr("device.ml3_fallback");
+                let key = self.hot_keys(ctx).ml3_fallback;
+                ctx.metrics().incr_key(key);
             }
             _ => {}
         }
@@ -289,6 +328,7 @@ impl DeviceProcess {
 
 impl Process<Msg> for DeviceProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.hot_keys(ctx);
         // Stagger periodic activity so devices do not phase-lock.
         let sense_jitter = ctx
             .rng()
@@ -313,8 +353,8 @@ impl Process<Msg> for DeviceProcess {
                 self.window.latency_sum_ms += latency_ms;
                 self.window.latency_count += 1;
                 self.consecutive_timeouts = 0;
-                ctx.metrics()
-                    .observe("device.control.latency_ms", latency_ms);
+                let key = self.hot_keys(ctx).control_latency_ms;
+                ctx.metrics().observe_key(key, latency_ms);
             }
             Msg::App(AppMsg::Restart { component })
                 if component == self.cfg.component && self.state == ComponentState::Failed =>
@@ -337,7 +377,8 @@ impl Process<Msg> for DeviceProcess {
             }
             TAG_RESTART_DONE if self.state == ComponentState::Failed => {
                 self.state = ComponentState::Running;
-                ctx.metrics().incr("device.component.restarted");
+                let key = self.hot_keys(ctx).component_restarted;
+                ctx.metrics().incr_key(key);
             }
             t if t >= TAG_TIMEOUT_BASE => {
                 self.on_control_timeout(ctx, t - TAG_TIMEOUT_BASE);

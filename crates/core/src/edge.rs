@@ -14,12 +14,39 @@ use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{Election, ElectionOutput, Gossip, GossipConfig, MemberState, Swim, SwimOutput};
 use riot_data::{PolicyEngine, ReplicatedStore};
 use riot_model::{ComponentId, ComponentState, DomainId, DomainRegistry};
-use riot_sim::{Ctx, Process, ProcessId, SimTime};
+use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
 use std::collections::BTreeMap;
 
 const TAG_COORD: u64 = 1;
 const TAG_SYNC: u64 = 2;
 const TAG_MAPE: u64 = 3;
+
+/// Pre-interned keys for the edge's metric names (see `DeviceKeys` for the
+/// pattern): minted on the first callback, allocation-free thereafter.
+#[derive(Debug, Clone, Copy)]
+struct EdgeKeys {
+    swim_state_change: MetricKey,
+    election_leader_change: MetricKey,
+    ingest_denied: MetricKey,
+    restart_sent: MetricKey,
+    restarted: MetricKey,
+    sync_applied: MetricKey,
+    policy_updated: MetricKey,
+}
+
+impl EdgeKeys {
+    fn new(m: &mut Metrics) -> Self {
+        EdgeKeys {
+            swim_state_change: m.intern("edge.swim.state_change"),
+            election_leader_change: m.intern("edge.election.leader_change"),
+            ingest_denied: m.intern("edge.ingest.denied"),
+            restart_sent: m.intern("mape.restart_sent"),
+            restarted: m.intern("edge.restarted"),
+            sync_applied: m.intern("edge.sync.applied"),
+            policy_updated: m.intern("edge.policy.updated"),
+        }
+    }
+}
 
 /// Static configuration of one edge node.
 #[derive(Debug, Clone)]
@@ -48,6 +75,7 @@ const POLICY_GOSSIP_KEY: u64 = 1;
 /// The edge process.
 pub struct EdgeProcess {
     cfg: EdgeConfig,
+    keys: Option<EdgeKeys>,
     swim: Option<Swim>,
     election: Option<Election>,
     gossip: Option<Gossip<PolicyUpdate>>,
@@ -105,6 +133,7 @@ impl EdgeProcess {
         };
         EdgeProcess {
             cfg,
+            keys: None,
             swim,
             election,
             gossip,
@@ -187,12 +216,20 @@ impl EdgeProcess {
         self.mape.as_ref().map(|m| m.stats())
     }
 
+    /// The interned metric keys, minting them on first use.
+    fn hot_keys(&mut self, ctx: &mut Ctx<'_, Msg>) -> EdgeKeys {
+        *self
+            .keys
+            .get_or_insert_with(|| EdgeKeys::new(ctx.metrics()))
+    }
+
     fn dispatch_swim(&mut self, ctx: &mut Ctx<'_, Msg>, outputs: Vec<SwimOutput>) {
         for o in outputs {
             match o {
                 SwimOutput::Send { to, msg } => ctx.send(to, Msg::Swim(msg)),
                 SwimOutput::StateChange { node, to, .. } => {
-                    ctx.metrics().incr("edge.swim.state_change");
+                    let key = self.hot_keys(ctx).swim_state_change;
+                    ctx.metrics().incr_key(key);
                     if let Some(mape) = self.mape.as_mut() {
                         mape.observe_node(node, to == MemberState::Alive, ctx.now());
                     }
@@ -206,7 +243,8 @@ impl EdgeProcess {
             match o {
                 ElectionOutput::Send { to, msg } => ctx.send(to, Msg::Election(msg)),
                 ElectionOutput::LeaderChanged { leader, .. } => {
-                    ctx.metrics().incr("edge.election.leader_change");
+                    let key = self.hot_keys(ctx).election_leader_change;
+                    ctx.metrics().incr_key(key);
                     ctx.annotate(format!("scope {} leader: {:?}", self.cfg.scope, leader));
                 }
             }
@@ -252,7 +290,8 @@ impl EdgeProcess {
             .store
             .ingest(key.clone(), value, meta.clone(), &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
-            ctx.metrics().incr("edge.ingest.denied");
+            let key = self.hot_keys(ctx).ingest_denied;
+            ctx.metrics().incr_key(key);
         }
         if let Some(mape) = self.mape.as_mut() {
             mape.observe_component(component, state, device, now);
@@ -318,7 +357,8 @@ impl EdgeProcess {
                     continue;
                 }
                 self.restart_sent_at.insert(component, now);
-                ctx.metrics().incr("mape.restart_sent");
+                let key = self.hot_keys(ctx).restart_sent;
+                ctx.metrics().incr_key(key);
                 ctx.send(host, Msg::App(AppMsg::Restart { component }));
             }
         }
@@ -334,8 +374,10 @@ impl Process<Msg> for EdgeProcess {
             self.store.clear();
             self.last_seen.clear();
             self.restart_sent_at.clear();
-            ctx.metrics().incr("edge.restarted");
+            let key = self.hot_keys(ctx).restarted;
+            ctx.metrics().incr_key(key);
         }
+        self.hot_keys(ctx);
         self.started = true;
         if self.cfg.arch.decentralized_coordination {
             ctx.schedule(self.cfg.arch.coord_tick, TAG_COORD);
@@ -377,7 +419,8 @@ impl Process<Msg> for EdgeProcess {
             }
             Msg::Sync(m) => {
                 let changed = self.store.on_sync(m, &self.cfg.registry, ctx.now());
-                ctx.metrics().incr_by("edge.sync.applied", changed as u64);
+                let key = self.hot_keys(ctx).sync_applied;
+                ctx.metrics().incr_by_key(key, changed as u64);
             }
             Msg::Gossip(m) => {
                 if let Some(gossip) = self.gossip.as_mut() {
@@ -386,7 +429,8 @@ impl Process<Msg> for EdgeProcess {
                         // riot-lint: allow(P1, reason = "changed contains the key, so the merged table holds it")
                         let posture = *gossip.get(POLICY_GOSSIP_KEY).expect("just merged");
                         self.apply_posture(posture);
-                        ctx.metrics().incr("edge.policy.updated");
+                        let key = self.hot_keys(ctx).policy_updated;
+                        ctx.metrics().incr_key(key);
                     }
                 }
             }

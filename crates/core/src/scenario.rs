@@ -32,7 +32,10 @@ use riot_model::{
     RequirementSet, TrustLevel, Verdict,
 };
 use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
-use riot_sim::{HistogramSummary, ProcessId, RingTrace, Sim, SimBuilder, SimDuration, SimTime};
+use riot_sim::{
+    HistogramSummary, MetricKey, Metrics, ProcessId, RingTrace, Sim, SimBuilder, SimDuration,
+    SimTime,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -182,6 +185,74 @@ pub struct DeviceInfo {
     pub personal: bool,
 }
 
+/// Series keys used by every [`Scenario::sample`] tick, interned once at
+/// build time. The old code paid a `format!("sat.{name}")` /
+/// `format!("telemetry.{key}")` allocation per series per sample; the keys
+/// below make the sampling loop allocation-free for every known series.
+struct SampleKeys {
+    /// `sat.<goal>` for the goal-model root.
+    goal: MetricKey,
+    /// `sat.all`.
+    all: MetricKey,
+    /// `satfrac`.
+    satfrac: MetricKey,
+    /// `sat.<name>` per entry of `REQUIREMENT_NAMES`, in canonical order.
+    reqs: Vec<MetricKey>,
+    /// `telemetry.<name>` keys, sorted by telemetry name for binary search.
+    telemetry: Vec<(String, MetricKey)>,
+}
+
+/// Telemetry series every maturity level can emit; pre-interned so the
+/// per-sample lookup never allocates. An unknown name still works — it is
+/// interned on first sight and cached.
+const TELEMETRY_NAMES: [&str; 5] = [
+    "ctl.availability",
+    "ctl.latency_ms",
+    "coverage",
+    "freshness_s",
+    "privacy.violations",
+];
+
+impl SampleKeys {
+    fn new(metrics: &mut Metrics) -> Self {
+        let mut telemetry: Vec<(String, MetricKey)> = TELEMETRY_NAMES
+            .iter()
+            .map(|n| ((*n).to_owned(), metrics.intern(&format!("telemetry.{n}"))))
+            .collect();
+        telemetry.sort_by(|a, b| a.0.cmp(&b.0));
+        SampleKeys {
+            goal: metrics.intern(&format!("sat.{GOAL_NAME}")),
+            all: metrics.intern("sat.all"),
+            satfrac: metrics.intern("satfrac"),
+            reqs: REQUIREMENT_NAMES
+                .iter()
+                .map(|n| metrics.intern(&format!("sat.{n}")))
+                .collect(),
+            telemetry,
+        }
+    }
+
+    /// The series key for telemetry entry `name`, caching any name not
+    /// pre-registered in [`TELEMETRY_NAMES`].
+    fn telemetry_key(&mut self, metrics: &mut Metrics, name: &str) -> MetricKey {
+        match self
+            .telemetry
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self
+                .telemetry
+                .get(i)
+                .map(|(_, k)| *k)
+                .unwrap_or_else(|| metrics.intern(&format!("telemetry.{name}"))),
+            Err(i) => {
+                let key = metrics.intern(&format!("telemetry.{name}"));
+                self.telemetry.insert(i, (name.to_owned(), key));
+                key
+            }
+        }
+    }
+}
+
 /// A built, ready-to-run scenario.
 pub struct Scenario {
     spec: ScenarioSpec,
@@ -195,6 +266,8 @@ pub struct Scenario {
     monitor_idx: Option<usize>,
     /// Bus index of the forensic ring, when `spec.trace_tail` is set.
     ring_idx: Option<usize>,
+    /// Pre-interned series keys for the sampling loop.
+    sample_keys: SampleKeys,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -285,7 +358,10 @@ impl Scenario {
         let mut sim: Sim<Msg> = SimBuilder::new(spec.seed)
             .max_events(2_000_000_000)
             .tracing(spec.trace_events)
+            // Cloud + edges + devices, known before a single spawn.
+            .expect_processes(1 + spec.edges + spec.device_count())
             .build_with_medium(Box::new(net));
+        let sample_keys = SampleKeys::new(sim.metrics_mut());
 
         // -- Observability bus. Registration order is fixed and documented
         // (crate::observe): monitor bank, forensic ring, then user
@@ -399,6 +475,7 @@ impl Scenario {
             goals,
             monitor_idx,
             ring_idx,
+            sample_keys,
         }
     }
 
@@ -515,8 +592,8 @@ impl Scenario {
         let verdicts = self.requirements.evaluate_all(&telemetry);
         let goal_eval = self.goals.evaluate(&self.requirements, &telemetry);
         let metrics = self.sim.metrics_mut();
-        metrics.series_push(
-            &format!("sat.{GOAL_NAME}"),
+        metrics.series_push_key(
+            self.sample_keys.goal,
             now,
             if goal_eval.root == Verdict::Satisfied {
                 1.0
@@ -526,20 +603,21 @@ impl Scenario {
         );
         let mut all_sat = true;
         let mut sat_count = 0usize;
-        for ((_, verdict), name) in verdicts.iter().zip(REQUIREMENT_NAMES) {
+        for ((_, verdict), key) in verdicts.iter().zip(&self.sample_keys.reqs) {
             let sat = *verdict == Verdict::Satisfied;
             all_sat &= sat;
             sat_count += sat as usize;
-            metrics.series_push(&format!("sat.{name}"), now, if sat { 1.0 } else { 0.0 });
+            metrics.series_push_key(*key, now, if sat { 1.0 } else { 0.0 });
         }
-        metrics.series_push("sat.all", now, if all_sat { 1.0 } else { 0.0 });
-        metrics.series_push(
-            "satfrac",
+        metrics.series_push_key(self.sample_keys.all, now, if all_sat { 1.0 } else { 0.0 });
+        metrics.series_push_key(
+            self.sample_keys.satfrac,
             now,
             sat_count as f64 / verdicts.len().max(1) as f64,
         );
-        for (key, value) in &telemetry {
-            metrics.series_push(&format!("telemetry.{key}"), now, *value);
+        for (name, value) in &telemetry {
+            let key = self.sample_keys.telemetry_key(metrics, name);
+            metrics.series_push_key(key, now, *value);
         }
 
         // -- Publish the valuation onto the observability bus so online

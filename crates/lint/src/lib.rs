@@ -455,6 +455,11 @@ mod tests {
         assert!(observer.sim_visible && observer.ambient_time_forbidden && observer.panic_checked);
         let observe = classify("crates/core/src/observe.rs");
         assert!(observe.sim_visible && observe.panic_checked);
+        // The metric-key intern table sits under every recorded result: it
+        // must stay inside the determinism perimeter (no ambient hashing)
+        // and panic-checked like the rest of the kernel.
+        let intern = classify("crates/sim/src/intern.rs");
+        assert!(intern.sim_visible && intern.ambient_time_forbidden && intern.panic_checked);
     }
 
     #[test]

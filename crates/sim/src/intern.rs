@@ -1,0 +1,146 @@
+//! Deterministic metric-name interning: the zero-allocation fast path
+//! under [`Metrics`](crate::Metrics).
+//!
+//! Every message in a run pays a metrics update; with string-keyed maps
+//! that cost was a `String` allocation plus a tree walk *per event*. The
+//! interner maps each metric name to a dense [`MetricKey`] id exactly once,
+//! after which all reads and writes are direct `Vec` indexing.
+//!
+//! ## Determinism contract (DESIGN.md §9)
+//!
+//! * Ids are assigned in **registration order** — first `intern` wins the
+//!   next id. No ambient hashing is involved anywhere (riot-lint rule D1
+//!   applies to this module): the name→id index is a `Vec` kept sorted by
+//!   name and probed by binary search.
+//! * Registration order is *not* part of any observable output: iteration
+//!   for serialization always walks the sorted index, so two runs that
+//!   intern the same names in different orders still render byte-identical
+//!   metrics.
+//! * A [`MetricKey`] is only meaningful to the recorder that minted it
+//!   (or a clone of it). Keys are never serialized.
+
+use std::fmt;
+
+/// A dense id for one metric name, minted by [`crate::Metrics::intern`].
+/// `Copy`, cheap to store in process state, and valid for the lifetime of
+/// the recorder that minted it (clones included).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey(pub(crate) u32);
+
+impl MetricKey {
+    /// The dense slot index behind this key.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricKey({})", self.0)
+    }
+}
+
+/// Name ↔ id table: `names` is indexed by id (registration order),
+/// `by_name` holds the same ids sorted by the name they denote.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    by_name: Vec<u32>,
+}
+
+impl Interner {
+    /// Binary-searches the sorted index. `Ok(pos)` finds the id at
+    /// `by_name[pos]`; `Err(pos)` is the insertion point for a new name.
+    fn position(&self, name: &str) -> Result<usize, usize> {
+        self.by_name
+            .binary_search_by(|&id| self.name_of_id(id).cmp(name))
+    }
+
+    #[inline]
+    fn name_of_id(&self, id: u32) -> &str {
+        // riot-lint: allow(P1, reason = "by_name only holds ids minted by this interner, each of which indexes names")
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Returns the key for `name`, minting a fresh id on first sight.
+    pub fn intern(&mut self, name: &str) -> MetricKey {
+        match self.position(name) {
+            Ok(pos) => MetricKey(self.by_name.get(pos).copied().unwrap_or(0)),
+            Err(pos) => {
+                let id = self.names.len() as u32;
+                self.names.push(name.to_owned());
+                self.by_name.insert(pos, id);
+                MetricKey(id)
+            }
+        }
+    }
+
+    /// Returns the key for `name` if it was ever interned — no allocation.
+    pub fn get(&self, name: &str) -> Option<MetricKey> {
+        self.position(name)
+            .ok()
+            .and_then(|pos| self.by_name.get(pos).copied())
+            .map(MetricKey)
+    }
+
+    /// The name a key denotes (empty for foreign keys, which cannot occur
+    /// through the public API).
+    pub fn name(&self, key: MetricKey) -> &str {
+        self.name_of_id(key.0)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterates all slot indices in **name order** — the serialization
+    /// order, independent of registration order.
+    pub fn indices_by_name(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_name.iter().map(|&id| id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::default();
+        let b = i.intern("b");
+        let a = i.intern("a");
+        assert_eq!(i.intern("b"), b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(b.index(), 0, "ids follow registration order");
+        assert_eq!(a.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_mint() {
+        let mut i = Interner::default();
+        assert!(i.get("x").is_none());
+        let x = i.intern("x");
+        assert_eq!(i.get("x"), Some(x));
+        assert_eq!(i.name(x), "x");
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered_regardless_of_registration() {
+        let mut i = Interner::default();
+        for n in ["zeta", "alpha", "mid"] {
+            i.intern(n);
+        }
+        let names: Vec<&str> = i
+            .indices_by_name()
+            .map(|idx| i.name(MetricKey(idx as u32)))
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

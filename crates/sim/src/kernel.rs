@@ -5,6 +5,7 @@
 //! running handler can borrow the kernel mutably while it is itself borrowed
 //! out of the table.
 
+use crate::intern::MetricKey;
 use crate::medium::{Delivery, Medium};
 use crate::metrics::Metrics;
 use crate::observer::{AnyObserver, SimEvent, SimEventKind, SimObserver};
@@ -13,7 +14,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 pub(crate) enum EventKind<M> {
@@ -67,6 +68,48 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Lifecycle of one scheduled timer, tracked in a sliding window indexed by
+/// timer id (see [`Kernel::timer_states`]). Each id corresponds to exactly
+/// one queued event, so every slot is retired exactly once — at the instant
+/// its event pops — and the window's `Done` prefix is reclaimed eagerly.
+/// This replaces the old cancelled-timer tombstone set, whose entries leaked
+/// whenever a timer was cancelled *after* it had already fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerState {
+    /// Scheduled, event still in the queue.
+    Pending,
+    /// Cancelled before its event popped; the pop will be swallowed.
+    Cancelled,
+    /// Event popped (fired, discarded, or swallowed); awaiting prefix GC.
+    Done,
+}
+
+/// Pre-interned [`MetricKey`]s for the counters the kernel itself bumps on
+/// the hot path — one intern each at construction, zero allocations per
+/// event thereafter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KernelKeys {
+    pub msg_external: MetricKey,
+    pub msg_sent: MetricKey,
+    pub msg_dropped: MetricKey,
+    pub msg_delivered: MetricKey,
+    pub proc_down: MetricKey,
+    pub proc_up: MetricKey,
+}
+
+impl KernelKeys {
+    fn new(metrics: &mut Metrics) -> Self {
+        KernelKeys {
+            msg_external: metrics.intern("sim.msg.external"),
+            msg_sent: metrics.intern("sim.msg.sent"),
+            msg_dropped: metrics.intern("sim.msg.dropped"),
+            msg_delivered: metrics.intern("sim.msg.delivered"),
+            proc_down: metrics.intern("sim.proc.down"),
+            proc_up: metrics.intern("sim.proc.up"),
+        }
+    }
+}
+
 /// The mutable heart of a run; exposed to processes through
 /// [`Ctx`](crate::Ctx) and to the engine through crate-private methods.
 pub struct Kernel<M> {
@@ -87,8 +130,17 @@ pub struct Kernel<M> {
     pub(crate) live: Vec<bool>,
     /// Restart epoch per process; timers from a previous life are discarded.
     pub(crate) epoch: Vec<u64>,
-    pub(crate) cancelled_timers: BTreeSet<u64>,
-    pub(crate) next_timer: u64,
+    /// Sliding window of timer lifecycles: slot `i` tracks the timer with id
+    /// `timer_base + i`. Ids below `timer_base` are retired and reclaimed.
+    pub(crate) timer_states: VecDeque<TimerState>,
+    /// Id of the oldest timer still tracked in `timer_states`.
+    pub(crate) timer_base: u64,
+    /// Number of `Cancelled` slots currently in the window. The drain
+    /// invariant — an empty event queue implies zero pending cancellations —
+    /// is asserted at the end of every completed run.
+    pub(crate) pending_cancels: usize,
+    /// Pre-interned keys for the kernel's own hot-path counters.
+    pub(crate) keys: KernelKeys,
     pub(crate) halted: bool,
     pub(crate) trace_payloads: bool,
 }
@@ -99,22 +151,30 @@ impl<M: fmt::Debug> Kernel<M> {
         rng: SimRng,
         trace: Trace,
         trace_payloads: bool,
+        expected_processes: usize,
     ) -> Self {
         let observing = trace.is_enabled();
+        let mut metrics = Metrics::new();
+        let keys = KernelKeys::new(&mut metrics);
         Kernel {
             clock: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            // A steady-state process keeps a handful of events in flight;
+            // sizing the heap off the expected population avoids the doubling
+            // cascade during the start-up burst.
+            queue: BinaryHeap::with_capacity((expected_processes * 4).max(16)),
             medium,
             rng,
-            metrics: Metrics::new(),
+            metrics,
             trace,
             observers: Vec::new(),
             observing,
-            live: Vec::new(),
-            epoch: Vec::new(),
-            cancelled_timers: BTreeSet::new(),
-            next_timer: 0,
+            live: Vec::with_capacity(expected_processes),
+            epoch: Vec::with_capacity(expected_processes),
+            timer_states: VecDeque::with_capacity((expected_processes * 2).max(16)),
+            timer_base: 0,
+            pending_cancels: 0,
+            keys,
             halted: false,
             trace_payloads,
         }
@@ -168,11 +228,11 @@ impl<M: fmt::Debug> Kernel<M> {
     pub(crate) fn submit_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
         if to.0 == usize::MAX {
             // A reply to an external sender: swallowed by the outside world.
-            self.metrics.incr("sim.msg.external");
+            self.metrics.incr_key(self.keys.msg_external);
             return;
         }
         assert!(to.0 < self.live.len(), "send to unknown process {to}");
-        self.metrics.incr("sim.msg.sent");
+        self.metrics.incr_key(self.keys.msg_sent);
         self.emit(SimEventKind::Sent { from, to }, Some(&msg));
         match self.medium.route(self.clock, from, to, &msg, &mut self.rng) {
             Delivery::After(latency) => {
@@ -180,7 +240,7 @@ impl<M: fmt::Debug> Kernel<M> {
                 self.push(at, EventKind::Deliver { from, to, msg });
             }
             Delivery::Drop(reason) => {
-                self.metrics.incr("sim.msg.dropped");
+                self.metrics.incr_key(self.keys.msg_dropped);
                 self.emit(SimEventKind::Dropped { from, to, reason }, Some(&msg));
             }
         }
@@ -192,8 +252,8 @@ impl<M: fmt::Debug> Kernel<M> {
         delay: SimDuration,
         tag: u64,
     ) -> TimerId {
-        let timer = TimerId(self.next_timer);
-        self.next_timer += 1;
+        let timer = TimerId(self.timer_base + self.timer_states.len() as u64);
+        self.timer_states.push_back(TimerState::Pending);
         // riot-lint: allow(P1, reason = "owner was spawned by this kernel; epoch is grown in lockstep with the process table")
         let epoch = self.epoch[owner.0];
         let at = self.clock + delay;
@@ -209,8 +269,51 @@ impl<M: fmt::Debug> Kernel<M> {
         timer
     }
 
+    /// Marks a timer cancelled. Only a `Pending` timer flips state: cancelling
+    /// one that already fired (or was already cancelled) is a no-op, exactly
+    /// matching the old tombstone semantics — minus the tombstone leak.
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id.0);
+        let Some(idx) = id.0.checked_sub(self.timer_base) else {
+            return; // already retired and reclaimed
+        };
+        if let Some(state) = self.timer_states.get_mut(idx as usize) {
+            if *state == TimerState::Pending {
+                *state = TimerState::Cancelled;
+                self.pending_cancels += 1;
+            }
+        }
+    }
+
+    /// Retires a timer's window slot when its queue event pops — every id
+    /// pops exactly once, so this is the single point where slots complete.
+    /// Returns `true` if the timer had been cancelled (the caller swallows
+    /// the event). The window's `Done` prefix is reclaimed on the spot,
+    /// keeping memory bounded by the span of in-flight timers.
+    pub(crate) fn retire_timer(&mut self, id: TimerId) -> bool {
+        let Some(idx) = id.0.checked_sub(self.timer_base) else {
+            debug_assert!(false, "timer {id:?} retired twice");
+            return true;
+        };
+        let cancelled = match self.timer_states.get_mut(idx as usize) {
+            Some(state) => {
+                let was = *state;
+                debug_assert!(was != TimerState::Done, "timer {id:?} retired twice");
+                *state = TimerState::Done;
+                if was == TimerState::Cancelled {
+                    self.pending_cancels -= 1;
+                }
+                was == TimerState::Cancelled
+            }
+            None => {
+                debug_assert!(false, "timer {id:?} was never scheduled");
+                true
+            }
+        };
+        while self.timer_states.front() == Some(&TimerState::Done) {
+            self.timer_states.pop_front();
+            self.timer_base += 1;
+        }
+        cancelled
     }
 
     /// Queues a down transition for `id`, effective at the current instant

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod embed;
+mod intern;
 pub mod json;
 mod kernel;
 mod medium;
@@ -68,6 +69,7 @@ mod time;
 mod trace;
 
 pub use embed::Embed;
+pub use intern::MetricKey;
 pub use json::{Json, ToJson};
 pub use medium::{Delivery, IdealMedium, LossyMedium, Medium};
 pub use metrics::{Histogram, HistogramSummary, Metrics};

@@ -2,11 +2,15 @@
 //!
 //! Every experiment in the reproduction is expressed in terms of metrics
 //! recorded here — e.g. requirement-satisfaction time series, message counts,
-//! recovery-time histograms. The recorder is deliberately simple (BTree maps
-//! keyed by metric name) so that output is deterministic and diffable.
+//! recovery-time histograms. Storage is id-indexed `Vec`s behind a
+//! deterministic intern table ([`MetricKey`], see [`crate::intern`]): the
+//! string API stays as a thin compat layer, while hot paths pre-intern
+//! their keys once and update counters with zero heap allocations.
+//! Iteration for serialization always walks names in sorted order, so
+//! output stays deterministic and diffable no matter the interning order.
 
+use crate::intern::{Interner, MetricKey};
 use crate::time::SimTime;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A histogram that retains all recorded samples.
@@ -173,6 +177,13 @@ impl fmt::Display for HistogramSummary {
 /// Metric names are dotted paths by convention (`"net.dropped"`,
 /// `"req.latency.sat"`); the recorder itself treats them as opaque keys.
 ///
+/// Hot call sites should [`intern`](Metrics::intern) their names once and
+/// use the `*_key` variants: a counter increment through a pre-interned
+/// [`MetricKey`] is a bounds-checked `Vec` write — no allocation, no tree
+/// walk. The string API remains fully supported (it now costs one binary
+/// search on the hit path instead of an allocation) so existing call sites
+/// keep working unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -185,23 +196,53 @@ impl fmt::Display for HistogramSummary {
 /// m.observe("rtt_ms", 12.5);
 /// m.series_push("load", SimTime::from_secs(1), 0.7);
 ///
-/// assert_eq!(m.counter("net.sent"), 3);
+/// // The interned fast path lands in the same slots as the string API.
+/// let sent = m.intern("net.sent");
+/// m.incr_key(sent);
+///
+/// assert_eq!(m.counter("net.sent"), 4);
+/// assert_eq!(m.counter_key(sent), 4);
 /// assert_eq!(m.gauge("cluster.size"), Some(5.0));
 /// assert_eq!(m.histogram("rtt_ms").unwrap().count(), 1);
 /// assert_eq!(m.series("load").unwrap().len(), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+    interner: Interner,
+    /// All four stores are id-indexed and kept in lockstep with the
+    /// interner: `None` means "interned but never written" — such metrics
+    /// are invisible to reads and iteration, exactly like names that were
+    /// never mentioned at all.
+    counters: Vec<Option<u64>>,
+    gauges: Vec<Option<f64>>,
+    histograms: Vec<Option<Histogram>>,
+    series: Vec<Option<Vec<(SimTime, f64)>>>,
 }
 
 impl Metrics {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Interns `name`, minting a dense [`MetricKey`] on first sight.
+    /// Idempotent; interning alone does not create a visible metric. The
+    /// key is valid for this recorder and its clones only — using a key
+    /// minted by a different recorder is a no-op (debug builds assert).
+    pub fn intern(&mut self, name: &str) -> MetricKey {
+        let key = self.interner.intern(name);
+        while self.counters.len() < self.interner.len() {
+            self.counters.push(None);
+            self.gauges.push(None);
+            self.histograms.push(None);
+            self.series.push(None);
+        }
+        key
+    }
+
+    /// Returns the key for an already-interned name without minting.
+    pub fn lookup(&self, name: &str) -> Option<MetricKey> {
+        self.interner.get(name)
     }
 
     /// Increments a counter by one.
@@ -211,45 +252,100 @@ impl Metrics {
 
     /// Increments a counter by `delta`.
     pub fn incr_by(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        let key = self.intern(name);
+        self.incr_by_key(key, delta);
+    }
+
+    /// Increments a counter by one through a pre-interned key —
+    /// the zero-allocation hot path.
+    #[inline]
+    pub fn incr_key(&mut self, key: MetricKey) {
+        self.incr_by_key(key, 1);
+    }
+
+    /// Increments a counter by `delta` through a pre-interned key.
+    #[inline]
+    pub fn incr_by_key(&mut self, key: MetricKey, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(key.index()) {
+            *slot = Some(slot.unwrap_or(0) + delta);
+        } else {
+            debug_assert!(false, "MetricKey minted by a different recorder");
+        }
     }
 
     /// Reads a counter; missing counters read as zero.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.lookup(name).map_or(0, |key| self.counter_key(key))
+    }
+
+    /// Reads a counter through a pre-interned key.
+    #[inline]
+    pub fn counter_key(&self, key: MetricKey) -> u64 {
+        self.counters
+            .get(key.index())
+            .copied()
+            .flatten()
+            .unwrap_or(0)
     }
 
     /// Sets a gauge to an absolute value.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_owned(), value);
+        let key = self.intern(name);
+        self.gauge_set_key(key, value);
+    }
+
+    /// Sets a gauge through a pre-interned key.
+    #[inline]
+    pub fn gauge_set_key(&mut self, key: MetricKey, value: f64) {
+        if let Some(slot) = self.gauges.get_mut(key.index()) {
+            *slot = Some(value);
+        } else {
+            debug_assert!(false, "MetricKey minted by a different recorder");
+        }
     }
 
     /// Adds `delta` to a gauge (missing gauges start at zero).
     pub fn gauge_add(&mut self, name: &str, delta: f64) {
-        *self.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
+        let key = self.intern(name);
+        if let Some(slot) = self.gauges.get_mut(key.index()) {
+            *slot = Some(slot.unwrap_or(0.0) + delta);
+        }
     }
 
     /// Reads a gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.lookup(name)
+            .and_then(|key| self.gauges.get(key.index()).copied().flatten())
     }
 
     /// Records one histogram sample.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(value);
+        let key = self.intern(name);
+        self.observe_key(key, value);
+    }
+
+    /// Records one histogram sample through a pre-interned key. Allocation
+    /// only happens when the histogram grows, never for the key.
+    #[inline]
+    pub fn observe_key(&mut self, key: MetricKey, value: f64) {
+        if let Some(slot) = self.histograms.get_mut(key.index()) {
+            slot.get_or_insert_with(Histogram::new).record(value);
+        } else {
+            debug_assert!(false, "MetricKey minted by a different recorder");
+        }
     }
 
     /// Borrows a histogram, if any sample was recorded under `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.lookup(name)
+            .and_then(|key| self.histograms.get(key.index()))
+            .and_then(Option::as_ref)
     }
 
     /// Summarizes a histogram (count, mean, quantiles), if present.
     pub fn summarize(&mut self, name: &str) -> Option<HistogramSummary> {
-        let h = self.histograms.get_mut(name)?;
+        let key = self.lookup(name)?;
+        let h = self.histograms.get_mut(key.index())?.as_mut()?;
         Some(HistogramSummary {
             count: h.count(),
             mean: h.mean(),
@@ -263,57 +359,88 @@ impl Metrics {
 
     /// Appends a `(time, value)` point to a named time series.
     pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .push((at, value));
+        let key = self.intern(name);
+        self.series_push_key(key, at, value);
+    }
+
+    /// Appends a series point through a pre-interned key.
+    #[inline]
+    pub fn series_push_key(&mut self, key: MetricKey, at: SimTime, value: f64) {
+        if let Some(slot) = self.series.get_mut(key.index()) {
+            slot.get_or_insert_with(Vec::new).push((at, value));
+        } else {
+            debug_assert!(false, "MetricKey minted by a different recorder");
+        }
     }
 
     /// Borrows a time series.
     pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
-        self.series.get(name).map(Vec::as_slice)
+        self.lookup(name)
+            .and_then(|key| self.series.get(key.index()))
+            .and_then(Option::as_ref)
+            .map(Vec::as_slice)
     }
 
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.interner.indices_by_name().filter_map(|idx| {
+            let v = (*self.counters.get(idx)?)?;
+            Some((self.interner.name(MetricKey(idx as u32)), v))
+        })
     }
 
     /// Iterates over all gauges in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+        self.interner.indices_by_name().filter_map(|idx| {
+            let v = (*self.gauges.get(idx)?)?;
+            Some((self.interner.name(MetricKey(idx as u32)), v))
+        })
     }
 
     /// Iterates over all time-series names in name order.
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.interner.indices_by_name().filter_map(|idx| {
+            self.series.get(idx)?.as_ref()?;
+            Some(self.interner.name(MetricKey(idx as u32)))
+        })
     }
 
     /// Iterates over all histogram names in name order.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
-        self.histograms.keys().map(String::as_str)
+        self.interner.indices_by_name().filter_map(|idx| {
+            self.histograms.get(idx)?.as_ref()?;
+            Some(self.interner.name(MetricKey(idx as u32)))
+        })
     }
 
     /// Merges another recorder into this one: counters add, gauges take the
-    /// other's value, histograms and series concatenate.
+    /// other's value, histograms and series concatenate. The other
+    /// recorder's keys are re-interned here, so the two recorders need not
+    /// share an interning order.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (name, v) in other.counters() {
+            let key = self.intern(name);
+            self.incr_by_key(key, v);
         }
-        for (k, v) in &other.gauges {
-            self.gauges.insert(k.clone(), *v);
+        for (name, v) in other.gauges() {
+            let key = self.intern(name);
+            self.gauge_set_key(key, v);
         }
-        for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(k.clone()).or_default();
-            for s in h.samples() {
-                dst.record(*s);
+        for name in other.histogram_names() {
+            if let Some(h) = other.histogram(name) {
+                let key = self.intern(name);
+                for s in h.samples() {
+                    self.observe_key(key, *s);
+                }
             }
         }
-        for (k, pts) in &other.series {
-            self.series
-                .entry(k.clone())
-                .or_default()
-                .extend_from_slice(pts);
+        for name in other.series_names() {
+            if let Some(pts) = other.series(name) {
+                let key = self.intern(name);
+                if let Some(slot) = self.series.get_mut(key.index()) {
+                    slot.get_or_insert_with(Vec::new).extend_from_slice(pts);
+                }
+            }
         }
     }
 
@@ -337,7 +464,8 @@ impl Metrics {
     }
 
     fn integrate(&self, name: &str, from: SimTime, to: SimTime, clamp: bool) -> Option<f64> {
-        let pts = self.series.get(name)?;
+        let key = self.interner.get(name)?;
+        let pts = self.series.get(key.index())?.as_ref()?;
         if pts.is_empty() || to <= from {
             return None;
         }
@@ -437,6 +565,69 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert!(m.summarize("missing").is_none());
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn string_and_key_apis_share_one_slot() {
+        // Compat contract: pre-interned keys and the string API land in the
+        // same counter/gauge/histogram/series, in either order.
+        let mut m = Metrics::new();
+        let c = m.intern("c");
+        m.incr("c");
+        m.incr_key(c);
+        m.incr_by_key(c, 3);
+        assert_eq!(m.counter("c"), 5);
+        assert_eq!(m.counter_key(c), 5);
+
+        let h = m.intern("h");
+        m.observe("h", 1.0);
+        m.observe_key(h, 2.0);
+        assert_eq!(m.histogram("h").map(Histogram::count), Some(2));
+
+        let g = m.intern("g");
+        m.gauge_set_key(g, 4.0);
+        m.gauge_add("g", 1.0);
+        assert_eq!(m.gauge("g"), Some(5.0));
+
+        let s = m.intern("s");
+        m.series_push("s", SimTime::ZERO, 0.0);
+        m.series_push_key(s, SimTime::from_secs(1), 1.0);
+        assert_eq!(m.series("s").map(<[_]>::len), Some(2));
+    }
+
+    #[test]
+    fn interning_alone_creates_no_visible_metric() {
+        // A registered-but-never-written name must stay invisible, so that
+        // eager pre-interning at startup cannot change serialized output.
+        let mut m = Metrics::new();
+        m.intern("ghost");
+        m.incr("real");
+        assert_eq!(m.counters().map(|(n, _)| n).collect::<Vec<_>>(), ["real"]);
+        assert_eq!(m.gauges().count(), 0);
+        assert_eq!(m.series_names().count(), 0);
+        assert_eq!(m.histogram_names().count(), 0);
+        assert_eq!(m.counter("ghost"), 0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered_regardless_of_interning_order() {
+        let mut m = Metrics::new();
+        for name in ["zz", "aa", "mm"] {
+            m.incr(name);
+        }
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn clones_keep_keys_valid() {
+        let mut m = Metrics::new();
+        let k = m.intern("x");
+        m.incr_key(k);
+        let mut c = m.clone();
+        c.incr_key(k);
+        assert_eq!(m.counter("x"), 1);
+        assert_eq!(c.counter("x"), 2);
     }
 
     #[test]

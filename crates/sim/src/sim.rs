@@ -51,6 +51,7 @@ pub struct SimBuilder {
     tracing: bool,
     trace_payloads: bool,
     max_events: u64,
+    expected_processes: usize,
     observers: Vec<Box<dyn AnyObserver>>,
 }
 
@@ -61,6 +62,7 @@ impl fmt::Debug for SimBuilder {
             .field("tracing", &self.tracing)
             .field("trace_payloads", &self.trace_payloads)
             .field("max_events", &self.max_events)
+            .field("expected_processes", &self.expected_processes)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -74,8 +76,18 @@ impl SimBuilder {
             tracing: false,
             trace_payloads: false,
             max_events: u64::MAX,
+            expected_processes: 0,
             observers: Vec::new(),
         }
+    }
+
+    /// Declares how many processes the world will hold, so the event heap
+    /// and per-process tables are sized once up front instead of doubling
+    /// through the start-up burst. Purely a capacity hint: it does not limit
+    /// anything, and has no observable effect on results.
+    pub fn expect_processes(mut self, n: usize) -> Self {
+        self.expected_processes = n;
+        self
     }
 
     /// Enables structured tracing (see [`crate::Trace`]).
@@ -117,13 +129,19 @@ impl SimBuilder {
     pub fn build_with_medium<M: fmt::Debug>(self, medium: Box<dyn Medium<M>>) -> Sim<M> {
         let rng = SimRng::seed_from(self.seed);
         let trace = Trace::new(self.tracing);
-        let mut kernel = Kernel::new(medium, rng, trace, self.trace_payloads);
+        let mut kernel = Kernel::new(
+            medium,
+            rng,
+            trace,
+            self.trace_payloads,
+            self.expected_processes,
+        );
         for observer in self.observers {
             kernel.add_observer(observer);
         }
         Sim {
             kernel,
-            procs: Vec::new(),
+            procs: Vec::with_capacity(self.expected_processes),
             injections: Vec::new(),
             events_processed: 0,
             max_events: self.max_events,
@@ -351,7 +369,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.kernel.live[id.0] = false;
         self.kernel.epoch[id.0] += 1;
         self.kernel.emit(SimEventKind::ProcessDown { id }, None);
-        self.kernel.metrics.incr("sim.proc.down");
+        let key = self.kernel.keys.proc_down;
+        self.kernel.metrics.incr_key(key);
         if let Some(p) = self.procs[id.0].as_mut() {
             p.on_down();
         }
@@ -365,7 +384,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.kernel.live[id.0] = true;
         self.kernel.epoch[id.0] += 1;
         self.kernel.emit(SimEventKind::ProcessUp { id }, None);
-        self.kernel.metrics.incr("sim.proc.up");
+        let key = self.kernel.keys.proc_up;
+        self.kernel.metrics.incr_key(key);
         self.with_proc(id, |p, ctx| p.on_start(ctx));
     }
 
@@ -401,7 +421,23 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         while !self.kernel.halted && !self.kernel.queue.is_empty() {
             self.step_one();
         }
+        // Drain invariant: once every queued event has popped, every timer
+        // slot has been retired and reclaimed — nothing leaks across a run.
+        debug_assert!(
+            !self.kernel.queue.is_empty()
+                || (self.kernel.pending_cancels == 0 && self.kernel.timer_states.is_empty()),
+            "drained queue left {} timer slots ({} cancelled) unreclaimed",
+            self.kernel.timer_states.len(),
+            self.kernel.pending_cancels,
+        );
         self.events_processed - before
+    }
+
+    /// Number of cancelled timers whose events have not yet popped — the
+    /// transient memory the cancellation machinery is holding. Exposed for
+    /// tests and diagnostics; a drained queue always reports zero.
+    pub fn pending_timer_cancellations(&self) -> usize {
+        self.kernel.pending_cancels
     }
 
     /// Processes exactly one event if any is queued; returns `false` when
@@ -441,7 +477,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
                 if !self.kernel.is_up(to) {
-                    self.kernel.metrics.incr("sim.msg.dropped");
+                    let key = self.kernel.keys.msg_dropped;
+                    self.kernel.metrics.incr_key(key);
                     self.kernel.emit(
                         SimEventKind::Dropped {
                             from,
@@ -452,7 +489,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                     );
                     return;
                 }
-                self.kernel.metrics.incr("sim.msg.delivered");
+                let key = self.kernel.keys.msg_delivered;
+                self.kernel.metrics.incr_key(key);
                 self.kernel
                     .emit(SimEventKind::Delivered { from, to }, Some(&msg));
                 self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
@@ -471,7 +509,9 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                     f(self);
                     return;
                 }
-                if self.kernel.cancelled_timers.remove(&timer.0) {
+                // Each timer id pops exactly once: retire its lifecycle slot
+                // now, whether it fires, was cancelled, or is stale.
+                if self.kernel.retire_timer(timer) {
                     return;
                 }
                 if !self.kernel.is_up(owner) || self.kernel.epoch[owner.0] != epoch {
@@ -612,6 +652,95 @@ mod tests {
             p.fired,
             vec![(1, SimTime::from_millis(10)), (3, SimTime::from_millis(30))]
         );
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop_and_leaks_nothing() {
+        // The old tombstone set leaked an entry forever when a timer was
+        // cancelled after it had already fired; the lifecycle window retires
+        // the slot at pop, so a late cancel finds nothing to flip.
+        struct LateCancel {
+            token: Option<crate::process::TimerId>,
+            fired: u32,
+        }
+        impl Process<Msg> for LateCancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.token = Some(ctx.schedule(SimDuration::from_millis(1), 0));
+                ctx.schedule(SimDuration::from_millis(5), 1);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                self.fired += 1;
+                if tag == 1 {
+                    // Timer 0 fired 4ms ago; cancelling it now must change
+                    // nothing and must not leave state behind.
+                    if let Some(t) = self.token.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        let a = sim.add_process(LateCancel {
+            token: None,
+            fired: 0,
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.process::<LateCancel>(a).unwrap().fired, 2);
+        assert_eq!(sim.pending_timer_cancellations(), 0);
+    }
+
+    #[test]
+    fn cancellation_window_drains_with_the_queue() {
+        // Schedule/cancel churn: every round cancels one of two timers. At
+        // completion the sliding window must be fully reclaimed (the
+        // run_to_completion debug_assert checks the internal window; the
+        // public counter must read zero).
+        struct Churner {
+            rounds: u32,
+        }
+        impl Process<Msg> for Churner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.schedule(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                if self.rounds == 0 {
+                    return;
+                }
+                self.rounds -= 1;
+                ctx.schedule(SimDuration::from_millis(1), 0);
+                let doomed = ctx.schedule(SimDuration::from_millis(2), 1);
+                ctx.cancel_timer(doomed);
+            }
+        }
+        let mut sim: Sim<Msg> = SimBuilder::new(1).build();
+        sim.add_process(Churner { rounds: 500 });
+        sim.run_until(SimTime::from_millis(250));
+        assert!(
+            sim.pending_timer_cancellations() > 0,
+            "mid-run churn keeps cancellations in flight"
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.pending_timer_cancellations(), 0);
+    }
+
+    #[test]
+    fn expect_processes_changes_nothing_observable() {
+        let run = |hint: usize| {
+            let mut sim: Sim<Msg> = SimBuilder::new(42).expect_processes(hint).build();
+            let a = sim.add_process(TimerProc {
+                fired: Vec::new(),
+                cancel_second: true,
+            });
+            sim.send_external(a, Msg::Ping(1));
+            sim.run_to_completion();
+            (
+                sim.process::<TimerProc>(a).unwrap().fired.clone(),
+                sim.metrics().counter("sim.msg.delivered"),
+            )
+        };
+        assert_eq!(run(0), run(64), "capacity hints are invisible to results");
     }
 
     #[test]

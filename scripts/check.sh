@@ -37,6 +37,9 @@ if [[ "$quick" == "0" ]]; then
   cargo run --quiet -p riot-bench --bin riot -- \
     --level ml1 --edges 2 --devices 2 --duration 20 --warmup 5 \
     --seeds 2 --threads 2 > /dev/null
+
+  echo "==> perf smoke (kernel hot-path suite: schema + positive throughput)"
+  cargo run --quiet -p riot-bench --bin perf -- --smoke > /dev/null
 fi
 
 echo "OK: fmt, clippy, riot-lint$([[ "$quick" == "0" ]] && echo ", tests") all clean"
