@@ -28,8 +28,8 @@ use crate::resilience::{
 use riot_data::Sensitivity;
 use riot_formal::OnlineMonitor;
 use riot_model::{
-    Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, Jurisdiction, MaturityLevel,
-    RequirementSet, TrustLevel, Verdict,
+    Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, GoalModel, Jurisdiction,
+    MaturityLevel, Requirement, RequirementSet, Telemetry, TrustLevel, Verdict,
 };
 use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
 use riot_sim::{
@@ -188,7 +188,10 @@ pub struct DeviceInfo {
 /// Series keys used by every [`Scenario::sample`] tick, interned once at
 /// build time. The old code paid a `format!("sat.{name}")` /
 /// `format!("telemetry.{key}")` allocation per series per sample; the keys
-/// below make the sampling loop allocation-free for every known series.
+/// below make the sampling loop allocation-free for every series. One
+/// named field per telemetry series of [`SampleTelemetry`] — the old
+/// string-keyed cache (and its miss path) is gone entirely, which is what
+/// lets riot-lint's A1 rule prove `Scenario::sample` allocation-free.
 struct SampleKeys {
     /// `sat.<goal>` for the goal-model root.
     goal: MetricKey,
@@ -198,28 +201,20 @@ struct SampleKeys {
     satfrac: MetricKey,
     /// `sat.<name>` per entry of `REQUIREMENT_NAMES`, in canonical order.
     reqs: Vec<MetricKey>,
-    /// `telemetry.<name>` keys, sorted by telemetry name for binary search.
-    telemetry: Vec<(String, MetricKey)>,
+    /// `telemetry.ctl.availability`.
+    availability: MetricKey,
+    /// `telemetry.ctl.latency_ms`.
+    latency_ms: MetricKey,
+    /// `telemetry.coverage`.
+    coverage: MetricKey,
+    /// `telemetry.freshness_s`.
+    freshness_s: MetricKey,
+    /// `telemetry.privacy.violations`.
+    privacy: MetricKey,
 }
-
-/// Telemetry series every maturity level can emit; pre-interned so the
-/// per-sample lookup never allocates. An unknown name still works — it is
-/// interned on first sight and cached.
-const TELEMETRY_NAMES: [&str; 5] = [
-    "ctl.availability",
-    "ctl.latency_ms",
-    "coverage",
-    "freshness_s",
-    "privacy.violations",
-];
 
 impl SampleKeys {
     fn new(metrics: &mut Metrics) -> Self {
-        let mut telemetry: Vec<(String, MetricKey)> = TELEMETRY_NAMES
-            .iter()
-            .map(|n| ((*n).to_owned(), metrics.intern(&format!("telemetry.{n}"))))
-            .collect();
-        telemetry.sort_by(|a, b| a.0.cmp(&b.0));
         SampleKeys {
             goal: metrics.intern(&format!("sat.{GOAL_NAME}")),
             all: metrics.intern("sat.all"),
@@ -228,27 +223,41 @@ impl SampleKeys {
                 .iter()
                 .map(|n| metrics.intern(&format!("sat.{n}")))
                 .collect(),
-            telemetry,
+            availability: metrics.intern("telemetry.ctl.availability"),
+            latency_ms: metrics.intern("telemetry.ctl.latency_ms"),
+            coverage: metrics.intern("telemetry.coverage"),
+            freshness_s: metrics.intern("telemetry.freshness_s"),
+            privacy: metrics.intern("telemetry.privacy.violations"),
         }
     }
+}
 
-    /// The series key for telemetry entry `name`, caching any name not
-    /// pre-registered in [`TELEMETRY_NAMES`].
-    fn telemetry_key(&mut self, metrics: &mut Metrics, name: &str) -> MetricKey {
-        match self
-            .telemetry
-            .binary_search_by(|(n, _)| n.as_str().cmp(name))
-        {
-            Ok(i) => self
-                .telemetry
-                .get(i)
-                .map(|(_, k)| *k)
-                .unwrap_or_else(|| metrics.intern(&format!("telemetry.{name}"))),
-            Err(i) => {
-                let key = metrics.intern(&format!("telemetry.{name}"));
-                self.telemetry.insert(i, (name.to_owned(), key));
-                key
-            }
+/// One sample tick's telemetry valuation: a fixed field per series instead
+/// of the `BTreeMap<String, f64>` the sampler used to build (two
+/// allocations per entry per tick). Requirements and the goal model read
+/// it through the [`Telemetry`] trait by metric name.
+struct SampleTelemetry {
+    /// `ctl.availability`, when any control round completed this window.
+    availability: Option<f64>,
+    /// `ctl.latency_ms`, when any control round completed this window.
+    latency_ms: Option<f64>,
+    /// `coverage` — fraction of devices up, serving and reporting.
+    coverage: f64,
+    /// `freshness_s`, when any operational key has a consuming store.
+    freshness_s: Option<f64>,
+    /// `privacy.violations` across all stores.
+    privacy_violations: f64,
+}
+
+impl Telemetry for SampleTelemetry {
+    fn value(&self, metric: &str) -> Option<f64> {
+        match metric {
+            "ctl.availability" => self.availability,
+            "ctl.latency_ms" => self.latency_ms,
+            "coverage" => Some(self.coverage),
+            "freshness_s" => self.freshness_s,
+            "privacy.violations" => Some(self.privacy_violations),
+            _ => None,
         }
     }
 }
@@ -256,6 +265,9 @@ impl SampleKeys {
 /// A built, ready-to-run scenario.
 pub struct Scenario {
     spec: ScenarioSpec,
+    /// The effective architecture, resolved once at build time so the
+    /// sampling loop never re-derives (and re-clones) it per tick.
+    arch: ArchitectureConfig,
     sim: Sim<Msg>,
     hierarchy: Hierarchy,
     devices: Vec<DeviceInfo>,
@@ -467,6 +479,7 @@ impl Scenario {
         let goals = standard_goal_model();
         Scenario {
             spec,
+            arch,
             sim,
             hierarchy,
             devices,
@@ -502,34 +515,49 @@ impl Scenario {
         self.finish()
     }
 
-    fn consumer_staleness(&mut self, info: &DeviceInfo, now: SimTime) -> f64 {
-        let spec = &self.spec;
-        match (spec.level, spec.architecture().replication) {
-            (_, ReplicationMode::None) => NEVER_SEEN_STALENESS_S,
-            (_, ReplicationMode::CloudOnly) | (_, ReplicationMode::EdgeToCloud) => self
-                .sim
-                .process::<CloudProcess>(self.hierarchy.cloud)
+    /// Staleness of `info`'s key at its consuming store. An associated
+    /// function over disjoint borrows on purpose: the sampling loop holds
+    /// `&self.devices` while probing `self.sim`, so a `&mut self` method
+    /// would force the per-tick clone of the device index this replaced.
+    fn consumer_staleness(
+        sim: &Sim<Msg>,
+        hierarchy: &Hierarchy,
+        replication: ReplicationMode,
+        edges: usize,
+        info: &DeviceInfo,
+        now: SimTime,
+    ) -> f64 {
+        match replication {
+            ReplicationMode::None => NEVER_SEEN_STALENESS_S,
+            ReplicationMode::CloudOnly | ReplicationMode::EdgeToCloud => sim
+                .process::<CloudProcess>(hierarchy.cloud)
                 .and_then(|c| c.store().staleness_secs(&info.key, now))
                 .unwrap_or(NEVER_SEEN_STALENESS_S),
-            (_, ReplicationMode::EdgeMesh) => {
+            ReplicationMode::EdgeMesh => {
                 // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
-                let consumer = self.hierarchy.edges[(info.edge_index + 1) % spec.edges];
-                self.sim
-                    .process::<EdgeProcess>(consumer)
+                let consumer = hierarchy.edges[(info.edge_index + 1) % edges];
+                sim.process::<EdgeProcess>(consumer)
                     .and_then(|e| e.store().staleness_secs(&info.key, now))
                     .unwrap_or(NEVER_SEEN_STALENESS_S)
             }
         }
     }
 
+    /// One resilience sample tick. Declared a hot root in
+    /// `lint-hotpaths.toml`: nothing reachable from here may allocate
+    /// (rule A1), which the fixed-field [`SampleTelemetry`] valuation,
+    /// the pre-interned [`SampleKeys`] and the borrow-splitting
+    /// [`Self::consumer_staleness`] exist to guarantee. Calls into other
+    /// crates use qualified-call syntax so the lint's call graph gets
+    /// precise edges (DESIGN.md §10).
     fn sample(&mut self, now: SimTime) {
-        let spec = self.spec.clone();
-        // -- Control-loop window across devices.
+        // -- Control-loop window across devices. `self.devices` and
+        // `self.sim` are disjoint fields, so the loop needs no clone of
+        // the device index.
         let mut window = DeviceWindow::default();
         let mut covered = 0usize;
-        let fresh_horizon = spec.architecture().sense_period * 3;
-        let device_infos: Vec<DeviceInfo> = self.devices.clone();
-        for info in &device_infos {
+        let fresh_horizon = self.arch.sense_period * 3;
+        for info in &self.devices {
             let up = self.sim.is_up(info.id);
             let dev = self
                 .sim
@@ -554,10 +582,16 @@ impl Scenario {
         // governed architectures rightfully keep personal keys home).
         let mut staleness_sum = 0.0;
         let mut staleness_n = 0usize;
-        for info in device_infos.iter().filter(|i| !i.personal) {
-            staleness_sum += self
-                .consumer_staleness(info, now)
-                .min(NEVER_SEEN_STALENESS_S);
+        for info in self.devices.iter().filter(|i| !i.personal) {
+            staleness_sum += Self::consumer_staleness(
+                &self.sim,
+                &self.hierarchy,
+                self.arch.replication,
+                self.spec.edges,
+                info,
+                now,
+            )
+            .min(NEVER_SEEN_STALENESS_S);
             staleness_n += 1;
         }
 
@@ -572,53 +606,59 @@ impl Scenario {
             }
         }
 
-        // -- Telemetry map and verdicts.
-        let mut telemetry: BTreeMap<String, f64> = BTreeMap::new();
-        if let Some(avail) = window.availability() {
-            telemetry.insert("ctl.availability".into(), avail);
-        }
-        if let Some(lat) = window.mean_latency_ms() {
-            telemetry.insert("ctl.latency_ms".into(), lat);
-        }
-        telemetry.insert(
-            "coverage".into(),
-            covered as f64 / device_infos.len().max(1) as f64,
-        );
-        if staleness_n > 0 {
-            telemetry.insert("freshness_s".into(), staleness_sum / staleness_n as f64);
-        }
-        telemetry.insert("privacy.violations".into(), violations as f64);
+        // -- Telemetry valuation and verdicts, allocation-free.
+        let telemetry = SampleTelemetry {
+            availability: window.availability(),
+            latency_ms: window.mean_latency_ms(),
+            coverage: covered as f64 / self.devices.len().max(1) as f64,
+            freshness_s: (staleness_n > 0).then(|| staleness_sum / staleness_n as f64),
+            privacy_violations: violations as f64,
+        };
 
-        let verdicts = self.requirements.evaluate_all(&telemetry);
-        let goal_eval = self.goals.evaluate(&self.requirements, &telemetry);
+        let goal_eval = GoalModel::evaluate(&self.goals, &self.requirements, &telemetry);
+        let goal_sat = goal_eval.root == Verdict::Satisfied;
         let metrics = self.sim.metrics_mut();
-        metrics.series_push_key(
-            self.sample_keys.goal,
-            now,
-            if goal_eval.root == Verdict::Satisfied {
-                1.0
-            } else {
-                0.0
-            },
-        );
+        metrics.series_push_key(self.sample_keys.goal, now, if goal_sat { 1.0 } else { 0.0 });
         let mut all_sat = true;
         let mut sat_count = 0usize;
-        for ((_, verdict), key) in verdicts.iter().zip(&self.sample_keys.reqs) {
-            let sat = *verdict == Verdict::Satisfied;
+        let mut req_count = 0usize;
+        // Verdict bitmask in requirement (id) order, for the bus note below
+        // — REQUIREMENT_NAMES is far below 32 entries.
+        let mut sat_bits = 0u32;
+        for (i, (req, key)) in self
+            .requirements
+            .iter()
+            .zip(&self.sample_keys.reqs)
+            .enumerate()
+        {
+            let sat = Requirement::evaluate(req, &telemetry) == Verdict::Satisfied;
             all_sat &= sat;
             sat_count += sat as usize;
+            if sat {
+                sat_bits |= 1u32.checked_shl(i as u32).unwrap_or(0);
+            }
+            req_count += 1;
             metrics.series_push_key(*key, now, if sat { 1.0 } else { 0.0 });
         }
         metrics.series_push_key(self.sample_keys.all, now, if all_sat { 1.0 } else { 0.0 });
         metrics.series_push_key(
             self.sample_keys.satfrac,
             now,
-            sat_count as f64 / verdicts.len().max(1) as f64,
+            sat_count as f64 / req_count.max(1) as f64,
         );
-        for (name, value) in &telemetry {
-            let key = self.sample_keys.telemetry_key(metrics, name);
-            metrics.series_push_key(key, now, *value);
+        // Push order mirrors the old name-sorted map iteration so the
+        // recorded series are byte-identical.
+        metrics.series_push_key(self.sample_keys.coverage, now, telemetry.coverage);
+        if let Some(avail) = telemetry.availability {
+            metrics.series_push_key(self.sample_keys.availability, now, avail);
         }
+        if let Some(lat) = telemetry.latency_ms {
+            metrics.series_push_key(self.sample_keys.latency_ms, now, lat);
+        }
+        if let Some(fresh) = telemetry.freshness_s {
+            metrics.series_push_key(self.sample_keys.freshness_s, now, fresh);
+        }
+        metrics.series_push_key(self.sample_keys.privacy, now, telemetry.privacy_violations);
 
         // -- Publish the valuation onto the observability bus so online
         // monitors advance at this sample. Token order is part of the
@@ -630,10 +670,11 @@ impl Scenario {
                 note,
                 "{SAT_LABEL} all={} goal={}",
                 u8::from(all_sat),
-                u8::from(goal_eval.root == Verdict::Satisfied)
+                u8::from(goal_sat)
             );
-            for ((_, verdict), name) in verdicts.iter().zip(REQUIREMENT_NAMES) {
-                let _ = write!(note, " {name}={}", u8::from(*verdict == Verdict::Satisfied));
+            for (i, name) in REQUIREMENT_NAMES.iter().enumerate() {
+                let bit = sat_bits.checked_shr(i as u32).unwrap_or(0) & 1;
+                let _ = write!(note, " {name}={bit}");
             }
             self.sim.annotate(note);
         }

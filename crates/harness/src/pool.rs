@@ -47,12 +47,31 @@ fn install_panic_silencer() {
 /// Extracts a human-readable message from a `catch_unwind` payload.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        s.clone() // riot-lint: allow(A1, reason = "panic path: runs once per crashed cell, never per event")
     } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        // riot-lint: allow(A1, reason = "panic path: runs once per crashed cell, never per event")
         (*s).to_owned()
     } else {
+        // riot-lint: allow(A1, reason = "panic path: runs once per crashed cell, never per event")
         "non-string panic payload".to_owned()
     }
+}
+
+/// The pool's inner loop body: runs one cell under panic isolation,
+/// converting an unwind into a structured [`CellError`] that carries the
+/// crash-forensics tail. Declared as a hot root in `lint-hotpaths.toml`:
+/// everything the per-cell loop calls must stay allocation-free (the cell
+/// closure itself is `dyn` dispatch, audited via the sim entry points).
+fn execute_cell<T>(cell: Cell<T>) -> Result<T, CellError> {
+    // Clear any stale forensics left on this thread so a crashing cell
+    // never inherits a predecessor's tail.
+    let _ = riot_sim::take_crash_tail();
+    catch_unwind(AssertUnwindSafe(cell.run)).map_err(|payload| CellError {
+        panic: panic_message(payload.as_ref()),
+        // A forensic RingTrace dropped during the unwind parks its
+        // rendered tail in a thread-local; ship it with the error row.
+        trace_tail: riot_sim::take_crash_tail().unwrap_or_default(),
+    })
 }
 
 /// Runs every cell across the pool; returns the merged records in grid
@@ -93,17 +112,7 @@ pub(crate) fn run_cells<T: Send>(
                     let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
                     let Some((index, cell)) = next else { break };
                     let cell_started = progress::wall_now();
-                    // Clear any stale forensics left on this thread so a
-                    // crashing cell never inherits a predecessor's tail.
-                    let _ = riot_sim::take_crash_tail();
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(cell.run)).map_err(|payload| CellError {
-                            panic: panic_message(payload.as_ref()),
-                            // A forensic RingTrace dropped during the unwind
-                            // parks its rendered tail in a thread-local; ship
-                            // it with the error row.
-                            trace_tail: riot_sim::take_crash_tail().unwrap_or_default(),
-                        });
+                    let outcome = execute_cell(cell);
                     let wall = cell_started.elapsed();
                     if tx.send((index, wall, outcome)).is_err() {
                         break;

@@ -1,0 +1,38 @@
+//! Fixture: hot-path crate exercising the call-graph pass.
+//!
+//! `Engine::tick` is declared as a hot root in the fixture's
+//! `lint-hotpaths.toml`; the pass must follow self-method, bare,
+//! qualified, and method-call edges out of it.
+
+use riot_beta::Sink;
+
+pub struct Engine {
+    pub count: u64,
+    pub sink: Sink,
+}
+
+impl Engine {
+    /// Declared hot root.
+    pub fn tick(&mut self) {
+        self.count += 1;
+        self.record();
+        helper(self.count);
+        self.sink.absorb(self.count);
+        self.cold_note();
+    }
+
+    fn record(&self) {
+        riot_beta::store(self.count);
+    }
+
+    fn cold_note(&self) {
+        // riot-lint: allow(A1, reason = "fixture: reviewed cold allocation")
+        let s = "x".to_owned();
+        drop(s);
+    }
+}
+
+fn helper(n: u64) {
+    let label = n.to_string();
+    drop(label);
+}

@@ -1,0 +1,28 @@
+//! Fixture binary: panic sites reachable from the declared entry point.
+//!
+//! Binaries are not panic-checked lexically (no P1), so every finding
+//! here must come from the transitive P2 pass rooted at `alpha::run`.
+
+fn main() {
+    run(3);
+}
+
+pub fn run(n: u64) {
+    dispatch(n);
+}
+
+fn dispatch(n: u64) {
+    danger(n);
+    shielded(n);
+}
+
+fn danger(n: u64) {
+    let x: Option<u64> = Some(n);
+    let _ = x.unwrap();
+}
+
+fn shielded(n: u64) {
+    let x: Option<u64> = Some(n);
+    // riot-lint: allow(P1, reason = "fixture: value is always Some here")
+    let _ = x.unwrap();
+}

@@ -1,0 +1,29 @@
+//! Fixture: dependency crate reached from alpha via qualified and
+//! method-call edges. `untouched` allocates but is unreachable from
+//! any root, so it must produce no finding.
+
+pub mod inner {
+    pub fn format_it(n: u64) -> String {
+        format!("n={n}")
+    }
+}
+
+pub fn store(n: u64) {
+    inner::format_it(n);
+}
+
+pub fn untouched() {
+    let s = String::from("cold");
+    drop(s);
+}
+
+pub struct Sink {
+    pub vals: u64,
+}
+
+impl Sink {
+    pub fn absorb(&mut self, n: u64) {
+        let b = Box::new(n);
+        self.vals += *b;
+    }
+}

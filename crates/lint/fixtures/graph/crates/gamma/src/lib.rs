@@ -1,0 +1,9 @@
+//! Fixture: crate that is NOT in alpha's dependency cone. It defines a
+//! free function with the same name as alpha's `helper`; the bare call
+//! inside `alpha::Engine::tick` must not link here (false-positive
+//! guard for same-name functions across unrelated crates).
+
+pub fn helper(n: u64) {
+    let mut v = Vec::new();
+    v.push(n);
+}

@@ -1,0 +1,514 @@
+//! Pass two, stage two: call-site extraction and best-effort name
+//! resolution over the symbol table (DESIGN.md §10).
+//!
+//! Call sites are read token-by-token from scrubbed lines; an identifier
+//! immediately followed by `(` (or a turbofish `::<…>(`) is a call. Four
+//! shapes are distinguished and resolved with decreasing precision:
+//!
+//! | shape | example | resolution |
+//! |-------|---------|------------|
+//! | self-method | `self.step_one()` | methods of the caller's own `impl` type |
+//! | qualified | `Kernel::emit(..)`, `crate::pool::run(..)` | path-suffix match, scoped to the caller's crate + its workspace dependencies |
+//! | bare | `helper()` | free functions in the caller's own crate only |
+//! | method | `dev.take_window()` | any workspace method of that name in the caller's crate + dependencies, minus [`UBIQUITOUS_METHODS`] |
+//!
+//! The method fallback is a deliberate over-approximation: without type
+//! inference, `x.m(..)` may link to every workspace `m`. The deny-list
+//! removes the names where std types dominate (`len`, `iter`, `push`, …)
+//! so the graph does not drown in false edges; hot-path code that needs a
+//! *precise* edge uses qualified-call syntax, which always resolves (the
+//! DESIGN.md §10 convention). Closures, `fn` pointers passed as values and
+//! cross-crate `dyn` dispatch produce no edges — reachability across those
+//! boundaries is recovered by declaring the callback itself a root in
+//! `lint-hotpaths.toml`.
+//!
+//! Bare calls never cross a crate boundary: two crates may both define a
+//! free `helper()` without the analyzer wiring one crate's caller to the
+//! other's function (the false-positive guard exercised by the fixtures).
+
+use crate::symbols::FnDef;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names excluded from name-based method resolution because std
+/// types dominate their use; see the module docs. Kept sorted for binary
+/// search and for the self-documenting diff when the list is tuned.
+pub const UBIQUITOUS_METHODS: &[&str] = &[
+    "all",
+    "and",
+    "and_then",
+    "any",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "chain",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "or",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "remove",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "take_while",
+    "then",
+    "trim",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "zip",
+];
+
+/// One call site on one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written; the last segment is the callee name.
+    pub segs: Vec<String>,
+    /// Which resolution policy applies.
+    pub kind: CallKind,
+}
+
+/// The syntactic shape of a call (see module docs for the policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)`.
+    Bare,
+    /// `a::b::name(..)`.
+    Qualified,
+    /// `recv.name(..)` where `recv` is not `self`.
+    Method,
+    /// `self.name(..)`.
+    SelfMethod,
+}
+
+/// Extracts every call site from one scrubbed line.
+pub fn calls_in_line(code: &str) -> Vec<CallSite> {
+    let chars: Vec<char> = code.chars().collect();
+    let n = chars.len();
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if !is_ident(at(i)) || (i > 0 && is_ident(at(i - 1))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && is_ident(at(i)) {
+            i += 1;
+        }
+        let name: String = chars
+            .get(start..i)
+            .map(|cs| cs.iter().collect())
+            .unwrap_or_default();
+        if name.starts_with(|c: char| c.is_ascii_digit()) {
+            continue;
+        }
+
+        // What follows: a direct `(`, a turbofish `::<…>(`, or not a call.
+        let mut j = i;
+        if at(j) == ':' && at(j + 1) == ':' && at(j + 2) == '<' {
+            let mut depth = 0i64;
+            j += 2;
+            while j < n {
+                match at(j) {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if at(j) != '(' || at(i) == '!' {
+            continue;
+        }
+
+        // What precedes: `.` (method), `::` (qualified path), or nothing.
+        if start > 0 && at(start - 1) == '.' {
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                continue;
+            }
+            let recv_end = start - 1;
+            let mut r = recv_end;
+            while r > 0 && is_ident(at(r - 1)) {
+                r -= 1;
+            }
+            let recv: String = chars
+                .get(r..recv_end)
+                .map(|cs| cs.iter().collect())
+                .unwrap_or_default();
+            let self_recv = recv == "self" && (r == 0 || !matches!(at(r.wrapping_sub(1)), '.'));
+            out.push(CallSite {
+                segs: vec![name],
+                kind: if self_recv {
+                    CallKind::SelfMethod
+                } else {
+                    CallKind::Method
+                },
+            });
+            continue;
+        }
+        if start > 1 && at(start - 1) == ':' && at(start - 2) == ':' {
+            // Walk the `a::b::` prefix backwards.
+            let mut segs = vec![name];
+            let mut k = start - 2;
+            loop {
+                let seg_end = k;
+                let mut s = seg_end;
+                while s > 0 && is_ident(at(s - 1)) {
+                    s -= 1;
+                }
+                if s == seg_end {
+                    break; // `>::name` (UFCS) — keep the partial path.
+                }
+                let seg: String = chars
+                    .get(s..seg_end)
+                    .map(|cs| cs.iter().collect())
+                    .unwrap_or_default();
+                segs.insert(0, seg);
+                if s > 1 && at(s - 1) == ':' && at(s - 2) == ':' {
+                    k = s - 2;
+                } else {
+                    break;
+                }
+            }
+            if let Some(callee) = segs.last() {
+                if callee.chars().next().is_some_and(char::is_uppercase) {
+                    continue; // `Json::Str(..)` — a tuple-variant constructor.
+                }
+            }
+            out.push(CallSite {
+                segs,
+                kind: CallKind::Qualified,
+            });
+            continue;
+        }
+        if KEYWORDS.contains(&name.as_str()) || name.chars().next().is_some_and(char::is_uppercase)
+        {
+            continue; // control flow or a tuple-struct constructor.
+        }
+        out.push(CallSite {
+            segs: vec![name],
+            kind: CallKind::Bare,
+        });
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "else", "fn", "for", "if", "impl", "in", "let",
+    "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "self", "static", "super",
+    "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// The workspace crate dependency relation, transitively closed. Method and
+/// qualified resolution never links a caller to a crate outside its own
+/// dependency cone.
+#[derive(Debug, Default, Clone)]
+pub struct CrateDeps {
+    map: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CrateDeps {
+    /// An empty relation (every crate sees only itself).
+    pub fn new() -> CrateDeps {
+        CrateDeps::default()
+    }
+
+    /// Records a direct dependency `from → to`.
+    pub fn add(&mut self, from: &str, to: &str) {
+        self.map
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+    }
+
+    /// Transitively closes the relation (call once, after all `add`s).
+    pub fn close(&mut self) {
+        loop {
+            let mut grew = false;
+            let snapshot = self.map.clone();
+            for targets in self.map.values_mut() {
+                let mut add = BTreeSet::new();
+                for t in targets.iter() {
+                    if let Some(next) = snapshot.get(t) {
+                        for nt in next {
+                            if !targets.contains(nt) {
+                                add.insert(nt.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    grew = true;
+                    targets.extend(add);
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+
+    /// May code in `from` call code in `to`?
+    pub fn allows(&self, from: &str, to: &str) -> bool {
+        from == to || self.map.get(from).is_some_and(|s| s.contains(to))
+    }
+}
+
+/// Resolves call sites against the flattened workspace symbol table.
+pub struct Resolver<'a> {
+    fns: &'a [FnDef],
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    crates: BTreeSet<&'a str>,
+    deps: &'a CrateDeps,
+}
+
+impl<'a> Resolver<'a> {
+    /// Indexes the symbol table for resolution.
+    pub fn new(fns: &'a [FnDef], deps: &'a CrateDeps) -> Resolver<'a> {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut crates = BTreeSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+            crates.insert(f.crate_name.as_str());
+        }
+        Resolver {
+            fns,
+            by_name,
+            crates,
+            deps,
+        }
+    }
+
+    /// All candidate callees for `call` made from `caller`, in symbol-table
+    /// order (deterministic).
+    pub fn resolve(&self, call: &CallSite, caller: &FnDef) -> Vec<usize> {
+        let Some(name) = call.segs.last() else {
+            return Vec::new();
+        };
+        let Some(candidates) = self.by_name.get(name.as_str()) else {
+            return Vec::new();
+        };
+        let keep = |i: usize, pred: &dyn Fn(&FnDef) -> bool| self.fns.get(i).is_some_and(pred);
+        match call.kind {
+            CallKind::SelfMethod => candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    keep(i, &|f| {
+                        f.is_method
+                            && f.crate_name == caller.crate_name
+                            && f.self_type == caller.self_type
+                    })
+                })
+                .collect(),
+            CallKind::Method => {
+                if UBIQUITOUS_METHODS.binary_search(&name.as_str()).is_ok() {
+                    return Vec::new();
+                }
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        keep(i, &|f| {
+                            f.is_method && self.deps.allows(&caller.crate_name, &f.crate_name)
+                        })
+                    })
+                    .collect()
+            }
+            CallKind::Bare => candidates
+                .iter()
+                .copied()
+                .filter(|&i| keep(i, &|f| !f.is_method && f.crate_name == caller.crate_name))
+                .collect(),
+            CallKind::Qualified => {
+                let (restrict, segs) = self.clean_path(&call.segs, caller);
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        keep(i, &|f| {
+                            let crate_ok = match &restrict {
+                                Some(c) => f.crate_name == *c,
+                                None => self.deps.allows(&caller.crate_name, &f.crate_name),
+                            };
+                            let mid = f.path.split_last().map(|(_, init)| init).unwrap_or(&[]);
+                            crate_ok && is_subsequence(&segs, mid)
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Normalizes a written path: maps `crate`/`self`/`super` and `riot_x`
+    /// prefixes to a crate restriction, substitutes `Self` with the
+    /// caller's `impl` type, and returns the remaining mid-segments (the
+    /// callee name is resolved separately).
+    fn clean_path(&self, segs: &[String], caller: &FnDef) -> (Option<String>, Vec<String>) {
+        let mut restrict = None;
+        let mut out = Vec::new();
+        let mid = segs.split_last().map(|(_, init)| init).unwrap_or(&[]);
+        for (i, seg) in mid.iter().enumerate() {
+            if i == 0 {
+                match seg.as_str() {
+                    "crate" | "self" | "super" => {
+                        restrict = Some(caller.crate_name.clone());
+                        continue;
+                    }
+                    s => {
+                        if let Some(stripped) = s.strip_prefix("riot_") {
+                            if self.crates.contains(stripped) {
+                                restrict = Some(stripped.to_string());
+                                continue;
+                            }
+                        }
+                        if s == "std" || s == "core" || s == "alloc" {
+                            // `std::mem::take(..)` — never a workspace fn.
+                            restrict = Some(String::new());
+                            continue;
+                        }
+                    }
+                }
+            }
+            if seg == "Self" {
+                if let Some(t) = &caller.self_type {
+                    out.push(t.clone());
+                }
+                continue;
+            }
+            out.push(seg.clone());
+        }
+        (restrict, out)
+    }
+}
+
+/// Is `needle` an in-order subsequence of `hay`?
+fn is_subsequence(needle: &[String], hay: &[String]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(code: &str) -> Vec<CallSite> {
+        calls_in_line(code)
+    }
+
+    #[test]
+    fn shapes_are_classified() {
+        let cs = call("self.step_one(); dev.take_window(); helper(); Kernel::emit(x)");
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs[0].kind, CallKind::SelfMethod);
+        assert_eq!(cs[1].kind, CallKind::Method);
+        assert_eq!(cs[2].kind, CallKind::Bare);
+        assert_eq!(cs[3].kind, CallKind::Qualified);
+        assert_eq!(cs[3].segs, vec!["Kernel", "emit"]);
+    }
+
+    #[test]
+    fn turbofish_and_macros() {
+        let cs = call("sim.process_mut::<DeviceProcess>(id); format!(\"x\"); write!(f, \"y\")");
+        // The macro "calls" must not appear; the turbofish must.
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].segs, vec!["process_mut"]);
+    }
+
+    #[test]
+    fn constructors_and_keywords_are_not_calls() {
+        assert!(call("if x(y) { return; }").len() == 1, "x(y) only");
+        assert!(call("Some(1); ProcessId(2); Json::Str(s)").is_empty());
+        assert!(call("match f(x) { _ => {} }").len() == 1);
+    }
+
+    #[test]
+    fn qualified_paths_walk_back() {
+        let cs = call("crate::pool::run_cells(cells)");
+        assert_eq!(cs[0].segs, vec!["crate", "pool", "run_cells"]);
+        let cs = call("riot_sim::take_crash_tail()");
+        assert_eq!(cs[0].segs, vec!["riot_sim", "take_crash_tail"]);
+    }
+
+    #[test]
+    fn field_receiver_is_not_self() {
+        let cs = call("self.kernel.emit(kind, None)");
+        assert_eq!(cs[0].kind, CallKind::Method);
+    }
+
+    #[test]
+    fn deps_close_transitively() {
+        let mut d = CrateDeps::new();
+        d.add("core", "model");
+        d.add("model", "sim");
+        d.close();
+        assert!(d.allows("core", "sim"));
+        assert!(d.allows("core", "core"));
+        assert!(!d.allows("sim", "core"));
+    }
+}

@@ -30,6 +30,11 @@ pub struct ScrubbedLine {
     pub code: String,
     /// Verbatim text of each line comment that ended on this line.
     pub comments: Vec<String>,
+    /// `true` when block-comment text on this line contains a `riot-lint:`
+    /// marker. Directives are line-comment-only; a directive buried in a
+    /// block comment would otherwise be silently ignored, so the lint pass
+    /// turns this flag into an unsuppressable `LINT` finding.
+    pub stray_directive: bool,
 }
 
 /// A whole file after scrubbing; `lines[i]` is source line `i + 1`.
@@ -107,22 +112,34 @@ pub fn scrub(source: &str) -> ScrubbedFile {
                 cur.comments.push(text);
             }
             '/' if at(i + 1) == '*' => {
-                // Nested block comment; blanked entirely.
+                // Nested block comment; blanked entirely, but scanned for a
+                // stray `riot-lint:` marker (see `ScrubbedLine::stray_directive`).
                 let mut depth = 1u32;
+                let mut text = String::new();
                 i += 2;
                 while i < n && depth > 0 {
                     if at(i) == '/' && at(i + 1) == '*' {
                         depth += 1;
+                        text.push_str("/*");
                         i += 2;
                     } else if at(i) == '*' && at(i + 1) == '/' {
                         depth -= 1;
                         i += 2;
                     } else {
                         if at(i) == '\n' {
+                            if text.contains("riot-lint:") {
+                                cur.stray_directive = true;
+                                text.clear();
+                            }
                             newline!();
+                        } else {
+                            text.push(at(i));
                         }
                         i += 1;
                     }
+                }
+                if text.contains("riot-lint:") {
+                    cur.stray_directive = true;
                 }
             }
             '"' => emit_str!(scan_string(&chars, i + 1)),
@@ -167,7 +184,15 @@ fn scan_string(chars: &[char], mut i: usize) -> LitScan {
     let mut newlines = 0usize;
     while i < chars.len() {
         match at(i) {
-            '\\' => i += 2,
+            '\\' => {
+                // A backslash-newline is a line continuation: the escaped
+                // character *is* a newline and must still be counted, or
+                // every diagnostic below it lands one line off.
+                if at(i + 1) == '\n' {
+                    newlines += 1;
+                }
+                i += 2;
+            }
             '\n' => {
                 newlines += 1;
                 i += 1;
@@ -194,15 +219,15 @@ fn scan_string(chars: &[char], mut i: usize) -> LitScan {
 /// character.
 fn scan_prefixed(chars: &[char], start: usize) -> Option<Prefixed> {
     let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
-    let mut i = start;
-    let mut raw = false;
-    while at(i) == 'r' || at(i) == 'b' {
-        raw |= at(i) == 'r';
-        i += 1;
-        if i > start + 2 {
-            return None;
-        }
-    }
+    // Only the exact prefixes Rust defines introduce a literal: `r`, `b`
+    // and `br`. A greedy `r|b` loop here used to accept `bb"…"`/`rb"…"`
+    // too, swallowing real identifier characters into the literal.
+    let (raw, mut i) = match (at(start), at(start + 1)) {
+        ('b', 'r') => (true, start + 2),
+        ('r', _) => (true, start + 1),
+        ('b', _) => (false, start + 1),
+        _ => return None,
+    };
     if at(i) == '\'' && !raw {
         // Byte char literal b'x'.
         return char_literal_end(chars, i).map(Prefixed::Char);
@@ -352,5 +377,60 @@ mod tests {
         let lines = code_lines("let s = \"oops\nmore .unwrap()");
         // The second line is literal content, so no code survives there.
         assert_eq!(lines, vec!["let s = \"".to_string()]);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_attribution() {
+        // `\` followed by a newline is a line continuation *inside* the
+        // literal; the newline must still advance the line counter or every
+        // diagnostic below lands one line off.
+        let lines = code_lines("let s = \"a\\\n   b\";\nlet t = done();");
+        assert_eq!(
+            lines,
+            vec![
+                "let s = \"".to_string(),
+                "\";".to_string(),
+                "let t = done();".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_literal_prefixes_are_identifiers() {
+        // `bb`/`rb` are not literal prefixes; the greedy prefix scan used to
+        // swallow the extra identifier character into the literal.
+        assert_eq!(code_lines("bb\"x\""), vec!["bb\"\"".to_string()]);
+        assert_eq!(code_lines("rb\"x\""), vec!["rb\"\"".to_string()]);
+        assert_eq!(
+            code_lines("let a = br\"y\";"),
+            vec!["let a = \"\";".to_string()]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_across_lines() {
+        let lines = code_lines("a(); /* one /* two\n/* three */ still */ more\n*/ b();");
+        assert_eq!(
+            lines,
+            vec!["a(); ".to_string(), String::new(), " b();".to_string()]
+        );
+    }
+
+    #[test]
+    fn raw_string_with_fewer_hashes_inside() {
+        // `"#` inside an `r##"…"##` body must not close it.
+        let lines = code_lines("let s = r##\"tail\"# not done\"##; f()");
+        assert_eq!(lines, vec!["let s = \"\"; f()".to_string()]);
+    }
+
+    #[test]
+    fn directive_in_block_comment_is_flagged() {
+        let f = scrub("/* riot-lint: allow(P1, reason = \"x\") */\nlet a = 1;");
+        assert!(f.lines[0].stray_directive);
+        assert!(!f.lines[1].stray_directive);
+        // Multi-line block comment: the marker's own line carries the flag.
+        let f = scrub("/* one\n riot-lint: allow(P1) \n*/");
+        assert!(!f.lines[0].stray_directive);
+        assert!(f.lines[1].stray_directive);
     }
 }

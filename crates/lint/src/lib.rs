@@ -14,6 +14,24 @@
 //! - **P1** — no `.unwrap()` / `.expect(..)` / `panic!` / bare indexing in
 //!   non-test library code.
 //!
+//! A second, workspace-wide pass builds a symbol table ([`symbols`]) and a
+//! best-effort call graph ([`callgraph`]), computes reachability from the
+//! roots declared in `lint-hotpaths.toml` ([`reach`]), and applies two
+//! transitive rule families over the reachable sets:
+//!
+//! - **A1** — no allocating or formatting calls (`format!`, `.to_string()`,
+//!   `Box::new`, un-pre-sized `Vec::new`/`.collect()`, `.clone()`, …) in
+//!   any function reachable from a declared *hot* root;
+//! - **P2** — no panic paths (the P1 site set) in any function reachable
+//!   from a declared sim-visible *entry* point — P1 upgraded from lexical
+//!   file scope to transitive call coverage.
+//!
+//! A1/P2 diagnostics carry the full call chain from the root to the
+//! offending function (`sim::Sim::step → sim::Kernel::emit`), so a finding
+//! is actionable without re-deriving the graph by hand. The graph pass
+//! runs whenever the scanned root contains a `lint-hotpaths.toml`; a root
+//! pattern that resolves to no function is itself a `LINT` error.
+//!
 //! Reviewed exceptions are carried in-line and must state a reason:
 //!
 //! ```text
@@ -27,12 +45,43 @@
 //! `LINT`) and cannot be suppressed.
 //!
 //! The pass runs as `cargo run -p riot-lint` (add `--json` for machine
-//! consumption) and as an integration test, so `cargo test` fails on new
-//! violations.
+//! consumption, `--rule <id>` to filter) and as an integration test, so
+//! `cargo test` fails on new violations.
+//!
+//! ## `--json` schema
+//!
+//! The machine-readable report is one JSON object:
+//!
+//! ```text
+//! {
+//!   "clean": bool,            // no violations after filtering
+//!   "files_scanned": uint,    // .rs files inspected
+//!   "graph": {                // present when lint-hotpaths.toml was found
+//!     "fns_indexed": uint,    //   functions in the symbol table
+//!     "hot_roots": uint,      //   declared [hot] root patterns
+//!     "entry_roots": uint,    //   declared [entry] root patterns
+//!     "hot_reachable": uint,  //   functions reachable from a hot root
+//!     "entry_reachable": uint //   functions reachable from an entry root
+//!   },
+//!   "violations": [           // sorted by (file, line, rule)
+//!     {
+//!       "file": "crates/sim/src/kernel.rs",  // workspace-relative, `/`-separated
+//!       "line": uint,                        // 1-based
+//!       "rule": "D1"|"D2"|"D3"|"P1"|"A1"|"P2"|"LINT",
+//!       "message": "...",                    // what is wrong
+//!       "suggestion": "...",                 // how to fix it
+//!       "chain": ["sim::Sim::step", ...]     // root → … → function, A1/P2 only
+//!     }
+//!   ]
+//! }
+//! ```
 
+pub mod callgraph;
 pub mod context;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
+pub mod symbols;
 
 use riot_sim::Json;
 use std::fmt;
@@ -56,6 +105,10 @@ pub enum RuleId {
     D3,
     /// Panic paths in non-test library code.
     P1,
+    /// Allocating/formatting calls reachable from a hot root.
+    A1,
+    /// Panic paths reachable from a sim-visible entry point.
+    P2,
     /// Malformed `riot-lint:` directive.
     Lint,
 }
@@ -68,18 +121,32 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::P1 => "P1",
+            RuleId::A1 => "A1",
+            RuleId::P2 => "P2",
             RuleId::Lint => "LINT",
         }
     }
 
-    /// Parses an id as written in an allow directive.
+    /// Parses an id as written in an allow directive. `LINT` is absent on
+    /// purpose: directive problems cannot be allowed away.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
             "D1" => Some(RuleId::D1),
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
             "P1" => Some(RuleId::P1),
+            "A1" => Some(RuleId::A1),
+            "P2" => Some(RuleId::P2),
             _ => None,
+        }
+    }
+
+    /// Parses any id including `LINT` — for the CLI `--rule` filter, which
+    /// may legitimately select the unsuppressable rule.
+    pub fn parse_cli(s: &str) -> Option<RuleId> {
+        match s {
+            "LINT" => Some(RuleId::Lint),
+            other => RuleId::parse(other),
         }
     }
 }
@@ -103,6 +170,10 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub suggestion: String,
+    /// For reachability rules (A1/P2): the canonical call chain from the
+    /// declared root to the function containing the site, as display paths.
+    /// Empty for lexical rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -111,7 +182,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}\n    fix: {}",
             self.file, self.line, self.rule, self.message, self.suggestion
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via: {}", self.chain.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -123,6 +198,10 @@ impl riot_sim::ToJson for Diagnostic {
             ("rule".into(), Json::Str(self.rule.id().into())),
             ("message".into(), Json::Str(self.message.clone())),
             ("suggestion".into(), Json::Str(self.suggestion.clone())),
+            (
+                "chain".into(),
+                Json::Arr(self.chain.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
         ])
     }
 }
@@ -241,8 +320,50 @@ pub fn classify(rel: &str) -> FileClass {
     }
 }
 
+/// Per-file state the lexical pass produces and the graph pass reuses:
+/// scrubbed code lines, test-region classification, and the allow
+/// directives in force.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Scrubbed code, one entry per source line.
+    pub codes: Vec<String>,
+    /// `in_test[i]`: 0-based line `i` is inside a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    file_allows: Vec<RuleId>,
+    /// `allowed[i]` = rules excused on 0-based line `i`.
+    allowed: Vec<Vec<RuleId>>,
+}
+
+impl FileAnalysis {
+    /// Is `rule` excused on 0-based line `idx`? An `allow(P1)` excuses `P2`
+    /// as well: a reviewed panic invariant covers both the lexical and the
+    /// transitive rule.
+    pub fn excused(&self, idx: usize, rule: RuleId) -> bool {
+        let direct = |r: RuleId| {
+            self.file_allows.contains(&r)
+                || self
+                    .allowed
+                    .get(idx)
+                    .is_some_and(|rules| rules.contains(&r))
+        };
+        direct(rule) || (rule == RuleId::P2 && direct(RuleId::P1))
+    }
+}
+
 /// Lints one file's source. `file` is used only for diagnostics.
 pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic> {
+    analyze_source(file, source, class).0
+}
+
+/// Runs the lexical pass on one file, returning its diagnostics plus the
+/// retained [`FileAnalysis`] the workspace-level graph pass builds on.
+pub fn analyze_source(
+    file: &str,
+    source: &str,
+    class: FileClass,
+) -> (Vec<Diagnostic>, FileAnalysis) {
     let scrubbed = lexer::scrub(source);
     let codes: Vec<String> = scrubbed.lines.iter().map(|l| l.code.clone()).collect();
     let in_test = context::test_lines(&codes);
@@ -253,6 +374,19 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic
     let mut allowed: Vec<Vec<RuleId>> = vec![Vec::new(); scrubbed.lines.len()];
 
     for (idx, line) in scrubbed.lines.iter().enumerate() {
+        if line.stray_directive {
+            // A directive inside a block comment parses as prose and would
+            // silently suppress nothing — that is always a mistake.
+            diags.push(Diagnostic {
+                file: file.into(),
+                line: idx + 1,
+                rule: RuleId::Lint,
+                message: "riot-lint directive inside a block comment has no effect".into(),
+                suggestion: "use a line comment: // riot-lint: allow(<rule>, reason = \"...\")"
+                    .into(),
+                chain: Vec::new(),
+            });
+        }
         for comment in &line.comments {
             match parse_directive(comment) {
                 None => {}
@@ -262,6 +396,7 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic
                     rule: RuleId::Lint,
                     message: format!("malformed riot-lint directive: {why}"),
                     suggestion: "write: // riot-lint: allow(<rule>, reason = \"...\")".into(),
+                    chain: Vec::new(),
                 }),
                 Some(Ok(d)) => match d.scope {
                     Scope::File => file_allows.push(d.rule),
@@ -282,12 +417,16 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic
         }
     }
 
-    for (idx, code) in codes.iter().enumerate() {
+    let analysis = FileAnalysis {
+        rel: file.to_string(),
+        codes,
+        in_test,
+        file_allows,
+        allowed,
+    };
+
+    for (idx, code) in analysis.codes.iter().enumerate() {
         let lineno = idx + 1;
-        let excused = |rule: RuleId| {
-            file_allows.contains(&rule)
-                || allowed.get(idx).is_some_and(|rules| rules.contains(&rule))
-        };
         let mut findings: Vec<rules::Finding> = Vec::new();
         if class.sim_visible {
             findings.extend(rules::check_d1(code));
@@ -296,31 +435,52 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Diagnostic
             findings.extend(rules::check_d2(code));
         }
         findings.extend(rules::check_d3(code));
-        if class.panic_checked && !in_test.get(idx).copied().unwrap_or(false) {
+        if class.panic_checked && !analysis.in_test.get(idx).copied().unwrap_or(false) {
             findings.extend(rules::check_p1(code));
         }
         for (rule, message, suggestion) in findings {
-            if !excused(rule) {
+            if !analysis.excused(idx, rule) {
                 diags.push(Diagnostic {
                     file: file.into(),
                     line: lineno,
                     rule,
                     message,
                     suggestion,
+                    chain: Vec::new(),
                 });
             }
         }
     }
-    diags
+    (diags, analysis)
+}
+
+/// Size and coverage statistics from the call-graph pass, surfaced in the
+/// report so the gate can assert the analysis actually ran over a
+/// non-trivial graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Functions in the flattened workspace symbol table.
+    pub fns_indexed: usize,
+    /// Declared `[hot]` root patterns.
+    pub hot_roots: usize,
+    /// Declared `[entry]` root patterns.
+    pub entry_roots: usize,
+    /// Functions reachable from a hot root (A1 scope).
+    pub hot_reachable: usize,
+    /// Functions reachable from an entry root (P2 scope).
+    pub entry_reachable: usize,
 }
 
 /// The result of a full workspace scan.
 #[derive(Debug)]
 pub struct ScanReport {
-    /// All violations, ordered by file then line.
+    /// All violations, sorted by `(file, line, rule)`.
     pub diagnostics: Vec<Diagnostic>,
     /// How many `.rs` files were inspected.
     pub files_scanned: usize,
+    /// Call-graph pass statistics; `None` when the scanned root has no
+    /// `lint-hotpaths.toml` (the graph pass did not run).
+    pub graph: Option<GraphStats>,
 }
 
 impl ScanReport {
@@ -329,17 +489,34 @@ impl ScanReport {
         self.diagnostics.is_empty()
     }
 
-    /// The machine-readable form emitted by `riot-lint --json`.
+    /// The machine-readable form emitted by `riot-lint --json`; the schema
+    /// is documented in the crate docs.
     pub fn to_json(&self) -> Json {
         use riot_sim::ToJson;
-        Json::Obj(vec![
+        let mut fields = vec![
             ("clean".into(), Json::Bool(self.clean())),
             (
                 "files_scanned".into(),
                 Json::UInt(self.files_scanned as u64),
             ),
-            ("violations".into(), self.diagnostics.to_json()),
-        ])
+        ];
+        if let Some(g) = &self.graph {
+            fields.push((
+                "graph".into(),
+                Json::Obj(vec![
+                    ("fns_indexed".into(), Json::UInt(g.fns_indexed as u64)),
+                    ("hot_roots".into(), Json::UInt(g.hot_roots as u64)),
+                    ("entry_roots".into(), Json::UInt(g.entry_roots as u64)),
+                    ("hot_reachable".into(), Json::UInt(g.hot_reachable as u64)),
+                    (
+                        "entry_reachable".into(),
+                        Json::UInt(g.entry_reachable as u64),
+                    ),
+                ]),
+            ));
+        }
+        fields.push(("violations".into(), self.diagnostics.to_json()));
+        Json::Obj(fields)
     }
 }
 
@@ -347,13 +524,17 @@ impl ScanReport {
 /// lint crate's own deliberately-violating fixtures, and experiment output.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results"];
 
-/// Scans every `.rs` file under `root` (the workspace checkout) and returns
-/// the diagnostics, deterministically ordered.
+/// Scans every `.rs` file under `root` (the workspace checkout): the
+/// lexical pass per file, then — when `root/lint-hotpaths.toml` exists —
+/// the workspace call-graph pass for A1/P2. Diagnostics come back sorted
+/// by `(file, line, rule)`.
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let mut files = Vec::new();
     collect_rs(root, &mut files)?;
     files.sort();
     let mut diagnostics = Vec::new();
+    let mut analyses = Vec::with_capacity(files.len());
+    let mut tables = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -364,12 +545,179 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
             .join("/");
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        diagnostics.extend(lint_source(&rel, &source, classify(&rel)));
+        let (diags, analysis) = analyze_source(&rel, &source, classify(&rel));
+        diagnostics.extend(diags);
+        tables.push(symbols::extract(&rel, &analysis.codes));
+        analyses.push(analysis);
     }
+    let graph = graph_pass(root, &analyses, &tables, &mut diagnostics)?;
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(ScanReport {
         diagnostics,
         files_scanned: files.len(),
+        graph,
     })
+}
+
+/// Parses the workspace crate dependency relation from the `riot-*` lines
+/// of each crate manifest. The `root` pseudo-crate (workspace-level
+/// `tests/` and `examples/`) may call into every crate.
+fn workspace_deps(root: &Path) -> callgraph::CrateDeps {
+    let mut deps = callgraph::CrateDeps::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            let Ok(text) = std::fs::read_to_string(entry.path().join("Cargo.toml")) else {
+                continue;
+            };
+            for line in text.lines() {
+                if let Some(rest) = line.trim().strip_prefix("riot-") {
+                    if let Some((dep, _)) = rest.split_once('=') {
+                        deps.add(&name, dep.trim());
+                    }
+                }
+            }
+            deps.add("root", &name);
+        }
+    }
+    deps.close();
+    deps
+}
+
+/// The workspace call-graph pass: flattens the per-file symbol tables,
+/// resolves call sites into edges, BFS-walks from the declared roots, and
+/// scans the reachable functions' lines for A1/P2 sites. Returns `None`
+/// (pass skipped) when `root` has no `lint-hotpaths.toml`.
+fn graph_pass(
+    root: &Path,
+    analyses: &[FileAnalysis],
+    tables: &[symbols::FileSymbols],
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Result<Option<GraphStats>, String> {
+    let Ok(text) = std::fs::read_to_string(root.join("lint-hotpaths.toml")) else {
+        return Ok(None);
+    };
+    let hp = reach::parse_hotpaths(&text).map_err(|e| format!("lint-hotpaths.toml: {e}"))?;
+
+    // Flatten the symbol tables; `bases[i]` maps file `i`'s local function
+    // indices into the global table.
+    let mut fns: Vec<symbols::FnDef> = Vec::new();
+    let mut bases = Vec::with_capacity(tables.len());
+    for t in tables {
+        bases.push(fns.len());
+        fns.extend(t.fns.iter().cloned());
+    }
+
+    let deps = workspace_deps(root);
+    let resolver = callgraph::Resolver::new(&fns, &deps);
+
+    // Call edges per caller, discovered in line order, deduplicated so BFS
+    // chains stay canonical.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for ((analysis, table), base) in analyses.iter().zip(tables).zip(&bases) {
+        for (idx, code) in analysis.codes.iter().enumerate() {
+            let Some(local) = table.owner.get(idx).copied().flatten() else {
+                continue;
+            };
+            let caller = base + local;
+            let Some(caller_def) = fns.get(caller) else {
+                continue;
+            };
+            for call in callgraph::calls_in_line(code) {
+                for target in resolver.resolve(&call, caller_def) {
+                    if let Some(out) = edges.get_mut(caller) {
+                        if !out.contains(&target) {
+                            out.push(target);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Resolve declared root patterns; one that matches nothing is a LINT
+    // error — a typo must fail the gate, not shrink the checked set.
+    let mut resolve_roots = |specs: &[reach::RootSpec]| -> Vec<usize> {
+        let mut out = Vec::new();
+        for spec in specs {
+            let matched: Vec<usize> = fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| reach::root_matches(&spec.pattern, f))
+                .map(|(i, _)| i)
+                .collect();
+            if matched.is_empty() {
+                diagnostics.push(Diagnostic {
+                    file: "lint-hotpaths.toml".into(),
+                    line: spec.line,
+                    rule: RuleId::Lint,
+                    message: format!("root `{}` matches no workspace function", spec.pattern),
+                    suggestion: "fix the pattern (crate::…::name, suffix-matched) or delete \
+                                 the stale root"
+                        .into(),
+                    chain: Vec::new(),
+                });
+            }
+            out.extend(matched);
+        }
+        out
+    };
+    let hot_parents = reach::reachable(&edges, &resolve_roots(&hp.hot));
+    let entry_parents = reach::reachable(&edges, &resolve_roots(&hp.entry));
+
+    // Site scan over function-owned lines in the reachable sets.
+    for ((analysis, table), base) in analyses.iter().zip(tables).zip(&bases) {
+        for (idx, code) in analysis.codes.iter().enumerate() {
+            let Some(local) = table.owner.get(idx).copied().flatten() else {
+                continue;
+            };
+            let g = base + local;
+            if hot_parents.get(g).is_some_and(Option::is_some) {
+                if let Some(site) = rules::a1_site(code) {
+                    if !analysis.excused(idx, RuleId::A1) {
+                        diagnostics.push(Diagnostic {
+                            file: analysis.rel.clone(),
+                            line: idx + 1,
+                            rule: RuleId::A1,
+                            message: format!("{site} on the allocation-free hot path"),
+                            suggestion: "pre-size or intern outside the hot loop; if the \
+                                         allocation is provably cold, annotate: // riot-lint: \
+                                         allow(A1, reason = \"...\")"
+                                .into(),
+                            chain: reach::chain(&fns, &hot_parents, g),
+                        });
+                    }
+                }
+            }
+            if entry_parents.get(g).is_some_and(Option::is_some) {
+                if let Some(site) = rules::p2_site(code) {
+                    if !analysis.excused(idx, RuleId::P2) {
+                        diagnostics.push(Diagnostic {
+                            file: analysis.rel.clone(),
+                            line: idx + 1,
+                            rule: RuleId::P2,
+                            message: format!("{site} reachable from a sim-visible entry point"),
+                            suggestion: "return a Result or handle the None case; if the \
+                                         invariant is structural, annotate: // riot-lint: \
+                                         allow(P1, reason = \"...\")"
+                                .into(),
+                            chain: reach::chain(&fns, &entry_parents, g),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let count = |parents: &[Option<usize>]| parents.iter().filter(|p| p.is_some()).count();
+    Ok(Some(GraphStats {
+        fns_indexed: fns.len(),
+        hot_roots: hp.hot.len(),
+        entry_roots: hp.entry.len(),
+        hot_reachable: count(&hot_parents),
+        entry_reachable: count(&entry_parents),
+    }))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -1,19 +1,22 @@
 //! The `riot-lint` CLI: scans the workspace and reports violations.
 //!
 //! ```text
-//! cargo run -p riot-lint            # human-readable report
-//! cargo run -p riot-lint -- --json  # machine-readable diagnostics
+//! cargo run -p riot-lint              # human-readable report
+//! cargo run -p riot-lint -- --json    # machine-readable diagnostics
+//! cargo run -p riot-lint -- --rule A1 # only one rule family
 //! cargo run -p riot-lint -- --root /path/to/checkout
 //! ```
 //!
 //! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 
+use riot_lint::RuleId;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut rule: Option<RuleId> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,10 +28,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" => match args.next().as_deref().and_then(RuleId::parse_cli) {
+                Some(r) => rule = Some(r),
+                None => {
+                    eprintln!("error: --rule needs one of D1, D2, D3, P1, A1, P2, LINT");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: riot-lint [--json] [--root <workspace>]");
+                println!("usage: riot-lint [--json] [--rule <id>] [--root <workspace>]");
                 println!("rules: D1 hash collections (sim-visible crates), D2 ambient time,");
-                println!("       D3 ambient entropy, P1 panic paths in library code");
+                println!("       D3 ambient entropy, P1 panic paths in library code,");
+                println!("       A1 allocation on the declared hot path (transitive),");
+                println!("       P2 panic paths reachable from sim-visible entry points");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -43,13 +55,16 @@ fn main() -> ExitCode {
         .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let report = match riot_lint::scan_workspace(&root) {
+    let mut report = match riot_lint::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(r) = rule {
+        report.diagnostics.retain(|d| d.rule == r);
+    }
 
     if json {
         println!("{}", report.to_json().pretty());

@@ -1,0 +1,278 @@
+//! Pass two, stage three: declared roots, reachability, and diagnostic
+//! chains (DESIGN.md §10).
+//!
+//! Hot roots live in a checked-in `lint-hotpaths.toml` at the workspace
+//! root. The file is parsed with a hand-rolled subset parser (the
+//! container builds offline; no `toml` crate) that understands exactly the
+//! shape the file uses:
+//!
+//! ```text
+//! [hot]
+//! roots = [
+//!   "sim::Kernel::submit_message",  # A1: allocation-free from here down
+//! ]
+//!
+//! [entry]
+//! roots = [
+//!   "core::Scenario::run",          # P2: panic-free from here down
+//! ]
+//! ```
+//!
+//! A root pattern is `crate::…::name`: the first segment must equal the
+//! defining crate, the remaining segments must be a suffix of the
+//! function's qualified path (so `sim::Metrics::incr_key` matches
+//! `sim::metrics::Metrics::incr_key` without spelling the module). A
+//! pattern that matches no symbol is itself a `LINT` diagnostic — a typo
+//! in the root list must fail the gate, not silently shrink the checked
+//! set.
+//!
+//! Reachability is a breadth-first walk over the call graph from each root
+//! set. First-discovery parent pointers give every reachable function one
+//! canonical chain back to a root — the `root → f → g → site` trail the
+//! diagnostics carry. Roots are walked in declaration order and edges in
+//! line order, so chains are deterministic.
+
+use crate::symbols::FnDef;
+
+/// One root pattern with the line it was declared on (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootSpec {
+    /// `crate::…::name` pattern.
+    pub pattern: String,
+    /// 1-based line in `lint-hotpaths.toml`.
+    pub line: usize,
+}
+
+/// The parsed `lint-hotpaths.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct HotPaths {
+    /// Roots of the allocation-free region (rule `A1`).
+    pub hot: Vec<RootSpec>,
+    /// Sim-visible entry points of the panic-free region (rule `P2`).
+    pub entry: Vec<RootSpec>,
+}
+
+/// Parses the `lint-hotpaths.toml` subset: `[hot]` / `[entry]` sections,
+/// each with one `roots = [ "…", … ]` array; `#` comments anywhere.
+pub fn parse_hotpaths(text: &str) -> Result<HotPaths, String> {
+    let mut out = HotPaths::default();
+    let mut section: Option<&str> = None;
+    let mut in_array = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_array {
+            match line {
+                "[hot]" => {
+                    section = Some("hot");
+                    continue;
+                }
+                "[entry]" => {
+                    section = Some("entry");
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(rest) = line.strip_prefix("roots") {
+                let rest = rest.trim_start().strip_prefix('=').map(str::trim_start);
+                match rest.and_then(|r| r.strip_prefix('[')) {
+                    Some(body) => match body.find(']') {
+                        Some(p) => push_entries(&mut out, section, body.get(..p), lineno)?,
+                        None => {
+                            in_array = true;
+                            push_entries(&mut out, section, Some(body), lineno)?;
+                        }
+                    },
+                    None => return Err(format!("line {lineno}: expected `roots = [`")),
+                }
+                continue;
+            }
+            return Err(format!("line {lineno}: unrecognized `{line}`"));
+        }
+        // Inside the array: entries up to a closing `]`, if present.
+        match line.find(']') {
+            Some(p) => {
+                push_entries(&mut out, section, line.get(..p), lineno)?;
+                in_array = false;
+            }
+            None => push_entries(&mut out, section, Some(line), lineno)?,
+        }
+    }
+    if in_array {
+        return Err("unterminated roots array".into());
+    }
+    Ok(out)
+}
+
+/// Extracts the quoted strings on one (partial) array line.
+fn push_entries(
+    out: &mut HotPaths,
+    section: Option<&str>,
+    line: Option<&str>,
+    lineno: usize,
+) -> Result<(), String> {
+    let target = match section {
+        Some("hot") => &mut out.hot,
+        Some("entry") => &mut out.entry,
+        _ => return Err(format!("line {lineno}: `roots` outside [hot]/[entry]")),
+    };
+    let mut rest = line.unwrap_or("");
+    while let Some(open) = rest.find('"') {
+        let tail = rest.get(open + 1..).unwrap_or("");
+        let Some(close) = tail.find('"') else {
+            return Err(format!("line {lineno}: unterminated string"));
+        };
+        let pattern = tail.get(..close).unwrap_or("").to_string();
+        if pattern.is_empty() || !pattern.contains("::") {
+            return Err(format!(
+                "line {lineno}: root `{pattern}` must be `crate::…::name`"
+            ));
+        }
+        target.push(RootSpec {
+            pattern,
+            line: lineno,
+        });
+        rest = tail.get(close + 1..).unwrap_or("");
+    }
+    Ok(())
+}
+
+/// Does `pattern` (`crate::…::name`) match this function? The first
+/// segment names the crate; the rest must be a suffix of the qualified
+/// path.
+pub fn root_matches(pattern: &str, f: &FnDef) -> bool {
+    let mut segs = pattern.split("::");
+    let Some(krate) = segs.next() else {
+        return false;
+    };
+    if krate != f.crate_name {
+        return false;
+    }
+    let tail: Vec<&str> = segs.collect();
+    if tail.is_empty() || tail.len() > f.path.len() {
+        return false;
+    }
+    f.path
+        .iter()
+        .rev()
+        .zip(tail.iter().rev())
+        .all(|(have, want)| have == want)
+}
+
+/// Breadth-first reachability with first-discovery parents.
+/// `parents[i] == Some(i)` marks a root; `None` marks unreachable.
+pub fn reachable(edges: &[Vec<usize>], roots: &[usize]) -> Vec<Option<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; edges.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for &r in roots {
+        if let Some(slot) = parent.get_mut(r) {
+            if slot.is_none() {
+                *slot = Some(r);
+                queue.push_back(r);
+            }
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let Some(outgoing) = edges.get(cur) else {
+            continue;
+        };
+        for &next in outgoing {
+            if let Some(slot) = parent.get_mut(next) {
+                if slot.is_none() {
+                    *slot = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// The canonical chain from a root to `target`, as display paths
+/// (`root → … → target`). Empty if `target` is unreachable.
+pub fn chain(fns: &[FnDef], parents: &[Option<usize>], target: usize) -> Vec<String> {
+    let mut rev = Vec::new();
+    let mut cur = target;
+    for _ in 0..parents.len().max(1) {
+        let Some(f) = fns.get(cur) else {
+            return Vec::new();
+        };
+        rev.push(f.display_path());
+        match parents.get(cur) {
+            Some(Some(p)) if *p == cur => break, // reached a root
+            Some(Some(p)) => cur = *p,
+            _ => return Vec::new(), // unreachable
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(krate: &str, path: &[&str]) -> FnDef {
+        FnDef {
+            crate_name: krate.into(),
+            name: path.last().map(|s| s.to_string()).unwrap_or_default(),
+            path: path.iter().map(|s| s.to_string()).collect(),
+            file: "x.rs".into(),
+            line: 1,
+            is_method: path.len() > 2,
+            self_type: None,
+        }
+    }
+
+    #[test]
+    fn hotpaths_subset_parses() {
+        let src = "# comment\n[hot]\nroots = [\n  \"sim::Kernel::step\",  # trailing\n  \"core::Scenario::sample\",\n]\n\n[entry]\nroots = [\"core::Scenario::run\"]\n";
+        let hp = parse_hotpaths(src).expect("parses");
+        assert_eq!(hp.hot.len(), 2);
+        assert_eq!(hp.hot[0].pattern, "sim::Kernel::step");
+        assert_eq!(hp.hot[0].line, 4);
+        assert_eq!(hp.entry.len(), 1);
+    }
+
+    #[test]
+    fn hotpaths_rejects_malformed() {
+        assert!(parse_hotpaths("roots = [\"a::b\"]").is_err(), "no section");
+        assert!(
+            parse_hotpaths("[hot]\nroots = [\"bare\"]").is_err(),
+            "no ::"
+        );
+        assert!(
+            parse_hotpaths("[hot]\nroots = [\n\"a::b\"\n").is_err(),
+            "unterminated"
+        );
+    }
+
+    #[test]
+    fn root_pattern_matches_suffix() {
+        let f = def("sim", &["sim", "metrics", "Metrics", "incr_key"]);
+        assert!(root_matches("sim::Metrics::incr_key", &f));
+        assert!(root_matches("sim::metrics::Metrics::incr_key", &f));
+        assert!(!root_matches("core::Metrics::incr_key", &f), "wrong crate");
+        assert!(!root_matches("sim::Other::incr_key", &f), "wrong suffix");
+    }
+
+    #[test]
+    fn bfs_parents_give_chains() {
+        let fns = vec![
+            def("a", &["a", "root"]),
+            def("a", &["a", "mid"]),
+            def("a", &["a", "leaf"]),
+            def("a", &["a", "island"]),
+        ];
+        let edges = vec![vec![1], vec![2], vec![], vec![]];
+        let parents = reachable(&edges, &[0]);
+        assert_eq!(
+            chain(&fns, &parents, 2),
+            vec!["a::root", "a::mid", "a::leaf"]
+        );
+        assert!(chain(&fns, &parents, 3).is_empty());
+    }
+}

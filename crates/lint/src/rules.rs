@@ -6,6 +6,15 @@
 //! | `D2` | ambient wall-clock (`Instant::now`, `SystemTime::now`) | everywhere except `crates/bench/benches/` |
 //! | `D3` | ambient entropy (`thread_rng`, `rand::random`, `RandomState`, ...) | everywhere |
 //! | `P1` | panic paths (`.unwrap()`, `.expect(`, `panic!`, bare indexing) | non-test library code |
+//! | `A1` | allocating/formatting calls (`format!`, `.to_string()`, `Box::new`, un-pre-sized `Vec::new`/`.collect()`, `.clone()`, …) | functions reachable from a declared hot root |
+//! | `P2` | panic paths, transitively | functions reachable from a declared sim-visible entry point |
+//!
+//! `A1` and `P2` are *reachability-scoped*: their sites only fire inside
+//! functions the call-graph pass proves reachable from the roots declared
+//! in `lint-hotpaths.toml` (see [`crate::reach`]), and their diagnostics
+//! carry the `root → … → site` chain. A `P2` site is excused by either an
+//! `allow(P2)` or an `allow(P1)` directive — a reviewed panic invariant
+//! covers both the lexical and the transitive rule.
 //!
 //! `D1` deliberately flags *any* use of the hashed collections, not just
 //! loops over them: whether a given map is ever iterated is a whole-program
@@ -143,6 +152,54 @@ pub fn check_p1(code: &str) -> Option<Finding> {
         ));
     }
     None
+}
+
+/// The allocation site tokens rule `A1` looks for in hot-reachable code.
+/// `String::new`, `String::with_capacity` and `Vec::with_capacity` are
+/// deliberately absent: an empty `String` does not allocate and pre-sized
+/// buffers are the *fix* for `A1`, not a violation. `.push(..)` is also
+/// absent — amortized growth of a pre-sized buffer is the accepted idiom.
+const A1_TOKENS: &[(&str, &str)] = &[
+    ("format!", "`format!`"),
+    (".to_string()", "`.to_string()`"),
+    (".to_owned()", "`.to_owned()`"),
+    (".to_vec()", "`.to_vec()`"),
+    ("String::from(", "`String::from(..)`"),
+    ("Box::new(", "`Box::new(..)`"),
+    ("Rc::new(", "`Rc::new(..)`"),
+    ("Arc::new(", "`Arc::new(..)`"),
+    ("vec!", "`vec!`"),
+    ("Vec::new(", "un-pre-sized `Vec::new()`"),
+    (".collect(", "`.collect(..)`"),
+    (".collect::<", "`.collect::<..>()`"),
+    (".clone()", "`.clone()`"),
+];
+
+/// Returns the first `A1` (allocation/formatting) site on a scrubbed line,
+/// as its human-readable token label.
+pub fn a1_site(code: &str) -> Option<&'static str> {
+    A1_TOKENS
+        .iter()
+        .find(|(tok, _)| has_token(code, tok))
+        .map(|(_, label)| *label)
+}
+
+/// Returns the first `P2` (panic path) site on a scrubbed line. The site
+/// set matches `P1` exactly; the difference is the scope (reachability
+/// instead of file class).
+pub fn p2_site(code: &str) -> Option<&'static str> {
+    for (tok, label) in [
+        (".unwrap()", "`.unwrap()`"),
+        (".expect(", "`.expect(..)`"),
+        ("panic!", "`panic!`"),
+        ("todo!", "`todo!`"),
+        ("unimplemented!", "`unimplemented!`"),
+    ] {
+        if has_token(code, tok) {
+            return Some(label);
+        }
+    }
+    has_bare_indexing(code).then_some("bare indexing")
 }
 
 #[cfg(test)]

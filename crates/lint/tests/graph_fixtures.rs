@@ -1,0 +1,191 @@
+//! Golden tests for the call-graph pass over the fixture mini-workspace in
+//! `crates/lint/fixtures/graph/`: three crates (alpha → beta, gamma
+//! unrelated) with a declared hot root and entry root, exercising every
+//! edge kind the resolver supports and both suppression routes.
+//!
+//! The fixture sources are never compiled — `scan_workspace` reads them as
+//! text, exactly like the real gate.
+
+use riot_lint::{scan_workspace, RuleId, ScanReport};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("graph")
+}
+
+fn scan() -> ScanReport {
+    scan_workspace(&fixture_root()).expect("fixture scan succeeds")
+}
+
+/// Every finding the fixture workspace must produce — no more, no fewer —
+/// in the canonical `(file, line, rule)` order.
+#[test]
+fn exact_findings_in_order() {
+    let report = scan();
+    let got: Vec<(&str, usize, RuleId)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/alpha/src/lib.rs", 36, RuleId::A1),
+            ("crates/alpha/src/main.rs", 21, RuleId::P2),
+            ("crates/beta/src/lib.rs", 7, RuleId::A1),
+            ("crates/beta/src/lib.rs", 26, RuleId::A1),
+        ]
+    );
+}
+
+/// A deep A1 chain: self-method hop, then a qualified cross-crate hop,
+/// then a qualified cross-module hop into the allocating function.
+#[test]
+fn multi_hop_a1_chain_is_exact() {
+    let report = scan();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file == "crates/beta/src/lib.rs" && d.line == 7)
+        .expect("format! finding in beta::inner");
+    assert_eq!(d.rule, RuleId::A1);
+    assert_eq!(d.message, "`format!` on the allocation-free hot path");
+    assert_eq!(
+        d.chain,
+        vec![
+            "alpha::Engine::tick",
+            "alpha::Engine::record",
+            "beta::store",
+            "beta::inner::format_it",
+        ]
+    );
+}
+
+/// A method-call edge (`self.sink.absorb(..)`) resolved by name within the
+/// caller's dependency cone.
+#[test]
+fn method_call_edge_resolves_into_dependency() {
+    let report = scan();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file == "crates/beta/src/lib.rs" && d.line == 26)
+        .expect("Box::new finding in beta::Sink::absorb");
+    assert_eq!(d.rule, RuleId::A1);
+    assert_eq!(d.message, "`Box::new(..)` on the allocation-free hot path");
+    assert_eq!(d.chain, vec!["alpha::Engine::tick", "beta::Sink::absorb"]);
+}
+
+/// A bare-call edge stays inside the caller's crate.
+#[test]
+fn bare_call_edge_chain_is_exact() {
+    let report = scan();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file == "crates/alpha/src/lib.rs")
+        .expect("to_string finding in alpha::helper");
+    assert_eq!(d.line, 36);
+    assert_eq!(d.message, "`.to_string()` on the allocation-free hot path");
+    assert_eq!(d.chain, vec!["alpha::Engine::tick", "alpha::helper"]);
+}
+
+/// A multi-hop P2 chain from the declared entry point, through a plain
+/// dispatcher, into the panicking function — in a binary the lexical P1
+/// pass never touches.
+#[test]
+fn multi_hop_p2_chain_is_exact() {
+    let report = scan();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == RuleId::P2)
+        .expect("unwrap finding in alpha::danger");
+    assert_eq!(d.file, "crates/alpha/src/main.rs");
+    assert_eq!(d.line, 21);
+    assert_eq!(
+        d.message,
+        "`.unwrap()` reachable from a sim-visible entry point"
+    );
+    assert_eq!(
+        d.chain,
+        vec!["alpha::run", "alpha::dispatch", "alpha::danger"]
+    );
+}
+
+/// `gamma::helper` shares a name with `alpha::helper` but gamma is not in
+/// alpha's dependency cone: the bare call in `tick` must not link to it,
+/// so gamma's `Vec::new()` produces no finding. Likewise `beta::untouched`
+/// allocates but is unreachable from any root.
+#[test]
+fn unreachable_and_foreign_crate_sites_are_silent() {
+    let report = scan();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file.starts_with("crates/gamma/")),
+        "same-name function in an unrelated crate was falsely linked"
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file == "crates/beta/src/lib.rs" && d.line == 16),
+        "unreachable allocation was falsely reported"
+    );
+}
+
+/// Allow directives suppress graph findings on reachable code:
+/// `allow(A1)` on `alpha::Engine::cold_note`, and `allow(P1)` — which also
+/// excuses P2 — on `alpha::shielded`.
+#[test]
+fn allows_suppress_reachable_sites() {
+    let report = scan();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file == "crates/alpha/src/lib.rs" && d.line == 30),
+        "allow(A1) on a reachable line was ignored"
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file == "crates/alpha/src/main.rs" && d.line == 27),
+        "allow(P1) did not excuse the transitive P2 finding"
+    );
+}
+
+/// The pass statistics surfaced in `--json`.
+#[test]
+fn graph_stats_are_exact() {
+    let report = scan();
+    let g = report.graph.expect("graph pass ran (lint-hotpaths.toml)");
+    assert_eq!(g.fns_indexed, 14);
+    assert_eq!(g.hot_roots, 1);
+    assert_eq!(g.entry_roots, 1);
+    assert_eq!(
+        g.hot_reachable, 7,
+        "tick, record, helper, absorb, cold_note, store, format_it"
+    );
+    assert_eq!(g.entry_reachable, 4, "run, dispatch, danger, shielded");
+}
+
+/// The full machine-readable report, byte-for-byte: pins the documented
+/// `--json` schema (field order, chain arrays, graph stats).
+#[test]
+fn golden_json_report() {
+    let got = scan().to_json().pretty();
+    let golden_path = fixture_root().join("golden_report.json");
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden_path.display()));
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "--json schema drifted; if intentional, regenerate fixtures/graph/golden_report.json"
+    );
+}

@@ -1,6 +1,7 @@
 //! The tier-1 gate: linting the workspace itself must come back clean.
-//! Any new HashMap iteration, ambient clock/entropy, or unannotated panic
-//! path in library code fails `cargo test` right here.
+//! Any new HashMap iteration, ambient clock/entropy, unannotated panic
+//! path in library code, or allocation/panic reachable from a declared
+//! hot/entry root fails `cargo test` right here.
 
 #[test]
 fn workspace_has_no_violations() {
@@ -19,5 +20,33 @@ fn workspace_has_no_violations() {
         "riot-lint found {} violation(s):\n{}",
         report.diagnostics.len(),
         rendered.join("\n")
+    );
+    // The call-graph pass must actually have run (lint-hotpaths.toml at
+    // the workspace root) and resolved a healthy slice of the workspace —
+    // a pass that silently indexed nothing would make A1/P2 vacuous.
+    let graph = report.graph.expect("call-graph pass ran");
+    assert!(
+        graph.fns_indexed > 500,
+        "suspiciously small symbol table: {} fns",
+        graph.fns_indexed
+    );
+    assert_eq!(
+        graph.hot_roots, 11,
+        "hot roots declared in lint-hotpaths.toml"
+    );
+    assert_eq!(
+        graph.entry_roots, 6,
+        "entry roots declared in lint-hotpaths.toml"
+    );
+    assert!(
+        graph.hot_reachable >= 20,
+        "hot cone suspiciously small: {} fns",
+        graph.hot_reachable
+    );
+    assert!(
+        graph.entry_reachable > graph.hot_reachable,
+        "entry cone ({}) should dominate the hot cone ({})",
+        graph.entry_reachable,
+        graph.hot_reachable
     );
 }

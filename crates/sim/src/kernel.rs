@@ -209,6 +209,7 @@ impl<M: fmt::Debug> Kernel<M> {
             return;
         }
         let detail = match payload {
+            // riot-lint: allow(A1, reason = "payload render is gated by trace_payloads, which benchmarked hot runs leave off")
             Some(msg) if self.trace_payloads => format!("{msg:?}"),
             _ => String::new(),
         };

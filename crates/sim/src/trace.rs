@@ -154,6 +154,7 @@ impl SimObserver for Trace {
             self.entries.push(TraceEntry {
                 at: event.at,
                 kind: event.kind.to_trace_kind(),
+                // riot-lint: allow(A1, reason = "recording is gated by the tracing flag, off for benchmarked hot runs")
                 detail: event.detail.clone(),
             });
         }
