@@ -19,7 +19,10 @@
 use riot_bench::perf::{repo_root, run_benchmark, suite_json, validate_suite, PerfResult};
 use riot_core::{Scenario, ScenarioSpec};
 use riot_model::MaturityLevel;
-use riot_sim::{Ctx, Metrics, Process, ProcessId, Sim, SimBuilder, SimDuration};
+use riot_sim::{
+    ActivityTracker, Ctx, MeasureProbe, MetricKey, Metrics, Process, ProcessId, QuantileSketch,
+    Sim, SimBuilder, SimDuration, StreamPipeline,
+};
 
 /// Ping-pong over the ideal medium: the minimal two-process workload whose
 /// cost is pure kernel (heap, dispatch, metrics) with no protocol logic.
@@ -51,6 +54,65 @@ fn kernel_throughput(rounds: u64) -> u64 {
     sim.add_process(Pinger {
         peer: Some(ponger),
         rounds_left: rounds,
+    });
+    sim.run_to_completion()
+}
+
+/// The ping workload with streaming telemetry attached: one `Measure` per
+/// completed round trip (the cadence `DeviceProcess` publishes control
+/// latency at), consumed by the latency/liveness telemetry bundle —
+/// [`MeasureProbe`] (online stats + quantile sketch + tumbling window) and
+/// [`ActivityTracker`]. Event kinds outside the pipeline's interest are
+/// masked out at the kernel, so this measures exactly the streamed
+/// observation path: masked emission on every event plus full probe work
+/// per sample. Throughput relative to `kernel_throughput` is the streaming
+/// tax; the smoke gate requires the streamed path to sustain at least half
+/// the unobserved rate.
+struct MeasuringPinger {
+    peer: Option<ProcessId>,
+    rounds_left: u64,
+    key: MetricKey,
+}
+
+impl Process<u64> for MeasuringPinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(peer) = self.peer {
+            ctx.send(peer, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: ProcessId, n: u64) {
+        if n & 1 == 1 {
+            // Odd sequence numbers are replies: one latency sample per
+            // round trip, like the device control loop.
+            ctx.measure(self.key, (n % 97) as f64);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.send(from, n + 1);
+        }
+    }
+}
+
+fn stream_pipeline_throughput(rounds: u64) -> u64 {
+    let mut sim: Sim<u64> = SimBuilder::new(7).build();
+    let key = sim.metrics_mut().intern("bench.latency_ms");
+    let mut pipeline = StreamPipeline::with_capacity(2);
+    pipeline.push(MeasureProbe::new(
+        key,
+        QuantileSketch::for_latency_ms(),
+        SimDuration::from_millis(10),
+    ));
+    pipeline.push(ActivityTracker::new(2));
+    sim.add_observer(pipeline);
+    let ponger = sim.add_process(MeasuringPinger {
+        peer: None,
+        rounds_left: rounds,
+        key,
+    });
+    sim.add_process(MeasuringPinger {
+        peer: Some(ponger),
+        rounds_left: rounds,
+        key,
     });
     sim.run_to_completion()
 }
@@ -154,6 +216,7 @@ fn main() {
     );
     let results: Vec<PerfResult> = vec![
         run_benchmark("kernel_throughput", k, || kernel_throughput(msgs)),
+        run_benchmark("stream_pipeline", k, || stream_pipeline_throughput(msgs)),
         run_benchmark("metrics_incr", k, || metrics_incr(updates)),
         run_benchmark("metrics_incr_string", k, || metrics_incr_string(updates)),
         run_benchmark("metrics_observe", k, || metrics_observe(updates)),
@@ -178,6 +241,25 @@ fn main() {
             r.events_per_sec > 0.0,
             "{}: events/s must be positive",
             r.id
+        );
+    }
+
+    let rate = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map_or(0.0, |r| r.events_per_sec)
+    };
+    let streaming_ratio = rate("stream_pipeline") / rate("kernel_throughput").max(f64::EPSILON);
+    println!(
+        "stream_pipeline sustains {:.0}% of unobserved kernel throughput",
+        streaming_ratio * 100.0
+    );
+    if smoke {
+        assert!(
+            streaming_ratio >= 0.5,
+            "streamed path must sustain >=50% of unobserved kernel throughput, got {:.0}%",
+            streaming_ratio * 100.0
         );
     }
 

@@ -17,6 +17,7 @@
 //!        [--suite infrastructure|service|connectivity|governance|mobility|none]
 //!        [--roaming N]                        # N roaming devices (geometry walks)
 //!        [--trace-tail N]                     # keep + print the last N kernel events
+//!        [--stream-summary]                   # attach streaming telemetry, print aggregates
 //!        [--json FILE]                        # write results as JSON
 //! EXAMPLE:
 //!   cargo run -p riot-bench --bin riot -- --all-levels --suite connectivity --seeds 3
@@ -25,11 +26,11 @@
 use riot_bench::suites;
 use riot_core::{
     resilience_table, roaming_schedule, MobilitySpec, Scenario, ScenarioResult, ScenarioSpec,
-    Stats, Table,
+    Stats, StreamSpec, Table,
 };
 use riot_harness::{Cell, Grid, HarnessConfig};
 use riot_model::MaturityLevel;
-use riot_sim::{SimDuration, SimRng};
+use riot_sim::{Json, SimDuration, SimRng, ToJson};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -45,6 +46,7 @@ struct Args {
     suite: Option<String>,
     roaming: usize,
     trace_tail: Option<usize>,
+    stream_summary: bool,
     json: Option<String>,
 }
 
@@ -62,6 +64,7 @@ impl Default for Args {
             suite: None,
             roaming: 0,
             trace_tail: None,
+            stream_summary: false,
             json: None,
         }
     }
@@ -71,7 +74,7 @@ fn usage() -> &'static str {
     "usage: riot [--level ml1|ml2|ml3|ml4 | --all-levels] [--edges N] [--devices N]\n\
      \x20           [--duration SECS] [--warmup SECS] [--seed N] [--seeds N] [--threads N]\n\
      \x20           [--suite infrastructure|service|connectivity|governance|mobility|none]\n\
-     \x20           [--roaming N] [--trace-tail N] [--json FILE]"
+     \x20           [--roaming N] [--trace-tail N] [--stream-summary] [--json FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -105,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => args.threads = Some(num(&value(&mut i, "--threads")?)?),
             "--roaming" => args.roaming = num(&value(&mut i, "--roaming")?)?,
             "--trace-tail" => args.trace_tail = Some(num(&value(&mut i, "--trace-tail")?)?),
+            "--stream-summary" => args.stream_summary = true,
             "--suite" => {
                 let v = value(&mut i, "--suite")?;
                 args.suite = if v == "none" { None } else { Some(v) };
@@ -161,6 +165,12 @@ fn build_spec(args: &Args, level: MaturityLevel, seed: u64) -> Result<ScenarioSp
         spec.disruptions.merge(roam);
     }
     spec.trace_tail = args.trace_tail;
+    if args.stream_summary {
+        spec.streams = StreamSpec::standard();
+    }
+    // Typed spec validation: report the error instead of letting
+    // Scenario::build panic inside a harness cell.
+    spec.validate().map_err(|e| e.to_string())?;
     Ok(spec)
 }
 
@@ -286,9 +296,63 @@ fn main() -> ExitCode {
         }
     }
 
+    // With --stream-summary every cell ran the windowed-telemetry pipeline;
+    // print the bounded aggregates as a table, grouped per cell (mirrors
+    // the --trace-tail presentation above).
+    if args.stream_summary {
+        println!();
+        for rec in &report.cells {
+            let Ok(result) = &rec.outcome else { continue };
+            println!("stream summary for {}:", rec.id);
+            let mut t = Table::new(&["stream", "count", "mean", "p50", "p95", "p99", "flows"]);
+            for row in &result.streams {
+                let stat =
+                    |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+                let flows = if row.flows.is_empty() {
+                    "-".to_owned()
+                } else {
+                    row.flows
+                        .iter()
+                        .map(|(name, n)| format!("{name}={n}"))
+                        .collect::<Vec<String>>()
+                        .join(" ")
+                };
+                t.row(vec![
+                    row.name.clone(),
+                    row.count.to_string(),
+                    stat(row.stats.map(|s| s.mean)),
+                    stat(row.quantiles.map(|q| q.p50)),
+                    stat(row.quantiles.map(|q| q.p95)),
+                    stat(row.quantiles.map(|q| q.p99)),
+                    flows,
+                ]);
+            }
+            println!("{}", t.render());
+        }
+    }
+
     if let Some(path) = &args.json {
         let results: Vec<&ScenarioResult> = report.values().collect();
-        let json = riot_sim::ToJson::to_json(&results).pretty();
+        // Stream rows are excluded from the default rendering (artifact
+        // byte-identity); --stream-summary is the explicit opt-in that
+        // appends them to each result object.
+        let json = if args.stream_summary {
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        let mut obj = r.to_json();
+                        if let Json::Obj(pairs) = &mut obj {
+                            pairs.push(("streams".to_owned(), r.streams.to_json()));
+                        }
+                        obj
+                    })
+                    .collect(),
+            )
+            .pretty()
+        } else {
+            results.to_json().pretty()
+        };
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(1);
@@ -343,6 +407,26 @@ mod tests {
         let a = parse_args(&argv("")).unwrap();
         let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
         assert_eq!(spec.trace_tail, None);
+    }
+
+    #[test]
+    fn stream_summary_reaches_the_spec() {
+        let a = parse_args(&argv("--stream-summary")).unwrap();
+        assert!(a.stream_summary);
+        let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
+        assert_eq!(spec.streams.len(), 4, "all built-in stream kinds enabled");
+        let a = parse_args(&argv("")).unwrap();
+        assert!(!a.stream_summary);
+        let spec = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap();
+        assert!(spec.streams.is_empty(), "streams are strictly opt-in");
+    }
+
+    #[test]
+    fn build_spec_surfaces_typed_validation_errors() {
+        let mut a = parse_args(&argv("--trace-tail 5")).unwrap();
+        a.trace_tail = Some(usize::MAX); // bypass the flag parser's own check
+        let err = build_spec(&a, MaturityLevel::Ml4, a.seed).unwrap_err();
+        assert!(err.contains("trace_tail"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ const TAG_SYNC: u64 = 2;
 #[derive(Debug, Clone, Copy)]
 struct CloudKeys {
     ingest_denied: MetricKey,
+    ingest_latency_ms: MetricKey,
     restart_sent: MetricKey,
     sync_applied: MetricKey,
 }
@@ -34,6 +35,7 @@ impl CloudKeys {
     fn new(m: &mut Metrics) -> Self {
         CloudKeys {
             ingest_denied: m.intern("cloud.ingest.denied"),
+            ingest_latency_ms: m.intern("cloud.ingest.latency_ms"),
             restart_sent: m.intern("mape.restart_sent"),
             sync_applied: m.intern("cloud.sync.applied"),
         }
@@ -146,10 +148,16 @@ impl CloudProcess {
         } = reading;
         let now = ctx.now();
         self.last_seen.insert(component, (device, now));
+        let produced_at = meta.produced_at;
         let action = self.store.ingest(key, value, meta, &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
             let key = self.hot_keys(ctx).ingest_denied;
             ctx.metrics().incr_key(key);
+        } else {
+            // Virtual age of the reading at accept time, for streaming
+            // ingest-latency consumers; one branch when nobody listens.
+            let lat_key = self.hot_keys(ctx).ingest_latency_ms;
+            ctx.measure(lat_key, now.saturating_since(produced_at).as_millis_f64());
         }
         if let Some(mape) = self.mape.as_mut() {
             mape.observe_component(component, state, device, now);

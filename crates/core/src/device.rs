@@ -355,6 +355,9 @@ impl Process<Msg> for DeviceProcess {
                 self.consecutive_timeouts = 0;
                 let key = self.hot_keys(ctx).control_latency_ms;
                 ctx.metrics().observe_key(key, latency_ms);
+                // Same value onto the observability bus for streaming
+                // consumers; one branch when nobody listens.
+                ctx.measure(key, latency_ms);
             }
             Msg::App(AppMsg::Restart { component })
                 if component == self.cfg.component && self.state == ComponentState::Failed =>

@@ -28,6 +28,7 @@ struct EdgeKeys {
     swim_state_change: MetricKey,
     election_leader_change: MetricKey,
     ingest_denied: MetricKey,
+    ingest_latency_ms: MetricKey,
     restart_sent: MetricKey,
     restarted: MetricKey,
     sync_applied: MetricKey,
@@ -40,6 +41,7 @@ impl EdgeKeys {
             swim_state_change: m.intern("edge.swim.state_change"),
             election_leader_change: m.intern("edge.election.leader_change"),
             ingest_denied: m.intern("edge.ingest.denied"),
+            ingest_latency_ms: m.intern("edge.ingest.latency_ms"),
             restart_sent: m.intern("mape.restart_sent"),
             restarted: m.intern("edge.restarted"),
             sync_applied: m.intern("edge.sync.applied"),
@@ -292,6 +294,14 @@ impl EdgeProcess {
         if action == riot_data::PolicyAction::Deny {
             let key = self.hot_keys(ctx).ingest_denied;
             ctx.metrics().incr_key(key);
+        } else {
+            // Virtual age of the reading at accept time, for streaming
+            // ingest-latency consumers; one branch when nobody listens.
+            let lat_key = self.hot_keys(ctx).ingest_latency_ms;
+            ctx.measure(
+                lat_key,
+                now.saturating_since(meta.produced_at).as_millis_f64(),
+            );
         }
         if let Some(mape) = self.mape.as_mut() {
             mape.observe_component(component, state, device, now);

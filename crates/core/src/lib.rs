@@ -24,7 +24,11 @@
 //! * Scenarios publish per-sample requirement valuations onto the kernel
 //!   observability bus: [`MonitorSpec`] watches LTL properties *online*
 //!   (verdicts and detection timestamps in [`ScenarioResult::monitors`]),
-//!   [`ScenarioSpec::trace_tail`] keeps bounded crash forensics, and
+//!   [`ScenarioSpec::trace_tail`] keeps bounded crash forensics,
+//!   [`ScenarioSpec::streams`] attaches windowed streaming-telemetry
+//!   operators (online percentiles, per-jurisdiction flow accounting,
+//!   liveness mirroring — [`StreamSpec`]) whose bounded
+//!   [`StreamSummary`] rows land in [`ScenarioResult::streams`], and
 //!   [`ObserverSpec`] registers custom streaming observers.
 //!
 //! ## Quickstart
@@ -64,11 +68,16 @@ pub use device::{DeviceConfig, DeviceProcess, DeviceWindow};
 pub use edge::{EdgeConfig, EdgeProcess};
 pub use mobility::{roaming_schedule, Layout, MobilitySpec};
 pub use msg::{AppMsg, Msg, PolicyUpdate};
-pub use observe::{MonitorOutcome, MonitorSpec, ObserverSpec, SAT_LABEL};
+pub use observe::{
+    MonitorOutcome, MonitorSpec, ObserverSpec, StreamKind, StreamQuantiles, StreamSpec,
+    StreamStats, StreamSummary, SAT_LABEL,
+};
 pub use recovery::RecoveryPlanner;
 pub use report::{pct, resilience_table, secs, Stats, Table};
 pub use resilience::{
     outcome_from_series, standard_goal_model, standard_requirements, RequirementOutcome,
     ResilienceReport, Thresholds, GOAL_NAME, REQUIREMENT_NAMES,
 };
-pub use scenario::{standard_domains, DeviceInfo, Scenario, ScenarioResult, ScenarioSpec};
+pub use scenario::{
+    standard_domains, DeviceInfo, Scenario, ScenarioResult, ScenarioSpec, SpecError, MAX_TRACE_TAIL,
+};

@@ -25,10 +25,12 @@
 //!
 //! 1. the online monitor bank built from `ScenarioSpec::monitors` (if any),
 //! 2. the forensic `RingTrace` from `ScenarioSpec::trace_tail` (if any),
-//! 3. each [`ObserverSpec`] factory, in registration order.
+//! 3. the streaming-telemetry pipeline from `ScenarioSpec::streams` (if
+//!    non-empty; see [`StreamSpec`]),
+//! 4. each [`ObserverSpec`] factory, in registration order.
 
 use riot_formal::{OnlineMonitor, Verdict3};
-use riot_sim::{AnyObserver, SimObserver};
+use riot_sim::{AnyObserver, Json, SimObserver, ToJson};
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
@@ -185,6 +187,198 @@ impl fmt::Debug for ObserverSpec {
         f.debug_struct("ObserverSpec")
             .field("factories", &self.factories.len())
             .finish()
+    }
+}
+
+/// One built-in streaming-telemetry pipeline stage a scenario can enable.
+///
+/// Each kind maps to a concrete `riot_sim::stream` operator that
+/// `Scenario::build` registers inside a single
+/// [`StreamPipeline`](riot_sim::StreamPipeline) observer. Operators consume
+/// bus events online in O(window) memory; at end of run each enabled kind
+/// reports one [`StreamSummary`] row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Online stats + quantile sketch over `device.control.latency_ms`
+    /// measurements (round-trip of the device→edge control loop).
+    ControlLatency,
+    /// Online stats + quantile sketch over edge/cloud ingest latency
+    /// measurements — virtual age of a reading (`now - produced_at`) at the
+    /// instant the ingesting tier accepts it.
+    IngestLatency,
+    /// Per-jurisdiction delivered-message flow accounting
+    /// ([`FlowAccounting`](riot_sim::FlowAccounting)): every `Delivered`
+    /// event is counted against the destination node's data-domain
+    /// jurisdiction.
+    FlowsByJurisdiction,
+    /// Node liveness mirror ([`ActivityTracker`](riot_sim::ActivityTracker)):
+    /// tracks up/down transitions and lets sampling read availability from
+    /// the stream instead of rescanning kernel state.
+    Activity,
+}
+
+impl StreamKind {
+    /// The stable row name this kind reports under in [`StreamSummary`].
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKind::ControlLatency => "device.control.latency_ms",
+            StreamKind::IngestLatency => "ingest.latency_ms",
+            StreamKind::FlowsByJurisdiction => "flows.jurisdiction",
+            StreamKind::Activity => "activity.transitions",
+        }
+    }
+}
+
+/// Declarative selection of streaming-telemetry pipelines for a scenario.
+///
+/// Empty by default: a spec that does not opt in gets no stream observer at
+/// all, so existing results artifacts are byte-identical with or without this
+/// feature compiled in. Enabled streams are passive bus taps — they cannot
+/// perturb the run — and only *add* a `streams` section to reported results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSpec {
+    kinds: Vec<StreamKind>,
+}
+
+impl StreamSpec {
+    /// No streams enabled.
+    pub fn new() -> Self {
+        StreamSpec::default()
+    }
+
+    /// Enables every built-in stream kind.
+    pub fn standard() -> Self {
+        let mut spec = StreamSpec::new();
+        spec.enable(StreamKind::ControlLatency);
+        spec.enable(StreamKind::IngestLatency);
+        spec.enable(StreamKind::FlowsByJurisdiction);
+        spec.enable(StreamKind::Activity);
+        spec
+    }
+
+    /// Enables one kind (idempotent).
+    pub fn enable(&mut self, kind: StreamKind) -> &mut Self {
+        if !self.kinds.contains(&kind) {
+            self.kinds.push(kind);
+        }
+        self
+    }
+
+    /// `true` if the kind has been enabled.
+    pub fn contains(&self, kind: StreamKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+
+    /// Number of enabled kinds.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` when no stream is enabled (the default).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Enabled kinds in enable order.
+    pub fn kinds(&self) -> &[StreamKind] {
+        &self.kinds
+    }
+}
+
+/// Moment statistics of one stream, computed online (Welford) in O(1) memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Arithmetic mean of all samples.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Percentiles of one stream from the online quantile sketch.
+///
+/// Each reported value is within relative *value* error `alpha` of some
+/// sample whose rank is exact at bucket granularity (see
+/// `riot_sim::QuantileSketch`); `alpha` echoes the sketch's configured bound
+/// so consumers need not hard-code it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamQuantiles {
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Relative value-error bound of the estimates.
+    pub alpha: f64,
+}
+
+/// End-of-run report of one enabled stream: a bounded-memory summary row.
+///
+/// Unlike the unbounded `series_*` vectors in
+/// [`ScenarioResult`](crate::ScenarioResult), a summary's size is independent
+/// of run length — it is the streaming-telemetry answer to "what did this
+/// signal look like" without retaining the signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Stable row name (see [`StreamKind::name`]).
+    pub name: String,
+    /// Number of events/samples the stream consumed.
+    pub count: u64,
+    /// Moment statistics, when the stream carries a numeric signal with at
+    /// least one sample.
+    pub stats: Option<StreamStats>,
+    /// Sketch percentiles, when the stream keeps a quantile sketch with at
+    /// least one sample.
+    pub quantiles: Option<StreamQuantiles>,
+    /// Named sub-counts (e.g. delivered messages per jurisdiction), empty
+    /// for purely numeric streams.
+    pub flows: Vec<(String, u64)>,
+}
+
+impl ToJson for StreamSummary {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("count".to_owned(), Json::UInt(self.count)),
+        ];
+        if let Some(s) = &self.stats {
+            pairs.push((
+                "stats".to_owned(),
+                Json::obj(vec![
+                    ("mean".to_owned(), Json::Float(s.mean)),
+                    ("stddev".to_owned(), Json::Float(s.stddev)),
+                    ("min".to_owned(), Json::Float(s.min)),
+                    ("max".to_owned(), Json::Float(s.max)),
+                ]),
+            ));
+        }
+        if let Some(q) = &self.quantiles {
+            pairs.push((
+                "quantiles".to_owned(),
+                Json::obj(vec![
+                    ("p50".to_owned(), Json::Float(q.p50)),
+                    ("p95".to_owned(), Json::Float(q.p95)),
+                    ("p99".to_owned(), Json::Float(q.p99)),
+                    ("alpha".to_owned(), Json::Float(q.alpha)),
+                ]),
+            ));
+        }
+        if !self.flows.is_empty() {
+            pairs.push((
+                "flows".to_owned(),
+                Json::obj(
+                    self.flows
+                        .iter()
+                        .map(|(name, n)| (name.clone(), Json::UInt(*n)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 

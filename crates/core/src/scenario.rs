@@ -20,7 +20,10 @@ use crate::config::{ArchitectureConfig, ReplicationMode};
 use crate::device::{DeviceConfig, DeviceProcess, DeviceWindow};
 use crate::edge::{EdgeConfig, EdgeProcess};
 use crate::msg::Msg;
-use crate::observe::{monitor_outcomes, MonitorOutcome, MonitorSpec, ObserverSpec, SAT_LABEL};
+use crate::observe::{
+    monitor_outcomes, MonitorOutcome, MonitorSpec, ObserverSpec, StreamKind, StreamQuantiles,
+    StreamSpec, StreamStats, StreamSummary, SAT_LABEL,
+};
 use crate::resilience::{
     standard_goal_model, standard_requirements, ResilienceReport, Thresholds, GOAL_NAME,
     REQUIREMENT_NAMES,
@@ -33,8 +36,8 @@ use riot_model::{
 };
 use riot_net::{presets, Hierarchy, HierarchySpec, LatencyModel, Link, Network};
 use riot_sim::{
-    HistogramSummary, MetricKey, Metrics, ProcessId, RingTrace, Sim, SimBuilder, SimDuration,
-    SimTime,
+    ActivityTracker, FlowAccounting, HistogramSummary, MeasureProbe, MetricKey, Metrics, ProcessId,
+    QuantileSketch, RingTrace, Sim, SimBuilder, SimDuration, SimTime, StreamPipeline,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -90,11 +93,54 @@ pub struct ScenarioSpec {
     /// long runs (O(N) retention) and also ships crash forensics when a run
     /// panics inside a harness cell.
     pub trace_tail: Option<usize>,
+    /// Built-in streaming-telemetry pipelines (windowed operators over the
+    /// observer bus; see [`StreamSpec`]). Empty by default; enabled streams
+    /// only *add* [`ScenarioResult::streams`] rows — every published
+    /// artifact stays byte-identical.
+    pub streams: StreamSpec,
     /// Additional observers registered on the bus, after the built-in
-    /// monitor bank and ring (registration order is fixed; see
-    /// [`ObserverSpec`]).
+    /// monitor bank, ring and stream pipeline (registration order is fixed;
+    /// see [`ObserverSpec`]).
     pub observers: ObserverSpec,
 }
+
+/// Largest ring-tail capacity a spec may request (2^20 entries). A request
+/// beyond this is almost certainly a units mistake — `RingTrace` used to
+/// clamp silently, which hid exactly that class of bug.
+pub const MAX_TRACE_TAIL: usize = 1 << 20;
+
+/// A structurally invalid [`ScenarioSpec`], detected by
+/// [`ScenarioSpec::validate`] before any simulation resources are committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `trace_tail = Some(0)` retains nothing; use `None` to disable the
+    /// ring instead.
+    ZeroTraceTail,
+    /// `trace_tail` exceeds [`MAX_TRACE_TAIL`].
+    TraceTailTooLarge {
+        /// The capacity the spec asked for.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroTraceTail => {
+                write!(
+                    f,
+                    "trace_tail = Some(0) retains nothing; use None to disable"
+                )
+            }
+            SpecError::TraceTailTooLarge { requested } => write!(
+                f,
+                "trace_tail of {requested} entries exceeds the maximum of {MAX_TRACE_TAIL}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 impl ScenarioSpec {
     /// A scenario with sensible defaults: 4 edges × 8 devices, 120 s run
@@ -118,7 +164,20 @@ impl ScenarioSpec {
             trace_events: false,
             monitors: Vec::new(),
             trace_tail: None,
+            streams: StreamSpec::new(),
             observers: ObserverSpec::new(),
+        }
+    }
+
+    /// Checks spec invariants that [`Scenario::build`] would otherwise trip
+    /// over at runtime. `build` calls this and panics on error; callers
+    /// assembling specs from untrusted input (CLI flags, config files)
+    /// should call it first and report the typed error instead.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self.trace_tail {
+            Some(0) => Err(SpecError::ZeroTraceTail),
+            Some(n) if n > MAX_TRACE_TAIL => Err(SpecError::TraceTailTooLarge { requested: n }),
+            _ => Ok(()),
         }
     }
 
@@ -278,8 +337,42 @@ pub struct Scenario {
     monitor_idx: Option<usize>,
     /// Bus index of the forensic ring, when `spec.trace_tail` is set.
     ring_idx: Option<usize>,
+    /// Bus/operator indices of the stream pipeline, when `spec.streams` is
+    /// non-empty.
+    streams: Option<StreamIdx>,
     /// Pre-interned series keys for the sampling loop.
     sample_keys: SampleKeys,
+}
+
+/// Bus and operator indices of the built-in streaming-telemetry pipeline,
+/// resolved at build time so `sample` and `finish` reach each operator
+/// without searching the bus.
+struct StreamIdx {
+    /// Bus index of the [`StreamPipeline`] observer.
+    pipeline: usize,
+    /// Operator index of the control-latency probe.
+    control: Option<usize>,
+    /// Operator index of the edge ingest-latency probe.
+    edge_ingest: Option<usize>,
+    /// Operator index of the cloud ingest-latency probe.
+    cloud_ingest: Option<usize>,
+    /// Operator index of the per-jurisdiction flow accountant.
+    flows: Option<usize>,
+    /// Operator index of the node-liveness mirror.
+    activity: Option<usize>,
+    /// `(flow key, display label)` per jurisdiction counter, resolved at
+    /// build time so the end-of-run harvest needn't reverse-lookup interned
+    /// names.
+    flow_names: Vec<(MetricKey, &'static str)>,
+}
+
+/// Stable wire label for a jurisdiction (flow-accounting row names).
+fn jurisdiction_label(j: Jurisdiction) -> &'static str {
+    match j {
+        Jurisdiction::EuGdpr => "eu-gdpr",
+        Jurisdiction::UsCcpa => "us-ccpa",
+        Jurisdiction::Other => "other",
+    }
 }
 
 impl std::fmt::Debug for Scenario {
@@ -315,12 +408,16 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics on degenerate specs (zero edges or devices).
+    /// Panics on degenerate specs (zero edges or devices) and on specs
+    /// rejected by [`ScenarioSpec::validate`].
     pub fn build(spec: ScenarioSpec) -> Scenario {
         assert!(
             spec.edges >= 1 && spec.devices_per_edge >= 1,
             "degenerate scenario"
         );
+        let validated = spec.validate();
+        // riot-lint: allow(P1, reason = "spec validation: an invalid spec must fail loudly at build time, like the degenerate-spec assert above; validate() is public for callers that want the typed error")
+        validated.unwrap_or_else(|e| panic!("invalid scenario spec: {e}"));
         let arch = spec.architecture();
 
         // -- Network. The physical topology is identical at every maturity
@@ -376,9 +473,9 @@ impl Scenario {
         let sample_keys = SampleKeys::new(sim.metrics_mut());
 
         // -- Observability bus. Registration order is fixed and documented
-        // (crate::observe): monitor bank, forensic ring, then user
-        // factories. Observers only read events, so this cannot change the
-        // run itself — only what gets reported.
+        // (crate::observe): monitor bank, forensic ring, stream pipeline,
+        // then user factories. Observers only read events, so this cannot
+        // change the run itself — only what gets reported.
         let monitor_idx = if spec.monitors.is_empty() {
             None
         } else {
@@ -393,6 +490,75 @@ impl Scenario {
         let ring_idx = spec
             .trace_tail
             .map(|cap| sim.add_observer(RingTrace::forensics(cap)));
+        let streams = if spec.streams.is_empty() {
+            None
+        } else {
+            let n = 1 + spec.edges + spec.device_count();
+            let mut pipeline = StreamPipeline::with_capacity(spec.streams.len() + 1);
+            let mut idx = StreamIdx {
+                pipeline: 0,
+                control: None,
+                edge_ingest: None,
+                cloud_ingest: None,
+                flows: None,
+                activity: None,
+                flow_names: Vec::new(),
+            };
+            for &kind in spec.streams.kinds() {
+                match kind {
+                    StreamKind::ControlLatency => {
+                        let key = sim.metrics_mut().intern("device.control.latency_ms");
+                        idx.control = Some(pipeline.push(MeasureProbe::new(
+                            key,
+                            QuantileSketch::for_latency_ms(),
+                            spec.sample_every,
+                        )));
+                    }
+                    StreamKind::IngestLatency => {
+                        // One probe per ingesting tier; both read the same
+                        // virtual reading age published at accept time.
+                        let edge_key = sim.metrics_mut().intern("edge.ingest.latency_ms");
+                        let cloud_key = sim.metrics_mut().intern("cloud.ingest.latency_ms");
+                        idx.edge_ingest = Some(pipeline.push(MeasureProbe::new(
+                            edge_key,
+                            QuantileSketch::for_latency_ms(),
+                            spec.sample_every,
+                        )));
+                        idx.cloud_ingest = Some(pipeline.push(MeasureProbe::new(
+                            cloud_key,
+                            QuantileSketch::for_latency_ms(),
+                            spec.sample_every,
+                        )));
+                    }
+                    StreamKind::FlowsByJurisdiction => {
+                        // Deliveries are attributed to the destination
+                        // node's data-domain jurisdiction; domain_of covers
+                        // every process the hierarchy minted.
+                        let mut key_of: Vec<Option<MetricKey>> = vec![None; n];
+                        for (pid, dom) in &domain_of {
+                            let Some(domain) = registry.get(*dom) else {
+                                continue;
+                            };
+                            let label = jurisdiction_label(domain.jurisdiction);
+                            let key = sim.metrics_mut().intern(&format!("flow.{label}"));
+                            if !idx.flow_names.iter().any(|(k, _)| *k == key) {
+                                idx.flow_names.push((key, label));
+                            }
+                            if let Some(slot) = key_of.get_mut(pid.index()) {
+                                *slot = Some(key);
+                            }
+                        }
+                        idx.flow_names.sort_by_key(|(_, label)| *label);
+                        idx.flows = Some(pipeline.push(FlowAccounting::new(key_of)));
+                    }
+                    StreamKind::Activity => {
+                        idx.activity = Some(pipeline.push(ActivityTracker::new(n)));
+                    }
+                }
+            }
+            idx.pipeline = sim.add_observer(pipeline);
+            Some(idx)
+        };
         for observer in spec.observers.instantiate() {
             sim.add_boxed_observer(observer);
         }
@@ -488,6 +654,7 @@ impl Scenario {
             goals,
             monitor_idx,
             ring_idx,
+            streams,
             sample_keys,
         }
     }
@@ -543,6 +710,29 @@ impl Scenario {
         }
     }
 
+    /// Whether a device is currently up. When the `Activity` stream is
+    /// enabled this reads the pipeline's liveness mirror — sampling consumes
+    /// the stream instead of rescanning kernel state — with the kernel's own
+    /// table as the fallback. The two agree by construction (the tracker
+    /// replays the same `ProcessDown`/`ProcessUp` events the kernel
+    /// emitted), which the streams integration test pins down by requiring
+    /// byte-identical results with streams on and off.
+    fn device_is_up(&self, id: ProcessId) -> bool {
+        if let Some(s) = &self.streams {
+            if let Some(op) = s.activity {
+                // Qualified call so riot-lint's call graph gets a precise
+                // edge to `Sim::observer` (the name-based method fallback
+                // would also wire `SimBuilder::observer`, which allocates).
+                if let Some(pipeline) = Sim::observer::<StreamPipeline>(&self.sim, s.pipeline) {
+                    if let Some(tracker) = pipeline.get::<ActivityTracker>(op) {
+                        return tracker.is_up(id);
+                    }
+                }
+            }
+        }
+        self.sim.is_up(id)
+    }
+
     /// One resilience sample tick. Declared a hot root in
     /// `lint-hotpaths.toml`: nothing reachable from here may allocate
     /// (rule A1), which the fixed-field [`SampleTelemetry`] valuation,
@@ -558,7 +748,7 @@ impl Scenario {
         let mut covered = 0usize;
         let fresh_horizon = self.arch.sense_period * 3;
         for info in &self.devices {
-            let up = self.sim.is_up(info.id);
+            let up = self.device_is_up(info.id);
             let dev = self
                 .sim
                 .process_mut::<DeviceProcess>(info.id)
@@ -680,6 +870,75 @@ impl Scenario {
         }
     }
 
+    /// Harvests one [`StreamSummary`] row per enabled stream, in a fixed
+    /// order (latency probes, then flows, then activity) independent of the
+    /// spec's enable order.
+    fn stream_summaries(&self) -> Vec<StreamSummary> {
+        let Some(s) = &self.streams else {
+            return Vec::new();
+        };
+        let Some(pipeline) = self.sim.observer::<StreamPipeline>(s.pipeline) else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        let probes = [
+            (s.control, "device.control.latency_ms"),
+            (s.edge_ingest, "edge.ingest.latency_ms"),
+            (s.cloud_ingest, "cloud.ingest.latency_ms"),
+        ];
+        for (slot, name) in probes {
+            let Some(probe) = slot.and_then(|op| pipeline.get::<MeasureProbe>(op)) else {
+                continue;
+            };
+            let stats = probe.stats();
+            let sketch = probe.sketch();
+            rows.push(StreamSummary {
+                name: name.to_owned(),
+                count: stats.count(),
+                stats: (stats.count() > 0).then(|| StreamStats {
+                    mean: stats.mean(),
+                    stddev: stats.stddev(),
+                    min: stats.min(),
+                    max: stats.max(),
+                }),
+                quantiles: (sketch.count() > 0).then(|| StreamQuantiles {
+                    p50: sketch.p50(),
+                    p95: sketch.p95(),
+                    p99: sketch.p99(),
+                    alpha: sketch.alpha(),
+                }),
+                flows: Vec::new(),
+            });
+        }
+        if let Some(flow) = s.flows.and_then(|op| pipeline.get::<FlowAccounting>(op)) {
+            let counts = flow.counts();
+            rows.push(StreamSummary {
+                name: StreamKind::FlowsByJurisdiction.name().to_owned(),
+                count: counts.total(),
+                stats: None,
+                quantiles: None,
+                flows: s
+                    .flow_names
+                    .iter()
+                    .map(|(key, label)| ((*label).to_owned(), counts.count(*key)))
+                    .collect(),
+            });
+        }
+        if let Some(tracker) = s
+            .activity
+            .and_then(|op| pipeline.get::<ActivityTracker>(op))
+        {
+            rows.push(StreamSummary {
+                name: StreamKind::Activity.name().to_owned(),
+                count: tracker.transitions(),
+                stats: None,
+                quantiles: None,
+                flows: vec![("up".to_owned(), tracker.up_count() as u64)],
+            });
+        }
+        rows
+    }
+
     fn finish(mut self) -> ScenarioResult {
         let spec = self.spec.clone();
         let end = SimTime::ZERO + spec.duration;
@@ -740,6 +999,7 @@ impl Scenario {
             .and_then(|i| self.sim.observer::<RingTrace>(i))
             .map(RingTrace::tail_json_lines)
             .unwrap_or_default();
+        let streams = self.stream_summaries();
         ScenarioResult {
             name: spec.name.clone(),
             level: spec.level,
@@ -761,6 +1021,7 @@ impl Scenario {
             event_trace,
             monitors,
             trace_tail,
+            streams,
             telemetry_means,
         }
     }
@@ -927,6 +1188,12 @@ pub struct ScenarioResult {
     /// [`ScenarioSpec::trace_tail`] was set. Excluded from the JSON
     /// rendering: a debugging/forensics artifact, not a result.
     pub trace_tail: Vec<String>,
+    /// One bounded-memory summary row per stream enabled in
+    /// [`ScenarioSpec::streams`] (latency probes first, then flows, then
+    /// activity). Excluded from the JSON rendering so existing result files
+    /// stay byte-identical; consumers that want the rows serialize them
+    /// explicitly (the `riot` CLI's `--stream-summary` does).
+    pub streams: Vec<StreamSummary>,
     /// Time-weighted means of the sampled telemetry over the disruption
     /// window, keyed by telemetry name (`"freshness_s"`, `"coverage"`, ...),
     /// in each metric's natural scale.
@@ -1134,6 +1401,111 @@ mod tests {
             detected <= 20.0,
             "online detection flags within a few samples: {detected}"
         );
+    }
+
+    #[test]
+    fn spec_validation_rejects_degenerate_trace_tail() {
+        let mut spec = small(MaturityLevel::Ml1);
+        assert_eq!(spec.validate(), Ok(()));
+        spec.trace_tail = Some(0);
+        assert_eq!(spec.validate(), Err(SpecError::ZeroTraceTail));
+        spec.trace_tail = Some(MAX_TRACE_TAIL + 1);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::TraceTailTooLarge {
+                requested: MAX_TRACE_TAIL + 1
+            })
+        );
+        let rendered = spec.validate().unwrap_err().to_string();
+        assert!(rendered.contains("trace_tail"), "{rendered}");
+        spec.trace_tail = Some(MAX_TRACE_TAIL);
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario spec")]
+    fn build_rejects_zero_trace_tail() {
+        let mut spec = small(MaturityLevel::Ml1);
+        spec.trace_tail = Some(0);
+        let _ = Scenario::build(spec);
+    }
+
+    #[test]
+    fn streams_summarize_without_perturbing_results() {
+        use riot_sim::ToJson;
+
+        // ML3 exercises every stream: devices report to edges (edge
+        // ingest), edges relay upstream (cloud ingest), control runs
+        // through the edge (control latency), and the vendor edge gives the
+        // flow accountant a second jurisdiction.
+        let mut spec = small(MaturityLevel::Ml3);
+        let dev = spec.device_id(0, 0);
+        spec.disruptions = DisruptionSchedule::new().at(
+            SimTime::from_secs(12),
+            Disruption::NodeCrash {
+                node: dev,
+                recover_after: Some(SimDuration::from_secs(5)),
+            },
+        );
+        let plain = Scenario::build(spec.clone()).run();
+        spec.streams = StreamSpec::standard();
+        let streamed = Scenario::build(spec).run();
+
+        assert_eq!(
+            plain.to_json().render(),
+            streamed.to_json().render(),
+            "streams are passive: the published artifact is byte-identical"
+        );
+        assert!(plain.streams.is_empty(), "no opt-in, no rows");
+        assert_eq!(
+            streamed.streams.len(),
+            5,
+            "four kinds; ingest reports one row per tier"
+        );
+
+        let control = &streamed.streams[0];
+        assert_eq!(control.name, "device.control.latency_ms");
+        let hist = streamed.control_latency.as_ref().expect("legacy histogram");
+        assert_eq!(
+            control.count as usize, hist.count,
+            "probe saw every observation"
+        );
+        let st = control.stats.expect("stats");
+        assert!((st.mean - hist.mean).abs() < 1e-9, "online mean == exact");
+        let q = control.quantiles.expect("quantiles");
+        assert!(st.min <= q.p50 && q.p50 <= q.p95 && q.p95 <= q.p99);
+        assert!(q.p99 <= st.max * (1.0 + q.alpha) + 1e-9);
+
+        let edge_ingest = &streamed.streams[1];
+        assert_eq!(edge_ingest.name, "edge.ingest.latency_ms");
+        assert!(edge_ingest.count > 0, "edges accepted readings");
+        let cloud_ingest = &streamed.streams[2];
+        assert_eq!(cloud_ingest.name, "cloud.ingest.latency_ms");
+        assert!(cloud_ingest.count > 0, "edges relayed telemetry upstream");
+
+        let flows = &streamed.streams[3];
+        assert_eq!(flows.name, "flows.jurisdiction");
+        assert!(flows.count > 0);
+        let eu = flows
+            .flows
+            .iter()
+            .find(|(name, _)| name == "eu-gdpr")
+            .expect("eu-gdpr row");
+        assert!(eu.1 > 0, "city-domain nodes received messages");
+        assert!(
+            flows.count <= streamed.messages_sent,
+            "cannot deliver more than was sent"
+        );
+
+        let activity = &streamed.streams[4];
+        assert_eq!(activity.name, "activity.transitions");
+        assert_eq!(activity.count, 2, "one crash down + one recovery up");
+        let up = activity
+            .flows
+            .iter()
+            .find(|(n, _)| n == "up")
+            .expect("up row");
+        assert_eq!(up.1 as usize, 1 + 2 + 4, "everyone back up at end of run");
     }
 
     #[test]

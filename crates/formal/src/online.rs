@@ -29,8 +29,19 @@
 use crate::ltl::Ltl;
 use crate::monitor::{Monitor, Verdict3};
 use crate::parse::{parse_ltl, ParseError};
-use crate::prop::{Atoms, Valuation};
-use riot_sim::{SimEvent, SimEventKind, SimObserver, SimTime};
+use crate::prop::{AtomId, Atoms, Valuation};
+use riot_sim::{MetricKey, OnlineStats, SimEvent, SimEventKind, SimObserver, SimTime};
+
+/// One measurement-derived atom: an online-stats window over
+/// `SimEventKind::Measure` events for one metric key, folded into the next
+/// valuation as a boolean atom (see [`OnlineMonitor::bind_measure`]).
+#[derive(Debug, Clone)]
+struct MeasureGauge {
+    atom: AtomId,
+    key: MetricKey,
+    max_mean: f64,
+    window: OnlineStats,
+}
 
 /// One property watched by an [`OnlineMonitor`].
 #[derive(Debug, Clone)]
@@ -112,6 +123,7 @@ pub struct OnlineMonitor {
     label: String,
     atoms: Atoms,
     props: Vec<OnlineProperty>,
+    gauges: Vec<MeasureGauge>,
     samples: usize,
 }
 
@@ -122,8 +134,37 @@ impl OnlineMonitor {
             label: label.into(),
             atoms: Atoms::new(),
             props: Vec::new(),
+            gauges: Vec::new(),
             samples: 0,
         }
+    }
+
+    /// Binds `atom` to a streaming aggregate: `Measure` events carrying
+    /// `key` are folded into an [`OnlineStats`] window, and at each
+    /// valuation step the atom is set to whether the window's mean is at
+    /// most `max_mean` (then the window resets). A window with no samples
+    /// leaves the bound vacuously honored — silence is not evidence of a
+    /// violation; pair with a liveness atom if silence itself must be
+    /// flagged.
+    ///
+    /// This is how monitor valuations read stream aggregates directly from
+    /// the bus instead of waiting for end-of-run summaries: the bank keeps
+    /// the same O(1) reducer the streaming-telemetry layer uses and
+    /// re-derives the atom between any two published valuations.
+    pub fn bind_measure(&mut self, atom: &str, key: MetricKey, max_mean: f64) -> AtomId {
+        let atom = self.atoms.intern(atom);
+        self.gauges.push(MeasureGauge {
+            atom,
+            key,
+            max_mean,
+            window: OnlineStats::new(),
+        });
+        atom
+    }
+
+    /// Number of measurement gauges bound via [`OnlineMonitor::bind_measure`].
+    pub fn gauge_count(&self) -> usize {
+        self.gauges.len()
     }
 
     /// Parses `formula` and watches it under `name`. Atom names in the
@@ -223,6 +264,16 @@ impl OnlineMonitor {
 
 impl SimObserver for OnlineMonitor {
     fn on_event(&mut self, event: &SimEvent) {
+        if let SimEventKind::Measure { key, .. } = event.kind {
+            if let Some(value) = event.kind.measure_value() {
+                for gauge in &mut self.gauges {
+                    if gauge.key == key {
+                        gauge.window.record(value);
+                    }
+                }
+            }
+            return;
+        }
         let SimEventKind::Note { ref text, .. } = event.kind else {
             return;
         };
@@ -235,8 +286,23 @@ impl SimObserver for OnlineMonitor {
             None if rest.is_empty() => rest,
             None => return,
         };
-        let val = self.parse_valuation(body);
+        let mut val = self.parse_valuation(body);
+        // Fold measurement gauges in after the published pairs, so a bound
+        // atom always reflects the stream (a note cannot override it), then
+        // start a fresh window for the next inter-valuation interval.
+        for gauge in &mut self.gauges {
+            let window = &gauge.window;
+            val.set(
+                gauge.atom,
+                window.count() == 0 || window.mean() <= gauge.max_mean,
+            );
+            gauge.window = OnlineStats::new();
+        }
         self.step_valuation(event.at, val);
+    }
+
+    fn interest(&self) -> riot_sim::EventMask {
+        riot_sim::EventMask::NOTE | riot_sim::EventMask::MEASURE
     }
 
     fn name(&self) -> &str {
@@ -364,5 +430,61 @@ mod tests {
         let mut om = OnlineMonitor::new("sat");
         assert!(om.watch("bad", "G (p ->").is_err());
         assert!(om.properties().is_empty());
+    }
+
+    fn measure(t: u64, key: MetricKey, v: f64) -> SimEvent {
+        SimEvent {
+            at: SimTime::from_secs(t),
+            kind: SimEventKind::Measure {
+                id: ProcessId(0),
+                key,
+                value_bits: v.to_bits(),
+            },
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn bound_measure_atom_follows_the_window_mean() {
+        let mut metrics = riot_sim::Metrics::new();
+        let key = metrics.intern("lat.ms");
+        let other = metrics.intern("lat.other");
+
+        let mut om = OnlineMonitor::new("sat");
+        om.watch("fast", "G fast").unwrap();
+        om.bind_measure("fast", key, 10.0);
+        assert_eq!(om.gauge_count(), 1);
+
+        // Window 1: mean 6 ≤ 10 — atom true. A foreign key is ignored.
+        om.on_event(&measure(1, key, 4.0));
+        om.on_event(&measure(1, key, 8.0));
+        om.on_event(&measure(1, other, 500.0));
+        om.on_event(&note(1, "sat"));
+        assert_eq!(om.properties()[0].verdict(), Verdict3::Inconclusive);
+
+        // Window 2: no samples — vacuously honored.
+        om.on_event(&note(2, "sat"));
+        assert_eq!(om.properties()[0].verdict(), Verdict3::Inconclusive);
+
+        // Window 3: mean 25 > 10 — the safety property is violated at the
+        // sample that closed the window, with its timestamp.
+        om.on_event(&measure(3, key, 25.0));
+        om.on_event(&note(3, "sat"));
+        let p = &om.properties()[0];
+        assert_eq!(p.verdict(), Verdict3::Violated);
+        assert_eq!(p.first_violation(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn gauge_atom_overrides_published_pairs() {
+        let mut metrics = riot_sim::Metrics::new();
+        let key = metrics.intern("lat.ms");
+        let mut om = OnlineMonitor::new("sat");
+        om.watch("fast", "G fast").unwrap();
+        om.bind_measure("fast", key, 10.0);
+        om.on_event(&measure(1, key, 99.0));
+        // The note claims fast=1, but the bound stream disagrees and wins.
+        om.on_event(&note(1, "sat fast=1"));
+        assert_eq!(om.properties()[0].verdict(), Verdict3::Violated);
     }
 }

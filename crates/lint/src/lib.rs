@@ -808,6 +808,11 @@ mod tests {
         // and panic-checked like the rest of the kernel.
         let intern = classify("crates/sim/src/intern.rs");
         assert!(intern.sim_visible && intern.ambient_time_forbidden && intern.panic_checked);
+        // Streaming telemetry operators compute sim-visible aggregates on
+        // the per-event hot path: full determinism perimeter, and their
+        // leaf updates are declared hot roots in lint-hotpaths.toml.
+        let stream = classify("crates/sim/src/stream.rs");
+        assert!(stream.sim_visible && stream.ambient_time_forbidden && stream.panic_checked);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::intern::MetricKey;
 use crate::medium::{Delivery, Medium};
 use crate::metrics::Metrics;
-use crate::observer::{AnyObserver, SimEvent, SimEventKind, SimObserver};
+use crate::observer::{AnyObserver, EventMask, SimEvent, SimEventKind, SimObserver};
 use crate::process::{ProcessId, TimerId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -120,12 +120,16 @@ pub struct Kernel<M> {
     pub(crate) rng: SimRng,
     pub(crate) metrics: Metrics,
     pub(crate) trace: Trace,
-    /// Registered observers, dispatched in registration order after the
-    /// built-in trace recorder (see [`crate::observer`] for the contract).
-    pub(crate) observers: Vec<Box<dyn AnyObserver>>,
+    /// Registered observers with their interest masks (sampled once at
+    /// registration), dispatched in registration order after the built-in
+    /// trace recorder (see [`crate::observer`] for the contract).
+    pub(crate) observers: Vec<(EventMask, Box<dyn AnyObserver>)>,
     /// `true` when anyone is listening (trace enabled or observers present);
     /// the emit path checks this one flag before doing any work.
     pub(crate) observing: bool,
+    /// Union of the trace recorder's and every observer's interest: emits of
+    /// kinds outside this mask return before constructing the event.
+    pub(crate) interest: EventMask,
     /// Liveness flag per process.
     pub(crate) live: Vec<bool>,
     /// Restart epoch per process; timers from a previous life are discarded.
@@ -154,6 +158,11 @@ impl<M: fmt::Debug> Kernel<M> {
         expected_processes: usize,
     ) -> Self {
         let observing = trace.is_enabled();
+        let interest = if observing {
+            EventMask::ALL
+        } else {
+            EventMask::NONE
+        };
         let mut metrics = Metrics::new();
         let keys = KernelKeys::new(&mut metrics);
         Kernel {
@@ -169,6 +178,7 @@ impl<M: fmt::Debug> Kernel<M> {
             trace,
             observers: Vec::new(),
             observing,
+            interest,
             live: Vec::with_capacity(expected_processes),
             epoch: Vec::with_capacity(expected_processes),
             timer_states: VecDeque::with_capacity((expected_processes * 2).max(16)),
@@ -191,21 +201,27 @@ impl<M: fmt::Debug> Kernel<M> {
         self.live.get(id.0).copied().unwrap_or(false)
     }
 
-    /// Registers an observer; returns its index. The `observing` flag is the
-    /// lazy-detail gate for the whole emit path, so it is kept in sync here.
+    /// Registers an observer; returns its index. The `observing` flag and
+    /// the `interest` union are the lazy-detail gates for the whole emit
+    /// path, so both are kept in sync here. The observer's interest mask is
+    /// sampled exactly once, now.
     pub(crate) fn add_observer(&mut self, observer: Box<dyn AnyObserver>) -> usize {
-        self.observers.push(observer);
+        let mask = observer.interest();
+        self.observers.push((mask, observer));
         self.observing = true;
+        self.interest |= mask;
         self.observers.len() - 1
     }
 
     /// Emits one event to the bus: the built-in trace recorder first, then
-    /// every registered observer in registration order. The payload `Debug`
-    /// rendering is lazy — with nobody listening this is a single branch and
-    /// allocates nothing, and even with listeners the rendering only happens
-    /// when `trace_payloads` was requested.
+    /// every interested observer in registration order. Kinds outside the
+    /// combined interest mask return at the first branch, before the event
+    /// is constructed. The payload `Debug` rendering is lazy — it only
+    /// happens when `trace_payloads` was requested.
+    #[inline]
     pub(crate) fn emit(&mut self, kind: SimEventKind, payload: Option<&M>) {
-        if !self.observing {
+        let bit = kind.mask();
+        if !self.interest.intersects(bit) {
             return;
         }
         let detail = match payload {
@@ -219,8 +235,10 @@ impl<M: fmt::Debug> Kernel<M> {
             detail,
         };
         self.trace.on_event(&event);
-        for observer in &mut self.observers {
-            observer.on_event(&event);
+        for (mask, observer) in &mut self.observers {
+            if mask.intersects(bit) {
+                observer.on_event(&event);
+            }
         }
     }
 

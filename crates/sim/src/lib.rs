@@ -65,6 +65,7 @@ pub mod observer;
 mod process;
 mod rng;
 mod sim;
+pub mod stream;
 mod time;
 mod trace;
 
@@ -73,9 +74,16 @@ pub use intern::MetricKey;
 pub use json::{Json, ToJson};
 pub use medium::{Delivery, IdealMedium, LossyMedium, Medium};
 pub use metrics::{Histogram, HistogramSummary, Metrics};
-pub use observer::{take_crash_tail, AnyObserver, RingTrace, SimEvent, SimEventKind, SimObserver};
+pub use observer::{
+    take_crash_tail, AnyObserver, EventMask, RingTrace, SimEvent, SimEventKind, SimObserver,
+};
 pub use process::{Ctx, Process, ProcessId, TimerId};
 pub use rng::SimRng;
 pub use sim::{AnyProcess, Sim, SimBuilder};
+pub use stream::{
+    ActivityTracker, AnyOperator, CountByKey, Filter, FlowAccounting, Map, MeasureProbe,
+    OnlineStats, Operator, QuantileSketch, SampleSink, SlidingWindow, StreamPipeline,
+    TumblingWindow,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};

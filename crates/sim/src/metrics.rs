@@ -358,6 +358,13 @@ impl Metrics {
     }
 
     /// Appends a `(time, value)` point to a named time series.
+    ///
+    /// A series retains every point, so its memory grows with run length.
+    /// When only a summary is needed (moments, percentiles, windowed
+    /// trends), prefer the bounded-memory reducers in [`crate::stream`] —
+    /// [`OnlineStats`](crate::OnlineStats),
+    /// [`QuantileSketch`](crate::QuantileSketch) or a window — fed from a
+    /// [`Measure`](crate::SimEventKind::Measure) probe on the observer bus.
     pub fn series_push(&mut self, name: &str, at: SimTime, value: f64) {
         let key = self.intern(name);
         self.series_push_key(key, at, value);

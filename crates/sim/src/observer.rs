@@ -28,6 +28,7 @@
 //!    only when `trace_payloads` is enabled; with no observers registered and
 //!    tracing off, the emit path is a single branch and allocates nothing.
 
+use crate::intern::MetricKey;
 use crate::json::{Json, ToJson};
 use crate::process::ProcessId;
 use crate::time::SimTime;
@@ -89,9 +90,99 @@ pub enum SimEventKind {
         /// The annotation text.
         text: String,
     },
+    /// A numeric measurement ([`Ctx::measure`](crate::Ctx::measure)): the
+    /// typed, allocation-free channel that feeds streaming telemetry
+    /// operators ([`crate::stream`]). The value travels as raw bits so the
+    /// event type stays `Eq`/`Hash`; read it back with
+    /// [`SimEventKind::measure_value`].
+    Measure {
+        /// Measuring process.
+        id: ProcessId,
+        /// Which quantity, as an interned metric key. Only meaningful to
+        /// consumers holding a key from the same run's recorder.
+        key: MetricKey,
+        /// `f64::to_bits` of the measured value.
+        value_bits: u64,
+    },
+}
+
+/// A subscription bitmask over [`SimEventKind`] variants.
+///
+/// Observers (and stream operators) advertise the event kinds they consume
+/// via [`SimObserver::interest`]; the kernel unions the masks of every
+/// registered observer and drops uninterested emissions behind a single
+/// branch, before the event is even constructed. A kind nobody subscribed
+/// to therefore costs the same as having no observers at all — the masks
+/// are a throughput feature, never a semantic one: delivering a superset of
+/// the declared interest would be equally correct, just slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u16);
+
+impl EventMask {
+    /// The empty subscription.
+    pub const NONE: EventMask = EventMask(0);
+    /// [`SimEventKind::Sent`].
+    pub const SENT: EventMask = EventMask(1 << 0);
+    /// [`SimEventKind::Delivered`].
+    pub const DELIVERED: EventMask = EventMask(1 << 1);
+    /// [`SimEventKind::Dropped`].
+    pub const DROPPED: EventMask = EventMask(1 << 2);
+    /// [`SimEventKind::TimerFired`].
+    pub const TIMER_FIRED: EventMask = EventMask(1 << 3);
+    /// [`SimEventKind::ProcessDown`].
+    pub const PROCESS_DOWN: EventMask = EventMask(1 << 4);
+    /// [`SimEventKind::ProcessUp`].
+    pub const PROCESS_UP: EventMask = EventMask(1 << 5);
+    /// [`SimEventKind::Note`].
+    pub const NOTE: EventMask = EventMask(1 << 6);
+    /// [`SimEventKind::Measure`].
+    pub const MEASURE: EventMask = EventMask(1 << 7);
+    /// Both lifecycle transitions.
+    pub const LIFECYCLE: EventMask = EventMask(1 << 4 | 1 << 5);
+    /// Every event kind (the conservative default).
+    pub const ALL: EventMask = EventMask(0xFF);
+
+    /// `true` if the two masks share any kind.
+    #[inline]
+    pub fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `true` if no kind is subscribed.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
 }
 
 impl SimEventKind {
+    /// The single-bit [`EventMask`] of this kind.
+    #[inline]
+    pub fn mask(&self) -> EventMask {
+        match self {
+            SimEventKind::Sent { .. } => EventMask::SENT,
+            SimEventKind::Delivered { .. } => EventMask::DELIVERED,
+            SimEventKind::Dropped { .. } => EventMask::DROPPED,
+            SimEventKind::TimerFired { .. } => EventMask::TIMER_FIRED,
+            SimEventKind::ProcessDown { .. } => EventMask::PROCESS_DOWN,
+            SimEventKind::ProcessUp { .. } => EventMask::PROCESS_UP,
+            SimEventKind::Note { .. } => EventMask::NOTE,
+            SimEventKind::Measure { .. } => EventMask::MEASURE,
+        }
+    }
+
     /// Short machine-readable label for this event kind.
     pub fn label(&self) -> &'static str {
         match self {
@@ -102,6 +193,16 @@ impl SimEventKind {
             SimEventKind::ProcessDown { .. } => "down",
             SimEventKind::ProcessUp { .. } => "up",
             SimEventKind::Note { .. } => "note",
+            SimEventKind::Measure { .. } => "measure",
+        }
+    }
+
+    /// The measured value of a [`SimEventKind::Measure`] event; `None` for
+    /// every other kind.
+    pub fn measure_value(&self) -> Option<f64> {
+        match self {
+            SimEventKind::Measure { value_bits, .. } => Some(f64::from_bits(*value_bits)),
+            _ => None,
         }
     }
 
@@ -125,6 +226,15 @@ impl SimEventKind {
                 id,
                 // riot-lint: allow(A1, reason = "runs only when the recording Trace is enabled; benchmarked hot runs are untraced")
                 text: text.clone(),
+            },
+            SimEventKind::Measure {
+                id,
+                key,
+                value_bits,
+            } => TraceKind::Measure {
+                id,
+                key,
+                value_bits,
             },
         }
     }
@@ -183,6 +293,18 @@ impl ToJson for SimEvent {
                 pid("id", *id);
                 fields.push(("text".to_owned(), Json::Str(text.clone())));
             }
+            SimEventKind::Measure {
+                id,
+                key,
+                value_bits,
+            } => {
+                pid("id", *id);
+                // Keys are never serialized into results (DESIGN.md §9);
+                // this raw id appears only in diagnostic event dumps, where
+                // it is meaningless outside the emitting run by design.
+                fields.push(("key".to_owned(), Json::UInt(u64::from(key.0))));
+                fields.push(("value".to_owned(), Json::Float(f64::from_bits(*value_bits))));
+            }
         }
         if !self.detail.is_empty() {
             fields.push(("detail".to_owned(), Json::Str(self.detail.clone())));
@@ -199,6 +321,16 @@ impl ToJson for SimEvent {
 pub trait SimObserver {
     /// Called once per kernel event, in virtual-time order.
     fn on_event(&mut self, event: &SimEvent);
+
+    /// The event kinds this observer consumes. The kernel samples this once
+    /// at registration and never dispatches kinds outside the mask to this
+    /// observer; kinds *no* observer (and not the trace recorder) subscribed
+    /// to are dropped before the event is constructed. Purely an
+    /// optimization — observers must tolerate receiving a superset. The
+    /// default subscribes to everything.
+    fn interest(&self) -> EventMask {
+        EventMask::ALL
+    }
 
     /// A short, human-readable name used in diagnostics.
     fn name(&self) -> &str {

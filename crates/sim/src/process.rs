@@ -146,6 +146,31 @@ impl<'a, M: fmt::Debug> Ctx<'a, M> {
         );
     }
 
+    /// Publishes a numeric measurement on the observability bus, keyed by an
+    /// interned [`MetricKey`](crate::MetricKey). Unlike [`Ctx::annotate`]
+    /// this never allocates — the value travels as raw bits — so it is safe
+    /// on hot paths; with nobody listening it is a single branch. Streaming
+    /// telemetry operators ([`crate::stream`]) consume these events.
+    #[inline]
+    pub fn measure(&mut self, key: crate::intern::MetricKey, value: f64) {
+        if !self
+            .kernel
+            .interest
+            .intersects(crate::observer::EventMask::MEASURE)
+        {
+            return;
+        }
+        let id = self.id;
+        self.kernel.emit(
+            crate::observer::SimEventKind::Measure {
+                id,
+                key,
+                value_bits: value.to_bits(),
+            },
+            None,
+        );
+    }
+
     /// `true` if anyone is listening on the observability bus. Pre-check this
     /// before building an expensive [`Ctx::annotate`] string.
     pub fn is_observing(&self) -> bool {

@@ -290,14 +290,18 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     /// Downcasts the observer at `index` (as returned by
     /// [`Sim::add_observer`]) to its concrete type for post-run inspection.
     pub fn observer<T: 'static>(&self, index: usize) -> Option<&T> {
-        self.kernel.observers.get(index)?.as_any().downcast_ref()
+        self.kernel.observers.get(index)?.1.as_any().downcast_ref()
     }
 
-    /// Mutable variant of [`Sim::observer`].
+    /// Mutable variant of [`Sim::observer`]. Note that the observer's
+    /// interest mask was sampled at registration: operators added to a
+    /// pipeline through this handle after registration widen the pipeline's
+    /// reach only within that sampled mask.
     pub fn observer_mut<T: 'static>(&mut self, index: usize) -> Option<&mut T> {
         self.kernel
             .observers
             .get_mut(index)?
+            .1
             .as_any_mut()
             .downcast_mut()
     }

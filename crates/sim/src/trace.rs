@@ -64,6 +64,16 @@ pub enum TraceKind {
         /// The annotation text.
         text: String,
     },
+    /// A numeric measurement (`Ctx::measure`), recorded as raw bits so the
+    /// entry stays `Eq` (see [`crate::SimEventKind::Measure`]).
+    Measure {
+        /// Measuring process.
+        id: ProcessId,
+        /// Which quantity, as an interned metric key.
+        key: crate::intern::MetricKey,
+        /// `f64::to_bits` of the measured value.
+        value_bits: u64,
+    },
 }
 
 /// One entry of an execution trace.

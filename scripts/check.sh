@@ -39,13 +39,22 @@ if [[ "$quick" == "0" ]]; then
   echo "==> observability bus determinism (observers on vs off, byte-identical)"
   cargo test --quiet -p riot-core --test observer_bus
 
+  echo "==> streaming telemetry (artifact stability, worker determinism, sketch bound)"
+  cargo test --quiet -p riot-harness --test stream_pipeline
+
   echo "==> riot-harness smoke grid (parallel run of a small scenario sweep)"
   cargo run --quiet -p riot-bench --bin riot -- \
     --level ml1 --edges 2 --devices 2 --duration 20 --warmup 5 \
-    --seeds 2 --threads 2 > /dev/null
+    --seeds 2 --threads 2 --stream-summary > /dev/null
 
-  echo "==> perf smoke (kernel hot-path suite: schema + positive throughput)"
+  echo "==> perf smoke (kernel suite: schema + streamed path >= 50% of unobserved)"
   cargo run --quiet -p riot-bench --bin perf -- --smoke > /dev/null
+  # The >=50% throughput gate is asserted inside perf --smoke; make sure the
+  # benchmark actually ran rather than being silently dropped from the suite.
+  grep -q '"stream_pipeline"' target/BENCH_kernel_smoke.json || {
+    echo "error: stream_pipeline benchmark missing from the smoke suite" >&2
+    exit 1
+  }
 fi
 
 echo "OK: fmt, clippy, riot-lint$([[ "$quick" == "0" ]] && echo ", tests") all clean"
