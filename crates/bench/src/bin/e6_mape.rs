@@ -10,9 +10,9 @@
 //! `riot-harness` grid.
 
 use riot_bench::{banner, f3, sweep_config_from_args, write_json};
+use riot_campaign::{Campaign, CampaignVector};
 use riot_core::{ArchitectureConfig, MapePlacement, MonitorSpec, Scenario, ScenarioSpec, Table};
-use riot_model::{ComponentId, Disruption, DisruptionSchedule, MaturityLevel};
-use riot_sim::{SimDuration, SimTime};
+use riot_model::{DisruptionSchedule, MaturityLevel};
 
 struct Row {
     placement: String,
@@ -41,41 +41,33 @@ riot_sim::impl_to_json_struct!(Row {
     recovery_holds_at_end
 });
 
-/// Component-fault storm: three devices per edge fail within a 12-second
-/// burst starting at t=62 s — 37% of the fleet, dropping coverage well
-/// below the 80% threshold until repaired. The burst deliberately sits
-/// inside the second cloud outage of the flapping condition, so a
-/// cloud-placed MAPE loop is blind exactly when it is needed.
+/// Component-fault storm: three devices per edge (local indices 1, 3, 5)
+/// fail within a 12-second burst starting at t=62 s — 37% of the fleet,
+/// dropping coverage well below the 80% threshold until repaired. The
+/// burst deliberately sits inside the second cloud outage of the flapping
+/// condition, so a cloud-placed MAPE loop is blind exactly when it is
+/// needed. Expressed as a `riot-campaign` fault-storm vector (offset 1,
+/// stride 2 walks exactly those indices with the same one-fault-per-second
+/// global clock as the hand-rolled original).
 fn faults(spec: &ScenarioSpec) -> DisruptionSchedule {
-    let mut s = DisruptionSchedule::new();
-    let mut t = 62u64;
-    for e in 0..spec.edges {
-        for d in [1usize, 3, 5] {
-            let node = spec.device_id(e, d);
-            s.push(
-                SimTime::from_secs(t),
-                Disruption::ComponentFault {
-                    node,
-                    component: ComponentId(node.0 as u32),
-                },
-            );
-            t += 1;
-        }
-    }
-    s
+    Campaign::single(CampaignVector::FaultStorm {
+        onset: 62,
+        spacing: 1,
+        per_edge: 3,
+        stride: 2,
+        offset: 1,
+    })
+    .compile(spec)
 }
 
-/// Recurring cloud outages overlapping the fault window.
-fn outages(schedule: &mut DisruptionSchedule) {
+/// Recurring cloud outages overlapping the fault window: three
+/// cloud-blackout campaign vectors merged onto the fault schedule.
+fn outages(spec: &ScenarioSpec, schedule: &mut DisruptionSchedule) {
+    let mut c = Campaign::new();
     for t in [30u64, 60, 90] {
-        schedule.push(
-            SimTime::from_secs(t),
-            Disruption::CloudOutage {
-                cloud: riot_sim::ProcessId(0),
-                heal_after: Some(SimDuration::from_secs(20)),
-            },
-        );
+        c.push(CampaignVector::CloudBlackout { onset: t, heal: 20 });
     }
+    schedule.merge(c.compile(spec));
 }
 
 fn run_cell(name: &'static str, placement: MapePlacement, with_outages: bool) -> Row {
@@ -96,7 +88,7 @@ fn run_cell(name: &'static str, placement: MapePlacement, with_outages: bool) ->
     spec.arch = Some(arch);
     let mut schedule = faults(&spec);
     if with_outages {
-        outages(&mut schedule);
+        outages(&spec, &mut schedule);
     }
     spec.disruptions = schedule;
     // Online monitors on the observability bus: the safety property

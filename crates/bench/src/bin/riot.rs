@@ -74,7 +74,8 @@ fn usage() -> &'static str {
     "usage: riot [--level ml1|ml2|ml3|ml4 | --all-levels] [--edges N] [--devices N]\n\
      \x20           [--duration SECS] [--warmup SECS] [--seed N] [--seeds N] [--threads N]\n\
      \x20           [--suite infrastructure|service|connectivity|governance|mobility|none]\n\
-     \x20           [--roaming N] [--trace-tail N] [--stream-summary] [--json FILE]"
+     \x20           [--roaming N] [--trace-tail N] [--stream-summary] [--json FILE]\n\
+     \x20      riot campaign run|fuzz|shrink … (see `riot campaign` for details)"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -176,6 +177,19 @@ fn build_spec(args: &Args, level: MaturityLevel, seed: u64) -> Result<ScenarioSp
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // The campaign subsystem has its own flag grammar; dispatch before the
+    // scenario flag parser sees the positional token.
+    if argv.first().map(String::as_str) == Some("campaign") {
+        let rest = argv.get(1..).unwrap_or(&[]);
+        return match riot_campaign::run_cli(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{}", riot_campaign::usage());
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {

@@ -113,8 +113,9 @@ pub fn sweep_config_from_args() -> HarnessConfig {
 /// vector of Tables 1 & 2, each expressed against the deterministic node-id
 /// layout of a [`riot_core::ScenarioSpec`].
 pub mod suites {
+    use riot_campaign::{Campaign, CampaignVector};
     use riot_core::ScenarioSpec;
-    use riot_model::{ComponentId, Disruption, DisruptionSchedule, DomainId};
+    use riot_model::{ComponentId, Disruption, DisruptionSchedule};
     use riot_sim::{SimDuration, SimTime};
 
     /// Infrastructure loss: edge crashes with staggered recovery.
@@ -161,59 +162,39 @@ pub mod suites {
         s
     }
 
-    /// Connectivity loss: a cloud outage, then an edge partition.
+    /// Connectivity loss: a cloud outage, then an edge partition —
+    /// expressed as a `riot-campaign` program (a blackout vector and a
+    /// split-brain vector) and compiled against the spec's node layout.
+    /// The schedule is byte-identical to the hand-rolled original under
+    /// every spec shape, which the suite tests below pin.
     pub fn connectivity(spec: &ScenarioSpec) -> DisruptionSchedule {
-        let mut s = DisruptionSchedule::new();
-        s.push(
-            SimTime::from_secs(40),
-            Disruption::CloudOutage {
-                cloud: spec.cloud_id(),
-                heal_after: Some(SimDuration::from_secs(25)),
-            },
-        );
-        if spec.edges >= 4 {
-            let left: Vec<_> = (0..spec.edges / 2).map(|i| spec.edge_id(i)).collect();
-            let right: Vec<_> = (spec.edges / 2..spec.edges)
-                .map(|i| spec.edge_id(i))
-                .collect();
-            s.push(
-                SimTime::from_secs(80),
-                Disruption::Partition {
-                    groups: vec![left, right],
-                    heal_after: Some(SimDuration::from_secs(15)),
-                },
-            );
-        }
-        s
+        let mut c = Campaign::new();
+        c.push(CampaignVector::CloudBlackout {
+            onset: 40,
+            heal: 25,
+        });
+        c.push(CampaignVector::SplitBrain {
+            onset: 80,
+            heal: 15,
+        });
+        c.compile(spec)
     }
 
-    /// Governance change: an edge transfers to the vendor domain mid-run.
+    /// Governance change: an edge transfers to the vendor domain mid-run —
+    /// a single jurisdiction-flip campaign vector.
     pub fn governance(spec: &ScenarioSpec) -> DisruptionSchedule {
-        DisruptionSchedule::new().at(
-            SimTime::from_secs(45),
-            Disruption::DomainTransfer {
-                entity: spec.edge_id(0).0 as u64,
-                to: DomainId(1),
-            },
-        )
+        Campaign::single(CampaignVector::JurisdictionFlip { onset: 45, edge: 0 }).compile(spec)
     }
 
-    /// Mobility: devices roam to neighbouring edges.
+    /// Mobility: devices roam to neighbouring edges — a mobility-burst
+    /// campaign vector with one roamer per edge.
     pub fn mobility(spec: &ScenarioSpec) -> DisruptionSchedule {
-        let mut s = DisruptionSchedule::new();
-        let mut t = 40u64;
-        for e in 0..spec.edges {
-            let device = spec.device_id(e, 0);
-            let new_parent = spec.edge_id((e + 1) % spec.edges);
-            if spec.edges > 1 {
-                s.push(
-                    SimTime::from_secs(t),
-                    Disruption::Mobility { device, new_parent },
-                );
-                t += 10;
-            }
-        }
-        s
+        Campaign::single(CampaignVector::MobilityBurst {
+            onset: 40,
+            roamers: spec.edges as u64,
+            spacing: 10,
+        })
+        .compile(spec)
     }
 
     /// All suites with their display names, in table order.
@@ -231,10 +212,98 @@ pub mod suites {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use riot_core::ScenarioSpec;
+    use riot_model::{Disruption, DisruptionSchedule, DomainId, MaturityLevel};
+    use riot_sim::{SimDuration, SimTime};
 
     #[test]
     fn f3_formats() {
         assert_eq!(f3(1.23456), "1.235");
+    }
+
+    /// The hand-rolled schedules the campaign-compiled suites replaced,
+    /// kept verbatim as the equality reference: the DSL programs must
+    /// reproduce them byte-for-byte under every spec shape, or the
+    /// committed `results/*.json` would drift.
+    mod hand_rolled {
+        use super::*;
+
+        pub fn connectivity(spec: &ScenarioSpec) -> DisruptionSchedule {
+            let mut s = DisruptionSchedule::new();
+            s.push(
+                SimTime::from_secs(40),
+                Disruption::CloudOutage {
+                    cloud: spec.cloud_id(),
+                    heal_after: Some(SimDuration::from_secs(25)),
+                },
+            );
+            if spec.edges >= 4 {
+                let left: Vec<_> = (0..spec.edges / 2).map(|i| spec.edge_id(i)).collect();
+                let right: Vec<_> = (spec.edges / 2..spec.edges)
+                    .map(|i| spec.edge_id(i))
+                    .collect();
+                s.push(
+                    SimTime::from_secs(80),
+                    Disruption::Partition {
+                        groups: vec![left, right],
+                        heal_after: Some(SimDuration::from_secs(15)),
+                    },
+                );
+            }
+            s
+        }
+
+        pub fn governance(spec: &ScenarioSpec) -> DisruptionSchedule {
+            DisruptionSchedule::new().at(
+                SimTime::from_secs(45),
+                Disruption::DomainTransfer {
+                    entity: spec.edge_id(0).0 as u64,
+                    to: DomainId(1),
+                },
+            )
+        }
+
+        pub fn mobility(spec: &ScenarioSpec) -> DisruptionSchedule {
+            let mut s = DisruptionSchedule::new();
+            let mut t = 40u64;
+            for e in 0..spec.edges {
+                let device = spec.device_id(e, 0);
+                let new_parent = spec.edge_id((e + 1) % spec.edges);
+                if spec.edges > 1 {
+                    s.push(
+                        SimTime::from_secs(t),
+                        Disruption::Mobility { device, new_parent },
+                    );
+                    t += 10;
+                }
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn campaign_suites_match_the_hand_rolled_schedules() {
+        // Every shape the experiment binaries use, plus degenerate ones.
+        for (edges, dpe) in [(1, 4), (2, 3), (3, 2), (4, 8), (6, 5)] {
+            let mut spec = ScenarioSpec::new("suite-eq", MaturityLevel::Ml3, 11);
+            spec.edges = edges;
+            spec.devices_per_edge = dpe;
+            assert_eq!(
+                suites::connectivity(&spec),
+                hand_rolled::connectivity(&spec),
+                "connectivity @ {edges}x{dpe}"
+            );
+            assert_eq!(
+                suites::governance(&spec),
+                hand_rolled::governance(&spec),
+                "governance @ {edges}x{dpe}"
+            );
+            assert_eq!(
+                suites::mobility(&spec),
+                hand_rolled::mobility(&spec),
+                "mobility @ {edges}x{dpe}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! The campaign vector taxonomy: composable disruption *patterns* with
+//! timing / intensity / scope parameters.
+//!
+//! A [`CampaignVector`] is the unit the campaign DSL composes: where a
+//! `riot_model::Disruption` is one concrete adverse event against one
+//! concrete node, a vector is a *family* of correlated events described by
+//! a handful of integer parameters, compiled against a scenario's
+//! deterministic node-id layout (see `riot_core::ScenarioSpec`). Every
+//! field is a plain scalar, so vectors are `Copy`, comparable, and can be
+//! mutated and shrunk dimension-by-dimension through the [`Dim`] lattice
+//! without allocation — both the mutator and the delta-debugging shrinker
+//! are declared hot roots in `lint-hotpaths.toml`.
+
+/// How the adversary interferes with edge↔cloud links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryMode {
+    /// Messages still flow but arrive late: latency multiplied by the
+    /// vector's `factor` for `duration` seconds.
+    Delay,
+    /// Messages are dropped: the link is cut for `duration` seconds.
+    Drop,
+    /// The link flaps `factor` times across `duration` seconds; in-flight
+    /// traffic alternates between the direct path and recovery paths with
+    /// different latencies, which reorders deliveries.
+    Flap,
+}
+
+impl AdversaryMode {
+    /// The DSL keyword for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryMode::Delay => "delay",
+            AdversaryMode::Drop => "drop",
+            AdversaryMode::Flap => "flap",
+        }
+    }
+
+    /// Parses a DSL keyword.
+    pub fn parse(s: &str) -> Option<AdversaryMode> {
+        match s {
+            "delay" => Some(AdversaryMode::Delay),
+            "drop" => Some(AdversaryMode::Drop),
+            "flap" => Some(AdversaryMode::Flap),
+            _ => None,
+        }
+    }
+}
+
+/// One composable disruption pattern. All times are in whole virtual
+/// seconds; `onset` is absolute run time, every other time parameter is
+/// relative to the onset. A heal/recover value of `0` means *permanent*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignVector {
+    /// Cascading correlated infrastructure failure: `count` edge nodes
+    /// crash one after another, `spacing` seconds apart, each recovering
+    /// after `recover` seconds (0 = never).
+    Cascade {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Number of edge crashes (wraps over the edge set).
+        count: u64,
+        /// Seconds between consecutive crashes.
+        spacing: u64,
+        /// Per-node recovery delay (s); 0 = permanent.
+        recover: u64,
+    },
+    /// Firmware-update wave: the device fleet reboots in rolling batches
+    /// of `batch` devices, one batch every `spacing` seconds, each device
+    /// down for `outage` seconds (0 = the update bricks the device).
+    FirmwareWave {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Devices rebooted per wave.
+        batch: u64,
+        /// Seconds between waves.
+        spacing: u64,
+        /// Per-device downtime (s); 0 = permanent.
+        outage: u64,
+    },
+    /// Component-fault storm: on every edge, the devices at local indices
+    /// `offset, offset+stride, …` (`per_edge` of them) lose their software
+    /// component, one fault every `spacing` seconds.
+    FaultStorm {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Seconds between consecutive faults.
+        spacing: u64,
+        /// Faulted devices per edge.
+        per_edge: u64,
+        /// Local-index stride between faulted devices.
+        stride: u64,
+        /// First faulted local index on each edge.
+        offset: u64,
+    },
+    /// Mobility burst: `roamers` devices roam to the next edge over,
+    /// one every `spacing` seconds. No-op below two edges.
+    MobilityBurst {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Number of roaming devices (wraps over the fleet).
+        roamers: u64,
+        /// Seconds between consecutive roams.
+        spacing: u64,
+    },
+    /// Governance change: edge `edge` (modulo the edge count) transfers to
+    /// the untrusted vendor domain at the onset.
+    JurisdictionFlip {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Index of the transferred edge (wraps over the edge set).
+        edge: u64,
+    },
+    /// Cloud outage: the cloud becomes unreachable at the onset, healing
+    /// after `heal` seconds (0 = permanent).
+    CloudBlackout {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Healing delay (s); 0 = permanent.
+        heal: u64,
+    },
+    /// Network partition: the edge set splits into two halves at the
+    /// onset, healing after `heal` seconds (0 = permanent). No-op below
+    /// four edges (a smaller deployment has no meaningful halves).
+    SplitBrain {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Healing delay (s); 0 = permanent.
+        heal: u64,
+    },
+    /// Adversarial message interference on the first `links` edge↔cloud
+    /// links: delay (latency ×`factor`), drop (cut), or flap (`factor`
+    /// cut/heal cycles — reordering in-flight traffic), sustained for
+    /// `duration` seconds.
+    Adversary {
+        /// Absolute onset (s).
+        onset: u64,
+        /// Interference mode.
+        mode: AdversaryMode,
+        /// Intensity: latency multiplier (delay) or flap cycles (flap).
+        factor: u64,
+        /// Seconds the interference lasts.
+        duration: u64,
+        /// Number of edge uplinks attacked (clamped to the edge count).
+        links: u64,
+    },
+}
+
+/// One mutable/shrinkable dimension of a vector. The lattice the shrinker
+/// walks is deliberately coarse: `Onset` shrinks *up* (a later onset is a
+/// smaller reproducer — less of the run matters), the intensity dimensions
+/// (`Count`, `Factor`, `Links`) shrink *down* toward their minimum, and
+/// the remaining dimensions are mutation-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// Absolute onset time (s). Shrink direction: later.
+    Onset,
+    /// Primary intensity count (crashes, batch size, faults per edge,
+    /// roamers). Shrink direction: down, minimum 1.
+    Count,
+    /// Seconds between sub-events. Mutation-only.
+    Spacing,
+    /// Heal/recover/outage/duration seconds; 0 = permanent. Mutation-only.
+    Heal,
+    /// Local-index stride (fault storms). Mutation-only, minimum 1.
+    Stride,
+    /// Index offset / target selector (fault-storm offset, flipped edge).
+    /// Mutation-only.
+    Offset,
+    /// Secondary intensity (latency multiplier / flap cycles). Shrink
+    /// direction: down, minimum 1.
+    Factor,
+    /// Attacked link count. Shrink direction: down, minimum 1.
+    Links,
+}
+
+impl Dim {
+    /// The smallest meaningful value of this dimension.
+    pub fn floor(self) -> u64 {
+        match self {
+            Dim::Count | Dim::Factor | Dim::Links | Dim::Stride => 1,
+            Dim::Onset | Dim::Spacing | Dim::Heal | Dim::Offset => 0,
+        }
+    }
+
+    /// `true` for the dimensions the shrinker minimizes.
+    pub fn is_intensity(self) -> bool {
+        matches!(self, Dim::Count | Dim::Factor | Dim::Links)
+    }
+}
+
+impl CampaignVector {
+    /// The DSL keyword naming this vector kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CampaignVector::Cascade { .. } => "cascade",
+            CampaignVector::FirmwareWave { .. } => "firmware-wave",
+            CampaignVector::FaultStorm { .. } => "fault-storm",
+            CampaignVector::MobilityBurst { .. } => "mobility-burst",
+            CampaignVector::JurisdictionFlip { .. } => "jurisdiction-flip",
+            CampaignVector::CloudBlackout { .. } => "cloud-blackout",
+            CampaignVector::SplitBrain { .. } => "split-brain",
+            CampaignVector::Adversary { .. } => "adversary",
+        }
+    }
+
+    /// The dimensions this kind exposes, in canonical order (`Onset`
+    /// first). Static per kind, so walking the lattice never allocates.
+    pub fn dims(&self) -> &'static [Dim] {
+        match self {
+            CampaignVector::Cascade { .. } => &[Dim::Onset, Dim::Count, Dim::Spacing, Dim::Heal],
+            CampaignVector::FirmwareWave { .. } => {
+                &[Dim::Onset, Dim::Count, Dim::Spacing, Dim::Heal]
+            }
+            CampaignVector::FaultStorm { .. } => &[
+                Dim::Onset,
+                Dim::Count,
+                Dim::Spacing,
+                Dim::Stride,
+                Dim::Offset,
+            ],
+            CampaignVector::MobilityBurst { .. } => &[Dim::Onset, Dim::Count, Dim::Spacing],
+            CampaignVector::JurisdictionFlip { .. } => &[Dim::Onset, Dim::Offset],
+            CampaignVector::CloudBlackout { .. } => &[Dim::Onset, Dim::Heal],
+            CampaignVector::SplitBrain { .. } => &[Dim::Onset, Dim::Heal],
+            CampaignVector::Adversary { .. } => &[Dim::Onset, Dim::Factor, Dim::Heal, Dim::Links],
+        }
+    }
+
+    /// Reads one dimension; `None` when this kind does not carry it.
+    pub fn get(&self, dim: Dim) -> Option<u64> {
+        match (self, dim) {
+            (CampaignVector::Cascade { onset, .. }, Dim::Onset)
+            | (CampaignVector::FirmwareWave { onset, .. }, Dim::Onset)
+            | (CampaignVector::FaultStorm { onset, .. }, Dim::Onset)
+            | (CampaignVector::MobilityBurst { onset, .. }, Dim::Onset)
+            | (CampaignVector::JurisdictionFlip { onset, .. }, Dim::Onset)
+            | (CampaignVector::CloudBlackout { onset, .. }, Dim::Onset)
+            | (CampaignVector::SplitBrain { onset, .. }, Dim::Onset)
+            | (CampaignVector::Adversary { onset, .. }, Dim::Onset) => Some(*onset),
+            (CampaignVector::Cascade { count, .. }, Dim::Count) => Some(*count),
+            (CampaignVector::Cascade { spacing, .. }, Dim::Spacing) => Some(*spacing),
+            (CampaignVector::Cascade { recover, .. }, Dim::Heal) => Some(*recover),
+            (CampaignVector::FirmwareWave { batch, .. }, Dim::Count) => Some(*batch),
+            (CampaignVector::FirmwareWave { spacing, .. }, Dim::Spacing) => Some(*spacing),
+            (CampaignVector::FirmwareWave { outage, .. }, Dim::Heal) => Some(*outage),
+            (CampaignVector::FaultStorm { per_edge, .. }, Dim::Count) => Some(*per_edge),
+            (CampaignVector::FaultStorm { spacing, .. }, Dim::Spacing) => Some(*spacing),
+            (CampaignVector::FaultStorm { stride, .. }, Dim::Stride) => Some(*stride),
+            (CampaignVector::FaultStorm { offset, .. }, Dim::Offset) => Some(*offset),
+            (CampaignVector::MobilityBurst { roamers, .. }, Dim::Count) => Some(*roamers),
+            (CampaignVector::MobilityBurst { spacing, .. }, Dim::Spacing) => Some(*spacing),
+            (CampaignVector::JurisdictionFlip { edge, .. }, Dim::Offset) => Some(*edge),
+            (CampaignVector::CloudBlackout { heal, .. }, Dim::Heal) => Some(*heal),
+            (CampaignVector::SplitBrain { heal, .. }, Dim::Heal) => Some(*heal),
+            (CampaignVector::Adversary { factor, .. }, Dim::Factor) => Some(*factor),
+            (CampaignVector::Adversary { duration, .. }, Dim::Heal) => Some(*duration),
+            (CampaignVector::Adversary { links, .. }, Dim::Links) => Some(*links),
+            _ => None,
+        }
+    }
+
+    /// Writes one dimension, clamping to [`Dim::floor`]. A dimension this
+    /// kind does not carry is ignored.
+    pub fn set(&mut self, dim: Dim, value: u64) {
+        let value = value.max(dim.floor());
+        match (self, dim) {
+            (CampaignVector::Cascade { onset, .. }, Dim::Onset)
+            | (CampaignVector::FirmwareWave { onset, .. }, Dim::Onset)
+            | (CampaignVector::FaultStorm { onset, .. }, Dim::Onset)
+            | (CampaignVector::MobilityBurst { onset, .. }, Dim::Onset)
+            | (CampaignVector::JurisdictionFlip { onset, .. }, Dim::Onset)
+            | (CampaignVector::CloudBlackout { onset, .. }, Dim::Onset)
+            | (CampaignVector::SplitBrain { onset, .. }, Dim::Onset)
+            | (CampaignVector::Adversary { onset, .. }, Dim::Onset) => *onset = value,
+            (CampaignVector::Cascade { count, .. }, Dim::Count) => *count = value,
+            (CampaignVector::Cascade { spacing, .. }, Dim::Spacing) => *spacing = value,
+            (CampaignVector::Cascade { recover, .. }, Dim::Heal) => *recover = value,
+            (CampaignVector::FirmwareWave { batch, .. }, Dim::Count) => *batch = value,
+            (CampaignVector::FirmwareWave { spacing, .. }, Dim::Spacing) => *spacing = value,
+            (CampaignVector::FirmwareWave { outage, .. }, Dim::Heal) => *outage = value,
+            (CampaignVector::FaultStorm { per_edge, .. }, Dim::Count) => *per_edge = value,
+            (CampaignVector::FaultStorm { spacing, .. }, Dim::Spacing) => *spacing = value,
+            (CampaignVector::FaultStorm { stride, .. }, Dim::Stride) => *stride = value,
+            (CampaignVector::FaultStorm { offset, .. }, Dim::Offset) => *offset = value,
+            (CampaignVector::MobilityBurst { roamers, .. }, Dim::Count) => *roamers = value,
+            (CampaignVector::MobilityBurst { spacing, .. }, Dim::Spacing) => *spacing = value,
+            (CampaignVector::JurisdictionFlip { edge, .. }, Dim::Offset) => *edge = value,
+            (CampaignVector::CloudBlackout { heal, .. }, Dim::Heal) => *heal = value,
+            (CampaignVector::SplitBrain { heal, .. }, Dim::Heal) => *heal = value,
+            (CampaignVector::Adversary { factor, .. }, Dim::Factor) => *factor = value,
+            (CampaignVector::Adversary { duration, .. }, Dim::Heal) => *duration = value,
+            (CampaignVector::Adversary { links, .. }, Dim::Links) => *links = value,
+            _ => {}
+        }
+    }
+
+    /// The absolute onset (every kind carries one).
+    pub fn onset(&self) -> u64 {
+        self.get(Dim::Onset).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<CampaignVector> {
+        vec![
+            CampaignVector::Cascade {
+                onset: 40,
+                count: 2,
+                spacing: 5,
+                recover: 20,
+            },
+            CampaignVector::FirmwareWave {
+                onset: 30,
+                batch: 3,
+                spacing: 4,
+                outage: 6,
+            },
+            CampaignVector::FaultStorm {
+                onset: 62,
+                spacing: 1,
+                per_edge: 3,
+                stride: 2,
+                offset: 1,
+            },
+            CampaignVector::MobilityBurst {
+                onset: 40,
+                roamers: 4,
+                spacing: 10,
+            },
+            CampaignVector::JurisdictionFlip { onset: 45, edge: 0 },
+            CampaignVector::CloudBlackout {
+                onset: 40,
+                heal: 25,
+            },
+            CampaignVector::SplitBrain {
+                onset: 80,
+                heal: 15,
+            },
+            CampaignVector::Adversary {
+                onset: 20,
+                mode: AdversaryMode::Flap,
+                factor: 4,
+                duration: 16,
+                links: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_exposes_onset_and_round_trips_dims() {
+        for mut v in samples() {
+            assert_eq!(v.get(Dim::Onset), Some(v.onset()));
+            for &dim in v.dims() {
+                let read = v.get(dim).expect("declared dim must be readable");
+                v.set(dim, read + 1);
+                assert_eq!(v.get(dim), Some(read + 1), "{}/{dim:?}", v.kind_name());
+                v.set(dim, read);
+                assert_eq!(v.get(dim), Some(read));
+            }
+        }
+    }
+
+    #[test]
+    fn set_clamps_to_dimension_floor() {
+        let mut v = CampaignVector::Cascade {
+            onset: 40,
+            count: 5,
+            spacing: 5,
+            recover: 20,
+        };
+        v.set(Dim::Count, 0);
+        assert_eq!(v.get(Dim::Count), Some(1), "count floors at 1");
+        v.set(Dim::Heal, 0);
+        assert_eq!(v.get(Dim::Heal), Some(0), "heal 0 = permanent is legal");
+        let mut storm = CampaignVector::FaultStorm {
+            onset: 10,
+            spacing: 1,
+            per_edge: 2,
+            stride: 2,
+            offset: 1,
+        };
+        storm.set(Dim::Stride, 0);
+        assert_eq!(storm.get(Dim::Stride), Some(1), "stride floors at 1");
+    }
+
+    #[test]
+    fn undeclared_dims_read_none_and_ignore_writes() {
+        let mut v = CampaignVector::CloudBlackout {
+            onset: 40,
+            heal: 25,
+        };
+        assert_eq!(v.get(Dim::Links), None);
+        v.set(Dim::Links, 9);
+        assert_eq!(
+            v,
+            CampaignVector::CloudBlackout {
+                onset: 40,
+                heal: 25
+            },
+            "write to a foreign dim is a no-op"
+        );
+    }
+
+    #[test]
+    fn adversary_mode_names_round_trip() {
+        for mode in [
+            AdversaryMode::Delay,
+            AdversaryMode::Drop,
+            AdversaryMode::Flap,
+        ] {
+            assert_eq!(AdversaryMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(AdversaryMode::parse("jam"), None);
+    }
+
+    #[test]
+    fn intensity_dims_are_the_shrink_set() {
+        assert!(Dim::Count.is_intensity() && Dim::Factor.is_intensity());
+        assert!(Dim::Links.is_intensity());
+        assert!(!Dim::Onset.is_intensity() && !Dim::Heal.is_intensity());
+        assert_eq!(Dim::Count.floor(), 1);
+        assert_eq!(Dim::Onset.floor(), 0);
+    }
+}

@@ -85,13 +85,27 @@ pub struct MonitorOutcome {
     pub first_satisfaction_s: Option<f64>,
 }
 
-/// Renders the verdict enum the way outcomes report it.
-pub(crate) fn verdict_name(v: Verdict3) -> &'static str {
-    match v {
-        Verdict3::Satisfied => "Satisfied",
-        Verdict3::Violated => "Violated",
-        Verdict3::Inconclusive => "Inconclusive",
+impl MonitorOutcome {
+    /// `true` when the final verdict is the definite `Violated`: every
+    /// extension of the observed prefix violates the property.
+    pub fn is_violation(&self) -> bool {
+        self.verdict == Verdict3::Violated.name()
     }
+
+    /// `true` when the property failed to hold at end of run: either a
+    /// definite violation, or an inconclusive residual whose pending
+    /// obligation was left unmet (a response property still waiting for
+    /// recovery when the run ended). This is the oracle predicate the
+    /// `riot-campaign` fuzzer treats as a finding.
+    pub fn failed(&self) -> bool {
+        !self.holds_at_end
+    }
+}
+
+/// Renders the verdict enum the way outcomes report it (delegates to
+/// [`Verdict3::name`] so the wire format is spelled in exactly one place).
+pub(crate) fn verdict_name(v: Verdict3) -> &'static str {
+    v.name()
 }
 
 /// Extracts reported outcomes from a finished monitor bank.
@@ -417,5 +431,29 @@ mod tests {
         assert_eq!(outcomes[0].steps, 0);
         assert!(outcomes[0].holds_at_end, "G vacuous on the empty trace");
         assert!(outcomes[0].first_violation_s.is_none());
+        assert!(!outcomes[0].is_violation());
+        assert!(!outcomes[0].failed());
+    }
+
+    #[test]
+    fn oracle_predicates_track_verdict_and_residual() {
+        let mk = |verdict: Verdict3, holds_at_end: bool| MonitorOutcome {
+            name: "p".to_owned(),
+            formula: "G all".to_owned(),
+            verdict: verdict.name().to_owned(),
+            steps: 1,
+            holds_at_end,
+            first_violation_s: None,
+            first_satisfaction_s: None,
+        };
+        let violated = mk(Verdict3::Violated, false);
+        assert!(violated.is_violation() && violated.failed());
+        // A pending response obligation: no definite verdict, but the
+        // residual does not accept the empty suffix — the oracle view
+        // counts it as failed while the verdict stays inconclusive.
+        let pending = mk(Verdict3::Inconclusive, false);
+        assert!(!pending.is_violation() && pending.failed());
+        let ok = mk(Verdict3::Satisfied, true);
+        assert!(!ok.is_violation() && !ok.failed());
     }
 }

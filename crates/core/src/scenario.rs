@@ -1231,6 +1231,14 @@ impl ScenarioResult {
     pub fn requirement_resilience(&self, name: &str) -> Option<f64> {
         self.report.requirements.get(name).map(|o| o.resilience)
     }
+
+    /// The online-monitor outcomes whose property failed to hold at end of
+    /// run — the campaign-oracle view of a run (see
+    /// [`MonitorOutcome::failed`]): definite violations plus unmet pending
+    /// obligations, in [`ScenarioSpec::monitors`] order.
+    pub fn failed_monitors(&self) -> impl Iterator<Item = &MonitorOutcome> {
+        self.monitors.iter().filter(|m| m.failed())
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,26 @@ pub enum Verdict3 {
     Inconclusive,
 }
 
+impl Verdict3 {
+    /// The canonical display name — the exact string scenario monitor
+    /// outcomes and campaign oracles report (`"Satisfied"` / `"Violated"`
+    /// / `"Inconclusive"`). Kept here so every consumer spells the wire
+    /// format identically.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict3::Satisfied => "Satisfied",
+            Verdict3::Violated => "Violated",
+            Verdict3::Inconclusive => "Inconclusive",
+        }
+    }
+
+    /// `true` for the definite failure verdict: every extension of the
+    /// observed prefix violates the property.
+    pub fn is_violated(self) -> bool {
+        self == Verdict3::Violated
+    }
+}
+
 /// Progresses `φ` through one state: the result is the obligation on the
 /// remaining suffix.
 pub fn progress(phi: &Ltl, state: Valuation) -> Ltl {

@@ -1,0 +1,247 @@
+//! The fuzz-grid driver: seeded case generation over the worker pool, with
+//! violation rows.
+//!
+//! A fuzz sweep is a grid whose cells are *derived* rather than declared:
+//! case `i` of a plan is produced by a deterministic generator from a
+//! per-case seed, executed under the pool's panic isolation, and judged by
+//! an oracle. The report keeps one row per case in plan order, so — like
+//! every grid — the outcome is byte-identical across worker counts. A
+//! panicking case is a *crash row* (the strongest kind of finding, not an
+//! infrastructure error): the driver regenerates the case from its seed so
+//! the crash row still carries the input that caused it.
+//!
+//! `riot-campaign` builds its scenario fuzzer on this driver; the driver
+//! itself is generic over the case and violation types so other property
+//! sweeps can reuse it.
+
+use crate::config::HarnessConfig;
+use crate::grid::{Cell, CellError, Grid};
+use riot_sim::SimRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A seeded, bounded fuzz sweep: `budget` cases derived from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzPlan {
+    /// Master seed; the whole sweep is a pure function of it.
+    pub seed: u64,
+    /// Number of cases to generate and execute.
+    pub budget: usize,
+}
+
+impl FuzzPlan {
+    /// A plan over `budget` cases derived from `seed`.
+    pub fn new(seed: u64, budget: usize) -> FuzzPlan {
+        FuzzPlan { seed, budget }
+    }
+
+    /// The derived seed of case `index`: an independent [`SimRng`] stream
+    /// per case, so neighbouring cases are statistically unrelated and a
+    /// single case can be regenerated without replaying the sweep.
+    pub fn case_seed(&self, index: usize) -> u64 {
+        SimRng::seed_from(self.seed).fork(index as u64).next_u64()
+    }
+}
+
+/// One executed fuzz case, in plan order.
+#[derive(Debug)]
+pub struct FuzzCase<C, V> {
+    /// Position in the plan.
+    pub index: usize,
+    /// The derived seed the case was generated from.
+    pub case_seed: u64,
+    /// The generated case input.
+    pub case: C,
+    /// `Ok(None)`: the oracle passed. `Ok(Some(v))`: the oracle reported a
+    /// violation. `Err(e)`: the case crashed (panicked) under isolation.
+    pub outcome: Result<Option<V>, CellError>,
+}
+
+impl<C, V> FuzzCase<C, V> {
+    /// `true` when the case found something: a violation or a crash.
+    pub fn is_finding(&self) -> bool {
+        !matches!(self.outcome, Ok(None))
+    }
+}
+
+/// The merged result of a fuzz sweep: every case row, in plan order.
+#[derive(Debug)]
+pub struct FuzzReport<C, V> {
+    /// One row per executed case.
+    pub cases: Vec<FuzzCase<C, V>>,
+    /// Wall-clock time of the sweep (observability only).
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl<C, V> FuzzReport<C, V> {
+    /// Number of executed cases.
+    pub fn executed(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// The violation rows, in plan order.
+    pub fn violations(&self) -> impl Iterator<Item = (&FuzzCase<C, V>, &V)> {
+        self.cases.iter().filter_map(|c| match &c.outcome {
+            Ok(Some(v)) => Some((c, v)),
+            _ => None,
+        })
+    }
+
+    /// The crash rows, in plan order.
+    pub fn crashes(&self) -> impl Iterator<Item = (&FuzzCase<C, V>, &CellError)> {
+        self.cases.iter().filter_map(|c| match &c.outcome {
+            Err(e) => Some((c, e)),
+            _ => None,
+        })
+    }
+
+    /// Total findings (violations + crashes).
+    pub fn finding_count(&self) -> usize {
+        self.cases.iter().filter(|c| c.is_finding()).count()
+    }
+}
+
+/// Runs a seeded fuzz sweep on the worker pool.
+///
+/// `generate` derives a case from its per-case seed (it must be a pure
+/// function of that seed — the driver calls it again to reconstruct the
+/// input of a crashed cell); `oracle` executes the case and returns
+/// `Some(violation)` on a finding, `None` on a pass. A panic inside either
+/// becomes a crash row via the pool's `catch_unwind` isolation.
+pub fn fuzz_grid<C, V>(
+    plan: &FuzzPlan,
+    config: &HarnessConfig,
+    generate: impl Fn(u64) -> C + Send + Sync + 'static,
+    oracle: impl Fn(&C) -> Option<V> + Send + Sync + 'static,
+) -> FuzzReport<C, V>
+where
+    C: Send + 'static,
+    V: Send + 'static,
+{
+    let generate = Arc::new(generate);
+    let oracle = Arc::new(oracle);
+    let mut grid: Grid<(C, Option<V>)> = Grid::new();
+    for index in 0..plan.budget {
+        let case_seed = plan.case_seed(index);
+        let generate = Arc::clone(&generate);
+        let oracle = Arc::clone(&oracle);
+        grid.cell(Cell::new(
+            format!("fuzz/{index:04}"),
+            case_seed,
+            move || {
+                let case = generate(case_seed);
+                let violation = oracle(&case);
+                (case, violation)
+            },
+        ));
+    }
+    let report = grid.run(config);
+    let cases = report
+        .cells
+        .into_iter()
+        .map(|rec| {
+            let case_seed = rec.seed;
+            let (case, outcome) = match rec.outcome {
+                Ok((case, violation)) => (case, Ok(violation)),
+                // The cell's copy of the case unwound with the panic;
+                // regenerate it from the seed so the crash row still
+                // carries the offending input.
+                Err(e) => (generate(case_seed), Err(e)),
+            };
+            FuzzCase {
+                index: rec.index,
+                case_seed,
+                case,
+                outcome,
+            }
+        })
+        .collect();
+    FuzzReport {
+        cases,
+        wall: report.wall,
+        threads: report.threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FuzzPlan {
+        FuzzPlan::new(42, 24)
+    }
+
+    /// Case: a small integer derived from the seed. Oracle: flags
+    /// multiples of 5, panics on multiples of 7 (crash oracle).
+    fn sweep(threads: usize) -> FuzzReport<u64, String> {
+        fuzz_grid(
+            &plan(),
+            &HarnessConfig::with_threads(threads).quiet(),
+            |seed| seed % 35,
+            |case| {
+                assert!(case % 7 != 0, "crash on {case}");
+                (case % 5 == 0).then(|| format!("multiple-of-5: {case}"))
+            },
+        )
+    }
+
+    #[test]
+    fn rows_cover_plan_in_order_with_violations_and_crashes() {
+        let report = sweep(2);
+        assert_eq!(report.executed(), 24);
+        for (i, row) in report.cases.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert_eq!(row.case_seed, plan().case_seed(i));
+            assert_eq!(row.case, row.case_seed % 35, "case regenerable");
+            match &row.outcome {
+                Ok(Some(v)) => {
+                    assert!(row.case % 5 == 0 && row.case % 7 != 0);
+                    assert!(v.contains(&row.case.to_string()));
+                    assert!(row.is_finding());
+                }
+                Ok(None) => assert!(row.case % 5 != 0 && row.case % 7 != 0),
+                Err(e) => {
+                    // Crash rows keep the regenerated input and the panic.
+                    assert!(row.case % 7 == 0);
+                    assert!(e.panic.contains("crash on"), "{}", e.panic);
+                    assert!(row.is_finding());
+                }
+            }
+        }
+        assert_eq!(
+            report.finding_count(),
+            report.violations().count() + report.crashes().count()
+        );
+        assert!(report.violations().count() > 0, "seeded plan finds hits");
+        assert!(report.crashes().count() > 0, "seeded plan finds crashes");
+    }
+
+    #[test]
+    fn reports_are_identical_across_worker_counts() {
+        let serial = sweep(1);
+        let parallel = sweep(4);
+        assert_eq!(serial.executed(), parallel.executed());
+        for (a, b) in serial.cases.iter().zip(parallel.cases.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.case_seed, b.case_seed);
+            assert_eq!(a.case, b.case);
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(x.panic, y.panic),
+                _ => panic!("outcome kind diverged across worker counts"),
+            }
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_independent_streams() {
+        let p = FuzzPlan::new(7, 0);
+        let a = p.case_seed(0);
+        let b = p.case_seed(1);
+        assert_ne!(a, b);
+        assert_eq!(a, FuzzPlan::new(7, 99).case_seed(0), "budget-independent");
+        assert_ne!(a, FuzzPlan::new(8, 0).case_seed(0));
+    }
+}

@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fuzz;
 mod grid;
 mod pool;
 mod progress;
 
 pub use config::HarnessConfig;
+pub use fuzz::{fuzz_grid, FuzzCase, FuzzPlan, FuzzReport};
 pub use grid::{Cell, CellError, CellRecord, Grid, GridReport};

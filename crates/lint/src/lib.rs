@@ -90,7 +90,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose state feeds simulation results: a stray source of
 /// nondeterminism in any of these shows up as a diverging event trace.
 pub const SIM_VISIBLE_CRATES: &[&str] = &[
-    "sim", "net", "coord", "adapt", "data", "formal", "core", "model", "harness",
+    "sim", "net", "coord", "adapt", "data", "formal", "core", "model", "harness", "campaign",
 ];
 
 /// The rule identifiers. `Lint` flags problems with the directives
@@ -813,6 +813,13 @@ mod tests {
         // leaf updates are declared hot roots in lint-hotpaths.toml.
         let stream = classify("crates/sim/src/stream.rs");
         assert!(stream.sim_visible && stream.ambient_time_forbidden && stream.panic_checked);
+        // The campaign subsystem generates, compiles and shrinks the
+        // disruption schedules that scenarios replay: any nondeterminism
+        // here diverges a fuzz sweep, so it sits inside the determinism
+        // perimeter (rule D3 keeps its entropy behind explicit SimRng
+        // seeds) and is panic-checked like the rest.
+        let campaign = classify("crates/campaign/src/gen.rs");
+        assert!(campaign.sim_visible && campaign.ambient_time_forbidden && campaign.panic_checked);
     }
 
     #[test]

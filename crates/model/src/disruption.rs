@@ -213,6 +213,31 @@ impl DisruptionSchedule {
         }
     }
 
+    /// Shifts every event later by `by`, in place. Event order — including
+    /// the insertion order among equal timestamps — is preserved, so a
+    /// block built at relative time zero can be composed onto an absolute
+    /// timeline: build the block, `shift` it to its onset, then
+    /// [`merge`](DisruptionSchedule::merge) it. This is the composition
+    /// hook `riot-campaign` compiles disruption vectors through.
+    pub fn shift(&mut self, by: SimDuration) {
+        for e in &mut self.events {
+            e.at += by;
+        }
+    }
+
+    /// Drops every event scheduled at or after `horizon`, in place.
+    /// Bounded-scenario composition hook: an event at or past the end of
+    /// the run can never fire, so a schedule assembled from generated
+    /// blocks clamps to the run duration instead of carrying dead events.
+    pub fn clamp_to(&mut self, horizon: SimTime) {
+        self.events.retain(|e| e.at < horizon);
+    }
+
+    /// The timestamp of the last scheduled event, if any.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+
     /// Iterates over events within a category.
     pub fn in_category(&self, cat: DisruptionCategory) -> impl Iterator<Item = &DisruptionEvent> {
         self.events
@@ -313,6 +338,84 @@ mod tests {
             })
             .collect();
         assert_eq!(nodes, vec![2, 1, 3], "ties keep insertion order");
+    }
+
+    /// Marker helper: a crash of node `n`, used where only identity and
+    /// ordering matter.
+    fn crash(n: usize) -> Disruption {
+        Disruption::NodeCrash {
+            node: ProcessId(n),
+            recover_after: None,
+        }
+    }
+
+    /// Extracts the node-id markers in schedule order.
+    fn marker_order(s: &DisruptionSchedule) -> Vec<usize> {
+        s.events()
+            .iter()
+            .map(|e| match &e.disruption {
+                Disruption::NodeCrash { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_interleaves_out_of_order_inserts_with_stable_ties() {
+        // Pushes arrive out of time order, with three ties at t=5 and two
+        // at t=1 interleaved between them: the schedule must sort by time
+        // while keeping ties in insertion order (partition_point uses
+        // `<=`, so an equal timestamp lands *after* its peers).
+        let mut s = DisruptionSchedule::new();
+        for (t, n) in [(5u64, 50), (1, 10), (5, 51), (0, 0), (5, 52), (1, 11)] {
+            s.push(SimTime::from_secs(t), crash(n));
+        }
+        assert_eq!(marker_order(&s), vec![0, 10, 11, 50, 51, 52]);
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn push_at_front_back_and_existing_boundary() {
+        let mut s = DisruptionSchedule::new();
+        s.push(SimTime::from_secs(10), crash(1));
+        // Before everything, after everything, exactly on an occupied
+        // timestamp — the three partition_point boundary cases.
+        s.push(SimTime::from_secs(2), crash(2));
+        s.push(SimTime::from_secs(99), crash(3));
+        s.push(SimTime::from_secs(10), crash(4));
+        assert_eq!(marker_order(&s), vec![2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn shift_preserves_order_and_tie_stability() {
+        let mut s = DisruptionSchedule::new();
+        for (t, n) in [(3u64, 30), (0, 1), (3, 31)] {
+            s.push(SimTime::from_secs(t), crash(n));
+        }
+        s.shift(SimDuration::from_secs(40));
+        assert_eq!(marker_order(&s), vec![1, 30, 31], "order survives shift");
+        assert_eq!(s.events()[0].at, SimTime::from_secs(40));
+        assert_eq!(s.last_at(), Some(SimTime::from_secs(43)));
+        // Shift composes with merge: a second block shifted to the same
+        // onset lands after the first block's equal-timestamp events.
+        let mut block = DisruptionSchedule::new().at(SimTime::ZERO, crash(32));
+        block.shift(SimDuration::from_secs(43));
+        s.merge(block);
+        assert_eq!(marker_order(&s), vec![1, 30, 31, 32]);
+    }
+
+    #[test]
+    fn clamp_to_drops_events_at_and_after_horizon() {
+        let mut s = DisruptionSchedule::new();
+        for (t, n) in [(10u64, 1), (20, 2), (30, 3)] {
+            s.push(SimTime::from_secs(t), crash(n));
+        }
+        s.clamp_to(SimTime::from_secs(20));
+        assert_eq!(marker_order(&s), vec![1], "horizon is exclusive");
+        s.clamp_to(SimTime::ZERO);
+        assert!(s.is_empty());
+        assert_eq!(s.last_at(), None);
     }
 
     #[test]

@@ -49,12 +49,16 @@ if [[ "$quick" == "0" ]]; then
 
   echo "==> perf smoke (kernel suite: schema + streamed path >= 50% of unobserved)"
   cargo run --quiet -p riot-bench --bin perf -- --smoke > /dev/null
+
   # The >=50% throughput gate is asserted inside perf --smoke; make sure the
   # benchmark actually ran rather than being silently dropped from the suite.
   grep -q '"stream_pipeline"' target/BENCH_kernel_smoke.json || {
     echo "error: stream_pipeline benchmark missing from the smoke suite" >&2
     exit 1
   }
+
+  echo "==> campaign fuzz smoke (committed reproducers reproduce + minimal; seeded sweep finds & shrinks)"
+  cargo run --quiet -p riot-bench --bin riot -- campaign fuzz --smoke > /dev/null
 fi
 
 echo "OK: fmt, clippy, riot-lint$([[ "$quick" == "0" ]] && echo ", tests") all clean"

@@ -1,0 +1,125 @@
+//! Tier-1 regressions for the campaign subsystem.
+//!
+//! Every committed reproducer under `tests/campaigns/*.campaign` is a
+//! shrunk, self-contained artifact from a real fuzzing run: each must
+//! parse, round-trip through the DSL, reproduce every expectation it pins,
+//! and already be at the shrinker's fixpoint (re-shrinking changes
+//! nothing). On top of that sits the determinism guard: the same seed and
+//! the same campaign always reduce to the identical minimal reproducer.
+
+use riot_campaign::{
+    case_program, fuzz_space, reproducer_dir, run_isolated, shrink, shrink_to, weakened_space,
+    CampaignProgram,
+};
+use riot_harness::{FuzzPlan, HarnessConfig};
+use std::path::PathBuf;
+
+fn config() -> HarnessConfig {
+    HarnessConfig::with_threads(1).quiet()
+}
+
+fn committed_reproducers() -> Vec<(PathBuf, CampaignProgram)> {
+    let dir = reproducer_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "campaign"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no committed reproducers under {}",
+        dir.display()
+    );
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable reproducer");
+            let program =
+                CampaignProgram::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, program)
+        })
+        .collect()
+}
+
+#[test]
+fn committed_reproducers_parse_and_round_trip() {
+    for (path, program) in committed_reproducers() {
+        assert!(
+            !program.expect.is_empty(),
+            "{}: a committed reproducer must expect something",
+            path.display()
+        );
+        let back = CampaignProgram::parse(&program.render())
+            .unwrap_or_else(|e| panic!("{}: render does not re-parse: {e}", path.display()));
+        assert_eq!(back, program, "{}: DSL round-trip", path.display());
+    }
+}
+
+#[test]
+fn committed_reproducers_still_reproduce() {
+    let config = config();
+    for (path, program) in committed_reproducers() {
+        let findings = run_isolated(&program, &config);
+        for expected in &program.expect {
+            assert!(
+                findings.iter().any(|f| f.matches(expected)),
+                "{}: expectation {expected:?} not reproduced (findings: {findings:?})",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_reproducers_are_shrink_fixpoints() {
+    let config = config();
+    for (path, program) in committed_reproducers() {
+        let target = program.expect.first().expect("non-empty expect").clone();
+        let again = shrink_to(&program, &target, &config);
+        assert_eq!(
+            again.program,
+            program,
+            "{}: shrinker reduced a committed reproducer further to:\n{}",
+            path.display(),
+            again.program.render()
+        );
+        assert_eq!(again.stats.removed_vectors, 0, "{}", path.display());
+    }
+}
+
+/// The satellite determinism guard: the same seed and the same campaign
+/// always shrink to the identical minimal reproducer, independent of the
+/// worker count used for the sweep that found it.
+#[test]
+fn same_seed_same_campaign_same_minimal_reproducer() {
+    let space = weakened_space();
+    let plan = FuzzPlan::new(7, 6);
+    let serial = fuzz_space(&space, &plan, &HarnessConfig::with_threads(1).quiet());
+    let parallel = fuzz_space(&space, &plan, &HarnessConfig::with_threads(3).quiet());
+    let pick = |report: &riot_harness::FuzzReport<CampaignProgram, _>| {
+        report
+            .cases
+            .iter()
+            .find(|c| c.is_finding())
+            .map(|c| c.case.clone())
+            .expect("fixed seed 7 / budget 6 finds at least one violation")
+    };
+    let a = pick(&serial);
+    let b = pick(&parallel);
+    assert_eq!(a, b, "sweep order is worker-count independent");
+    // The found program regenerates from its case seed alone.
+    let seed = u64::from_str_radix(a.name.trim_start_matches("fuzz-"), 16).expect("seed name");
+    assert_eq!(case_program(&space, seed), a);
+    // And shrinks to the same minimal reproducer every time.
+    let config = config();
+    let first = shrink(&a, &config).expect("finding shrinks");
+    let second = shrink(&a, &config).expect("finding shrinks");
+    assert_eq!(first.program, second.program);
+    assert_eq!(first.program.render(), second.program.render());
+    assert_eq!(first.stats, second.stats);
+    // The minimal reproducer is itself a fixpoint.
+    let target = first.program.expect.first().expect("pinned").clone();
+    let again = shrink_to(&first.program, &target, &config);
+    assert_eq!(again.program, first.program);
+}
