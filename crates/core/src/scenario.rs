@@ -741,11 +741,17 @@ impl Scenario {
     /// crates use qualified-call syntax so the lint's call graph gets
     /// precise edges (DESIGN.md §10).
     fn sample(&mut self, now: SimTime) {
-        // -- Control-loop window across devices. `self.devices` and
+        // -- One pass over the device index: control-loop window, coverage,
+        // and consumer-store freshness together. `self.devices` and
         // `self.sim` are disjoint fields, so the loop needs no clone of
-        // the device index.
+        // the device index. Folding the former second walk (freshness) into
+        // this one keeps the staleness accumulation in device-index order,
+        // which pins the floating-point sum — and therefore the recorded
+        // freshness series — bit-for-bit.
         let mut window = DeviceWindow::default();
         let mut covered = 0usize;
+        let mut staleness_sum = 0.0;
+        let mut staleness_n = 0usize;
         let fresh_horizon = self.arch.sense_period * 3;
         for info in &self.devices {
             let up = self.device_is_up(info.id);
@@ -766,23 +772,20 @@ impl Scenario {
             if up && dev.component_state().provides_service() && reporting {
                 covered += 1;
             }
-        }
-
-        // -- Freshness at the consuming store (operational keys only;
-        // governed architectures rightfully keep personal keys home).
-        let mut staleness_sum = 0.0;
-        let mut staleness_n = 0usize;
-        for info in self.devices.iter().filter(|i| !i.personal) {
-            staleness_sum += Self::consumer_staleness(
-                &self.sim,
-                &self.hierarchy,
-                self.arch.replication,
-                self.spec.edges,
-                info,
-                now,
-            )
-            .min(NEVER_SEEN_STALENESS_S);
-            staleness_n += 1;
+            // Freshness at the consuming store (operational keys only;
+            // governed architectures rightfully keep personal keys home).
+            if !info.personal {
+                staleness_sum += Self::consumer_staleness(
+                    &self.sim,
+                    &self.hierarchy,
+                    self.arch.replication,
+                    self.spec.edges,
+                    info,
+                    now,
+                )
+                .min(NEVER_SEEN_STALENESS_S);
+                staleness_n += 1;
+            }
         }
 
         // -- Privacy audit across all stores.
