@@ -13,7 +13,7 @@ use crate::msg::{AppMsg, Msg, ReadingPayload};
 use crate::recovery::{scope_requirements, RecoveryPlanner};
 use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{CloudRegistry, RegistryConfig};
-use riot_data::{PolicyEngine, ReplicatedStore};
+use riot_data::{KeySpace, PolicyEngine, ReplicatedStore};
 use riot_model::{ComponentId, ComponentState, DomainId, DomainRegistry};
 use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
 use std::collections::BTreeMap;
@@ -58,6 +58,8 @@ pub struct CloudConfig {
     pub subscribers: Vec<ProcessId>,
     /// Domains of every node, for policy decisions at sync time.
     pub domain_of: BTreeMap<ProcessId, DomainId>,
+    /// The run-wide data-key space shared with the edges and devices.
+    pub keys: KeySpace,
 }
 
 /// The cloud process.
@@ -91,7 +93,8 @@ impl CloudProcess {
         } else {
             PolicyEngine::permissive()
         };
-        let store = ReplicatedStore::new(cfg.me.0 as u32, cfg.domain, policy);
+        let store =
+            ReplicatedStore::with_keys(cfg.me.0 as u32, cfg.domain, policy, cfg.keys.clone());
         let mape = if cfg.arch.mape == MapePlacement::Cloud {
             Some(MapeLoop::new(
                 scope_requirements(),
@@ -149,7 +152,9 @@ impl CloudProcess {
         let now = ctx.now();
         self.last_seen.insert(component, (device, now));
         let produced_at = meta.produced_at;
-        let action = self.store.ingest(key, value, meta, &self.cfg.registry, now);
+        let action = self
+            .store
+            .ingest_key(key, value, meta, &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
             let key = self.hot_keys(ctx).ingest_denied;
             ctx.metrics().incr_key(key);
@@ -326,12 +331,23 @@ mod tests {
             registry,
             subscribers: Vec::new(),
             domain_of: BTreeMap::new(),
+            keys: KeySpace::new(),
         }
     }
 
-    fn reading(device: ProcessId, state: ComponentState) -> Msg {
+    /// Interns `name` through the cloud's own store key space, so raw-id
+    /// ingest on the receiving side resolves to the same dense id.
+    fn cloud_key(sim: &Sim<Msg>, cloud: ProcessId, name: &str) -> riot_data::DataKey {
+        sim.process::<CloudProcess>(cloud)
+            .unwrap()
+            .store()
+            .keys()
+            .intern(name)
+    }
+
+    fn reading(device: ProcessId, key: riot_data::DataKey, state: ComponentState) -> Msg {
         Msg::App(AppMsg::Reading {
-            key: format!("dev{}/reading", device.0),
+            key,
             value: 1.0,
             meta: riot_data::DataMeta::operational(DomainId(0), SimTime::ZERO),
             component: ComponentId(device.0 as u32),
@@ -360,7 +376,8 @@ mod tests {
             ProcessId(0),
         )));
         let dev = sim.add_process(Dev::default());
-        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        let key = cloud_key(&sim, cloud, "dev1/reading");
+        sim.send_external(cloud, reading(dev, key, ComponentState::Running));
         sim.send_external(
             cloud,
             Msg::App(AppMsg::ControlRequest {
@@ -382,7 +399,8 @@ mod tests {
             ProcessId(0),
         )));
         let dev = sim.add_process(Dev::default());
-        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        let key = cloud_key(&sim, cloud, "dev1/reading");
+        sim.send_external(cloud, reading(dev, key, ComponentState::Running));
         sim.run_until(SimTime::from_secs(10));
         assert!(
             sim.process::<Dev>(dev).unwrap().restarts >= 1,
@@ -406,7 +424,8 @@ mod tests {
             ProcessId(0),
         )));
         let dev = sim.add_process(Dev::default());
-        sim.send_external(cloud, reading(dev, ComponentState::Running));
+        let key = cloud_key(&sim, cloud, "dev1/reading");
+        sim.send_external(cloud, reading(dev, key, ComponentState::Running));
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(sim.process::<Dev>(dev).unwrap().restarts, 0);
         assert!(sim

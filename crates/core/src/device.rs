@@ -13,10 +13,9 @@
 
 use crate::config::{ArchitectureConfig, ControlPlacement};
 use crate::msg::{AppMsg, Msg};
-use riot_data::{DataMeta, Sensitivity};
+use riot_data::{DataKey, DataMeta, PurposeSet, Sensitivity};
 use riot_model::{ComponentId, ComponentState, DomainId};
 use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
-use std::collections::BTreeMap;
 
 const TAG_SENSE: u64 = 1;
 const TAG_CONTROL: u64 = 2;
@@ -36,8 +35,9 @@ pub struct DeviceConfig {
     pub cloud: ProcessId,
     /// The device's component.
     pub component: ComponentId,
-    /// Data key this device writes.
-    pub data_key: String,
+    /// Data key this device writes (interned in the run's
+    /// [`riot_data::KeySpace`]).
+    pub data_key: DataKey,
     /// Sensitivity of the produced data.
     pub sensitivity: Sensitivity,
     /// The device's administrative domain (data origin).
@@ -114,7 +114,10 @@ pub struct DeviceProcess {
     /// 0 = primary edge; `i > 0` = `backup_edges[i - 1]`.
     controller_idx: usize,
     next_req: u64,
-    pending: BTreeMap<u64, SimTime>,
+    /// Outstanding control requests, newest last. Lookup is by linear scan:
+    /// at most a handful of requests are ever in flight (the control period
+    /// exceeds the deadline), and a short `Vec` beats a tree here.
+    pending: Vec<(u64, SimTime)>,
     consecutive_timeouts: u32,
     reading_seq: u64,
     window: DeviceWindow,
@@ -132,7 +135,7 @@ impl DeviceProcess {
             state: ComponentState::Running,
             controller_idx: 0,
             next_req: 0,
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
             consecutive_timeouts: 0,
             reading_seq: 0,
             window: DeviceWindow::default(),
@@ -214,10 +217,16 @@ impl DeviceProcess {
     fn meta(&self, now: SimTime) -> DataMeta {
         DataMeta {
             sensitivity: self.cfg.sensitivity,
-            purposes: vec![riot_data::Purpose::Operations],
+            purposes: PurposeSet::only(riot_data::Purpose::Operations),
             origin: self.cfg.domain,
             produced_at: now,
         }
+    }
+
+    /// Removes `req_id` from the in-flight set, returning its issue time.
+    fn take_pending(&mut self, req_id: u64) -> Option<SimTime> {
+        let pos = self.pending.iter().position(|(id, _)| *id == req_id)?;
+        Some(self.pending.swap_remove(pos).1)
     }
 
     fn sense(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -233,7 +242,7 @@ impl DeviceProcess {
             ctx.send(
                 host,
                 Msg::App(AppMsg::Reading {
-                    key: self.cfg.data_key.clone(),
+                    key: self.cfg.data_key,
                     value,
                     meta,
                     component: self.cfg.component,
@@ -272,7 +281,7 @@ impl DeviceProcess {
                 let req_id = self.next_req;
                 self.next_req += 1;
                 let issued_at = ctx.now();
-                self.pending.insert(req_id, issued_at);
+                self.pending.push((req_id, issued_at));
                 ctx.send(
                     controller,
                     Msg::App(AppMsg::ControlRequest { req_id, issued_at }),
@@ -283,7 +292,7 @@ impl DeviceProcess {
     }
 
     fn on_control_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, req_id: u64) {
-        if self.pending.remove(&req_id).is_none() {
+        if self.take_pending(req_id).is_none() {
             return; // reply beat the deadline
         }
         self.window.control_timeout += 1;
@@ -305,7 +314,9 @@ impl DeviceProcess {
                 self.failovers += 1;
                 let key = self.hot_keys(ctx).failover;
                 ctx.metrics().incr_key(key);
-                ctx.annotate(format!("failover to {}", self.current_edge()));
+                if ctx.is_observing() {
+                    ctx.annotate(format!("failover to {}", self.current_edge()));
+                }
             }
             ControlPlacement::Edge
                 if self.consecutive_timeouts >= self.cfg.arch.ml3_fallback_timeouts =>
@@ -346,7 +357,7 @@ impl Process<Msg> for DeviceProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcessId, msg: Msg) {
         match msg {
             Msg::App(AppMsg::ControlReply { req_id, issued_at })
-                if self.pending.remove(&req_id).is_some() =>
+                if self.take_pending(req_id).is_some() =>
             {
                 let latency_ms = (ctx.now() - issued_at).as_millis_f64();
                 self.window.control_ok += 1;
@@ -408,7 +419,7 @@ mod tests {
             backup_edges: vec![ProcessId(1)],
             cloud: ProcessId(2),
             component: ComponentId(0),
-            data_key: "dev/reading".into(),
+            data_key: riot_data::KeySpace::new().intern("dev/reading"),
             sensitivity: Sensitivity::Internal,
             domain: DomainId(0),
         }
@@ -580,7 +591,7 @@ mod tests {
         cfg.domain = DomainId(9);
         sim.add_process(DeviceProcess::new(cfg));
         sim.run_until(SimTime::from_secs(3));
-        let meta = sim.process::<Inspect>(host).unwrap().seen.clone().unwrap();
+        let meta = sim.process::<Inspect>(host).unwrap().seen.unwrap();
         assert_eq!(meta.sensitivity, Sensitivity::Personal);
         assert_eq!(meta.origin, DomainId(9));
     }

@@ -12,7 +12,7 @@ use crate::msg::{AppMsg, Msg, PolicyUpdate, ReadingPayload};
 use crate::recovery::{scope_requirements, RecoveryPlanner};
 use riot_adapt::{AdaptationAction, MapeLoop, Placement};
 use riot_coord::{Election, ElectionOutput, Gossip, GossipConfig, MemberState, Swim, SwimOutput};
-use riot_data::{PolicyEngine, ReplicatedStore};
+use riot_data::{KeySpace, PolicyEngine, ReplicatedStore};
 use riot_model::{ComponentId, ComponentState, DomainId, DomainRegistry};
 use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
 use std::collections::BTreeMap;
@@ -69,6 +69,8 @@ pub struct EdgeConfig {
     pub registry: DomainRegistry,
     /// The edge's scope id (for election/coordination reporting).
     pub scope: u32,
+    /// The run's shared data-key space (all stores speak the same ids).
+    pub keys: KeySpace,
 }
 
 /// The gossip key under which the governance posture is disseminated.
@@ -111,7 +113,8 @@ impl EdgeProcess {
         } else {
             PolicyEngine::permissive()
         };
-        let store = ReplicatedStore::new(cfg.me.0 as u32, cfg.domain, policy);
+        let store =
+            ReplicatedStore::with_keys(cfg.me.0 as u32, cfg.domain, policy, cfg.keys.clone());
         let (swim, election, gossip) = if cfg.arch.decentralized_coordination {
             let members: Vec<ProcessId> = cfg.peer_edges.iter().copied().chain([cfg.me]).collect();
             (
@@ -247,7 +250,9 @@ impl EdgeProcess {
                 ElectionOutput::LeaderChanged { leader, .. } => {
                     let key = self.hot_keys(ctx).election_leader_change;
                     ctx.metrics().incr_key(key);
-                    ctx.annotate(format!("scope {} leader: {:?}", self.cfg.scope, leader));
+                    if ctx.is_observing() {
+                        ctx.annotate(format!("scope {} leader: {:?}", self.cfg.scope, leader));
+                    }
                 }
             }
         }
@@ -290,7 +295,7 @@ impl EdgeProcess {
         // privacy scope even for direct device pushes (§VI-B).
         let action = self
             .store
-            .ingest(key.clone(), value, meta.clone(), &self.cfg.registry, now);
+            .ingest_key(key, value, meta, &self.cfg.registry, now);
         if action == riot_data::PolicyAction::Deny {
             let key = self.hot_keys(ctx).ingest_denied;
             ctx.metrics().incr_key(key);
@@ -573,7 +578,18 @@ mod tests {
             domain_of,
             registry: registry(),
             scope: 0,
+            keys: KeySpace::new(),
         }
+    }
+
+    /// Interns `name` in the key space of the edge at `me` — test readings
+    /// must speak the same dense ids as the store they land in.
+    fn edge_key(sim: &Sim<Msg>, me: ProcessId, name: &str) -> riot_data::DataKey {
+        sim.process::<EdgeProcess>(me)
+            .unwrap()
+            .store()
+            .keys()
+            .intern(name)
     }
 
     /// Sink process standing in for the cloud in edge-only tests.
@@ -593,9 +609,9 @@ mod tests {
         }
     }
 
-    fn reading(device: ProcessId, key: &str) -> Msg {
+    fn reading(device: ProcessId, key: riot_data::DataKey) -> Msg {
         Msg::App(AppMsg::Reading {
-            key: key.into(),
+            key,
             value: 1.0,
             meta: riot_data::DataMeta::operational(DomainId(0), SimTime::ZERO),
             component: ComponentId(device.0 as u32),
@@ -708,7 +724,10 @@ mod tests {
             vec![],
             cloud,
         )));
-        sim.send_external(me, reading(ProcessId(9), "dev9/reading"));
+        sim.send_external(
+            me,
+            reading(ProcessId(9), edge_key(&sim, me, "dev9/reading")),
+        );
         sim.run_until(SimTime::from_secs(5));
         let sink = sim.process::<Sink>(cloud).unwrap();
         assert!(sink.relays >= 1, "telemetry relayed to cloud MAPE");
@@ -744,7 +763,7 @@ mod tests {
         sim.send_external(
             me,
             Msg::App(AppMsg::Reading {
-                key: "d/reading".into(),
+                key: edge_key(&sim, me, "d/reading"),
                 value: 1.0,
                 meta: riot_data::DataMeta::operational(DomainId(0), SimTime::ZERO),
                 component: ComponentId(1),
@@ -783,7 +802,7 @@ mod tests {
         )));
         let dev = sim.add_process(Sink::default());
         // Edge 0 ingests a reading; the mesh replicates it to edge 1.
-        sim.send_external(e0, reading(dev, "dev9/reading"));
+        sim.send_external(e0, reading(dev, edge_key(&sim, e0, "dev9/reading")));
         sim.run_until(SimTime::from_secs(5));
         assert!(sim
             .process::<EdgeProcess>(e1)
@@ -838,7 +857,7 @@ mod tests {
         sim.send_external(
             e1,
             Msg::App(AppMsg::Reading {
-                key: "wearable/hr".into(),
+                key: edge_key(&sim, e1, "wearable/hr"),
                 value: 70.0,
                 meta: riot_data::DataMeta::personal(DomainId(0), SimTime::ZERO),
                 component: ComponentId(9),

@@ -6,7 +6,7 @@
 //! each sub-protocol.
 
 use riot_coord::{ElectionMsg, GossipMsg, RegistryMsg, SwimMsg};
-use riot_data::{DataMeta, SyncMsg};
+use riot_data::{DataKey, DataMeta, SyncMsg};
 use riot_model::{ComponentId, ComponentState};
 use riot_sim::{Embed, ProcessId, SimTime};
 
@@ -27,8 +27,8 @@ pub enum PolicyUpdate {
 /// regrouped so ingestion paths can pass them as one value.
 #[derive(Debug, Clone)]
 pub struct ReadingPayload {
-    /// Data key (`"dev<id>/reading"`).
-    pub key: String,
+    /// Data key (the run's interned id for `"dev<id>/reading"`).
+    pub key: DataKey,
     /// Observed value.
     pub value: f64,
     /// Governance label.
@@ -48,8 +48,8 @@ pub enum AppMsg {
     /// carrying the device's component telemetry (the paper's Figure 5:
     /// monitoring *is* sensing at the devices).
     Reading {
-        /// Data key (`"dev<id>/reading"`).
-        key: String,
+        /// Data key (the run's interned id for `"dev<id>/reading"`).
+        key: DataKey,
         /// Observed value.
         value: f64,
         /// Governance label.
@@ -64,7 +64,7 @@ pub enum AppMsg {
     /// A relayed copy of a reading (edge → cloud telemetry forwarding).
     RelayedReading {
         /// The original reading fields.
-        key: String,
+        key: DataKey,
         /// Observed value.
         value: f64,
         /// Governance label.

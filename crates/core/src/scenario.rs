@@ -28,7 +28,7 @@ use crate::resilience::{
     standard_goal_model, standard_requirements, ResilienceReport, Thresholds, GOAL_NAME,
     REQUIREMENT_NAMES,
 };
-use riot_data::Sensitivity;
+use riot_data::{DataKey, KeySpace, Sensitivity};
 use riot_formal::OnlineMonitor;
 use riot_model::{
     Disruption, DisruptionSchedule, Domain, DomainId, DomainRegistry, GoalModel, Jurisdiction,
@@ -238,8 +238,9 @@ pub struct DeviceInfo {
     pub id: ProcessId,
     /// Index of its primary edge.
     pub edge_index: usize,
-    /// Its data key.
-    pub key: String,
+    /// Its data key (interned in the scenario's run-wide key space; resolve
+    /// through any store's [`riot_data::KeySpace`] for the display name).
+    pub key: DataKey,
     /// `true` when it produces personal data.
     pub personal: bool,
 }
@@ -329,6 +330,8 @@ pub struct Scenario {
     arch: ArchitectureConfig,
     sim: Sim<Msg>,
     hierarchy: Hierarchy,
+    /// The run-wide data-key space every store shares.
+    keys: KeySpace,
     devices: Vec<DeviceInfo>,
     registry: DomainRegistry,
     requirements: RequirementSet,
@@ -563,6 +566,12 @@ impl Scenario {
             sim.add_boxed_observer(observer);
         }
 
+        // -- One run-wide data-key space. Every store (cloud, every edge)
+        // shares it, so data-plane sync moves dense ids with zero
+        // translation (`SyncMsg` carries the space; `same_as` short-cuts
+        // the name round-trip) and devices send `DataKey`s, not strings.
+        let keys = KeySpace::new();
+
         let subscribers = vendor_idx
             // riot-lint: allow(P1, reason = "vendor_edge_index() only ever returns Some(spec.edges - 1)")
             .map(|i| vec![hierarchy.edges[i]])
@@ -574,6 +583,7 @@ impl Scenario {
             registry: registry.clone(),
             subscribers,
             domain_of: domain_of.clone(),
+            keys: keys.clone(),
         }));
         debug_assert_eq!(cloud_id, hierarchy.cloud);
 
@@ -594,6 +604,7 @@ impl Scenario {
                 domain_of: domain_of.clone(),
                 registry: registry.clone(),
                 scope: i as u32,
+                keys: keys.clone(),
             }));
             debug_assert_eq!(id, e);
         }
@@ -604,7 +615,7 @@ impl Scenario {
             for &d in devs {
                 let personal =
                     spec.personal_every > 0 && global_idx.is_multiple_of(spec.personal_every);
-                let key = format!("dev{}/reading", d.0);
+                let key = keys.intern(&format!("dev{}/reading", d.0));
                 let backups: Vec<ProcessId> = (1..spec.edges)
                     // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
                     .map(|k| hierarchy.edges[(e + k) % spec.edges])
@@ -616,7 +627,7 @@ impl Scenario {
                     backup_edges: backups,
                     cloud: hierarchy.cloud,
                     component: riot_model::ComponentId(d.0 as u32),
-                    data_key: key.clone(),
+                    data_key: key,
                     sensitivity: if personal {
                         Sensitivity::Personal
                     } else {
@@ -648,6 +659,7 @@ impl Scenario {
             arch,
             sim,
             hierarchy,
+            keys,
             devices,
             registry,
             requirements,
@@ -667,6 +679,11 @@ impl Scenario {
     /// The devices of the built scenario.
     pub fn devices(&self) -> &[DeviceInfo] {
         &self.devices
+    }
+
+    /// The run-wide data-key space (resolves [`DeviceInfo::key`] to names).
+    pub fn keys(&self) -> &KeySpace {
+        &self.keys
     }
 
     /// Runs to completion, sampling requirements, and reports.
@@ -698,13 +715,13 @@ impl Scenario {
             ReplicationMode::None => NEVER_SEEN_STALENESS_S,
             ReplicationMode::CloudOnly | ReplicationMode::EdgeToCloud => sim
                 .process::<CloudProcess>(hierarchy.cloud)
-                .and_then(|c| c.store().staleness_secs(&info.key, now))
+                .and_then(|c| c.store().staleness_secs_key(info.key, now))
                 .unwrap_or(NEVER_SEEN_STALENESS_S),
             ReplicationMode::EdgeMesh => {
                 // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
                 let consumer = hierarchy.edges[(info.edge_index + 1) % edges];
                 sim.process::<EdgeProcess>(consumer)
-                    .and_then(|e| e.store().staleness_secs(&info.key, now))
+                    .and_then(|e| e.store().staleness_secs_key(info.key, now))
                     .unwrap_or(NEVER_SEEN_STALENESS_S)
             }
         }

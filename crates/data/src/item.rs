@@ -6,7 +6,12 @@
 //! datum must carry its classification: sensitivity, purpose, origin, and
 //! the subject it describes. [`DataMeta`] is that label; [`DataRecord`]
 //! pairs it with a value.
+//!
+//! Everything here is `Copy`: a record is a dense [`DataKey`], an `f64`,
+//! and a fixed-size label ([`PurposeSet`] is a bitset), so moving records
+//! through readings and sync messages never allocates.
 
+use crate::keyspace::DataKey;
 use riot_model::DomainId;
 use riot_sim::SimTime;
 
@@ -36,13 +41,72 @@ pub enum Purpose {
     Marketing,
 }
 
-/// Governance metadata attached to every datum.
-#[derive(Debug, Clone, PartialEq, Eq)]
+const ALL_PURPOSES: [Purpose; 4] = [
+    Purpose::Operations,
+    Purpose::Analytics,
+    Purpose::Research,
+    Purpose::Marketing,
+];
+
+/// A `Copy` set of [`Purpose`]s (one bit per variant) — the hot-path
+/// replacement for `Vec<Purpose>` in [`DataMeta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PurposeSet(u8);
+
+impl PurposeSet {
+    /// The empty set.
+    pub const EMPTY: PurposeSet = PurposeSet(0);
+
+    /// A set holding just `purpose`.
+    pub fn only(purpose: Purpose) -> Self {
+        PurposeSet(1 << purpose as u8)
+    }
+
+    /// Adds `purpose` to the set.
+    pub fn insert(&mut self, purpose: Purpose) {
+        self.0 |= 1 << purpose as u8;
+    }
+
+    /// `true` if `purpose` is in the set.
+    pub fn contains(self, purpose: Purpose) -> bool {
+        self.0 & (1 << purpose as u8) != 0
+    }
+
+    /// `true` when no purpose is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the purposes in the set, in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Purpose> {
+        ALL_PURPOSES.into_iter().filter(move |&p| self.contains(p))
+    }
+}
+
+impl From<Purpose> for PurposeSet {
+    fn from(p: Purpose) -> Self {
+        PurposeSet::only(p)
+    }
+}
+
+impl FromIterator<Purpose> for PurposeSet {
+    fn from_iter<I: IntoIterator<Item = Purpose>>(iter: I) -> Self {
+        let mut set = PurposeSet::EMPTY;
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+}
+
+/// Governance metadata attached to every datum. `Copy` — a record label
+/// travels by value through readings and sync entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataMeta {
     /// Sensitivity class.
     pub sensitivity: Sensitivity,
     /// Purposes the datum was collected for.
-    pub purposes: Vec<Purpose>,
+    pub purposes: PurposeSet,
     /// The administrative domain where the datum originated.
     pub origin: DomainId,
     /// When it was produced (drives freshness metrics).
@@ -54,7 +118,7 @@ impl DataMeta {
     pub fn operational(origin: DomainId, produced_at: SimTime) -> Self {
         DataMeta {
             sensitivity: Sensitivity::Internal,
-            purposes: vec![Purpose::Operations],
+            purposes: PurposeSet::only(Purpose::Operations),
             origin,
             produced_at,
         }
@@ -64,7 +128,7 @@ impl DataMeta {
     pub fn personal(origin: DomainId, produced_at: SimTime) -> Self {
         DataMeta {
             sensitivity: Sensitivity::Personal,
-            purposes: vec![Purpose::Operations],
+            purposes: PurposeSet::only(Purpose::Operations),
             origin,
             produced_at,
         }
@@ -72,7 +136,7 @@ impl DataMeta {
 
     /// `true` if the datum is allowed to be processed for `purpose`.
     pub fn allows_purpose(&self, purpose: Purpose) -> bool {
-        self.purposes.contains(&purpose)
+        self.purposes.contains(purpose)
     }
 
     /// Age of the datum at `now`, in seconds.
@@ -82,11 +146,12 @@ impl DataMeta {
 }
 
 /// A keyed scalar observation with governance metadata — the unit the
-/// replicated store synchronizes.
-#[derive(Debug, Clone, PartialEq)]
+/// replicated store synchronizes. `Copy`: the key is a dense id into the
+/// run's [`KeySpace`](crate::KeySpace).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataRecord {
-    /// Application key (e.g. `"zone3/occupancy"`).
-    pub key: String,
+    /// Application key (e.g. the id of `"zone3/occupancy"`).
+    pub key: DataKey,
     /// Observed value.
     pub value: f64,
     /// Governance label.
@@ -95,23 +160,19 @@ pub struct DataRecord {
 
 impl DataRecord {
     /// Creates a record.
-    pub fn new(key: impl Into<String>, value: f64, meta: DataMeta) -> Self {
-        DataRecord {
-            key: key.into(),
-            value,
-            meta,
-        }
+    pub fn new(key: DataKey, value: f64, meta: DataMeta) -> Self {
+        DataRecord { key, value, meta }
     }
 
     /// A redacted copy: the value is blanked and sensitivity dropped to
     /// [`Sensitivity::Public`] — what a `Redact` policy action emits.
     pub fn redacted(&self) -> DataRecord {
         DataRecord {
-            key: self.key.clone(),
+            key: self.key,
             value: f64::NAN,
             meta: DataMeta {
                 sensitivity: Sensitivity::Public,
-                purposes: self.meta.purposes.clone(),
+                purposes: self.meta.purposes,
                 origin: self.meta.origin,
                 produced_at: self.meta.produced_at,
             },
@@ -127,12 +188,32 @@ impl DataRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::keyspace::KeySpace;
 
     #[test]
     fn sensitivity_is_ordered() {
         assert!(Sensitivity::Public < Sensitivity::Internal);
         assert!(Sensitivity::Internal < Sensitivity::Personal);
         assert!(Sensitivity::Personal < Sensitivity::Special);
+    }
+
+    #[test]
+    fn purpose_set_semantics() {
+        let mut s = PurposeSet::only(Purpose::Operations);
+        assert!(s.contains(Purpose::Operations));
+        assert!(!s.contains(Purpose::Marketing));
+        s.insert(Purpose::Marketing);
+        assert!(s.contains(Purpose::Marketing));
+        assert!(!s.is_empty());
+        assert!(PurposeSet::EMPTY.is_empty());
+        let collected: PurposeSet = [Purpose::Research, Purpose::Analytics]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            collected.iter().collect::<Vec<_>>(),
+            vec![Purpose::Analytics, Purpose::Research],
+            "iteration follows declaration order"
+        );
     }
 
     #[test]
@@ -158,8 +239,9 @@ mod tests {
 
     #[test]
     fn redaction_blanks_value_and_declassifies() {
+        let ks = KeySpace::new();
         let rec = DataRecord::new(
-            "hr/bpm",
+            ks.intern("hr/bpm"),
             72.0,
             DataMeta::personal(DomainId(2), SimTime::ZERO),
         );

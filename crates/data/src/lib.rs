@@ -29,13 +29,15 @@
 
 mod crdt;
 mod item;
+mod keyspace;
 mod lineage;
 mod policy;
 mod store;
 mod vclock;
 
 pub use crdt::{Crdt, GCounter, LwwRegister, MvRegister, OrSet, PnCounter};
-pub use item::{DataMeta, DataRecord, Purpose, Sensitivity};
+pub use item::{DataMeta, DataRecord, Purpose, PurposeSet, Sensitivity};
+pub use keyspace::{DataKey, KeySpace};
 pub use lineage::{LineageGraph, LineageId, LineageNode, Operation};
 pub use policy::{FlowContext, PolicyAction, PolicyEngine, PolicyRule};
 pub use store::{ReplicatedStore, StoreEntry, StoreStats, SyncMsg};

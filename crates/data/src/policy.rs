@@ -200,6 +200,7 @@ impl PolicyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::item::PurposeSet;
     use riot_model::{Domain, Jurisdiction};
     use riot_sim::SimTime;
 
@@ -231,7 +232,7 @@ mod tests {
         let engine = PolicyEngine::permissive();
         let meta = DataMeta {
             sensitivity: Sensitivity::Special,
-            purposes: vec![],
+            purposes: PurposeSet::EMPTY,
             origin: DomainId(1),
             produced_at: SimTime::ZERO,
         };
@@ -279,7 +280,7 @@ mod tests {
         let engine = PolicyEngine::governed();
         let meta = DataMeta {
             sensitivity: Sensitivity::Special,
-            purposes: vec![Purpose::Operations],
+            purposes: PurposeSet::only(Purpose::Operations),
             origin: DomainId(1),
             produced_at: SimTime::ZERO,
         };
@@ -363,7 +364,7 @@ mod tests {
             to: DomainId(1),
         };
         assert_eq!(engine.decide(&ctx, &reg).0, PolicyAction::Allow);
-        meta.purposes.push(Purpose::Marketing);
+        meta.purposes.insert(Purpose::Marketing);
         let ctx = FlowContext {
             meta: &meta,
             from: DomainId(0),

@@ -12,16 +12,28 @@
 //! The store also answers the audit query behind experiment E5:
 //! [`ReplicatedStore::privacy_violations`] counts personal records resting
 //! in domains they should never have reached.
+//!
+//! ## Layout
+//!
+//! Entries live in a slab (`Vec<Option<StoreEntry>>`) indexed by the dense
+//! [`DataKey`] ids of the store's [`KeySpace`] — every hot operation is a
+//! direct slot probe, and since [`StoreEntry`] is `Copy`, sync messages
+//! move entries by memcpy. The string-keyed API remains as a thin compat
+//! layer that interns through the key space. A [`SyncMsg`] carries its
+//! sender's key space: receivers sharing the same space (the scenario
+//! configuration) apply raw ids with zero translation, while standalone
+//! stores with private spaces re-intern entries by name.
 
 use crate::item::{DataMeta, DataRecord, Sensitivity};
+use crate::keyspace::{DataKey, KeySpace};
 use crate::policy::{FlowContext, PolicyAction, PolicyEngine};
 use crate::vclock::ReplicaId;
 use riot_model::{DomainId, DomainRegistry, TrustLevel};
 use riot_sim::SimTime;
-use std::collections::BTreeMap;
 
-/// One stored record with its LWW version.
-#[derive(Debug, Clone, PartialEq)]
+/// One stored record with its LWW version. `Copy` — sync moves entries by
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreEntry {
     /// The record.
     pub record: DataRecord,
@@ -36,6 +48,10 @@ pub struct StoreEntry {
 pub struct SyncMsg {
     /// Domain of the sending store (receivers re-check policy against it).
     pub from_domain: DomainId,
+    /// The sender's key space: entry keys are ids in this space. A
+    /// receiver over the same space applies them directly; otherwise it
+    /// translates by name.
+    pub keys: KeySpace,
     /// The pushed entries.
     pub entries: Vec<StoreEntry>,
 }
@@ -82,18 +98,48 @@ pub struct ReplicatedStore {
     replica: ReplicaId,
     domain: DomainId,
     policy: PolicyEngine,
-    entries: BTreeMap<String, StoreEntry>,
+    keys: KeySpace,
+    /// Slab indexed by `DataKey::index()`.
+    slots: Vec<Option<StoreEntry>>,
+    /// Number of occupied slots.
+    live: usize,
+    /// Resting non-redacted Personal-or-worse entries, counted per origin
+    /// domain — makes [`ReplicatedStore::privacy_violations`] O(#origins)
+    /// instead of O(entries). Invariant: for every origin `d`, the count
+    /// equals the number of occupied slots whose record is a violation
+    /// candidate (see [`is_violation_candidate`]) with `origin == d`.
+    personal_by_origin: Vec<(DomainId, u32)>,
     stats: StoreStats,
 }
 
+/// `true` when a resting record would count as a privacy violation in any
+/// domain that is neither its origin nor trusted by it.
+fn is_violation_candidate(record: &DataRecord) -> bool {
+    !record.is_redacted() && record.meta.sensitivity >= Sensitivity::Personal
+}
+
 impl ReplicatedStore {
-    /// Creates an empty store owned by `domain`.
+    /// Creates an empty store owned by `domain`, with a private key space.
     pub fn new(replica: ReplicaId, domain: DomainId, policy: PolicyEngine) -> Self {
+        ReplicatedStore::with_keys(replica, domain, policy, KeySpace::new())
+    }
+
+    /// Creates an empty store over a shared key space — the scenario path:
+    /// every store in a run shares one space, so sync never translates.
+    pub fn with_keys(
+        replica: ReplicaId,
+        domain: DomainId,
+        policy: PolicyEngine,
+        keys: KeySpace,
+    ) -> Self {
         ReplicatedStore {
             replica,
             domain,
             policy,
-            entries: BTreeMap::new(),
+            keys,
+            slots: Vec::new(),
+            live: 0,
+            personal_by_origin: Vec::new(),
             stats: StoreStats::default(),
         }
     }
@@ -106,6 +152,11 @@ impl ReplicatedStore {
     /// The domain this store lives in.
     pub fn domain(&self) -> DomainId {
         self.domain
+    }
+
+    /// The key space this store's ids live in.
+    pub fn keys(&self) -> &KeySpace {
+        &self.keys
     }
 
     /// Governance counters.
@@ -123,6 +174,27 @@ impl ReplicatedStore {
         self.domain = domain;
     }
 
+    fn personal_add(&mut self, origin: DomainId) {
+        match self
+            .personal_by_origin
+            .iter_mut()
+            .find(|(d, _)| *d == origin)
+        {
+            Some((_, n)) => *n += 1,
+            None => self.personal_by_origin.push((origin, 1)),
+        }
+    }
+
+    fn personal_remove(&mut self, origin: DomainId) {
+        if let Some((_, n)) = self
+            .personal_by_origin
+            .iter_mut()
+            .find(|(d, _)| *d == origin)
+        {
+            *n = n.saturating_sub(1);
+        }
+    }
+
     /// Ingests a record arriving from a producer (a device pushing a
     /// reading): the governance policy is applied to the flow from the
     /// datum's *origin domain* into this store's domain. Returns the action
@@ -133,7 +205,20 @@ impl ReplicatedStore {
     /// data at the door, while a permissive store accepts it verbatim.
     pub fn ingest(
         &mut self,
-        key: impl Into<String>,
+        key: impl AsRef<str>,
+        value: f64,
+        meta: DataMeta,
+        registry: &DomainRegistry,
+        now: SimTime,
+    ) -> PolicyAction {
+        let key = self.keys.intern(key.as_ref());
+        self.ingest_key(key, value, meta, registry, now)
+    }
+
+    /// [`ReplicatedStore::ingest`] for a pre-interned key — the hot path.
+    pub fn ingest_key(
+        &mut self,
+        key: DataKey,
         value: f64,
         meta: DataMeta,
         registry: &DomainRegistry,
@@ -146,7 +231,7 @@ impl ReplicatedStore {
         };
         let (action, _) = self.policy.decide(&ctx, registry);
         match action {
-            PolicyAction::Allow => self.put(key, value, meta, now),
+            PolicyAction::Allow => self.put_key(key, value, meta, now),
             PolicyAction::Redact => {
                 let record = DataRecord::new(key, value, meta).redacted();
                 self.stats.local_writes += 1;
@@ -163,21 +248,36 @@ impl ReplicatedStore {
         action
     }
 
-    /// Writes a record locally.
-    pub fn put(&mut self, key: impl Into<String>, value: f64, meta: DataMeta, now: SimTime) {
-        let key = key.into();
+    /// Writes a record locally (string compat: interns through the store's
+    /// key space).
+    pub fn put(&mut self, key: impl AsRef<str>, value: f64, meta: DataMeta, now: SimTime) {
+        let key = self.keys.intern(key.as_ref());
+        self.put_key(key, value, meta, now);
+    }
+
+    /// Writes a record locally under a pre-interned key — the hot path.
+    pub fn put_key(&mut self, key: DataKey, value: f64, meta: DataMeta, now: SimTime) {
         self.stats.local_writes += 1;
         let entry = StoreEntry {
-            record: DataRecord::new(key.clone(), value, meta),
+            record: DataRecord::new(key, value, meta),
             written_at: now,
             writer: self.replica,
         };
         self.apply(entry);
     }
 
-    /// Reads a record.
+    /// Reads a record by name (compat path: resolves through the key
+    /// space, no minting).
     pub fn get(&self, key: &str) -> Option<&DataRecord> {
-        self.entries.get(key).map(|e| &e.record)
+        self.keys.get(key).and_then(|k| self.get_key(k))
+    }
+
+    /// Reads a record by pre-interned key — a direct slot probe.
+    pub fn get_key(&self, key: DataKey) -> Option<&DataRecord> {
+        self.slots
+            .get(key.index())
+            .and_then(|slot| slot.as_ref())
+            .map(|e| &e.record)
     }
 
     /// Seconds since the record was produced, or `None` when absent.
@@ -185,33 +285,71 @@ impl ReplicatedStore {
         self.get(key).map(|r| r.meta.age_secs(now))
     }
 
+    /// [`ReplicatedStore::staleness_secs`] for a pre-interned key.
+    pub fn staleness_secs_key(&self, key: DataKey, now: SimTime) -> Option<f64> {
+        self.get_key(key).map(|r| r.meta.age_secs(now))
+    }
+
     /// Number of stored keys.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// `true` when the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Iterates over entries in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &StoreEntry)> {
-        self.entries.iter().map(|(k, e)| (k.as_str(), e))
+    /// Iterates over occupied entries in dense-id (registration) order.
+    /// Resolve names through [`ReplicatedStore::keys`] when needed.
+    pub fn iter(&self) -> impl Iterator<Item = (DataKey, &StoreEntry)> {
+        self.slots.iter().flatten().map(|e| (e.record.key, e))
     }
 
+    /// LWW-merges `entry` into its slot, maintaining the live count and
+    /// the per-origin personal counters. Returns `true` when local state
+    /// changed.
     fn apply(&mut self, entry: StoreEntry) -> bool {
-        match self.entries.get(&entry.record.key) {
+        let idx = entry.record.key.index();
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, None);
+        }
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return false; // unreachable: just resized past idx
+        };
+        match slot {
             Some(existing)
                 if (existing.written_at, existing.writer) >= (entry.written_at, entry.writer) =>
             {
                 false
             }
             _ => {
-                self.entries.insert(entry.record.key.clone(), entry);
+                let evicted = slot.replace(entry);
+                match evicted {
+                    Some(old) => {
+                        if is_violation_candidate(&old.record) {
+                            self.personal_remove(old.record.meta.origin);
+                        }
+                    }
+                    None => self.live += 1,
+                }
+                if is_violation_candidate(&entry.record) {
+                    self.personal_add(entry.record.meta.origin);
+                }
                 true
             }
         }
+    }
+
+    /// Empties slot `idx`, maintaining the counters. Returns the evicted
+    /// entry, if any.
+    fn evict(&mut self, idx: usize) -> Option<StoreEntry> {
+        let old = self.slots.get_mut(idx).and_then(|slot| slot.take())?;
+        self.live -= 1;
+        if is_violation_candidate(&old.record) {
+            self.personal_remove(old.record.meta.origin);
+        }
+        Some(old)
     }
 
     /// Builds the anti-entropy push towards a peer in `peer_domain`,
@@ -224,8 +362,10 @@ impl ReplicatedStore {
         registry: &DomainRegistry,
         since: SimTime,
     ) -> SyncMsg {
-        let mut entries = Vec::new();
-        for entry in self.entries.values() {
+        let mut entries = Vec::with_capacity(self.live);
+        let mut egress_redacted = 0;
+        let mut egress_denied = 0;
+        for entry in self.slots.iter().flatten() {
             if since > SimTime::ZERO && entry.written_at <= since {
                 continue;
             }
@@ -235,9 +375,9 @@ impl ReplicatedStore {
                 to: peer_domain,
             };
             match self.policy.decide(&ctx, registry).0 {
-                PolicyAction::Allow => entries.push(entry.clone()),
+                PolicyAction::Allow => entries.push(*entry),
                 PolicyAction::Redact => {
-                    self.stats.egress_redacted += 1;
+                    egress_redacted += 1;
                     entries.push(StoreEntry {
                         record: entry.record.redacted(),
                         written_at: entry.written_at,
@@ -245,21 +385,32 @@ impl ReplicatedStore {
                     });
                 }
                 PolicyAction::Deny => {
-                    self.stats.egress_denied += 1;
+                    egress_denied += 1;
                 }
             }
         }
+        self.stats.egress_redacted += egress_redacted;
+        self.stats.egress_denied += egress_denied;
         SyncMsg {
             from_domain: self.domain,
+            keys: self.keys.clone(),
             entries,
         }
     }
 
     /// Merges a received push, applying ingress policy per entry. Returns
     /// the number of entries that changed local state.
+    ///
+    /// When the message's key space is this store's own (the scenario
+    /// configuration), entry keys are applied verbatim; otherwise each key
+    /// is translated by name into this store's space.
     pub fn on_sync(&mut self, msg: SyncMsg, registry: &DomainRegistry, _now: SimTime) -> usize {
+        let shared = msg.keys.same_as(&self.keys);
         let mut changed = 0;
-        for entry in msg.entries {
+        for mut entry in msg.entries {
+            if !shared {
+                entry.record.key = self.keys.intern(&msg.keys.resolve(entry.record.key));
+            }
             let ctx = FlowContext {
                 meta: &entry.record.meta,
                 from: msg.from_domain,
@@ -296,7 +447,11 @@ impl ReplicatedStore {
     /// Anti-entropy subsequently repopulates the store from peers, which is
     /// precisely the recovery path replication buys.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.live = 0;
+        self.personal_by_origin.clear();
     }
 
     /// Evicts records older than the retention window for their
@@ -306,17 +461,20 @@ impl ReplicatedStore {
     /// `retention` maps a sensitivity class to a maximum age in seconds;
     /// classes without an entry are retained indefinitely.
     pub fn enforce_retention(&mut self, retention: &[(Sensitivity, f64)], now: SimTime) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, e| {
-            match retention
+        let mut evicted = 0;
+        for idx in 0..self.slots.len() {
+            let Some(entry) = self.slots.get(idx).and_then(|s| s.as_ref()) else {
+                continue;
+            };
+            let expired = retention
                 .iter()
-                .find(|(s, _)| *s == e.record.meta.sensitivity)
-            {
-                Some((_, max_age)) => e.record.meta.age_secs(now) <= *max_age,
-                None => true,
+                .find(|(s, _)| *s == entry.record.meta.sensitivity)
+                .is_some_and(|(_, max_age)| entry.record.meta.age_secs(now) > *max_age);
+            if expired && self.evict(idx).is_some() {
+                evicted += 1;
             }
-        });
-        before - self.entries.len()
+        }
+        evicted
     }
 
     /// Evicts every resting record that currently constitutes a privacy
@@ -325,36 +483,44 @@ impl ReplicatedStore {
     /// domain transfer: data legitimately held in the old domain may be
     /// out of scope in the new one.
     pub fn purge_violations(&mut self, registry: &DomainRegistry) -> usize {
+        if self.privacy_violations(registry) == 0 {
+            return 0;
+        }
         let domain = self.domain;
-        let before = self.entries.len();
-        self.entries.retain(|_, e| {
-            !(!e.record.is_redacted()
-                && e.record.meta.sensitivity >= Sensitivity::Personal
-                && e.record.meta.origin != domain
-                && registry.trust(e.record.meta.origin, domain) < TrustLevel::Trusted)
-        });
-        before - self.entries.len()
+        let mut purged = 0;
+        for idx in 0..self.slots.len() {
+            let Some(entry) = self.slots.get(idx).and_then(|s| s.as_ref()) else {
+                continue;
+            };
+            let violating = is_violation_candidate(&entry.record)
+                && entry.record.meta.origin != domain
+                && registry.trust(entry.record.meta.origin, domain) < TrustLevel::Trusted;
+            if violating && self.evict(idx).is_some() {
+                purged += 1;
+            }
+        }
+        purged
     }
 
     /// Audit: counts resting records that constitute privacy violations —
     /// personal-or-worse data sitting in a domain other than its origin
-    /// whose trust relation with the origin is below `Trusted`.
+    /// whose trust relation with the origin is below `Trusted`. O(#origin
+    /// domains) via the maintained per-origin counters.
     pub fn privacy_violations(&self, registry: &DomainRegistry) -> usize {
-        self.entries
-            .values()
-            .filter(|e| {
-                !e.record.is_redacted()
-                    && e.record.meta.sensitivity >= Sensitivity::Personal
-                    && e.record.meta.origin != self.domain
-                    && registry.trust(e.record.meta.origin, self.domain) < TrustLevel::Trusted
+        self.personal_by_origin
+            .iter()
+            .filter(|(origin, _)| {
+                *origin != self.domain && registry.trust(*origin, self.domain) < TrustLevel::Trusted
             })
-            .count()
+            .map(|(_, n)| *n as usize)
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::item::PurposeSet;
     use riot_model::{Domain, Jurisdiction};
 
     fn registry() -> DomainRegistry {
@@ -373,6 +539,18 @@ mod tests {
         reg
     }
 
+    /// Resolves a sync message's entries to (name, entry) pairs in name
+    /// order — lets tests over separate key spaces compare contents.
+    fn named(msg: &SyncMsg) -> Vec<(String, StoreEntry)> {
+        let mut out: Vec<(String, StoreEntry)> = msg
+            .entries
+            .iter()
+            .map(|e| (msg.keys.resolve(e.record.key), *e))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     #[test]
     fn local_write_and_read() {
         let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
@@ -387,6 +565,21 @@ mod tests {
         assert_eq!(s.stats().local_writes, 1);
         assert_eq!(s.staleness_secs("k", SimTime::from_secs(4)), Some(4.0));
         assert_eq!(s.staleness_secs("missing", SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn key_api_matches_string_api() {
+        let mut s = ReplicatedStore::new(0, DomainId(0), PolicyEngine::permissive());
+        let k = s.keys().intern("k");
+        s.put_key(
+            k,
+            2.5,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        assert_eq!(s.get("k").map(|r| r.value), Some(2.5));
+        assert_eq!(s.get_key(k).map(|r| r.value), Some(2.5));
+        assert_eq!(s.staleness_secs_key(k, SimTime::from_secs(3)), Some(3.0));
     }
 
     #[test]
@@ -441,8 +634,17 @@ mod tests {
         a.on_sync(m2, &reg, SimTime::from_secs(20));
         assert_eq!(a.len(), 20);
         assert_eq!(b.len(), 20);
-        for (k, e) in a.iter() {
-            assert_eq!(Some(e), b.iter().find(|(k2, _)| *k2 == k).map(|(_, e2)| e2));
+        // The two stores have different key spaces (independent `new`
+        // calls), so compare by resolved name and entry contents.
+        let ma = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        let mb = b.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        let (na, nb) = (named(&ma), named(&mb));
+        assert_eq!(na.len(), 20);
+        for ((ka, ea), (kb, eb)) in na.iter().zip(nb.iter()) {
+            assert_eq!(ka, kb, "same key sets");
+            assert_eq!(ea.written_at, eb.written_at);
+            assert_eq!(ea.writer, eb.writer);
+            assert_eq!(ea.record.value, eb.record.value);
         }
     }
 
@@ -464,7 +666,7 @@ mod tests {
         );
         let msg = src.sync_out(DomainId(1), &reg, SimTime::ZERO);
         assert_eq!(msg.entries.len(), 1, "only the operational record flows");
-        assert_eq!(msg.entries[0].record.key, "temp");
+        assert_eq!(named(&msg)[0].0, "temp");
         assert_eq!(src.stats().egress_denied, 1);
     }
 
@@ -498,7 +700,7 @@ mod tests {
         let mut src = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
         let meta = DataMeta {
             sensitivity: Sensitivity::Special,
-            purposes: vec![],
+            purposes: PurposeSet::EMPTY,
             origin: DomainId(0),
             produced_at: SimTime::ZERO,
         };
@@ -534,9 +736,31 @@ mod tests {
         );
         let msg = s.sync_out(DomainId(0), &reg, SimTime::from_secs(3));
         assert_eq!(msg.entries.len(), 1);
-        assert_eq!(msg.entries[0].record.key, "new");
+        assert_eq!(named(&msg)[0].0, "new");
         let full = s.sync_out(DomainId(0), &reg, SimTime::ZERO);
         assert_eq!(full.entries.len(), 2);
+    }
+
+    #[test]
+    fn shared_keyspace_sync_needs_no_translation() {
+        let reg = registry();
+        let keys = KeySpace::new();
+        let mut a =
+            ReplicatedStore::with_keys(0, DomainId(0), PolicyEngine::permissive(), keys.clone());
+        let mut b =
+            ReplicatedStore::with_keys(1, DomainId(0), PolicyEngine::permissive(), keys.clone());
+        let k = keys.intern("shared/k");
+        a.put_key(
+            k,
+            7.0,
+            DataMeta::operational(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(1),
+        );
+        let msg = a.sync_out(DomainId(0), &reg, SimTime::ZERO);
+        assert!(msg.keys.same_as(b.keys()));
+        assert_eq!(b.on_sync(msg, &reg, SimTime::from_secs(2)), 1);
+        assert_eq!(b.get_key(k).map(|r| r.value), Some(7.0));
+        assert_eq!(keys.len(), 1, "no re-interning happened");
     }
 
     #[test]
@@ -583,7 +807,7 @@ mod tests {
         let mut s = ReplicatedStore::new(0, DomainId(1), PolicyEngine::governed());
         let meta = DataMeta {
             sensitivity: Sensitivity::Special,
-            purposes: vec![],
+            purposes: PurposeSet::EMPTY,
             origin: DomainId(0),
             produced_at: SimTime::ZERO,
         };
@@ -612,6 +836,39 @@ mod tests {
             1,
             "resting personal data now out of scope"
         );
+    }
+
+    #[test]
+    fn violation_counters_track_overwrites() {
+        let reg = registry();
+        let mut s = ReplicatedStore::new(0, DomainId(1), PolicyEngine::permissive());
+        // A personal record from the city domain: one violation.
+        s.put(
+            "k",
+            1.0,
+            DataMeta::personal(DomainId(0), SimTime::ZERO),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(s.privacy_violations(&reg), 1);
+        // Overwritten by an operational record: the violation is gone.
+        s.put(
+            "k",
+            2.0,
+            DataMeta::operational(DomainId(1), SimTime::from_secs(2)),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(s.privacy_violations(&reg), 0);
+        assert_eq!(s.len(), 1, "overwrite, not insert");
+        // And back: counted again.
+        s.put(
+            "k",
+            3.0,
+            DataMeta::personal(DomainId(0), SimTime::from_secs(3)),
+            SimTime::from_secs(3),
+        );
+        assert_eq!(s.privacy_violations(&reg), 1);
+        s.clear();
+        assert_eq!(s.privacy_violations(&reg), 0);
     }
 
     #[test]

@@ -57,10 +57,14 @@ fn ops(rng: &mut SimRng, replicas: usize) -> Vec<Op> {
 }
 
 fn fingerprint(store: &ReplicatedStore) -> Vec<(String, u64, u32)> {
-    store
+    let mut out: Vec<(String, u64, u32)> = store
         .iter()
-        .map(|(k, e)| (k.to_owned(), e.written_at.as_micros(), e.writer))
-        .collect()
+        .map(|(k, e)| (store.keys().resolve(k), e.written_at.as_micros(), e.writer))
+        .collect();
+    // Each store has its own key space, so dense-id order differs between
+    // replicas; compare in name order.
+    out.sort();
+    out
 }
 
 /// After any interleaving of writes and one-way syncs, a final round of
@@ -142,7 +146,7 @@ fn governed_store_never_rests_on_violations() {
                     };
                     let meta = DataMeta {
                         sensitivity,
-                        purposes: vec![riot_data::Purpose::Operations],
+                        purposes: riot_data::PurposeSet::only(riot_data::Purpose::Operations),
                         origin: DomainId(0),
                         produced_at: SimTime::from_micros(clock),
                     };

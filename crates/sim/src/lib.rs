@@ -70,7 +70,7 @@ mod time;
 mod trace;
 
 pub use embed::Embed;
-pub use intern::MetricKey;
+pub use intern::{MetricKey, Symbol, SymbolTable};
 pub use json::{Json, ToJson};
 pub use medium::{Delivery, IdealMedium, LossyMedium, Medium};
 pub use metrics::{Histogram, HistogramSummary, Metrics};

@@ -25,7 +25,7 @@ fn main() {
     let mut ward_store = ReplicatedStore::new(1, DomainId(0), PolicyEngine::governed());
     let meta = DataMeta {
         sensitivity: Sensitivity::Special,
-        purposes: vec![riot_data::Purpose::Operations],
+        purposes: riot_data::PurposeSet::only(riot_data::Purpose::Operations),
         origin: DomainId(0),
         produced_at: SimTime::ZERO,
     };

@@ -82,7 +82,7 @@ fn redaction_keeps_aggregates_flowing() {
     let mut hospital = ReplicatedStore::new(0, DomainId(0), PolicyEngine::governed());
     let special = DataMeta {
         sensitivity: Sensitivity::Special,
-        purposes: vec![riot_data::Purpose::Analytics],
+        purposes: riot_data::PurposeSet::only(riot_data::Purpose::Analytics),
         origin: DomainId(0),
         produced_at: SimTime::ZERO,
     };
@@ -96,15 +96,17 @@ fn redaction_keeps_aggregates_flowing() {
 
     let outbound = hospital.sync_out(DomainId(1), &registry, SimTime::ZERO);
     assert_eq!(outbound.entries.len(), 2, "both records flow in some form");
+    let icu_key = hospital.keys().get("icu/load").unwrap();
+    let temp_key = hospital.keys().get("lobby/temp").unwrap();
     let icu = outbound
         .entries
         .iter()
-        .find(|e| e.record.key == "icu/load")
+        .find(|e| e.record.key == icu_key)
         .unwrap();
     let temp = outbound
         .entries
         .iter()
-        .find(|e| e.record.key == "lobby/temp")
+        .find(|e| e.record.key == temp_key)
         .unwrap();
     assert!(icu.record.is_redacted(), "special-category value blanked");
     assert!(!temp.record.is_redacted(), "operational value intact");

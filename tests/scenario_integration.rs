@@ -109,6 +109,7 @@ fn devices_and_layout_agree() {
         let d = i % spec.devices_per_edge;
         assert_eq!(info.id, spec.device_id(e, d));
         assert_eq!(info.edge_index, e);
-        assert!(info.key.contains(&format!("dev{}", info.id.0)));
+        let name = scenario.keys().resolve(info.key);
+        assert!(name.contains(&format!("dev{}", info.id.0)));
     }
 }
