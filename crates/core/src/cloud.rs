@@ -56,8 +56,9 @@ pub struct CloudConfig {
     /// Third-party analytics subscribers the cloud brokers data to (the
     /// ML2 "cloud-based platforms for brokering IoT data" of Table 1).
     pub subscribers: Vec<ProcessId>,
-    /// Domains of every node, for policy decisions at sync time.
-    pub domain_of: BTreeMap<ProcessId, DomainId>,
+    /// Domains of every node, for policy decisions at sync time. Shared
+    /// with the edges: one map serves the whole deployment.
+    pub domain_of: std::rc::Rc<BTreeMap<ProcessId, DomainId>>,
     /// The run-wide data-key space shared with the edges and devices.
     pub keys: KeySpace,
 }
@@ -121,6 +122,12 @@ impl CloudProcess {
     /// The cloud's replicated store.
     pub fn store(&self) -> &ReplicatedStore {
         &self.store
+    }
+
+    /// Installs a [`riot_data::StoreProbe`] on the cloud store (the
+    /// scenario runner's consumer-freshness mirror).
+    pub(crate) fn set_store_probe(&mut self, probe: std::rc::Rc<dyn riot_data::StoreProbe>) {
+        self.store.set_probe(probe);
     }
 
     /// Control requests served so far.
@@ -330,7 +337,7 @@ mod tests {
             domain: DomainId(0),
             registry,
             subscribers: Vec::new(),
-            domain_of: BTreeMap::new(),
+            domain_of: std::rc::Rc::new(BTreeMap::new()),
             keys: KeySpace::new(),
         }
     }

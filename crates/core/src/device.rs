@@ -13,9 +13,11 @@
 
 use crate::config::{ArchitectureConfig, ControlPlacement};
 use crate::msg::{AppMsg, Msg};
+use crate::state::NodeSlab;
 use riot_data::{DataKey, DataMeta, PurposeSet, Sensitivity};
 use riot_model::{ComponentId, ComponentState, DomainId};
 use riot_sim::{Ctx, MetricKey, Metrics, Process, ProcessId, SimTime};
+use std::rc::Rc;
 
 const TAG_SENSE: u64 = 1;
 const TAG_CONTROL: u64 = 2;
@@ -29,8 +31,10 @@ pub struct DeviceConfig {
     pub arch: ArchitectureConfig,
     /// The device's primary edge.
     pub primary_edge: ProcessId,
-    /// Backup edges, in failover order (used at ML4).
-    pub backup_edges: Vec<ProcessId>,
+    /// Backup edges, in failover order (used at ML4). Shared: every device
+    /// on the same edge holds the same failover list, so one allocation
+    /// serves the whole edge group.
+    pub backup_edges: Rc<[ProcessId]>,
     /// The cloud node.
     pub cloud: ProcessId,
     /// The device's component.
@@ -124,6 +128,10 @@ pub struct DeviceProcess {
     last_reading_at: Option<SimTime>,
     failovers: u64,
     on_backup_since: Option<SimTime>,
+    /// Scenario node-state slab and this device's slot in it. The local
+    /// `window` stays maintained in parallel: the full-rescan sampler (the
+    /// incremental path's oracle) drains it directly.
+    slab: Option<(NodeSlab, u32)>,
 }
 
 impl DeviceProcess {
@@ -142,7 +150,13 @@ impl DeviceProcess {
             last_reading_at: None,
             failovers: 0,
             on_backup_since: None,
+            slab: None,
         }
+    }
+
+    /// Connects this device to the scenario's node-state slab at `slot`.
+    pub(crate) fn attach_slab(&mut self, slab: NodeSlab, slot: u32) {
+        self.slab = Some((slab, slot));
     }
 
     /// The component's current lifecycle state.
@@ -153,6 +167,9 @@ impl DeviceProcess {
     /// Injects a component fault (used by disruption schedules).
     pub fn fail_component(&mut self) {
         self.state = ComponentState::Failed;
+        if let Some((slab, slot)) = &self.slab {
+            slab.set_serving(*slot, false);
+        }
     }
 
     /// Drains and resets the sampling window.
@@ -236,6 +253,9 @@ impl DeviceProcess {
         self.reading_seq += 1;
         let now = ctx.now();
         self.last_reading_at = Some(now);
+        if let Some((slab, slot)) = &self.slab {
+            slab.note_sense(*slot, now);
+        }
         let value = 20.0 + (self.reading_seq % 10) as f64 + ctx.rng().unit();
         if let Some(host) = self.data_host() {
             let meta = self.meta(now);
@@ -273,8 +293,14 @@ impl DeviceProcess {
                     self.window.control_ok += 1;
                     self.window.latency_sum_ms += 1.0;
                     self.window.latency_count += 1;
+                    if let Some((slab, slot)) = &self.slab {
+                        slab.note_control_ok(*slot, 1.0);
+                    }
                 } else {
                     self.window.control_timeout += 1;
+                    if let Some((slab, slot)) = &self.slab {
+                        slab.note_control_timeout(*slot);
+                    }
                 }
             }
             Some(controller) => {
@@ -296,6 +322,9 @@ impl DeviceProcess {
             return; // reply beat the deadline
         }
         self.window.control_timeout += 1;
+        if let Some((slab, slot)) = &self.slab {
+            slab.note_control_timeout(*slot);
+        }
         let key = self.hot_keys(ctx).control_timeout;
         ctx.metrics().incr_key(key);
         self.consecutive_timeouts += 1;
@@ -363,6 +392,9 @@ impl Process<Msg> for DeviceProcess {
                 self.window.control_ok += 1;
                 self.window.latency_sum_ms += latency_ms;
                 self.window.latency_count += 1;
+                if let Some((slab, slot)) = &self.slab {
+                    slab.note_control_ok(*slot, latency_ms);
+                }
                 self.consecutive_timeouts = 0;
                 let key = self.hot_keys(ctx).control_latency_ms;
                 ctx.metrics().observe_key(key, latency_ms);
@@ -391,6 +423,9 @@ impl Process<Msg> for DeviceProcess {
             }
             TAG_RESTART_DONE if self.state == ComponentState::Failed => {
                 self.state = ComponentState::Running;
+                if let Some((slab, slot)) = &self.slab {
+                    slab.set_serving(*slot, true);
+                }
                 let key = self.hot_keys(ctx).component_restarted;
                 ctx.metrics().incr_key(key);
             }
@@ -416,7 +451,7 @@ mod tests {
         DeviceConfig {
             arch: ArchitectureConfig::for_level(level),
             primary_edge: ProcessId(0),
-            backup_edges: vec![ProcessId(1)],
+            backup_edges: vec![ProcessId(1)].into(),
             cloud: ProcessId(2),
             component: ComponentId(0),
             data_key: riot_data::KeySpace::new().intern("dev/reading"),

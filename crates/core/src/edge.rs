@@ -63,8 +63,10 @@ pub struct EdgeConfig {
     pub peer_edges: Vec<ProcessId>,
     /// This edge's administrative domain.
     pub domain: DomainId,
-    /// Domains of every node, for policy decisions at sync time.
-    pub domain_of: BTreeMap<ProcessId, DomainId>,
+    /// Domains of every node, for policy decisions at sync time. Shared:
+    /// one map serves every edge and the cloud, so cloning a config does
+    /// not clone the (node-count-sized) table.
+    pub domain_of: std::rc::Rc<BTreeMap<ProcessId, DomainId>>,
     /// The shared domain registry (jurisdictions and trust).
     pub registry: DomainRegistry,
     /// The edge's scope id (for election/coordination reporting).
@@ -154,6 +156,12 @@ impl EdgeProcess {
     /// The edge's replicated store (inspected by the scenario runner).
     pub fn store(&self) -> &ReplicatedStore {
         &self.store
+    }
+
+    /// Installs a [`riot_data::StoreProbe`] on this edge's store (the
+    /// scenario runner's consumer-freshness mirror).
+    pub(crate) fn set_store_probe(&mut self, probe: std::rc::Rc<dyn riot_data::StoreProbe>) {
+        self.store.set_probe(probe);
     }
 
     /// The locally believed scope leader (ML4 only).
@@ -575,7 +583,7 @@ mod tests {
             cloud,
             peer_edges: peers,
             domain: DomainId(0),
-            domain_of,
+            domain_of: std::rc::Rc::new(domain_of),
             registry: registry(),
             scope: 0,
             keys: KeySpace::new(),

@@ -61,6 +61,7 @@ mod recovery;
 mod report;
 mod resilience;
 mod scenario;
+mod state;
 
 pub use cloud::{CloudConfig, CloudProcess};
 pub use config::{ArchitectureConfig, ControlPlacement, MapePlacement, ReplicationMode};
@@ -79,5 +80,6 @@ pub use resilience::{
     ResilienceReport, Thresholds, GOAL_NAME, REQUIREMENT_NAMES,
 };
 pub use scenario::{
-    standard_domains, DeviceInfo, Scenario, ScenarioResult, ScenarioSpec, SpecError, MAX_TRACE_TAIL,
+    standard_domains, DeviceInfo, SampleMode, Scenario, ScenarioResult, ScenarioSpec, SpecError,
+    MAX_TRACE_TAIL,
 };

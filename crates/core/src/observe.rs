@@ -23,11 +23,15 @@
 //! artifacts must be reproducible, so `Scenario::build` registers observers
 //! in a fixed, documented order:
 //!
-//! 1. the online monitor bank built from `ScenarioSpec::monitors` (if any),
-//! 2. the forensic `RingTrace` from `ScenarioSpec::trace_tail` (if any),
-//! 3. the streaming-telemetry pipeline from `ScenarioSpec::streams` (if
+//! 1. the runtime-internal node-slab liveness mirror (when sampling
+//!    incrementally — the default; see
+//!    [`SampleMode`](crate::SampleMode)), so the slab reflects a
+//!    lifecycle event before any user observer sees it,
+//! 2. the online monitor bank built from `ScenarioSpec::monitors` (if any),
+//! 3. the forensic `RingTrace` from `ScenarioSpec::trace_tail` (if any),
+//! 4. the streaming-telemetry pipeline from `ScenarioSpec::streams` (if
 //!    non-empty; see [`StreamSpec`]),
-//! 4. each [`ObserverSpec`] factory, in registration order.
+//! 5. each [`ObserverSpec`] factory, in registration order.
 
 use riot_formal::{OnlineMonitor, Verdict3};
 use riot_sim::{AnyObserver, Json, SimObserver, ToJson};

@@ -24,6 +24,8 @@ use crate::observe::{
     monitor_outcomes, MonitorOutcome, MonitorSpec, ObserverSpec, StreamKind, StreamQuantiles,
     StreamSpec, StreamStats, StreamSummary, SAT_LABEL,
 };
+use crate::state::{ConsumerMirror, NodeSlab, SampleFold, SlabLiveness};
+
 use crate::resilience::{
     standard_goal_model, standard_requirements, ResilienceReport, Thresholds, GOAL_NAME,
     REQUIREMENT_NAMES,
@@ -41,6 +43,7 @@ use riot_sim::{
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 /// Staleness value reported when a consumer has never seen a key (treated
 /// as "infinitely stale").
@@ -102,6 +105,25 @@ pub struct ScenarioSpec {
     /// monitor bank, ring and stream pipeline (registration order is fixed;
     /// see [`ObserverSpec`]).
     pub observers: ObserverSpec,
+    /// How [`Scenario`] gathers each sample tick (see [`SampleMode`]).
+    /// The two modes produce byte-identical results — pinned by a property
+    /// test — so this is a performance knob, not a semantic one.
+    pub sample_mode: SampleMode,
+}
+
+/// How the scenario runner gathers per-device state at each sample tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SampleMode {
+    /// O(changed) sampling off the node-state slab (`crate::state`):
+    /// devices push window/coverage/freshness deltas as they happen and the
+    /// sampler folds flat arrays. The default.
+    #[default]
+    Incremental,
+    /// O(devices) walk of the process table at every tick: drains each
+    /// device's window and probes each consumer store directly. The oracle
+    /// the incremental path is checked against, and the "before" baseline
+    /// in the scale benchmarks.
+    FullRescan,
 }
 
 /// Largest ring-tail capacity a spec may request (2^20 entries). A request
@@ -166,6 +188,7 @@ impl ScenarioSpec {
             trace_tail: None,
             streams: StreamSpec::new(),
             observers: ObserverSpec::new(),
+            sample_mode: SampleMode::default(),
         }
     }
 
@@ -345,6 +368,9 @@ pub struct Scenario {
     streams: Option<StreamIdx>,
     /// Pre-interned series keys for the sampling loop.
     sample_keys: SampleKeys,
+    /// The node-state slab behind [`SampleMode::Incremental`]; `None` under
+    /// [`SampleMode::FullRescan`], whose sampler walks the process table.
+    slab: Option<crate::state::NodeSlab>,
 }
 
 /// Bus and operator indices of the built-in streaming-telemetry pipeline,
@@ -465,6 +491,10 @@ impl Scenario {
         for &d in &hierarchy.all_devices() {
             domain_of.insert(d, DomainId(0));
         }
+        // One shared map serves the cloud and every edge (the configs hold
+        // `Rc` handles) — at 10⁵ devices the per-process clone this replaces
+        // dominated build time and memory.
+        let domain_of = Rc::new(domain_of);
 
         // -- Simulation and processes (spawn order must match node ids).
         let mut sim: Sim<Msg> = SimBuilder::new(spec.seed)
@@ -475,10 +505,32 @@ impl Scenario {
             .build_with_medium(Box::new(net));
         let sample_keys = SampleKeys::new(sim.metrics_mut());
 
+        // -- Node-state slab (the `SampleMode::Incremental` backbone; see
+        // crate::state). Built before the bus registrations so its liveness
+        // mirror is the first observer: by the time any user observer sees
+        // a lifecycle event, the slab already reflects it.
+        let slab = if spec.sample_mode == SampleMode::Incremental {
+            let personal: Vec<bool> = (0..spec.device_count())
+                .map(|i| spec.personal_every > 0 && i.is_multiple_of(spec.personal_every))
+                .collect();
+            Some(NodeSlab::new(arch.sense_period * 3, personal))
+        } else {
+            None
+        };
+        if let Some(slab) = &slab {
+            // Devices occupy the contiguous id range after cloud + edges.
+            sim.add_observer(SlabLiveness::new(
+                slab.clone(),
+                1 + spec.edges,
+                spec.device_count(),
+            ));
+        }
+
         // -- Observability bus. Registration order is fixed and documented
-        // (crate::observe): monitor bank, forensic ring, stream pipeline,
-        // then user factories. Observers only read events, so this cannot
-        // change the run itself — only what gets reported.
+        // (crate::observe): slab liveness mirror (runtime-internal, when
+        // sampling incrementally), monitor bank, forensic ring, stream
+        // pipeline, then user factories. Observers only read events, so
+        // this cannot change the run itself — only what gets reported.
         let monitor_idx = if spec.monitors.is_empty() {
             None
         } else {
@@ -538,7 +590,7 @@ impl Scenario {
                         // node's data-domain jurisdiction; domain_of covers
                         // every process the hierarchy minted.
                         let mut key_of: Vec<Option<MetricKey>> = vec![None; n];
-                        for (pid, dom) in &domain_of {
+                        for (pid, dom) in domain_of.iter() {
                             let Some(domain) = registry.get(*dom) else {
                                 continue;
                             };
@@ -609,6 +661,17 @@ impl Scenario {
             debug_assert_eq!(id, e);
         }
 
+        // Failover lists are identical for every device on the same edge;
+        // build each once and share the allocation across the edge group.
+        let backups_of_edge: Vec<Rc<[ProcessId]>> = (0..spec.edges)
+            .map(|e| {
+                (1..spec.edges)
+                    // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
+                    .map(|k| hierarchy.edges[(e + k) % spec.edges])
+                    .collect()
+            })
+            .collect();
+
         let mut devices = Vec::with_capacity(spec.device_count());
         let mut global_idx = 0usize;
         for (e, devs) in hierarchy.devices.iter().enumerate() {
@@ -616,11 +679,11 @@ impl Scenario {
                 let personal =
                     spec.personal_every > 0 && global_idx.is_multiple_of(spec.personal_every);
                 let key = keys.intern(&format!("dev{}/reading", d.0));
-                let backups: Vec<ProcessId> = (1..spec.edges)
-                    // riot-lint: allow(P1, reason = "hierarchy.edges has exactly spec.edges entries; the index is reduced mod spec.edges")
-                    .map(|k| hierarchy.edges[(e + k) % spec.edges])
-                    .collect();
-                let id = sim.add_process(DeviceProcess::new(DeviceConfig {
+                let backups = backups_of_edge
+                    .get(e)
+                    .cloned()
+                    .unwrap_or_else(|| Rc::from([]));
+                let mut dev = DeviceProcess::new(DeviceConfig {
                     arch: arch.clone(),
                     // riot-lint: allow(P1, reason = "e enumerates hierarchy.devices, built with one entry per edge")
                     primary_edge: hierarchy.edges[e],
@@ -634,7 +697,11 @@ impl Scenario {
                         Sensitivity::Internal
                     },
                     domain: DomainId(0),
-                }));
+                });
+                if let Some(slab) = &slab {
+                    dev.attach_slab(slab.clone(), global_idx as u32);
+                }
+                let id = sim.add_process(dev);
                 debug_assert_eq!(id, d);
                 devices.push(DeviceInfo {
                     id: d,
@@ -643,6 +710,52 @@ impl Scenario {
                     personal,
                 });
                 global_idx += 1;
+            }
+        }
+
+        // -- Consumer-freshness mirrors: a store probe on each consuming
+        // store writes record arrivals/evictions straight into the slab, so
+        // the incremental freshness fold never touches the stores. The
+        // consumer mapping mirrors `consumer_staleness` and is static — a
+        // device's designated consumer follows from its *home* edge index,
+        // which neither mobility nor failover rewrites.
+        if let Some(slab) = &slab {
+            match arch.replication {
+                // No replication: nothing ever lands anywhere; the mirror
+                // stays unwritten and every key reads never-seen.
+                ReplicationMode::None => {}
+                ReplicationMode::CloudOnly | ReplicationMode::EdgeToCloud => {
+                    let mut slot_of: Vec<Option<u32>> = vec![None; keys.len()];
+                    for (slot, info) in devices.iter().enumerate() {
+                        if let Some(s) = slot_of.get_mut(info.key.index()) {
+                            *s = Some(slot as u32);
+                        }
+                    }
+                    if let Some(cloud) = sim.process_mut::<CloudProcess>(hierarchy.cloud) {
+                        cloud.set_store_probe(Rc::new(ConsumerMirror::new(slab.clone(), slot_of)));
+                    }
+                }
+                ReplicationMode::EdgeMesh => {
+                    for (j, &e) in hierarchy.edges.iter().enumerate() {
+                        // Edge j consumes the devices homed on the previous
+                        // edge (whose consumer is `(edge_index + 1) % edges`).
+                        let producer_edge = (j + spec.edges - 1) % spec.edges.max(1);
+                        let mut slot_of: Vec<Option<u32>> = vec![None; keys.len()];
+                        for (slot, info) in devices.iter().enumerate() {
+                            if info.edge_index == producer_edge {
+                                if let Some(s) = slot_of.get_mut(info.key.index()) {
+                                    *s = Some(slot as u32);
+                                }
+                            }
+                        }
+                        if let Some(edge) = sim.process_mut::<EdgeProcess>(e) {
+                            edge.set_store_probe(Rc::new(ConsumerMirror::new(
+                                slab.clone(),
+                                slot_of,
+                            )));
+                        }
+                    }
+                }
             }
         }
 
@@ -668,6 +781,7 @@ impl Scenario {
             ring_idx,
             streams,
             sample_keys,
+            slab,
         }
     }
 
@@ -758,13 +872,26 @@ impl Scenario {
     /// crates use qualified-call syntax so the lint's call graph gets
     /// precise edges (DESIGN.md §10).
     fn sample(&mut self, now: SimTime) {
-        // -- One pass over the device index: control-loop window, coverage,
-        // and consumer-store freshness together. `self.devices` and
-        // `self.sim` are disjoint fields, so the loop needs no clone of
-        // the device index. Folding the former second walk (freshness) into
-        // this one keeps the staleness accumulation in device-index order,
-        // which pins the floating-point sum — and therefore the recorded
-        // freshness series — bit-for-bit.
+        let fold = match &self.slab {
+            // O(changed): fold the node-state slab's flat arrays. Devices
+            // pushed their deltas as they happened; nothing here touches
+            // the process table or the stores.
+            Some(slab) => slab.sample_fold(now, NEVER_SEEN_STALENESS_S),
+            None => self.rescan(now),
+        };
+        self.publish_sample(now, &fold);
+    }
+
+    /// The [`SampleMode::FullRescan`] gather: one O(devices) pass over the
+    /// device index — control-loop window, coverage, and consumer-store
+    /// freshness together. `self.devices` and `self.sim` are disjoint
+    /// fields, so the loop needs no clone of the device index. Keeping the
+    /// staleness accumulation in device-index order pins the floating-point
+    /// sum — and therefore the recorded freshness series — bit-for-bit;
+    /// the incremental fold replays the identical addition sequence (its
+    /// slot order *is* device-index order), which is what lets the property
+    /// tests demand byte-identical results from both modes.
+    fn rescan(&mut self, now: SimTime) -> SampleFold {
         let mut window = DeviceWindow::default();
         let mut covered = 0usize;
         let mut staleness_sum = 0.0;
@@ -804,7 +931,23 @@ impl Scenario {
                 staleness_n += 1;
             }
         }
+        SampleFold {
+            window,
+            covered,
+            staleness_sum,
+            staleness_n,
+        }
+    }
 
+    /// The mode-independent tail of a sample tick: privacy audit, telemetry
+    /// valuation, verdicts, series pushes and the bus note. Both gather
+    /// paths feed the same [`SampleFold`] through here, so a result can
+    /// only differ between modes if the gathered numbers do.
+    fn publish_sample(&mut self, now: SimTime, fold: &SampleFold) {
+        let window = &fold.window;
+        let covered = fold.covered;
+        let staleness_sum = fold.staleness_sum;
+        let staleness_n = fold.staleness_n;
         // -- Privacy audit across all stores.
         let mut violations = 0usize;
         if let Some(c) = self.sim.process::<CloudProcess>(self.hierarchy.cloud) {

@@ -40,5 +40,5 @@ pub use item::{DataMeta, DataRecord, Purpose, PurposeSet, Sensitivity};
 pub use keyspace::{DataKey, KeySpace};
 pub use lineage::{LineageGraph, LineageId, LineageNode, Operation};
 pub use policy::{FlowContext, PolicyAction, PolicyEngine, PolicyRule};
-pub use store::{ReplicatedStore, StoreEntry, StoreStats, SyncMsg};
+pub use store::{ReplicatedStore, StoreEntry, StoreProbe, StoreStats, SyncMsg};
 pub use vclock::{Causality, ReplicaId, VClock};

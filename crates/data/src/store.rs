@@ -24,12 +24,79 @@
 //! configuration) apply raw ids with zero translation, while standalone
 //! stores with private spaces re-intern entries by name.
 
-use crate::item::{DataMeta, DataRecord, Sensitivity};
+use crate::item::{DataMeta, DataRecord, PurposeSet, Sensitivity};
 use crate::keyspace::{DataKey, KeySpace};
 use crate::policy::{FlowContext, PolicyAction, PolicyEngine};
 use crate::vclock::ReplicaId;
 use riot_model::{DomainId, DomainRegistry, TrustLevel};
 use riot_sim::SimTime;
+use std::rc::Rc;
+
+/// A passive mirror of a store's resting contents, notified on every
+/// content transition. The scenario layer attaches one per consumer store
+/// to maintain a struct-of-arrays freshness mirror, so per-sample staleness
+/// reads become flat array loads instead of per-device slot probes through
+/// the process table.
+///
+/// Probes observe; they must not feed back into the store (the store is
+/// borrowed mutably while a probe runs). All callbacks take `&self`:
+/// implementations use interior mutability.
+pub trait StoreProbe {
+    /// A record landed (or was replaced) under `key`; `produced_at` is the
+    /// new record's production timestamp — exactly what
+    /// [`ReplicatedStore::staleness_secs_key`] ages against.
+    fn on_record(&self, key: DataKey, produced_at: SimTime);
+    /// The record under `key` was evicted (retention, violation purge).
+    fn on_evict(&self, key: DataKey);
+    /// The store dropped every entry (volatile-memory loss on restart).
+    fn on_clear(&self);
+}
+
+/// Cloneable handle to an attached [`StoreProbe`]; wraps the trait object
+/// so the store can keep deriving `Clone` and render under `Debug`.
+#[derive(Clone)]
+struct ProbeHandle(Rc<dyn StoreProbe>);
+
+impl std::fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StoreProbe")
+    }
+}
+
+/// Per-sync flow-decision memo. Within one sync the `(from, to, registry)`
+/// triple is fixed and [`PolicyEngine::decide`] depends only on the datum's
+/// `(sensitivity, purposes, origin)` — a store holds a handful of distinct
+/// combinations, so a linear scan over this tiny table replaces a full rule
+/// walk per entry (and stays hash-free per determinism rule D1).
+struct DecisionMemo {
+    seen: Vec<(Sensitivity, PurposeSet, DomainId, PolicyAction)>,
+}
+
+impl DecisionMemo {
+    fn new() -> Self {
+        DecisionMemo {
+            seen: Vec::with_capacity(8),
+        }
+    }
+
+    fn decide(
+        &mut self,
+        policy: &PolicyEngine,
+        meta: &DataMeta,
+        from: DomainId,
+        to: DomainId,
+        registry: &DomainRegistry,
+    ) -> PolicyAction {
+        let probe = (meta.sensitivity, meta.purposes, meta.origin);
+        if let Some(hit) = self.seen.iter().find(|e| (e.0, e.1, e.2) == probe) {
+            return hit.3;
+        }
+        let ctx = FlowContext { meta, from, to };
+        let action = policy.decide(&ctx, registry).0;
+        self.seen.push((probe.0, probe.1, probe.2, action));
+        action
+    }
+}
 
 /// One stored record with its LWW version. `Copy` — sync moves entries by
 /// value.
@@ -110,6 +177,8 @@ pub struct ReplicatedStore {
     /// candidate (see [`is_violation_candidate`]) with `origin == d`.
     personal_by_origin: Vec<(DomainId, u32)>,
     stats: StoreStats,
+    /// Content-transition mirror, when the owner attached one.
+    probe: Option<ProbeHandle>,
 }
 
 /// `true` when a resting record would count as a privacy violation in any
@@ -141,7 +210,15 @@ impl ReplicatedStore {
             live: 0,
             personal_by_origin: Vec::new(),
             stats: StoreStats::default(),
+            probe: None,
         }
+    }
+
+    /// Attaches a content mirror; every subsequent record transition
+    /// (apply, evict, clear) is reported to it. Purely observational — the
+    /// store's behaviour is unchanged.
+    pub fn set_probe(&mut self, probe: Rc<dyn StoreProbe>) {
+        self.probe = Some(ProbeHandle(probe));
     }
 
     /// This store's replica id.
@@ -324,6 +401,8 @@ impl ReplicatedStore {
                 false
             }
             _ => {
+                let key = entry.record.key;
+                let produced_at = entry.record.meta.produced_at;
                 let evicted = slot.replace(entry);
                 match evicted {
                     Some(old) => {
@@ -335,6 +414,9 @@ impl ReplicatedStore {
                 }
                 if is_violation_candidate(&entry.record) {
                     self.personal_add(entry.record.meta.origin);
+                }
+                if let Some(probe) = &self.probe {
+                    probe.0.on_record(key, produced_at);
                 }
                 true
             }
@@ -348,6 +430,9 @@ impl ReplicatedStore {
         self.live -= 1;
         if is_violation_candidate(&old.record) {
             self.personal_remove(old.record.meta.origin);
+        }
+        if let Some(probe) = &self.probe {
+            probe.0.on_evict(old.record.key);
         }
         Some(old)
     }
@@ -365,16 +450,18 @@ impl ReplicatedStore {
         let mut entries = Vec::with_capacity(self.live);
         let mut egress_redacted = 0;
         let mut egress_denied = 0;
+        let mut memo = DecisionMemo::new();
         for entry in self.slots.iter().flatten() {
             if since > SimTime::ZERO && entry.written_at <= since {
                 continue;
             }
-            let ctx = FlowContext {
-                meta: &entry.record.meta,
-                from: self.domain,
-                to: peer_domain,
-            };
-            match self.policy.decide(&ctx, registry).0 {
+            match memo.decide(
+                &self.policy,
+                &entry.record.meta,
+                self.domain,
+                peer_domain,
+                registry,
+            ) {
                 PolicyAction::Allow => entries.push(*entry),
                 PolicyAction::Redact => {
                     egress_redacted += 1;
@@ -407,16 +494,18 @@ impl ReplicatedStore {
     pub fn on_sync(&mut self, msg: SyncMsg, registry: &DomainRegistry, _now: SimTime) -> usize {
         let shared = msg.keys.same_as(&self.keys);
         let mut changed = 0;
+        let mut memo = DecisionMemo::new();
         for mut entry in msg.entries {
             if !shared {
                 entry.record.key = self.keys.intern(&msg.keys.resolve(entry.record.key));
             }
-            let ctx = FlowContext {
-                meta: &entry.record.meta,
-                from: msg.from_domain,
-                to: self.domain,
-            };
-            match self.policy.decide(&ctx, registry).0 {
+            match memo.decide(
+                &self.policy,
+                &entry.record.meta,
+                msg.from_domain,
+                self.domain,
+                registry,
+            ) {
                 PolicyAction::Deny => {
                     self.stats.ingress_denied += 1;
                 }
@@ -452,6 +541,9 @@ impl ReplicatedStore {
         }
         self.live = 0;
         self.personal_by_origin.clear();
+        if let Some(probe) = &self.probe {
+            probe.0.on_clear();
+        }
     }
 
     /// Evicts records older than the retention window for their

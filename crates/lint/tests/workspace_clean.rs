@@ -31,7 +31,7 @@ fn workspace_has_no_violations() {
         graph.fns_indexed
     );
     assert_eq!(
-        graph.hot_roots, 20,
+        graph.hot_roots, 30,
         "hot roots declared in lint-hotpaths.toml"
     );
     assert_eq!(

@@ -62,6 +62,22 @@ fn key(a: ProcessId, b: ProcessId) -> (usize, usize) {
     }
 }
 
+/// One hop of a fully resolved route, flattened for the per-message hot
+/// path: the link's loss and latency model plus its degradation factor
+/// (`None` when the link is not in the degraded table, mirroring the
+/// conditional `mul_f64` of the uncached path exactly — applying a 1.0
+/// factor is not a bit-exact identity through `f64` seconds).
+#[derive(Debug, Clone, Copy)]
+struct CachedHop {
+    loss: f64,
+    latency: LatencyModel,
+    factor: Option<f64>,
+}
+
+/// One sender's resolved routes, sorted by destination node index; `None`
+/// hops record a partition.
+type RouteTable = Vec<(u32, Option<Box<[CachedHop]>>)>;
+
 /// A simulated IoT network: nodes, links, routing, partitions and churn.
 ///
 /// # Examples
@@ -94,6 +110,13 @@ pub struct Network {
     per_hop_overhead: SimDuration,
     external_latency: SimDuration,
     path_cache: BTreeMap<(usize, usize), Option<Vec<usize>>>,
+    /// Flattened per-hop route data: `routes[from]` is sorted by
+    /// destination, so the per-message lookup is one index plus a binary
+    /// search over that sender's (few) known destinations. `None` records a
+    /// partition. Rebuilt lazily from `path_indices` + `links` + `degraded`;
+    /// cleared by [`Network::invalidate`] and by degradation changes (which
+    /// leave `path_cache` alone — degradation is invisible to routing).
+    routes: Vec<RouteTable>,
 }
 
 impl Network {
@@ -108,6 +131,7 @@ impl Network {
             per_hop_overhead: SimDuration::ZERO,
             external_latency: SimDuration::ZERO,
             path_cache: BTreeMap::new(),
+            routes: Vec::new(),
         }
     }
 
@@ -263,12 +287,16 @@ impl Network {
     pub fn degrade_link(&mut self, a: ProcessId, b: ProcessId, factor: f64) {
         if self.links.contains_key(&key(a, b)) {
             self.degraded.insert(key(a, b), factor.max(1.0));
+            // Routing is unaffected, but cached hop factors are now stale.
+            self.clear_routes();
         }
     }
 
     /// Removes any degradation from a link.
     pub fn restore_link_quality(&mut self, a: ProcessId, b: ProcessId) {
-        self.degraded.remove(&key(a, b));
+        if self.degraded.remove(&key(a, b)).is_some() {
+            self.clear_routes();
+        }
     }
 
     /// The current degradation factor of a link (1.0 when healthy).
@@ -312,6 +340,48 @@ impl Network {
 
     fn invalidate(&mut self) {
         self.path_cache.clear();
+        self.clear_routes();
+    }
+
+    /// Empties every per-sender route list, keeping their allocations.
+    fn clear_routes(&mut self) {
+        for list in &mut self.routes {
+            list.clear();
+        }
+    }
+
+    /// Resolves and flattens the `(from, to)` route into per-hop link data,
+    /// caching the result in `from`'s route list. `None` records a
+    /// partition.
+    fn resolve_hops(&mut self, from: usize, to: usize) -> Option<&[CachedHop]> {
+        if self.routes.len() < self.nodes.len() {
+            self.routes.resize_with(self.nodes.len(), Vec::new);
+        }
+        let pos = match self.routes[from].binary_search_by_key(&(to as u32), |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                let hops = self.path_indices(from, to).map(|path| {
+                    path.windows(2)
+                        .map(|pair| {
+                            let k = if pair[0] <= pair[1] {
+                                (pair[0], pair[1])
+                            } else {
+                                (pair[1], pair[0])
+                            };
+                            let link = self.links[&k];
+                            CachedHop {
+                                loss: link.loss,
+                                latency: link.latency,
+                                factor: self.degraded.get(&k).copied(),
+                            }
+                        })
+                        .collect()
+                });
+                self.routes[from].insert(i, (to as u32, hops));
+                i
+            }
+        };
+        self.routes[from][pos].1.as_deref()
     }
 
     fn path_indices(&mut self, from: usize, to: usize) -> Option<Vec<usize>> {
@@ -399,25 +469,23 @@ impl<M> Medium<M> for Network {
         if from == to {
             return Delivery::After(SimDuration::ZERO);
         }
-        let Some(path) = self.path_indices(from.0, to.0) else {
+        let overhead = self.per_hop_overhead;
+        let Some(hops) = self.resolve_hops(from.0, to.0) else {
             return Delivery::Drop("partition");
         };
+        // RNG discipline: per hop, one `chance` draw then one latency
+        // sample, aborting on the first loss — the exact draw sequence of
+        // the uncached walk, so cached routing is bit-identical.
         let mut total = SimDuration::ZERO;
-        for pair in path.windows(2) {
-            let k = if pair[0] <= pair[1] {
-                (pair[0], pair[1])
-            } else {
-                (pair[1], pair[0])
-            };
-            let link = self.links[&k];
-            if rng.chance(link.loss) {
+        for hop in hops {
+            if rng.chance(hop.loss) {
                 return Delivery::Drop("loss");
             }
-            let mut hop = link.latency.sample(rng);
-            if let Some(factor) = self.degraded.get(&k) {
-                hop = hop.mul_f64(*factor);
+            let mut d = hop.latency.sample(rng);
+            if let Some(factor) = hop.factor {
+                d = d.mul_f64(factor);
             }
-            total += hop + self.per_hop_overhead;
+            total += d + overhead;
         }
         Delivery::After(total)
     }

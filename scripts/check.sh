@@ -57,6 +57,16 @@ if [[ "$quick" == "0" ]]; then
     exit 1
   }
 
+  echo "==> scale smoke (scenario-layer gates: 5x-seed sampling throughput, O(changed) beats the rescan oracle, end-to-end floor)"
+  cargo run --quiet --release -p riot-bench --bin scale_e1 -- --smoke > /dev/null
+
+  # The three gates are asserted inside scale_e1 --smoke; make sure the
+  # gated sampler benchmark actually ran.
+  grep -q '"sampler_inc_1e4"' target/BENCH_scale_smoke.json || {
+    echo "error: sampler_inc_1e4 benchmark missing from the scale smoke suite" >&2
+    exit 1
+  }
+
   echo "==> campaign fuzz smoke (committed reproducers reproduce + minimal; seeded sweep finds & shrinks)"
   cargo run --quiet -p riot-bench --bin riot -- campaign fuzz --smoke > /dev/null
 fi
